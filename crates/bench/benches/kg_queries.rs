@@ -1,0 +1,74 @@
+//! Knowledge-graph store benchmarks: the serving path's lookups and the
+//! navigation hierarchy build.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use cosmo_kg::{BehaviorKind, Edge, IntentHierarchy, KnowledgeGraph, NodeKind, Relation};
+
+fn build_graph(n_heads: usize, tails_per_head: usize) -> KnowledgeGraph {
+    let mut kg = KnowledgeGraph::new();
+    for h in 0..n_heads {
+        let head = kg.intern_node(NodeKind::Query, &format!("query {h}"));
+        for t in 0..tails_per_head {
+            let tail = kg.intern_node(
+                NodeKind::Intention,
+                &format!("intent {} phrase {}", (h + t) % 97, t % 13),
+            );
+            kg.add_edge(Edge {
+                head,
+                relation: Relation::ALL[(h + t) % 15],
+                tail,
+                behavior: BehaviorKind::SearchBuy,
+                category: (h % 18) as u8,
+                plausibility: 0.9,
+                typicality: (t % 10) as f32 / 10.0,
+                support: 1 + (t % 5) as u32,
+            });
+        }
+    }
+    kg
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("kg/build_2k_edges", |b| {
+        b.iter(|| build_graph(200, 10))
+    });
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let kg = build_graph(2_000, 12);
+    let node = kg.find_node(NodeKind::Query, "query 1000").unwrap();
+    c.bench_function("kg/find_node", |b| {
+        b.iter(|| kg.find_node(NodeKind::Query, black_box("query 1234")))
+    });
+    c.bench_function("kg/top_intents_k5", |b| {
+        b.iter(|| kg.top_intents(black_box(node), 5).len())
+    });
+    c.bench_function("kg/tails_of_rel", |b| {
+        b.iter(|| kg.tails_of_rel(black_box(node), Relation::CapableOf).count())
+    });
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let kg = build_graph(400, 10);
+    let mut g = c.benchmark_group("kg");
+    g.sample_size(20);
+    g.bench_function("hierarchy_build", |b| {
+        b.iter_batched(|| &kg, IntentHierarchy::build, BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+fn bench_json_roundtrip(c: &mut Criterion) {
+    let kg = build_graph(500, 8);
+    let json = kg.to_json();
+    let mut g = c.benchmark_group("kg");
+    g.sample_size(20);
+    g.bench_function("json_serialize", |b| b.iter(|| kg.to_json().len()));
+    g.bench_function("json_deserialize", |b| {
+        b.iter(|| KnowledgeGraph::from_json(black_box(&json)).unwrap().num_edges())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_lookup, bench_hierarchy, bench_json_roundtrip);
+criterion_main!(benches);

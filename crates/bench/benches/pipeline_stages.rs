@@ -1,0 +1,81 @@
+//! Pipeline-stage throughput: teacher generation, coarse filtering and
+//! critic scoring — the offline stages that process millions of
+//! candidates in the paper's production runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use cosmo_core::{features, CoarseFilter, Critic, CriticConfig, CriticExample, FilterConfig};
+use cosmo_synth::{corpus, BehaviorConfig, BehaviorLog, World, WorldConfig};
+use cosmo_teacher::{Candidate, Teacher, TeacherConfig};
+
+struct Fixture {
+    world: World,
+    candidates: Vec<Candidate>,
+    filter: CoarseFilter,
+}
+
+fn fixture() -> Fixture {
+    let world = World::generate(WorldConfig::tiny(201));
+    let log = BehaviorLog::generate(&world, &BehaviorConfig::tiny(202));
+    let mut teacher = Teacher::new(&world, TeacherConfig::default());
+    let mut candidates = Vec::new();
+    for sb in log.search_buys.iter().take(500) {
+        candidates.push(teacher.generate_search_buy(sb.query, sb.product));
+    }
+    for cb in log.cobuys.iter().take(500) {
+        candidates.push(teacher.generate_cobuy(cb.p1, cb.p2));
+    }
+    let filter = CoarseFilter::fit(&corpus(&world), FilterConfig::default());
+    Fixture { world, candidates, filter }
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::tiny(203));
+    let log = BehaviorLog::generate(&world, &BehaviorConfig::tiny(204));
+    let mut teacher = Teacher::new(&world, TeacherConfig::default());
+    let sb = log.search_buys[0];
+    c.bench_function("pipeline/teacher_generate", |b| {
+        b.iter(|| teacher.generate_search_buy(sb.query, sb.product).raw.len())
+    });
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(f.candidates.len() as u64));
+    g.bench_function("coarse_filter_1k", |b| {
+        b.iter_batched(
+            || f.candidates.clone(),
+            |cands| f.filter.filter(&f.world, cands).len(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_critic(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = CriticConfig { epochs: 4, ..CriticConfig::default() };
+    let examples: Vec<CriticExample> = f
+        .candidates
+        .iter()
+        .enumerate()
+        .map(|(i, cand)| CriticExample {
+            features: features(&f.world, cand, "used for walking the dog", cfg.buckets),
+            plausible: Some(i % 2 == 0),
+            typical: Some(i % 3 == 0),
+        })
+        .collect();
+    let mut critic = Critic::new(cfg.clone());
+    critic.train(&examples);
+    let batch: Vec<Vec<usize>> = examples.iter().take(256).map(|e| e.features.clone()).collect();
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(batch.len() as u64));
+    g.bench_function("critic_score_256", |b| {
+        b.iter(|| critic.score_batch(&batch).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_filter, bench_critic);
+criterion_main!(benches);

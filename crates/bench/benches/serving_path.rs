@@ -1,0 +1,62 @@
+//! Serving-path latency: the Figure 5 request path must stay within
+//! "Amazon's restricted search latency requirements" — here we measure the
+//! cache hit path, the miss (enqueue) path, and a full batch cycle.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use cosmo_kg::{KnowledgeGraph, Relation};
+use cosmo_lm::{CosmoLm, StudentConfig};
+use cosmo_serving::{ServingConfig, ServingSystem};
+use std::sync::Arc;
+
+fn system(preload_n: usize) -> ServingSystem {
+    let lm = Arc::new(CosmoLm::new(
+        StudentConfig::default(),
+        vec![
+            ("sleeping outdoors".into(), Some(Relation::UsedForFunc)),
+            ("keeping warm".into(), Some(Relation::CapableOf)),
+            ("walking the dog".into(), Some(Relation::UsedForEve)),
+        ],
+    ));
+    let kg = Arc::new(KnowledgeGraph::new());
+    let preload: Vec<String> = (0..preload_n).map(|i| format!("hot query {i}")).collect();
+    ServingSystem::new(kg, lm, &preload, ServingConfig { workers: 2, ..Default::default() })
+}
+
+fn bench_hit(c: &mut Criterion) {
+    let sys = system(1_000);
+    c.bench_function("serving/l1_hit", |b| {
+        b.iter(|| sys.handle_request(black_box("hot query 500")).latency_us)
+    });
+}
+
+fn bench_miss(c: &mut Criterion) {
+    let sys = system(10);
+    let mut i = 0u64;
+    c.bench_function("serving/miss_enqueue", |b| {
+        b.iter(|| {
+            i += 1;
+            sys.handle_request(&format!("cold query {i}")).latency_us
+        })
+    });
+}
+
+fn bench_batch_cycle(c: &mut Criterion) {
+    let sys = system(0);
+    let mut g = c.benchmark_group("serving");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(64));
+    let mut round = 0u64;
+    g.bench_function("batch_cycle_64", |b| {
+        b.iter(|| {
+            round += 1;
+            for i in 0..64 {
+                let _ = sys.handle_request(&format!("batch query {round}-{i}"));
+            }
+            sys.run_batch_cycle()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hit, bench_miss, bench_batch_cycle);
+criterion_main!(benches);

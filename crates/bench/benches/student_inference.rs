@@ -1,0 +1,53 @@
+//! COSMO-LM inference throughput — the quantity that justifies replacing
+//! the teacher pipeline with an instruction-tuned student (§1, §5).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use cosmo_kg::Relation;
+use cosmo_lm::{CosmoLm, StudentConfig, TaskType};
+
+fn student(num_tails: usize) -> CosmoLm {
+    let tails: Vec<(String, Option<Relation>)> = (0..num_tails)
+        .map(|i| {
+            (
+                format!("intent phrase number {i} about {}", ["camping", "cooking", "gaming"][i % 3]),
+                Some(Relation::ALL[i % 15]),
+            )
+        })
+        .collect();
+    CosmoLm::new(StudentConfig::default(), tails)
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("student");
+    for vocab in [500usize, 4_000] {
+        let lm = student(vocab);
+        let input = "generate a USED_FOR_FUNC explanation in domain unknown for: search query: lakeside camping gear";
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(format!("generate_top1_vocab{vocab}"), |b| {
+            b.iter(|| lm.generate(black_box(input), None, 1).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let lm = student(1_000);
+    c.bench_function("student/predict_head", |b| {
+        b.iter(|| {
+            lm.predict(
+                TaskType::RelevancePrediction,
+                black_box("is the product relevant to the query: camping | acme tent"),
+            )
+        })
+    });
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let lm = student(1_000);
+    c.bench_function("student/embed_text", |b| {
+        b.iter(|| lm.embed_text(black_box("winter camping with the family")).len())
+    });
+}
+
+criterion_group!(benches, bench_generate, bench_predict, bench_embed);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Micro-benchmarks of the text substrate used on the pipeline hot path:
+//! millions of candidates go through tokenisation, perplexity scoring,
+//! embedding and near-duplicate checks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use cosmo_text::{ngram::train_lm, HashedEmbedder};
+
+fn corpus() -> Vec<String> {
+    let mut c = Vec::new();
+    for i in 0..2_000 {
+        c.push(format!(
+            "they are used for walking the dog number {i} in the park every morning"
+        ));
+        c.push(format!("acme portable air mattress model {i} for lakeside camping"));
+    }
+    c
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let text = "acme portable air-mattress, 4-person! used for lakeside camping trips.";
+    let mut g = c.benchmark_group("text");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("tokenize", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            cosmo_text::tokenize_into(black_box(text), &mut buf);
+            buf.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_perplexity(c: &mut Criterion) {
+    let (vocab, lm) = train_lm(&corpus(), 3);
+    let sentence = "they are used for walking the dog in the park";
+    c.bench_function("text/ngram_perplexity", |b| {
+        b.iter(|| lm.perplexity_str(black_box(sentence), &vocab))
+    });
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let embedder = HashedEmbedder::fit(&corpus(), 256);
+    c.bench_function("text/embed", |b| {
+        b.iter(|| embedder.embed(black_box("portable air mattress for lakeside camping")))
+    });
+    let a = embedder.embed("portable air mattress");
+    let bb = embedder.embed("air mattress for camping");
+    c.bench_function("text/cosine", |b| {
+        b.iter(|| cosmo_text::cosine(black_box(&a), black_box(&bb)))
+    });
+}
+
+fn bench_edit_distance(c: &mut Criterion) {
+    c.bench_function("text/edit_distance", |b| {
+        b.iter(|| {
+            cosmo_text::edit_distance(
+                black_box("portable air mattress"),
+                black_box("air mattress portable"),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tokenize,
+    bench_perplexity,
+    bench_embed,
+    bench_edit_distance
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Shared experiment context: one pipeline run + trained student reused by
+//! every table/figure reproduction.
+
+use cosmo_core::{run, AnnotationConfig, CriticConfig, PipelineConfig, PipelineOutput};
+use cosmo_kg::Relation;
+use cosmo_lm::{build_instructions, CosmoLm, Instruction, StudentConfig, StudentReport};
+use cosmo_synth::{BehaviorConfig, WorldConfig};
+use std::sync::Arc;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast smoke scale (CI-sized).
+    Tiny,
+    /// Default reproduction scale (~1/1000 of the paper's volumes).
+    Small,
+    /// Larger run for the headline tables.
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI token.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// The pipeline configuration at this scale.
+    pub fn pipeline_config(self, seed: u64) -> PipelineConfig {
+        match self {
+            Scale::Tiny => PipelineConfig::tiny(seed),
+            Scale::Small => PipelineConfig {
+                world: WorldConfig { seed, ..WorldConfig::default() },
+                behavior: BehaviorConfig {
+                    seed: seed ^ 1,
+                    total_search_buys: 15_000,
+                    total_cobuys: 24_000,
+                    ..BehaviorConfig::default()
+                },
+                annotation: AnnotationConfig {
+                    budget_per_behavior: 1_500,
+                    ..AnnotationConfig::default()
+                },
+                critic: CriticConfig { epochs: 20, dim: 48, ..CriticConfig::default() },
+                gens_per_searchbuy: 3,
+                gens_per_cobuy: 4,
+                ..PipelineConfig::default()
+            },
+            Scale::Full => PipelineConfig {
+                world: WorldConfig { seed, ..WorldConfig::default() },
+                behavior: BehaviorConfig {
+                    seed: seed ^ 1,
+                    total_search_buys: 40_000,
+                    total_cobuys: 60_000,
+                    ..BehaviorConfig::default()
+                },
+                annotation: AnnotationConfig {
+                    budget_per_behavior: 3_000,
+                    ..AnnotationConfig::default()
+                },
+                critic: CriticConfig { epochs: 14, ..CriticConfig::default() },
+                gens_per_searchbuy: 4,
+                gens_per_cobuy: 6,
+                ..PipelineConfig::default()
+            },
+        }
+    }
+}
+
+/// Everything the experiments share.
+pub struct Ctx {
+    /// The pipeline output (world, log, KG, stats, annotations, critic).
+    pub out: PipelineOutput,
+    /// The instruction dataset.
+    pub instructions: Vec<Instruction>,
+    /// The trained COSMO-LM student (shared with the serving stack).
+    pub student: Arc<CosmoLm>,
+    /// The student's training report.
+    pub student_report: StudentReport,
+    /// Scale used.
+    pub scale: Scale,
+}
+
+/// Build the shared context (pipeline → instructions → student).
+pub fn build_context(scale: Scale, seed: u64) -> Ctx {
+    let out = run(scale.pipeline_config(seed));
+    let instructions = build_instructions(&out.world, &out.filtered, &out.annotation, seed ^ 2);
+    let tails: Vec<(String, Option<Relation>)> = cosmo_lm::tail_vocab_from_pipeline(&out);
+    let epochs = match scale {
+        Scale::Tiny => 6,
+        Scale::Small => 10,
+        Scale::Full => 14,
+    };
+    let mut student = CosmoLm::new(
+        StudentConfig { seed: seed ^ 3, epochs, ..StudentConfig::default() },
+        tails,
+    );
+    let student_report = student.train(&instructions);
+    Ctx { out, instructions, student: Arc::new(student), student_report, scale }
+}

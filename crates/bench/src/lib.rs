@@ -1,0 +1,57 @@
+//! # cosmo-bench
+//!
+//! The experiment harness: one function per table/figure of the paper
+//! (see DESIGN.md §4 for the experiment index), shared context building,
+//! ablations, and the Criterion micro-benchmarks in `benches/`.
+//!
+//! Regenerate everything with:
+//!
+//! ```text
+//! cargo run --release -p cosmo-bench --bin repro -- all
+//! cargo run --release -p cosmo-bench --bin repro -- table6 --scale small
+//! ```
+
+pub mod ablations;
+pub mod extensions;
+pub mod context;
+pub mod figures;
+pub mod kgstats;
+pub mod tables;
+
+pub use context::{build_context, Ctx, Scale};
+
+/// All experiment names accepted by the `repro` binary.
+pub const EXPERIMENTS: [&str; 20] = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+    "figure3", "figure5", "figure7", "figure8", "figure9", "figure10", "abtest", "efficiency",
+    "rewrites", "feedback", "kgstats",
+];
+
+/// Run one experiment by name against a prepared context.
+pub fn run_experiment(ctx: &Ctx, name: &str) -> Option<String> {
+    let out = match name {
+        "table1" => tables::table1(ctx),
+        "table2" => tables::table2(ctx),
+        "table3" => tables::table3(ctx),
+        "table4" => tables::table4(ctx),
+        "table5" => tables::table5(ctx),
+        "table6" => tables::table6(ctx),
+        "table7" => tables::table7(ctx),
+        "table8" => tables::table8(ctx),
+        "table9" => tables::table9_render(ctx),
+        "figure3" => figures::figure3(ctx),
+        "figure5" => figures::figure5(ctx),
+        "figure7" => figures::figure7(ctx),
+        "figure8" => figures::figure8(ctx),
+        "figure9" => figures::figure9(ctx),
+        "figure10" => figures::figure10(ctx),
+        "abtest" => figures::abtest(ctx),
+        "efficiency" => figures::efficiency(ctx),
+        "kgstats" => kgstats::kgstats(ctx),
+        "rewrites" => extensions::rewrites(ctx),
+        "feedback" => extensions::feedback_loop(ctx),
+        "ablations" => ablations::ablations(ctx, 0xAB),
+        _ => return None,
+    };
+    Some(out)
+}

@@ -1,0 +1,27 @@
+//! # cosmo-core
+//!
+//! The COSMO offline knowledge-generation pipeline (Figure 2 of the paper):
+//! fine-grained behaviour sampling, QA-prompted teacher generation, coarse
+//! filtering (rules + perplexity + similarity), human-in-the-loop
+//! annotation with Eq. 2 re-weighted sampling, critic classifiers, and the
+//! final knowledge-graph construction at plausibility > 0.5.
+//!
+//! Run the whole thing with [`pipeline::run`]; each stage is also usable on
+//! its own (the ablation benches toggle stages individually).
+
+pub mod annotation;
+pub mod feedback;
+pub mod critic;
+pub mod filter;
+pub mod pipeline;
+pub mod sampling;
+
+pub use annotation::{
+    annotate, render_annotation_task, Annotation, AnnotationConfig, AnnotationOutput, Ans,
+    Answers, QUESTION_INSTRUCTIONS,
+};
+pub use feedback::{apply_feedback, IncrementalUpdate};
+pub use critic::{auc, features, Critic, CriticConfig, CriticExample, CriticReport};
+pub use filter::{CoarseFilter, FilterConfig, FilterDecision, FilterReport, FilteredCandidate};
+pub use pipeline::{run, run_over, PipelineConfig, PipelineOutput, PipelineReport};
+pub use sampling::{sample_behaviors, SampledBehaviors, SamplingConfig, SamplingReport};

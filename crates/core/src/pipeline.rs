@@ -1,0 +1,363 @@
+//! The end-to-end offline knowledge-generation pipeline (Figure 2).
+//!
+//! world → behaviour logs → fine-grained sampling (§3.2.1) → QA-prompted
+//! teacher generation (§3.2.2) → coarse filtering (§3.3.1) → human-in-the-
+//! loop annotation (§3.3.2) → critic training and scoring → knowledge graph
+//! (plausibility > 0.5) with Table 3 statistics.
+//!
+//! The output bundles everything downstream stages need: the KG for
+//! serving/navigation, the annotations for instruction-data construction
+//! (§3.4), the kept candidates with critic scores, and a stage-by-stage
+//! report used by the repro binaries and ablations.
+
+use crate::annotation::{annotate, AnnotationConfig, AnnotationOutput};
+use crate::critic::{features, Critic, CriticConfig, CriticExample, CriticReport};
+use crate::filter::{CoarseFilter, FilterConfig, FilterReport, FilteredCandidate};
+use crate::sampling::{sample_behaviors, SamplingConfig, SamplingReport};
+use cosmo_kg::{BehaviorKind, Edge, KgStats, KnowledgeGraph, NodeKind};
+use cosmo_synth::{BehaviorConfig, BehaviorLog, SpecificityService, World, WorldConfig};
+use cosmo_teacher::{BehaviorRef, Teacher, TeacherConfig};
+use serde::{Deserialize, Serialize};
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// World generation.
+    pub world: WorldConfig,
+    /// Behaviour-log generation.
+    pub behavior: BehaviorConfig,
+    /// Behaviour sampling strategies.
+    pub sampling: SamplingConfig,
+    /// Teacher LLM simulation.
+    pub teacher: TeacherConfig,
+    /// Coarse filtering thresholds.
+    pub filter: FilterConfig,
+    /// Annotation process.
+    pub annotation: AnnotationConfig,
+    /// Critic training.
+    pub critic: CriticConfig,
+    /// Generations prompted per sampled search-buy pair.
+    pub gens_per_searchbuy: usize,
+    /// Generations prompted per sampled co-buy pair.
+    pub gens_per_cobuy: usize,
+    /// Keep candidates with critic plausibility above this (§3.3.2: 0.5).
+    pub plausibility_threshold: f32,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            world: WorldConfig::default(),
+            behavior: BehaviorConfig::default(),
+            sampling: SamplingConfig::default(),
+            teacher: TeacherConfig::default(),
+            filter: FilterConfig::default(),
+            annotation: AnnotationConfig::default(),
+            critic: CriticConfig::default(),
+            gens_per_searchbuy: 4,
+            gens_per_cobuy: 6,
+            plausibility_threshold: 0.5,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A fast configuration for tests.
+    pub fn tiny(seed: u64) -> Self {
+        PipelineConfig {
+            world: WorldConfig::tiny(seed),
+            behavior: BehaviorConfig::tiny(seed ^ 1),
+            annotation: AnnotationConfig {
+                budget_per_behavior: 400,
+                ..Default::default()
+            },
+            critic: CriticConfig { epochs: 6, ..Default::default() },
+            gens_per_searchbuy: 2,
+            gens_per_cobuy: 2,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-stage counters of one pipeline run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Behaviour-sampling funnel.
+    pub sampling: SamplingReport,
+    /// Candidates generated.
+    pub candidates: usize,
+    /// Candidates surviving coarse filtering.
+    pub kept_after_filter: usize,
+    /// Filter quality vs hidden provenance.
+    pub filter: FilterReport,
+    /// Annotations collected.
+    pub annotations: usize,
+    /// Annotator disagreement rate.
+    pub disagreement_rate: f64,
+    /// Audit accuracy.
+    pub audit_accuracy: f64,
+    /// Critic metrics.
+    pub critic: CriticReport,
+    /// Candidates admitted to the KG.
+    pub edges_admitted: usize,
+    /// Simulated teacher FLOPs spent on generation.
+    pub teacher_flops: f64,
+}
+
+/// Everything the pipeline produces.
+pub struct PipelineOutput {
+    /// The world it ran over (downstream tasks reuse it).
+    pub world: World,
+    /// The raw behaviour log.
+    pub log: BehaviorLog,
+    /// Filtered candidates (all, with decisions).
+    pub filtered: Vec<FilteredCandidate>,
+    /// Annotation output (instruction-data source).
+    pub annotation: AnnotationOutput,
+    /// Trained critic.
+    pub critic: Critic,
+    /// Critic scores for kept candidates, indexed like `filtered`
+    /// (`None` for dropped candidates).
+    pub scores: Vec<Option<(f32, f32)>>,
+    /// The knowledge graph.
+    pub kg: KnowledgeGraph,
+    /// Table 3 statistics.
+    pub stats: KgStats,
+    /// Stage report.
+    pub report: PipelineReport,
+}
+
+/// Run the full pipeline.
+pub fn run(cfg: PipelineConfig) -> PipelineOutput {
+    let world = World::generate(cfg.world.clone());
+    let log = BehaviorLog::generate(&world, &cfg.behavior);
+    run_over(world, log, &cfg)
+}
+
+/// Run the pipeline over a pre-built world and log (used by ablations that
+/// share the same world across configurations).
+pub fn run_over(world: World, log: BehaviorLog, cfg: &PipelineConfig) -> PipelineOutput {
+    let mut report = PipelineReport::default();
+    let specificity = SpecificityService::new(cfg.world.seed ^ 0x5FEC, 0.05);
+
+    // §3.2.1 sampling
+    let sampled = sample_behaviors(&world, &log, &specificity, &cfg.sampling);
+    report.sampling = sampled.report.clone();
+
+    // §3.2.2 generation
+    let mut teacher = Teacher::new(&world, cfg.teacher.clone());
+    let mut candidates = Vec::new();
+    for &(q, p) in &sampled.search_buys {
+        for _ in 0..cfg.gens_per_searchbuy {
+            candidates.push(teacher.generate_search_buy(q, p));
+        }
+    }
+    for &(p1, p2) in &sampled.cobuys {
+        for _ in 0..cfg.gens_per_cobuy {
+            candidates.push(teacher.generate_cobuy(p1, p2));
+        }
+    }
+    report.candidates = candidates.len();
+    report.teacher_flops = teacher.meter.total_flops();
+
+    // Table 3: behaviour-pair counts per category
+    let mut stats = KgStats::new();
+    for &(q, _) in &sampled.search_buys {
+        stats.add_behavior_pairs(BehaviorKind::SearchBuy, world.query(q).domain.0, 1);
+    }
+    for &(p1, _) in &sampled.cobuys {
+        stats.add_behavior_pairs(BehaviorKind::CoBuy, world.ptype_of(p1).domain.0, 1);
+    }
+
+    // §3.3.1 coarse filtering
+    let filter = CoarseFilter::fit(&cosmo_synth::corpus(&world), cfg.filter.clone());
+    let filtered = filter.filter(&world, candidates);
+    report.kept_after_filter = filtered.iter().filter(|f| f.decision.kept()).count();
+    report.filter = FilterReport::evaluate(&filtered);
+
+    // §3.3.2 annotation
+    let annotation = annotate(&world, &log, &filtered, &cfg.annotation);
+    report.annotations = annotation.annotations.len();
+    report.disagreement_rate = annotation.disagreement_rate;
+    report.audit_accuracy = annotation.audit_accuracy;
+    for a in &annotation.annotations {
+        let c = &filtered[a.candidate_idx].candidate;
+        stats.add_annotations(c.behavior.kind(), c.domain.0, 1);
+    }
+
+    // critic training
+    let mut critic = Critic::new(cfg.critic.clone());
+    let examples: Vec<CriticExample> = annotation
+        .annotations
+        .iter()
+        .map(|a| {
+            let f = &filtered[a.candidate_idx];
+            let tail = f.parsed.as_ref().map(|p| p.tail.as_str()).unwrap_or("");
+            CriticExample {
+                features: features(&world, &f.candidate, tail, cfg.critic.buckets),
+                plausible: a.answers.plausible.as_bool(),
+                typical: a.answers.typical.as_bool(),
+            }
+        })
+        .collect();
+    report.critic = critic.train(&examples);
+
+    // critic scoring of every kept candidate
+    let kept_idx: Vec<usize> = filtered
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.decision.kept())
+        .map(|(i, _)| i)
+        .collect();
+    let feats: Vec<Vec<usize>> = kept_idx
+        .iter()
+        .map(|&i| {
+            let f = &filtered[i];
+            let tail = f.parsed.as_ref().map(|p| p.tail.as_str()).unwrap_or("");
+            features(&world, &f.candidate, tail, cfg.critic.buckets)
+        })
+        .collect();
+    let mut scores: Vec<Option<(f32, f32)>> = vec![None; filtered.len()];
+    // score in chunks to bound tape size
+    let mut offset = 0;
+    for chunk in feats.chunks(512) {
+        for (j, s) in critic.score_batch(chunk).into_iter().enumerate() {
+            scores[kept_idx[offset + j]] = Some(s);
+        }
+        offset += chunk.len();
+    }
+
+    // §3.3.2: keep plausibility > threshold, build the KG
+    let mut kg = KnowledgeGraph::new();
+    for (i, f) in filtered.iter().enumerate() {
+        let Some((plaus, typ)) = scores[i] else { continue };
+        if plaus <= cfg.plausibility_threshold {
+            continue;
+        }
+        let Some(parsed) = &f.parsed else { continue };
+        if parsed.tail.is_empty() {
+            continue;
+        }
+        let tail_node = kg.intern_node(NodeKind::Intention, &parsed.tail);
+        let relation = f.candidate.relation;
+        let category = f.candidate.domain.0;
+        match f.candidate.behavior {
+            BehaviorRef::SearchBuy(q, p) => {
+                let qn = kg.intern_node(NodeKind::Query, &world.query(q).text);
+                let pn = kg.intern_node(NodeKind::Product, &world.product(p).title);
+                for head in [qn, pn] {
+                    kg.add_edge(Edge {
+                        head,
+                        relation,
+                        tail: tail_node,
+                        behavior: BehaviorKind::SearchBuy,
+                        category,
+                        plausibility: plaus,
+                        typicality: typ,
+                        support: 1,
+                    });
+                    report.edges_admitted += 1;
+                }
+            }
+            BehaviorRef::CoBuy(p1, p2) => {
+                for p in [p1, p2] {
+                    let pn = kg.intern_node(NodeKind::Product, &world.product(p).title);
+                    kg.add_edge(Edge {
+                        head: pn,
+                        relation,
+                        tail: tail_node,
+                        behavior: BehaviorKind::CoBuy,
+                        category,
+                        plausibility: plaus,
+                        typicality: typ,
+                        support: 1,
+                    });
+                    report.edges_admitted += 1;
+                }
+            }
+        }
+    }
+    stats.count_edges(&kg);
+
+    PipelineOutput {
+        world,
+        log,
+        filtered,
+        annotation,
+        critic,
+        scores,
+        kg,
+        stats,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmo_teacher::Provenance;
+
+    fn output() -> PipelineOutput {
+        run(PipelineConfig::tiny(61))
+    }
+
+    #[test]
+    fn pipeline_produces_a_graph() {
+        let out = output();
+        assert!(out.kg.num_nodes() > 50, "nodes: {}", out.kg.num_nodes());
+        assert!(out.kg.num_edges() > 100, "edges: {}", out.kg.num_edges());
+        assert!(out.kg.num_relations() >= 8, "relations: {}", out.kg.num_relations());
+    }
+
+    #[test]
+    fn funnel_is_monotone() {
+        let out = output();
+        let r = &out.report;
+        assert!(r.kept_after_filter <= r.candidates);
+        assert!(r.annotations <= r.kept_after_filter);
+        assert!(r.edges_admitted <= 2 * r.kept_after_filter);
+        assert!(r.teacher_flops > 0.0);
+    }
+
+    #[test]
+    fn admitted_edges_are_mostly_plausible_truth() {
+        let out = output();
+        // Of the candidates the critic admitted, most should genuinely be
+        // in-profile knowledge (typical / atypical / shared co-buy).
+        let mut good = 0;
+        let mut total = 0;
+        for (i, f) in out.filtered.iter().enumerate() {
+            if let Some((p, _)) = out.scores[i] {
+                if p > 0.5 {
+                    total += 1;
+                    if matches!(
+                        f.candidate.provenance,
+                        Provenance::Typical | Provenance::PlausibleAtypical
+                    ) {
+                        good += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 50);
+        let precision = good as f64 / total as f64;
+        assert!(precision > 0.5, "KG precision {precision} too low");
+    }
+
+    #[test]
+    fn stats_totals_match_graph() {
+        let out = output();
+        let (_, _, cb_edges) = out.stats.totals(BehaviorKind::CoBuy);
+        let (_, _, sb_edges) = out.stats.totals(BehaviorKind::SearchBuy);
+        assert_eq!((cb_edges + sb_edges) as usize, out.kg.num_edges());
+    }
+
+    #[test]
+    fn table4_shape_holds_end_to_end() {
+        let out = output();
+        let (sp, st) = out.annotation.table4_ratios(BehaviorKind::SearchBuy);
+        let (cp, ct) = out.annotation.table4_ratios(BehaviorKind::CoBuy);
+        assert!(st > ct, "search-buy typicality {st} vs co-buy {ct}");
+        assert!(sp > cp);
+    }
+}

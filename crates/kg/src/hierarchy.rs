@@ -1,0 +1,293 @@
+//! Hierarchical organisation of intention tails (Figure 8).
+//!
+//! §4.3: "COSMO intention knowledge can be further organized into
+//! hierarchies that expand coarse-grained ones (*camping*) to fine-grained
+//! ones (*winter camping*), and intention concepts are further linked to
+//! product concepts such as *winter boots*."
+//!
+//! The builder derives the hierarchy from the tail strings themselves: an
+//! intention A is a parent of intention B when A's token set is a strict
+//! subset of B's (so "camping" ⊃-specialises into "winter camping" and
+//! "lakeside camping"). Each hierarchy node is then linked to the product
+//! heads that express it in the graph, which is what the multi-turn
+//! navigation engine in `cosmo-nav` walks.
+
+use crate::schema::NodeKind;
+use crate::store::{KnowledgeGraph, NodeId};
+use cosmo_text::{tokenize, FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+/// A node in the intent hierarchy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HierNode {
+    /// The KG intention node.
+    pub intent: NodeId,
+    /// Surface text of the intention tail.
+    pub text: String,
+    /// Child hierarchy-node indices (more specific intents).
+    pub children: Vec<usize>,
+    /// Parent hierarchy-node indices (more general intents).
+    pub parents: Vec<usize>,
+    /// Product nodes linked to this intention in the KG.
+    pub products: Vec<NodeId>,
+    /// Total support of the intention's edges (popularity proxy).
+    pub support: u32,
+}
+
+/// The intent hierarchy: a DAG over intention tails.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IntentHierarchy {
+    /// All hierarchy nodes.
+    pub nodes: Vec<HierNode>,
+    /// Indices of root nodes (no parents).
+    pub roots: Vec<usize>,
+    #[serde(skip)]
+    by_text: FxHashMap<String, usize>,
+}
+
+impl IntentHierarchy {
+    /// Build the hierarchy from every intention node in the graph.
+    pub fn build(kg: &KnowledgeGraph) -> Self {
+        // Collect intention nodes with their token sets.
+        let mut items: Vec<(NodeId, String, FxHashSet<String>)> = Vec::new();
+        for (id, node) in kg.nodes() {
+            if node.kind == NodeKind::Intention {
+                let toks: FxHashSet<String> = tokenize(&node.text).into_iter().collect();
+                if !toks.is_empty() {
+                    items.push((id, node.text.clone(), toks));
+                }
+            }
+        }
+        // Index tokens -> items containing them, to avoid O(n²) subset checks.
+        let mut token_index: FxHashMap<&str, Vec<usize>> = FxHashMap::default();
+        for (i, (_, _, toks)) in items.iter().enumerate() {
+            for t in toks {
+                token_index.entry(t.as_str()).or_default().push(i);
+            }
+        }
+        let mut nodes: Vec<HierNode> = items
+            .iter()
+            .map(|(id, text, _)| {
+                let mut products = Vec::new();
+                let mut support = 0;
+                for e in kg.heads_of(*id) {
+                    support += e.support;
+                    if kg.node(e.head).kind == NodeKind::Product {
+                        products.push(e.head);
+                    }
+                }
+                products.sort_unstable();
+                products.dedup();
+                HierNode {
+                    intent: *id,
+                    text: text.clone(),
+                    children: Vec::new(),
+                    parents: Vec::new(),
+                    products,
+                    support,
+                }
+            })
+            .collect();
+
+        // A is parent of B iff tokens(A) ⊊ tokens(B). We only link
+        // *immediate* parents (no grandparent shortcuts) to keep the DAG
+        // navigable one refinement at a time.
+        let mut parent_sets: Vec<Vec<usize>> = vec![Vec::new(); items.len()];
+        for (b, (_, _, btoks)) in items.iter().enumerate() {
+            // candidate parents must share the rarest token of b
+            let rare = btoks
+                .iter()
+                .min_by_key(|t| token_index.get(t.as_str()).map_or(0, |v| v.len()))
+                .unwrap();
+            let mut cands: FxHashSet<usize> = FxHashSet::default();
+            for t in btoks {
+                if let Some(list) = token_index.get(t.as_str()) {
+                    for &a in list {
+                        cands.insert(a);
+                    }
+                }
+            }
+            let _ = rare;
+            for a in cands {
+                if a == b {
+                    continue;
+                }
+                let atoks = &items[a].2;
+                if atoks.len() < btoks.len() && atoks.is_subset(btoks) {
+                    parent_sets[b].push(a);
+                }
+            }
+        }
+        // Keep only maximal parents (immediate): drop a parent P when some
+        // other parent Q of the same child has tokens(P) ⊂ tokens(Q).
+        for b in 0..items.len() {
+            let ps = parent_sets[b].clone();
+            let immediate: Vec<usize> = ps
+                .iter()
+                .copied()
+                .filter(|&p| {
+                    !ps.iter().any(|&q| {
+                        q != p
+                            && items[p].2.len() < items[q].2.len()
+                            && items[p].2.is_subset(&items[q].2)
+                    })
+                })
+                .collect();
+            for p in immediate {
+                nodes[b].parents.push(p);
+                nodes[p].children.push(b);
+            }
+        }
+        let roots = (0..nodes.len())
+            .filter(|&i| nodes[i].parents.is_empty() && !nodes[i].children.is_empty())
+            .collect();
+        let by_text = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.text.clone(), i))
+            .collect();
+        IntentHierarchy { nodes, roots, by_text }
+    }
+
+    /// Find a hierarchy node by exact tail text.
+    pub fn find(&self, text: &str) -> Option<&HierNode> {
+        self.by_text.get(text).map(|&i| &self.nodes[i])
+    }
+
+    /// Refinements (child intents) of a tail text, ranked by support.
+    pub fn refinements_of(&self, text: &str) -> Vec<&HierNode> {
+        let Some(&i) = self.by_text.get(text) else {
+            return Vec::new();
+        };
+        let mut children: Vec<&HierNode> =
+            self.nodes[i].children.iter().map(|&c| &self.nodes[c]).collect();
+        children.sort_by(|a, b| b.support.cmp(&a.support).then(a.text.cmp(&b.text)));
+        children
+    }
+
+    /// Depth of the hierarchy (longest root-to-leaf chain; 0 when empty).
+    pub fn depth(&self) -> usize {
+        fn dfs(h: &IntentHierarchy, i: usize, memo: &mut [Option<usize>]) -> usize {
+            if let Some(d) = memo[i] {
+                return d;
+            }
+            // The parent links are acyclic (strict subset ordering), so this
+            // recursion terminates.
+            let d = 1 + h.nodes[i]
+                .children
+                .iter()
+                .map(|&c| dfs(h, c, memo))
+                .max()
+                .unwrap_or(0);
+            memo[i] = Some(d);
+            d
+        }
+        let mut memo = vec![None; self.nodes.len()];
+        self.roots
+            .iter()
+            .map(|&r| dfs(self, r, &mut memo))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of hierarchy nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no intents were found.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{BehaviorKind, Relation};
+    use crate::store::Edge;
+
+    fn graph_with_intents(tails: &[&str]) -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        let p = kg.intern_node(NodeKind::Product, "air mattress");
+        for (i, t) in tails.iter().enumerate() {
+            let tail = kg.intern_node(NodeKind::Intention, t);
+            kg.add_edge(Edge {
+                head: p,
+                relation: Relation::UsedForEve,
+                tail,
+                behavior: BehaviorKind::SearchBuy,
+                category: 1,
+                plausibility: 0.9,
+                typicality: 0.8,
+                support: (tails.len() - i) as u32,
+            });
+        }
+        kg
+    }
+
+    #[test]
+    fn camping_expands_to_specialisations() {
+        let kg = graph_with_intents(&[
+            "camping",
+            "winter camping",
+            "lakeside camping",
+            "4-person camping",
+            "hiking",
+        ]);
+        let h = IntentHierarchy::build(&kg);
+        let refs = h.refinements_of("camping");
+        let texts: Vec<&str> = refs.iter().map(|n| n.text.as_str()).collect();
+        assert_eq!(texts.len(), 3);
+        assert!(texts.contains(&"winter camping"));
+        assert!(texts.contains(&"lakeside camping"));
+        assert!(texts.contains(&"4-person camping"));
+        assert!(h.refinements_of("hiking").is_empty());
+    }
+
+    #[test]
+    fn immediate_parents_only() {
+        let kg = graph_with_intents(&["camping", "winter camping", "cold winter camping"]);
+        let h = IntentHierarchy::build(&kg);
+        // "cold winter camping" should hang off "winter camping", not "camping"
+        let grand = h.find("cold winter camping").unwrap();
+        assert_eq!(grand.parents.len(), 1);
+        assert_eq!(h.nodes[grand.parents[0]].text, "winter camping");
+        let refs = h.refinements_of("camping");
+        assert_eq!(refs.len(), 1);
+        assert_eq!(refs[0].text, "winter camping");
+    }
+
+    #[test]
+    fn products_linked() {
+        let kg = graph_with_intents(&["camping"]);
+        let h = IntentHierarchy::build(&kg);
+        let node = h.find("camping").unwrap();
+        assert_eq!(node.products.len(), 1);
+        assert_eq!(kg.node(node.products[0]).text, "air mattress");
+    }
+
+    #[test]
+    fn depth_counts_chain() {
+        let kg = graph_with_intents(&["camping", "winter camping", "cold winter camping"]);
+        let h = IntentHierarchy::build(&kg);
+        assert_eq!(h.depth(), 3);
+    }
+
+    #[test]
+    fn refinements_ranked_by_support() {
+        let kg = graph_with_intents(&["camping", "winter camping", "lakeside camping"]);
+        let h = IntentHierarchy::build(&kg);
+        let refs = h.refinements_of("camping");
+        // "winter camping" was inserted earlier → higher support
+        assert_eq!(refs[0].text, "winter camping");
+    }
+
+    #[test]
+    fn empty_graph_empty_hierarchy() {
+        let kg = KnowledgeGraph::new();
+        let h = IntentHierarchy::build(&kg);
+        assert!(h.is_empty());
+        assert_eq!(h.depth(), 0);
+    }
+}

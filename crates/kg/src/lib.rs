@@ -1,0 +1,22 @@
+//! # cosmo-kg
+//!
+//! The COSMO knowledge graph: schema (15 relations of Table 2, node and
+//! behaviour kinds), an interned in-memory store with adjacency indexes and
+//! JSON snapshots, per-category statistics (Tables 1 & 3), and the intent
+//! hierarchy of Figure 8 that powers search navigation.
+//!
+//! The pipeline in `cosmo-core` writes refined knowledge into a
+//! [`KnowledgeGraph`]; `cosmo-serving` reads it at request time; `cosmo-nav`
+//! walks the [`IntentHierarchy`] for multi-turn navigation.
+
+pub mod algo;
+pub mod hierarchy;
+pub mod schema;
+pub mod stats;
+pub mod store;
+
+pub use algo::{connected_components, degree_histogram, giant_component_size, pagerank, top_intents_global};
+pub use hierarchy::IntentHierarchy;
+pub use schema::{BehaviorKind, NodeKind, Relation, TailType};
+pub use stats::{summarize, CategoryRow, KgStats, KgSummary, CATEGORIES};
+pub use store::{Edge, EdgeId, KnowledgeGraph, Node, NodeId};

@@ -1,0 +1,364 @@
+//! The COSMO knowledge-graph store.
+//!
+//! Nodes are interned `(kind, text)` pairs — products, queries, and
+//! canonicalised intention tails (§3.1). Edges are typed by one of the 15
+//! relations, tagged with the behaviour that produced them, the product
+//! category, and the critic scores that survived refinement (§3.3).
+//!
+//! The store is append-oriented (the pipeline only ever adds knowledge) with
+//! duplicate-edge merging, and maintains adjacency indexes for the serving
+//! path: `tails_of` powers intent lookup for a query/product, `heads_of`
+//! powers reverse navigation from an intention to products.
+
+use crate::schema::{BehaviorKind, NodeKind, Relation};
+use cosmo_text::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Dense node handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Dense edge handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+/// A node: product, query, or intention tail.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Surface text (canonicalised for intentions).
+    pub text: String,
+}
+
+/// A knowledge edge `(head, relation, tail)` with provenance and scores.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Edge {
+    /// Head node (product or query).
+    pub head: NodeId,
+    /// Relation type.
+    pub relation: Relation,
+    /// Tail node (intention, concept, …).
+    pub tail: NodeId,
+    /// Behaviour that produced this edge.
+    pub behavior: BehaviorKind,
+    /// Product category index (0..18, Table 3 rows).
+    pub category: u8,
+    /// Critic plausibility score in `[0,1]`.
+    pub plausibility: f32,
+    /// Critic typicality score in `[0,1]`.
+    pub typicality: f32,
+    /// How many generations merged into this edge.
+    pub support: u32,
+}
+
+/// The knowledge graph.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct KnowledgeGraph {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    #[serde(skip)]
+    node_index: FxHashMap<(NodeKind, String), NodeId>,
+    #[serde(skip)]
+    edge_index: FxHashMap<(NodeId, Relation, NodeId), EdgeId>,
+    #[serde(skip)]
+    out_adj: FxHashMap<NodeId, Vec<EdgeId>>,
+    #[serde(skip)]
+    in_adj: FxHashMap<NodeId, Vec<EdgeId>>,
+}
+
+impl KnowledgeGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a node, returning its id (idempotent per `(kind, text)`).
+    pub fn intern_node(&mut self, kind: NodeKind, text: &str) -> NodeId {
+        if let Some(&id) = self.node_index.get(&(kind, text.to_string())) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, text: text.to_string() });
+        self.node_index.insert((kind, text.to_string()), id);
+        id
+    }
+
+    /// Look up an existing node.
+    pub fn find_node(&self, kind: NodeKind, text: &str) -> Option<NodeId> {
+        self.node_index.get(&(kind, text.to_string())).copied()
+    }
+
+    /// Node payload.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Edge payload.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0 as usize]
+    }
+
+    /// Add (or merge into an existing) edge. On merge, `support` is
+    /// incremented and the scores keep the running maximum — repeated
+    /// generation of the same knowledge is evidence for it.
+    pub fn add_edge(&mut self, edge: Edge) -> EdgeId {
+        let key = (edge.head, edge.relation, edge.tail);
+        if let Some(&eid) = self.edge_index.get(&key) {
+            let e = &mut self.edges[eid.0 as usize];
+            e.support += edge.support.max(1);
+            e.plausibility = e.plausibility.max(edge.plausibility);
+            e.typicality = e.typicality.max(edge.typicality);
+            return eid;
+        }
+        let eid = EdgeId(self.edges.len() as u32);
+        self.out_adj.entry(edge.head).or_default().push(eid);
+        self.in_adj.entry(edge.tail).or_default().push(eid);
+        self.edge_index.insert(key, eid);
+        self.edges.push(edge);
+        eid
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of (merged) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of distinct relation types present.
+    pub fn num_relations(&self) -> usize {
+        let mut seen = [false; Relation::ALL.len()];
+        for e in &self.edges {
+            seen[e.relation.index()] = true;
+        }
+        seen.iter().filter(|&&b| b).count()
+    }
+
+    /// Iterate all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e))
+    }
+
+    /// Iterate all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Outgoing edges of `head` (knowledge about a product/query).
+    pub fn tails_of(&self, head: NodeId) -> impl Iterator<Item = &Edge> {
+        self.out_adj
+            .get(&head)
+            .into_iter()
+            .flatten()
+            .map(move |eid| &self.edges[eid.0 as usize])
+    }
+
+    /// Outgoing edges of `head` restricted to one relation.
+    pub fn tails_of_rel<'a>(
+        &'a self,
+        head: NodeId,
+        relation: Relation,
+    ) -> impl Iterator<Item = &'a Edge> + 'a {
+        self.tails_of(head).filter(move |e| e.relation == relation)
+    }
+
+    /// Incoming edges of `tail` (which heads express this intention).
+    pub fn heads_of(&self, tail: NodeId) -> impl Iterator<Item = &Edge> {
+        self.in_adj
+            .get(&tail)
+            .into_iter()
+            .flatten()
+            .map(move |eid| &self.edges[eid.0 as usize])
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.out_adj.get(&id).map_or(0, |v| v.len())
+    }
+
+    /// In-degree of a node.
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.in_adj.get(&id).map_or(0, |v| v.len())
+    }
+
+    /// Top-`k` intention tails for `head` ranked by
+    /// `typicality · ln(1 + support)` — the serving-time ranking.
+    pub fn top_intents(&self, head: NodeId, k: usize) -> Vec<&Edge> {
+        let mut edges: Vec<&Edge> = self.tails_of(head).collect();
+        edges.sort_by(|a, b| {
+            let sa = a.typicality * (1.0 + a.support as f32).ln();
+            let sb = b.typicality * (1.0 + b.support as f32).ln();
+            sb.partial_cmp(&sa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.tail.cmp(&b.tail))
+        });
+        edges.truncate(k);
+        edges
+    }
+
+    /// Rebuild the skipped (non-serialised) indexes after deserialisation.
+    pub fn rebuild_indexes(&mut self) {
+        self.node_index.clear();
+        self.edge_index.clear();
+        self.out_adj.clear();
+        self.in_adj.clear();
+        for (i, n) in self.nodes.iter().enumerate() {
+            self.node_index
+                .insert((n.kind, n.text.clone()), NodeId(i as u32));
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            let eid = EdgeId(i as u32);
+            self.edge_index.insert((e.head, e.relation, e.tail), eid);
+            self.out_adj.entry(e.head).or_default().push(eid);
+            self.in_adj.entry(e.tail).or_default().push(eid);
+        }
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("KG serialisation cannot fail")
+    }
+
+    /// Deserialize from JSON produced by [`KnowledgeGraph::to_json`] and
+    /// rebuild indexes.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        let mut kg: KnowledgeGraph = serde_json::from_str(s)?;
+        kg.rebuild_indexes();
+        Ok(kg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_graph() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        let q = kg.intern_node(NodeKind::Query, "camping");
+        let p = kg.intern_node(NodeKind::Product, "air mattress");
+        let t1 = kg.intern_node(NodeKind::Intention, "sleeping outdoors");
+        let t2 = kg.intern_node(NodeKind::Intention, "lakeside camping");
+        kg.add_edge(Edge {
+            head: q,
+            relation: Relation::UsedForEve,
+            tail: t1,
+            behavior: BehaviorKind::SearchBuy,
+            category: 1,
+            plausibility: 0.9,
+            typicality: 0.8,
+            support: 1,
+        });
+        kg.add_edge(Edge {
+            head: p,
+            relation: Relation::UsedForEve,
+            tail: t2,
+            behavior: BehaviorKind::CoBuy,
+            category: 1,
+            plausibility: 0.7,
+            typicality: 0.3,
+            support: 1,
+        });
+        kg
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut kg = KnowledgeGraph::new();
+        let a = kg.intern_node(NodeKind::Product, "tent");
+        let b = kg.intern_node(NodeKind::Product, "tent");
+        let c = kg.intern_node(NodeKind::Query, "tent");
+        assert_eq!(a, b);
+        assert_ne!(a, c, "same text, different kind → different node");
+        assert_eq!(kg.num_nodes(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let mut kg = KnowledgeGraph::new();
+        let h = kg.intern_node(NodeKind::Product, "leash");
+        let t = kg.intern_node(NodeKind::Intention, "walking the dog");
+        let mk = |p: f32, ty: f32| Edge {
+            head: h,
+            relation: Relation::UsedForEve,
+            tail: t,
+            behavior: BehaviorKind::CoBuy,
+            category: 0,
+            plausibility: p,
+            typicality: ty,
+            support: 1,
+        };
+        let e1 = kg.add_edge(mk(0.6, 0.2));
+        let e2 = kg.add_edge(mk(0.9, 0.1));
+        assert_eq!(e1, e2);
+        assert_eq!(kg.num_edges(), 1);
+        let e = kg.edge(e1);
+        assert_eq!(e.support, 2);
+        assert!((e.plausibility - 0.9).abs() < 1e-6);
+        assert!((e.typicality - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let kg = tiny_graph();
+        let q = kg.find_node(NodeKind::Query, "camping").unwrap();
+        let t1 = kg.find_node(NodeKind::Intention, "sleeping outdoors").unwrap();
+        assert_eq!(kg.out_degree(q), 1);
+        assert_eq!(kg.in_degree(t1), 1);
+        assert_eq!(kg.tails_of(q).count(), 1);
+        assert_eq!(kg.heads_of(t1).next().unwrap().head, q);
+        assert_eq!(kg.tails_of_rel(q, Relation::IsA).count(), 0);
+    }
+
+    #[test]
+    fn top_intents_ranked_by_typicality() {
+        let mut kg = KnowledgeGraph::new();
+        let h = kg.intern_node(NodeKind::Query, "winter clothes");
+        for (i, (tail, ty)) in [("keep warm", 0.9f32), ("fashion", 0.2), ("gift", 0.5)]
+            .iter()
+            .enumerate()
+        {
+            let t = kg.intern_node(NodeKind::Intention, tail);
+            kg.add_edge(Edge {
+                head: h,
+                relation: Relation::CapableOf,
+                tail: t,
+                behavior: BehaviorKind::SearchBuy,
+                category: i as u8,
+                plausibility: 0.9,
+                typicality: *ty,
+                support: 1,
+            });
+        }
+        let top = kg.top_intents(h, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(kg.node(top[0].tail).text, "keep warm");
+        assert_eq!(kg.node(top[1].tail).text, "gift");
+    }
+
+    #[test]
+    fn json_roundtrip_rebuilds_indexes() {
+        let kg = tiny_graph();
+        let json = kg.to_json();
+        let kg2 = KnowledgeGraph::from_json(&json).unwrap();
+        assert_eq!(kg2.num_nodes(), kg.num_nodes());
+        assert_eq!(kg2.num_edges(), kg.num_edges());
+        let q = kg2.find_node(NodeKind::Query, "camping").unwrap();
+        assert_eq!(kg2.out_degree(q), 1);
+    }
+
+    #[test]
+    fn num_relations_counts_distinct() {
+        let kg = tiny_graph();
+        assert_eq!(kg.num_relations(), 1);
+    }
+}

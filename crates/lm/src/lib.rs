@@ -1,0 +1,33 @@
+//! # cosmo-lm
+//!
+//! COSMO-LM: instruction-data construction from the pipeline's annotations
+//! (five task types, multi-template verbalisation — §3.4, Figure 4), the
+//! instruction-tuned student model (constrained decoding over the
+//! canonicalised tail vocabulary + four prediction heads), evaluation
+//! against the teacher (typicality/plausibility on held-out behaviours,
+//! Table 9 examples, Figure 10), and the inference-efficiency comparison
+//! that motivates deploying a small student instead of the distillation
+//! pipeline.
+
+pub mod efficiency;
+pub mod eval;
+pub mod instruction;
+pub mod student;
+
+pub use efficiency::{measured_student_throughput, simulated_comparison, EfficiencyRow};
+pub use eval::{eval_generation, table9, GenerationEval, Table9Row};
+pub use instruction::{build_instructions, render_behavior, task_histogram, Instruction, TaskType};
+pub use student::{CosmoLm, StudentConfig, StudentReport};
+
+use cosmo_core::PipelineOutput;
+use cosmo_kg::Relation;
+
+/// Convenience: build the student's tail vocabulary from a pipeline run
+/// (all kept candidate tails with their relation hints).
+pub fn tail_vocab_from_pipeline(out: &PipelineOutput) -> Vec<(String, Option<Relation>)> {
+    out.filtered
+        .iter()
+        .filter(|f| f.decision.kept())
+        .filter_map(|f| f.parsed.as_ref().map(|p| (p.tail.clone(), p.relation_hint)))
+        .collect()
+}

@@ -1,0 +1,547 @@
+//! COSMO-LM: the instruction-tuned student model (§3.4).
+//!
+//! The paper fine-tunes LLaMA-7B/13B on the instruction data so that a
+//! *small* model (a) generates typical knowledge directly, (b) judges
+//! plausibility/typicality, and (c) handles the auxiliary behaviour-level
+//! predictions — one model, five tasks, cheap enough for online serving.
+//!
+//! The offline stand-in keeps that exact contract: a shared hashed-feature
+//! text encoder (embedding bag) with
+//!
+//! * a **generation head** — constrained decoding over the canonicalised
+//!   tail vocabulary: `score(tail | input) = enc(input) · E_tail`, trained
+//!   with full-softmax cross-entropy on the typical-knowledge instructions;
+//! * four **binary heads** (plausibility, typicality, co-purchase,
+//!   search-relevance) trained with BCE on the prediction instructions.
+//!
+//! Constrained decoding over a closed tail vocabulary is the right
+//! simulation: the paper's student also only ever emits canonicalised
+//! tails (Table 2 structure), and it lets us measure typicality of
+//! generations exactly via the world oracle.
+
+use crate::instruction::{Instruction, TaskType};
+use cosmo_kg::Relation;
+use cosmo_nn::layers::{Embedding, Linear};
+use cosmo_nn::opt::Adam;
+use cosmo_nn::{ParamStore, Tape};
+use cosmo_text::hash::hash_str_ns;
+use cosmo_text::{tokenize, FxHashMap};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+const NS_TOK: u32 = 31;
+const NS_BI: u32 = 32;
+
+/// Student hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudentConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Hash buckets for input features.
+    pub buckets: usize,
+    /// Embedding width.
+    pub dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+}
+
+impl Default for StudentConfig {
+    fn default() -> Self {
+        StudentConfig { seed: 0x10_C0_5A, buckets: 1 << 13, dim: 48, epochs: 12, batch: 64, lr: 0.01 }
+    }
+}
+
+/// Training/eval metrics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StudentReport {
+    /// Generation instances trained on.
+    pub n_generate: usize,
+    /// Prediction instances trained on.
+    pub n_predict: usize,
+    /// Final-epoch mean generation loss.
+    pub gen_loss: f32,
+    /// Held-out top-1 generation accuracy (exact tail match).
+    pub gen_top1: f64,
+    /// Held-out prediction accuracy per task.
+    pub predict_accuracy: Vec<(String, f64)>,
+}
+
+/// The COSMO-LM student.
+pub struct CosmoLm {
+    store: ParamStore,
+    enc: Embedding,
+    tail_emb: Embedding,
+    heads: [Linear; 4],
+    tail_vocab: Vec<String>,
+    tail_rel: Vec<Option<Relation>>,
+    tail_index: FxHashMap<String, usize>,
+    cfg: StudentConfig,
+}
+
+fn head_slot(task: TaskType) -> Option<usize> {
+    match task {
+        TaskType::Generate => None,
+        TaskType::Plausibility => Some(0),
+        TaskType::Typicality => Some(1),
+        TaskType::CopurchasePrediction => Some(2),
+        TaskType::RelevancePrediction => Some(3),
+    }
+}
+
+impl CosmoLm {
+    /// Create an untrained student with a closed tail vocabulary
+    /// (`(canonical tail, relation hint)` pairs; duplicates merged).
+    pub fn new(cfg: StudentConfig, tails: Vec<(String, Option<Relation>)>) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut tail_vocab = Vec::new();
+        let mut tail_rel = Vec::new();
+        let mut tail_index = FxHashMap::default();
+        for (t, r) in tails {
+            if t.is_empty() || tail_index.contains_key(&t) {
+                continue;
+            }
+            tail_index.insert(t.clone(), tail_vocab.len());
+            tail_vocab.push(t);
+            tail_rel.push(r);
+        }
+        assert!(!tail_vocab.is_empty(), "student needs a tail vocabulary");
+        let enc = Embedding::new(&mut store, "lm.enc", cfg.buckets, cfg.dim, &mut rng);
+        let tail_emb = Embedding::new(&mut store, "lm.tails", tail_vocab.len(), cfg.dim, &mut rng);
+        let heads = [
+            Linear::new(&mut store, "lm.plaus", cfg.dim, 1, &mut rng),
+            Linear::new(&mut store, "lm.typ", cfg.dim, 1, &mut rng),
+            Linear::new(&mut store, "lm.cobuy", cfg.dim, 1, &mut rng),
+            Linear::new(&mut store, "lm.rel", cfg.dim, 1, &mut rng),
+        ];
+        CosmoLm { store, enc, tail_emb, heads, tail_vocab, tail_rel, tail_index, cfg }
+    }
+
+    /// Size of the tail vocabulary.
+    pub fn num_tails(&self) -> usize {
+        self.tail_vocab.len()
+    }
+
+    /// The tail string at vocabulary index `i`.
+    pub fn tail(&self, i: usize) -> &str {
+        &self.tail_vocab[i]
+    }
+
+    /// Hash an input text into encoder features.
+    pub fn features(&self, input: &str) -> Vec<usize> {
+        let toks = tokenize(input);
+        let mut out = Vec::with_capacity(toks.len() * 2);
+        for t in &toks {
+            out.push((hash_str_ns(t, NS_TOK) % self.cfg.buckets as u64) as usize);
+        }
+        for w in toks.windows(2) {
+            out.push(
+                (hash_str_ns(&format!("{} {}", w[0], w[1]), NS_BI) % self.cfg.buckets as u64)
+                    as usize,
+            );
+        }
+        if out.is_empty() {
+            out.push(0);
+        }
+        out
+    }
+
+    /// Instruction-tune on the dataset; last 15% of each task held out.
+    pub fn train(&mut self, instructions: &[Instruction]) -> StudentReport {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xF1E7);
+        let mut report = StudentReport::default();
+
+        // split per task
+        let mut train_set: Vec<usize> = Vec::new();
+        let mut test_set: Vec<usize> = Vec::new();
+        for task in TaskType::ALL {
+            let mut idx: Vec<usize> = instructions
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| i.task == task)
+                .map(|(i, _)| i)
+                .collect();
+            idx.shuffle(&mut rng);
+            let split = (idx.len() as f64 * 0.85) as usize;
+            train_set.extend_from_slice(&idx[..split]);
+            test_set.extend_from_slice(&idx[split..]);
+        }
+        for &i in &train_set {
+            if instructions[i].task == TaskType::Generate {
+                report.n_generate += 1;
+            } else {
+                report.n_predict += 1;
+            }
+        }
+
+        let mut opt = Adam::new(self.cfg.lr);
+        for _epoch in 0..self.cfg.epochs {
+            train_set.shuffle(&mut rng);
+            let mut gen_loss = 0.0f32;
+            let mut gen_steps = 0usize;
+            for chunk in train_set.chunks(self.cfg.batch) {
+                // split the chunk by task kind
+                let gens: Vec<&Instruction> = chunk
+                    .iter()
+                    .map(|&i| &instructions[i])
+                    .filter(|i| i.task == TaskType::Generate)
+                    .collect();
+                if !gens.is_empty() {
+                    gen_loss += self.gen_step(&gens, &mut opt);
+                    gen_steps += 1;
+                }
+                for slot in 0..4 {
+                    let preds: Vec<&Instruction> = chunk
+                        .iter()
+                        .map(|&i| &instructions[i])
+                        .filter(|i| head_slot(i.task) == Some(slot) && i.label.is_some())
+                        .collect();
+                    if !preds.is_empty() {
+                        self.predict_step(slot, &preds, &mut opt);
+                    }
+                }
+            }
+            report.gen_loss = gen_loss / gen_steps.max(1) as f32;
+        }
+
+        // held-out evaluation
+        let mut gen_hits = 0usize;
+        let mut gen_total = 0usize;
+        let mut pred_hits = [0usize; 4];
+        let mut pred_total = [0usize; 4];
+        for &i in &test_set {
+            let inst = &instructions[i];
+            match inst.task {
+                TaskType::Generate => {
+                    gen_total += 1;
+                    let top = self.generate(&inst.input, inst.relation, 1);
+                    if top.first().map(|(t, _)| t.as_str()) == inst.tail.as_deref() {
+                        gen_hits += 1;
+                    }
+                }
+                t => {
+                    let slot = head_slot(t).unwrap();
+                    let p = self.predict(t, &inst.input);
+                    pred_total[slot] += 1;
+                    if (p > 0.5) == inst.label.unwrap() {
+                        pred_hits[slot] += 1;
+                    }
+                }
+            }
+        }
+        report.gen_top1 = gen_hits as f64 / gen_total.max(1) as f64;
+        report.predict_accuracy = TaskType::ALL
+            .iter()
+            .filter_map(|&t| {
+                let slot = head_slot(t)?;
+                Some((
+                    t.name().to_string(),
+                    pred_hits[slot] as f64 / pred_total[slot].max(1) as f64,
+                ))
+            })
+            .collect();
+        report
+    }
+
+    fn encode_batch(&self, tape: &mut Tape, inputs: &[&str]) -> cosmo_nn::Var {
+        let mut ids = Vec::new();
+        let mut segments = Vec::new();
+        for (s, input) in inputs.iter().enumerate() {
+            for f in self.features(input) {
+                ids.push(f);
+                segments.push(s);
+            }
+        }
+        let table = self.enc.table(tape, &self.store);
+        let rows = tape.gather(table, &ids);
+        tape.segment_mean(rows, &segments, inputs.len())
+    }
+
+    fn gen_step(&mut self, batch: &[&Instruction], opt: &mut Adam) -> f32 {
+        let inputs: Vec<&str> = batch.iter().map(|i| i.input.as_str()).collect();
+        let targets: Vec<usize> = batch
+            .iter()
+            .map(|i| self.tail_index[i.tail.as_ref().unwrap()])
+            .collect();
+        let mut tape = Tape::new();
+        let enc = self.encode_batch(&mut tape, &inputs);
+        let tails = self.tail_emb.table(&mut tape, &self.store);
+        let logits = tape.matmul_nt(enc, tails);
+        let loss = tape.cross_entropy(logits, &targets);
+        let out = tape.value(loss).item();
+        tape.backward(loss);
+        self.store.zero_grads();
+        tape.accumulate_param_grads(&mut self.store);
+        opt.step(&mut self.store);
+        out
+    }
+
+    fn predict_step(&mut self, slot: usize, batch: &[&Instruction], opt: &mut Adam) {
+        let inputs: Vec<&str> = batch.iter().map(|i| i.input.as_str()).collect();
+        let labels: Vec<f32> = batch.iter().map(|i| f32::from(i.label.unwrap())).collect();
+        let mut tape = Tape::new();
+        let enc = self.encode_batch(&mut tape, &inputs);
+        let logits = self.heads[slot].forward(&mut tape, &self.store, enc);
+        let loss = tape.bce_with_logits(logits, &labels);
+        tape.backward(loss);
+        self.store.zero_grads();
+        tape.accumulate_param_grads(&mut self.store);
+        opt.step(&mut self.store);
+    }
+
+    /// Generate the top-`k` tails for an input, optionally constrained to
+    /// tails compatible with `relation`.
+    pub fn generate(
+        &self,
+        input: &str,
+        relation: Option<Relation>,
+        k: usize,
+    ) -> Vec<(String, f32)> {
+        let mut tape = Tape::new();
+        let enc = self.encode_batch(&mut tape, &[input]);
+        let tails = self.tail_emb.table(&mut tape, &self.store);
+        let logits = tape.matmul_nt(enc, tails);
+        let row = tape.value(logits).row_slice(0);
+        let mut scored: Vec<(usize, f32)> = row
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| match (relation, self.tail_rel[*i]) {
+                (Some(want), Some(have)) => want == have,
+                _ => true,
+            })
+            .map(|(i, &s)| (i, s))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, s)| (self.tail_vocab[i].clone(), s))
+            .collect()
+    }
+
+    /// Sample a *list* of `n` distinct tails (the paper's "1. 2. 3." list
+    /// generation, Figure 3's prompt trick) with temperature-controlled
+    /// softmax sampling over the constrained tail vocabulary. Lower
+    /// temperature → closer to greedy; higher → more diverse knowledge per
+    /// behaviour. Deterministic given the RNG.
+    pub fn sample_list(
+        &self,
+        input: &str,
+        relation: Option<Relation>,
+        n: usize,
+        temperature: f32,
+        rng: &mut impl rand::Rng,
+    ) -> Vec<String> {
+        assert!(temperature > 0.0, "temperature must be positive");
+        let mut tape = Tape::new();
+        let enc = self.encode_batch(&mut tape, &[input]);
+        let tails = self.tail_emb.table(&mut tape, &self.store);
+        let logits = tape.matmul_nt(enc, tails);
+        let row = tape.value(logits).row_slice(0);
+        let mut eligible: Vec<(usize, f32)> = row
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| match (relation, self.tail_rel[*i]) {
+                (Some(want), Some(have)) => want == have,
+                _ => true,
+            })
+            .map(|(i, &s)| (i, s / temperature))
+            .collect();
+        let mut out = Vec::with_capacity(n.min(eligible.len()));
+        for _ in 0..n {
+            if eligible.is_empty() {
+                break;
+            }
+            // softmax sampling without replacement
+            let max = eligible.iter().map(|(_, s)| *s).fold(f32::NEG_INFINITY, f32::max);
+            let weights: Vec<f64> = eligible.iter().map(|(_, s)| ((s - max) as f64).exp()).collect();
+            let total: f64 = weights.iter().sum();
+            let mut x = rng.gen_range(0.0..total);
+            let mut pick = eligible.len() - 1;
+            for (k, w) in weights.iter().enumerate() {
+                if x < *w {
+                    pick = k;
+                    break;
+                }
+                x -= w;
+            }
+            let (idx, _) = eligible.swap_remove(pick);
+            out.push(self.tail_vocab[idx].clone());
+        }
+        out
+    }
+
+    /// Probability output of a prediction head.
+    pub fn predict(&self, task: TaskType, input: &str) -> f32 {
+        let slot = head_slot(task).expect("predict() needs a prediction task");
+        let mut tape = Tape::new();
+        let enc = self.encode_batch(&mut tape, &[input]);
+        let logit = self.heads[slot].forward(&mut tape, &self.store, enc);
+        1.0 / (1.0 + (-tape.value(logit).item()).exp())
+    }
+
+    /// Dense embedding of arbitrary text under the student's encoder —
+    /// "we leverage the same LM to vectorize generated knowledge" (§4.2.3,
+    /// COSMO-GNN's knowledge embeddings).
+    pub fn embed_text(&self, text: &str) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let enc = self.encode_batch(&mut tape, &[text]);
+        tape.value(enc).row_slice(0).to_vec()
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    /// Total trainable scalars (for the efficiency comparison).
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmo_teacher::BehaviorRef;
+    use cosmo_synth::{DomainId, ProductId, QueryId};
+
+    fn toy_instructions() -> Vec<Instruction> {
+        // Learnable mapping: input mentions "camping" → tail "sleeping
+        // outdoors"; mentions "kitchen" → tail "peeling potatoes".
+        let mut out = Vec::new();
+        for i in 0..240 {
+            let camping = i % 2 == 0;
+            let (word, tail) = if camping {
+                ("camping", "sleeping outdoors")
+            } else {
+                ("kitchen", "peeling potatoes")
+            };
+            out.push(Instruction {
+                task: TaskType::Generate,
+                template_id: i % 3,
+                input: format!("generate explanation {i}: user searched {word} item"),
+                output: tail.to_string(),
+                tail: Some(tail.to_string()),
+                label: None,
+                relation: Some(Relation::UsedForFunc),
+                domain: DomainId(1),
+                behavior: BehaviorRef::SearchBuy(QueryId(0), ProductId(i as u32)),
+            });
+            // plausibility task: label = camping
+            out.push(Instruction {
+                task: TaskType::Plausibility,
+                template_id: i % 3,
+                input: format!("is \"{tail}\" plausible for {word} item {i}"),
+                output: if camping { "yes" } else { "no" }.to_string(),
+                tail: Some(tail.to_string()),
+                label: Some(camping),
+                relation: Some(Relation::UsedForFunc),
+                domain: DomainId(1),
+                behavior: BehaviorRef::SearchBuy(QueryId(0), ProductId(i as u32)),
+            });
+        }
+        out
+    }
+
+    fn tails() -> Vec<(String, Option<Relation>)> {
+        vec![
+            ("sleeping outdoors".to_string(), Some(Relation::UsedForFunc)),
+            ("peeling potatoes".to_string(), Some(Relation::UsedForFunc)),
+            ("walking the dog".to_string(), Some(Relation::UsedForEve)),
+        ]
+    }
+
+    #[test]
+    fn student_learns_toy_generation() {
+        let mut lm = CosmoLm::new(StudentConfig { epochs: 15, ..Default::default() }, tails());
+        let report = lm.train(&toy_instructions());
+        assert!(report.gen_top1 > 0.8, "gen top1 {}", report.gen_top1);
+        let top = lm.generate("user searched camping item fresh", Some(Relation::UsedForFunc), 1);
+        assert_eq!(top[0].0, "sleeping outdoors");
+    }
+
+    #[test]
+    fn relation_constraint_masks_vocabulary() {
+        let lm = CosmoLm::new(StudentConfig::default(), tails());
+        let constrained = lm.generate("anything", Some(Relation::UsedForEve), 5);
+        assert_eq!(constrained.len(), 1);
+        assert_eq!(constrained[0].0, "walking the dog");
+        let unconstrained = lm.generate("anything", None, 5);
+        assert_eq!(unconstrained.len(), 3);
+    }
+
+    #[test]
+    fn prediction_head_learns() {
+        let mut lm = CosmoLm::new(StudentConfig { epochs: 15, ..Default::default() }, tails());
+        let report = lm.train(&toy_instructions());
+        let plaus = report
+            .predict_accuracy
+            .iter()
+            .find(|(n, _)| n == "plausibility-prediction")
+            .unwrap();
+        assert!(plaus.1 > 0.8, "plausibility accuracy {}", plaus.1);
+    }
+
+    #[test]
+    fn sample_list_is_distinct_and_temperature_controls_diversity() {
+        use rand::SeedableRng;
+        let mut lm = CosmoLm::new(StudentConfig { epochs: 15, ..Default::default() }, tails());
+        lm.train(&toy_instructions());
+        let input = "user searched camping item fresh";
+        // samples are distinct
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let list = lm.sample_list(input, None, 3, 1.0, &mut rng);
+        let mut dedup = list.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), list.len());
+        // near-greedy temperature almost always picks the trained tail first
+        let mut greedy_hits = 0;
+        for seed in 0..20 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let first = lm.sample_list(input, None, 1, 0.05, &mut rng);
+            greedy_hits += usize::from(first[0] == "sleeping outdoors");
+        }
+        assert!(greedy_hits >= 18, "cold sampling should be near-greedy: {greedy_hits}/20");
+        // hot temperature explores
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..30 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            seen.insert(lm.sample_list(input, None, 1, 50.0, &mut rng)[0].clone());
+        }
+        assert!(seen.len() >= 2, "hot sampling should diversify: {seen:?}");
+    }
+
+    #[test]
+    fn duplicate_tails_are_merged() {
+        let lm = CosmoLm::new(
+            StudentConfig::default(),
+            vec![
+                ("a".to_string(), None),
+                ("a".to_string(), Some(Relation::IsA)),
+                ("b".to_string(), None),
+            ],
+        );
+        assert_eq!(lm.num_tails(), 2);
+    }
+
+    #[test]
+    fn embed_text_has_configured_dim() {
+        let lm = CosmoLm::new(StudentConfig::default(), tails());
+        let v = lm.embed_text("winter camping gear");
+        assert_eq!(v.len(), lm.dim());
+    }
+
+    #[test]
+    #[should_panic(expected = "tail vocabulary")]
+    fn empty_vocab_rejected() {
+        let _ = CosmoLm::new(StudentConfig::default(), vec![]);
+    }
+}

@@ -1,0 +1,314 @@
+//! Multi-turn search navigation (§4.3.1, Figures 8 & 9).
+//!
+//! COSMO "moves away from traditional product-centric taxonomies towards a
+//! customer-focused approach", organised in three layers:
+//!
+//! 1. **Broad conception interpretation** — a broad query ("camping") is
+//!    mapped to intent refinements via the KG intent hierarchy;
+//! 2. **Product type and subtype discovery** — a selected intent surfaces
+//!    the product types and subtypes linked to it;
+//! 3. **Attribute-based refinement** — the final layer filters by
+//!    attribute tokens.
+//!
+//! The **multi-turn** flow of Figure 9 ("camping" → "air mattress" →
+//! "camping air mattress" → lakeside/mountain/4-person variants) is a
+//! stateful walk down these layers, implemented by [`NavSession`].
+
+use cosmo_kg::{IntentHierarchy, KnowledgeGraph, NodeId, NodeKind};
+use cosmo_text::{tokenize, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+/// A suggestion shown to the customer at some navigation turn.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Suggestion {
+    /// A finer-grained intent ("winter camping").
+    Intent(String),
+    /// A product concept/type linked to the current intent.
+    ProductType(String),
+    /// An attribute filter token ("portable").
+    Attribute(String),
+}
+
+impl Suggestion {
+    /// The display label.
+    pub fn label(&self) -> &str {
+        match self {
+            Suggestion::Intent(s) | Suggestion::ProductType(s) | Suggestion::Attribute(s) => s,
+        }
+    }
+}
+
+/// The navigation service: a KG plus its intent hierarchy.
+pub struct NavigationEngine {
+    kg: KnowledgeGraph,
+    hierarchy: IntentHierarchy,
+}
+
+impl NavigationEngine {
+    /// Build the engine (constructs the Figure 8 hierarchy).
+    pub fn new(kg: KnowledgeGraph) -> Self {
+        let hierarchy = IntentHierarchy::build(&kg);
+        NavigationEngine { kg, hierarchy }
+    }
+
+    /// The underlying graph.
+    pub fn kg(&self) -> &KnowledgeGraph {
+        &self.kg
+    }
+
+    /// The intent hierarchy.
+    pub fn hierarchy(&self) -> &IntentHierarchy {
+        &self.hierarchy
+    }
+
+    /// Layer 1: interpret a broad query into intent suggestions — hierarchy
+    /// refinements of the matching intent when one exists, otherwise the
+    /// query node's top intents from the KG.
+    pub fn interpret(&self, query: &str, k: usize) -> Vec<Suggestion> {
+        let refinements = self.hierarchy.refinements_of(query);
+        if !refinements.is_empty() {
+            return refinements
+                .into_iter()
+                .take(k)
+                .map(|n| Suggestion::Intent(n.text.clone()))
+                .collect();
+        }
+        let Some(node) = self.kg.find_node(NodeKind::Query, query) else {
+            return Vec::new();
+        };
+        self.kg
+            .top_intents(node, k)
+            .into_iter()
+            .map(|e| Suggestion::Intent(self.kg.node(e.tail).text.clone()))
+            .collect()
+    }
+
+    /// Layer 2: products linked to an intent tail (via the KG's incoming
+    /// edges), returned as `(product node, title)`.
+    pub fn products_for_intent(&self, intent: &str, k: usize) -> Vec<(NodeId, String)> {
+        let Some(node) = self.hierarchy.find(intent).map(|n| n.intent).or_else(|| {
+            self.kg.find_node(NodeKind::Intention, intent)
+        }) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(NodeId, String)> = Vec::new();
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        let mut edges: Vec<_> = self.kg.heads_of(node).collect();
+        edges.sort_by(|a, b| {
+            (b.typicality * b.support as f32)
+                .partial_cmp(&(a.typicality * a.support as f32))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.head.cmp(&b.head))
+        });
+        for e in edges {
+            let n = self.kg.node(e.head);
+            if n.kind == NodeKind::Product && seen.insert(e.head) {
+                out.push((e.head, n.text.clone()));
+                if out.len() >= k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Layer 3: attribute tokens appearing across a product list (the
+    /// refinement chips of the final layer).
+    pub fn attributes_of(&self, products: &[(NodeId, String)], k: usize) -> Vec<Suggestion> {
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for (_, title) in products {
+            for t in tokenize(title) {
+                *counts.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut scored: Vec<(String, usize)> = counts
+            .into_iter()
+            // an informative attribute splits the set: present in some but
+            // not all products
+            .filter(|(_, c)| *c > 1 && *c < products.len())
+            .collect();
+        scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(t, _)| Suggestion::Attribute(t))
+            .collect()
+    }
+}
+
+/// A multi-turn navigation walk (Figure 9).
+pub struct NavSession<'e> {
+    engine: &'e NavigationEngine,
+    /// The trail of selections made so far.
+    pub trail: Vec<Suggestion>,
+    /// Current candidate products.
+    pub candidates: Vec<(NodeId, String)>,
+}
+
+impl<'e> NavSession<'e> {
+    /// Start a session from a broad query; returns the first-turn
+    /// suggestions.
+    pub fn start(engine: &'e NavigationEngine, query: &str, k: usize) -> (Self, Vec<Suggestion>) {
+        let suggestions = engine.interpret(query, k);
+        let candidates = engine
+            .kg
+            .find_node(NodeKind::Query, query)
+            .map(|node| {
+                let mut seen = FxHashSet::default();
+                engine
+                    .kg
+                    .tails_of(node)
+                    .flat_map(|e| engine.kg.heads_of(e.tail))
+                    .filter(|e2| engine.kg.node(e2.head).kind == NodeKind::Product)
+                    .filter(|e2| seen.insert(e2.head))
+                    .map(|e2| (e2.head, engine.kg.node(e2.head).text.clone()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        (NavSession { engine, trail: Vec::new(), candidates }, suggestions)
+    }
+
+    /// Select a suggestion; returns the next turn's suggestions. Intent
+    /// selections narrow candidates to that intent's products and offer
+    /// deeper refinements; attribute selections filter the candidate list.
+    pub fn select(&mut self, suggestion: &Suggestion, k: usize) -> Vec<Suggestion> {
+        self.trail.push(suggestion.clone());
+        match suggestion {
+            Suggestion::Intent(intent) => {
+                self.candidates = self.engine.products_for_intent(intent, 64);
+                let mut next: Vec<Suggestion> = self
+                    .engine
+                    .hierarchy
+                    .refinements_of(intent)
+                    .into_iter()
+                    .take(k)
+                    .map(|n| Suggestion::Intent(n.text.clone()))
+                    .collect();
+                if next.len() < k {
+                    next.extend(self.engine.attributes_of(&self.candidates, k - next.len()));
+                }
+                next
+            }
+            Suggestion::ProductType(t) | Suggestion::Attribute(t) => {
+                let token = t.clone();
+                self.candidates.retain(|(_, title)| {
+                    tokenize(title).iter().any(|tok| tok == &token)
+                        || title.contains(token.as_str())
+                });
+                self.engine.attributes_of(&self.candidates, k)
+            }
+        }
+    }
+
+    /// Number of navigation turns taken.
+    pub fn depth(&self) -> usize {
+        self.trail.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmo_kg::{BehaviorKind, Edge, Relation};
+
+    /// Figure-9-style KG: "camping" expands to winter/lakeside camping,
+    /// each backed by products.
+    fn camping_kg() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        let q = kg.intern_node(NodeKind::Query, "camping");
+        let base = kg.intern_node(NodeKind::Intention, "camping");
+        let winter = kg.intern_node(NodeKind::Intention, "winter camping");
+        let lakeside = kg.intern_node(NodeKind::Intention, "lakeside camping");
+        let products = [
+            ("acme winter air mattress", winter),
+            ("zenit lakeside air mattress", lakeside),
+            ("homely portable air mattress", base),
+            ("acme winter boots", winter),
+        ];
+        let add = |kg: &mut KnowledgeGraph, head: NodeId, tail: NodeId, support: u32| {
+            kg.add_edge(Edge {
+                head,
+                relation: Relation::UsedForEve,
+                tail,
+                behavior: BehaviorKind::SearchBuy,
+                category: 1,
+                plausibility: 0.9,
+                typicality: 0.8,
+                support,
+            });
+        };
+        add(&mut kg, q, base, 5);
+        for (i, (title, intent)) in products.iter().enumerate() {
+            let p = kg.intern_node(NodeKind::Product, title);
+            add(&mut kg, p, *intent, 3 - (i as u32 % 2));
+            add(&mut kg, p, base, 1);
+        }
+        kg
+    }
+
+    #[test]
+    fn broad_query_interprets_to_refinements() {
+        let engine = NavigationEngine::new(camping_kg());
+        let suggestions = engine.interpret("camping", 5);
+        let labels: Vec<&str> = suggestions.iter().map(|s| s.label()).collect();
+        assert!(labels.contains(&"winter camping"), "{labels:?}");
+        assert!(labels.contains(&"lakeside camping"));
+    }
+
+    #[test]
+    fn unknown_query_yields_nothing() {
+        let engine = NavigationEngine::new(camping_kg());
+        assert!(engine.interpret("quantum flux", 5).is_empty());
+    }
+
+    #[test]
+    fn intent_selection_narrows_candidates() {
+        let engine = NavigationEngine::new(camping_kg());
+        let (mut session, suggestions) = NavSession::start(&engine, "camping", 5);
+        assert!(!session.candidates.is_empty());
+        let before = session.candidates.len();
+        let winter = suggestions
+            .iter()
+            .find(|s| s.label() == "winter camping")
+            .unwrap()
+            .clone();
+        session.select(&winter, 5);
+        assert!(session.candidates.len() < before);
+        assert!(session
+            .candidates
+            .iter()
+            .all(|(_, t)| t.contains("winter")));
+        assert_eq!(session.depth(), 1);
+    }
+
+    #[test]
+    fn attribute_layer_filters_titles() {
+        let engine = NavigationEngine::new(camping_kg());
+        let (mut session, _) = NavSession::start(&engine, "camping", 5);
+        let n_before = session.candidates.len();
+        session.select(&Suggestion::Attribute("air".into()), 5);
+        assert!(session.candidates.len() <= n_before);
+        assert!(session.candidates.iter().all(|(_, t)| t.contains("air")));
+    }
+
+    #[test]
+    fn products_for_intent_ranked_by_support() {
+        let engine = NavigationEngine::new(camping_kg());
+        let prods = engine.products_for_intent("winter camping", 10);
+        assert_eq!(prods.len(), 2);
+        assert!(prods[0].1.contains("winter"));
+    }
+
+    #[test]
+    fn attributes_exclude_universal_tokens() {
+        let engine = NavigationEngine::new(camping_kg());
+        let prods = engine.products_for_intent("camping", 10);
+        let attrs = engine.attributes_of(&prods, 10);
+        // "air" and "mattress" appear in 3/4 products; "acme" in 2
+        assert!(attrs.iter().all(|a| {
+            let l = a.label();
+            l != "camping" // never a discriminating attribute here
+        }));
+        assert!(!attrs.is_empty());
+    }
+}

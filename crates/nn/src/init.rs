@@ -1,0 +1,74 @@
+//! Weight initialisation.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation: `U(−a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The default for affine maps.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rows, cols, -a, a, rng)
+}
+
+/// Uniform initialisation in `[lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Gaussian initialisation `N(0, std²)` via Box–Muller.
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Tensor {
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Embedding-table initialisation: small uniform, standard for lookup
+/// tables trained with sparse gradients.
+pub fn embedding(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    let a = 1.0 / (cols as f32).sqrt();
+    uniform(rows, cols, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = xavier_uniform(20, 30, &mut rng);
+        let a = (6.0 / 50.0f32).sqrt();
+        assert!(t.data().iter().all(|&x| x >= -a && x < a));
+    }
+
+    #[test]
+    fn normal_mean_and_std_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = normal(100, 100, 0.5, &mut rng);
+        let n = t.len() as f32;
+        let mean: f32 = t.data().iter().sum::<f32>() / n;
+        let var: f32 = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let a = xavier_uniform(3, 3, &mut StdRng::seed_from_u64(1));
+        let b = xavier_uniform(3, 3, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

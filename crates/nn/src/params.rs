@@ -1,0 +1,255 @@
+//! Named parameter storage with gradient buffers.
+//!
+//! A [`ParamStore`] owns every trainable tensor of a model. The training
+//! loop is: build a [`crate::Tape`], reference parameters with
+//! `tape.param(&store, id)`, compute the loss, `tape.backward(loss)`,
+//! `store.zero_grads()` (or accumulate across micro-batches),
+//! `tape.accumulate_param_grads(&mut store)`, then step an optimizer from
+//! [`crate::opt`].
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Opaque handle to a parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+/// Container of named parameters and their gradients.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+    frozen: Vec<bool>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter; the gradient buffer starts at zero.
+    pub fn add(&mut self, name: &str, value: Tensor) -> ParamId {
+        let (r, c) = value.shape();
+        self.names.push(name.to_string());
+        self.values.push(value);
+        self.grads.push(Tensor::zeros(r, c));
+        self.frozen.push(false);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Current value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable value (used by optimizers and tests).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Current gradient.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Mutable gradient buffer.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.grads[id.0]
+    }
+
+    /// Parameter name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(|t| t.len()).sum()
+    }
+
+    /// All parameter ids.
+    pub fn ids(&self) -> Vec<ParamId> {
+        (0..self.values.len()).map(ParamId).collect()
+    }
+
+    /// Freeze a parameter: optimizers will skip it (used for the
+    /// fixed-encoder regimes of the relevance experiments).
+    pub fn freeze(&mut self, id: ParamId) {
+        self.frozen[id.0] = true;
+    }
+
+    /// Unfreeze a parameter.
+    pub fn unfreeze(&mut self, id: ParamId) {
+        self.frozen[id.0] = false;
+    }
+
+    /// Is the parameter frozen?
+    pub fn is_frozen(&self, id: ParamId) -> bool {
+        self.frozen[id.0]
+    }
+
+    /// Reset all gradient buffers to zero.
+    pub fn zero_grads(&mut self) {
+        for g in self.grads.iter_mut() {
+            g.zero_();
+        }
+    }
+
+    /// Global L2 norm of all gradients (for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.grads.iter().map(|g| g.sq_norm()).sum::<f32>().sqrt()
+    }
+
+    /// Scale all gradients so their global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in self.grads.iter_mut() {
+                g.scale_assign(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = ParamStore::new();
+        let a = s.add("w", Tensor::zeros(2, 3));
+        let b = s.add("b", Tensor::zeros(1, 3));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_scalars(), 9);
+        assert_eq!(s.name(a), "w");
+        assert_eq!(s.value(b).shape(), (1, 3));
+        assert_eq!(s.grad(a).shape(), (2, 3));
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut s = ParamStore::new();
+        let a = s.add("w", Tensor::zeros(1, 2));
+        s.grad_mut(a).data_mut()[0] = 5.0;
+        s.zero_grads();
+        assert_eq!(s.grad(a).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales() {
+        let mut s = ParamStore::new();
+        let a = s.add("w", Tensor::zeros(1, 2));
+        s.grad_mut(a).data_mut().copy_from_slice(&[3.0, 4.0]);
+        assert!((s.grad_norm() - 5.0).abs() < 1e-6);
+        s.clip_grad_norm(1.0);
+        assert!((s.grad_norm() - 1.0).abs() < 1e-5);
+        // clipping below the threshold is a no-op
+        s.clip_grad_norm(10.0);
+        assert!((s.grad_norm() - 1.0).abs() < 1e-5);
+    }
+}
+
+impl ParamStore {
+    /// Serialize all parameter values (not gradients) to a compact JSON
+    /// checkpoint string.
+    pub fn to_checkpoint(&self) -> String {
+        #[derive(Serialize)]
+        struct Ckpt<'a> {
+            names: &'a [String],
+            values: &'a [Tensor],
+        }
+        serde_json::to_string(&Ckpt { names: &self.names, values: &self.values })
+            .expect("checkpoint serialisation cannot fail")
+    }
+
+    /// Restore parameter values from a checkpoint produced by
+    /// [`ParamStore::to_checkpoint`]. Names and shapes must match the
+    /// store's current registration order; returns an error string
+    /// otherwise (so callers can surface a useful message).
+    pub fn load_checkpoint(&mut self, json: &str) -> Result<(), String> {
+        #[derive(Deserialize)]
+        struct Ckpt {
+            names: Vec<String>,
+            values: Vec<Tensor>,
+        }
+        let ckpt: Ckpt = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if ckpt.names != self.names {
+            return Err(format!(
+                "checkpoint parameter names mismatch: expected {:?}, got {:?}",
+                self.names, ckpt.names
+            ));
+        }
+        for (slot, value) in self.values.iter_mut().zip(ckpt.values) {
+            if slot.shape() != value.shape() {
+                return Err(format!(
+                    "checkpoint shape mismatch: {:?} vs {:?}",
+                    slot.shape(),
+                    value.shape()
+                ));
+            }
+            *slot = value;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_roundtrip_restores_values() {
+        let mut a = ParamStore::new();
+        let w = a.add("w", Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = a.add("b", Tensor::row(vec![0.5, -0.5]));
+        let ckpt = a.to_checkpoint();
+        // fresh store with same registration order, different values
+        let mut fresh = ParamStore::new();
+        let w2 = fresh.add("w", Tensor::zeros(2, 2));
+        let b2 = fresh.add("b", Tensor::zeros(1, 2));
+        fresh.load_checkpoint(&ckpt).unwrap();
+        assert_eq!(fresh.value(w2), a.value(w));
+        assert_eq!(fresh.value(b2), a.value(b));
+    }
+
+    #[test]
+    fn checkpoint_rejects_wrong_names() {
+        let mut a = ParamStore::new();
+        a.add("w", Tensor::zeros(1, 1));
+        let ckpt = a.to_checkpoint();
+        let mut other = ParamStore::new();
+        other.add("different", Tensor::zeros(1, 1));
+        assert!(other.load_checkpoint(&ckpt).is_err());
+    }
+
+    #[test]
+    fn checkpoint_rejects_wrong_shapes() {
+        let mut a = ParamStore::new();
+        a.add("w", Tensor::zeros(2, 3));
+        let ckpt = a.to_checkpoint();
+        let mut other = ParamStore::new();
+        other.add("w", Tensor::zeros(3, 2));
+        assert!(other.load_checkpoint(&ckpt).is_err());
+    }
+
+    #[test]
+    fn checkpoint_rejects_garbage() {
+        let mut a = ParamStore::new();
+        a.add("w", Tensor::zeros(1, 1));
+        assert!(a.load_checkpoint("not json").is_err());
+    }
+}

@@ -1,0 +1,927 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a DAG of tensor operations built during a forward
+//! pass; [`Tape::backward`] then walks the nodes in reverse, propagating
+//! gradients with hand-derived rules per op. Parameters enter the tape
+//! as leaf copies tagged with their [`ParamId`]; after backward,
+//! [`Tape::accumulate_param_grads`] adds leaf gradients into the
+//! [`ParamStore`] so an optimizer can step.
+//!
+//! The op set is exactly what the COSMO models need: affine maps, GRU gates,
+//! attention (softmax + matmul), GNN message passing (matmul with a constant
+//! adjacency), embedding gather, classification and ranking losses.
+//! Every op's gradient is verified against central finite differences in
+//! the tests at the bottom of this file and property-tested in
+//! `tests/gradcheck.rs`.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// Recorded operation (parents referenced by [`Var`]).
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant input; receives a gradient but propagates nowhere.
+    Input,
+    /// Parameter leaf: gradient is exported to the [`ParamStore`].
+    Param(ParamId),
+    Matmul(Var, Var),
+    /// `A · Bᵀ` — used for scoring a batch against an embedding table.
+    MatmulNT(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    /// `[n×d] + [1×d]` broadcast (bias addition).
+    AddRow(Var, Var),
+    /// `[n×d] ⊙ [1×d]` broadcast (per-feature gating).
+    MulRow(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Relu(Var),
+    Tanh(Var),
+    Sigmoid(Var),
+    /// Elementwise natural log (inputs must be positive).
+    Log(Var),
+    /// Row gather: output row `i` is parent row `idx[i]`.
+    Gather(Var, Vec<usize>),
+    MeanRows(Var),
+    SumRows(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    /// Per-segment mean of rows: row `i` of the output is the mean of the
+    /// parent rows whose segment id is `i` (zero row for empty segments).
+    /// The batched embedding-bag used by the critic and student models.
+    SegmentMean(Var, Vec<usize>, usize),
+    ConcatCols(Var, Var),
+    Transpose(Var),
+    /// Row-wise softmax.
+    Softmax(Var),
+    /// Mean negative log-likelihood of `targets` under row-wise softmax of
+    /// the logits.
+    CrossEntropy(Var, Vec<usize>),
+    /// Mean binary cross-entropy with logits (`[n×1]` logits).
+    BceWithLogits(Var, Vec<f32>),
+    /// BPR ranking loss: `-mean log σ(x)` over an `[n×1]` score-difference
+    /// column.
+    BprLoss(Var),
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+/// A forward-pass recording; create one per training step.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, grad: None, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Current value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of a node (populated by [`Tape::backward`]).
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---------------------------------------------------------------- leaves
+
+    /// Record a constant input.
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Input)
+    }
+
+    /// Record a parameter leaf (copies the current value out of the store).
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    // ------------------------------------------------------------------- ops
+
+    /// `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// `a · bᵀ`.
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul_nt(&self.nodes[b.0].value);
+        self.push(v, Op::MatmulNT(a, b))
+    }
+
+    /// Elementwise `a + b`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise `a − b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(av.shape(), bv.shape(), "sub shape mismatch");
+        let data = av
+            .data()
+            .iter()
+            .zip(bv.data().iter())
+            .map(|(&x, &y)| x - y)
+            .collect();
+        let v = Tensor::from_vec(av.rows(), av.cols(), data);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise `a ⊙ b`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Broadcast add a `[1×d]` row to every row of `[n×d]`.
+    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let rv = &self.nodes[row.0].value;
+        assert_eq!(rv.rows(), 1, "add_row rhs must be a row vector");
+        assert_eq!(av.cols(), rv.cols(), "add_row width mismatch");
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            let row_s = v.row_slice_mut(r);
+            for (x, &y) in row_s.iter_mut().zip(rv.data().iter()) {
+                *x += y;
+            }
+        }
+        self.push(v, Op::AddRow(a, row))
+    }
+
+    /// Broadcast multiply every row of `[n×d]` by a `[1×d]` row.
+    pub fn mul_row(&mut self, a: Var, row: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let rv = &self.nodes[row.0].value;
+        assert_eq!(rv.rows(), 1, "mul_row rhs must be a row vector");
+        assert_eq!(av.cols(), rv.cols(), "mul_row width mismatch");
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            let row_s = v.row_slice_mut(r);
+            for (x, &y) in row_s.iter_mut().zip(rv.data().iter()) {
+                *x *= y;
+            }
+        }
+        self.push(v, Op::MulRow(a, row))
+    }
+
+    /// `s · a`.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| s * x);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// `a + s` elementwise.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x + s);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// `1 − a` elementwise (GRU update-gate complement).
+    pub fn one_minus(&mut self, a: Var) -> Var {
+        let neg = self.scale(a, -1.0);
+        self.add_scalar(neg, 1.0)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(sigmoid_scalar);
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Elementwise `ln`; caller guarantees positivity.
+    pub fn log(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::ln);
+        self.push(v, Op::Log(a))
+    }
+
+    /// Gather rows `idx` from `a`.
+    pub fn gather(&mut self, a: Var, idx: &[usize]) -> Var {
+        let av = &self.nodes[a.0].value;
+        let cols = av.cols();
+        let mut v = Tensor::zeros(idx.len(), cols);
+        for (i, &r) in idx.iter().enumerate() {
+            assert!(r < av.rows(), "gather index {r} out of range");
+            v.row_slice_mut(i).copy_from_slice(av.row_slice(r));
+        }
+        self.push(v, Op::Gather(a, idx.to_vec()))
+    }
+
+    /// Mean over rows: `[n×d] → [1×d]`.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let n = av.rows().max(1);
+        let mut v = Tensor::zeros(1, av.cols());
+        for r in 0..av.rows() {
+            for (o, &x) in v.data_mut().iter_mut().zip(av.row_slice(r).iter()) {
+                *o += x;
+            }
+        }
+        v.scale_assign(1.0 / n as f32);
+        self.push(v, Op::MeanRows(a))
+    }
+
+    /// Sum over rows: `[n×d] → [1×d]`.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let mut v = Tensor::zeros(1, av.cols());
+        for r in 0..av.rows() {
+            for (o, &x) in v.data_mut().iter_mut().zip(av.row_slice(r).iter()) {
+                *o += x;
+            }
+        }
+        self.push(v, Op::SumRows(a))
+    }
+
+    /// Per-segment mean over rows: `[n×d] → [k×d]` with `segments[i] < k`
+    /// giving row `i`'s destination. Empty segments yield zero rows.
+    pub fn segment_mean(&mut self, a: Var, segments: &[usize], k: usize) -> Var {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(av.rows(), segments.len(), "segment_mean length mismatch");
+        let d = av.cols();
+        let mut v = Tensor::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for (r, &s) in segments.iter().enumerate() {
+            assert!(s < k, "segment id {s} out of range");
+            counts[s] += 1;
+            for (o, &x) in v.row_slice_mut(s).iter_mut().zip(av.row_slice(r)) {
+                *o += x;
+            }
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            if c > 1 {
+                let inv = 1.0 / c as f32;
+                for x in v.row_slice_mut(s) {
+                    *x *= inv;
+                }
+            }
+        }
+        self.push(v, Op::SegmentMean(a, segments.to_vec(), k))
+    }
+
+    /// Sum of all elements: `→ [1×1]`.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s = self.nodes[a.0].value.sum();
+        self.push(Tensor::scalar(s), Op::SumAll(a))
+    }
+
+    /// Mean of all elements: `→ [1×1]`.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let t = &self.nodes[a.0].value;
+        let s = t.sum() / t.len().max(1) as f32;
+        self.push(Tensor::scalar(s), Op::MeanAll(a))
+    }
+
+    /// Concatenate along columns: `[n×c1] ++ [n×c2] → [n×(c1+c2)]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(av.rows(), bv.rows(), "concat_cols row mismatch");
+        let (n, c1, c2) = (av.rows(), av.cols(), bv.cols());
+        let mut v = Tensor::zeros(n, c1 + c2);
+        for r in 0..n {
+            v.row_slice_mut(r)[..c1].copy_from_slice(av.row_slice(r));
+            v.row_slice_mut(r)[c1..].copy_from_slice(bv.row_slice(r));
+        }
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            softmax_row(v.row_slice_mut(r));
+        }
+        self.push(v, Op::Softmax(a))
+    }
+
+    /// Mean cross-entropy of `targets` under softmax of `logits` (stable
+    /// log-sum-exp formulation). Returns a scalar node.
+    pub fn cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let lv = &self.nodes[logits.0].value;
+        assert_eq!(lv.rows(), targets.len(), "cross_entropy batch mismatch");
+        let mut loss = 0.0f64;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < lv.cols(), "target class out of range");
+            let row = lv.row_slice(r);
+            loss += (log_sum_exp(row) - row[t]) as f64;
+        }
+        let v = Tensor::scalar((loss / targets.len().max(1) as f64) as f32);
+        self.push(v, Op::CrossEntropy(logits, targets.to_vec()))
+    }
+
+    /// Mean binary cross-entropy with logits over an `[n×1]` column.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: &[f32]) -> Var {
+        let lv = &self.nodes[logits.0].value;
+        assert_eq!(lv.cols(), 1, "bce expects a column of logits");
+        assert_eq!(lv.rows(), targets.len(), "bce batch mismatch");
+        let mut loss = 0.0f64;
+        for (r, &t) in targets.iter().enumerate() {
+            let x = lv.get(r, 0);
+            // max(x,0) - x*t + ln(1 + e^{-|x|})  (numerically stable)
+            loss += (x.max(0.0) - x * t + (-x.abs()).exp().ln_1p()) as f64;
+        }
+        let v = Tensor::scalar((loss / targets.len().max(1) as f64) as f32);
+        self.push(v, Op::BceWithLogits(logits, targets.to_vec()))
+    }
+
+    /// BPR loss `−mean log σ(x)` over an `[n×1]` column of positive-minus-
+    /// negative score differences.
+    pub fn bpr_loss(&mut self, diffs: Var) -> Var {
+        let dv = &self.nodes[diffs.0].value;
+        assert_eq!(dv.cols(), 1, "bpr expects a column of score diffs");
+        let mut loss = 0.0f64;
+        for r in 0..dv.rows() {
+            let x = dv.get(r, 0);
+            // -ln σ(x) = ln(1 + e^{-x}) = max(-x, 0) + ln(1 + e^{-|x|})
+            loss += ((-x).max(0.0) + (-x.abs()).exp().ln_1p()) as f64;
+        }
+        let v = Tensor::scalar((loss / dv.rows().max(1) as f64) as f32);
+        self.push(v, Op::BprLoss(diffs))
+    }
+
+    // -------------------------------------------------------------- backward
+
+    /// Run reverse-mode differentiation from the scalar node `loss`.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward root must be a scalar"
+        );
+        for n in self.nodes.iter_mut() {
+            n.grad = None;
+        }
+        self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
+        for i in (0..=loss.0).rev() {
+            let Some(g) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Input | Op::Param(_) => {}
+                Op::Matmul(a, b) => {
+                    let da = g.matmul_nt(&self.nodes[b.0].value);
+                    let db = self.nodes[a.0].value.matmul_tn(&g);
+                    self.accum(a, da);
+                    self.accum(b, db);
+                }
+                Op::MatmulNT(a, b) => {
+                    let da = g.matmul(&self.nodes[b.0].value);
+                    let db = g.matmul_tn(&self.nodes[a.0].value);
+                    self.accum(a, da);
+                    self.accum(b, db);
+                }
+                Op::Add(a, b) => {
+                    self.accum(a, g.clone());
+                    self.accum(b, g);
+                }
+                Op::Sub(a, b) => {
+                    let mut ng = g.clone();
+                    ng.scale_assign(-1.0);
+                    self.accum(a, g);
+                    self.accum(b, ng);
+                }
+                Op::Mul(a, b) => {
+                    let da = g.hadamard(&self.nodes[b.0].value);
+                    let db = g.hadamard(&self.nodes[a.0].value);
+                    self.accum(a, da);
+                    self.accum(b, db);
+                }
+                Op::AddRow(a, row) => {
+                    let mut drow = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, &x) in drow.data_mut().iter_mut().zip(g.row_slice(r)) {
+                            *o += x;
+                        }
+                    }
+                    self.accum(a, g);
+                    self.accum(row, drow);
+                }
+                Op::MulRow(a, row) => {
+                    let av = self.nodes[a.0].value.clone();
+                    let rv = self.nodes[row.0].value.clone();
+                    let mut da = g.clone();
+                    for r in 0..da.rows() {
+                        for (x, &y) in da.row_slice_mut(r).iter_mut().zip(rv.data()) {
+                            *x *= y;
+                        }
+                    }
+                    let mut drow = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            drow.data_mut()[c] += g.get(r, c) * av.get(r, c);
+                        }
+                    }
+                    self.accum(a, da);
+                    self.accum(row, drow);
+                }
+                Op::Scale(a, s) => {
+                    let mut da = g;
+                    da.scale_assign(s);
+                    self.accum(a, da);
+                }
+                Op::AddScalar(a) => self.accum(a, g),
+                Op::Relu(a) => {
+                    let av = &self.nodes[a.0].value;
+                    let data = g
+                        .data()
+                        .iter()
+                        .zip(av.data().iter())
+                        .map(|(&gx, &x)| if x > 0.0 { gx } else { 0.0 })
+                        .collect();
+                    let da = Tensor::from_vec(g.rows(), g.cols(), data);
+                    self.accum(a, da);
+                }
+                Op::Tanh(a) => {
+                    let out = &self.nodes[i].value;
+                    let data = g
+                        .data()
+                        .iter()
+                        .zip(out.data().iter())
+                        .map(|(&gx, &y)| gx * (1.0 - y * y))
+                        .collect();
+                    let da = Tensor::from_vec(g.rows(), g.cols(), data);
+                    self.accum(a, da);
+                }
+                Op::Sigmoid(a) => {
+                    let out = &self.nodes[i].value;
+                    let data = g
+                        .data()
+                        .iter()
+                        .zip(out.data().iter())
+                        .map(|(&gx, &y)| gx * y * (1.0 - y))
+                        .collect();
+                    let da = Tensor::from_vec(g.rows(), g.cols(), data);
+                    self.accum(a, da);
+                }
+                Op::Log(a) => {
+                    let av = &self.nodes[a.0].value;
+                    let data = g
+                        .data()
+                        .iter()
+                        .zip(av.data().iter())
+                        .map(|(&gx, &x)| gx / x)
+                        .collect();
+                    let da = Tensor::from_vec(g.rows(), g.cols(), data);
+                    self.accum(a, da);
+                }
+                Op::Gather(a, idx) => {
+                    let av_shape = self.nodes[a.0].value.shape();
+                    let mut da = Tensor::zeros(av_shape.0, av_shape.1);
+                    for (i_out, &r) in idx.iter().enumerate() {
+                        for (o, &x) in da.row_slice_mut(r).iter_mut().zip(g.row_slice(i_out)) {
+                            *o += x;
+                        }
+                    }
+                    self.accum(a, da);
+                }
+                Op::MeanRows(a) => {
+                    let (n, c) = self.nodes[a.0].value.shape();
+                    let mut da = Tensor::zeros(n, c);
+                    let inv = 1.0 / n.max(1) as f32;
+                    for r in 0..n {
+                        for (o, &x) in da.row_slice_mut(r).iter_mut().zip(g.data()) {
+                            *o = x * inv;
+                        }
+                    }
+                    self.accum(a, da);
+                }
+                Op::SumRows(a) => {
+                    let (n, c) = self.nodes[a.0].value.shape();
+                    let mut da = Tensor::zeros(n, c);
+                    for r in 0..n {
+                        da.row_slice_mut(r).copy_from_slice(g.data());
+                    }
+                    self.accum(a, da);
+                }
+                Op::SegmentMean(a, segments, k) => {
+                    let (n, d) = self.nodes[a.0].value.shape();
+                    let mut counts = vec![0usize; k];
+                    for &s in &segments {
+                        counts[s] += 1;
+                    }
+                    let mut da = Tensor::zeros(n, d);
+                    for (r, &s) in segments.iter().enumerate() {
+                        let inv = 1.0 / counts[s] as f32;
+                        for (o, &x) in da.row_slice_mut(r).iter_mut().zip(g.row_slice(s)) {
+                            *o = x * inv;
+                        }
+                    }
+                    self.accum(a, da);
+                }
+                Op::SumAll(a) => {
+                    let (n, c) = self.nodes[a.0].value.shape();
+                    self.accum(a, Tensor::full(n, c, g.item()));
+                }
+                Op::MeanAll(a) => {
+                    let (n, c) = self.nodes[a.0].value.shape();
+                    let v = g.item() / (n * c).max(1) as f32;
+                    self.accum(a, Tensor::full(n, c, v));
+                }
+                Op::ConcatCols(a, b) => {
+                    let c1 = self.nodes[a.0].value.cols();
+                    let c2 = self.nodes[b.0].value.cols();
+                    let n = g.rows();
+                    let mut da = Tensor::zeros(n, c1);
+                    let mut db = Tensor::zeros(n, c2);
+                    for r in 0..n {
+                        da.row_slice_mut(r).copy_from_slice(&g.row_slice(r)[..c1]);
+                        db.row_slice_mut(r).copy_from_slice(&g.row_slice(r)[c1..]);
+                    }
+                    self.accum(a, da);
+                    self.accum(b, db);
+                }
+                Op::Transpose(a) => self.accum(a, g.transpose()),
+                Op::Softmax(a) => {
+                    let y = self.nodes[i].value.clone();
+                    let mut da = Tensor::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let yr = y.row_slice(r);
+                        let gr = g.row_slice(r);
+                        let dot: f32 = yr.iter().zip(gr.iter()).map(|(&a, &b)| a * b).sum();
+                        for c in 0..y.cols() {
+                            da.set(r, c, yr[c] * (gr[c] - dot));
+                        }
+                    }
+                    self.accum(a, da);
+                }
+                Op::CrossEntropy(logits, targets) => {
+                    let lv = self.nodes[logits.0].value.clone();
+                    let gscale = g.item() / targets.len().max(1) as f32;
+                    let mut da = Tensor::zeros(lv.rows(), lv.cols());
+                    for (r, &t) in targets.iter().enumerate() {
+                        let mut row: Vec<f32> = lv.row_slice(r).to_vec();
+                        softmax_row(&mut row);
+                        for (c, &p) in row.iter().enumerate() {
+                            let indicator = if c == t { 1.0 } else { 0.0 };
+                            da.set(r, c, gscale * (p - indicator));
+                        }
+                    }
+                    self.accum(logits, da);
+                }
+                Op::BceWithLogits(logits, targets) => {
+                    let lv = self.nodes[logits.0].value.clone();
+                    let gscale = g.item() / targets.len().max(1) as f32;
+                    let mut da = Tensor::zeros(lv.rows(), 1);
+                    for (r, &t) in targets.iter().enumerate() {
+                        let p = sigmoid_scalar(lv.get(r, 0));
+                        da.set(r, 0, gscale * (p - t));
+                    }
+                    self.accum(logits, da);
+                }
+                Op::BprLoss(diffs) => {
+                    let dv = self.nodes[diffs.0].value.clone();
+                    let gscale = g.item() / dv.rows().max(1) as f32;
+                    let mut da = Tensor::zeros(dv.rows(), 1);
+                    for r in 0..dv.rows() {
+                        let s = sigmoid_scalar(dv.get(r, 0));
+                        da.set(r, 0, gscale * (s - 1.0));
+                    }
+                    self.accum(diffs, da);
+                }
+            }
+        }
+    }
+
+    fn accum(&mut self, v: Var, g: Tensor) {
+        match &mut self.nodes[v.0].grad {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Add the gradients of all parameter leaves into the store's gradient
+    /// buffers (call after [`Tape::backward`]).
+    pub fn accumulate_param_grads(&self, store: &mut ParamStore) {
+        for node in &self.nodes {
+            if let (Op::Param(id), Some(g)) = (&node.op, &node.grad) {
+                store.grad_mut(*id).add_assign(g);
+            }
+        }
+    }
+}
+
+#[inline]
+fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in row.iter_mut() {
+        *x /= sum;
+    }
+}
+
+fn log_sum_exp(row: &[f32]) -> f32 {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let sum: f32 = row.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+
+    /// Central finite-difference gradient of `f` w.r.t. a parameter tensor.
+    fn finite_diff(
+        store: &mut ParamStore,
+        id: ParamId,
+        f: &dyn Fn(&ParamStore) -> f32,
+    ) -> Tensor {
+        let eps = 1e-3f32;
+        let (r, c) = store.value(id).shape();
+        let mut out = Tensor::zeros(r, c);
+        for i in 0..r * c {
+            let orig = store.value(id).data()[i];
+            store.value_mut(id).data_mut()[i] = orig + eps;
+            let plus = f(store);
+            store.value_mut(id).data_mut()[i] = orig - eps;
+            let minus = f(store);
+            store.value_mut(id).data_mut()[i] = orig;
+            out.data_mut()[i] = (plus - minus) / (2.0 * eps);
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!(
+                (x - y).abs() < tol,
+                "gradient mismatch: analytic={x} numeric={y}"
+            );
+        }
+    }
+
+    /// Check a whole-model gradient: builds the loss via `build`, compares
+    /// analytic param grads against central differences.
+    fn gradcheck(store: &mut ParamStore, build: &dyn Fn(&mut Tape, &ParamStore) -> Var) {
+        let mut tape = Tape::new();
+        let loss = build(&mut tape, store);
+        tape.backward(loss);
+        store.zero_grads();
+        tape.accumulate_param_grads(store);
+        for id in store.ids() {
+            let analytic = store.grad(id).clone();
+            let numeric = finite_diff(store, id, &|s| {
+                let mut t = Tape::new();
+                let l = build(&mut t, s);
+                t.value(l).item()
+            });
+            assert_close(&analytic, &numeric, 2e-2);
+        }
+    }
+
+    #[test]
+    fn gradcheck_affine_relu_ce() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(3, 4, (0..12).map(|i| 0.1 * i as f32 - 0.5).collect()));
+        let b = store.add("b", Tensor::row(vec![0.1, -0.2, 0.3, 0.0]));
+        gradcheck(&mut store, &move |tape, s| {
+            let x = tape.input(Tensor::from_vec(2, 3, vec![1.0, -0.5, 0.25, 0.8, 0.2, -1.0]));
+            let wv = tape.param(s, w);
+            let bv = tape.param(s, b);
+            let h = tape.matmul(x, wv);
+            let h = tape.add_row(h, bv);
+            let h = tape.relu(h);
+            tape.cross_entropy(h, &[2, 0])
+        });
+    }
+
+    #[test]
+    fn gradcheck_gather_mean_bce() {
+        let mut store = ParamStore::new();
+        let e = store.add(
+            "emb",
+            Tensor::from_vec(5, 3, (0..15).map(|i| (i as f32 * 0.37).sin()).collect()),
+        );
+        let w = store.add("w", Tensor::from_vec(3, 1, vec![0.3, -0.4, 0.2]));
+        gradcheck(&mut store, &move |tape, s| {
+            let ev = tape.param(s, e);
+            let wv = tape.param(s, w);
+            let g = tape.gather(ev, &[0, 3, 3, 1]);
+            let m = tape.mean_rows(g);
+            let logit = tape.matmul(m, wv);
+            tape.bce_with_logits(logit, &[1.0])
+        });
+    }
+
+    #[test]
+    fn gradcheck_gru_like_gates() {
+        let mut store = ParamStore::new();
+        let wz = store.add("wz", Tensor::from_vec(2, 2, vec![0.2, -0.1, 0.4, 0.3]));
+        let uz = store.add("uz", Tensor::from_vec(2, 2, vec![0.1, 0.2, -0.3, 0.05]));
+        gradcheck(&mut store, &move |tape, s| {
+            let x = tape.input(Tensor::from_vec(1, 2, vec![0.5, -0.7]));
+            let h0 = tape.input(Tensor::from_vec(1, 2, vec![0.1, 0.9]));
+            let wzv = tape.param(s, wz);
+            let uzv = tape.param(s, uz);
+            let xz = tape.matmul(x, wzv);
+            let hz = tape.matmul(h0, uzv);
+            let zsum = tape.add(xz, hz);
+            let z = tape.sigmoid(zsum);
+            let omz = tape.one_minus(z);
+            let cand = tape.tanh(xz);
+            let a = tape.mul(z, h0);
+            let b = tape.mul(omz, cand);
+            let h1 = tape.add(a, b);
+            let sq = tape.mul(h1, h1);
+            tape.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_softmax_attention() {
+        let mut store = ParamStore::new();
+        let q = store.add("q", Tensor::from_vec(1, 3, vec![0.3, -0.2, 0.5]));
+        let keys = store.add(
+            "k",
+            Tensor::from_vec(4, 3, (0..12).map(|i| ((i * 7) % 5) as f32 * 0.2 - 0.4).collect()),
+        );
+        gradcheck(&mut store, &move |tape, s| {
+            let qv = tape.param(s, q);
+            let kv = tape.param(s, keys);
+            let scores = tape.matmul_nt(qv, kv); // [1x4]
+            let w = tape.softmax(scores);
+            let ctx = tape.matmul(w, kv); // [1x3]
+            let sq = tape.mul(ctx, ctx);
+            tape.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradcheck_bpr_and_concat() {
+        let mut store = ParamStore::new();
+        let e = store.add(
+            "emb",
+            Tensor::from_vec(4, 2, vec![0.3, 0.1, -0.2, 0.5, 0.7, -0.6, 0.05, 0.2]),
+        );
+        gradcheck(&mut store, &move |tape, s| {
+            let ev = tape.param(s, e);
+            let pos = tape.gather(ev, &[0, 1]);
+            let neg = tape.gather(ev, &[2, 3]);
+            let cat = tape.concat_cols(pos, neg); // exercise concat grad
+            let half = tape.scale(cat, 0.5);
+            let both = tape.mul(half, half);
+            let sums = tape.sum_rows(both);
+            let t = tape.transpose(sums); // exercise transpose grad
+            let diff_in = tape.sub(pos, neg);
+            let col = tape.sum_rows(diff_in);
+            let colt = tape.transpose(col);
+            let bpr = tape.bpr_loss(colt);
+            let reg = tape.mean_all(t);
+            tape.add(bpr, reg)
+        });
+    }
+
+    #[test]
+    fn gradcheck_segment_mean() {
+        let mut store = ParamStore::new();
+        let e = store.add(
+            "emb",
+            Tensor::from_vec(6, 2, (0..12).map(|i| (i as f32 * 0.31).cos()).collect()),
+        );
+        gradcheck(&mut store, &move |tape, s| {
+            let ev = tape.param(s, e);
+            let g = tape.gather(ev, &[0, 1, 2, 3, 4, 4]);
+            // segments: {0,1} -> 0, {2} -> 1, segment 2 empty, {3,4,4} -> 3
+            let m = tape.segment_mean(g, &[0, 0, 1, 3, 3, 3], 4);
+            let sq = tape.mul(m, m);
+            tape.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn segment_mean_values() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let m = tape.segment_mean(x, &[1, 1, 0], 3);
+        assert_eq!(tape.value(m).row_slice(0), &[5.0, 6.0]);
+        assert_eq!(tape.value(m).row_slice(1), &[2.0, 3.0]);
+        assert_eq!(tape.value(m).row_slice(2), &[0.0, 0.0]); // empty segment
+    }
+
+    #[test]
+    fn gradcheck_log_mulrow() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::row(vec![0.5, 1.5, 2.0]));
+        gradcheck(&mut store, &move |tape, s| {
+            let x = tape.input(Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 0.5, 1.0, 4.0]));
+            let wv = tape.param(s, w);
+            let scaled = tape.mul_row(x, wv);
+            let pos = tape.mul(scaled, scaled);
+            let shifted = tape.add_scalar(pos, 1.0);
+            let l = tape.log(shifted);
+            tape.mean_all(l)
+        });
+    }
+
+    #[test]
+    fn backward_requires_scalar() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::row(vec![1.0, 2.0]));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut t2 = Tape::new();
+            std::mem::swap(&mut t2, &mut tape);
+            t2.backward(x);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn grad_accumulates_over_reuse() {
+        // y = x + x => dy/dx = 2
+        let mut store = ParamStore::new();
+        let p = store.add("p", Tensor::scalar(3.0));
+        let mut tape = Tape::new();
+        let x = tape.param(&store, p);
+        let y = tape.add(x, x);
+        let l = tape.sum_all(y);
+        tape.backward(l);
+        tape.accumulate_param_grads(&mut store);
+        assert_eq!(store.grad(p).item(), 2.0);
+    }
+
+    #[test]
+    fn cross_entropy_value_matches_manual() {
+        let mut tape = Tape::new();
+        let logits = tape.input(Tensor::from_vec(1, 2, vec![0.0, 0.0]));
+        let l = tape.cross_entropy(logits, &[0]);
+        assert!((tape.value(l).item() - (2.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let s = tape.softmax(x);
+        for r in 0..2 {
+            let sum: f32 = tape.value(s).row_slice(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Dense 2-D `f32` tensors.
+//!
+//! Every value in the autograd engine is a row-major 2-D matrix; scalars are
+//! `[1×1]`, row vectors `[1×d]`. This is deliberately minimal: the models in
+//! this reproduction (MLPs, GRUs, attention, GNN message passing) only need
+//! 2-D linear algebra, and a single concrete layout keeps the hot matmul
+//! loops simple enough for the compiler to vectorise.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major 2-D matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zero tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Build from a flat row-major buffer. Panics if sizes disagree.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "tensor data length mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Build a `1×n` row vector.
+    pub fn row(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Tensor { rows: 1, cols, data }
+    }
+
+    /// Build a `1×1` scalar.
+    pub fn scalar(v: f32) -> Self {
+        Tensor { rows: 1, cols: 1, data: vec![v] }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat read-only view.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_slice_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single element of a `1×1` tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a scalar tensor");
+        self.data[0]
+    }
+
+    /// Matrix product `self · other` (`[n×k]·[k×m] → [n×m]`).
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(n, m);
+        // i-k-j loop order: innermost loop walks both `other` and `out`
+        // contiguously, which is the cache-friendly order for row-major data.
+        for i in 0..n {
+            let out_row = &mut out.data[i * m..(i + 1) * m];
+            for kk in 0..k {
+                let a = self.data[i * k + kk];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * m..(kk + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` (`[n×k]·[m×k]ᵀ → [n×m]`) without materialising the
+    /// transpose; the inner loop is a contiguous dot product.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let (n, k, m) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(n, m);
+        for i in 0..n {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..m {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row.iter()) {
+                    acc += x * y;
+                }
+                out.data[i * m + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` (`[k×n]ᵀ·[k×m] → [n×m]`).
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (k, n, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(n, m);
+        for kk in 0..k {
+            for i in 0..n {
+                let a = self.data[kk * n + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * m..(kk + 1) * m];
+                let out_row = &mut out.data[i * m..(i + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialised transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// `self += other` elementwise; shapes must match.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self += s * other` elementwise.
+    pub fn add_scaled_assign(&mut self, other: &Tensor, s: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += s * b;
+        }
+    }
+
+    /// Elementwise sum into a new tensor.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// Elementwise product (Hadamard) into a new tensor.
+    pub fn hadamard(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Multiply all elements by `s` in place.
+    pub fn scale_assign(&mut self, s: f32) {
+        for x in self.data.iter_mut() {
+            *x *= s;
+        }
+    }
+
+    /// Set every element to zero (for reusable gradient buffers).
+    pub fn zero_(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Stack row tensors vertically; all inputs must share `cols`.
+    pub fn vstack(rows: &[&Tensor]) -> Tensor {
+        assert!(!rows.is_empty(), "vstack of nothing");
+        let cols = rows[0].cols;
+        let mut data = Vec::with_capacity(rows.iter().map(|t| t.len()).sum());
+        let mut total_rows = 0;
+        for t in rows {
+            assert_eq!(t.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&t.data);
+            total_rows += t.rows;
+        }
+        Tensor { rows: total_rows, cols, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Tensor::from_vec(2, 2, vec![58., 64., 139., 154.]));
+    }
+
+    #[test]
+    fn matmul_nt_matches_transpose() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(4, 3, vec![1., 0., 1., 2., 1., 0., 0., 3., 1., 1., 1., 1.]);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose() {
+        let a = Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 4, (0..12).map(|x| x as f32).collect());
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn vstack_shapes() {
+        let a = Tensor::row(vec![1., 2.]);
+        let b = Tensor::from_vec(2, 2, vec![3., 4., 5., 6.]);
+        let s = Tensor::vstack(&[&a, &b]);
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(s.row_slice(2), &[5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    fn hadamard_and_scale() {
+        let a = Tensor::row(vec![1., 2., 3.]);
+        let b = Tensor::row(vec![2., 0.5, -1.]);
+        let mut h = a.hadamard(&b);
+        assert_eq!(h.data(), &[2., 1., -3.]);
+        h.scale_assign(2.0);
+        assert_eq!(h.data(), &[4., 2., -6.]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Asynchronous two-layer cache store (Figure 5, §3.5.1).
+//!
+//! "Employed to manage frequent searches and adapt to daily traffic
+//! patterns, this store efficiently captures user queries through a
+//! two-layered caching strategy, combining pre-loaded yearly frequent
+//! searches and batch-processed daily requests."
+//!
+//! * **L1** — immutable after load: the yearly frequent searches, shared
+//!   lock-free behind an `Arc`;
+//! * **L2** — the daily layer: read-write, filled by the batch processor,
+//!   cleared (with promotion of its hottest entries into L1) on the daily
+//!   refresh;
+//! * misses are recorded in a pending queue for the next batch cycle —
+//!   this is the "asynchronous" part: a missing query never blocks the
+//!   request path on model inference.
+
+use crate::features::StructuredFeatures;
+use cosmo_text::FxHashMap;
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where a cache answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLayer {
+    /// Pre-loaded yearly-frequent layer.
+    L1,
+    /// Daily batch-processed layer.
+    L2,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Default)]
+pub struct CacheMetrics {
+    /// L1 hits.
+    pub l1_hits: AtomicU64,
+    /// L2 hits.
+    pub l2_hits: AtomicU64,
+    /// Misses (enqueued for batch processing).
+    pub misses: AtomicU64,
+}
+
+impl CacheMetrics {
+    /// Overall hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.l1_hits.load(Ordering::Relaxed) + self.l2_hits.load(Ordering::Relaxed);
+        let total = h + self.misses.load(Ordering::Relaxed);
+        if total == 0 {
+            0.0
+        } else {
+            h as f64 / total as f64
+        }
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.l1_hits.store(0, Ordering::Relaxed);
+        self.l2_hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The two-layer asynchronous cache.
+pub struct CacheStore {
+    l1: RwLock<Arc<FxHashMap<String, Arc<StructuredFeatures>>>>,
+    l2: RwLock<FxHashMap<String, Arc<StructuredFeatures>>>,
+    /// L2 access counts (for promotion on refresh).
+    l2_hits_per_key: Mutex<FxHashMap<String, u64>>,
+    pending: Mutex<VecDeque<String>>,
+    /// Insertion order of L2 keys (for capacity eviction).
+    l2_order: Mutex<VecDeque<String>>,
+    /// Max entries promoted to L1 per refresh.
+    l1_capacity: usize,
+    /// Max entries held in L2 between refreshes (oldest evicted first).
+    l2_capacity: usize,
+    /// Hit/miss counters.
+    pub metrics: CacheMetrics,
+}
+
+impl CacheStore {
+    /// Create with a pre-loaded L1 layer (the "yearly frequent searches").
+    pub fn new(preloaded: Vec<StructuredFeatures>, l1_capacity: usize) -> Self {
+        Self::with_l2_capacity(preloaded, l1_capacity, usize::MAX)
+    }
+
+    /// As [`CacheStore::new`] but with a bounded daily layer: when L2
+    /// exceeds `l2_capacity`, the oldest entries are evicted (they will be
+    /// recomputed on their next miss — bounded memory beats stale bloat
+    /// between daily refreshes).
+    pub fn with_l2_capacity(
+        preloaded: Vec<StructuredFeatures>,
+        l1_capacity: usize,
+        l2_capacity: usize,
+    ) -> Self {
+        let l1: FxHashMap<String, Arc<StructuredFeatures>> = preloaded
+            .into_iter()
+            .map(|f| (f.query.clone(), Arc::new(f)))
+            .collect();
+        CacheStore {
+            l1: RwLock::new(Arc::new(l1)),
+            l2: RwLock::new(FxHashMap::default()),
+            l2_hits_per_key: Mutex::new(FxHashMap::default()),
+            pending: Mutex::new(VecDeque::new()),
+            l2_order: Mutex::new(VecDeque::new()),
+            l1_capacity,
+            l2_capacity: l2_capacity.max(1),
+            metrics: CacheMetrics::default(),
+        }
+    }
+
+    /// Request-path lookup: L1, then L2; on miss the query is queued for
+    /// the next batch cycle and `None` returns immediately.
+    pub fn get(&self, query: &str) -> Option<(Arc<StructuredFeatures>, CacheLayer)> {
+        if let Some(f) = self.l1.read().get(query) {
+            self.metrics.l1_hits.fetch_add(1, Ordering::Relaxed);
+            return Some((f.clone(), CacheLayer::L1));
+        }
+        if let Some(f) = self.l2.read().get(query) {
+            self.metrics.l2_hits.fetch_add(1, Ordering::Relaxed);
+            *self
+                .l2_hits_per_key
+                .lock()
+                .entry(query.to_string())
+                .or_insert(0) += 1;
+            return Some((f.clone(), CacheLayer::L2));
+        }
+        self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+        self.pending.lock().push_back(query.to_string());
+        None
+    }
+
+    /// Drain up to `max` distinct pending queries for batch processing.
+    pub fn drain_pending(&self, max: usize) -> Vec<String> {
+        let mut pending = self.pending.lock();
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        while out.len() < max {
+            let Some(q) = pending.pop_front() else { break };
+            if seen.insert(q.clone()) {
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    /// Number of queued (possibly duplicate) pending queries.
+    pub fn pending_len(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Batch-processor write path: install computed features into L2,
+    /// evicting the oldest entries beyond the L2 capacity.
+    pub fn install(&self, features: Vec<Arc<StructuredFeatures>>) {
+        let mut l2 = self.l2.write();
+        let mut order = self.l2_order.lock();
+        for f in features {
+            if l2.insert(f.query.clone(), f.clone()).is_none() {
+                order.push_back(f.query.clone());
+            }
+            while l2.len() > self.l2_capacity {
+                let Some(oldest) = order.pop_front() else { break };
+                l2.remove(&oldest);
+            }
+        }
+    }
+
+    /// Daily refresh: promote the hottest L2 entries into L1 (up to the L1
+    /// capacity), then clear L2 — "adapt to daily traffic patterns".
+    /// Returns the number of promoted entries.
+    pub fn daily_refresh(&self) -> usize {
+        let mut l2 = self.l2.write();
+        let mut hits = self.l2_hits_per_key.lock();
+        let mut scored: Vec<(u64, String)> = l2
+            .keys()
+            .map(|k| (hits.get(k).copied().unwrap_or(0), k.clone()))
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let old_l1 = self.l1.read().clone();
+        let mut new_l1: FxHashMap<String, Arc<StructuredFeatures>> = (*old_l1).clone();
+        let mut promoted = 0usize;
+        for (_, key) in scored {
+            if new_l1.len() >= self.l1_capacity {
+                break;
+            }
+            if let Some(f) = l2.get(&key) {
+                if new_l1.insert(key.clone(), f.clone()).is_none() {
+                    promoted += 1;
+                }
+            }
+        }
+        *self.l1.write() = Arc::new(new_l1);
+        l2.clear();
+        self.l2_order.lock().clear();
+        hits.clear();
+        promoted
+    }
+
+    /// Sizes of `(L1, L2)`.
+    pub fn sizes(&self) -> (usize, usize) {
+        (self.l1.read().len(), self.l2.read().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(q: &str) -> StructuredFeatures {
+        StructuredFeatures {
+            query: q.to_string(),
+            intents: vec![],
+            subcategory: vec![0.0; 4],
+            strong_intent: None,
+        }
+    }
+
+    #[test]
+    fn l1_hits_preloaded() {
+        let cache = CacheStore::new(vec![feat("camping")], 10);
+        let (f, layer) = cache.get("camping").unwrap();
+        assert_eq!(layer, CacheLayer::L1);
+        assert_eq!(f.query, "camping");
+        assert_eq!(cache.metrics.l1_hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn miss_enqueues_then_l2_serves() {
+        let cache = CacheStore::new(vec![], 10);
+        assert!(cache.get("new query").is_none());
+        assert_eq!(cache.pending_len(), 1);
+        let drained = cache.drain_pending(10);
+        assert_eq!(drained, vec!["new query"]);
+        cache.install(vec![Arc::new(feat("new query"))]);
+        let (_, layer) = cache.get("new query").unwrap();
+        assert_eq!(layer, CacheLayer::L2);
+    }
+
+    #[test]
+    fn drain_dedupes() {
+        let cache = CacheStore::new(vec![], 10);
+        for _ in 0..5 {
+            let _ = cache.get("dup");
+        }
+        assert_eq!(cache.drain_pending(10).len(), 1);
+    }
+
+    #[test]
+    fn daily_refresh_promotes_hot_entries() {
+        let cache = CacheStore::new(vec![feat("old")], 3);
+        cache.install(vec![Arc::new(feat("hot")), Arc::new(feat("cold"))]);
+        // touch "hot" several times
+        for _ in 0..4 {
+            let _ = cache.get("hot");
+        }
+        let _ = cache.get("cold");
+        let promoted = cache.daily_refresh();
+        assert_eq!(promoted, 2, "capacity 3 fits old + both");
+        let (l1, l2) = cache.sizes();
+        assert_eq!((l1, l2), (3, 0));
+        let (_, layer) = cache.get("hot").unwrap();
+        assert_eq!(layer, CacheLayer::L1);
+    }
+
+    #[test]
+    fn refresh_respects_l1_capacity() {
+        let cache = CacheStore::new(vec![feat("a")], 2);
+        cache.install(vec![Arc::new(feat("b")), Arc::new(feat("c"))]);
+        for _ in 0..3 {
+            let _ = cache.get("b");
+        }
+        let _ = cache.get("c");
+        let promoted = cache.daily_refresh();
+        assert_eq!(promoted, 1, "only one slot free");
+        assert!(cache.get("b").is_some(), "hotter entry promoted");
+        assert!(cache.get("c").is_none());
+    }
+
+    #[test]
+    fn l2_capacity_evicts_oldest() {
+        let cache = CacheStore::with_l2_capacity(vec![], 10, 2);
+        cache.install(vec![Arc::new(feat("a")), Arc::new(feat("b")), Arc::new(feat("c"))]);
+        assert_eq!(cache.sizes().1, 2);
+        assert!(cache.get("a").is_none(), "oldest entry evicted");
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("c").is_some());
+        // reinstalling an existing key does not double-count the order
+        cache.install(vec![Arc::new(feat("c")), Arc::new(feat("d"))]);
+        assert_eq!(cache.sizes().1, 2);
+        assert!(cache.get("d").is_some());
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        let cache = CacheStore::new(vec![feat("x")], 10);
+        let _ = cache.get("x");
+        let _ = cache.get("y");
+        assert!((cache.metrics.hit_rate() - 0.5).abs() < 1e-9);
+        cache.metrics.reset();
+        assert_eq!(cache.metrics.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(CacheStore::new(vec![feat("hot")], 100));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    let _ = c.get("hot");
+                    let _ = c.get(&format!("miss-{t}-{i}"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.metrics.l1_hits.load(Ordering::Relaxed), 2000);
+        assert_eq!(cache.metrics.misses.load(Ordering::Relaxed), 2000);
+    }
+}

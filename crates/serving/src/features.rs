@@ -1,0 +1,194 @@
+//! Feature store (Figure 5, §3.5.1).
+//!
+//! "This store is essential for transferring model responses to structured
+//! features, making them actionable for downstream applications. It
+//! handles features like product key-value pairs, semantic subcategory
+//! representations, and strong intent detection."
+//!
+//! A [`FeatureStore`] maps query strings to [`StructuredFeatures`]
+//! computed from COSMO-LM responses: the top intention tails per relation
+//! (key-value pairs), a dense semantic representation (the student's text
+//! embedding), and a strong-intent flag when the top generation dominates.
+
+use cosmo_kg::{KnowledgeGraph, NodeKind, Relation};
+use cosmo_lm::CosmoLm;
+use cosmo_text::FxHashMap;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Structured features derived from a model response for one query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StructuredFeatures {
+    /// The query these features describe.
+    pub query: String,
+    /// Intention key-value pairs: `(relation, tail, score)`, best first.
+    pub intents: Vec<(Relation, String, f32)>,
+    /// Semantic subcategory representation (dense embedding).
+    pub subcategory: Vec<f32>,
+    /// Detected strong intent, when the top tail clearly dominates.
+    pub strong_intent: Option<String>,
+}
+
+/// How far the top score must exceed the runner-up for strong-intent
+/// detection.
+const STRONG_INTENT_MARGIN: f32 = 0.3;
+
+/// Compute structured features for a query: KG intents when the query node
+/// exists (cheap lookup), falling back to COSMO-LM generation, plus the
+/// student embedding as the subcategory representation.
+pub fn compute_features(query: &str, kg: &KnowledgeGraph, lm: &CosmoLm) -> StructuredFeatures {
+    let mut intents: Vec<(Relation, String, f32)> = Vec::new();
+    if let Some(node) = kg.find_node(NodeKind::Query, query) {
+        for e in kg.top_intents(node, 5) {
+            intents.push((e.relation, kg.node(e.tail).text.clone(), e.typicality));
+        }
+    }
+    if intents.is_empty() {
+        // cold query: ask the student model directly
+        let input = format!("generate a USED_FOR_FUNC explanation in domain unknown for: search query: {query}");
+        for (tail, score) in lm.generate(&input, None, 5) {
+            intents.push((Relation::UsedForFunc, tail, score));
+        }
+        // normalise scores into (0,1) via softmax-ish squashing
+        if let Some(max) = intents.iter().map(|(_, _, s)| *s).reduce(f32::max) {
+            for (_, _, s) in intents.iter_mut() {
+                *s = 1.0 / (1.0 + (max - *s).exp());
+            }
+        }
+    }
+    let strong_intent = match intents.as_slice() {
+        [] => None,
+        [only] => Some(only.1.clone()),
+        [first, second, ..] => {
+            (first.2 - second.2 >= STRONG_INTENT_MARGIN).then(|| first.1.clone())
+        }
+    };
+    StructuredFeatures {
+        query: query.to_string(),
+        subcategory: lm.embed_text(query),
+        intents,
+        strong_intent,
+    }
+}
+
+/// Thread-safe query → features map.
+#[derive(Debug, Default)]
+pub struct FeatureStore {
+    map: RwLock<FxHashMap<String, Arc<StructuredFeatures>>>,
+}
+
+impl FeatureStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) features for a query.
+    pub fn put(&self, features: StructuredFeatures) -> Arc<StructuredFeatures> {
+        let arc = Arc::new(features);
+        self.map.write().insert(arc.query.clone(), arc.clone());
+        arc
+    }
+
+    /// Look up features.
+    pub fn get(&self, query: &str) -> Option<Arc<StructuredFeatures>> {
+        self.map.read().get(query).cloned()
+    }
+
+    /// Number of stored queries.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmo_kg::{BehaviorKind, Edge};
+    use cosmo_lm::StudentConfig;
+
+    fn lm() -> CosmoLm {
+        CosmoLm::new(
+            StudentConfig::default(),
+            vec![
+                ("sleeping outdoors".into(), Some(Relation::UsedForFunc)),
+                ("keeping warm".into(), Some(Relation::CapableOf)),
+            ],
+        )
+    }
+
+    fn kg_with_query(query: &str) -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        let q = kg.intern_node(NodeKind::Query, query);
+        for (tail, typ) in [("sleeping outdoors", 0.9f32), ("lakeside trips", 0.4)] {
+            let t = kg.intern_node(NodeKind::Intention, tail);
+            kg.add_edge(Edge {
+                head: q,
+                relation: Relation::UsedForEve,
+                tail: t,
+                behavior: BehaviorKind::SearchBuy,
+                category: 1,
+                plausibility: 0.9,
+                typicality: typ,
+                support: 3,
+            });
+        }
+        kg
+    }
+
+    #[test]
+    fn kg_backed_features_prefer_graph() {
+        let kg = kg_with_query("camping");
+        let f = compute_features("camping", &kg, &lm());
+        assert_eq!(f.intents.len(), 2);
+        assert_eq!(f.intents[0].1, "sleeping outdoors");
+        assert_eq!(f.strong_intent.as_deref(), Some("sleeping outdoors"));
+        assert_eq!(f.subcategory.len(), lm().dim());
+    }
+
+    #[test]
+    fn cold_query_falls_back_to_student() {
+        let kg = KnowledgeGraph::new();
+        let f = compute_features("brand new query", &kg, &lm());
+        assert!(!f.intents.is_empty(), "student fallback must produce intents");
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let store = FeatureStore::new();
+        assert!(store.is_empty());
+        let kg = kg_with_query("camping");
+        let f = compute_features("camping", &kg, &lm());
+        store.put(f);
+        assert_eq!(store.len(), 1);
+        assert!(store.get("camping").is_some());
+        assert!(store.get("missing").is_none());
+    }
+
+    #[test]
+    fn no_strong_intent_when_scores_close() {
+        let mut kg = KnowledgeGraph::new();
+        let q = kg.intern_node(NodeKind::Query, "gift");
+        for tail in ["for mom", "for dad"] {
+            let t = kg.intern_node(NodeKind::Intention, tail);
+            kg.add_edge(Edge {
+                head: q,
+                relation: Relation::UsedForAud,
+                tail: t,
+                behavior: BehaviorKind::SearchBuy,
+                category: 0,
+                plausibility: 0.9,
+                typicality: 0.5,
+                support: 1,
+            });
+        }
+        let f = compute_features("gift", &kg, &lm());
+        assert!(f.strong_intent.is_none());
+    }
+}

@@ -1,0 +1,26 @@
+//! # cosmo-serving
+//!
+//! The online deployment of Figure 5: a feature store that turns COSMO-LM
+//! responses into structured features (intent key-value pairs, semantic
+//! subcategory representations, strong-intent detection), a two-layer
+//! asynchronous cache store (pre-loaded yearly-frequent searches + the
+//! batch-processed daily layer), a batch processor on a crossbeam worker
+//! pool, daily model refresh with cache promotion, a feedback loop, and a
+//! multi-day Zipf traffic simulator used by the Figure 5 repro experiment.
+//!
+//! Design constraint carried over from the paper: the request path is
+//! cache-only and never blocks on model inference — a miss enqueues the
+//! query for the next batch cycle, which is what lets the deployment meet
+//! "Amazon's restricted search latency requirements" (§3.5.3).
+
+pub mod cache;
+pub mod features;
+pub mod sim;
+pub mod system;
+pub mod views;
+
+pub use cache::{CacheLayer, CacheMetrics, CacheStore};
+pub use features::{compute_features, FeatureStore, StructuredFeatures};
+pub use sim::{query_universe, simulate, DayReport, TrafficConfig};
+pub use system::{LatencyRecorder, ServeResult, ServingConfig, ServingSystem, SystemSnapshot};
+pub use views::{navigation_view, recommendation_view, relevance_view};

@@ -1,0 +1,346 @@
+//! The deployed serving system (Figure 5, §3.5.2).
+//!
+//! Operational flow implemented here:
+//!
+//! * **Request handling** — "initial query checks against the Asynchronous
+//!   Cache Store quickly retrieve responses for frequent queries or forward
+//!   others for batch processing";
+//! * **Batch processing and cache update** — pending queries are processed
+//!   by a COSMO-LM worker pool (crossbeam scoped threads), formatted into
+//!   structured features by the Feature Store, and installed into the
+//!   daily cache layer;
+//! * **Daily refresh** — the model ingests new behaviour logs (simulated
+//!   as a refresh counter) and the cache promotes hot entries;
+//! * **Feedback loop** — served interactions are recorded and can be fed
+//!   back as new behaviour data.
+
+use crate::cache::{CacheLayer, CacheStore};
+use crate::features::{compute_features, FeatureStore, StructuredFeatures};
+use cosmo_kg::KnowledgeGraph;
+use cosmo_lm::CosmoLm;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Worker threads for batch processing.
+    pub workers: usize,
+    /// Max queries per batch cycle.
+    pub batch_size: usize,
+    /// L1 capacity (yearly-frequent layer).
+    pub l1_capacity: usize,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig { workers: 4, batch_size: 256, l1_capacity: 4096 }
+    }
+}
+
+/// Response of the request path.
+#[derive(Debug, Clone)]
+pub struct ServeResult {
+    /// Features when cached; `None` means the query was forwarded to batch
+    /// processing and downstream applications fall back this request.
+    pub features: Option<Arc<StructuredFeatures>>,
+    /// Which layer answered (when cached).
+    pub layer: Option<CacheLayer>,
+    /// Request-path latency in microseconds.
+    pub latency_us: u64,
+}
+
+/// Latency percentile recorder.
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    samples_us: Mutex<Vec<u64>>,
+}
+
+impl LatencyRecorder {
+    /// Record one sample.
+    pub fn record(&self, us: u64) {
+        self.samples_us.lock().push(us);
+    }
+
+    /// `p` in `[0,1]` percentile of recorded samples (0 when empty).
+    pub fn percentile(&self, p: f64) -> u64 {
+        let mut s = self.samples_us.lock().clone();
+        if s.is_empty() {
+            return 0;
+        }
+        s.sort_unstable();
+        let idx = ((s.len() - 1) as f64 * p).round() as usize;
+        s[idx]
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_us.lock().len()
+    }
+
+    /// True when no samples recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clear samples.
+    pub fn reset(&self) {
+        self.samples_us.lock().clear();
+    }
+}
+
+/// One operational snapshot of the serving system (the quantities an ops
+/// dashboard for Figure 5 would chart).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSnapshot {
+    /// Entries in the pre-loaded L1 layer.
+    pub l1_size: usize,
+    /// Entries in the daily L2 layer.
+    pub l2_size: usize,
+    /// Queries queued for the next batch cycle.
+    pub pending: usize,
+    /// Cumulative cache hit rate.
+    pub hit_rate: f64,
+    /// p50 request latency (µs).
+    pub p50_us: u64,
+    /// p99 request latency (µs).
+    pub p99_us: u64,
+    /// Feature-store size.
+    pub features: usize,
+    /// Current model version.
+    pub model_version: u64,
+}
+
+/// The full serving system.
+pub struct ServingSystem {
+    /// The two-layer cache.
+    pub cache: CacheStore,
+    /// The feature store.
+    pub features: FeatureStore,
+    /// Request-path latency.
+    pub latency: LatencyRecorder,
+    kg: Arc<KnowledgeGraph>,
+    lm: Arc<CosmoLm>,
+    cfg: ServingConfig,
+    model_version: AtomicU64,
+    feedback: Mutex<Vec<(String, String)>>,
+}
+
+impl ServingSystem {
+    /// Build the system; `preload` seeds the L1 yearly-frequent layer
+    /// (features are computed eagerly for those queries).
+    pub fn new(
+        kg: Arc<KnowledgeGraph>,
+        lm: Arc<CosmoLm>,
+        preload: &[String],
+        cfg: ServingConfig,
+    ) -> Self {
+        let preloaded: Vec<StructuredFeatures> = preload
+            .iter()
+            .map(|q| compute_features(q, &kg, &lm))
+            .collect();
+        let features = FeatureStore::new();
+        for f in &preloaded {
+            features.put(f.clone());
+        }
+        ServingSystem {
+            cache: CacheStore::new(preloaded, cfg.l1_capacity),
+            features,
+            latency: LatencyRecorder::default(),
+            kg,
+            lm,
+            cfg,
+            model_version: AtomicU64::new(1),
+            feedback: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Request path: cache-only, never blocks on model inference.
+    pub fn handle_request(&self, query: &str) -> ServeResult {
+        let start = Instant::now();
+        let hit = self.cache.get(query);
+        let latency_us = start.elapsed().as_micros() as u64;
+        self.latency.record(latency_us);
+        match hit {
+            Some((f, layer)) => ServeResult { features: Some(f), layer: Some(layer), latency_us },
+            None => ServeResult { features: None, layer: None, latency_us },
+        }
+    }
+
+    /// One batch cycle: drain pending queries, compute features on the
+    /// worker pool, install into L2 and the feature store. Returns the
+    /// number of queries processed.
+    pub fn run_batch_cycle(&self) -> usize {
+        let queries = self.cache.drain_pending(self.cfg.batch_size);
+        if queries.is_empty() {
+            return 0;
+        }
+        let computed: Mutex<Vec<StructuredFeatures>> =
+            Mutex::new(Vec::with_capacity(queries.len()));
+        let chunk = queries.len().div_ceil(self.cfg.workers.max(1));
+        let computed_ref = &computed;
+        crossbeam::thread::scope(|scope| {
+            for part in queries.chunks(chunk.max(1)) {
+                scope.spawn(move |_| {
+                    let mut local = Vec::with_capacity(part.len());
+                    for q in part {
+                        local.push(compute_features(q, &self.kg, &self.lm));
+                    }
+                    computed_ref.lock().extend(local);
+                });
+            }
+        })
+        .expect("batch worker panicked");
+        let computed = computed.into_inner();
+        let mut arcs = Vec::with_capacity(computed.len());
+        for f in computed {
+            arcs.push(self.features.put(f));
+        }
+        let n = arcs.len();
+        self.cache.install(arcs);
+        n
+    }
+
+    /// Daily refresh: bump the model version (simulating the SageMaker
+    /// re-deployment with fresh behaviour logs) and rotate the cache.
+    /// Returns the number of promoted L1 entries.
+    pub fn daily_refresh(&self) -> usize {
+        self.model_version.fetch_add(1, Ordering::Relaxed);
+        self.cache.daily_refresh()
+    }
+
+    /// Current model version (increments per daily refresh).
+    pub fn model_version(&self) -> u64 {
+        self.model_version.load(Ordering::Relaxed)
+    }
+
+    /// Operational snapshot for dashboards/alerts.
+    pub fn snapshot(&self) -> SystemSnapshot {
+        let (l1_size, l2_size) = self.cache.sizes();
+        SystemSnapshot {
+            l1_size,
+            l2_size,
+            pending: self.cache.pending_len(),
+            hit_rate: self.cache.metrics.hit_rate(),
+            p50_us: self.latency.percentile(0.5),
+            p99_us: self.latency.percentile(0.99),
+            features: self.features.len(),
+            model_version: self.model_version(),
+        }
+    }
+
+    /// Feedback loop: record a served interaction (query, purchased
+    /// product) for the next model refresh.
+    pub fn record_feedback(&self, query: &str, product: &str) {
+        self.feedback.lock().push((query.to_string(), product.to_string()));
+    }
+
+    /// Drain accumulated feedback (consumed by the next offline run).
+    pub fn drain_feedback(&self) -> Vec<(String, String)> {
+        std::mem::take(&mut self.feedback.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmo_kg::Relation;
+    use cosmo_lm::StudentConfig;
+
+    fn system(preload: &[&str]) -> ServingSystem {
+        let lm = Arc::new(CosmoLm::new(
+            StudentConfig::default(),
+            vec![
+                ("sleeping outdoors".into(), Some(Relation::UsedForFunc)),
+                ("keeping warm".into(), Some(Relation::CapableOf)),
+            ],
+        ));
+        let kg = Arc::new(KnowledgeGraph::new());
+        let preload: Vec<String> = preload.iter().map(|s| s.to_string()).collect();
+        ServingSystem::new(kg, lm, &preload, ServingConfig { workers: 2, ..Default::default() })
+    }
+
+    #[test]
+    fn preloaded_queries_hit_l1() {
+        let sys = system(&["camping"]);
+        let r = sys.handle_request("camping");
+        assert!(r.features.is_some());
+        assert_eq!(r.layer, Some(CacheLayer::L1));
+    }
+
+    #[test]
+    fn miss_then_batch_then_l2_hit() {
+        let sys = system(&[]);
+        let r = sys.handle_request("hiking gear");
+        assert!(r.features.is_none(), "first request must not block");
+        let processed = sys.run_batch_cycle();
+        assert_eq!(processed, 1);
+        let r2 = sys.handle_request("hiking gear");
+        assert_eq!(r2.layer, Some(CacheLayer::L2));
+        assert!(sys.features.get("hiking gear").is_some());
+    }
+
+    #[test]
+    fn batch_cycle_uses_all_pending() {
+        let sys = system(&[]);
+        for i in 0..20 {
+            let _ = sys.handle_request(&format!("query {i}"));
+        }
+        assert_eq!(sys.run_batch_cycle(), 20);
+        assert_eq!(sys.run_batch_cycle(), 0, "queue drained");
+    }
+
+    #[test]
+    fn daily_refresh_bumps_model_version() {
+        let sys = system(&[]);
+        assert_eq!(sys.model_version(), 1);
+        let _ = sys.handle_request("q");
+        sys.run_batch_cycle();
+        let _ = sys.handle_request("q"); // L2 hit → promotion candidate
+        let promoted = sys.daily_refresh();
+        assert_eq!(sys.model_version(), 2);
+        assert_eq!(promoted, 1);
+        let r = sys.handle_request("q");
+        assert_eq!(r.layer, Some(CacheLayer::L1));
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let sys = system(&["hot"]);
+        let _ = sys.handle_request("hot");
+        let _ = sys.handle_request("cold");
+        let snap = sys.snapshot();
+        assert_eq!(snap.l1_size, 1);
+        assert_eq!(snap.pending, 1);
+        assert!((snap.hit_rate - 0.5).abs() < 1e-9);
+        assert_eq!(snap.model_version, 1);
+        sys.run_batch_cycle();
+        let snap2 = sys.snapshot();
+        assert_eq!(snap2.pending, 0);
+        assert_eq!(snap2.l2_size, 1);
+        assert!(snap2.features >= 2);
+    }
+
+    #[test]
+    fn latency_recorder_percentiles() {
+        let rec = LatencyRecorder::default();
+        for v in [1u64, 2, 3, 4, 100] {
+            rec.record(v);
+        }
+        assert_eq!(rec.percentile(0.5), 3);
+        assert_eq!(rec.percentile(1.0), 100);
+        assert_eq!(rec.len(), 5);
+    }
+
+    #[test]
+    fn feedback_loop_roundtrip() {
+        let sys = system(&[]);
+        sys.record_feedback("camping", "acme tent");
+        sys.record_feedback("camping", "acme mattress");
+        let fb = sys.drain_feedback();
+        assert_eq!(fb.len(), 2);
+        assert!(sys.drain_feedback().is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! # cosmo-sessrec
+//!
+//! Session-based recommendation (§4.2): the synthetic session datasets of
+//! Table 7 (clothing / electronics, with the electronics domain showing
+//! longer sessions and more query revisions), all seven baselines of
+//! §4.2.2 (FPMC, GRU4Rec, STAMP, CSRM, SR-GNN, GC-SAN, GCE-GNN) and
+//! COSMO-GNN (§4.2.3), trained with full-softmax next-item prediction and
+//! evaluated with Hits/NDCG/MRR@10 — the machinery behind Table 8.
+
+pub mod dataset;
+pub mod metrics;
+pub mod models;
+pub mod rewrites;
+
+pub use dataset::{attach_knowledge, generate_sessions, Session, SessionConfig, SessionDataset};
+pub use metrics::RankMetrics;
+pub use models::gnn::{CosmoGnn, GcSan, GceGnn, SrGnn};
+pub use models::seq::{Csrm, Fpmc, Gru4Rec, Stamp};
+pub use models::{evaluate, ModelScores, SessionModel, TrainConfig};
+pub use rewrites::{drift_analysis, DriftReport};
+
+/// Run every Table 8 model on one dataset, in paper order.
+pub fn run_all_models(ds: &SessionDataset, cfg: &TrainConfig, k: usize) -> Vec<ModelScores> {
+    let mut results = Vec::new();
+    macro_rules! run {
+        ($model:expr) => {{
+            let mut m = $model;
+            m.fit(ds, cfg);
+            results.push(evaluate(&m, ds, k));
+        }};
+    }
+    run!(Fpmc::new());
+    run!(Gru4Rec::new());
+    run!(Stamp::new());
+    run!(Csrm::new());
+    run!(SrGnn::new());
+    run!(GcSan::new());
+    run!(GceGnn::new());
+    run!(CosmoGnn::new());
+    results
+}

@@ -1,0 +1,68 @@
+//! Table 8 shape at reduced scale: COSMO-GNN must beat GCE-GNN (the model
+//! it extends) and FPMC must trail the neural models.
+
+use cosmo_sessrec::*;
+use cosmo_synth::{World, WorldConfig};
+
+fn dataset() -> SessionDataset {
+    let w = World::generate(WorldConfig::tiny(131));
+    let mut ds = generate_sessions(&w, &SessionConfig::clothing(9, 60));
+    // sparse categorical encoding of the query's top intent (what the
+    // student's constrained decoding produces)
+    attach_knowledge(&mut ds, |text| {
+        let mut v = vec![0.0f32; 32];
+        v[(cosmo_text::hash::hash_str_ns(text, 77) % 32) as usize] = 1.0;
+        v
+    });
+    ds
+}
+
+#[test]
+fn cosmo_gnn_beats_gce_gnn_and_fpmc() {
+    let ds = dataset();
+    let cfg = TrainConfig { epochs: 3, dim: 16, ..Default::default() };
+    let mut gce = GceGnn::new();
+    gce.fit(&ds, &cfg);
+    let gce_scores = evaluate(&gce, &ds, 10);
+
+    let mut cosmo = CosmoGnn::new();
+    cosmo.fit(&ds, &cfg);
+    let cosmo_scores = evaluate(&cosmo, &ds, 10);
+
+    let mut fpmc = Fpmc::new();
+    fpmc.fit(&ds, &cfg);
+    let fpmc_scores = evaluate(&fpmc, &ds, 10);
+
+    assert!(
+        cosmo_scores.hits > gce_scores.hits,
+        "COSMO-GNN ({:.1}) must beat GCE-GNN ({:.1}) on Hits@10 — §4.2.4",
+        cosmo_scores.hits,
+        gce_scores.hits
+    );
+    assert!(
+        cosmo_scores.hits > fpmc_scores.hits,
+        "COSMO-GNN ({:.1}) must beat FPMC ({:.1})",
+        cosmo_scores.hits,
+        fpmc_scores.hits
+    );
+    assert!(cosmo_scores.ndcg > 0.0 && cosmo_scores.mrr > 0.0);
+}
+
+#[test]
+fn every_model_trains_and_scores() {
+    let w = World::generate(WorldConfig::tiny(132));
+    let mut ds = generate_sessions(&w, &SessionConfig::electronics(10, 12));
+    attach_knowledge(&mut ds, |text| vec![text.len() as f32 % 7.0; 8]);
+    let cfg = TrainConfig { epochs: 1, dim: 8, max_sessions: 10, ..Default::default() };
+    let results = run_all_models(&ds, &cfg, 10);
+    assert_eq!(results.len(), 8);
+    let names: Vec<&str> = results.iter().map(|r| r.model.as_str()).collect();
+    assert_eq!(
+        names,
+        ["FPMC", "GRU4Rec", "STAMP", "CSRM", "SRGNN", "GC-SAN", "GCE-GNN", "COSMO-GNN"]
+    );
+    for r in &results {
+        assert!(r.hits >= 0.0 && r.hits <= 100.0);
+        assert!(r.ndcg <= r.hits + 1e-9, "{}: ndcg must not exceed hits", r.model);
+    }
+}

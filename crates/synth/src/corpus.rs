@@ -1,0 +1,78 @@
+//! Training-corpus extraction.
+//!
+//! The paper's rule filter uses a GPT-2 LM and its similarity filter uses an
+//! embedding model "pretrained on the e-commerce corpus including query,
+//! product information etc." (§3.3.1). This module produces that corpus
+//! from the world: product titles, query texts, and fluent knowledge
+//! sentences verbalised from the ground-truth profiles.
+
+use crate::world::World;
+
+/// Extract the e-commerce pre-training corpus.
+pub fn corpus(world: &World) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in &world.products {
+        out.push(p.title.clone());
+    }
+    for q in &world.queries {
+        out.push(q.text.clone());
+    }
+    for pt in &world.product_types {
+        for (iid, _) in &pt.profile {
+            let intent = world.intent(*iid);
+            out.push(format!(
+                "the {} {} {}",
+                pt.name,
+                intent.relation.predicate(),
+                intent.tail
+            ));
+            out.push(format!("they are {} {}", short_predicate(intent.relation), intent.tail));
+        }
+    }
+    out
+}
+
+/// The predicate fragment used in first-person-plural knowledge sentences
+/// ("they are used for camping").
+fn short_predicate(relation: cosmo_kg::Relation) -> &'static str {
+    use cosmo_kg::Relation::*;
+    match relation {
+        UsedForFunc | UsedForEve | UsedForAud => "used for",
+        CapableOf => "capable of",
+        UsedTo => "used to",
+        UsedAs => "used as",
+        IsA => "a kind of",
+        UsedOn => "used on",
+        UsedInLoc => "used in",
+        UsedInBody => "used on",
+        UsedWith => "used with",
+        UsedBy => "used by",
+        XInterestedIn => "for people interested in",
+        XIsA => "for",
+        XWant => "for people who want to",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn corpus_covers_titles_queries_and_knowledge() {
+        let w = World::generate(WorldConfig::tiny(3));
+        let c = corpus(&w);
+        assert!(c.len() > w.products.len() + w.queries.len());
+        assert!(c.contains(&w.products[0].title));
+        assert!(c.contains(&w.queries[0].text));
+        assert!(c.iter().any(|s| s.starts_with("the ") && s.contains(" is ")));
+    }
+
+    #[test]
+    fn knowledge_sentences_are_fluent_phrases() {
+        let w = World::generate(WorldConfig::tiny(3));
+        let c = corpus(&w);
+        let k = c.iter().find(|s| s.starts_with("they are ")).unwrap();
+        assert!(cosmo_text::tokenize(k).len() >= 4);
+    }
+}

@@ -1,0 +1,330 @@
+//! Ground-truth judgment oracle.
+//!
+//! The paper pays professional annotators to answer five questions per
+//! knowledge candidate (§3.3.2): completeness, relevance, informativeness,
+//! plausibility, typicality. Offline we have no annotators — but we *do*
+//! have the world's ground-truth intent profiles, so the oracle computes
+//! the last four judgments exactly (completeness is a purely textual
+//! property checked by the annotation simulator). The human noise model
+//! (disagreement, adjudication) is layered on top in
+//! `cosmo-core::annotation`.
+
+use crate::world::{ProductId, QueryId, QueryKind, World};
+use cosmo_kg::Relation;
+use cosmo_text::{canonicalize_tail, tokenize};
+
+/// The oracle's four semantic judgments (Appendix B of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Judgment {
+    /// Closely connected in meaning to the behaviour it explains.
+    pub relevant: bool,
+    /// Specifies a functional requirement rather than a platitude.
+    pub informative: bool,
+    /// Accurate and reasonable in this behaviour's context.
+    pub plausible: bool,
+    /// Representative of typical shopping behaviour.
+    pub typical: bool,
+}
+
+/// Generic tails the teacher emits that are "neither faithful nor helpful"
+/// (§1): plausible-sounding but uninformative.
+const GENERIC_TAILS: &[&str] = &[
+    "they like them",
+    "used for the same reason",
+    "used for the same purpose",
+    "the same purpose",
+    "good quality",
+    "a good product",
+    "used together",
+    "used for many things",
+    "a great gift",
+    "a popular item",
+    "what customers want",
+];
+
+/// Typicality threshold on profile weights: intents at or above this weight
+/// are typical reasons to buy the product type.
+pub const TYPICAL_WEIGHT: f32 = 0.5;
+
+/// Ground-truth judge over a world.
+#[derive(Debug, Clone, Copy)]
+pub struct Oracle<'w> {
+    world: &'w World,
+}
+
+impl<'w> Oracle<'w> {
+    /// Wrap a world.
+    pub fn new(world: &'w World) -> Self {
+        Oracle { world }
+    }
+
+    /// Is this tail a generic platitude?
+    pub fn is_generic(tail: &str) -> bool {
+        let canon = canonicalize_tail(tail);
+        GENERIC_TAILS.iter().any(|g| canon == canonicalize_tail(g))
+            || canon.contains("same reason")
+            || canon.contains("like them")
+    }
+
+    /// Judge a search-buy knowledge candidate `(q, p, relation, tail)`.
+    pub fn judge_search_buy(
+        &self,
+        q: QueryId,
+        p: ProductId,
+        relation: Relation,
+        tail: &str,
+    ) -> Judgment {
+        let informative = !Self::is_generic(tail) && !tokenize(tail).is_empty();
+        let Some(intent) = self.world.lookup_intent(relation, tail) else {
+            // Hallucinated tail: no such intention exists in this world.
+            return Judgment { relevant: false, informative, plausible: false, typical: false };
+        };
+        let pt = self.world.ptype_of(p);
+        let query = self.world.query(q);
+        let w = pt.weight_of(intent);
+        let intent_domain = self.world.intent(intent).domain;
+        let query_matches_intent = match query.kind {
+            QueryKind::Broad(qi) => qi == intent,
+            QueryKind::Specific(_) => false,
+        };
+        let product_on_target = query.target_types.contains(&self.world.product(p).ptype);
+        let relevant = intent_domain == pt.domain && (w > 0.0 || query_matches_intent);
+        let plausible = w > 0.0;
+        // Typical: the intent is a typical reason to buy this product AND it
+        // is consistent with what the query was actually after.
+        let typical = informative
+            && plausible
+            && w >= TYPICAL_WEIGHT
+            && (query_matches_intent || product_on_target);
+        Judgment { relevant, informative, plausible, typical }
+    }
+
+    /// Judge a co-buy knowledge candidate `(p1, p2, relation, tail)`.
+    ///
+    /// The crucial rule (motivating Table 4's low co-buy typicality): the
+    /// tail must explain the *common* reason for buying both products. A
+    /// tail true of only one of the two is judged implausible for the pair,
+    /// exactly as §3.4 describes ("LLMs mostly generate intention knowledge
+    /// for one of the co-purchased products…, making generations
+    /// implausible").
+    pub fn judge_cobuy(
+        &self,
+        p1: ProductId,
+        p2: ProductId,
+        relation: Relation,
+        tail: &str,
+    ) -> Judgment {
+        let informative = !Self::is_generic(tail) && !tokenize(tail).is_empty();
+        let Some(intent) = self.world.lookup_intent(relation, tail) else {
+            return Judgment { relevant: false, informative, plausible: false, typical: false };
+        };
+        let t1 = self.world.ptype_of(p1);
+        let t2 = self.world.ptype_of(p2);
+        let w1 = t1.weight_of(intent);
+        let w2 = t2.weight_of(intent);
+        let intent_domain = self.world.intent(intent).domain;
+        let relevant =
+            (intent_domain == t1.domain || intent_domain == t2.domain) && w1.max(w2) > 0.0;
+        // UsedWith tails naming the partner's base are shared by
+        // construction; otherwise the intent must sit in both profiles.
+        let shared = w1 > 0.0 && w2 > 0.0;
+        let plausible = shared;
+        let typical = informative && shared && w1.min(w2) >= 0.4 && w1.max(w2) >= TYPICAL_WEIGHT;
+        Judgment { relevant, informative, plausible, typical }
+    }
+
+    /// Ground truth for the co-purchase-prediction auxiliary task (§3.4):
+    /// is this pair complementary rather than random?
+    pub fn is_true_cobuy(&self, p1: ProductId, p2: ProductId) -> bool {
+        let t1 = self.world.product(p1).ptype;
+        let t2 = self.world.product(p2).ptype;
+        self.world.ptype(t1).complements.contains(&t2)
+    }
+
+    /// Ground truth for the search-relevance auxiliary task: does the
+    /// product satisfy the query?
+    pub fn is_relevant_searchbuy(&self, q: QueryId, p: ProductId) -> bool {
+        self.world
+            .query(q)
+            .target_types
+            .contains(&self.world.product(p).ptype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{IntentId, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny(5))
+    }
+
+    /// Find a search-buy pair on target plus one of the product's typical
+    /// intents.
+    fn typical_case(w: &World) -> (QueryId, ProductId, Relation, String) {
+        for (qi, q) in w.queries.iter().enumerate() {
+            if let QueryKind::Broad(intent) = q.kind {
+                let t = q.target_types[0];
+                if w.ptype(t).weight_of(intent) >= TYPICAL_WEIGHT {
+                    let p = w.products_of_type(t)[0];
+                    let i = w.intent(intent);
+                    return (QueryId(qi as u32), p, i.relation, i.tail.clone());
+                }
+            }
+        }
+        panic!("no typical case found");
+    }
+
+    #[test]
+    fn typical_knowledge_judged_typical() {
+        let w = world();
+        let (q, p, rel, tail) = typical_case(&w);
+        let j = Oracle::new(&w).judge_search_buy(q, p, rel, &tail);
+        assert!(j.relevant && j.informative && j.plausible && j.typical, "{j:?}");
+    }
+
+    #[test]
+    fn hallucinated_tail_is_implausible() {
+        let w = world();
+        let (q, p, rel, _) = typical_case(&w);
+        let j = Oracle::new(&w).judge_search_buy(q, p, rel, "powering a spaceship");
+        assert!(!j.plausible && !j.typical && !j.relevant);
+    }
+
+    #[test]
+    fn generic_tail_is_uninformative() {
+        assert!(Oracle::is_generic("they like them"));
+        assert!(Oracle::is_generic("because they are used for the same reason"));
+        assert!(!Oracle::is_generic("walking the dog"));
+        let w = world();
+        let (q, p, rel, _) = typical_case(&w);
+        let j = Oracle::new(&w).judge_search_buy(q, p, rel, "they like them");
+        assert!(!j.informative && !j.typical);
+    }
+
+    #[test]
+    fn one_sided_cobuy_intent_is_implausible() {
+        let w = world();
+        let oracle = Oracle::new(&w);
+        // find a complementary pair and an intent exclusive to one side
+        'outer: for pt in &w.product_types {
+            for &c in &pt.complements {
+                let other = w.ptype(c);
+                for (iid, wt) in &pt.profile {
+                    if *wt >= TYPICAL_WEIGHT && other.weight_of(*iid) == 0.0 {
+                        let p1 = w.products_of_type(
+                            crate::world::ProductTypeId(
+                                w.product_types.iter().position(|x| std::ptr::eq(x, pt)).unwrap() as u32,
+                            ),
+                        )[0];
+                        let p2 = w.products_of_type(c)[0];
+                        let i = w.intent(*iid);
+                        let j = oracle.judge_cobuy(p1, p2, i.relation, &i.tail);
+                        assert!(!j.plausible, "one-sided intent must be implausible for the pair");
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_cobuy_intent_is_plausible() {
+        let w = world();
+        let oracle = Oracle::new(&w);
+        let mut checked = false;
+        'outer: for (ti, pt) in w.product_types.iter().enumerate() {
+            for &c in &pt.complements {
+                let other = w.ptype(c);
+                for (iid, wt) in &pt.profile {
+                    let w2 = other.weight_of(*iid);
+                    if *wt >= TYPICAL_WEIGHT && w2 >= 0.4 {
+                        let p1 = w.products_of_type(crate::world::ProductTypeId(ti as u32))[0];
+                        let p2 = w.products_of_type(c)[0];
+                        let i = w.intent(*iid);
+                        let j = oracle.judge_cobuy(p1, p2, i.relation, &i.tail);
+                        assert!(j.plausible && j.typical, "{j:?}");
+                        checked = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        // Shared intents may be rare in a tiny world; at minimum the loop
+        // must not mis-judge when one exists.
+        let _ = checked;
+    }
+
+    #[test]
+    fn true_cobuy_detection() {
+        let w = world();
+        let oracle = Oracle::new(&w);
+        let pt = &w.product_types[0];
+        let c = pt.complements[0];
+        let p1 = w.products_of_type(crate::world::ProductTypeId(0))[0];
+        let p2 = w.products_of_type(c)[0];
+        assert!(oracle.is_true_cobuy(p1, p2));
+    }
+
+    #[test]
+    fn search_relevance_ground_truth() {
+        let w = world();
+        let oracle = Oracle::new(&w);
+        let (qi, q) = w
+            .queries
+            .iter()
+            .enumerate()
+            .find(|(_, q)| !q.target_types.is_empty())
+            .unwrap();
+        let p_on = w.products_of_type(q.target_types[0])[0];
+        assert!(oracle.is_relevant_searchbuy(QueryId(qi as u32), p_on));
+    }
+
+    #[test]
+    fn atypical_weight_not_typical() {
+        let w = world();
+        let oracle = Oracle::new(&w);
+        // Find a product with a fringe (low-weight) intent; pair it with a
+        // specific query for its own type: plausible but not typical.
+        for (ti, pt) in w.product_types.iter().enumerate() {
+            if let Some((iid, _)) = pt
+                .profile
+                .iter()
+                .find(|(_, wt)| *wt > 0.0 && *wt < 0.35)
+            {
+                let tid = crate::world::ProductTypeId(ti as u32);
+                let qid = w
+                    .queries
+                    .iter()
+                    .position(|q| matches!(q.kind, QueryKind::Specific(t) if t == tid));
+                if let Some(qid) = qid {
+                    let p = w.products_of_type(tid)[0];
+                    let i = w.intent(*iid);
+                    let j = oracle.judge_search_buy(QueryId(qid as u32), p, i.relation, &i.tail);
+                    assert!(j.plausible, "fringe intent should be plausible");
+                    assert!(!j.typical, "fringe intent must not be typical");
+                    return;
+                }
+            }
+        }
+        panic!("no fringe case found");
+    }
+
+    #[test]
+    fn judgments_use_canonical_tails() {
+        let w = world();
+        let (q, p, rel, tail) = typical_case(&w);
+        let oracle = Oracle::new(&w);
+        let j1 = oracle.judge_search_buy(q, p, rel, &tail);
+        let shouty = format!("They are {}!", tail.to_uppercase());
+        let j2 = oracle.judge_search_buy(q, p, rel, &shouty);
+        assert_eq!(j1.plausible, j2.plausible);
+        assert_eq!(j1.typical, j2.typical);
+    }
+
+    #[allow(dead_code)]
+    fn intent_exists(w: &World, id: IntentId) -> bool {
+        (id.0 as usize) < w.intents.len()
+    }
+}

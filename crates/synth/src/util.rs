@@ -1,0 +1,119 @@
+//! Sampling helpers shared across the world model.
+
+use rand::Rng;
+
+/// Sample an index proportional to `weights` (all non-negative, not all
+/// zero). Linear scan — the weight vectors here are small or sampled rarely.
+pub fn sample_weighted(weights: &[f64], rng: &mut impl Rng) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Precomputed alias-free cumulative distribution for repeated weighted
+/// sampling (binary search per draw). Used for popularity-weighted product
+/// and query draws, which happen millions of times when generating logs.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    cumulative: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from non-negative weights (not all zero).
+    pub fn new(weights: &[f64]) -> Self {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            debug_assert!(w >= 0.0, "negative weight");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "Cdf requires positive total weight");
+        Cdf { cumulative }
+    }
+
+    /// Draw an index.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).unwrap())
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false (construction requires at least one weight).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+/// Zipf weight for rank `r` (1-based) with exponent `s`.
+pub fn zipf_weight(rank: usize, s: f64) -> f64 {
+    1.0 / (rank as f64).powf(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let weights = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[sample_weighted(&weights, &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 9.0).abs() < 1.5, "ratio={ratio}");
+    }
+
+    #[test]
+    fn cdf_matches_direct_sampling() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let weights = [2.0, 3.0, 5.0];
+        let cdf = Cdf::new(&weights);
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[cdf.sample(&mut rng)] += 1;
+        }
+        assert!((counts[0] as f64 / 20_000.0 - 0.2).abs() < 0.02);
+        assert!((counts[2] as f64 / 20_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn zipf_is_decreasing() {
+        let w: Vec<f64> = (1..=5).map(|r| zipf_weight(r, 0.8)).collect();
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn cdf_rejects_all_zero() {
+        let _ = Cdf::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Calibration tests for the teacher's quality mixture: the empirical
+//! provenance distribution must follow the configured probabilities, and
+//! the oracle-judged raw quality must land where Table 4 expects the
+//! *pre-filter* pool (search-buy better than co-buy, both noisy).
+
+use cosmo_synth::{BehaviorConfig, BehaviorLog, Oracle, World, WorldConfig};
+use cosmo_teacher::{parse_candidate, Provenance, Teacher, TeacherConfig};
+
+fn setup() -> (World, BehaviorLog) {
+    let w = World::generate(WorldConfig::tiny(301));
+    let log = BehaviorLog::generate(&w, &BehaviorConfig::tiny(302));
+    (w, log)
+}
+
+#[test]
+fn searchbuy_mixture_matches_configuration() {
+    let (w, log) = setup();
+    let cfg = TeacherConfig::default();
+    let mix = cfg.search_buy_mixture.clone();
+    let mut teacher = Teacher::new(&w, cfg);
+    let n = 4_000;
+    let mut counts = std::collections::HashMap::new();
+    for i in 0..n {
+        let sb = &log.search_buys[i % log.search_buys.len()];
+        let c = teacher.generate_search_buy(sb.query, sb.product);
+        *counts.entry(c.provenance).or_insert(0usize) += 1;
+    }
+    let total: f64 = mix.typical
+        + mix.plausible_atypical
+        + mix.generic
+        + mix.paraphrase
+        + mix.implausible
+        + mix.incomplete;
+    for (prov, expected) in [
+        (Provenance::Typical, mix.typical),
+        (Provenance::Generic, mix.generic),
+        (Provenance::Incomplete, mix.incomplete),
+        (Provenance::Implausible, mix.implausible),
+    ] {
+        let observed = *counts.get(&prov).unwrap_or(&0) as f64 / n as f64;
+        let expected = expected / total;
+        assert!(
+            (observed - expected).abs() < 0.03,
+            "{prov:?}: observed {observed:.3} vs configured {expected:.3}"
+        );
+    }
+    // search-buy never produces one-sided candidates
+    assert!(!counts.contains_key(&Provenance::OneSided));
+}
+
+#[test]
+fn raw_pool_quality_shape_matches_table4_premise() {
+    let (w, log) = setup();
+    let mut teacher = Teacher::new(&w, TeacherConfig::default());
+    let oracle = Oracle::new(&w);
+    let judge_rate = |cands: &[(bool, bool)]| {
+        let n = cands.len() as f64;
+        (
+            cands.iter().filter(|(p, _)| *p).count() as f64 / n,
+            cands.iter().filter(|(_, t)| *t).count() as f64 / n,
+        )
+    };
+    let mut sb_j = Vec::new();
+    for sb in log.search_buys.iter().take(1_500) {
+        let c = teacher.generate_search_buy(sb.query, sb.product);
+        if let Some(p) = parse_candidate(&c.raw) {
+            let j = oracle.judge_search_buy(sb.query, sb.product, c.relation, &p.tail);
+            sb_j.push((j.plausible, j.typical));
+        }
+    }
+    let mut cb_j = Vec::new();
+    for cb in log.cobuys.iter().take(1_500) {
+        let c = teacher.generate_cobuy(cb.p1, cb.p2);
+        if let Some(p) = parse_candidate(&c.raw) {
+            let j = oracle.judge_cobuy(cb.p1, cb.p2, c.relation, &p.tail);
+            cb_j.push((j.plausible, j.typical));
+        }
+    }
+    let (sb_p, sb_t) = judge_rate(&sb_j);
+    let (cb_p, cb_t) = judge_rate(&cb_j);
+    assert!(sb_p > cb_p, "search-buy plausibility {sb_p:.2} must exceed co-buy {cb_p:.2}");
+    assert!(sb_t > cb_t, "search-buy typicality {sb_t:.2} must exceed co-buy {cb_t:.2}");
+    assert!(sb_t < 0.5, "raw search-buy typicality should be noisy (<50%): {sb_t:.2}");
+    assert!(cb_t < 0.3, "raw co-buy typicality 'notably low': {cb_t:.2}");
+}
+
+#[test]
+fn cost_meter_reflects_model_choice() {
+    let (w, log) = setup();
+    let sb = log.search_buys[0];
+    let mut small = Teacher::new(
+        &w,
+        TeacherConfig { model: cosmo_teacher::TeacherModel::Llama7b, ..Default::default() },
+    );
+    let mut big = Teacher::new(
+        &w,
+        TeacherConfig { model: cosmo_teacher::TeacherModel::Opt175b, ..Default::default() },
+    );
+    small.generate_search_buy(sb.query, sb.product);
+    big.generate_search_buy(sb.query, sb.product);
+    assert!(big.meter.total_flops() > small.meter.total_flops() * 20.0);
+}

@@ -1,0 +1,117 @@
+//! String distance metrics used by the coarse-grained filter (§3.3.1):
+//! generations that are "exactly the same as query, product type or product
+//! title (or edit distance less than the threshold)" are dropped.
+
+/// Levenshtein edit distance between two strings, computed over characters
+/// with the classic two-row dynamic program (O(|a|·|b|) time, O(min) space).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur: Vec<usize> = vec![0; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Edit distance with an early-exit bound: returns `None` when the distance
+/// certainly exceeds `max`. Useful on the hot filter path where we only
+/// care whether two strings are within a small threshold.
+pub fn edit_distance_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la.abs_diff(lb) > max {
+        return None;
+    }
+    let d = edit_distance(a, b);
+    (d <= max).then_some(d)
+}
+
+/// Edit distance normalised by the longer string's length, in `[0, 1]`.
+pub fn normalized_edit_distance(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let m = la.max(lb);
+    if m == 0 {
+        return 0.0;
+    }
+    edit_distance(a, b) as f64 / m as f64
+}
+
+/// Jaccard similarity of the token sets of two strings.
+pub fn jaccard(a_tokens: &[String], b_tokens: &[String]) -> f64 {
+    use crate::hash::FxHashSet;
+    if a_tokens.is_empty() && b_tokens.is_empty() {
+        return 1.0;
+    }
+    let sa: FxHashSet<&str> = a_tokens.iter().map(|s| s.as_str()).collect();
+    let sb: FxHashSet<&str> = b_tokens.iter().map(|s| s.as_str()).collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    #[test]
+    fn identical_strings() {
+        assert_eq!(edit_distance("camping tent", "camping tent"), 0);
+    }
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(
+            edit_distance("air mattress", "mattress air"),
+            edit_distance("mattress air", "air mattress")
+        );
+    }
+
+    #[test]
+    fn bounded_early_exit() {
+        assert_eq!(edit_distance_bounded("short", "a much longer string", 3), None);
+        assert_eq!(edit_distance_bounded("kitten", "sitting", 3), Some(3));
+        assert_eq!(edit_distance_bounded("kitten", "sitting", 2), None);
+    }
+
+    #[test]
+    fn normalized_range() {
+        assert_eq!(normalized_edit_distance("", ""), 0.0);
+        assert_eq!(normalized_edit_distance("abc", "abc"), 0.0);
+        assert_eq!(normalized_edit_distance("abc", "xyz"), 1.0);
+    }
+
+    #[test]
+    fn jaccard_basic() {
+        let a = tokenize("used for walking the dog");
+        let b = tokenize("walking the dog");
+        let j = jaccard(&a, &b);
+        assert!((j - 3.0 / 5.0).abs() < 1e-9);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+    }
+}

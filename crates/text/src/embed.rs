@@ -1,0 +1,172 @@
+//! Hashed bag-of-n-gram sentence embeddings.
+//!
+//! The paper's similarity filter (§3.3.1, Eq. 1) embeds the generated
+//! knowledge tail and the behaviour context (query / product title) with an
+//! in-house e-commerce encoder and drops the tail when cosine similarity is
+//! above a threshold — those generations are "essentially paraphrases of the
+//! original user behaviour contexts with syntactic transformations".
+//!
+//! Our stand-in: each token contributes TF-IDF-weighted signed hash features
+//! for (a) the word itself, (b) its character trigrams (for morphological
+//! robustness: "camping" ≈ "camp"), and (c) word bigrams. This detects
+//! lexical/syntactic paraphrases, the exact failure mode being filtered,
+//! while orthogonal content (a true intention like "keep warm" for query
+//! "winter clothes") stays dissimilar.
+
+use crate::hash::hash_str_ns;
+use crate::tfidf::TfIdf;
+use crate::tokenize::{char_ngrams, tokenize};
+
+/// Feature namespaces.
+const NS_WORD: u32 = 1;
+const NS_CHAR3: u32 = 2;
+const NS_BIGRAM: u32 = 3;
+
+/// A frozen sentence embedder producing dense `dim`-dimensional vectors.
+#[derive(Debug, Clone)]
+pub struct HashedEmbedder {
+    dim: usize,
+    idf: TfIdf,
+    /// weight of char-trigram features relative to word features
+    char_weight: f32,
+    /// weight of bigram features relative to word features
+    bigram_weight: f32,
+}
+
+impl HashedEmbedder {
+    /// "Pre-train" the embedder on a corpus (fits document frequencies).
+    pub fn fit(corpus: &[String], dim: usize) -> Self {
+        assert!(dim >= 8, "embedding dimension too small");
+        HashedEmbedder {
+            dim,
+            idf: TfIdf::fit(corpus),
+            char_weight: 0.3,
+            bigram_weight: 0.6,
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn bucket(&self, h: u64) -> (usize, f32) {
+        let idx = (h % self.dim as u64) as usize;
+        // one bit of the hash decides the sign, reducing collision bias
+        let sign = if (h >> 63) & 1 == 0 { 1.0 } else { -1.0 };
+        (idx, sign)
+    }
+
+    fn add_feature(&self, v: &mut [f32], key: u64, w: f32) {
+        let (idx, sign) = self.bucket(key);
+        v[idx] += sign * w;
+    }
+
+    /// Embed raw text into an L2-normalised vector.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let tokens = tokenize(text);
+        self.embed_tokens(&tokens)
+    }
+
+    /// Embed a pre-tokenised document.
+    pub fn embed_tokens(&self, tokens: &[String]) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        for (i, tok) in tokens.iter().enumerate() {
+            let w = self.idf.idf(tok);
+            self.add_feature(&mut v, hash_str_ns(tok, NS_WORD), w);
+            for cg in char_ngrams(tok, 3) {
+                self.add_feature(&mut v, hash_str_ns(&cg, NS_CHAR3), w * self.char_weight);
+            }
+            if i + 1 < tokens.len() {
+                let bg = format!("{tok} {}", tokens[i + 1]);
+                self.add_feature(&mut v, hash_str_ns(&bg, NS_BIGRAM), w * self.bigram_weight);
+            }
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Cosine similarity of two raw texts (Eq. 1 of the paper).
+    pub fn similarity(&self, a: &str, b: &str) -> f32 {
+        crate::cosine(&self.embed(a), &self.embed(b))
+    }
+}
+
+fn l2_normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embedder() -> HashedEmbedder {
+        let corpus: Vec<String> = vec![
+            "camping air mattress for outdoor use".into(),
+            "winter clothes to keep warm".into(),
+            "running shoes with arch support".into(),
+            "dog leash for walking the dog".into(),
+            "screen protector glass for camera".into(),
+            "the product is used for many things".into(),
+        ];
+        HashedEmbedder::fit(&corpus, 256)
+    }
+
+    #[test]
+    fn identical_texts_have_similarity_one() {
+        let e = embedder();
+        let s = e.similarity("camping air mattress", "camping air mattress");
+        assert!((s - 1.0).abs() < 1e-5, "s={s}");
+    }
+
+    #[test]
+    fn paraphrase_scores_higher_than_unrelated() {
+        let e = embedder();
+        let para = e.similarity("camping air mattress", "air mattress for camping");
+        let unrelated = e.similarity("camping air mattress", "hydrating the skin");
+        assert!(
+            para > unrelated + 0.2,
+            "para={para} unrelated={unrelated}"
+        );
+    }
+
+    #[test]
+    fn morphological_variants_similar() {
+        let e = embedder();
+        let morph = e.similarity("used for camping", "used for camp");
+        let diff = e.similarity("used for camping", "used for welding");
+        assert!(morph > diff, "morph={morph} diff={diff}");
+    }
+
+    #[test]
+    fn true_intention_not_a_paraphrase() {
+        let e = embedder();
+        // "keep warm" is a genuine intention for "winter clothes": it must
+        // NOT be flagged as a paraphrase of the query itself.
+        let intent = e.similarity("winter clothes", "capable of keeping you warm");
+        let para = e.similarity("winter clothes", "clothes for the winter");
+        assert!(para > intent, "para={para} intent={intent}");
+    }
+
+    #[test]
+    fn embeddings_are_normalised() {
+        let e = embedder();
+        let v = e.embed("walking the dog");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero() {
+        let e = embedder();
+        let v = e.embed("");
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(e.similarity("", "anything"), 0.0);
+    }
+}

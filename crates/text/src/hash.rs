@@ -1,0 +1,127 @@
+//! A fast, non-cryptographic hasher (FxHash-style) and map/set aliases.
+//!
+//! The standard library's SipHash is DoS-resistant but slow for the short
+//! string and integer keys that dominate this codebase (token ids, node ids,
+//! n-gram keys). Since all inputs are locally generated, HashDoS is not a
+//! concern, so we use the multiply-xor scheme popularised by the Rust
+//! compiler's `FxHasher`. Implemented from scratch because third-party hash
+//! crates are not in the approved offline dependency set.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher; byte-order independent on a given platform, stable
+/// across runs (no random state), which also keeps experiments reproducible.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().unwrap());
+            self.add_to_hash(word);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Mix in the remainder length so "a" and "a\0" differ.
+            buf[7] = rem.len() as u8;
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Hash arbitrary bytes to a `u64` with [`FxHasher`] (one-shot convenience).
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Hash a string together with a small integer "namespace" so that the same
+/// token hashed for different feature spaces (e.g. unigram vs bigram) lands
+/// in different buckets.
+#[inline]
+pub fn hash_str_ns(s: &str, namespace: u32) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(namespace);
+    h.write(s.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_bytes(b"hello world"), hash_bytes(b"hello world"));
+        assert_ne!(hash_bytes(b"hello"), hash_bytes(b"hellp"));
+    }
+
+    #[test]
+    fn trailing_zero_bytes_differ() {
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"a\0"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn namespaces_separate_feature_spaces() {
+        assert_ne!(hash_str_ns("token", 0), hash_str_ns("token", 1));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(format!("key-{i}"), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&format!("key-{i}")), Some(&i));
+        }
+    }
+}

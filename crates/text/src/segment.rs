@@ -1,0 +1,168 @@
+//! Sentence segmentation.
+//!
+//! §3.3.1 of the paper: "We first use the sentence segmentation tool from
+//! nltk to extract the first sentence from generation." The teacher model
+//! produces free-running continuations ("1. they are capable of ... 2. ...")
+//! and only the first complete sentence/item is a knowledge candidate.
+//!
+//! This is a pragmatic rule-based segmenter: it splits on `.`, `!`, `?` and
+//! newline, is aware of a small abbreviation list and of enumerated-list
+//! markers ("1.", "2)"), which are exactly the patterns the QA prompt of
+//! Figure 3 induces.
+
+/// Abbreviations after which a period does not end a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "mr", "mrs", "ms", "dr", "st", "etc", "e.g", "i.e", "vs", "oz", "lb", "ft", "in",
+];
+
+/// Split `text` into sentences.
+pub fn split_sentences(text: &str) -> Vec<String> {
+    let mut sentences = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = text.chars().collect();
+    let n = chars.len();
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            push_sentence(&mut sentences, &mut cur);
+            i += 1;
+            continue;
+        }
+        cur.push(c);
+        if c == '!' || c == '?' {
+            push_sentence(&mut sentences, &mut cur);
+            i += 1;
+            continue;
+        }
+        if c == '.' {
+            // Enumerated list marker like "1." at sentence start: not an end.
+            let trimmed = cur.trim_start();
+            let body = &trimmed[..trimmed.len() - 1];
+            let is_enum_marker = !body.is_empty() && body.chars().all(|d| d.is_ascii_digit());
+            let last_word = body
+                .rsplit(|ch: char| ch.is_whitespace())
+                .next()
+                .unwrap_or("")
+                .trim_matches(|ch: char| !ch.is_alphanumeric() && ch != '.')
+                .to_lowercase();
+            let is_abbrev = ABBREVIATIONS.contains(&last_word.as_str())
+                || (last_word.len() == 1 && last_word.chars().all(|ch| ch.is_alphabetic()));
+            let next_is_digit = chars.get(i + 1).is_some_and(|ch| ch.is_ascii_digit());
+            if !is_enum_marker && !is_abbrev && !next_is_digit {
+                push_sentence(&mut sentences, &mut cur);
+            }
+        }
+        i += 1;
+    }
+    push_sentence(&mut sentences, &mut cur);
+    sentences
+}
+
+fn push_sentence(out: &mut Vec<String>, cur: &mut String) {
+    let s = cur.trim();
+    if !s.is_empty() {
+        out.push(s.to_string());
+    }
+    cur.clear();
+}
+
+/// Extract the first sentence of a generation, stripping a leading
+/// enumerated-list marker ("1.", "2)", "-"). Returns `None` when the text
+/// contains no sentence material at all.
+pub fn first_sentence(text: &str) -> Option<String> {
+    let sentences = split_sentences(text);
+    let first = sentences.into_iter().next()?;
+    Some(strip_list_marker(&first).to_string())
+}
+
+/// Remove a leading list marker such as "1.", "23)", "-", "*".
+pub fn strip_list_marker(s: &str) -> &str {
+    let t = s.trim_start();
+    let bytes = t.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i > 0 && i < bytes.len() && (bytes[i] == b'.' || bytes[i] == b')') {
+        return t[i + 1..].trim_start();
+    }
+    if let Some(rest) = t.strip_prefix('-').or_else(|| t.strip_prefix('*')) {
+        return rest.trim_start();
+    }
+    t
+}
+
+/// Heuristic completeness check: a candidate explanation must end with a
+/// sentence terminator or look like a full clause (≥ 2 tokens, not ending
+/// in a function word). Incomplete continuations such as "they are capable
+/// of" are the main failure mode of autoregressive truncation.
+pub fn looks_complete(sentence: &str) -> bool {
+    let toks = crate::tokenize::tokenize(sentence);
+    if toks.len() < 2 {
+        return false;
+    }
+    const DANGLING: &[&str] = &[
+        "a", "an", "the", "of", "for", "to", "and", "or", "with", "in", "on", "at", "by", "is",
+        "are", "be", "being", "their", "its", "his", "her", "very", "so", "because", "that",
+        "which", "who", "can", "could", "will", "would", "as",
+    ];
+    let last = toks.last().unwrap().as_str();
+    !DANGLING.contains(&last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_terminators() {
+        let s = split_sentences("First one. Second one! Third?");
+        assert_eq!(s, vec!["First one.", "Second one!", "Third?"]);
+    }
+
+    #[test]
+    fn keeps_abbreviations() {
+        let s = split_sentences("It weighs 3 oz. roughly speaking.");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn decimal_numbers_not_split() {
+        let s = split_sentences("It is 2.5 inches long.");
+        assert_eq!(s, vec!["It is 2.5 inches long."]);
+    }
+
+    #[test]
+    fn list_markers_not_sentence_ends() {
+        let s = split_sentences("1. they are used for camping. 2. they are durable.");
+        assert_eq!(s[0], "1. they are used for camping.");
+    }
+
+    #[test]
+    fn first_sentence_strips_marker() {
+        assert_eq!(
+            first_sentence("1. they are used for camping. 2. more.").as_deref(),
+            Some("they are used for camping.")
+        );
+        assert_eq!(
+            first_sentence("- bullet item. next.").as_deref(),
+            Some("bullet item.")
+        );
+        assert_eq!(first_sentence("   \n \n"), None);
+    }
+
+    #[test]
+    fn newline_separates() {
+        let s = split_sentences("line one\nline two");
+        assert_eq!(s, vec!["line one", "line two"]);
+    }
+
+    #[test]
+    fn completeness_heuristic() {
+        assert!(looks_complete("they are used for camping"));
+        assert!(!looks_complete("they are capable of"));
+        assert!(!looks_complete("because"));
+        assert!(!looks_complete("used for the"));
+    }
+}

@@ -1,0 +1,122 @@
+//! TF-IDF statistics over a corpus of documents.
+//!
+//! Backs the similarity filter's embedder ([`crate::embed`]) and the
+//! feature extraction of the critic classifiers in `cosmo-core`: rare,
+//! content-bearing tokens should dominate similarity, while stop-ish tokens
+//! ("used", "for", "the") — ubiquitous in knowledge tails — should not.
+
+use crate::hash::FxHashMap;
+
+/// Corpus-level document-frequency statistics with smoothed IDF.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdf {
+    doc_freq: FxHashMap<String, u32>,
+    num_docs: u32,
+}
+
+impl TfIdf {
+    /// Create empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe one document given as a token slice; each distinct token's
+    /// document frequency is incremented once.
+    pub fn observe_doc(&mut self, tokens: &[String]) {
+        self.num_docs += 1;
+        let mut seen: Vec<&str> = Vec::with_capacity(tokens.len());
+        for t in tokens {
+            if !seen.contains(&t.as_str()) {
+                seen.push(t);
+                *self.doc_freq.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Train from raw strings.
+    pub fn fit(corpus: &[String]) -> Self {
+        let mut s = Self::new();
+        for doc in corpus {
+            let toks = crate::tokenize::tokenize(doc);
+            s.observe_doc(&toks);
+        }
+        s
+    }
+
+    /// Number of observed documents.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Smoothed inverse document frequency:
+    /// `ln((1 + N) / (1 + df)) + 1`, always positive.
+    pub fn idf(&self, token: &str) -> f32 {
+        let df = self.doc_freq.get(token).copied().unwrap_or(0);
+        (((1 + self.num_docs) as f32 / (1 + df) as f32).ln()) + 1.0
+    }
+
+    /// TF-IDF weights of a document's tokens (raw term frequency × IDF),
+    /// returned as `(token, weight)` pairs with duplicates merged.
+    pub fn weigh<'a>(&self, tokens: &'a [String]) -> Vec<(&'a str, f32)> {
+        let mut tf: FxHashMap<&str, f32> = FxHashMap::default();
+        for t in tokens {
+            *tf.entry(t.as_str()).or_insert(0.0) += 1.0;
+        }
+        let mut out: Vec<(&str, f32)> =
+            tf.into_iter().map(|(t, f)| (t, f * self.idf(t))).collect();
+        out.sort_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rare_tokens_have_higher_idf() {
+        let corpus: Vec<String> = vec![
+            "used for camping".into(),
+            "used for hiking".into(),
+            "used for swimming".into(),
+            "capable of snorkeling".into(),
+        ];
+        let stats = TfIdf::fit(&corpus);
+        assert!(stats.idf("snorkeling") > stats.idf("used"));
+        assert!(stats.idf("for") < stats.idf("camping"));
+    }
+
+    #[test]
+    fn unseen_token_gets_max_idf() {
+        let stats = TfIdf::fit(&["a b c".into(), "a b".into()]);
+        assert!(stats.idf("zzz") >= stats.idf("c"));
+        assert!(stats.idf("zzz") > stats.idf("a"));
+    }
+
+    #[test]
+    fn idf_always_positive() {
+        let docs = vec!["common common".to_string(); 50];
+        let stats = TfIdf::fit(&docs);
+        assert!(stats.idf("common") > 0.0);
+    }
+
+    #[test]
+    fn weigh_merges_duplicates() {
+        let stats = TfIdf::fit(&["x y".into(), "x z".into()]);
+        let toks = crate::tokenize::tokenize("x x y");
+        let w = stats.weigh(&toks);
+        assert_eq!(w.len(), 2);
+        let x = w.iter().find(|(t, _)| *t == "x").unwrap().1;
+        let y = w.iter().find(|(t, _)| *t == "y").unwrap().1;
+        assert!(x > 0.0 && y > 0.0);
+        // x appears twice in the doc; tf doubles its weight relative to its idf
+        assert!(x / stats.idf("x") > y / stats.idf("y"));
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let stats = TfIdf::new();
+        assert_eq!(stats.num_docs(), 0);
+        assert!(stats.idf("anything") > 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Lightweight word tokenizer.
+//!
+//! All text in the synthetic world is ASCII-ish English, so tokenisation is:
+//! lowercase, split into maximal runs of alphanumeric characters (keeping
+//! internal apostrophes and hyphens, as in `cat's` or `4-person`), dropping
+//! everything else. This matches what the paper's filters need: token
+//! streams for n-gram LM scoring, duplicate checks and embeddings.
+
+/// Returns `true` for characters that may appear inside a token.
+#[inline]
+fn is_token_char(c: char) -> bool {
+    c.is_alphanumeric()
+}
+
+/// Returns `true` for characters that join two token chars (kept only when
+/// surrounded by token characters on both sides).
+#[inline]
+fn is_joiner(c: char) -> bool {
+    c == '\'' || c == '-'
+}
+
+/// Tokenize `text` into lowercase word tokens, appending into `out`.
+///
+/// Reusing the output buffer avoids per-call allocations on hot paths
+/// (the coarse filter tokenises millions of candidate strings).
+pub fn tokenize_into(text: &str, out: &mut Vec<String>) {
+    let chars: Vec<char> = text.chars().collect();
+    let mut cur = String::new();
+    let n = chars.len();
+    for i in 0..n {
+        let c = chars[i];
+        if is_token_char(c) {
+            cur.extend(c.to_lowercase());
+        } else if is_joiner(c)
+            && !cur.is_empty()
+            && i + 1 < n
+            && is_token_char(chars[i + 1])
+        {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+}
+
+/// Tokenize `text` into a fresh vector. See [`tokenize_into`].
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    tokenize_into(text, &mut out);
+    out
+}
+
+/// Join tokens back into a canonical single-space string.
+pub fn detokenize(tokens: &[String]) -> String {
+    tokens.join(" ")
+}
+
+/// Produce character n-grams (as `(start, len)` byte-range strings) of a
+/// token, used by the hashed embedder for robustness to morphology
+/// ("camping" vs "camp"). Boundaries are marked with `^`/`$`.
+pub fn char_ngrams(token: &str, n: usize) -> Vec<String> {
+    let marked: Vec<char> = std::iter::once('^')
+        .chain(token.chars())
+        .chain(std::iter::once('$'))
+        .collect();
+    if marked.len() < n {
+        return vec![marked.iter().collect()];
+    }
+    marked.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(
+            tokenize("Camping Air-Mattress, 4-person!"),
+            vec!["camping", "air-mattress", "4-person"]
+        );
+    }
+
+    #[test]
+    fn apostrophes_kept_inside() {
+        assert_eq!(tokenize("the cat's toy"), vec!["the", "cat's", "toy"]);
+    }
+
+    #[test]
+    fn dangling_joiners_dropped() {
+        assert_eq!(tokenize("- hello -world '"), vec!["hello", "world"]);
+        assert_eq!(tokenize("trailing-"), vec!["trailing"]);
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ... ???").is_empty());
+    }
+
+    #[test]
+    fn reuse_buffer() {
+        let mut buf = Vec::new();
+        tokenize_into("one two", &mut buf);
+        tokenize_into("three", &mut buf);
+        assert_eq!(buf, vec!["one", "two", "three"]);
+    }
+
+    #[test]
+    fn char_ngrams_short_token() {
+        assert_eq!(char_ngrams("a", 3), vec!["^a$"]);
+    }
+
+    #[test]
+    fn char_ngrams_basic() {
+        assert_eq!(char_ngrams("cat", 3), vec!["^ca", "cat", "at$"]);
+    }
+
+    #[test]
+    fn detokenize_roundtrip() {
+        let toks = tokenize("used for walking the dog");
+        assert_eq!(detokenize(&toks), "used for walking the dog");
+    }
+}

@@ -1,0 +1,62 @@
+//! Multi-turn search navigation (Figures 8 & 9): build the intent
+//! hierarchy from a pipeline-produced KG and walk a refinement session,
+//! then run a miniature A/B test.
+//!
+//! ```text
+//! cargo run --release --example navigation_session
+//! ```
+
+use cosmo::core::{run, PipelineConfig};
+use cosmo::nav::{run_abtest, AbTestConfig, NavSession, NavigationEngine};
+
+fn main() {
+    let out = run(PipelineConfig::tiny(77));
+    let engine = NavigationEngine::new(out.kg);
+    println!(
+        "intent hierarchy: {} nodes, depth {}",
+        engine.hierarchy().len(),
+        engine.hierarchy().depth()
+    );
+
+    // Walk the first broad query that offers refinements (Figure 9).
+    let mut walked = false;
+    for q in &out.world.queries {
+        let (mut session, suggestions) = NavSession::start(&engine, &q.text, 5);
+        if suggestions.len() < 2 || session.candidates.len() < 4 {
+            continue;
+        }
+        println!("\nquery: \"{}\" — {} candidate products", q.text, session.candidates.len());
+        println!(
+            "suggestions: {:?}",
+            suggestions.iter().map(|s| s.label()).collect::<Vec<_>>()
+        );
+        let pick = suggestions[0].clone();
+        let next = session.select(&pick, 5);
+        println!(
+            "selected \"{}\" → narrowed to {} products; next: {:?}",
+            pick.label(),
+            session.candidates.len(),
+            next.iter().map(|s| s.label()).collect::<Vec<_>>()
+        );
+        for (_, title) in session.candidates.iter().take(5) {
+            println!("  • {title}");
+        }
+        walked = true;
+        break;
+    }
+    assert!(walked, "expected at least one navigable query");
+
+    // The §4.3.2 online experiment in miniature.
+    let report = run_abtest(
+        &out.world,
+        &engine,
+        &AbTestConfig { users: 150_000, visibility: 0.25, ..AbTestConfig::default() },
+    );
+    println!(
+        "\nA/B ({} control / {} treatment): sales lift {:+.2}%, engagement lift {:+.1}%",
+        report.control_users,
+        report.treatment_users,
+        report.sales_lift_pct,
+        report.engagement_lift_pct
+    );
+}

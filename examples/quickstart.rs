@@ -1,0 +1,57 @@
+//! Quickstart: run the full COSMO pipeline end-to-end at test scale and
+//! inspect what it produced.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cosmo::core::{run, PipelineConfig};
+use cosmo::kg::NodeKind;
+
+fn main() {
+    // The whole offline system — synthetic world, behaviour logs, teacher
+    // LLM generation, coarse filtering, simulated human annotation, critic
+    // training, knowledge-graph construction — in one call.
+    let out = run(PipelineConfig::tiny(42));
+
+    println!("== pipeline funnel ==");
+    println!(
+        "sampled behaviour pairs: {} co-buy + {} search-buy",
+        out.report.sampling.cobuy_selected, out.report.sampling.searchbuy_selected
+    );
+    println!("teacher candidates:      {}", out.report.candidates);
+    println!("after coarse filtering:  {}", out.report.kept_after_filter);
+    println!("annotated:               {}", out.report.annotations);
+    println!(
+        "critic: plausibility acc {:.1}%, AUC {:.3}",
+        out.report.critic.plausible_accuracy * 100.0,
+        out.report.critic.plausible_auc
+    );
+    println!("edges admitted to KG:    {}", out.report.edges_admitted);
+
+    println!("\n== knowledge graph ==");
+    println!(
+        "{} nodes, {} edges, {} relation types",
+        out.kg.num_nodes(),
+        out.kg.num_edges(),
+        out.kg.num_relations()
+    );
+
+    // Look up the intentions COSMO mined for one query.
+    let query = out
+        .kg
+        .nodes()
+        .find(|(_, n)| n.kind == NodeKind::Query)
+        .map(|(id, n)| (id, n.text.clone()))
+        .expect("the KG contains query nodes");
+    println!("\n== intentions for query \"{}\" ==", query.1);
+    for edge in out.kg.top_intents(query.0, 5) {
+        println!(
+            "  [{}] {} (typicality {:.2}, support {})",
+            edge.relation.name(),
+            out.kg.node(edge.tail).text,
+            edge.typicality,
+            edge.support
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Online serving (Figure 5): stand up the feature store + two-layer
+//! asynchronous cache over a freshly built KG and replay a day of traffic.
+//!
+//! ```text
+//! cargo run --release --example serve_intents
+//! ```
+
+use cosmo::core::{run, PipelineConfig};
+use cosmo::lm::{build_instructions, tail_vocab_from_pipeline, CosmoLm, StudentConfig};
+use cosmo::serving::{ServingConfig, ServingSystem};
+use std::sync::Arc;
+
+fn main() {
+    // Offline: pipeline + student.
+    let out = run(PipelineConfig::tiny(99));
+    let instructions = build_instructions(&out.world, &out.filtered, &out.annotation, 100);
+    let mut student = CosmoLm::new(StudentConfig::default(), tail_vocab_from_pipeline(&out));
+    student.train(&instructions);
+
+    // Online: pre-load the "yearly frequent" cache layer with the world's
+    // most engaged queries, exactly like the deployment strategy of §3.5.
+    let mut hot: Vec<_> = out.world.queries.iter().collect();
+    hot.sort_by(|a, b| b.engagement.partial_cmp(&a.engagement).unwrap());
+    let preload: Vec<String> = hot.iter().take(50).map(|q| q.text.clone()).collect();
+    let system = ServingSystem::new(
+        Arc::new(out.kg),
+        Arc::new(student),
+        &preload,
+        ServingConfig::default(),
+    );
+
+    // Request path: hot query → L1 hit with features.
+    let hot_query = &preload[0];
+    let r = system.handle_request(hot_query);
+    println!("request \"{}\" → {:?} in {}µs", hot_query, r.layer, r.latency_us);
+    if let Some(f) = &r.features {
+        for (rel, tail, score) in f.intents.iter().take(3) {
+            println!("  intent [{}] {} ({score:.2})", rel.name(), tail);
+        }
+        if let Some(strong) = &f.strong_intent {
+            println!("  strong intent: {strong}");
+        }
+    }
+
+    // Cold query → asynchronous miss, then batch processing, then L2 hit.
+    let cold = "glow in the dark dog harness";
+    let miss = system.handle_request(cold);
+    println!("\nrequest \"{cold}\" → {:?} (forwarded to batch)", miss.layer);
+    let processed = system.run_batch_cycle();
+    println!("batch cycle processed {processed} pending queries");
+    let hit = system.handle_request(cold);
+    println!("request \"{cold}\" again → {:?}", hit.layer);
+
+    // Daily refresh: hot L2 entries promote into L1, model version bumps.
+    let promoted = system.daily_refresh();
+    println!(
+        "\ndaily refresh: promoted {promoted} entries to L1, model now v{}",
+        system.model_version()
+    );
+    println!(
+        "cache hit rate so far: {:.0}%  (p99 latency {}µs)",
+        system.cache.metrics.hit_rate() * 100.0,
+        system.latency.percentile(0.99)
+    );
+
+    // Feedback loop: record an interaction for the next offline run.
+    system.record_feedback(cold, "acme glow dog harness");
+    println!("feedback recorded: {} events queued", system.drain_feedback().len());
+}

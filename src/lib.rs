@@ -1,0 +1,51 @@
+//! # cosmo
+//!
+//! A from-scratch Rust reproduction of **"COSMO: A Large-Scale E-commerce
+//! Common Sense Knowledge Generation and Serving System at Amazon"**
+//! (SIGMOD 2024). This facade crate re-exports the whole workspace; see
+//! `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use cosmo::core::{run, PipelineConfig};
+//!
+//! // Run the full offline pipeline (world → teacher → filters →
+//! // annotation → critic → knowledge graph) at test scale:
+//! let out = run(PipelineConfig::tiny(42));
+//! println!(
+//!     "built a KG with {} nodes, {} edges, {} relations",
+//!     out.kg.num_nodes(),
+//!     out.kg.num_edges(),
+//!     out.kg.num_relations()
+//! );
+//! ```
+//!
+//! The crates, bottom-up:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`text`] | tokenization, n-gram LM (perplexity filter), hashed embeddings, canonicalisation |
+//! | [`nn`] | tensors, reverse-mode autograd, layers, optimizers |
+//! | [`synth`] | the synthetic e-commerce world model with ground-truth intents |
+//! | [`teacher`] | the simulated teacher LLM, QA prompts, relation mining, cost model |
+//! | [`kg`] | the knowledge graph store, Table 2 schema, intent hierarchy |
+//! | [`core`] | the offline pipeline: sampling, filtering, annotation, critics |
+//! | [`lm`] | instruction data + the COSMO-LM student |
+//! | [`serving`] | feature store, two-layer async cache, batch processing (Figure 5) |
+//! | [`relevance`] | §4.1 search relevance (ESCI, bi/cross encoders) |
+//! | [`sessrec`] | §4.2 session-based recommendation (8 models) |
+//! | [`nav`] | §4.3 multi-turn navigation + A/B simulation |
+
+pub use cosmo_core as core;
+pub use cosmo_kg as kg;
+pub use cosmo_lm as lm;
+pub use cosmo_nav as nav;
+pub use cosmo_nn as nn;
+pub use cosmo_relevance as relevance;
+pub use cosmo_serving as serving;
+pub use cosmo_sessrec as sessrec;
+pub use cosmo_synth as synth;
+pub use cosmo_teacher as teacher;
+pub use cosmo_text as text;

@@ -1,0 +1,188 @@
+//! Property-based gradient verification: for randomly shaped/valued
+//! computation graphs, analytic gradients from `cosmo-nn`'s tape must
+//! match central finite differences.
+
+use cosmo::nn::{ParamStore, Tape, Tensor};
+use proptest::prelude::*;
+
+fn finite_diff(
+    store: &mut ParamStore,
+    id: cosmo::nn::ParamId,
+    f: &dyn Fn(&ParamStore) -> f32,
+) -> Tensor {
+    let eps = 1e-3f32;
+    let (r, c) = store.value(id).shape();
+    let mut out = Tensor::zeros(r, c);
+    for i in 0..r * c {
+        let orig = store.value(id).data()[i];
+        store.value_mut(id).data_mut()[i] = orig + eps;
+        let plus = f(store);
+        store.value_mut(id).data_mut()[i] = orig - eps;
+        let minus = f(store);
+        store.value_mut(id).data_mut()[i] = orig;
+        out.data_mut()[i] = (plus - minus) / (2.0 * eps);
+    }
+    out
+}
+
+fn check(store: &mut ParamStore, build: &dyn Fn(&mut Tape, &ParamStore) -> cosmo::nn::Var) {
+    let mut tape = Tape::new();
+    let loss = build(&mut tape, store);
+    tape.backward(loss);
+    store.zero_grads();
+    tape.accumulate_param_grads(store);
+    for id in store.ids() {
+        let analytic = store.grad(id).clone();
+        let numeric = finite_diff(store, id, &|s| {
+            let mut t = Tape::new();
+            let l = build(&mut t, s);
+            t.value(l).item()
+        });
+        for (a, n) in analytic.data().iter().zip(numeric.data().iter()) {
+            prop_assert_close(*a, *n);
+        }
+    }
+}
+
+fn prop_assert_close(a: f32, b: f32) {
+    let tol = 2e-2 * (1.0 + a.abs().max(b.abs()));
+    assert!((a - b).abs() < tol, "analytic {a} vs numeric {b}");
+}
+
+fn small_vals() -> impl Strategy<Value = f32> {
+    // keep activations in the well-conditioned range for finite differences
+    (-0.9f32..0.9).prop_map(|x| (x * 100.0).round() / 100.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn affine_softmax_ce_gradients(
+        w_vals in prop::collection::vec(small_vals(), 12),
+        x_vals in prop::collection::vec(small_vals(), 6),
+        target in 0usize..4,
+    ) {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(3, 4, w_vals));
+        check(&mut store, &move |tape, s| {
+            let x = tape.input(Tensor::from_vec(2, 3, x_vals.clone()));
+            let wv = tape.param(s, w);
+            let h = tape.matmul(x, wv);
+            let h = tape.tanh(h);
+            tape.cross_entropy(h, &[target, (target + 1) % 4])
+        });
+    }
+
+    #[test]
+    fn gather_segment_mean_bce_gradients(
+        e_vals in prop::collection::vec(small_vals(), 12),
+        idx in prop::collection::vec(0usize..6, 4..9),
+        label in prop::bool::ANY,
+    ) {
+        let mut store = ParamStore::new();
+        let e = store.add("e", Tensor::from_vec(6, 2, e_vals));
+        let w = store.add("w", Tensor::from_vec(2, 1, vec![0.3, -0.4]));
+        let idx2 = idx.clone();
+        check(&mut store, &move |tape, s| {
+            let ev = tape.param(s, e);
+            let wv = tape.param(s, w);
+            let g = tape.gather(ev, &idx2);
+            let segs: Vec<usize> = (0..idx2.len()).map(|i| i % 2).collect();
+            let m = tape.segment_mean(g, &segs, 2);
+            let logits = tape.matmul(m, wv);
+            tape.bce_with_logits(logits, &[f32::from(label), f32::from(!label)])
+        });
+    }
+
+    #[test]
+    fn attention_softmax_gradients(
+        q_vals in prop::collection::vec(small_vals(), 3),
+        k_vals in prop::collection::vec(small_vals(), 12),
+    ) {
+        let mut store = ParamStore::new();
+        let q = store.add("q", Tensor::from_vec(1, 3, q_vals));
+        let k = store.add("k", Tensor::from_vec(4, 3, k_vals));
+        check(&mut store, &move |tape, s| {
+            let qv = tape.param(s, q);
+            let kv = tape.param(s, k);
+            let scores = tape.matmul_nt(qv, kv);
+            let w = tape.softmax(scores);
+            let ctx = tape.matmul(w, kv);
+            let sq = tape.mul(ctx, ctx);
+            tape.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn elementwise_chain_gradients(
+        vals in prop::collection::vec(small_vals(), 8),
+    ) {
+        let mut store = ParamStore::new();
+        let p = store.add("p", Tensor::from_vec(2, 4, vals));
+        check(&mut store, &move |tape, s| {
+            let x = tape.param(s, p);
+            let a = tape.sigmoid(x);
+            let b = tape.one_minus(a);
+            let m = tape.mul(a, b);
+            let r = tape.relu(m);
+            let sc = tape.scale(r, 1.5);
+            let shifted = tape.add_scalar(sc, 0.5);
+            let l = tape.log(shifted);
+            tape.sum_all(l)
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn broadcast_ops_gradients(
+        a_vals in prop::collection::vec(small_vals(), 6),
+        row_vals in prop::collection::vec(small_vals(), 3),
+    ) {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::from_vec(2, 3, a_vals));
+        let row = store.add("row", Tensor::from_vec(1, 3, row_vals));
+        check(&mut store, &move |tape, s| {
+            let av = tape.param(s, a);
+            let rv = tape.param(s, row);
+            let added = tape.add_row(av, rv);
+            let gated = tape.mul_row(added, rv);
+            let d = tape.sub(gated, av);
+            let m = tape.mean_rows(d);
+            let sq = tape.mul(m, m);
+            tape.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn concat_transpose_sumrows_gradients(
+        a_vals in prop::collection::vec(small_vals(), 6),
+        b_vals in prop::collection::vec(small_vals(), 4),
+    ) {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::from_vec(2, 3, a_vals));
+        let b = store.add("b", Tensor::from_vec(2, 2, b_vals));
+        check(&mut store, &move |tape, s| {
+            let av = tape.param(s, a);
+            let bv = tape.param(s, b);
+            let cat = tape.concat_cols(av, bv);
+            let t = tape.transpose(cat);
+            let sums = tape.sum_rows(t);
+            let sq = tape.mul(sums, sums);
+            tape.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn bpr_loss_gradients(diff_vals in prop::collection::vec(small_vals(), 4)) {
+        let mut store = ParamStore::new();
+        let d = store.add("d", Tensor::from_vec(4, 1, diff_vals));
+        check(&mut store, &move |tape, s| {
+            let dv = tape.param(s, d);
+            tape.bpr_loss(dv)
+        });
+    }
+}
