@@ -1,8 +1,8 @@
 //! Knowledge-graph store benchmarks: the serving path's lookups and the
 //! navigation hierarchy build.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use cosmo_kg::{BehaviorKind, Edge, IntentHierarchy, KnowledgeGraph, NodeKind, Relation};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 
 fn build_graph(n_heads: usize, tails_per_head: usize) -> KnowledgeGraph {
     let mut kg = KnowledgeGraph::new();
@@ -29,9 +29,7 @@ fn build_graph(n_heads: usize, tails_per_head: usize) -> KnowledgeGraph {
 }
 
 fn bench_insert(c: &mut Criterion) {
-    c.bench_function("kg/build_2k_edges", |b| {
-        b.iter(|| build_graph(200, 10))
-    });
+    c.bench_function("kg/build_2k_edges", |b| b.iter(|| build_graph(200, 10)));
 }
 
 fn bench_lookup(c: &mut Criterion) {
@@ -44,7 +42,10 @@ fn bench_lookup(c: &mut Criterion) {
         b.iter(|| kg.top_intents(black_box(node), 5).len())
     });
     c.bench_function("kg/tails_of_rel", |b| {
-        b.iter(|| kg.tails_of_rel(black_box(node), Relation::CapableOf).count())
+        b.iter(|| {
+            kg.tails_of_rel(black_box(node), Relation::CapableOf)
+                .count()
+        })
     });
 }
 
@@ -65,10 +66,20 @@ fn bench_json_roundtrip(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("json_serialize", |b| b.iter(|| kg.to_json().len()));
     g.bench_function("json_deserialize", |b| {
-        b.iter(|| KnowledgeGraph::from_json(black_box(&json)).unwrap().num_edges())
+        b.iter(|| {
+            KnowledgeGraph::from_json(black_box(&json))
+                .unwrap()
+                .num_edges()
+        })
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_insert, bench_lookup, bench_hierarchy, bench_json_roundtrip);
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_lookup,
+    bench_hierarchy,
+    bench_json_roundtrip
+);
 criterion_main!(benches);

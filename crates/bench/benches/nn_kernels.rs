@@ -2,10 +2,10 @@
 //! segment-mean embedding bag that all critics/students/recommenders sit
 //! on.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cosmo_nn::layers::{Embedding, GruCell, Linear};
 use cosmo_nn::opt::Adam;
 use cosmo_nn::{ParamStore, Tape, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -70,5 +70,10 @@ fn bench_embedding_bag(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_gru_training_step, bench_embedding_bag);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_gru_training_step,
+    bench_embedding_bag
+);
 criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! critic scoring — the offline stages that process millions of
 //! candidates in the paper's production runs.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use cosmo_core::{features, CoarseFilter, Critic, CriticConfig, CriticExample, FilterConfig};
 use cosmo_synth::{corpus, BehaviorConfig, BehaviorLog, World, WorldConfig};
 use cosmo_teacher::{Candidate, Teacher, TeacherConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 struct Fixture {
     world: World,
@@ -25,7 +25,11 @@ fn fixture() -> Fixture {
         candidates.push(teacher.generate_cobuy(cb.p1, cb.p2));
     }
     let filter = CoarseFilter::fit(&corpus(&world), FilterConfig::default());
-    Fixture { world, candidates, filter }
+    Fixture {
+        world,
+        candidates,
+        filter,
+    }
 }
 
 fn bench_generation(c: &mut Criterion) {
@@ -55,7 +59,10 @@ fn bench_filter(c: &mut Criterion) {
 
 fn bench_critic(c: &mut Criterion) {
     let f = fixture();
-    let cfg = CriticConfig { epochs: 4, ..CriticConfig::default() };
+    let cfg = CriticConfig {
+        epochs: 4,
+        ..CriticConfig::default()
+    };
     let examples: Vec<CriticExample> = f
         .candidates
         .iter()
@@ -68,7 +75,11 @@ fn bench_critic(c: &mut Criterion) {
         .collect();
     let mut critic = Critic::new(cfg.clone());
     critic.train(&examples);
-    let batch: Vec<Vec<usize>> = examples.iter().take(256).map(|e| e.features.clone()).collect();
+    let batch: Vec<Vec<usize>> = examples
+        .iter()
+        .take(256)
+        .map(|e| e.features.clone())
+        .collect();
     let mut g = c.benchmark_group("pipeline");
     g.throughput(Throughput::Elements(batch.len() as u64));
     g.bench_function("critic_score_256", |b| {

@@ -2,10 +2,10 @@
 //! "Amazon's restricted search latency requirements" — here we measure the
 //! cache hit path, the miss (enqueue) path, and a full batch cycle.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use cosmo_kg::{KnowledgeGraph, Relation};
 use cosmo_lm::{CosmoLm, StudentConfig};
 use cosmo_serving::{ServingConfig, ServingSystem};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
 
 fn system(preload_n: usize) -> ServingSystem {
@@ -19,7 +19,16 @@ fn system(preload_n: usize) -> ServingSystem {
     ));
     let kg = Arc::new(KnowledgeGraph::new());
     let preload: Vec<String> = (0..preload_n).map(|i| format!("hot query {i}")).collect();
-    ServingSystem::new(kg, lm, &preload, ServingConfig { workers: 2, ..Default::default() })
+    ServingSystem::builder()
+        .kg(kg)
+        .lm(lm)
+        .preload(preload)
+        .config(ServingConfig {
+            workers: 2,
+            ..Default::default()
+        })
+        .build()
+        .expect("valid bench config")
 }
 
 fn bench_hit(c: &mut Criterion) {
@@ -52,11 +61,49 @@ fn bench_batch_cycle(c: &mut Criterion) {
             for i in 0..64 {
                 let _ = sys.handle_request(&format!("batch query {round}-{i}"));
             }
-            sys.run_batch_cycle()
+            sys.run_batch_cycle().expect("no worker panics in bench")
         })
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_hit, bench_miss, bench_batch_cycle);
+/// Four threads hammering the hit path of one shared system: the number
+/// the sharded cache layout is designed to move.
+fn bench_concurrent_hits(c: &mut Criterion) {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 1_000;
+    let sys = system(1_000);
+    let queries: Vec<Vec<String>> = (0..THREADS)
+        .map(|t| {
+            (0..PER_THREAD)
+                .map(|i| format!("hot query {}", (t * 31 + i * 7) % 1_000))
+                .collect()
+        })
+        .collect();
+    let mut g = c.benchmark_group("serving");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((THREADS * PER_THREAD) as u64));
+    g.bench_function("concurrent_hits_4x1000", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for qs in &queries {
+                    s.spawn(|| {
+                        for q in qs {
+                            black_box(sys.handle_request(q).latency_us);
+                        }
+                    });
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hit,
+    bench_miss,
+    bench_batch_cycle,
+    bench_concurrent_hits
+);
 criterion_main!(benches);

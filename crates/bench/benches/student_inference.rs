@@ -1,15 +1,18 @@
 //! COSMO-LM inference throughput — the quantity that justifies replacing
 //! the teacher pipeline with an instruction-tuned student (§1, §5).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use cosmo_kg::Relation;
 use cosmo_lm::{CosmoLm, StudentConfig, TaskType};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 fn student(num_tails: usize) -> CosmoLm {
     let tails: Vec<(String, Option<Relation>)> = (0..num_tails)
         .map(|i| {
             (
-                format!("intent phrase number {i} about {}", ["camping", "cooking", "gaming"][i % 3]),
+                format!(
+                    "intent phrase number {i} about {}",
+                    ["camping", "cooking", "gaming"][i % 3]
+                ),
                 Some(Relation::ALL[i % 15]),
             )
         })
@@ -45,7 +48,10 @@ fn bench_predict(c: &mut Criterion) {
 fn bench_embed(c: &mut Criterion) {
     let lm = student(1_000);
     c.bench_function("student/embed_text", |b| {
-        b.iter(|| lm.embed_text(black_box("winter camping with the family")).len())
+        b.iter(|| {
+            lm.embed_text(black_box("winter camping with the family"))
+                .len()
+        })
     });
 }
 

@@ -2,8 +2,8 @@
 //! millions of candidates go through tokenisation, perplexity scoring,
 //! embedding and near-duplicate checks.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use cosmo_text::{ngram::train_lm, HashedEmbedder};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 fn corpus() -> Vec<String> {
     let mut c = Vec::new();
@@ -11,7 +11,9 @@ fn corpus() -> Vec<String> {
         c.push(format!(
             "they are used for walking the dog number {i} in the park every morning"
         ));
-        c.push(format!("acme portable air mattress model {i} for lakeside camping"));
+        c.push(format!(
+            "acme portable air mattress model {i} for lakeside camping"
+        ));
     }
     c
 }

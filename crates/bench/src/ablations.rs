@@ -57,15 +57,24 @@ pub fn ablate_filters(scale: Scale, seed: u64) -> String {
         ("full coarse filter (paper)", base.filter.clone()),
         (
             "no perplexity filter",
-            FilterConfig { perplexity_threshold: f64::INFINITY, ..base.filter.clone() },
+            FilterConfig {
+                perplexity_threshold: f64::INFINITY,
+                ..base.filter.clone()
+            },
         ),
         (
             "no similarity filter",
-            FilterConfig { similarity_threshold: 2.0, ..base.filter.clone() },
+            FilterConfig {
+                similarity_threshold: 2.0,
+                ..base.filter.clone()
+            },
         ),
         (
             "no generic filter",
-            FilterConfig { generic_min_freq: u32::MAX, ..base.filter.clone() },
+            FilterConfig {
+                generic_min_freq: u32::MAX,
+                ..base.filter.clone()
+            },
         ),
         (
             "no filters at all",
@@ -79,7 +88,10 @@ pub fn ablate_filters(scale: Scale, seed: u64) -> String {
         ),
     ];
     for (name, filter) in variants {
-        let (prec, admitted, junk) = kg_precision(PipelineConfig { filter, ..base.clone() });
+        let (prec, admitted, junk) = kg_precision(PipelineConfig {
+            filter,
+            ..base.clone()
+        });
         let _ = writeln!(
             out,
             "{:<36} {:>11.1}% {:>10} {:>13.1}%",
@@ -139,19 +151,31 @@ pub fn ablate_cache(ctx: &Ctx) -> String {
     };
     let universe = query_universe(&traffic);
     let mut out = String::new();
-    let _ = writeln!(out, "{:<28} {:>12} {:>12}", "Configuration", "Day-1 hit", "Day-4 hit");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>12}",
+        "Configuration", "Day-1 hit", "Day-4 hit"
+    );
     for (name, preload_n, l1_cap) in [
-        ("two-layer (preload + daily)", traffic.query_universe / 10, 4096usize),
+        (
+            "two-layer (preload + daily)",
+            traffic.query_universe / 10,
+            4096usize,
+        ),
         ("daily layer only", 0, 4096),
         ("no promotion (tiny L1)", 0, 1),
     ] {
         let preload: Vec<String> = universe.iter().take(preload_n).cloned().collect();
-        let system = ServingSystem::new(
-            Arc::new(ctx.out.kg.clone()),
-            ctx.student.clone(),
-            &preload,
-            ServingConfig { l1_capacity: l1_cap, ..ServingConfig::default() },
-        );
+        let system = ServingSystem::builder()
+            .kg(Arc::new(ctx.out.kg.clone()))
+            .lm(ctx.student.clone())
+            .preload(preload)
+            .config(ServingConfig {
+                l1_capacity: l1_cap,
+                ..ServingConfig::default()
+            })
+            .build()
+            .expect("ablation config is valid");
         let reports = simulate(&system, &traffic);
         let _ = writeln!(
             out,
@@ -173,9 +197,7 @@ pub fn ablate_typical_only(ctx: &Ctx) -> String {
     let extra: Vec<_> = ctx
         .instructions
         .iter()
-        .filter(|i| {
-            i.task == TaskType::Plausibility && i.label == Some(true) && i.tail.is_some()
-        })
+        .filter(|i| i.task == TaskType::Plausibility && i.label == Some(true) && i.tail.is_some())
         .map(|i| {
             let mut g = i.clone();
             g.task = TaskType::Generate;
@@ -196,7 +218,11 @@ pub fn ablate_typical_only(ctx: &Ctx) -> String {
 
     let tails: Vec<(String, Option<Relation>)> = cosmo_lm::tail_vocab_from_pipeline(&ctx.out);
     let mut student_all = CosmoLm::new(
-        StudentConfig { seed: 0xAB1A7E, epochs: 8, ..StudentConfig::default() },
+        StudentConfig {
+            seed: 0xAB1A7E,
+            epochs: 8,
+            ..StudentConfig::default()
+        },
         tails,
     );
     student_all.train(&all_plausible);

@@ -34,7 +34,10 @@ impl Scale {
         match self {
             Scale::Tiny => PipelineConfig::tiny(seed),
             Scale::Small => PipelineConfig {
-                world: WorldConfig { seed, ..WorldConfig::default() },
+                world: WorldConfig {
+                    seed,
+                    ..WorldConfig::default()
+                },
                 behavior: BehaviorConfig {
                     seed: seed ^ 1,
                     total_search_buys: 15_000,
@@ -45,13 +48,20 @@ impl Scale {
                     budget_per_behavior: 1_500,
                     ..AnnotationConfig::default()
                 },
-                critic: CriticConfig { epochs: 20, dim: 48, ..CriticConfig::default() },
+                critic: CriticConfig {
+                    epochs: 20,
+                    dim: 48,
+                    ..CriticConfig::default()
+                },
                 gens_per_searchbuy: 3,
                 gens_per_cobuy: 4,
                 ..PipelineConfig::default()
             },
             Scale::Full => PipelineConfig {
-                world: WorldConfig { seed, ..WorldConfig::default() },
+                world: WorldConfig {
+                    seed,
+                    ..WorldConfig::default()
+                },
                 behavior: BehaviorConfig {
                     seed: seed ^ 1,
                     total_search_buys: 40_000,
@@ -62,7 +72,10 @@ impl Scale {
                     budget_per_behavior: 3_000,
                     ..AnnotationConfig::default()
                 },
-                critic: CriticConfig { epochs: 14, ..CriticConfig::default() },
+                critic: CriticConfig {
+                    epochs: 14,
+                    ..CriticConfig::default()
+                },
                 gens_per_searchbuy: 4,
                 gens_per_cobuy: 6,
                 ..PipelineConfig::default()
@@ -96,9 +109,19 @@ pub fn build_context(scale: Scale, seed: u64) -> Ctx {
         Scale::Full => 14,
     };
     let mut student = CosmoLm::new(
-        StudentConfig { seed: seed ^ 3, epochs, ..StudentConfig::default() },
+        StudentConfig {
+            seed: seed ^ 3,
+            epochs,
+            ..StudentConfig::default()
+        },
         tails,
     );
     let student_report = student.train(&instructions);
-    Ctx { out, instructions, student: Arc::new(student), student_report, scale }
+    Ctx {
+        out,
+        instructions,
+        student: Arc::new(student),
+        student_report,
+        scale,
+    }
 }

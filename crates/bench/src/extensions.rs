@@ -21,14 +21,20 @@ pub fn rewrites(ctx: &Ctx) -> String {
     };
     let epochs = if ctx.scale == Scale::Tiny { 3 } else { 8 };
     // electronics: the drift-heavy domain (Table 7: 2.47 unique queries)
-    let mut ds = generate_sessions(&ctx.out.world, &SessionConfig::electronics(0xD21F7, per_day));
+    let mut ds = generate_sessions(
+        &ctx.out.world,
+        &SessionConfig::electronics(0xD21F7, per_day),
+    );
     let kg = &ctx.out.kg;
     let student = &ctx.student;
     attach_knowledge(&mut ds, |query| {
         let f = cosmo_serving::compute_features(query, kg, student);
         cosmo_serving::recommendation_view(&f, 128)
     });
-    let cfg = TrainConfig { epochs, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs,
+        ..Default::default()
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,

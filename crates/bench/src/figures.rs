@@ -6,7 +6,10 @@ use cosmo_kg::{IntentHierarchy, Relation};
 use cosmo_lm::{measured_student_throughput, simulated_comparison};
 use cosmo_nav::{run_abtest, AbTestConfig, NavSession, NavigationEngine};
 use cosmo_relevance::{Architecture, RelevanceConfig};
-use cosmo_serving::{query_universe, simulate, ServingConfig, ServingSystem, TrafficConfig};
+use cosmo_serving::{
+    ops_view, query_universe, simulate, simulate_concurrent, ServingConfig, ServingSystem,
+    TrafficConfig,
+};
 use cosmo_teacher::{cobuy_prompt, search_buy_prompt};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -44,13 +47,17 @@ pub fn figure5(ctx: &Ctx) -> String {
         _ => TrafficConfig::default(),
     };
     let universe = query_universe(&traffic);
-    let preload: Vec<String> = universe.iter().take(traffic.query_universe / 10).cloned().collect();
-    let system = ServingSystem::new(
-        Arc::new(ctx.out.kg.clone()),
-        ctx.student.clone(),
-        &preload,
-        ServingConfig::default(),
-    );
+    let preload: Vec<String> = universe
+        .iter()
+        .take(traffic.query_universe / 10)
+        .cloned()
+        .collect();
+    let system = ServingSystem::builder()
+        .kg(Arc::new(ctx.out.kg.clone()))
+        .lm(ctx.student.clone())
+        .preload(preload)
+        .build()
+        .expect("default serving config is valid");
     let reports = simulate(&system, &traffic);
     let mut out = String::new();
     let _ = writeln!(
@@ -79,6 +86,78 @@ pub fn figure5(ctx: &Ctx) -> String {
     out
 }
 
+/// Hot-path throughput: the multi-day Zipf replay driven by 4 request
+/// threads racing a dedicated batch thread, once with a single-shard /
+/// single-worker layout (approximating the pre-sharding design, where
+/// all mutable cache state sat behind one set of locks) and once with
+/// the default sharded configuration.
+pub fn serving_throughput(ctx: &Ctx) -> String {
+    let traffic = match ctx.scale {
+        Scale::Tiny => TrafficConfig {
+            days: 3,
+            requests_per_day: 20_000,
+            query_universe: 2_000,
+            ..TrafficConfig::default()
+        },
+        _ => TrafficConfig {
+            days: 5,
+            requests_per_day: 100_000,
+            ..TrafficConfig::default()
+        },
+    };
+    let threads = 4;
+    let universe = query_universe(&traffic);
+    let preload: Vec<String> = universe
+        .iter()
+        .take(traffic.query_universe / 10)
+        .cloned()
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{threads} request threads + 1 batch thread, {} days x {} req/day",
+        traffic.days, traffic.requests_per_day
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:>9} {:>12} {:>11} {:>9} {:>9}",
+        "Configuration", "shards", "req/s", "elapsed(s)", "final hit", "hwm"
+    );
+    for (name, cfg) in [
+        (
+            "single shard, 1 worker",
+            ServingConfig {
+                shards: 1,
+                workers: 1,
+                ..Default::default()
+            },
+        ),
+        ("sharded (default)", ServingConfig::default()),
+    ] {
+        let system = ServingSystem::builder()
+            .kg(Arc::new(ctx.out.kg.clone()))
+            .lm(ctx.student.clone())
+            .preload(preload.clone())
+            .config(cfg.clone())
+            .build()
+            .expect("throughput config is valid");
+        let report = simulate_concurrent(&system, &traffic, threads);
+        let last = report.days.last().expect("at least one day");
+        let _ = writeln!(
+            out,
+            "{:<26} {:>9} {:>12.0} {:>11.2} {:>8.1}% {:>9}",
+            name,
+            cfg.shards,
+            report.requests_per_sec,
+            report.elapsed_secs,
+            last.hit_rate * 100.0,
+            last.queue_high_water,
+        );
+        let _ = writeln!(out, "  {}", ops_view(&system.snapshot()));
+    }
+    out
+}
+
 /// Figure 7: private ESCI results across four locales, fixed and tuned.
 pub fn figure7(ctx: &Ctx) -> String {
     let base = match ctx.scale {
@@ -103,12 +182,19 @@ pub fn figure7(ctx: &Ctx) -> String {
     );
     for locale_idx in 1..5 {
         let ds = esci_with_knowledge(ctx, locale_idx, base);
-        for arch in [Architecture::CrossEncoder, Architecture::CrossEncoderWithIntent] {
+        for arch in [
+            Architecture::CrossEncoder,
+            Architecture::CrossEncoderWithIntent,
+        ] {
             let fixed = crate::tables::run_avg(&ds, arch, &fixed_cfg, 3);
             let tuned = crate::tables::run_avg(
                 &ds,
                 arch,
-                &RelevanceConfig { epochs, trainable_encoder: true, ..RelevanceConfig::default() },
+                &RelevanceConfig {
+                    epochs,
+                    trainable_encoder: true,
+                    ..RelevanceConfig::default()
+                },
                 3,
             );
             let _ = writeln!(
@@ -144,7 +230,12 @@ pub fn figure8(ctx: &Ctx) -> String {
         let _ = writeln!(out, "{}", node.text);
         for &c in node.children.iter().take(4) {
             let child = &h.nodes[c];
-            let _ = writeln!(out, "  └─ {} ({} products)", child.text, child.products.len());
+            let _ = writeln!(
+                out,
+                "  └─ {} ({} products)",
+                child.text,
+                child.products.len()
+            );
             for &g in child.children.iter().take(2) {
                 let _ = writeln!(out, "      └─ {}", h.nodes[g].text);
             }
@@ -167,7 +258,12 @@ pub fn figure9(ctx: &Ctx) -> String {
         if suggestions.len() < 2 || session.candidates.len() < 4 {
             continue;
         }
-        let _ = writeln!(out, "query: \"{}\" ({} candidates)", q.text, session.candidates.len());
+        let _ = writeln!(
+            out,
+            "query: \"{}\" ({} candidates)",
+            q.text,
+            session.candidates.len()
+        );
         let _ = writeln!(
             out,
             "  turn 1 suggestions: {:?}",
@@ -245,7 +341,11 @@ pub fn abtest(ctx: &Ctx) -> String {
     let report = run_abtest(
         &ctx.out.world,
         &engine,
-        &AbTestConfig { users, visibility, ..Default::default() },
+        &AbTestConfig {
+            users,
+            visibility,
+            ..Default::default()
+        },
     );
     let lift_at_deploy = report.sales_lift_pct * (0.012 / visibility);
     let eng_at_deploy = report.engagement_lift_pct * (0.012 / visibility);

@@ -48,7 +48,10 @@ pub fn kgstats(ctx: &Ctx) -> String {
         degrees.iter().filter(|(d, _)| *d >= 32).map(|(_, c)| c).sum::<usize>()
     );
 
-    let _ = writeln!(out, "\ntop intentions by PageRank (global behavioural mass):");
+    let _ = writeln!(
+        out,
+        "\ntop intentions by PageRank (global behavioural mass):"
+    );
     for (node, score) in top_intents_global(kg, 10) {
         let _ = writeln!(out, "  {:>8.5}  {}", score, kg.node(node).text);
     }

@@ -12,8 +12,8 @@
 //! ```
 
 pub mod ablations;
-pub mod extensions;
 pub mod context;
+pub mod extensions;
 pub mod figures;
 pub mod kgstats;
 pub mod tables;
@@ -21,10 +21,28 @@ pub mod tables;
 pub use context::{build_context, Ctx, Scale};
 
 /// All experiment names accepted by the `repro` binary.
-pub const EXPERIMENTS: [&str; 20] = [
-    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-    "figure3", "figure5", "figure7", "figure8", "figure9", "figure10", "abtest", "efficiency",
-    "rewrites", "feedback", "kgstats",
+pub const EXPERIMENTS: [&str; 21] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "figure3",
+    "figure5",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "abtest",
+    "efficiency",
+    "rewrites",
+    "feedback",
+    "kgstats",
+    "throughput",
 ];
 
 /// Run one experiment by name against a prepared context.
@@ -47,6 +65,7 @@ pub fn run_experiment(ctx: &Ctx, name: &str) -> Option<String> {
         "figure10" => figures::figure10(ctx),
         "abtest" => figures::abtest(ctx),
         "efficiency" => figures::efficiency(ctx),
+        "throughput" => figures::serving_throughput(ctx),
         "kgstats" => kgstats::kgstats(ctx),
         "rewrites" => extensions::rewrites(ctx),
         "feedback" => extensions::feedback_loop(ctx),

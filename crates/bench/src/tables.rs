@@ -8,8 +8,8 @@ use cosmo_relevance::{
     EsciDataset, RelevanceConfig, RelevanceResult, LOCALES,
 };
 use cosmo_sessrec::{
-    attach_knowledge as attach_session_knowledge, generate_sessions, run_all_models,
-    SessionConfig, TrainConfig,
+    attach_knowledge as attach_session_knowledge, generate_sessions, run_all_models, SessionConfig,
+    TrainConfig,
 };
 use cosmo_teacher::{mine_relations, render_table2, Teacher, TeacherConfig};
 use std::fmt::Write as _;
@@ -26,7 +26,14 @@ pub fn table1(ctx: &Ctx) -> String {
         let _ = writeln!(
             out,
             "{:<16} {:>8} {:>8} {:>6}  {:<16} {:<12} {:<10} {:<18}",
-            row.name, row.nodes, row.edges, row.rels, row.source, row.ecommerce, row.intention, row.behavior
+            row.name,
+            row.nodes,
+            row.edges,
+            row.rels,
+            row.source,
+            row.ecommerce,
+            row.intention,
+            row.behavior
         );
     }
     let sum = stats::summarize(&ctx.out.kg);
@@ -73,9 +80,25 @@ pub fn table4(ctx: &Ctx) -> String {
     let (sp, st) = ctx.out.annotation.table4_ratios(BehaviorKind::SearchBuy);
     let (cp, ct) = ctx.out.annotation.table4_ratios(BehaviorKind::CoBuy);
     let mut out = String::new();
-    let _ = writeln!(out, "{:<12} {:>14} {:>12}", "", "Plausibility", "Typicality");
-    let _ = writeln!(out, "{:<12} {:>13.1}% {:>11.1}%", "Search-buy", sp * 100.0, st * 100.0);
-    let _ = writeln!(out, "{:<12} {:>13.1}% {:>11.1}%", "Co-buy", cp * 100.0, ct * 100.0);
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14} {:>12}",
+        "", "Plausibility", "Typicality"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>13.1}% {:>11.1}%",
+        "Search-buy",
+        sp * 100.0,
+        st * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>13.1}% {:>11.1}%",
+        "Co-buy",
+        cp * 100.0,
+        ct * 100.0
+    );
     let _ = writeln!(
         out,
         "(paper: search-buy typicality 35.0%; co-buy typicality 'notably low')"
@@ -91,14 +114,16 @@ pub fn table4(ctx: &Ctx) -> String {
 
 /// Build one locale's ESCI dataset with knowledge attached from the KG.
 pub fn esci_with_knowledge(ctx: &Ctx, locale_idx: usize, base_pairs: usize) -> EsciDataset {
-    let cfg = EsciConfig { base_pairs, ..EsciConfig::default() };
+    let cfg = EsciConfig {
+        base_pairs,
+        ..EsciConfig::default()
+    };
     let mut ds = generate_locale(&ctx.out.world, &cfg, locale_idx);
     let kg = &ctx.out.kg;
     let lm = &ctx.student;
     attach_knowledge(&mut ds, |q, p| pair_knowledge(kg, lm, q, p));
     ds
 }
-
 
 /// Run an architecture with `n` different seeds and average the F1s —
 /// individual runs at this scale carry ±2-point initialisation noise.
@@ -115,7 +140,10 @@ pub fn run_avg(
         let r = run_architecture(
             ds,
             arch,
-            RelevanceConfig { seed: cfg.seed ^ ((k as u64 + 1) * 0x9E37), ..cfg.clone() },
+            RelevanceConfig {
+                seed: cfg.seed ^ ((k as u64 + 1) * 0x9E37),
+                ..cfg.clone()
+            },
         );
         macro_f1 += r.macro_f1;
         micro_f1 += r.micro_f1;
@@ -190,7 +218,11 @@ pub fn table6(ctx: &Ctx) -> String {
         let tuned = run_avg(
             &ds,
             arch,
-            &RelevanceConfig { epochs, trainable_encoder: true, ..RelevanceConfig::default() },
+            &RelevanceConfig {
+                epochs,
+                trainable_encoder: true,
+                ..RelevanceConfig::default()
+            },
             3,
         );
         let _ = writeln!(
@@ -250,7 +282,11 @@ pub fn table8(ctx: &Ctx) -> String {
         "{:<12} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
         "Method", "Hits@10", "NDCG@10", "MRR@10", "Hits@10", "NDCG@10", "MRR@10"
     );
-    let _ = writeln!(out, "{:<12} | {:^27}| {:^26}", "", "clothing", "electronics");
+    let _ = writeln!(
+        out,
+        "{:<12} | {:^27}| {:^26}",
+        "", "clothing", "electronics"
+    );
     let mut rows: Vec<Vec<String>> = Vec::new();
     for cfg in [
         SessionConfig::clothing(0xDA7A, per_day),
@@ -269,7 +305,10 @@ pub fn table8(ctx: &Ctx) -> String {
         });
         let results = run_all_models(
             &ds,
-            &TrainConfig { epochs, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs,
+                ..TrainConfig::default()
+            },
             10,
         );
         for (i, r) in results.iter().enumerate() {
@@ -308,7 +347,14 @@ pub fn table9_render(ctx: &Ctx) -> String {
     // hold out the tail of the behaviour log (instruction data is drawn
     // from sampled pairs near the head)
     let skip = ctx.out.log.search_buys.len() * 2 / 3;
-    let eval = eval_generation(&ctx.out.world, &ctx.out.log, &ctx.student, &mut teacher, skip, 400);
+    let eval = eval_generation(
+        &ctx.out.world,
+        &ctx.out.log,
+        &ctx.student,
+        &mut teacher,
+        skip,
+        400,
+    );
     let _ = writeln!(
         out,
         "\nHeld-out generation quality (oracle-judged, n={}):\n  COSMO-LM: typical {:.1}%, plausible {:.1}%\n  raw teacher: typical {:.1}%, plausible {:.1}%",

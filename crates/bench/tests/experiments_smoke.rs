@@ -15,20 +15,37 @@ fn every_fast_experiment_runs() {
     // the heavier experiments (table6/8, figure5/7, abtest) have their own
     // tests below / in their crates; these must all render instantly
     for name in [
-        "table1", "table2", "table3", "table4", "table5", "table7", "table9", "figure3",
-        "figure8", "figure9", "figure10", "efficiency", "kgstats",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table7",
+        "table9",
+        "figure3",
+        "figure8",
+        "figure9",
+        "figure10",
+        "efficiency",
+        "kgstats",
     ] {
         let out = run_experiment(ctx(), name).unwrap_or_else(|| panic!("unknown {name}"));
         assert!(out.len() > 40, "{name} produced almost no output: {out:?}");
     }
     assert!(run_experiment(ctx(), "no-such-experiment").is_none());
-    assert_eq!(EXPERIMENTS.len(), 20);
+    assert_eq!(EXPERIMENTS.len(), 21);
 }
 
 #[test]
 fn table1_contains_ours_and_literature() {
     let t = run_experiment(ctx(), "table1").unwrap();
-    for name in ["ConceptNet", "ATOMIC", "FolkScope", "COSMO (paper)", "COSMO-rs (ours)"] {
+    for name in [
+        "ConceptNet",
+        "ATOMIC",
+        "FolkScope",
+        "COSMO (paper)",
+        "COSMO-rs (ours)",
+    ] {
         assert!(t.contains(name), "missing row {name}");
     }
 }
@@ -55,9 +72,15 @@ fn table4_shape_searchbuy_more_typical() {
     let c = ctx();
     let (sp, st) = c.out.annotation.table4_ratios(BehaviorKind::SearchBuy);
     let (cp, ct) = c.out.annotation.table4_ratios(BehaviorKind::CoBuy);
-    assert!(st > ct, "Table 4 shape: search-buy typicality {st} vs co-buy {ct}");
+    assert!(
+        st > ct,
+        "Table 4 shape: search-buy typicality {st} vs co-buy {ct}"
+    );
     assert!(sp > cp, "plausibility {sp} vs {cp}");
-    assert!((0.15..=0.55).contains(&st), "search-buy typicality {st} off Table 4 ballpark");
+    assert!(
+        (0.15..=0.55).contains(&st),
+        "search-buy typicality {st} off Table 4 ballpark"
+    );
 }
 
 #[test]
@@ -75,9 +98,19 @@ fn table9_has_all_18_categories_and_quality_gap() {
     assert!(t.contains("COSMO-LM: typical"));
     // the student must beat the raw teacher on typicality at any scale
     let student_line = t.lines().find(|l| l.contains("COSMO-LM: typical")).unwrap();
-    let teacher_line = t.lines().find(|l| l.contains("raw teacher: typical")).unwrap();
+    let teacher_line = t
+        .lines()
+        .find(|l| l.contains("raw teacher: typical"))
+        .unwrap();
     let grab = |line: &str| -> f64 {
-        line.split("typical ").nth(1).unwrap().split('%').next().unwrap().parse().unwrap()
+        line.split("typical ")
+            .nth(1)
+            .unwrap()
+            .split('%')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
     };
     assert!(
         grab(student_line) > grab(teacher_line),
@@ -106,13 +139,33 @@ fn figure5_hit_rate_reaches_steady_state() {
 }
 
 #[test]
+fn throughput_compares_single_shard_to_sharded() {
+    let t = run_experiment(ctx(), "throughput").unwrap();
+    assert!(t.contains("single shard"), "missing baseline row: {t}");
+    assert!(t.contains("sharded (default)"), "missing sharded row: {t}");
+    // both rows report a positive req/s figure and an ops summary line
+    assert_eq!(t.matches("hit_rate=").count(), 2, "two ops_view lines: {t}");
+}
+
+#[test]
 fn efficiency_orders_models_correctly() {
     let t = run_experiment(ctx(), "efficiency").unwrap();
     let opt175 = t.lines().find(|l| l.contains("OPT-175B")).unwrap();
-    let llama7 = t.lines().find(|l| l.contains("LLaMA-7B") && l.contains("COSMO-LM")).unwrap();
+    let llama7 = t
+        .lines()
+        .find(|l| l.contains("LLaMA-7B") && l.contains("COSMO-LM"))
+        .unwrap();
     let latency = |line: &str| -> f64 {
-        line.split_whitespace().rev().nth(1).unwrap().parse().unwrap()
+        line.split_whitespace()
+            .rev()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap()
     };
-    assert!(latency(opt175) > latency(llama7) * 10.0, "teacher must cost ≫ student");
+    assert!(
+        latency(opt175) > latency(llama7) * 10.0,
+        "teacher must cost ≫ student"
+    );
     assert!(t.contains("generations/s"));
 }

@@ -183,9 +183,10 @@ pub fn annotate(
             BehaviorRef::SearchBuy(q, p) => {
                 (0, eq2_weight(freq, log.pop_query(q), log.pop_product(p)))
             }
-            BehaviorRef::CoBuy(p1, p2) => {
-                (1, eq2_weight(freq, log.pop_product(p1), log.pop_product(p2)))
-            }
+            BehaviorRef::CoBuy(p1, p2) => (
+                1,
+                eq2_weight(freq, log.pop_product(p1), log.pop_product(p2)),
+            ),
         };
         pools[pool].push((i, weight));
     }
@@ -221,7 +222,13 @@ pub fn annotate(
                     oracle.judge_cobuy(p1, p2, f.candidate.relation, &parsed.tail)
                 }
             };
-            let truth = [truth_complete, j.relevant, j.informative, j.plausible, j.typical];
+            let truth = [
+                truth_complete,
+                j.relevant,
+                j.informative,
+                j.plausible,
+                j.typical,
+            ];
             // two noisy annotators
             let a1 = noisy_answers(&truth, cfg, &mut rng);
             let a2 = noisy_answers(&truth, cfg, &mut rng);
@@ -312,7 +319,10 @@ mod tests {
     #[test]
     fn budget_respected_per_behavior() {
         let (w, log, filtered) = setup();
-        let cfg = AnnotationConfig { budget_per_behavior: 200, ..Default::default() };
+        let cfg = AnnotationConfig {
+            budget_per_behavior: 200,
+            ..Default::default()
+        };
         let out = annotate(&w, &log, &filtered, &cfg);
         let sb = out
             .annotations
@@ -321,7 +331,10 @@ mod tests {
             .count();
         let cb = out.annotations.len() - sb;
         assert!(sb <= 200 && cb <= 200);
-        assert!(sb > 150 && cb > 150, "pools should be large enough: sb={sb} cb={cb}");
+        assert!(
+            sb > 150 && cb > 150,
+            "pools should be large enough: sb={sb} cb={cb}"
+        );
     }
 
     #[test]
@@ -345,7 +358,10 @@ mod tests {
             st > ct,
             "search-buy typicality ({st:.2}) must exceed co-buy ({ct:.2}) — Table 4"
         );
-        assert!(sp > cp, "search-buy plausibility ({sp:.2}) vs co-buy ({cp:.2})");
+        assert!(
+            sp > cp,
+            "search-buy plausibility ({sp:.2}) vs co-buy ({cp:.2})"
+        );
         // search-buy typicality should land in the Table 4 ballpark (~35%)
         assert!((0.2..=0.55).contains(&st), "search-buy typicality {st}");
     }
@@ -353,9 +369,15 @@ mod tests {
     #[test]
     fn adjudication_reduces_disagreement_errors() {
         let (w, log, filtered) = setup();
-        let noisy = AnnotationConfig { annotator_error: 0.25, ..Default::default() };
+        let noisy = AnnotationConfig {
+            annotator_error: 0.25,
+            ..Default::default()
+        };
         let out = annotate(&w, &log, &filtered, &noisy);
-        assert!(out.disagreement_rate > 0.2, "high noise must cause disagreement");
+        assert!(
+            out.disagreement_rate > 0.2,
+            "high noise must cause disagreement"
+        );
         // adjudication resolves to truth, so audits stay accurate even with
         // noisy annotators (only agreeing-but-both-wrong survives)
         assert!(out.audit_accuracy > 0.85, "audit {}", out.audit_accuracy);
@@ -435,7 +457,11 @@ pub fn render_annotation_task(
             let _ = writeln!(out, "  Product B: {}", world.product(p2).title);
         }
     }
-    let _ = writeln!(out, "Candidate explanation: {}", candidate.candidate.raw.trim());
+    let _ = writeln!(
+        out,
+        "Candidate explanation: {}",
+        candidate.candidate.raw.trim()
+    );
     if let Some(parsed) = &candidate.parsed {
         let _ = writeln!(
             out,
@@ -468,7 +494,13 @@ mod render_tests {
         let filter = CoarseFilter::fit(&cosmo_synth::corpus(&w), FilterConfig::default());
         let filtered = filter.filter(&w, vec![cand]);
         let rendered = render_annotation_task(&w, &filtered[0]);
-        for q in ["Completeness", "Relevance", "Informativeness", "Plausibility", "Typicality"] {
+        for q in [
+            "Completeness",
+            "Relevance",
+            "Informativeness",
+            "Plausibility",
+            "Typicality",
+        ] {
             assert!(rendered.contains(q), "missing question {q}");
         }
         assert!(rendered.contains("Query:"));

@@ -55,7 +55,14 @@ pub struct CriticConfig {
 
 impl Default for CriticConfig {
     fn default() -> Self {
-        CriticConfig { seed: 0xC417, buckets: 1 << 13, dim: 32, epochs: 14, batch: 64, lr: 0.01 }
+        CriticConfig {
+            seed: 0xC417,
+            buckets: 1 << 13,
+            dim: 32,
+            epochs: 14,
+            batch: 64,
+            lr: 0.01,
+        }
     }
 }
 
@@ -86,7 +93,10 @@ pub fn features(world: &World, c: &Candidate, tail: &str, buckets: usize) -> Vec
             vec![world.query(q).text.clone(), world.ptype_of(p).base.clone()]
         }
         BehaviorRef::CoBuy(p1, p2) => {
-            vec![world.ptype_of(p1).base.clone(), world.ptype_of(p2).base.clone()]
+            vec![
+                world.ptype_of(p1).base.clone(),
+                world.ptype_of(p2).base.clone(),
+            ]
         }
     };
     for h in &heads {
@@ -105,8 +115,14 @@ pub fn features(world: &World, c: &Candidate, tail: &str, buckets: usize) -> Vec
     // hallucinations and relation-incompatible tails, which generalise far
     // beyond the annotated (head, tail) pairs
     for t in &tail_toks {
-        push(hash_str_ns(&format!("{}|{t}", c.domain.name()), NS_DOMAIN_TAIL));
-        push(hash_str_ns(&format!("{}|{t}", c.relation.name()), NS_REL_TAIL));
+        push(hash_str_ns(
+            &format!("{}|{t}", c.domain.name()),
+            NS_DOMAIN_TAIL,
+        ));
+        push(hash_str_ns(
+            &format!("{}|{t}", c.relation.name()),
+            NS_REL_TAIL,
+        ));
     }
     out
 }
@@ -145,7 +161,13 @@ impl Critic {
         let emb = Embedding::new(&mut store, "critic.emb", cfg.buckets, cfg.dim, &mut rng);
         let head_plausible = Linear::new(&mut store, "critic.plaus", cfg.dim, 1, &mut rng);
         let head_typical = Linear::new(&mut store, "critic.typ", cfg.dim, 1, &mut rng);
-        Critic { store, emb, head_plausible, head_typical, cfg }
+        Critic {
+            store,
+            emb,
+            head_plausible,
+            head_typical,
+            cfg,
+        }
     }
 
     /// Train on annotated examples; the last 15% (by shuffled order) are
@@ -264,7 +286,10 @@ impl Critic {
         };
         let lp = self.head_plausible.forward(&mut tape, &self.store, pooled);
         let lt = self.head_typical.forward(&mut tape, &self.store, pooled);
-        (sigmoid(tape.value(lp).item()), sigmoid(tape.value(lt).item()))
+        (
+            sigmoid(tape.value(lp).item()),
+            sigmoid(tape.value(lt).item()),
+        )
     }
 
     /// Score a whole batch at once.
@@ -362,7 +387,10 @@ mod tests {
                 typical: Some(typ),
             });
         }
-        let mut critic = Critic::new(CriticConfig { epochs: 16, ..Default::default() });
+        let mut critic = Critic::new(CriticConfig {
+            epochs: 16,
+            ..Default::default()
+        });
         let report = critic.train(&examples);
         assert!(
             report.plausible_accuracy > 0.85,
@@ -386,7 +414,10 @@ mod tests {
                 typical: Some(i % 2 == 0),
             })
             .collect();
-        let mut critic = Critic::new(CriticConfig { epochs: 3, ..Default::default() });
+        let mut critic = Critic::new(CriticConfig {
+            epochs: 3,
+            ..Default::default()
+        });
         let report = critic.train(&examples);
         assert_eq!(report.n_plausible, 0);
         assert_eq!(report.n_typical, 100);

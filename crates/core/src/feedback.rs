@@ -108,10 +108,16 @@ pub fn apply_feedback(
         if plaus <= cfg.plausibility_threshold {
             continue;
         }
-        let BehaviorRef::SearchBuy(q, p) = f.candidate.behavior else { continue };
+        let BehaviorRef::SearchBuy(q, p) = f.candidate.behavior else {
+            continue;
+        };
         let tail = out.kg.intern_node(NodeKind::Intention, &parsed.tail);
-        let qn = out.kg.intern_node(NodeKind::Query, &out.world.query(q).text);
-        let pn = out.kg.intern_node(NodeKind::Product, &out.world.product(p).title);
+        let qn = out
+            .kg
+            .intern_node(NodeKind::Query, &out.world.query(q).text);
+        let pn = out
+            .kg
+            .intern_node(NodeKind::Product, &out.world.product(p).title);
         for head in [qn, pn] {
             out.kg.add_edge(Edge {
                 head,
@@ -125,7 +131,8 @@ pub fn apply_feedback(
             });
             update.edges += 1;
         }
-        out.stats.add_behavior_pairs(BehaviorKind::SearchBuy, f.candidate.domain.0, 0);
+        out.stats
+            .add_behavior_pairs(BehaviorKind::SearchBuy, f.candidate.domain.0, 0);
     }
     out.stats.count_edges(&out.kg);
     update
@@ -144,8 +151,7 @@ mod tests {
     /// A (query, product) pair the KG has no knowledge for yet.
     fn novel_pair(out: &PipelineOutput) -> (String, String) {
         for q in &out.world.queries {
-            if out.kg.find_node(NodeKind::Query, &q.text).is_none() && !q.target_types.is_empty()
-            {
+            if out.kg.find_node(NodeKind::Query, &q.text).is_none() && !q.target_types.is_empty() {
                 let p = out.world.products_of_type(q.target_types[0])[0];
                 return (q.text.clone(), out.world.product(p).title.clone());
             }

@@ -16,10 +16,10 @@
 //! similarity is above a threshold (Eq. 1): those are "essentially
 //! paraphrases of original user behavior contexts".
 
+use cosmo_synth::World;
 use cosmo_teacher::{parse_candidate, BehaviorRef, Candidate, Parsed};
 use cosmo_text::distance::edit_distance_bounded;
 use cosmo_text::{segment, FxHashMap, HashedEmbedder, NgramLm, Vocab};
-use cosmo_synth::World;
 use serde::{Deserialize, Serialize};
 
 /// Why a candidate was dropped (or kept).
@@ -109,7 +109,12 @@ impl CoarseFilter {
     pub fn fit(corpus: &[String], cfg: FilterConfig) -> Self {
         let (vocab, lm) = cosmo_text::ngram::train_lm(corpus, cfg.lm_order);
         let embedder = HashedEmbedder::fit(corpus, cfg.embed_dim);
-        CoarseFilter { vocab, lm, embedder, cfg }
+        CoarseFilter {
+            vocab,
+            lm,
+            embedder,
+            cfg,
+        }
     }
 
     /// Access the fitted embedder (reused by serving/feature extraction).
@@ -129,8 +134,7 @@ impl CoarseFilter {
         let parses: Vec<Option<Parsed>> =
             candidates.iter().map(|c| parse_candidate(&c.raw)).collect();
         let mut tail_heads: FxHashMap<&str, FxHashMap<u64, u64>> = FxHashMap::default();
-        let mut tail_domains: FxHashMap<&str, std::collections::HashSet<u8>> =
-            FxHashMap::default();
+        let mut tail_domains: FxHashMap<&str, std::collections::HashSet<u8>> = FxHashMap::default();
         for (c, p) in candidates.iter().zip(parses.iter()) {
             if let Some(p) = p {
                 if !p.tail.is_empty() {
@@ -173,7 +177,11 @@ impl CoarseFilter {
             .zip(parses)
             .map(|(candidate, parsed)| {
                 let decision = self.decide(world, &candidate, parsed.as_ref(), &generic_tails);
-                FilteredCandidate { candidate, parsed, decision }
+                FilteredCandidate {
+                    candidate,
+                    parsed,
+                    decision,
+                }
             })
             .collect()
     }
@@ -203,8 +211,7 @@ impl CoarseFilter {
         let contexts = self.contexts(world, c);
         for ctx in &contexts {
             let close = parsed.tail == *ctx
-                || edit_distance_bounded(&parsed.tail, ctx, self.cfg.echo_edit_distance)
-                    .is_some();
+                || edit_distance_bounded(&parsed.tail, ctx, self.cfg.echo_edit_distance).is_some();
             if close {
                 return FilterDecision::Echo;
             }
@@ -266,7 +273,10 @@ impl FilterReport {
     /// Evaluate filter decisions against provenance.
     pub fn evaluate(filtered: &[FilteredCandidate]) -> Self {
         use cosmo_teacher::Provenance as P;
-        let mut r = FilterReport { total: filtered.len(), ..Default::default() };
+        let mut r = FilterReport {
+            total: filtered.len(),
+            ..Default::default()
+        };
         for f in filtered {
             match f.decision {
                 FilterDecision::Incomplete => r.drops_by_rule[0] += 1,
@@ -410,7 +420,11 @@ mod tests {
         let r = FilterReport::evaluate(&batch);
         assert_eq!(r.total, batch.len());
         assert!(r.kept <= r.total);
-        assert!(r.drop_precision() > 0.5, "drop precision {}", r.drop_precision());
+        assert!(
+            r.drop_precision() > 0.5,
+            "drop precision {}",
+            r.drop_precision()
+        );
         assert!(r.junk_recall() > 0.6, "junk recall {}", r.junk_recall());
     }
 }

@@ -10,18 +10,18 @@
 //! its own (the ablation benches toggle stages individually).
 
 pub mod annotation;
-pub mod feedback;
 pub mod critic;
+pub mod feedback;
 pub mod filter;
 pub mod pipeline;
 pub mod sampling;
 
 pub use annotation::{
-    annotate, render_annotation_task, Annotation, AnnotationConfig, AnnotationOutput, Ans,
-    Answers, QUESTION_INSTRUCTIONS,
+    annotate, render_annotation_task, Annotation, AnnotationConfig, AnnotationOutput, Ans, Answers,
+    QUESTION_INSTRUCTIONS,
 };
-pub use feedback::{apply_feedback, IncrementalUpdate};
 pub use critic::{auc, features, Critic, CriticConfig, CriticExample, CriticReport};
+pub use feedback::{apply_feedback, IncrementalUpdate};
 pub use filter::{CoarseFilter, FilterConfig, FilterDecision, FilterReport, FilteredCandidate};
 pub use pipeline::{run, run_over, PipelineConfig, PipelineOutput, PipelineReport};
 pub use sampling::{sample_behaviors, SampledBehaviors, SamplingConfig, SamplingReport};

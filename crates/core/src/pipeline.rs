@@ -71,7 +71,10 @@ impl PipelineConfig {
                 budget_per_behavior: 400,
                 ..Default::default()
             },
-            critic: CriticConfig { epochs: 6, ..Default::default() },
+            critic: CriticConfig {
+                epochs: 6,
+                ..Default::default()
+            },
             gens_per_searchbuy: 2,
             gens_per_cobuy: 2,
             ..Default::default()
@@ -230,7 +233,9 @@ pub fn run_over(world: World, log: BehaviorLog, cfg: &PipelineConfig) -> Pipelin
     // §3.3.2: keep plausibility > threshold, build the KG
     let mut kg = KnowledgeGraph::new();
     for (i, f) in filtered.iter().enumerate() {
-        let Some((plaus, typ)) = scores[i] else { continue };
+        let Some((plaus, typ)) = scores[i] else {
+            continue;
+        };
         if plaus <= cfg.plausibility_threshold {
             continue;
         }
@@ -306,7 +311,11 @@ mod tests {
         let out = output();
         assert!(out.kg.num_nodes() > 50, "nodes: {}", out.kg.num_nodes());
         assert!(out.kg.num_edges() > 100, "edges: {}", out.kg.num_edges());
-        assert!(out.kg.num_relations() >= 8, "relations: {}", out.kg.num_relations());
+        assert!(
+            out.kg.num_relations() >= 8,
+            "relations: {}",
+            out.kg.num_relations()
+        );
     }
 
     #[test]

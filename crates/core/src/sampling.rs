@@ -17,9 +17,7 @@
 //!   while also keeping a slice of low-engagement queries to probe the LLM
 //!   directly.
 
-use cosmo_synth::{
-    BehaviorLog, ProductId, ProductTypeId, QueryId, SpecificityService, World,
-};
+use cosmo_synth::{BehaviorLog, ProductId, ProductTypeId, QueryId, SpecificityService, World};
 use cosmo_text::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 
@@ -103,7 +101,11 @@ pub fn sample_behaviors(
     degrees.sort_unstable_by(|a, b| b.cmp(a));
     let cut_idx = ((degrees.len() as f64) * cfg.top_product_fraction).ceil() as usize;
     let min_degree = degrees
-        .get(cut_idx.saturating_sub(1).min(degrees.len().saturating_sub(1)))
+        .get(
+            cut_idx
+                .saturating_sub(1)
+                .min(degrees.len().saturating_sub(1)),
+        )
         .copied()
         .unwrap_or(0);
     let selected_products: FxHashSet<ProductId> = log
@@ -129,9 +131,8 @@ pub fn sample_behaviors(
 
     // heuristic: singleton cross-domain pairs are likely random
     if cfg.drop_singleton_cross_domain {
-        cobuy_pairs.retain(|(a, b, c)| {
-            *c > 1 || world.ptype_of(*a).domain == world.ptype_of(*b).domain
-        });
+        cobuy_pairs
+            .retain(|(a, b, c)| *c > 1 || world.ptype_of(*a).domain == world.ptype_of(*b).domain);
     }
     report.cobuy_after_random_rule = cobuy_pairs.len();
 
@@ -187,7 +188,12 @@ pub fn sample_behaviors(
     let broad_budget = ((budget as f64) * cfg.broad_fraction) as usize;
     let probe_budget = ((budget as f64) * cfg.probe_fraction) as usize;
     let mut search_buys: Vec<(QueryId, ProductId)> = Vec::new();
-    search_buys.extend(broad.iter().copied().take(broad_budget.max(broad.len().min(broad_budget))));
+    search_buys.extend(
+        broad
+            .iter()
+            .copied()
+            .take(broad_budget.max(broad.len().min(broad_budget))),
+    );
     let taken_broad = search_buys.len();
     search_buys.extend(
         specific
@@ -205,7 +211,11 @@ pub fn sample_behaviors(
         .count();
     report.searchbuy_selected = search_buys.len();
 
-    SampledBehaviors { cobuys, search_buys, report }
+    SampledBehaviors {
+        cobuys,
+        search_buys,
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +244,10 @@ mod tests {
     fn type_pair_quota_enforced() {
         let (w, log) = setup();
         let svc = SpecificityService::new(33, 0.05);
-        let cfg = SamplingConfig { max_pairs_per_type_pair: 3, ..Default::default() };
+        let cfg = SamplingConfig {
+            max_pairs_per_type_pair: 3,
+            ..Default::default()
+        };
         let s = sample_behaviors(&w, &log, &svc, &cfg);
         let mut counts: FxHashMap<(ProductTypeId, ProductTypeId), usize> = FxHashMap::default();
         for (a, b) in &s.cobuys {

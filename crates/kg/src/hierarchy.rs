@@ -146,7 +146,11 @@ impl IntentHierarchy {
             .enumerate()
             .map(|(i, n)| (n.text.clone(), i))
             .collect();
-        IntentHierarchy { nodes, roots, by_text }
+        IntentHierarchy {
+            nodes,
+            roots,
+            by_text,
+        }
     }
 
     /// Find a hierarchy node by exact tail text.
@@ -159,8 +163,11 @@ impl IntentHierarchy {
         let Some(&i) = self.by_text.get(text) else {
             return Vec::new();
         };
-        let mut children: Vec<&HierNode> =
-            self.nodes[i].children.iter().map(|&c| &self.nodes[c]).collect();
+        let mut children: Vec<&HierNode> = self.nodes[i]
+            .children
+            .iter()
+            .map(|&c| &self.nodes[c])
+            .collect();
         children.sort_by(|a, b| b.support.cmp(&a.support).then(a.text.cmp(&b.text)));
         children
     }

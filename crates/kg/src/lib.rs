@@ -15,7 +15,9 @@ pub mod schema;
 pub mod stats;
 pub mod store;
 
-pub use algo::{connected_components, degree_histogram, giant_component_size, pagerank, top_intents_global};
+pub use algo::{
+    connected_components, degree_histogram, giant_component_size, pagerank, top_intents_global,
+};
 pub use hierarchy::IntentHierarchy;
 pub use schema::{BehaviorKind, NodeKind, Relation, TailType};
 pub use stats::{summarize, CategoryRow, KgStats, KgSummary, CATEGORIES};

@@ -118,7 +118,13 @@ impl KgStats {
             let s = &self.searchbuy[i];
             out.push_str(&format!(
                 "{:<28} {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12}\n",
-                name, c.behavior_pairs, c.annotations, c.edges, s.behavior_pairs, s.annotations, s.edges
+                name,
+                c.behavior_pairs,
+                c.annotations,
+                c.edges,
+                s.behavior_pairs,
+                s.annotations,
+                s.edges
             ));
         }
         let ct = self.totals(BehaviorKind::CoBuy);
@@ -155,12 +161,66 @@ pub struct KgComparisonRow {
 /// The literature rows of Table 1 (constants from the paper).
 pub fn table1_literature() -> Vec<KgComparisonRow> {
     vec![
-        KgComparisonRow { name: "ConceptNet", nodes: "8M", edges: "21M", rels: "36", source: "Crowdsource", ecommerce: "no", intention: "yes", behavior: "no" },
-        KgComparisonRow { name: "ATOMIC", nodes: "300K", edges: "870K", rels: "9", source: "Crowdsource", ecommerce: "no", intention: "yes", behavior: "no" },
-        KgComparisonRow { name: "AliCoCo", nodes: "163K", edges: "813K", rels: "91", source: "Extraction", ecommerce: "yes", intention: "no", behavior: "search logs" },
-        KgComparisonRow { name: "AliCG", nodes: "5M", edges: "13.5M", rels: "1", source: "Extraction", ecommerce: "no", intention: "no", behavior: "search logs" },
-        KgComparisonRow { name: "FolkScope", nodes: "1.2M", edges: "12M", rels: "19", source: "LLM Generation", ecommerce: "2 domains", intention: "yes", behavior: "co-buy" },
-        KgComparisonRow { name: "COSMO (paper)", nodes: "6.3M", edges: "29M", rels: "15", source: "LLM Generation", ecommerce: "18 domains", intention: "yes", behavior: "co-buy&search-buy" },
+        KgComparisonRow {
+            name: "ConceptNet",
+            nodes: "8M",
+            edges: "21M",
+            rels: "36",
+            source: "Crowdsource",
+            ecommerce: "no",
+            intention: "yes",
+            behavior: "no",
+        },
+        KgComparisonRow {
+            name: "ATOMIC",
+            nodes: "300K",
+            edges: "870K",
+            rels: "9",
+            source: "Crowdsource",
+            ecommerce: "no",
+            intention: "yes",
+            behavior: "no",
+        },
+        KgComparisonRow {
+            name: "AliCoCo",
+            nodes: "163K",
+            edges: "813K",
+            rels: "91",
+            source: "Extraction",
+            ecommerce: "yes",
+            intention: "no",
+            behavior: "search logs",
+        },
+        KgComparisonRow {
+            name: "AliCG",
+            nodes: "5M",
+            edges: "13.5M",
+            rels: "1",
+            source: "Extraction",
+            ecommerce: "no",
+            intention: "no",
+            behavior: "search logs",
+        },
+        KgComparisonRow {
+            name: "FolkScope",
+            nodes: "1.2M",
+            edges: "12M",
+            rels: "19",
+            source: "LLM Generation",
+            ecommerce: "2 domains",
+            intention: "yes",
+            behavior: "co-buy",
+        },
+        KgComparisonRow {
+            name: "COSMO (paper)",
+            nodes: "6.3M",
+            edges: "29M",
+            rels: "15",
+            source: "LLM Generation",
+            ecommerce: "18 domains",
+            intention: "yes",
+            behavior: "co-buy&search-buy",
+        },
     ]
 }
 
@@ -222,9 +282,13 @@ mod tests {
     fn count_edges_splits_by_behavior_and_category() {
         let mut kg = KnowledgeGraph::new();
         let h = kg.intern_node(NodeKind::Product, "p");
-        for (i, b) in [BehaviorKind::CoBuy, BehaviorKind::SearchBuy, BehaviorKind::CoBuy]
-            .iter()
-            .enumerate()
+        for (i, b) in [
+            BehaviorKind::CoBuy,
+            BehaviorKind::SearchBuy,
+            BehaviorKind::CoBuy,
+        ]
+        .iter()
+        .enumerate()
         {
             let t = kg.intern_node(NodeKind::Intention, &format!("t{i}"));
             kg.add_edge(Edge {

@@ -79,7 +79,10 @@ impl KnowledgeGraph {
             return id;
         }
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind, text: text.to_string() });
+        self.nodes.push(Node {
+            kind,
+            text: text.to_string(),
+        });
         self.node_index.insert((kind, text.to_string()), id);
         id
     }
@@ -311,7 +314,9 @@ mod tests {
     fn adjacency_queries() {
         let kg = tiny_graph();
         let q = kg.find_node(NodeKind::Query, "camping").unwrap();
-        let t1 = kg.find_node(NodeKind::Intention, "sleeping outdoors").unwrap();
+        let t1 = kg
+            .find_node(NodeKind::Intention, "sleeping outdoors")
+            .unwrap();
         assert_eq!(kg.out_degree(q), 1);
         assert_eq!(kg.in_degree(t1), 1);
         assert_eq!(kg.tails_of(q).count(), 1);

@@ -36,8 +36,14 @@ pub struct EfficiencyRow {
 /// Simulated-scale comparison for a fixed (prompt, generation) length.
 pub fn simulated_comparison(prompt: &str, generation: &str) -> Vec<EfficiencyRow> {
     [
-        ("FolkScope pipeline (OPT-175B + critic)", TeacherModel::Opt175b),
-        ("FolkScope pipeline (OPT-30B + critic)", TeacherModel::Opt30b),
+        (
+            "FolkScope pipeline (OPT-175B + critic)",
+            TeacherModel::Opt175b,
+        ),
+        (
+            "FolkScope pipeline (OPT-30B + critic)",
+            TeacherModel::Opt30b,
+        ),
         ("COSMO-LM (LLaMA-13B)", TeacherModel::Llama13b),
         ("COSMO-LM (LLaMA-7B)", TeacherModel::Llama7b),
     ]
@@ -100,9 +106,14 @@ mod tests {
     fn measured_throughput_positive() {
         let lm = CosmoLm::new(
             StudentConfig::default(),
-            vec![("sleeping outdoors".into(), None), ("peeling potatoes".into(), None)],
+            vec![
+                ("sleeping outdoors".into(), None),
+                ("peeling potatoes".into(), None),
+            ],
         );
-        let inputs: Vec<String> = (0..50).map(|i| format!("user searched camping {i}")).collect();
+        let inputs: Vec<String> = (0..50)
+            .map(|i| format!("user searched camping {i}"))
+            .collect();
         let tput = measured_student_throughput(&lm, &inputs);
         assert!(tput > 0.0);
     }

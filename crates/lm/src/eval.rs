@@ -94,7 +94,10 @@ pub fn table9(world: &World, log: &BehaviorLog, student: &CosmoLm) -> Vec<Table9
     for d in DomainId::all() {
         // first search-buy behaviour in this domain
         let Some(sb) = log.search_buys.iter().find(|sb| sb.domain == d) else {
-            rows.push(Table9Row { category: d.name().to_string(), example: "-".into() });
+            rows.push(Table9Row {
+                category: d.name().to_string(),
+                example: "-".into(),
+            });
             continue;
         };
         let b = BehaviorRef::SearchBuy(sb.query, sb.product);
@@ -109,7 +112,10 @@ pub fn table9(world: &World, log: &BehaviorLog, student: &CosmoLm) -> Vec<Table9
             .next()
             .map(|(t, _)| t)
             .unwrap_or_else(|| "-".into());
-        rows.push(Table9Row { category: d.name().to_string(), example });
+        rows.push(Table9Row {
+            category: d.name().to_string(),
+            example,
+        });
     }
     rows
 }
@@ -130,13 +136,15 @@ mod tests {
             .filtered
             .iter()
             .filter(|f| f.decision.kept())
-            .filter_map(|f| {
-                f.parsed
-                    .as_ref()
-                    .map(|p| (p.tail.clone(), p.relation_hint))
-            })
+            .filter_map(|f| f.parsed.as_ref().map(|p| (p.tail.clone(), p.relation_hint)))
             .collect();
-        let mut student = CosmoLm::new(StudentConfig { epochs: 8, ..Default::default() }, tails);
+        let mut student = CosmoLm::new(
+            StudentConfig {
+                epochs: 8,
+                ..Default::default()
+            },
+            tails,
+        );
         student.train(&instructions);
         let mut teacher = Teacher::new(&out.world, TeacherConfig::default());
         let eval = eval_generation(&out.world, &out.log, &student, &mut teacher, 1000, 250);
@@ -167,7 +175,13 @@ mod tests {
             .iter()
             .filter_map(|f| f.parsed.as_ref().map(|p| (p.tail.clone(), p.relation_hint)))
             .collect();
-        let mut student = CosmoLm::new(StudentConfig { epochs: 3, ..Default::default() }, tails);
+        let mut student = CosmoLm::new(
+            StudentConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+            tails,
+        );
         student.train(&instructions);
         let rows = table9(&out.world, &out.log, &student);
         assert_eq!(rows.len(), 18);

@@ -19,7 +19,7 @@
 //! with one of several surface templates ("search query:", "user input:",
 //! "user searched:", …).
 
-use cosmo_core::{Ans, AnnotationOutput, FilteredCandidate};
+use cosmo_core::{AnnotationOutput, Ans, FilteredCandidate};
 use cosmo_kg::Relation;
 use cosmo_synth::{DomainId, World};
 use cosmo_teacher::BehaviorRef;
@@ -162,7 +162,11 @@ pub fn build_instructions(
                     template_id: t,
                     input: format!(
                         "is the explanation \"{tail}\" {} for: {behavior_text}",
-                        if task == TaskType::Plausibility { "plausible" } else { "typical" },
+                        if task == TaskType::Plausibility {
+                            "plausible"
+                        } else {
+                            "typical"
+                        },
                     ),
                     output: if label { "yes" } else { "no" }.to_string(),
                     tail: Some(tail.clone()),
@@ -221,8 +225,7 @@ mod tests {
     #[test]
     fn builds_all_five_task_types() {
         let out = run(PipelineConfig::tiny(71));
-        let instructions =
-            build_instructions(&out.world, &out.filtered, &out.annotation, 72);
+        let instructions = build_instructions(&out.world, &out.filtered, &out.annotation, 72);
         let hist = task_histogram(&instructions);
         for (task, n) in &hist {
             assert!(*n > 0, "no instances for task {:?}", task);
@@ -236,8 +239,7 @@ mod tests {
     #[test]
     fn generation_outputs_are_typical_tails() {
         let out = run(PipelineConfig::tiny(71));
-        let instructions =
-            build_instructions(&out.world, &out.filtered, &out.annotation, 72);
+        let instructions = build_instructions(&out.world, &out.filtered, &out.annotation, 72);
         for i in instructions.iter().filter(|i| i.task == TaskType::Generate) {
             assert_eq!(i.tail.as_deref(), Some(i.output.as_str()));
             assert!(!i.output.is_empty());
@@ -248,8 +250,7 @@ mod tests {
     #[test]
     fn templates_vary() {
         let out = run(PipelineConfig::tiny(71));
-        let instructions =
-            build_instructions(&out.world, &out.filtered, &out.annotation, 72);
+        let instructions = build_instructions(&out.world, &out.filtered, &out.annotation, 72);
         let distinct: std::collections::HashSet<usize> =
             instructions.iter().map(|i| i.template_id).collect();
         assert!(distinct.len() >= 2, "should use multiple templates");

@@ -53,7 +53,14 @@ pub struct StudentConfig {
 
 impl Default for StudentConfig {
     fn default() -> Self {
-        StudentConfig { seed: 0x10_C0_5A, buckets: 1 << 13, dim: 48, epochs: 12, batch: 64, lr: 0.01 }
+        StudentConfig {
+            seed: 0x10_C0_5A,
+            buckets: 1 << 13,
+            dim: 48,
+            epochs: 12,
+            batch: 64,
+            lr: 0.01,
+        }
     }
 }
 
@@ -120,7 +127,16 @@ impl CosmoLm {
             Linear::new(&mut store, "lm.cobuy", cfg.dim, 1, &mut rng),
             Linear::new(&mut store, "lm.rel", cfg.dim, 1, &mut rng),
         ];
-        CosmoLm { store, enc, tail_emb, heads, tail_vocab, tail_rel, tail_index, cfg }
+        CosmoLm {
+            store,
+            enc,
+            tail_emb,
+            heads,
+            tail_vocab,
+            tail_rel,
+            tail_index,
+            cfg,
+        }
     }
 
     /// Size of the tail vocabulary.
@@ -359,8 +375,14 @@ impl CosmoLm {
                 break;
             }
             // softmax sampling without replacement
-            let max = eligible.iter().map(|(_, s)| *s).fold(f32::NEG_INFINITY, f32::max);
-            let weights: Vec<f64> = eligible.iter().map(|(_, s)| ((s - max) as f64).exp()).collect();
+            let max = eligible
+                .iter()
+                .map(|(_, s)| *s)
+                .fold(f32::NEG_INFINITY, f32::max);
+            let weights: Vec<f64> = eligible
+                .iter()
+                .map(|(_, s)| ((s - max) as f64).exp())
+                .collect();
             let total: f64 = weights.iter().sum();
             let mut x = rng.gen_range(0.0..total);
             let mut pick = eligible.len() - 1;
@@ -409,8 +431,8 @@ impl CosmoLm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cosmo_teacher::BehaviorRef;
     use cosmo_synth::{DomainId, ProductId, QueryId};
+    use cosmo_teacher::BehaviorRef;
 
     fn toy_instructions() -> Vec<Instruction> {
         // Learnable mapping: input mentions "camping" → tail "sleeping
@@ -460,10 +482,20 @@ mod tests {
 
     #[test]
     fn student_learns_toy_generation() {
-        let mut lm = CosmoLm::new(StudentConfig { epochs: 15, ..Default::default() }, tails());
+        let mut lm = CosmoLm::new(
+            StudentConfig {
+                epochs: 15,
+                ..Default::default()
+            },
+            tails(),
+        );
         let report = lm.train(&toy_instructions());
         assert!(report.gen_top1 > 0.8, "gen top1 {}", report.gen_top1);
-        let top = lm.generate("user searched camping item fresh", Some(Relation::UsedForFunc), 1);
+        let top = lm.generate(
+            "user searched camping item fresh",
+            Some(Relation::UsedForFunc),
+            1,
+        );
         assert_eq!(top[0].0, "sleeping outdoors");
     }
 
@@ -479,7 +511,13 @@ mod tests {
 
     #[test]
     fn prediction_head_learns() {
-        let mut lm = CosmoLm::new(StudentConfig { epochs: 15, ..Default::default() }, tails());
+        let mut lm = CosmoLm::new(
+            StudentConfig {
+                epochs: 15,
+                ..Default::default()
+            },
+            tails(),
+        );
         let report = lm.train(&toy_instructions());
         let plaus = report
             .predict_accuracy
@@ -492,7 +530,13 @@ mod tests {
     #[test]
     fn sample_list_is_distinct_and_temperature_controls_diversity() {
         use rand::SeedableRng;
-        let mut lm = CosmoLm::new(StudentConfig { epochs: 15, ..Default::default() }, tails());
+        let mut lm = CosmoLm::new(
+            StudentConfig {
+                epochs: 15,
+                ..Default::default()
+            },
+            tails(),
+        );
         lm.train(&toy_instructions());
         let input = "user searched camping item fresh";
         // samples are distinct
@@ -509,7 +553,10 @@ mod tests {
             let first = lm.sample_list(input, None, 1, 0.05, &mut rng);
             greedy_hits += usize::from(first[0] == "sleeping outdoors");
         }
-        assert!(greedy_hits >= 18, "cold sampling should be near-greedy: {greedy_hits}/20");
+        assert!(
+            greedy_hits >= 18,
+            "cold sampling should be near-greedy: {greedy_hits}/20"
+        );
         // hot temperature explores
         let mut seen = std::collections::HashSet::new();
         for seed in 0..30 {

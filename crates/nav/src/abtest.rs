@@ -115,12 +115,13 @@ pub fn run_abtest(world: &World, engine: &NavigationEngine, cfg: &AbTestConfig) 
     for _ in 0..cfg.users {
         let qi = broad[rng.gen_range(0..broad.len())];
         let query = &world.queries[qi];
-        let QueryKind::Broad(_) = query.kind else { unreachable!() };
+        let QueryKind::Broad(_) = query.kind else {
+            unreachable!()
+        };
         // The user's latent desire is *finer* than the broad query: one
         // specific product type among the query's targets (the Figure 9
         // story — searching "camping" while wanting an air mattress).
-        let wanted: ProductTypeId =
-            query.target_types[rng.gen_range(0..query.target_types.len())];
+        let wanted: ProductTypeId = query.target_types[rng.gen_range(0..query.target_types.len())];
         let in_treatment = rng.gen_bool(cfg.traffic_fraction);
 
         // Baseline result page: popularity-ranked products of the query's
@@ -137,12 +138,10 @@ pub fn run_abtest(world: &World, engine: &NavigationEngine, cfg: &AbTestConfig) 
             // the user recognises a refinement that describes why they
             // would buy their wanted type (its profile carries the intent)
             let matching = suggestions.iter().find(|s| {
-                tail_intents
-                    .get(s.label())
-                    .is_some_and(|ids| {
-                        ids.iter()
-                            .any(|&i| world.ptype(wanted).weight_of(i) >= 0.45)
-                    })
+                tail_intents.get(s.label()).is_some_and(|ids| {
+                    ids.iter()
+                        .any(|&i| world.ptype(wanted).weight_of(i) >= 0.45)
+                })
             });
             match matching {
                 Some(s) if rng.gen_bool(cfg.click_through) => {
@@ -195,8 +194,7 @@ pub fn run_abtest(world: &World, engine: &NavigationEngine, cfg: &AbTestConfig) 
         sales_lift_pct: 100.0 * (treatment_sales_rate / control_sales_rate.max(1e-12) - 1.0),
         control_engagement,
         treatment_engagement,
-        engagement_lift_pct: 100.0
-            * (treatment_engagement / control_engagement.max(1e-12) - 1.0),
+        engagement_lift_pct: 100.0 * (treatment_engagement / control_engagement.max(1e-12) - 1.0),
     }
 }
 
@@ -259,7 +257,10 @@ mod tests {
         static F: OnceLock<Fixture> = OnceLock::new();
         F.get_or_init(|| {
             let out = run(PipelineConfig::tiny(141));
-            Fixture { engine: NavigationEngine::new(out.kg), world: out.world }
+            Fixture {
+                engine: NavigationEngine::new(out.kg),
+                world: out.world,
+            }
         })
     }
 
@@ -269,7 +270,11 @@ mod tests {
         // Use a high-visibility regime so the structural lift clears the
         // sampling noise at test-sized populations (the paper needed
         // months of live traffic to resolve +0.7%).
-        let cfg = AbTestConfig { users: 600_000, visibility: 0.3, ..Default::default() };
+        let cfg = AbTestConfig {
+            users: 600_000,
+            visibility: 0.3,
+            ..Default::default()
+        };
         let report = run_abtest(&f.world, &f.engine, &cfg);
         assert!(report.treatment_users > 10_000);
         assert!(
@@ -293,7 +298,11 @@ mod tests {
     #[test]
     fn traffic_split_respected() {
         let f = fixture();
-        let cfg = AbTestConfig { users: 20_000, traffic_fraction: 0.1, ..Default::default() };
+        let cfg = AbTestConfig {
+            users: 20_000,
+            traffic_fraction: 0.1,
+            ..Default::default()
+        };
         let report = run_abtest(&f.world, &f.engine, &cfg);
         let frac = report.treatment_users as f64 / cfg.users as f64;
         assert!((frac - 0.1).abs() < 0.02, "treatment fraction {frac}");
@@ -302,7 +311,11 @@ mod tests {
     #[test]
     fn zero_visibility_means_no_lift() {
         let f = fixture();
-        let cfg = AbTestConfig { users: 300_000, visibility: 0.0, ..Default::default() };
+        let cfg = AbTestConfig {
+            users: 300_000,
+            visibility: 0.0,
+            ..Default::default()
+        };
         let report = run_abtest(&f.world, &f.engine, &cfg);
         assert!(
             report.sales_lift_pct.abs() < 6.0,
@@ -314,7 +327,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let f = fixture();
-        let cfg = AbTestConfig { users: 5_000, ..Default::default() };
+        let cfg = AbTestConfig {
+            users: 5_000,
+            ..Default::default()
+        };
         let a = run_abtest(&f.world, &f.engine, &cfg);
         let b = run_abtest(&f.world, &f.engine, &cfg);
         assert_eq!(a.sales_lift_pct, b.sales_lift_pct);

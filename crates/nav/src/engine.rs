@@ -86,9 +86,12 @@ impl NavigationEngine {
     /// Layer 2: products linked to an intent tail (via the KG's incoming
     /// edges), returned as `(product node, title)`.
     pub fn products_for_intent(&self, intent: &str, k: usize) -> Vec<(NodeId, String)> {
-        let Some(node) = self.hierarchy.find(intent).map(|n| n.intent).or_else(|| {
-            self.kg.find_node(NodeKind::Intention, intent)
-        }) else {
+        let Some(node) = self
+            .hierarchy
+            .find(intent)
+            .map(|n| n.intent)
+            .or_else(|| self.kg.find_node(NodeKind::Intention, intent))
+        else {
             return Vec::new();
         };
         let mut out: Vec<(NodeId, String)> = Vec::new();
@@ -165,7 +168,14 @@ impl<'e> NavSession<'e> {
                     .collect()
             })
             .unwrap_or_default();
-        (NavSession { engine, trail: Vec::new(), candidates }, suggestions)
+        (
+            NavSession {
+                engine,
+                trail: Vec::new(),
+                candidates,
+            },
+            suggestions,
+        )
     }
 
     /// Select a suggestion; returns the next turn's suggestions. Intent
@@ -274,10 +284,7 @@ mod tests {
             .clone();
         session.select(&winter, 5);
         assert!(session.candidates.len() < before);
-        assert!(session
-            .candidates
-            .iter()
-            .all(|(_, t)| t.contains("winter")));
+        assert!(session.candidates.iter().all(|(_, t)| t.contains("winter")));
         assert_eq!(session.depth(), 1);
     }
 

@@ -60,7 +60,12 @@ mod tests {
         let t = normal(100, 100, 0.5, &mut rng);
         let n = t.len() as f32;
         let mean: f32 = t.data().iter().sum::<f32>() / n;
-        let var: f32 = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / n;
         assert!(mean.abs() < 0.02, "mean={mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.02, "std={}", var.sqrt());
     }

@@ -24,12 +24,20 @@ impl Linear {
         out_dim: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let w = store.add(&format!("{name}.w"), init::xavier_uniform(in_dim, out_dim, rng));
+        let w = store.add(
+            &format!("{name}.w"),
+            init::xavier_uniform(in_dim, out_dim, rng),
+        );
         let b = store.add(
             &format!("{name}.b"),
             crate::tensor::Tensor::zeros(1, out_dim),
         );
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Apply to a `[n×in]` batch.
@@ -143,14 +151,35 @@ impl GruCell {
         }
         let wz = weight(store, name, "wz", in_dim, hidden, rng);
         let uz = weight(store, name, "uz", hidden, hidden, rng);
-        let bz = store.add(&format!("{name}.bz"), crate::tensor::Tensor::zeros(1, hidden));
+        let bz = store.add(
+            &format!("{name}.bz"),
+            crate::tensor::Tensor::zeros(1, hidden),
+        );
         let wr = weight(store, name, "wr", in_dim, hidden, rng);
         let ur = weight(store, name, "ur", hidden, hidden, rng);
-        let br = store.add(&format!("{name}.br"), crate::tensor::Tensor::zeros(1, hidden));
+        let br = store.add(
+            &format!("{name}.br"),
+            crate::tensor::Tensor::zeros(1, hidden),
+        );
         let wh = weight(store, name, "wh", in_dim, hidden, rng);
         let uh = weight(store, name, "uh", hidden, hidden, rng);
-        let bh = store.add(&format!("{name}.bh"), crate::tensor::Tensor::zeros(1, hidden));
-        GruCell { wz, uz, bz, wr, ur, br, wh, uh, bh, in_dim, hidden }
+        let bh = store.add(
+            &format!("{name}.bh"),
+            crate::tensor::Tensor::zeros(1, hidden),
+        );
+        GruCell {
+            wz,
+            uz,
+            bz,
+            wr,
+            ur,
+            br,
+            wh,
+            uh,
+            bh,
+            in_dim,
+            hidden,
+        }
     }
 
     /// One step: `h' = z⊙h + (1−z)⊙tanh(x·Wh + (r⊙h)·Uh + bh)`.
@@ -191,13 +220,7 @@ impl GruCell {
     }
 
     /// Run over a sequence of `[n×in]` steps, returning every hidden state.
-    pub fn run(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        xs: &[Var],
-        h0: Var,
-    ) -> Vec<Var> {
+    pub fn run(&self, tape: &mut Tape, store: &ParamStore, xs: &[Var], h0: Var) -> Vec<Var> {
         let mut h = h0;
         let mut out = Vec::with_capacity(xs.len());
         for &x in xs {
@@ -350,7 +373,10 @@ mod tests {
             tape.accumulate_param_grads(&mut store);
             opt.step(&mut store);
         }
-        assert!(last_loss < 0.1, "GRU failed to fit toy task: loss={last_loss}");
+        assert!(
+            last_loss < 0.1,
+            "GRU failed to fit toy task: loss={last_loss}"
+        );
     }
 
     #[test]

@@ -18,12 +18,22 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD at learning rate `lr`.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Apply one update from the store's current gradients.
@@ -50,7 +60,9 @@ impl Sgd {
             if mom != 0.0 {
                 self.velocity[i].scale_assign(mom);
                 self.velocity[i].add_assign(&g);
-                store.value_mut(id).add_scaled_assign(&self.velocity[i].clone(), -lr);
+                store
+                    .value_mut(id)
+                    .add_scaled_assign(&self.velocity[i].clone(), -lr);
             } else {
                 store.value_mut(id).add_scaled_assign(&g, -lr);
             }
@@ -190,7 +202,10 @@ mod tests {
         let mut opt = Adam::new(0.1);
         opt.weight_decay = 0.5;
         let w = quadratic_descends(move |s| opt.step(s));
-        assert!(w < 3.0 && w > 1.0, "decayed optimum should sit below 3, got {w}");
+        assert!(
+            w < 3.0 && w > 1.0,
+            "decayed optimum should sit below 3, got {w}"
+        );
     }
 
     #[test]

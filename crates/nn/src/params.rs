@@ -172,8 +172,11 @@ impl ParamStore {
             names: &'a [String],
             values: &'a [Tensor],
         }
-        serde_json::to_string(&Ckpt { names: &self.names, values: &self.values })
-            .expect("checkpoint serialisation cannot fail")
+        serde_json::to_string(&Ckpt {
+            names: &self.names,
+            values: &self.values,
+        })
+        .expect("checkpoint serialisation cannot fail")
     }
 
     /// Restore parameter values from a checkpoint produced by

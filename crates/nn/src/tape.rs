@@ -88,7 +88,11 @@ impl Tape {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
-        self.nodes.push(Node { value, grad: None, op });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -687,11 +691,7 @@ mod tests {
     use crate::params::ParamStore;
 
     /// Central finite-difference gradient of `f` w.r.t. a parameter tensor.
-    fn finite_diff(
-        store: &mut ParamStore,
-        id: ParamId,
-        f: &dyn Fn(&ParamStore) -> f32,
-    ) -> Tensor {
+    fn finite_diff(store: &mut ParamStore, id: ParamId, f: &dyn Fn(&ParamStore) -> f32) -> Tensor {
         let eps = 1e-3f32;
         let (r, c) = store.value(id).shape();
         let mut out = Tensor::zeros(r, c);
@@ -739,10 +739,17 @@ mod tests {
     #[test]
     fn gradcheck_affine_relu_ce() {
         let mut store = ParamStore::new();
-        let w = store.add("w", Tensor::from_vec(3, 4, (0..12).map(|i| 0.1 * i as f32 - 0.5).collect()));
+        let w = store.add(
+            "w",
+            Tensor::from_vec(3, 4, (0..12).map(|i| 0.1 * i as f32 - 0.5).collect()),
+        );
         let b = store.add("b", Tensor::row(vec![0.1, -0.2, 0.3, 0.0]));
         gradcheck(&mut store, &move |tape, s| {
-            let x = tape.input(Tensor::from_vec(2, 3, vec![1.0, -0.5, 0.25, 0.8, 0.2, -1.0]));
+            let x = tape.input(Tensor::from_vec(
+                2,
+                3,
+                vec![1.0, -0.5, 0.25, 0.8, 0.2, -1.0],
+            ));
             let wv = tape.param(s, w);
             let bv = tape.param(s, b);
             let h = tape.matmul(x, wv);
@@ -800,7 +807,11 @@ mod tests {
         let q = store.add("q", Tensor::from_vec(1, 3, vec![0.3, -0.2, 0.5]));
         let keys = store.add(
             "k",
-            Tensor::from_vec(4, 3, (0..12).map(|i| ((i * 7) % 5) as f32 * 0.2 - 0.4).collect()),
+            Tensor::from_vec(
+                4,
+                3,
+                (0..12).map(|i| ((i * 7) % 5) as f32 * 0.2 - 0.4).collect(),
+            ),
         );
         gradcheck(&mut store, &move |tape, s| {
             let qv = tape.param(s, q);

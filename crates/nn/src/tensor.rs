@@ -44,12 +44,20 @@ impl Tensor {
     /// Build a `1×n` row vector.
     pub fn row(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Tensor { rows: 1, cols, data }
+        Tensor {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Build a `1×1` scalar.
     pub fn scalar(v: f32) -> Self {
-        Tensor { rows: 1, cols: 1, data: vec![v] }
+        Tensor {
+            rows: 1,
+            cols: 1,
+            data: vec![v],
+        }
     }
 
     /// Number of rows.
@@ -129,7 +137,8 @@ impl Tensor {
     /// Matrix product `self · other` (`[n×k]·[k×m] → [n×m]`).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -158,7 +167,8 @@ impl Tensor {
     /// transpose; the inner loop is a contiguous dot product.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_nt shape mismatch: {:?} x {:?}ᵀ",
             self.shape(),
             other.shape()
@@ -182,7 +192,8 @@ impl Tensor {
     /// `selfᵀ · other` (`[k×n]ᵀ·[k×m] → [n×m]`).
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "matmul_tn shape mismatch: {:?}ᵀ x {:?}",
             self.shape(),
             other.shape()
@@ -257,7 +268,11 @@ impl Tensor {
             .zip(other.data.iter())
             .map(|(&a, &b)| a * b)
             .collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Multiply all elements by `s` in place.
@@ -293,7 +308,11 @@ impl Tensor {
             data.extend_from_slice(&t.data);
             total_rows += t.rows;
         }
-        Tensor { rows: total_rows, cols, data }
+        Tensor {
+            rows: total_rows,
+            cols,
+            data,
+        }
     }
 }
 

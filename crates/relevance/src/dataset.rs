@@ -106,7 +106,13 @@ impl EsciDataset {
             products.insert(&e.product);
             exact += usize::from(e.label == EsciLabel::Exact);
         }
-        (self.train.len(), self.test.len(), exact, queries.len(), products.len())
+        (
+            self.train.len(),
+            self.test.len(),
+            exact,
+            queries.len(),
+            products.len(),
+        )
     }
 }
 
@@ -151,7 +157,8 @@ impl Default for EsciConfig {
 /// Apply a light spelling/locale shift to text.
 fn localize(text: &str, uk: bool) -> String {
     if uk {
-        text.replace("color", "colour").replace("organize", "organise")
+        text.replace("color", "colour")
+            .replace("organize", "organise")
     } else {
         text.to_string()
     }
@@ -275,7 +282,11 @@ pub fn generate_locale(world: &World, cfg: &EsciConfig, locale_idx: usize) -> Es
     let (test, train): (Vec<EsciExample>, Vec<EsciExample>) = examples
         .into_iter()
         .partition(|e| test_queries.contains(&e.query));
-    EsciDataset { locale: name.to_string(), train, test }
+    EsciDataset {
+        locale: name.to_string(),
+        train,
+        test,
+    }
 }
 
 /// Attach COSMO knowledge features to every example using `knowledge_fn`
@@ -300,7 +311,10 @@ mod tests {
     }
 
     fn small_cfg() -> EsciConfig {
-        EsciConfig { base_pairs: 600, ..Default::default() }
+        EsciConfig {
+            base_pairs: 600,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -319,7 +333,10 @@ mod tests {
         let ds = generate_locale(&w, &small_cfg(), 0);
         let (train, test, exact, uq, up) = ds.stats();
         assert_eq!(train + test, ds.train.len() + ds.test.len());
-        assert!(exact * 2 > train + test, "Exact should be the majority class");
+        assert!(
+            exact * 2 > train + test,
+            "Exact should be the majority class"
+        );
         assert!(uq > 10 && up > 10);
     }
 
@@ -340,7 +357,10 @@ mod tests {
         let w = world();
         let us = generate_locale(&w, &small_cfg(), 1);
         let ca = generate_locale(&w, &small_cfg(), 2);
-        assert!(us.train.len() > ca.train.len() * 2, "US must dwarf CA (Table 5)");
+        assert!(
+            us.train.len() > ca.train.len() * 2,
+            "US must dwarf CA (Table 5)"
+        );
         let uk = generate_locale(&w, &small_cfg(), 3);
         let _ = uk; // UK spelling shift exercised in localize test below
     }

@@ -33,12 +33,7 @@ use cosmo_lm::CosmoLm;
 ///   otherwise have to discover;
 /// * `complement <tail>` markers when a query-side `USED_WITH` tail names
 ///   something the product title matches.
-pub fn pair_knowledge(
-    kg: &KnowledgeGraph,
-    lm: &CosmoLm,
-    query: &str,
-    product: &str,
-) -> String {
+pub fn pair_knowledge(kg: &KnowledgeGraph, lm: &CosmoLm, query: &str, product: &str) -> String {
     let side_tails = |kind: NodeKind, text: &str, role: &str| -> Vec<(Option<Relation>, String)> {
         if let Some(n) = kg.find_node(kind, text) {
             let mut tails: Vec<(Option<Relation>, String)> = kg
@@ -50,7 +45,12 @@ pub fn pair_knowledge(
             // best two even when they rank below the generic top-4
             let mut with: Vec<_> = kg
                 .tails_of_rel(n, Relation::UsedWith)
-                .map(|e| (e.typicality * (1.0 + e.support as f32).ln(), kg.node(e.tail).text.clone()))
+                .map(|e| {
+                    (
+                        e.typicality * (1.0 + e.support as f32).ln(),
+                        kg.node(e.tail).text.clone(),
+                    )
+                })
                 .collect();
             with.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
             for (_, t) in with.into_iter().take(2) {
@@ -63,7 +63,8 @@ pub fn pair_knowledge(
             }
         }
         // cold entity: generate with the student
-        let input = format!("generate a USED_FOR_FUNC explanation in domain unknown for: {role}: {text}");
+        let input =
+            format!("generate a USED_FOR_FUNC explanation in domain unknown for: {role}: {text}");
         lm.generate(&input, None, 2)
             .into_iter()
             .map(|(t, _)| (None, t))
@@ -86,14 +87,16 @@ pub fn pair_knowledge(
     // complement markers: a USED_WITH tail on one side naming the other
     // side — either literally (tokens inside the surface text) or via the
     // other side's own tails
-    let mut mark_complement = |tail: &str, other_text: &str, other_tails: &[(Option<Relation>, String)]| {
-        let toks = cosmo_text::tokenize(tail);
-        let literal = !toks.is_empty() && toks.iter().all(|tok| other_text.contains(tok.as_str()));
-        let via_tails = other_tails.iter().any(|(_, t)| t == tail);
-        if literal || via_tails {
-            parts.push(format!("complement {tail}"));
-        }
-    };
+    let mut mark_complement =
+        |tail: &str, other_text: &str, other_tails: &[(Option<Relation>, String)]| {
+            let toks = cosmo_text::tokenize(tail);
+            let literal =
+                !toks.is_empty() && toks.iter().all(|tok| other_text.contains(tok.as_str()));
+            let via_tails = other_tails.iter().any(|(_, t)| t == tail);
+            if literal || via_tails {
+                parts.push(format!("complement {tail}"));
+            }
+        };
     for (r, t) in &q_tails {
         if *r == Some(Relation::UsedWith) {
             mark_complement(t, product, &p_tails);

@@ -16,7 +16,10 @@ pub struct Confusion {
 impl Confusion {
     /// Empty `k`-class matrix.
     pub fn new(k: usize) -> Self {
-        Confusion { k, counts: vec![0; k * k] }
+        Confusion {
+            k,
+            counts: vec![0; k * k],
+        }
     }
 
     /// Record one prediction.
@@ -132,10 +135,21 @@ pub fn render_per_class(conf: &Confusion, names: &[&str]) -> String {
     use std::fmt::Write as _;
     let f1 = conf.f1_per_class();
     let mut out = String::new();
-    let _ = writeln!(out, "{:<14} {:>9} {:>9} {:>9}", "Class", "Precision", "Recall", "F1");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>9} {:>9} {:>9}",
+        "Class", "Precision", "Recall", "F1"
+    );
     for (c, name) in names.iter().enumerate() {
         let (p, r) = conf.precision_recall(c);
-        let _ = writeln!(out, "{:<14} {:>8.1}% {:>8.1}% {:>8.1}%", name, p * 100.0, r * 100.0, f1[c] * 100.0);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8.1}% {:>8.1}% {:>8.1}%",
+            name,
+            p * 100.0,
+            r * 100.0,
+            f1[c] * 100.0
+        );
     }
     let _ = writeln!(
         out,
@@ -152,8 +166,12 @@ impl Confusion {
     pub fn precision_recall(&self, c: usize) -> (f64, f64) {
         assert!(c < self.k);
         let tp = self.counts[c * self.k + c] as f64;
-        let pred: f64 = (0..self.k).map(|r| self.counts[r * self.k + c] as f64).sum();
-        let truth: f64 = (0..self.k).map(|p| self.counts[c * self.k + p] as f64).sum();
+        let pred: f64 = (0..self.k)
+            .map(|r| self.counts[r * self.k + c] as f64)
+            .sum();
+        let truth: f64 = (0..self.k)
+            .map(|p| self.counts[c * self.k + p] as f64)
+            .sum();
         (
             if pred == 0.0 { 0.0 } else { tp / pred },
             if truth == 0.0 { 0.0 } else { tp / truth },

@@ -138,7 +138,13 @@ impl RelevanceModel {
             let ids = store.ids();
             store.freeze(ids[0]);
         }
-        RelevanceModel { store, emb, head, arch, cfg }
+        RelevanceModel {
+            store,
+            emb,
+            head,
+            arch,
+            cfg,
+        }
     }
 
     /// Hashed features per field for one example.
@@ -147,8 +153,14 @@ impl RelevanceModel {
         let q_toks = tokenize(&e.query);
         let p_toks = tokenize(&e.product);
         let g_toks = tokenize(&e.knowledge);
-        let mut qf: Vec<usize> = q_toks.iter().map(|t| bucket(hash_str_ns(t, NS_Q), b)).collect();
-        let mut pf: Vec<usize> = p_toks.iter().map(|t| bucket(hash_str_ns(t, NS_P), b)).collect();
+        let mut qf: Vec<usize> = q_toks
+            .iter()
+            .map(|t| bucket(hash_str_ns(t, NS_Q), b))
+            .collect();
+        let mut pf: Vec<usize> = p_toks
+            .iter()
+            .map(|t| bucket(hash_str_ns(t, NS_P), b))
+            .collect();
         match self.arch {
             Architecture::BiEncoder => {
                 // strictly independent towers: (query feats, product feats)
@@ -180,10 +192,7 @@ impl RelevanceModel {
                         g_block.push(bucket(hash_str_ns(g, NS_G), b));
                     }
                     for w in g_toks.windows(2) {
-                        g_block.push(bucket(
-                            hash_str_ns(&format!("{} {}", w[0], w[1]), NS_QG),
-                            b,
-                        ));
+                        g_block.push(bucket(hash_str_ns(&format!("{} {}", w[0], w[1]), NS_QG), b));
                     }
                     if g_block.is_empty() {
                         g_block.push(1);
@@ -235,8 +244,7 @@ impl RelevanceModel {
         for _ in 0..self.cfg.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(self.cfg.batch) {
-                let batch: Vec<&EsciExample> =
-                    chunk.iter().map(|&i| &dataset.train[i]).collect();
+                let batch: Vec<&EsciExample> = chunk.iter().map(|&i| &dataset.train[i]).collect();
                 let targets: Vec<usize> = batch.iter().map(|e| e.label.index()).collect();
                 let mut tape = Tape::new();
                 let logits = self.forward_batch(&mut tape, &batch);
@@ -311,7 +319,10 @@ mod tests {
         static DS: OnceLock<EsciDataset> = OnceLock::new();
         DS.get_or_init(|| {
             let w = World::generate(WorldConfig::tiny(95));
-            let cfg = EsciConfig { base_pairs: 1200, ..Default::default() };
+            let cfg = EsciConfig {
+                base_pairs: 1200,
+                ..Default::default()
+            };
             let mut ds = generate_locale(&w, &cfg, 0);
             let world = w;
             attach_knowledge(&mut ds, |q, p| oracle_knowledge(&world, q, p));
@@ -348,7 +359,11 @@ mod tests {
     }
 
     fn quick_cfg(trainable: bool) -> RelevanceConfig {
-        RelevanceConfig { epochs: 5, trainable_encoder: trainable, ..Default::default() }
+        RelevanceConfig {
+            epochs: 5,
+            trainable_encoder: trainable,
+            ..Default::default()
+        }
     }
 
     #[test]

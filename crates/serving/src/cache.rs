@@ -1,4 +1,4 @@
-//! Asynchronous two-layer cache store (Figure 5, §3.5.1).
+//! Sharded asynchronous two-layer cache store (Figure 5, §3.5.1).
 //!
 //! "Employed to manage frequent searches and adapt to daily traffic
 //! patterns, this store efficiently captures user queries through a
@@ -6,20 +6,29 @@
 //! searches and batch-processed daily requests."
 //!
 //! * **L1** — immutable after load: the yearly frequent searches, shared
-//!   lock-free behind an `Arc`;
-//! * **L2** — the daily layer: read-write, filled by the batch processor,
-//!   cleared (with promotion of its hottest entries into L1) on the daily
-//!   refresh;
-//! * misses are recorded in a pending queue for the next batch cycle —
-//!   this is the "asynchronous" part: a missing query never blocks the
-//!   request path on model inference.
+//!   behind one read-mostly lock over an `Arc`'d map;
+//! * **L2** — the daily layer, **sharded N ways by query hash**: each
+//!   shard has its own read-write map, hit counter, and pending queue, so
+//!   concurrent request threads and the batch writer contend only when
+//!   they touch the same shard;
+//! * misses land in a **bounded, deduplicated** per-shard pending queue —
+//!   a membership set ensures N identical misses cost one slot, and an
+//!   explicit [`AdmissionPolicy`] decides what happens when the queue is
+//!   full (drop the oldest entry or reject the newcomer), with both
+//!   outcomes surfaced in [`CacheMetrics`]. A missing query never blocks
+//!   the request path on model inference, and a miss storm can never grow
+//!   the queue without bound.
 
 use crate::features::StructuredFeatures;
-use cosmo_text::FxHashMap;
+use cosmo_text::hash::hash_str_ns;
+use cosmo_text::{FxHashMap, FxHashSet};
 use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Hash namespace for shard routing (distinct from the view namespaces).
+const SHARD_NS: u32 = 0x5EED;
 
 /// Where a cache answer came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,15 +39,62 @@ pub enum CacheLayer {
     L2,
 }
 
-/// Hit/miss counters.
+/// What to do with a new pending query when its shard's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Evict the oldest queued query to make room (favours recency —
+    /// the dropped query will be re-queued on its next miss).
+    #[default]
+    DropOldest,
+    /// Refuse the new query (favours queue stability — the rejected
+    /// query will be re-queued on its next miss once there is room).
+    RejectNew,
+}
+
+/// Cache sizing and admission parameters.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Max entries in the pre-loaded / promoted L1 layer.
+    pub l1_capacity: usize,
+    /// Max entries across all L2 shards (split evenly per shard).
+    pub l2_capacity: usize,
+    /// Number of shards for L2 / pending / hit-count state.
+    pub shards: usize,
+    /// Max queued pending queries across all shards (split evenly).
+    pub pending_bound: usize,
+    /// What to do with a miss when its shard's pending queue is full.
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            l1_capacity: 4096,
+            l2_capacity: 16384,
+            shards: 8,
+            pending_bound: 4096,
+            admission: AdmissionPolicy::DropOldest,
+        }
+    }
+}
+
+/// Hit/miss/admission counters.
 #[derive(Debug, Default)]
 pub struct CacheMetrics {
     /// L1 hits.
     pub l1_hits: AtomicU64,
     /// L2 hits.
     pub l2_hits: AtomicU64,
-    /// Misses (enqueued for batch processing).
+    /// Misses (enqueued for batch processing, subject to admission).
     pub misses: AtomicU64,
+    /// Pending entries evicted by [`AdmissionPolicy::DropOldest`].
+    pub dropped: AtomicU64,
+    /// Pending enqueues refused by [`AdmissionPolicy::RejectNew`].
+    pub rejected: AtomicU64,
+    /// Distinct queries currently queued (live gauge).
+    pending_now: AtomicU64,
+    /// High-water mark of `pending_now` since the last reset.
+    pending_high_water: AtomicU64,
 }
 
 impl CacheMetrics {
@@ -53,153 +109,280 @@ impl CacheMetrics {
         }
     }
 
-    /// Reset all counters.
+    /// Distinct queries currently queued across all shards.
+    pub fn pending_now(&self) -> usize {
+        self.pending_now.load(Ordering::Relaxed) as usize
+    }
+
+    /// High-water mark of the pending queue since the last reset.
+    pub fn pending_high_water(&self) -> usize {
+        self.pending_high_water.load(Ordering::Relaxed) as usize
+    }
+
+    /// Reset all counters (the live pending gauge is preserved; the
+    /// high-water mark restarts from the current queue depth).
     pub fn reset(&self) {
         self.l1_hits.store(0, Ordering::Relaxed);
         self.l2_hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
+        self.pending_high_water
+            .store(self.pending_now.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    fn note_enqueued(&self) {
+        let now = self.pending_now.fetch_add(1, Ordering::Relaxed) + 1;
+        self.pending_high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn note_removed(&self) {
+        self.pending_now.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
-/// The two-layer asynchronous cache.
+/// Daily layer of one shard: the map plus insertion order for eviction.
+#[derive(Default)]
+struct L2Shard {
+    map: FxHashMap<String, Arc<StructuredFeatures>>,
+    order: VecDeque<String>,
+}
+
+/// Pending queue of one shard: FIFO plus a membership set for dedupe.
+#[derive(Default)]
+struct PendingShard {
+    queue: VecDeque<String>,
+    members: FxHashSet<String>,
+}
+
+/// All mutable state owned by one shard.
+#[derive(Default)]
+struct Shard {
+    l2: RwLock<L2Shard>,
+    /// L2 access counts (for promotion on refresh).
+    hits: Mutex<FxHashMap<String, u64>>,
+    pending: Mutex<PendingShard>,
+}
+
+/// The sharded two-layer asynchronous cache.
 pub struct CacheStore {
     l1: RwLock<Arc<FxHashMap<String, Arc<StructuredFeatures>>>>,
-    l2: RwLock<FxHashMap<String, Arc<StructuredFeatures>>>,
-    /// L2 access counts (for promotion on refresh).
-    l2_hits_per_key: Mutex<FxHashMap<String, u64>>,
-    pending: Mutex<VecDeque<String>>,
-    /// Insertion order of L2 keys (for capacity eviction).
-    l2_order: Mutex<VecDeque<String>>,
+    shards: Vec<Shard>,
     /// Max entries promoted to L1 per refresh.
     l1_capacity: usize,
-    /// Max entries held in L2 between refreshes (oldest evicted first).
-    l2_capacity: usize,
-    /// Hit/miss counters.
+    /// Max entries held per L2 shard between refreshes (oldest evicted).
+    l2_capacity_per_shard: usize,
+    /// Max pending queries per shard.
+    pending_bound_per_shard: usize,
+    admission: AdmissionPolicy,
+    /// Hit/miss/admission counters.
     pub metrics: CacheMetrics,
 }
 
 impl CacheStore {
     /// Create with a pre-loaded L1 layer (the "yearly frequent searches").
-    pub fn new(preloaded: Vec<StructuredFeatures>, l1_capacity: usize) -> Self {
-        Self::with_l2_capacity(preloaded, l1_capacity, usize::MAX)
-    }
-
-    /// As [`CacheStore::new`] but with a bounded daily layer: when L2
-    /// exceeds `l2_capacity`, the oldest entries are evicted (they will be
-    /// recomputed on their next miss — bounded memory beats stale bloat
-    /// between daily refreshes).
-    pub fn with_l2_capacity(
-        preloaded: Vec<StructuredFeatures>,
-        l1_capacity: usize,
-        l2_capacity: usize,
-    ) -> Self {
+    pub fn new(preloaded: Vec<StructuredFeatures>, cfg: CacheConfig) -> Self {
         let l1: FxHashMap<String, Arc<StructuredFeatures>> = preloaded
             .into_iter()
             .map(|f| (f.query.clone(), Arc::new(f)))
             .collect();
+        let shards = cfg.shards.max(1);
         CacheStore {
             l1: RwLock::new(Arc::new(l1)),
-            l2: RwLock::new(FxHashMap::default()),
-            l2_hits_per_key: Mutex::new(FxHashMap::default()),
-            pending: Mutex::new(VecDeque::new()),
-            l2_order: Mutex::new(VecDeque::new()),
-            l1_capacity,
-            l2_capacity: l2_capacity.max(1),
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            l1_capacity: cfg.l1_capacity.max(1),
+            l2_capacity_per_shard: cfg.l2_capacity.div_ceil(shards).max(1),
+            pending_bound_per_shard: cfg.pending_bound.div_ceil(shards).max(1),
+            admission: cfg.admission,
             metrics: CacheMetrics::default(),
         }
     }
 
-    /// Request-path lookup: L1, then L2; on miss the query is queued for
-    /// the next batch cycle and `None` returns immediately.
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, query: &str) -> &Shard {
+        let idx = (hash_str_ns(query, SHARD_NS) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Request-path lookup: L1, then the query's L2 shard; on miss the
+    /// query is queued (deduplicated, bounded) for the next batch cycle
+    /// and `None` returns immediately.
     pub fn get(&self, query: &str) -> Option<(Arc<StructuredFeatures>, CacheLayer)> {
         if let Some(f) = self.l1.read().get(query) {
             self.metrics.l1_hits.fetch_add(1, Ordering::Relaxed);
             return Some((f.clone(), CacheLayer::L1));
         }
-        if let Some(f) = self.l2.read().get(query) {
+        let shard = self.shard_of(query);
+        if let Some(f) = shard.l2.read().map.get(query) {
             self.metrics.l2_hits.fetch_add(1, Ordering::Relaxed);
-            *self
-                .l2_hits_per_key
-                .lock()
-                .entry(query.to_string())
-                .or_insert(0) += 1;
+            *shard.hits.lock().entry(query.to_string()).or_insert(0) += 1;
             return Some((f.clone(), CacheLayer::L2));
         }
         self.metrics.misses.fetch_add(1, Ordering::Relaxed);
-        self.pending.lock().push_back(query.to_string());
+        self.enqueue(shard, query);
         None
     }
 
-    /// Drain up to `max` distinct pending queries for batch processing.
+    /// Enqueue a missed query subject to dedupe and admission. Returns
+    /// true when the query was added (false: duplicate or rejected).
+    fn enqueue(&self, shard: &Shard, query: &str) -> bool {
+        let mut pending = shard.pending.lock();
+        if pending.members.contains(query) {
+            return false; // already queued: N identical misses cost one slot
+        }
+        if pending.queue.len() >= self.pending_bound_per_shard {
+            match self.admission {
+                AdmissionPolicy::DropOldest => {
+                    if let Some(oldest) = pending.queue.pop_front() {
+                        pending.members.remove(&oldest);
+                        self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.note_removed();
+                    }
+                }
+                AdmissionPolicy::RejectNew => {
+                    self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+        pending.queue.push_back(query.to_string());
+        pending.members.insert(query.to_string());
+        self.metrics.note_enqueued();
+        true
+    }
+
+    /// Put queries back on the queue (used when a batch chunk fails);
+    /// does not count misses. Returns how many were actually queued.
+    pub fn requeue(&self, queries: &[String]) -> usize {
+        queries
+            .iter()
+            .filter(|q| self.enqueue(self.shard_of(q), q))
+            .count()
+    }
+
+    /// Drain up to `max` pending queries for batch processing,
+    /// round-robin across shards so no shard starves. Entries are
+    /// already distinct (dedupe happens at enqueue time).
     pub fn drain_pending(&self, max: usize) -> Vec<String> {
-        let mut pending = self.pending.lock();
-        let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         while out.len() < max {
-            let Some(q) = pending.pop_front() else { break };
-            if seen.insert(q.clone()) {
-                out.push(q);
+            let mut progressed = false;
+            for shard in &self.shards {
+                if out.len() >= max {
+                    break;
+                }
+                let mut pending = shard.pending.lock();
+                if let Some(q) = pending.queue.pop_front() {
+                    pending.members.remove(&q);
+                    self.metrics.note_removed();
+                    out.push(q);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
             }
         }
         out
     }
 
-    /// Number of queued (possibly duplicate) pending queries.
+    /// Number of distinct queued pending queries across all shards.
     pub fn pending_len(&self) -> usize {
-        self.pending.lock().len()
+        self.metrics.pending_now()
     }
 
-    /// Batch-processor write path: install computed features into L2,
-    /// evicting the oldest entries beyond the L2 capacity.
+    /// Batch-processor write path: install computed features into the
+    /// owning L2 shards, evicting the oldest entries beyond each shard's
+    /// capacity.
     pub fn install(&self, features: Vec<Arc<StructuredFeatures>>) {
-        let mut l2 = self.l2.write();
-        let mut order = self.l2_order.lock();
+        let mut by_shard: Vec<Vec<Arc<StructuredFeatures>>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
         for f in features {
-            if l2.insert(f.query.clone(), f.clone()).is_none() {
-                order.push_back(f.query.clone());
+            let idx = (hash_str_ns(&f.query, SHARD_NS) % self.shards.len() as u64) as usize;
+            by_shard[idx].push(f);
+        }
+        for (idx, batch) in by_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
             }
-            while l2.len() > self.l2_capacity {
-                let Some(oldest) = order.pop_front() else { break };
-                l2.remove(&oldest);
+            let mut l2 = self.shards[idx].l2.write();
+            for f in batch {
+                if l2.map.insert(f.query.clone(), f.clone()).is_none() {
+                    l2.order.push_back(f.query.clone());
+                }
+                while l2.map.len() > self.l2_capacity_per_shard {
+                    let Some(oldest) = l2.order.pop_front() else {
+                        break;
+                    };
+                    l2.map.remove(&oldest);
+                }
             }
         }
     }
 
-    /// Daily refresh: promote the hottest L2 entries into L1 (up to the L1
-    /// capacity), then clear L2 — "adapt to daily traffic patterns".
-    /// Returns the number of promoted entries.
+    /// Daily refresh: promote the hottest L2 entries (across all shards)
+    /// into L1 up to the L1 capacity, then clear L2 — "adapt to daily
+    /// traffic patterns". Returns the number of promoted entries.
     pub fn daily_refresh(&self) -> usize {
-        let mut l2 = self.l2.write();
-        let mut hits = self.l2_hits_per_key.lock();
-        let mut scored: Vec<(u64, String)> = l2
-            .keys()
-            .map(|k| (hits.get(k).copied().unwrap_or(0), k.clone()))
-            .collect();
+        // Lock order: every L2 shard (ascending), then every hits map —
+        // the read path takes l2-then-hits within one shard, so this
+        // global ordering cannot deadlock against it.
+        let mut l2_guards: Vec<_> = self.shards.iter().map(|s| s.l2.write()).collect();
+        let mut hits_guards: Vec<_> = self.shards.iter().map(|s| s.hits.lock()).collect();
+        let mut scored: Vec<(u64, String, usize)> = Vec::new();
+        for (idx, l2) in l2_guards.iter().enumerate() {
+            for k in l2.map.keys() {
+                let h = hits_guards[idx].get(k).copied().unwrap_or(0);
+                scored.push((h, k.clone(), idx));
+            }
+        }
         scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
 
         let old_l1 = self.l1.read().clone();
         let mut new_l1: FxHashMap<String, Arc<StructuredFeatures>> = (*old_l1).clone();
         let mut promoted = 0usize;
-        for (_, key) in scored {
+        for (_, key, idx) in scored {
             if new_l1.len() >= self.l1_capacity {
                 break;
             }
-            if let Some(f) = l2.get(&key) {
+            if let Some(f) = l2_guards[idx].map.get(&key) {
                 if new_l1.insert(key.clone(), f.clone()).is_none() {
                     promoted += 1;
                 }
             }
         }
         *self.l1.write() = Arc::new(new_l1);
-        l2.clear();
-        self.l2_order.lock().clear();
-        hits.clear();
+        for l2 in l2_guards.iter_mut() {
+            l2.map.clear();
+            l2.order.clear();
+        }
+        for hits in hits_guards.iter_mut() {
+            hits.clear();
+        }
         promoted
     }
 
-    /// Sizes of `(L1, L2)`.
+    /// Sizes of `(L1, total L2)`.
     pub fn sizes(&self) -> (usize, usize) {
-        (self.l1.read().len(), self.l2.read().len())
+        let l2: usize = self.shards.iter().map(|s| s.l2.read().map.len()).sum();
+        (self.l1.read().len(), l2)
+    }
+
+    /// Per-shard L2 entry counts (for ops dashboards).
+    pub fn l2_shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.l2.read().map.len()).collect()
+    }
+
+    /// Per-shard pending queue depths.
+    pub fn pending_shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.pending.lock().queue.len())
+            .collect()
     }
 }
 
@@ -216,9 +399,17 @@ mod tests {
         }
     }
 
+    fn single_shard(l1_capacity: usize) -> CacheConfig {
+        CacheConfig {
+            l1_capacity,
+            shards: 1,
+            ..CacheConfig::default()
+        }
+    }
+
     #[test]
     fn l1_hits_preloaded() {
-        let cache = CacheStore::new(vec![feat("camping")], 10);
+        let cache = CacheStore::new(vec![feat("camping")], single_shard(10));
         let (f, layer) = cache.get("camping").unwrap();
         assert_eq!(layer, CacheLayer::L1);
         assert_eq!(f.query, "camping");
@@ -227,28 +418,100 @@ mod tests {
 
     #[test]
     fn miss_enqueues_then_l2_serves() {
-        let cache = CacheStore::new(vec![], 10);
+        let cache = CacheStore::new(vec![], single_shard(10));
         assert!(cache.get("new query").is_none());
         assert_eq!(cache.pending_len(), 1);
         let drained = cache.drain_pending(10);
         assert_eq!(drained, vec!["new query"]);
+        assert_eq!(cache.pending_len(), 0);
         cache.install(vec![Arc::new(feat("new query"))]);
         let (_, layer) = cache.get("new query").unwrap();
         assert_eq!(layer, CacheLayer::L2);
     }
 
     #[test]
-    fn drain_dedupes() {
-        let cache = CacheStore::new(vec![], 10);
+    fn identical_misses_cost_one_slot() {
+        let cache = CacheStore::new(vec![], single_shard(10));
         for _ in 0..5 {
             let _ = cache.get("dup");
         }
-        assert_eq!(cache.drain_pending(10).len(), 1);
+        // dedupe happens at enqueue time: pending_len reports distinct queries
+        assert_eq!(cache.pending_len(), 1);
+        assert_eq!(cache.metrics.misses.load(Ordering::Relaxed), 5);
+        assert_eq!(cache.drain_pending(10), vec!["dup"]);
+    }
+
+    #[test]
+    fn full_queue_drops_oldest() {
+        let cfg = CacheConfig {
+            shards: 1,
+            pending_bound: 3,
+            admission: AdmissionPolicy::DropOldest,
+            ..CacheConfig::default()
+        };
+        let cache = CacheStore::new(vec![], cfg);
+        for q in ["a", "b", "c", "d", "e"] {
+            let _ = cache.get(q);
+        }
+        assert_eq!(cache.pending_len(), 3);
+        assert_eq!(cache.metrics.dropped.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.metrics.rejected.load(Ordering::Relaxed), 0);
+        // the oldest two were evicted; the newest three survive in order
+        assert_eq!(cache.drain_pending(10), vec!["c", "d", "e"]);
+    }
+
+    #[test]
+    fn full_queue_rejects_new() {
+        let cfg = CacheConfig {
+            shards: 1,
+            pending_bound: 3,
+            admission: AdmissionPolicy::RejectNew,
+            ..CacheConfig::default()
+        };
+        let cache = CacheStore::new(vec![], cfg);
+        for q in ["a", "b", "c", "d", "e"] {
+            let _ = cache.get(q);
+        }
+        assert_eq!(cache.pending_len(), 3);
+        assert_eq!(cache.metrics.rejected.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.metrics.dropped.load(Ordering::Relaxed), 0);
+        // the first three keep their slots
+        assert_eq!(cache.drain_pending(10), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak() {
+        let cache = CacheStore::new(vec![], single_shard(10));
+        for q in ["a", "b", "c", "d"] {
+            let _ = cache.get(q);
+        }
+        assert_eq!(cache.metrics.pending_high_water(), 4);
+        let _ = cache.drain_pending(10);
+        assert_eq!(
+            cache.metrics.pending_high_water(),
+            4,
+            "high water survives drain"
+        );
+        cache.metrics.reset();
+        assert_eq!(
+            cache.metrics.pending_high_water(),
+            0,
+            "reset restarts from live depth"
+        );
+    }
+
+    #[test]
+    fn requeue_skips_miss_accounting() {
+        let cache = CacheStore::new(vec![], single_shard(10));
+        let n = cache.requeue(&["x".to_string(), "y".to_string(), "x".to_string()]);
+        assert_eq!(n, 2, "duplicates are not re-queued");
+        assert_eq!(cache.pending_len(), 2);
+        assert_eq!(cache.metrics.misses.load(Ordering::Relaxed), 0);
     }
 
     #[test]
     fn daily_refresh_promotes_hot_entries() {
-        let cache = CacheStore::new(vec![feat("old")], 3);
+        let cache = CacheStore::new(vec![feat("old")], single_shard(3));
         cache.install(vec![Arc::new(feat("hot")), Arc::new(feat("cold"))]);
         // touch "hot" several times
         for _ in 0..4 {
@@ -265,7 +528,7 @@ mod tests {
 
     #[test]
     fn refresh_respects_l1_capacity() {
-        let cache = CacheStore::new(vec![feat("a")], 2);
+        let cache = CacheStore::new(vec![feat("a")], single_shard(2));
         cache.install(vec![Arc::new(feat("b")), Arc::new(feat("c"))]);
         for _ in 0..3 {
             let _ = cache.get("b");
@@ -279,8 +542,17 @@ mod tests {
 
     #[test]
     fn l2_capacity_evicts_oldest() {
-        let cache = CacheStore::with_l2_capacity(vec![], 10, 2);
-        cache.install(vec![Arc::new(feat("a")), Arc::new(feat("b")), Arc::new(feat("c"))]);
+        let cfg = CacheConfig {
+            shards: 1,
+            l2_capacity: 2,
+            ..CacheConfig::default()
+        };
+        let cache = CacheStore::new(vec![], cfg);
+        cache.install(vec![
+            Arc::new(feat("a")),
+            Arc::new(feat("b")),
+            Arc::new(feat("c")),
+        ]);
         assert_eq!(cache.sizes().1, 2);
         assert!(cache.get("a").is_none(), "oldest entry evicted");
         assert!(cache.get("b").is_some());
@@ -292,8 +564,31 @@ mod tests {
     }
 
     #[test]
+    fn sharded_refresh_promotes_across_shards() {
+        let cfg = CacheConfig {
+            l1_capacity: 8,
+            shards: 4,
+            ..CacheConfig::default()
+        };
+        let cache = CacheStore::new(vec![], cfg);
+        let keys: Vec<String> = (0..6).map(|i| format!("q{i}")).collect();
+        cache.install(keys.iter().map(|k| Arc::new(feat(k))).collect());
+        assert_eq!(cache.sizes().1, 6);
+        assert_eq!(cache.l2_shard_sizes().iter().sum::<usize>(), 6);
+        for k in &keys {
+            let _ = cache.get(k);
+        }
+        let promoted = cache.daily_refresh();
+        assert_eq!(promoted, 6, "all entries fit the L1 capacity");
+        assert_eq!(cache.sizes(), (6, 0));
+        for k in &keys {
+            assert_eq!(cache.get(k).unwrap().1, CacheLayer::L1);
+        }
+    }
+
+    #[test]
     fn hit_rate_computation() {
-        let cache = CacheStore::new(vec![feat("x")], 10);
+        let cache = CacheStore::new(vec![feat("x")], single_shard(10));
         let _ = cache.get("x");
         let _ = cache.get("y");
         assert!((cache.metrics.hit_rate() - 0.5).abs() < 1e-9);
@@ -303,7 +598,12 @@ mod tests {
 
     #[test]
     fn concurrent_access_is_safe() {
-        let cache = Arc::new(CacheStore::new(vec![feat("hot")], 100));
+        let cfg = CacheConfig {
+            l1_capacity: 100,
+            shards: 8,
+            ..CacheConfig::default()
+        };
+        let cache = Arc::new(CacheStore::new(vec![feat("hot")], cfg));
         let mut handles = Vec::new();
         for t in 0..4 {
             let c = cache.clone();

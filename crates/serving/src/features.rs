@@ -9,13 +9,24 @@
 //! computed from COSMO-LM responses: the top intention tails per relation
 //! (key-value pairs), a dense semantic representation (the student's text
 //! embedding), and a strong-intent flag when the top generation dominates.
+//!
+//! The map is **sharded by query hash** so that concurrent request
+//! threads and the batch writer contend only when they touch the same
+//! shard, mirroring the cache store's layout.
 
 use cosmo_kg::{KnowledgeGraph, NodeKind, Relation};
 use cosmo_lm::CosmoLm;
+use cosmo_text::hash::hash_str_ns;
 use cosmo_text::FxHashMap;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Hash namespace for feature-store shard routing.
+const FEATURE_SHARD_NS: u32 = 0x5EEE;
+
+/// Default shard count (matches the cache store's default).
+const DEFAULT_SHARDS: usize = 8;
 
 /// Structured features derived from a model response for one query.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -46,7 +57,9 @@ pub fn compute_features(query: &str, kg: &KnowledgeGraph, lm: &CosmoLm) -> Struc
     }
     if intents.is_empty() {
         // cold query: ask the student model directly
-        let input = format!("generate a USED_FOR_FUNC explanation in domain unknown for: search query: {query}");
+        let input = format!(
+            "generate a USED_FOR_FUNC explanation in domain unknown for: search query: {query}"
+        );
         for (tail, score) in lm.generate(&input, None, 5) {
             intents.push((Relation::UsedForFunc, tail, score));
         }
@@ -72,33 +85,53 @@ pub fn compute_features(query: &str, kg: &KnowledgeGraph, lm: &CosmoLm) -> Struc
     }
 }
 
-/// Thread-safe query → features map.
-#[derive(Debug, Default)]
+/// Thread-safe, sharded query → features map.
+#[derive(Debug)]
 pub struct FeatureStore {
-    map: RwLock<FxHashMap<String, Arc<StructuredFeatures>>>,
+    shards: Vec<RwLock<FxHashMap<String, Arc<StructuredFeatures>>>>,
+}
+
+impl Default for FeatureStore {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl FeatureStore {
-    /// Empty store.
+    /// Empty store with the default shard count.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty store with an explicit shard count (min 1).
+    pub fn with_shards(shards: usize) -> Self {
+        FeatureStore {
+            shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
+        }
+    }
+
+    fn shard_of(&self, query: &str) -> &RwLock<FxHashMap<String, Arc<StructuredFeatures>>> {
+        let idx = (hash_str_ns(query, FEATURE_SHARD_NS) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
     }
 
     /// Insert (or replace) features for a query.
     pub fn put(&self, features: StructuredFeatures) -> Arc<StructuredFeatures> {
         let arc = Arc::new(features);
-        self.map.write().insert(arc.query.clone(), arc.clone());
+        self.shard_of(&arc.query)
+            .write()
+            .insert(arc.query.clone(), arc.clone());
         arc
     }
 
     /// Look up features.
     pub fn get(&self, query: &str) -> Option<Arc<StructuredFeatures>> {
-        self.map.read().get(query).cloned()
+        self.shard_of(query).read().get(query).cloned()
     }
 
-    /// Number of stored queries.
+    /// Number of stored queries (summed across shards).
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True when empty.
@@ -156,7 +189,10 @@ mod tests {
     fn cold_query_falls_back_to_student() {
         let kg = KnowledgeGraph::new();
         let f = compute_features("brand new query", &kg, &lm());
-        assert!(!f.intents.is_empty(), "student fallback must produce intents");
+        assert!(
+            !f.intents.is_empty(),
+            "student fallback must produce intents"
+        );
     }
 
     #[test]
@@ -169,6 +205,23 @@ mod tests {
         assert_eq!(store.len(), 1);
         assert!(store.get("camping").is_some());
         assert!(store.get("missing").is_none());
+    }
+
+    #[test]
+    fn sharded_store_spreads_and_counts() {
+        let store = FeatureStore::with_shards(4);
+        let kg = KnowledgeGraph::new();
+        let model = lm();
+        for i in 0..32 {
+            store.put(compute_features(&format!("query {i}"), &kg, &model));
+        }
+        assert_eq!(store.len(), 32);
+        for i in 0..32 {
+            assert!(store.get(&format!("query {i}")).is_some());
+        }
+        // replacing an existing key does not grow the store
+        store.put(compute_features("query 0", &kg, &model));
+        assert_eq!(store.len(), 32);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Fixed-bucket log-scaled latency histogram.
+//!
+//! The original `LatencyRecorder` kept every sample in a `Mutex<Vec<u64>>`
+//! and cloned + sorted it on every percentile query — O(n log n) per
+//! snapshot over an unbounded vector, with every request serialised on one
+//! mutex. This version records into a fixed array of atomic buckets:
+//! O(1) lock-free `record`, O(buckets) `percentile`, constant memory.
+//!
+//! Bucket layout (microsecond values):
+//!
+//! * values `0..128` get one bucket each (exact — request-path latencies
+//!   in this system are almost always sub-millisecond);
+//! * values `>= 128` are log-scaled: each power-of-two octave is split
+//!   into 16 linear sub-buckets, so the relative quantisation error is
+//!   at most 1/16 ≈ 6%.
+//!
+//! Percentile queries return the lower bound of the selected bucket
+//! (exact for the linear range), except for the topmost non-empty bucket
+//! where the tracked maximum is returned exactly — so `percentile(1.0)`
+//! is always the true max.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values below this get one bucket each (exact recording).
+const LINEAR_MAX: u64 = 128;
+/// log2 of sub-buckets per power-of-two octave.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// First log-scaled octave: 2^7 == LINEAR_MAX.
+const OCTAVE0: u32 = 7;
+/// Total bucket count: 128 linear + 57 octaves × 16 sub-buckets.
+const NUM_BUCKETS: usize = LINEAR_MAX as usize + (64 - OCTAVE0 as usize) * SUB;
+
+/// Bucket index for a microsecond value. Monotone in `us`.
+pub fn bucket_index(us: u64) -> usize {
+    if us < LINEAR_MAX {
+        us as usize
+    } else {
+        let octave = 63 - us.leading_zeros();
+        let sub = ((us >> (octave - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        LINEAR_MAX as usize + (octave - OCTAVE0) as usize * SUB + sub
+    }
+}
+
+/// Inclusive lower bound of a bucket (the representative value reported
+/// for percentiles that land in it).
+fn bucket_lower_bound(idx: usize) -> u64 {
+    if idx < LINEAR_MAX as usize {
+        idx as u64
+    } else {
+        let rel = idx - LINEAR_MAX as usize;
+        let octave = OCTAVE0 + (rel / SUB) as u32;
+        let sub = (rel % SUB) as u64;
+        (1u64 << octave) + (sub << (octave - SUB_BITS))
+    }
+}
+
+/// Latency percentile recorder: lock-free histogram with O(1) record.
+#[derive(Debug)]
+pub struct LatencyRecorder {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        LatencyRecorder {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyRecorder {
+    /// Record one sample (microseconds). Lock-free, O(1).
+    pub fn record(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// `p` in `[0,1]` percentile of recorded samples (0 when empty).
+    ///
+    /// Returns the lower bound of the bucket holding the rank-selected
+    /// sample — exact below 128µs, within one log sub-bucket (≤ ~6%)
+    /// above — and the exact maximum for the topmost non-empty bucket.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((n - 1) as f64 * p.clamp(0.0, 1.0)).round() as u64;
+        let last_nonempty = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut cum = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            cum += c;
+            if c > 0 && cum > rank {
+                return if idx == last_nonempty {
+                    self.max.load(Ordering::Relaxed)
+                } else {
+                    bucket_lower_bound(idx)
+                };
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Number of samples recorded since the last reset.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed) as usize
+    }
+
+    /// True when no samples recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clear all buckets.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_range_is_exact() {
+        let rec = LatencyRecorder::default();
+        for v in [1u64, 2, 3, 4, 100] {
+            rec.record(v);
+        }
+        assert_eq!(rec.percentile(0.5), 3);
+        assert_eq!(rec.percentile(1.0), 100);
+        assert_eq!(rec.percentile(0.0), 1);
+        assert_eq!(rec.len(), 5);
+    }
+
+    #[test]
+    fn log_range_within_one_sub_bucket() {
+        let rec = LatencyRecorder::default();
+        rec.record(1_000);
+        rec.record(1_000_000);
+        let p0 = rec.percentile(0.0);
+        assert_eq!(bucket_index(p0), bucket_index(1_000));
+        assert!(p0 <= 1_000);
+        // topmost bucket reports the exact max
+        assert_eq!(rec.percentile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut prev = 0usize;
+        for v in (0u64..4096).chain((12..64).map(|s| 1u64 << s)) {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index must not decrease at {v}");
+            assert!(idx < NUM_BUCKETS);
+            prev = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn lower_bound_round_trips() {
+        for idx in 0..NUM_BUCKETS {
+            let lb = bucket_lower_bound(idx);
+            assert_eq!(bucket_index(lb), idx, "lower bound of {idx} maps back");
+        }
+    }
+
+    #[test]
+    fn empty_and_reset() {
+        let rec = LatencyRecorder::default();
+        assert!(rec.is_empty());
+        assert_eq!(rec.percentile(0.99), 0);
+        rec.record(42);
+        assert!(!rec.is_empty());
+        rec.reset();
+        assert!(rec.is_empty());
+        assert_eq!(rec.percentile(0.5), 0);
+    }
+}

@@ -1,12 +1,45 @@
 //! # cosmo-serving
 //!
-//! The online deployment of Figure 5: a feature store that turns COSMO-LM
-//! responses into structured features (intent key-value pairs, semantic
-//! subcategory representations, strong-intent detection), a two-layer
-//! asynchronous cache store (pre-loaded yearly-frequent searches + the
-//! batch-processed daily layer), a batch processor on a crossbeam worker
-//! pool, daily model refresh with cache promotion, a feedback loop, and a
-//! multi-day Zipf traffic simulator used by the Figure 5 repro experiment.
+//! The online deployment of Figure 5: a sharded feature store that turns
+//! COSMO-LM responses into structured features (intent key-value pairs,
+//! semantic subcategory representations, strong-intent detection), a
+//! two-layer asynchronous cache store, a persistent batch-worker pool,
+//! daily model refresh with cache promotion, a feedback loop, and a
+//! multi-day Zipf traffic simulator (sequential and concurrent) used by
+//! the Figure 5 repro experiments.
+//!
+//! ## Hot-path architecture
+//!
+//! The cache's mutable state — the daily L2 layer, its hit counters, and
+//! the pending-miss queue — is **sharded N ways by query hash**
+//! ([`ServingConfig::shards`]), so concurrent request threads and the
+//! batch writer only contend when they touch the same shard. Misses land
+//! in a **bounded, deduplicated** pending queue: a membership set makes N
+//! identical misses cost one slot, and an explicit [`AdmissionPolicy`]
+//! (drop-oldest or reject-new) decides what happens when the queue is
+//! full, with both outcomes surfaced in [`CacheMetrics`] and
+//! [`SystemSnapshot`]. Request latencies go into a fixed-bucket
+//! log-scaled histogram ([`LatencyRecorder`]): O(1) lock-free record,
+//! O(buckets) percentile.
+//!
+//! Batch processing runs on a **persistent worker pool** spawned once at
+//! build time and fed over a channel — no per-cycle thread spawning. A
+//! panicking worker chunk degrades the cycle ([`ServingError::BatchWorker`]:
+//! the chunk is re-queued and counted) instead of killing the caller.
+//!
+//! ## Construction
+//!
+//! Systems are assembled with a validated builder:
+//!
+//! ```text
+//! let system = ServingSystem::builder()
+//!     .kg(kg)
+//!     .lm(lm)
+//!     .preload(["camping", "hiking gear"])
+//!     .shards(16)
+//!     .admission(AdmissionPolicy::RejectNew)
+//!     .build()?;
+//! ```
 //!
 //! Design constraint carried over from the paper: the request path is
 //! cache-only and never blocks on model inference — a miss enqueues the
@@ -14,13 +47,19 @@
 //! "Amazon's restricted search latency requirements" (§3.5.3).
 
 pub mod cache;
+pub mod error;
 pub mod features;
+pub mod histogram;
 pub mod sim;
 pub mod system;
 pub mod views;
 
-pub use cache::{CacheLayer, CacheMetrics, CacheStore};
+pub use cache::{AdmissionPolicy, CacheConfig, CacheLayer, CacheMetrics, CacheStore};
+pub use error::ServingError;
 pub use features::{compute_features, FeatureStore, StructuredFeatures};
-pub use sim::{query_universe, simulate, DayReport, TrafficConfig};
-pub use system::{LatencyRecorder, ServeResult, ServingConfig, ServingSystem, SystemSnapshot};
-pub use views::{navigation_view, recommendation_view, relevance_view};
+pub use histogram::{bucket_index, LatencyRecorder};
+pub use sim::{
+    query_universe, simulate, simulate_concurrent, DayReport, ThroughputReport, TrafficConfig,
+};
+pub use system::{ServeResult, ServingConfig, ServingSystem, ServingSystemBuilder, SystemSnapshot};
+pub use views::{navigation_view, ops_view, recommendation_view, relevance_view};

@@ -4,12 +4,22 @@
 //! fraction of each day's queries are new — the "flash sale" / evolving
 //! traffic the paper's limitations section discusses), interleaving the
 //! request path with batch cycles and daily refreshes, and reports
-//! per-day hit rates and latency percentiles.
+//! per-day hit rates, latency percentiles, and admission counters.
+//!
+//! Two drivers share the same traffic model:
+//!
+//! * [`simulate`] — single-threaded, deterministic, used by the Figure 5
+//!   hit-rate repro;
+//! * [`simulate_concurrent`] — N request threads racing a dedicated
+//!   batch-cycle thread against one shared [`ServingSystem`], used to
+//!   measure end-to-end throughput (req/s) of the sharded hot path.
 
 use crate::system::ServingSystem;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
 
 /// Traffic simulation parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -58,12 +68,36 @@ pub struct DayReport {
     pub l2_hits: u64,
     /// Misses.
     pub misses: u64,
+    /// Pending entries evicted under drop-oldest admission this day.
+    #[serde(default)]
+    pub dropped: u64,
+    /// Pending enqueues refused under reject-new admission this day.
+    #[serde(default)]
+    pub rejected: u64,
+    /// Peak pending-queue depth observed this day.
+    #[serde(default)]
+    pub queue_high_water: usize,
     /// p50 request latency (µs).
     pub p50_us: u64,
     /// p99 request latency (µs).
     pub p99_us: u64,
     /// Entries promoted to L1 at end of day.
     pub promoted: usize,
+}
+
+/// Throughput measurement from [`simulate_concurrent`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Request threads racing the batch thread.
+    pub threads: usize,
+    /// Requests served across all days.
+    pub total_requests: usize,
+    /// Wall-clock time for the whole run.
+    pub elapsed_secs: f64,
+    /// `total_requests / elapsed_secs`.
+    pub requests_per_sec: f64,
+    /// Per-day reports (same shape as the sequential simulation).
+    pub days: Vec<DayReport>,
 }
 
 /// The base query strings used by the simulation (exposed so callers can
@@ -74,21 +108,57 @@ pub fn query_universe(cfg: &TrafficConfig) -> Vec<String> {
         .collect()
 }
 
-/// Run the simulation.
+/// Zipf-CDF sampler over a fixed universe.
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(universe: usize, zipf: f64) -> Self {
+        let weights: Vec<f64> = (1..=universe.max(1))
+            .map(|r| 1.0 / (r as f64).powf(zipf))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Sample a rank index. Consumes exactly one `rng.gen::<f64>()`.
+    fn index<R: Rng>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
+    }
+}
+
+/// Close a simulated day: summarise counters and run the daily refresh.
+fn close_day(system: &ServingSystem, day: usize) -> DayReport {
+    use std::sync::atomic::Ordering::Relaxed;
+    let m = &system.cache.metrics;
+    DayReport {
+        day,
+        hit_rate: m.hit_rate(),
+        l1_hits: m.l1_hits.load(Relaxed),
+        l2_hits: m.l2_hits.load(Relaxed),
+        misses: m.misses.load(Relaxed),
+        dropped: m.dropped.load(Relaxed),
+        rejected: m.rejected.load(Relaxed),
+        queue_high_water: m.pending_high_water(),
+        p50_us: system.latency.percentile(0.5),
+        p99_us: system.latency.percentile(0.99),
+        promoted: system.daily_refresh(),
+    }
+}
+
+/// Run the sequential simulation.
 pub fn simulate(system: &ServingSystem, cfg: &TrafficConfig) -> Vec<DayReport> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let universe = query_universe(cfg);
-    // Zipf CDF over the universe
-    let weights: Vec<f64> = (1..=universe.len())
-        .map(|r| 1.0 / (r as f64).powf(cfg.zipf))
-        .collect();
-    let total: f64 = weights.iter().sum();
-    let mut cdf = Vec::with_capacity(weights.len());
-    let mut acc = 0.0;
-    for w in &weights {
-        acc += w / total;
-        cdf.push(acc);
-    }
+    let sampler = ZipfSampler::new(universe.len(), cfg.zipf);
 
     let mut reports = Vec::with_capacity(cfg.days);
     let mut drift_counter = 0usize;
@@ -101,32 +171,88 @@ pub fn simulate(system: &ServingSystem, cfg: &TrafficConfig) -> Vec<DayReport> {
                 drift_counter += 1;
                 format!("drift query {day}-{drift_counter}")
             } else {
-                let x: f64 = rng.gen();
-                let idx = cdf.partition_point(|&c| c < x).min(universe.len() - 1);
-                universe[idx].clone()
+                universe[sampler.index(&mut rng)].clone()
             };
             let _ = system.handle_request(&query);
             if r % batch_every == batch_every - 1 {
-                system.run_batch_cycle();
+                let _ = system.run_batch_cycle();
             }
         }
         // flush remaining pending work before the day closes
-        while system.run_batch_cycle() > 0 {}
-        let m = &system.cache.metrics;
-        use std::sync::atomic::Ordering::Relaxed;
-        let report = DayReport {
-            day,
-            hit_rate: m.hit_rate(),
-            l1_hits: m.l1_hits.load(Relaxed),
-            l2_hits: m.l2_hits.load(Relaxed),
-            misses: m.misses.load(Relaxed),
-            p50_us: system.latency.percentile(0.5),
-            p99_us: system.latency.percentile(0.99),
-            promoted: system.daily_refresh(),
-        };
-        reports.push(report);
+        while system.run_batch_cycle().unwrap_or(0) > 0 {}
+        reports.push(close_day(system, day));
     }
     reports
+}
+
+/// Run the concurrent throughput measurement: `threads` request threads
+/// replay the day's traffic against the shared system while a dedicated
+/// batch thread drains the pending queue; each day ends with a final
+/// drain and a daily refresh. Determinism: each `(seed, day, thread)`
+/// triple gets its own RNG, so the multiset of queries is reproducible
+/// even though interleaving is not.
+pub fn simulate_concurrent(
+    system: &ServingSystem,
+    cfg: &TrafficConfig,
+    threads: usize,
+) -> ThroughputReport {
+    let threads = threads.max(1);
+    let universe = query_universe(cfg);
+    let sampler = ZipfSampler::new(universe.len(), cfg.zipf);
+
+    let start = Instant::now();
+    let mut days = Vec::with_capacity(cfg.days);
+    for day in 0..cfg.days {
+        system.cache.metrics.reset();
+        system.latency.reset();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let per_thread = cfg.requests_per_day / threads
+                        + usize::from(t < cfg.requests_per_day % threads);
+                    let universe = &universe;
+                    let sampler = &sampler;
+                    s.spawn(move || {
+                        let mut rng =
+                            StdRng::seed_from_u64(cfg.seed ^ ((day as u64) << 32) ^ (t as u64));
+                        for i in 0..per_thread {
+                            let query = if rng.gen_bool(cfg.drift) {
+                                format!("drift query {day}-{t}-{i}")
+                            } else {
+                                universe[sampler.index(&mut rng)].clone()
+                            };
+                            let _ = system.handle_request(&query);
+                        }
+                    })
+                })
+                .collect();
+            let batcher = s.spawn(|| {
+                while !stop.load(Ordering::Acquire) {
+                    if system.run_batch_cycle().unwrap_or(0) == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            for h in handles {
+                h.join().expect("request thread panicked");
+            }
+            stop.store(true, Ordering::Release);
+            batcher.join().expect("batch thread panicked");
+        });
+        // flush remaining pending work before the day closes
+        while system.run_batch_cycle().unwrap_or(0) > 0 {}
+        days.push(close_day(system, day));
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    let total_requests = cfg.requests_per_day * cfg.days;
+    ThroughputReport {
+        threads,
+        total_requests,
+        elapsed_secs,
+        requests_per_sec: total_requests as f64 / elapsed_secs.max(f64::EPSILON),
+        days,
+    }
 }
 
 #[cfg(test)]
@@ -145,12 +271,18 @@ mod tests {
         let kg = Arc::new(KnowledgeGraph::new());
         let universe = query_universe(cfg);
         let preload: Vec<String> = universe.into_iter().take(preload_top).collect();
-        ServingSystem::new(
-            kg,
-            lm,
-            &preload,
-            ServingConfig { workers: 2, batch_size: 512, l1_capacity: 512 },
-        )
+        ServingSystem::builder()
+            .kg(kg)
+            .lm(lm)
+            .preload(preload)
+            .config(ServingConfig {
+                workers: 2,
+                batch_size: 512,
+                l1_capacity: 512,
+                ..ServingConfig::default()
+            })
+            .build()
+            .unwrap()
     }
 
     fn tiny_traffic() -> TrafficConfig {
@@ -175,7 +307,11 @@ mod tests {
             reports[1].hit_rate,
             reports[0].hit_rate
         );
-        assert!(reports[2].hit_rate > 0.5, "steady-state hit rate {}", reports[2].hit_rate);
+        assert!(
+            reports[2].hit_rate > 0.5,
+            "steady-state hit rate {}",
+            reports[2].hit_rate
+        );
     }
 
     #[test]
@@ -193,10 +329,16 @@ mod tests {
 
     #[test]
     fn drift_queries_cause_some_misses() {
-        let cfg = TrafficConfig { drift: 0.3, ..tiny_traffic() };
+        let cfg = TrafficConfig {
+            drift: 0.3,
+            ..tiny_traffic()
+        };
         let sys = small_system(300, &cfg);
         let reports = simulate(&sys, &cfg);
-        assert!(reports.iter().all(|r| r.misses > 0), "drift must produce misses");
+        assert!(
+            reports.iter().all(|r| r.misses > 0),
+            "drift must produce misses"
+        );
     }
 
     #[test]
@@ -212,5 +354,29 @@ mod tests {
                 r.day
             );
         }
+    }
+
+    #[test]
+    fn concurrent_simulation_serves_all_requests() {
+        let cfg = TrafficConfig {
+            days: 2,
+            ..tiny_traffic()
+        };
+        let sys = small_system(50, &cfg);
+        let report = simulate_concurrent(&sys, &cfg, 4);
+        assert_eq!(report.threads, 4);
+        assert_eq!(report.total_requests, cfg.requests_per_day * cfg.days);
+        assert!(report.requests_per_sec > 0.0);
+        assert_eq!(report.days.len(), cfg.days);
+        for day in &report.days {
+            assert_eq!(
+                (day.l1_hits + day.l2_hits + day.misses) as usize,
+                cfg.requests_per_day,
+                "day {} counters reconcile under concurrency",
+                day.day
+            );
+        }
+        // everything pending was flushed before each day closed
+        assert_eq!(sys.cache.pending_len(), 0);
     }
 }

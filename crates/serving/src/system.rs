@@ -4,39 +4,107 @@
 //!
 //! * **Request handling** — "initial query checks against the Asynchronous
 //!   Cache Store quickly retrieve responses for frequent queries or forward
-//!   others for batch processing";
-//! * **Batch processing and cache update** — pending queries are processed
-//!   by a COSMO-LM worker pool (crossbeam scoped threads), formatted into
-//!   structured features by the Feature Store, and installed into the
-//!   daily cache layer;
+//!   others for batch processing"; the request path is cache-only and
+//!   never blocks on model inference;
+//! * **Batch processing and cache update** — pending queries are drained
+//!   from the bounded queue and dispatched to a **persistent worker pool**
+//!   (spawned once at build time, fed over a channel — no per-cycle thread
+//!   spawning), formatted into structured features by the Feature Store,
+//!   and installed into the daily cache layer. A panicking worker chunk
+//!   degrades the cycle (re-queued + surfaced in metrics) instead of
+//!   killing the caller;
 //! * **Daily refresh** — the model ingests new behaviour logs (simulated
 //!   as a refresh counter) and the cache promotes hot entries;
 //! * **Feedback loop** — served interactions are recorded and can be fed
 //!   back as new behaviour data.
+//!
+//! Systems are built with [`ServingSystem::builder`]:
+//!
+//! ```text
+//! let system = ServingSystem::builder()
+//!     .kg(kg)
+//!     .lm(lm)
+//!     .preload(hot_queries)
+//!     .workers(8)
+//!     .shards(16)
+//!     .build()?;
+//! ```
 
-use crate::cache::{CacheLayer, CacheStore};
+use crate::cache::{AdmissionPolicy, CacheConfig, CacheLayer, CacheStore};
+use crate::error::ServingError;
 use crate::features::{compute_features, FeatureStore, StructuredFeatures};
+pub use crate::histogram::LatencyRecorder;
 use cosmo_kg::KnowledgeGraph;
 use cosmo_lm::CosmoLm;
+use crossbeam::channel::{self, Sender};
 use parking_lot::Mutex;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Serving configuration.
+/// Serving configuration: worker pool, batching, cache sizing, and
+/// pending-queue admission, validated at build time.
 #[derive(Debug, Clone)]
 pub struct ServingConfig {
-    /// Worker threads for batch processing.
+    /// Worker threads in the persistent batch pool.
     pub workers: usize,
     /// Max queries per batch cycle.
     pub batch_size: usize,
     /// L1 capacity (yearly-frequent layer).
     pub l1_capacity: usize,
+    /// Total L2 capacity (daily layer, split across shards).
+    pub l2_capacity: usize,
+    /// Shard count for L2 / pending / hit-count / feature-store state.
+    pub shards: usize,
+    /// Total bound on queued pending queries (split across shards).
+    pub pending_bound: usize,
+    /// What to do with a miss when its pending queue shard is full.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ServingConfig {
     fn default() -> Self {
-        ServingConfig { workers: 4, batch_size: 256, l1_capacity: 4096 }
+        ServingConfig {
+            workers: 4,
+            batch_size: 256,
+            l1_capacity: 4096,
+            l2_capacity: 16384,
+            shards: 8,
+            pending_bound: 4096,
+            admission: AdmissionPolicy::DropOldest,
+        }
+    }
+}
+
+impl ServingConfig {
+    /// Reject configurations that cannot serve: zero workers, zero batch
+    /// size, zero capacities, zero shards, or a zero queue bound.
+    pub fn validate(&self) -> Result<(), ServingError> {
+        for (value, what) in [
+            (self.workers, "workers"),
+            (self.batch_size, "batch_size"),
+            (self.l1_capacity, "l1_capacity"),
+            (self.l2_capacity, "l2_capacity"),
+            (self.shards, "shards"),
+            (self.pending_bound, "pending_bound"),
+        ] {
+            if value == 0 {
+                return Err(ServingError::InvalidConfig(format!("{what} must be > 0")));
+            }
+        }
+        Ok(())
+    }
+
+    fn cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            l1_capacity: self.l1_capacity,
+            l2_capacity: self.l2_capacity,
+            shards: self.shards,
+            pending_bound: self.pending_bound,
+            admission: self.admission,
+        }
     }
 }
 
@@ -52,55 +120,26 @@ pub struct ServeResult {
     pub latency_us: u64,
 }
 
-/// Latency percentile recorder.
-#[derive(Debug, Default)]
-pub struct LatencyRecorder {
-    samples_us: Mutex<Vec<u64>>,
-}
-
-impl LatencyRecorder {
-    /// Record one sample.
-    pub fn record(&self, us: u64) {
-        self.samples_us.lock().push(us);
-    }
-
-    /// `p` in `[0,1]` percentile of recorded samples (0 when empty).
-    pub fn percentile(&self, p: f64) -> u64 {
-        let mut s = self.samples_us.lock().clone();
-        if s.is_empty() {
-            return 0;
-        }
-        s.sort_unstable();
-        let idx = ((s.len() - 1) as f64 * p).round() as usize;
-        s[idx]
-    }
-
-    /// Number of samples.
-    pub fn len(&self) -> usize {
-        self.samples_us.lock().len()
-    }
-
-    /// True when no samples recorded.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Clear samples.
-    pub fn reset(&self) {
-        self.samples_us.lock().clear();
-    }
-}
-
 /// One operational snapshot of the serving system (the quantities an ops
 /// dashboard for Figure 5 would chart).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemSnapshot {
     /// Entries in the pre-loaded L1 layer.
     pub l1_size: usize,
-    /// Entries in the daily L2 layer.
+    /// Entries in the daily L2 layer (all shards).
     pub l2_size: usize,
-    /// Queries queued for the next batch cycle.
+    /// Per-shard L2 entry counts.
+    pub l2_shard_sizes: Vec<usize>,
+    /// Distinct queries queued for the next batch cycle.
     pub pending: usize,
+    /// Peak queue depth since the last metrics reset.
+    pub queue_high_water: usize,
+    /// Pending entries evicted under `AdmissionPolicy::DropOldest`.
+    pub dropped: u64,
+    /// Pending enqueues refused under `AdmissionPolicy::RejectNew`.
+    pub rejected: u64,
+    /// Batch-worker chunks that panicked (queries were re-queued).
+    pub batch_failed_chunks: u64,
     /// Cumulative cache hit rate.
     pub hit_rate: f64,
     /// p50 request latency (µs).
@@ -113,48 +152,235 @@ pub struct SystemSnapshot {
     pub model_version: u64,
 }
 
+/// Result of one worker chunk.
+enum ChunkOutcome {
+    Computed(Vec<StructuredFeatures>),
+    Panicked(Vec<String>),
+}
+
+/// One unit of work for the pool: a chunk of queries plus the cycle's
+/// reply channel.
+struct BatchJob {
+    queries: Vec<String>,
+    reply: Sender<ChunkOutcome>,
+}
+
+/// Test hook: a query with this text makes a worker panic mid-chunk.
+#[cfg(test)]
+pub(crate) const PANIC_QUERY: &str = "__cosmo_injected_worker_panic__";
+
+/// Persistent batch-worker pool: threads are spawned once and fed jobs
+/// over a channel; dropping the pool closes the channel and joins them.
+struct WorkerPool {
+    tx: Option<Sender<BatchJob>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(workers: usize, kg: Arc<KnowledgeGraph>, lm: Arc<CosmoLm>) -> Self {
+        let (tx, rx) = channel::unbounded::<BatchJob>();
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let kg = kg.clone();
+                let lm = lm.clone();
+                std::thread::spawn(move || {
+                    while let Ok(BatchJob { queries, reply }) = rx.recv() {
+                        let computed = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            queries
+                                .iter()
+                                .map(|q| {
+                                    #[cfg(test)]
+                                    assert!(q != PANIC_QUERY, "injected worker panic");
+                                    compute_features(q, &kg, &lm)
+                                })
+                                .collect::<Vec<_>>()
+                        }));
+                        let outcome = match computed {
+                            Ok(feats) => ChunkOutcome::Computed(feats),
+                            Err(_) => ChunkOutcome::Panicked(queries),
+                        };
+                        let _ = reply.send(outcome);
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    fn submit(&self, job: BatchJob) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(job);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.tx.take(); // closes the channel; workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Builder for [`ServingSystem`] — replaces the old 4-positional-arg
+/// constructor with named, validated configuration.
+#[derive(Default)]
+pub struct ServingSystemBuilder {
+    kg: Option<Arc<KnowledgeGraph>>,
+    lm: Option<Arc<CosmoLm>>,
+    preload: Vec<String>,
+    cfg: ServingConfig,
+}
+
+impl ServingSystemBuilder {
+    /// Knowledge graph backing feature computation (required).
+    pub fn kg(mut self, kg: Arc<KnowledgeGraph>) -> Self {
+        self.kg = Some(kg);
+        self
+    }
+
+    /// COSMO-LM student model for cold queries (required).
+    pub fn lm(mut self, lm: Arc<CosmoLm>) -> Self {
+        self.lm = Some(lm);
+        self
+    }
+
+    /// Queries to pre-compute into the L1 yearly-frequent layer.
+    pub fn preload<I, S>(mut self, queries: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.preload = queries.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Replace the whole configuration at once.
+    pub fn config(mut self, cfg: ServingConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Worker threads in the persistent batch pool.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Max queries per batch cycle.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.cfg.batch_size = batch_size;
+        self
+    }
+
+    /// L1 (yearly-frequent layer) capacity.
+    pub fn l1_capacity(mut self, l1_capacity: usize) -> Self {
+        self.cfg.l1_capacity = l1_capacity;
+        self
+    }
+
+    /// Total L2 (daily layer) capacity.
+    pub fn l2_capacity(mut self, l2_capacity: usize) -> Self {
+        self.cfg.l2_capacity = l2_capacity;
+        self
+    }
+
+    /// Shard count for cache and feature-store state.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Total bound on queued pending queries.
+    pub fn pending_bound(mut self, pending_bound: usize) -> Self {
+        self.cfg.pending_bound = pending_bound;
+        self
+    }
+
+    /// Admission policy for a full pending queue.
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.cfg.admission = admission;
+        self
+    }
+
+    /// Validate the configuration, pre-compute the preloaded features,
+    /// spawn the worker pool, and assemble the system.
+    pub fn build(self) -> Result<ServingSystem, ServingError> {
+        self.cfg.validate()?;
+        let kg = self.kg.ok_or(ServingError::MissingKnowledgeGraph)?;
+        let lm = self.lm.ok_or(ServingError::MissingModel)?;
+        let preloaded: Vec<StructuredFeatures> = self
+            .preload
+            .iter()
+            .map(|q| compute_features(q, &kg, &lm))
+            .collect();
+        let features = FeatureStore::with_shards(self.cfg.shards);
+        for f in &preloaded {
+            features.put(f.clone());
+        }
+        let cache = CacheStore::new(preloaded, self.cfg.cache_config());
+        let pool = WorkerPool::spawn(self.cfg.workers, kg, lm);
+        Ok(ServingSystem {
+            cache,
+            features,
+            latency: LatencyRecorder::default(),
+            cfg: self.cfg,
+            pool,
+            batch_failed_chunks: AtomicU64::new(0),
+            model_version: AtomicU64::new(1),
+            feedback: Mutex::new(Vec::new()),
+        })
+    }
+}
+
 /// The full serving system.
 pub struct ServingSystem {
-    /// The two-layer cache.
+    /// The sharded two-layer cache.
     pub cache: CacheStore,
-    /// The feature store.
+    /// The sharded feature store.
     pub features: FeatureStore,
-    /// Request-path latency.
+    /// Request-path latency histogram.
     pub latency: LatencyRecorder,
-    kg: Arc<KnowledgeGraph>,
-    lm: Arc<CosmoLm>,
     cfg: ServingConfig,
+    pool: WorkerPool,
+    batch_failed_chunks: AtomicU64,
     model_version: AtomicU64,
     feedback: Mutex<Vec<(String, String)>>,
 }
 
 impl ServingSystem {
-    /// Build the system; `preload` seeds the L1 yearly-frequent layer
-    /// (features are computed eagerly for those queries).
+    /// Start building a serving system.
+    pub fn builder() -> ServingSystemBuilder {
+        ServingSystemBuilder::default()
+    }
+
+    /// Build the system; `preload` seeds the L1 yearly-frequent layer.
+    ///
+    /// Deprecated positional-argument shim — use [`ServingSystem::builder`].
+    #[deprecated(since = "0.1.0", note = "use ServingSystem::builder()")]
     pub fn new(
         kg: Arc<KnowledgeGraph>,
         lm: Arc<CosmoLm>,
         preload: &[String],
         cfg: ServingConfig,
     ) -> Self {
-        let preloaded: Vec<StructuredFeatures> = preload
-            .iter()
-            .map(|q| compute_features(q, &kg, &lm))
-            .collect();
-        let features = FeatureStore::new();
-        for f in &preloaded {
-            features.put(f.clone());
-        }
-        ServingSystem {
-            cache: CacheStore::new(preloaded, cfg.l1_capacity),
-            features,
-            latency: LatencyRecorder::default(),
-            kg,
-            lm,
-            cfg,
-            model_version: AtomicU64::new(1),
-            feedback: Mutex::new(Vec::new()),
-        }
+        ServingSystem::builder()
+            .kg(kg)
+            .lm(lm)
+            .preload(preload.iter().cloned())
+            .config(cfg)
+            .build()
+            .expect("invalid ServingConfig")
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.cfg
     }
 
     /// Request path: cache-only, never blocks on model inference.
@@ -164,43 +390,72 @@ impl ServingSystem {
         let latency_us = start.elapsed().as_micros() as u64;
         self.latency.record(latency_us);
         match hit {
-            Some((f, layer)) => ServeResult { features: Some(f), layer: Some(layer), latency_us },
-            None => ServeResult { features: None, layer: None, latency_us },
+            Some((f, layer)) => ServeResult {
+                features: Some(f),
+                layer: Some(layer),
+                latency_us,
+            },
+            None => ServeResult {
+                features: None,
+                layer: None,
+                latency_us,
+            },
         }
     }
 
     /// One batch cycle: drain pending queries, compute features on the
-    /// worker pool, install into L2 and the feature store. Returns the
-    /// number of queries processed.
-    pub fn run_batch_cycle(&self) -> usize {
+    /// persistent worker pool, install into L2 and the feature store.
+    ///
+    /// Returns the number of queries processed. A panicking worker chunk
+    /// does not kill the caller: its queries are re-queued for the next
+    /// cycle, the failure is counted in the snapshot, the surviving
+    /// chunks are still installed, and `Err(ServingError::BatchWorker)`
+    /// reports the degradation.
+    pub fn run_batch_cycle(&self) -> Result<usize, ServingError> {
         let queries = self.cache.drain_pending(self.cfg.batch_size);
         if queries.is_empty() {
-            return 0;
+            return Ok(0);
         }
-        let computed: Mutex<Vec<StructuredFeatures>> =
-            Mutex::new(Vec::with_capacity(queries.len()));
-        let chunk = queries.len().div_ceil(self.cfg.workers.max(1));
-        let computed_ref = &computed;
-        crossbeam::thread::scope(|scope| {
-            for part in queries.chunks(chunk.max(1)) {
-                scope.spawn(move |_| {
-                    let mut local = Vec::with_capacity(part.len());
-                    for q in part {
-                        local.push(compute_features(q, &self.kg, &self.lm));
+        let chunk = queries.len().div_ceil(self.cfg.workers.max(1)).max(1);
+        let (reply_tx, reply_rx) = channel::unbounded::<ChunkOutcome>();
+        let mut jobs = 0usize;
+        for part in queries.chunks(chunk) {
+            self.pool.submit(BatchJob {
+                queries: part.to_vec(),
+                reply: reply_tx.clone(),
+            });
+            jobs += 1;
+        }
+        drop(reply_tx);
+        let mut installed = 0usize;
+        let mut failed_chunks = 0usize;
+        let mut requeued = 0usize;
+        for _ in 0..jobs {
+            match reply_rx.recv() {
+                Ok(ChunkOutcome::Computed(feats)) => {
+                    let mut arcs = Vec::with_capacity(feats.len());
+                    for f in feats {
+                        arcs.push(self.features.put(f));
                     }
-                    computed_ref.lock().extend(local);
-                });
+                    installed += arcs.len();
+                    self.cache.install(arcs);
+                }
+                Ok(ChunkOutcome::Panicked(qs)) => {
+                    failed_chunks += 1;
+                    requeued += self.cache.requeue(&qs);
+                    self.batch_failed_chunks.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => break, // pool shut down mid-cycle
             }
-        })
-        .expect("batch worker panicked");
-        let computed = computed.into_inner();
-        let mut arcs = Vec::with_capacity(computed.len());
-        for f in computed {
-            arcs.push(self.features.put(f));
         }
-        let n = arcs.len();
-        self.cache.install(arcs);
-        n
+        if failed_chunks > 0 {
+            Err(ServingError::BatchWorker {
+                failed_chunks,
+                requeued,
+            })
+        } else {
+            Ok(installed)
+        }
     }
 
     /// Daily refresh: bump the model version (simulating the SageMaker
@@ -222,7 +477,12 @@ impl ServingSystem {
         SystemSnapshot {
             l1_size,
             l2_size,
+            l2_shard_sizes: self.cache.l2_shard_sizes(),
             pending: self.cache.pending_len(),
+            queue_high_water: self.cache.metrics.pending_high_water(),
+            dropped: self.cache.metrics.dropped.load(Ordering::Relaxed),
+            rejected: self.cache.metrics.rejected.load(Ordering::Relaxed),
+            batch_failed_chunks: self.batch_failed_chunks.load(Ordering::Relaxed),
             hit_rate: self.cache.metrics.hit_rate(),
             p50_us: self.latency.percentile(0.5),
             p99_us: self.latency.percentile(0.99),
@@ -234,7 +494,9 @@ impl ServingSystem {
     /// Feedback loop: record a served interaction (query, purchased
     /// product) for the next model refresh.
     pub fn record_feedback(&self, query: &str, product: &str) {
-        self.feedback.lock().push((query.to_string(), product.to_string()));
+        self.feedback
+            .lock()
+            .push((query.to_string(), product.to_string()));
     }
 
     /// Drain accumulated feedback (consumed by the next offline run).
@@ -249,7 +511,7 @@ mod tests {
     use cosmo_kg::Relation;
     use cosmo_lm::StudentConfig;
 
-    fn system(preload: &[&str]) -> ServingSystem {
+    fn parts() -> (Arc<KnowledgeGraph>, Arc<CosmoLm>) {
         let lm = Arc::new(CosmoLm::new(
             StudentConfig::default(),
             vec![
@@ -257,9 +519,18 @@ mod tests {
                 ("keeping warm".into(), Some(Relation::CapableOf)),
             ],
         ));
-        let kg = Arc::new(KnowledgeGraph::new());
-        let preload: Vec<String> = preload.iter().map(|s| s.to_string()).collect();
-        ServingSystem::new(kg, lm, &preload, ServingConfig { workers: 2, ..Default::default() })
+        (Arc::new(KnowledgeGraph::new()), lm)
+    }
+
+    fn system(preload: &[&str]) -> ServingSystem {
+        let (kg, lm) = parts();
+        ServingSystem::builder()
+            .kg(kg)
+            .lm(lm)
+            .preload(preload.iter().copied())
+            .workers(2)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -275,7 +546,7 @@ mod tests {
         let sys = system(&[]);
         let r = sys.handle_request("hiking gear");
         assert!(r.features.is_none(), "first request must not block");
-        let processed = sys.run_batch_cycle();
+        let processed = sys.run_batch_cycle().unwrap();
         assert_eq!(processed, 1);
         let r2 = sys.handle_request("hiking gear");
         assert_eq!(r2.layer, Some(CacheLayer::L2));
@@ -288,8 +559,8 @@ mod tests {
         for i in 0..20 {
             let _ = sys.handle_request(&format!("query {i}"));
         }
-        assert_eq!(sys.run_batch_cycle(), 20);
-        assert_eq!(sys.run_batch_cycle(), 0, "queue drained");
+        assert_eq!(sys.run_batch_cycle().unwrap(), 20);
+        assert_eq!(sys.run_batch_cycle().unwrap(), 0, "queue drained");
     }
 
     #[test]
@@ -297,7 +568,7 @@ mod tests {
         let sys = system(&[]);
         assert_eq!(sys.model_version(), 1);
         let _ = sys.handle_request("q");
-        sys.run_batch_cycle();
+        sys.run_batch_cycle().unwrap();
         let _ = sys.handle_request("q"); // L2 hit → promotion candidate
         let promoted = sys.daily_refresh();
         assert_eq!(sys.model_version(), 2);
@@ -314,24 +585,73 @@ mod tests {
         let snap = sys.snapshot();
         assert_eq!(snap.l1_size, 1);
         assert_eq!(snap.pending, 1);
+        assert_eq!(snap.queue_high_water, 1);
         assert!((snap.hit_rate - 0.5).abs() < 1e-9);
         assert_eq!(snap.model_version, 1);
-        sys.run_batch_cycle();
+        assert_eq!(snap.dropped + snap.rejected, 0);
+        sys.run_batch_cycle().unwrap();
         let snap2 = sys.snapshot();
         assert_eq!(snap2.pending, 0);
         assert_eq!(snap2.l2_size, 1);
+        assert_eq!(snap2.l2_shard_sizes.iter().sum::<usize>(), 1);
         assert!(snap2.features >= 2);
     }
 
     #[test]
-    fn latency_recorder_percentiles() {
-        let rec = LatencyRecorder::default();
-        for v in [1u64, 2, 3, 4, 100] {
-            rec.record(v);
+    fn builder_validates_config() {
+        let (kg, lm) = parts();
+        let err = ServingSystem::builder().kg(kg).lm(lm).workers(0).build();
+        assert!(matches!(err, Err(ServingError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn builder_requires_kg_and_lm() {
+        let (kg, lm) = parts();
+        assert_eq!(
+            ServingSystem::builder().lm(lm.clone()).build().err(),
+            Some(ServingError::MissingKnowledgeGraph)
+        );
+        assert_eq!(
+            ServingSystem::builder().kg(kg).build().err(),
+            Some(ServingError::MissingModel)
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_shim_still_works() {
+        let (kg, lm) = parts();
+        let sys = ServingSystem::new(kg, lm, &["camping".to_string()], ServingConfig::default());
+        assert_eq!(sys.handle_request("camping").layer, Some(CacheLayer::L1));
+    }
+
+    #[test]
+    fn worker_panic_degrades_instead_of_killing_caller() {
+        let sys = system(&[]);
+        let _ = sys.handle_request(PANIC_QUERY);
+        for i in 0..7 {
+            let _ = sys.handle_request(&format!("healthy {i}"));
         }
-        assert_eq!(rec.percentile(0.5), 3);
-        assert_eq!(rec.percentile(1.0), 100);
-        assert_eq!(rec.len(), 5);
+        let err = sys.run_batch_cycle().unwrap_err();
+        let ServingError::BatchWorker {
+            failed_chunks,
+            requeued,
+        } = err
+        else {
+            panic!("expected BatchWorker error");
+        };
+        assert_eq!(failed_chunks, 1, "only the poisoned chunk fails");
+        assert!(requeued >= 1, "poisoned chunk re-queued");
+        assert_eq!(sys.cache.pending_len(), requeued);
+        let snap = sys.snapshot();
+        assert_eq!(snap.batch_failed_chunks, 1);
+        assert_eq!(
+            snap.l2_size,
+            8 - requeued,
+            "surviving chunks are still installed"
+        );
+        // the poisoned query keeps failing but never panics the caller
+        assert!(sys.run_batch_cycle().is_err());
     }
 
     #[test]

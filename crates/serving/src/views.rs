@@ -16,6 +16,7 @@
 //! downstream surface shares one cache entry per query.
 
 use crate::features::StructuredFeatures;
+use crate::system::SystemSnapshot;
 use cosmo_text::hash::hash_str_ns;
 
 /// Render the relevance feature `G` for a query's cached features: the
@@ -38,13 +39,20 @@ pub fn relevance_view(f: &StructuredFeatures) -> String {
 /// weighted by intent scores, plus a query-identity bucket
 /// (`dim/2..dim`) — the encoding COSMO-GNN consumes (§4.2.3).
 pub fn recommendation_view(f: &StructuredFeatures, dim: usize) -> Vec<f32> {
-    assert!(dim >= 4 && dim.is_multiple_of(2), "dim must be even and ≥ 4");
+    assert!(
+        dim >= 4 && dim.is_multiple_of(2),
+        "dim must be even and ≥ 4"
+    );
     let half = dim / 2;
     let mut v = vec![0.0f32; dim];
     let total: f32 = f.intents.iter().map(|(_, _, s)| s.max(0.0)).sum();
     for (_, tail, score) in &f.intents {
         let h = (hash_str_ns(tail, 77) % half as u64) as usize;
-        v[h] += if total > 0.0 { score.max(0.0) / total } else { 0.0 };
+        v[h] += if total > 0.0 {
+            score.max(0.0) / total
+        } else {
+            0.0
+        };
     }
     let qh = half + (hash_str_ns(&f.query, 78) % half as u64) as usize;
     v[qh] = 1.0;
@@ -74,6 +82,36 @@ pub fn navigation_view(f: &StructuredFeatures, k: usize) -> Vec<String> {
         }
     }
     out
+}
+
+/// Render an operator-facing one-screen summary of a [`SystemSnapshot`]:
+/// cache layer sizes (with the per-shard L2 spread), queue depth against
+/// its high-water mark, admission counters, hit rate, and latency
+/// percentiles — the quantities an on-call dashboard for Figure 5 charts.
+pub fn ops_view(snap: &SystemSnapshot) -> String {
+    let shard_spread = snap
+        .l2_shard_sizes
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join("/");
+    format!(
+        "cache l1={} l2={} (shards {shard_spread}) | queue pending={} hwm={} \
+         dropped={} rejected={} | batch failed_chunks={} | hit_rate={:.3} \
+         p50={}us p99={}us | features={} model=v{}",
+        snap.l1_size,
+        snap.l2_size,
+        snap.pending,
+        snap.queue_high_water,
+        snap.dropped,
+        snap.rejected,
+        snap.batch_failed_chunks,
+        snap.hit_rate,
+        snap.p50_us,
+        snap.p99_us,
+        snap.features,
+        snap.model_version,
+    )
 }
 
 #[cfg(test)]
@@ -120,6 +158,34 @@ mod tests {
         assert_eq!(labels, vec!["sleeping outdoors", "keeping warm"]);
         let top1 = navigation_view(&features(), 1);
         assert_eq!(top1, vec!["sleeping outdoors"]);
+    }
+
+    #[test]
+    fn ops_view_mentions_every_operational_counter() {
+        let snap = SystemSnapshot {
+            l1_size: 10,
+            l2_size: 7,
+            l2_shard_sizes: vec![3, 4],
+            pending: 2,
+            queue_high_water: 9,
+            dropped: 5,
+            rejected: 1,
+            batch_failed_chunks: 0,
+            hit_rate: 0.875,
+            p50_us: 12,
+            p99_us: 340,
+            features: 17,
+            model_version: 3,
+        };
+        let line = ops_view(&snap);
+        assert!(line.contains("l1=10"));
+        assert!(line.contains("shards 3/4"));
+        assert!(line.contains("pending=2"));
+        assert!(line.contains("hwm=9"));
+        assert!(line.contains("dropped=5"));
+        assert!(line.contains("rejected=1"));
+        assert!(line.contains("hit_rate=0.875"));
+        assert!(line.contains("model=v3"));
     }
 
     #[test]

@@ -147,8 +147,11 @@ pub fn generate_sessions(world: &World, cfg: &SessionConfig) -> SessionDataset {
 
     // vocabularies: all products of the domain; broad queries of the domain
     let item_vocab: Vec<ProductId> = world.products_in_domain(d).to_vec();
-    let item_index: FxHashMap<ProductId, usize> =
-        item_vocab.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let item_index: FxHashMap<ProductId, usize> = item_vocab
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i))
+        .collect();
     let query_vocab: Vec<QueryId> = world
         .queries_in_domain(d)
         .iter()
@@ -156,8 +159,11 @@ pub fn generate_sessions(world: &World, cfg: &SessionConfig) -> SessionDataset {
         .filter(|&q| matches!(world.query(q).kind, QueryKind::Broad(_)))
         .collect();
     assert!(!query_vocab.is_empty(), "domain must have broad queries");
-    let query_index: FxHashMap<QueryId, usize> =
-        query_vocab.iter().enumerate().map(|(i, &q)| (q, i)).collect();
+    let query_index: FxHashMap<QueryId, usize> = query_vocab
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| (q, i))
+        .collect();
 
     let mut splits: [Vec<Session>; 7] = Default::default();
     for (day, split) in splits.iter_mut().enumerate() {
@@ -217,7 +223,11 @@ pub fn generate_sessions(world: &World, cfg: &SessionConfig) -> SessionDataset {
                 items.push(item_index[&item]);
                 queries.push(query_index[&query_vocab[q_idx]]);
             }
-            split.push(Session { items, queries, day });
+            split.push(Session {
+                items,
+                queries,
+                day,
+            });
         }
     }
     let mut train = Vec::new();
@@ -293,9 +303,18 @@ mod tests {
         let e = generate_sessions(w, &SessionConfig::electronics(2, 120));
         let (_, c_len, _, c_uq) = c.split_stats(&c.train);
         let (_, e_len, _, e_uq) = e.split_stats(&e.train);
-        assert!(e_len > c_len + 1.5, "electronics {e_len:.1} vs clothing {c_len:.1}");
-        assert!(e_uq > c_uq + 0.4, "unique queries {e_uq:.2} vs {c_uq:.2} (Table 7)");
-        assert!((c_len - 8.8).abs() < 1.5, "clothing length {c_len:.1} off Table 7");
+        assert!(
+            e_len > c_len + 1.5,
+            "electronics {e_len:.1} vs clothing {c_len:.1}"
+        );
+        assert!(
+            e_uq > c_uq + 0.4,
+            "unique queries {e_uq:.2} vs {c_uq:.2} (Table 7)"
+        );
+        assert!(
+            (c_len - 8.8).abs() < 1.5,
+            "clothing length {c_len:.1} off Table 7"
+        );
         assert!((c_uq - 1.36).abs() < 0.6, "clothing uniq queries {c_uq:.2}");
     }
 

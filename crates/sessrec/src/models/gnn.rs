@@ -62,7 +62,13 @@ struct GgnnCore {
 }
 
 impl GgnnCore {
-    fn new(store: &mut ParamStore, name: &str, v: usize, dim: usize, rng: &mut impl rand::Rng) -> Self {
+    fn new(
+        store: &mut ParamStore,
+        name: &str,
+        v: usize,
+        dim: usize,
+        rng: &mut impl rand::Rng,
+    ) -> Self {
         GgnnCore {
             emb: Embedding::new(store, &format!("{name}.emb"), v, dim, rng),
             w_in: Linear::new(store, &format!("{name}.win"), dim, dim, rng),
@@ -127,7 +133,12 @@ macro_rules! gnn_fit_loop {
                 let mut tape = Tape::new();
                 #[allow(clippy::redundant_closure_call)]
                 let rep: Var = ($rep_fn)(&*$self, &mut tape, $ds, prefix, queries);
-                let table = $self.core.as_ref().unwrap().emb.table(&mut tape, &$self.store);
+                let table = $self
+                    .core
+                    .as_ref()
+                    .unwrap()
+                    .emb
+                    .table(&mut tape, &$self.store);
                 let logits = tape.matmul_nt(rep, table);
                 let loss = tape.cross_entropy(logits, &[target]);
                 tape.backward(loss);
@@ -149,7 +160,10 @@ pub struct SrGnn {
 impl SrGnn {
     /// Untrained model.
     pub fn new() -> Self {
-        SrGnn { store: ParamStore::new(), core: None }
+        SrGnn {
+            store: ParamStore::new(),
+            core: None,
+        }
     }
 
     fn rep(&self, tape: &mut Tape, items: &[usize]) -> Var {
@@ -173,16 +187,33 @@ impl SessionModel for SrGnn {
 
     fn fit(&mut self, ds: &SessionDataset, cfg: &TrainConfig) {
         let mut rng = rng_for(cfg);
-        self.core = Some(GgnnCore::new(&mut self.store, "srgnn", ds.num_items(), cfg.dim, &mut rng));
-        gnn_fit_loop!(self, ds, cfg, rng, |m: &Self, tape: &mut Tape, _ds: &SessionDataset, items: &[usize], _q: &[usize]| {
-            m.rep(tape, items)
-        });
+        self.core = Some(GgnnCore::new(
+            &mut self.store,
+            "srgnn",
+            ds.num_items(),
+            cfg.dim,
+            &mut rng,
+        ));
+        gnn_fit_loop!(
+            self,
+            ds,
+            cfg,
+            rng,
+            |m: &Self, tape: &mut Tape, _ds: &SessionDataset, items: &[usize], _q: &[usize]| {
+                m.rep(tape, items)
+            }
+        );
     }
 
     fn score_prefix(&self, _ds: &SessionDataset, items: &[usize], _queries: &[usize]) -> Vec<f32> {
         let mut tape = Tape::new();
         let rep = self.rep(&mut tape, items);
-        let table = self.core.as_ref().unwrap().emb.table(&mut tape, &self.store);
+        let table = self
+            .core
+            .as_ref()
+            .unwrap()
+            .emb
+            .table(&mut tape, &self.store);
         let logits = tape.matmul_nt(rep, table);
         tape.value(logits).row_slice(0).to_vec()
     }
@@ -201,7 +232,13 @@ pub struct GcSan {
 impl GcSan {
     /// Untrained model.
     pub fn new() -> Self {
-        GcSan { store: ParamStore::new(), core: None, wq: None, wk: None, wv: None }
+        GcSan {
+            store: ParamStore::new(),
+            core: None,
+            wq: None,
+            wk: None,
+            wv: None,
+        }
     }
 
     fn rep(&self, tape: &mut Tape, items: &[usize]) -> Var {
@@ -243,19 +280,54 @@ impl SessionModel for GcSan {
 
     fn fit(&mut self, ds: &SessionDataset, cfg: &TrainConfig) {
         let mut rng = rng_for(cfg);
-        self.core = Some(GgnnCore::new(&mut self.store, "gcsan", ds.num_items(), cfg.dim, &mut rng));
-        self.wq = Some(Linear::new(&mut self.store, "gcsan.wq", cfg.dim, cfg.dim, &mut rng));
-        self.wk = Some(Linear::new(&mut self.store, "gcsan.wk", cfg.dim, cfg.dim, &mut rng));
-        self.wv = Some(Linear::new(&mut self.store, "gcsan.wv", cfg.dim, cfg.dim, &mut rng));
-        gnn_fit_loop!(self, ds, cfg, rng, |m: &Self, tape: &mut Tape, _ds: &SessionDataset, items: &[usize], _q: &[usize]| {
-            m.rep(tape, items)
-        });
+        self.core = Some(GgnnCore::new(
+            &mut self.store,
+            "gcsan",
+            ds.num_items(),
+            cfg.dim,
+            &mut rng,
+        ));
+        self.wq = Some(Linear::new(
+            &mut self.store,
+            "gcsan.wq",
+            cfg.dim,
+            cfg.dim,
+            &mut rng,
+        ));
+        self.wk = Some(Linear::new(
+            &mut self.store,
+            "gcsan.wk",
+            cfg.dim,
+            cfg.dim,
+            &mut rng,
+        ));
+        self.wv = Some(Linear::new(
+            &mut self.store,
+            "gcsan.wv",
+            cfg.dim,
+            cfg.dim,
+            &mut rng,
+        ));
+        gnn_fit_loop!(
+            self,
+            ds,
+            cfg,
+            rng,
+            |m: &Self, tape: &mut Tape, _ds: &SessionDataset, items: &[usize], _q: &[usize]| {
+                m.rep(tape, items)
+            }
+        );
     }
 
     fn score_prefix(&self, _ds: &SessionDataset, items: &[usize], _queries: &[usize]) -> Vec<f32> {
         let mut tape = Tape::new();
         let rep = self.rep(&mut tape, items);
-        let table = self.core.as_ref().unwrap().emb.table(&mut tape, &self.store);
+        let table = self
+            .core
+            .as_ref()
+            .unwrap()
+            .emb
+            .table(&mut tape, &self.store);
         let logits = tape.matmul_nt(rep, table);
         tape.value(logits).row_slice(0).to_vec()
     }
@@ -302,7 +374,10 @@ impl GceGnn {
         let table = core.emb.table(tape, &self.store);
         let g = tape.input(self.global_matrix(&nodes, core.emb.vocab()));
         let h_glob_raw = tape.matmul(g, table);
-        let h_glob = self.global_proj.unwrap().forward(tape, &self.store, h_glob_raw);
+        let h_glob = self
+            .global_proj
+            .unwrap()
+            .forward(tape, &self.store, h_glob_raw);
         let h = tape.add(h_sess, h_glob);
         core.readout(tape, &self.store, h, &alias)
     }
@@ -321,18 +396,41 @@ impl SessionModel for GceGnn {
 
     fn fit(&mut self, ds: &SessionDataset, cfg: &TrainConfig) {
         let mut rng = rng_for(cfg);
-        self.core = Some(GgnnCore::new(&mut self.store, "gce", ds.num_items(), cfg.dim, &mut rng));
-        self.global_proj = Some(Linear::new(&mut self.store, "gce.glob", cfg.dim, cfg.dim, &mut rng));
+        self.core = Some(GgnnCore::new(
+            &mut self.store,
+            "gce",
+            ds.num_items(),
+            cfg.dim,
+            &mut rng,
+        ));
+        self.global_proj = Some(Linear::new(
+            &mut self.store,
+            "gce.glob",
+            cfg.dim,
+            cfg.dim,
+            &mut rng,
+        ));
         self.global_nbrs = global_cooccurrence(ds, 8);
-        gnn_fit_loop!(self, ds, cfg, rng, |m: &Self, tape: &mut Tape, _ds: &SessionDataset, items: &[usize], _q: &[usize]| {
-            m.rep(tape, items)
-        });
+        gnn_fit_loop!(
+            self,
+            ds,
+            cfg,
+            rng,
+            |m: &Self, tape: &mut Tape, _ds: &SessionDataset, items: &[usize], _q: &[usize]| {
+                m.rep(tape, items)
+            }
+        );
     }
 
     fn score_prefix(&self, _ds: &SessionDataset, items: &[usize], _queries: &[usize]) -> Vec<f32> {
         let mut tape = Tape::new();
         let rep = self.rep(&mut tape, items);
-        let table = self.core.as_ref().unwrap().emb.table(&mut tape, &self.store);
+        let table = self
+            .core
+            .as_ref()
+            .unwrap()
+            .emb
+            .table(&mut tape, &self.store);
         let logits = tape.matmul_nt(rep, table);
         tape.value(logits).row_slice(0).to_vec()
     }
@@ -385,13 +483,20 @@ impl CosmoGnn {
         let table = core.emb.table(tape, &self.store);
         let g = tape.input(self.global_matrix_like(&nodes, core.emb.vocab()));
         let h_glob_raw = tape.matmul(g, table);
-        let h_glob = self.global_proj.unwrap().forward(tape, &self.store, h_glob_raw);
+        let h_glob = self
+            .global_proj
+            .unwrap()
+            .forward(tape, &self.store, h_glob_raw);
         let h = tape.add(h_sess, h_glob);
         // knowledge-conditioned readout: the current step's transformed
         // knowledge embedding joins the attention query, steering the
         // readout towards items serving the active intent
         let know_pre = tape.input(self.knowledge_matrix(ds, queries));
-        let ghat_pre = self.knowledge_mlp.as_ref().unwrap().forward(tape, &self.store, know_pre);
+        let ghat_pre = self
+            .knowledge_mlp
+            .as_ref()
+            .unwrap()
+            .forward(tape, &self.store, know_pre);
         let glast_pre = tape.gather(ghat_pre, &[queries.len() - 1]);
         let last_n = tape.gather(h, &[*alias.last().unwrap()]);
         let mean_n = tape.mean_rows(h);
@@ -443,8 +548,20 @@ impl SessionModel for CosmoGnn {
             .find(|&l| l > 0)
             .expect("COSMO-GNN requires attach_knowledge() first");
         self.global_nbrs = global_cooccurrence(ds, 8);
-        self.core = Some(GgnnCore::new(&mut self.store, "cosmo", ds.num_items(), cfg.dim, &mut rng));
-        self.global_proj = Some(Linear::new(&mut self.store, "cosmo.glob", cfg.dim, cfg.dim, &mut rng));
+        self.core = Some(GgnnCore::new(
+            &mut self.store,
+            "cosmo",
+            ds.num_items(),
+            cfg.dim,
+            &mut rng,
+        ));
+        self.global_proj = Some(Linear::new(
+            &mut self.store,
+            "cosmo.glob",
+            cfg.dim,
+            cfg.dim,
+            &mut rng,
+        ));
         self.knowledge_mlp = Some(Mlp::new(
             &mut self.store,
             "cosmo.know",
@@ -453,16 +570,33 @@ impl SessionModel for CosmoGnn {
             cfg.dim,
             &mut rng,
         ));
-        self.fuse = Some(Linear::new(&mut self.store, "cosmo.fuse", 3 * cfg.dim, cfg.dim, &mut rng));
-        gnn_fit_loop!(self, ds, cfg, rng, |m: &Self, tape: &mut Tape, ds: &SessionDataset, items: &[usize], q: &[usize]| {
-            m.rep(tape, ds, items, q)
-        });
+        self.fuse = Some(Linear::new(
+            &mut self.store,
+            "cosmo.fuse",
+            3 * cfg.dim,
+            cfg.dim,
+            &mut rng,
+        ));
+        gnn_fit_loop!(
+            self,
+            ds,
+            cfg,
+            rng,
+            |m: &Self, tape: &mut Tape, ds: &SessionDataset, items: &[usize], q: &[usize]| {
+                m.rep(tape, ds, items, q)
+            }
+        );
     }
 
     fn score_prefix(&self, ds: &SessionDataset, items: &[usize], queries: &[usize]) -> Vec<f32> {
         let mut tape = Tape::new();
         let rep = self.rep(&mut tape, ds, items, queries);
-        let table = self.core.as_ref().unwrap().emb.table(&mut tape, &self.store);
+        let table = self
+            .core
+            .as_ref()
+            .unwrap()
+            .emb
+            .table(&mut tape, &self.store);
         let logits = tape.matmul_nt(rep, table);
         tape.value(logits).row_slice(0).to_vec()
     }

@@ -87,7 +87,12 @@ pub fn evaluate(model: &dyn SessionModel, ds: &SessionDataset, k: usize) -> Mode
         let scores = model.score_prefix(ds, &s.items[..n - 1], &s.queries[..n]);
         m.record(&scores, s.items[n - 1], k);
     }
-    ModelScores { model: model.name().to_string(), hits: m.hits(), ndcg: m.ndcg(), mrr: m.mrr() }
+    ModelScores {
+        model: model.name().to_string(),
+        hits: m.hits(),
+        ndcg: m.ndcg(),
+        mrr: m.mrr(),
+    }
 }
 
 /// Training instances for final-position models: `(session index,
@@ -202,7 +207,11 @@ mod tests {
     #[test]
     fn max_sessions_caps_instances() {
         let ds = ds();
-        let cfg = TrainConfig { max_sessions: 5, prefixes_per_session: 1, ..Default::default() };
+        let cfg = TrainConfig {
+            max_sessions: 5,
+            prefixes_per_session: 1,
+            ..Default::default()
+        };
         let mut rng = rng_for(&cfg);
         let inst = prefix_instances(&ds, &cfg, &mut rng);
         assert!(inst.len() <= 5);

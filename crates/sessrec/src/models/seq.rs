@@ -22,7 +22,12 @@ pub struct Fpmc {
 impl Fpmc {
     /// Untrained model.
     pub fn new() -> Self {
-        Fpmc { store: ParamStore::new(), last_emb: None, item_emb: None, bias: None }
+        Fpmc {
+            store: ParamStore::new(),
+            last_emb: None,
+            item_emb: None,
+            bias: None,
+        }
     }
 }
 
@@ -40,8 +45,20 @@ impl SessionModel for Fpmc {
     fn fit(&mut self, ds: &SessionDataset, cfg: &TrainConfig) {
         let mut rng = rng_for(cfg);
         let v = ds.num_items();
-        self.last_emb = Some(Embedding::new(&mut self.store, "fpmc.last", v, cfg.dim, &mut rng));
-        self.item_emb = Some(Embedding::new(&mut self.store, "fpmc.item", v, cfg.dim, &mut rng));
+        self.last_emb = Some(Embedding::new(
+            &mut self.store,
+            "fpmc.last",
+            v,
+            cfg.dim,
+            &mut rng,
+        ));
+        self.item_emb = Some(Embedding::new(
+            &mut self.store,
+            "fpmc.item",
+            v,
+            cfg.dim,
+            &mut rng,
+        ));
         self.bias = Some(self.store.add("fpmc.bias", Tensor::zeros(1, v)));
         let mut opt = Adam::new(cfg.lr);
         for _ in 0..cfg.epochs {
@@ -65,7 +82,10 @@ impl SessionModel for Fpmc {
                     continue;
                 }
                 let mut tape = Tape::new();
-                let l = self.last_emb.unwrap().forward(&mut tape, &self.store, &lasts);
+                let l = self
+                    .last_emb
+                    .unwrap()
+                    .forward(&mut tape, &self.store, &lasts);
                 let table = self.item_emb.unwrap().table(&mut tape, &self.store);
                 let logits = tape.matmul_nt(l, table);
                 let b = tape.param(&self.store, self.bias.unwrap());
@@ -82,7 +102,10 @@ impl SessionModel for Fpmc {
     fn score_prefix(&self, _ds: &SessionDataset, items: &[usize], _queries: &[usize]) -> Vec<f32> {
         let last = *items.last().expect("non-empty prefix");
         let mut tape = Tape::new();
-        let l = self.last_emb.unwrap().forward(&mut tape, &self.store, &[last]);
+        let l = self
+            .last_emb
+            .unwrap()
+            .forward(&mut tape, &self.store, &[last]);
         let table = self.item_emb.unwrap().table(&mut tape, &self.store);
         let logits = tape.matmul_nt(l, table);
         let b = tape.param(&self.store, self.bias.unwrap());
@@ -104,7 +127,12 @@ pub struct Gru4Rec {
 impl Gru4Rec {
     /// Untrained model.
     pub fn new() -> Self {
-        Gru4Rec { store: ParamStore::new(), emb: None, gru: None, dim: 0 }
+        Gru4Rec {
+            store: ParamStore::new(),
+            emb: None,
+            gru: None,
+            dim: 0,
+        }
     }
 
     /// Run the GRU over an item prefix, returning all hidden states
@@ -133,8 +161,20 @@ impl SessionModel for Gru4Rec {
     fn fit(&mut self, ds: &SessionDataset, cfg: &TrainConfig) {
         let mut rng = rng_for(cfg);
         self.dim = cfg.dim;
-        self.emb = Some(Embedding::new(&mut self.store, "gru.emb", ds.num_items(), cfg.dim, &mut rng));
-        self.gru = Some(GruCell::new(&mut self.store, "gru.cell", cfg.dim, cfg.dim, &mut rng));
+        self.emb = Some(Embedding::new(
+            &mut self.store,
+            "gru.emb",
+            ds.num_items(),
+            cfg.dim,
+            &mut rng,
+        ));
+        self.gru = Some(GruCell::new(
+            &mut self.store,
+            "gru.cell",
+            cfg.dim,
+            cfg.dim,
+            &mut rng,
+        ));
         let mut opt = Adam::new(cfg.lr);
         for _ in 0..cfg.epochs {
             let mut order: Vec<usize> = (0..ds.train.len()).collect();
@@ -195,7 +235,12 @@ pub struct Stamp {
 impl Stamp {
     /// Untrained model.
     pub fn new() -> Self {
-        Stamp { store: ParamStore::new(), emb: None, mlp_a: None, mlp_b: None }
+        Stamp {
+            store: ParamStore::new(),
+            emb: None,
+            mlp_a: None,
+            mlp_b: None,
+        }
     }
 
     fn session_rep(&self, tape: &mut Tape, items: &[usize]) -> Var {
@@ -227,9 +272,27 @@ impl SessionModel for Stamp {
 
     fn fit(&mut self, ds: &SessionDataset, cfg: &TrainConfig) {
         let mut rng = rng_for(cfg);
-        self.emb = Some(Embedding::new(&mut self.store, "stamp.emb", ds.num_items(), cfg.dim, &mut rng));
-        self.mlp_a = Some(Linear::new(&mut self.store, "stamp.a", cfg.dim, cfg.dim, &mut rng));
-        self.mlp_b = Some(Linear::new(&mut self.store, "stamp.b", cfg.dim, cfg.dim, &mut rng));
+        self.emb = Some(Embedding::new(
+            &mut self.store,
+            "stamp.emb",
+            ds.num_items(),
+            cfg.dim,
+            &mut rng,
+        ));
+        self.mlp_a = Some(Linear::new(
+            &mut self.store,
+            "stamp.a",
+            cfg.dim,
+            cfg.dim,
+            &mut rng,
+        ));
+        self.mlp_b = Some(Linear::new(
+            &mut self.store,
+            "stamp.b",
+            cfg.dim,
+            cfg.dim,
+            &mut rng,
+        ));
         let mut opt = Adam::new(cfg.lr);
         for _ in 0..cfg.epochs {
             let instances = prefix_instances(ds, cfg, &mut rng);
@@ -274,7 +337,14 @@ pub struct Csrm {
 impl Csrm {
     /// Untrained model with `slots` memory prototypes.
     pub fn new() -> Self {
-        Csrm { store: ParamStore::new(), emb: None, gru: None, memory: None, fuse: None, dim: 0 }
+        Csrm {
+            store: ParamStore::new(),
+            emb: None,
+            gru: None,
+            memory: None,
+            fuse: None,
+            dim: 0,
+        }
     }
 
     fn session_rep(&self, tape: &mut Tape, items: &[usize]) -> Var {
@@ -306,13 +376,31 @@ impl SessionModel for Csrm {
     fn fit(&mut self, ds: &SessionDataset, cfg: &TrainConfig) {
         let mut rng = rng_for(cfg);
         self.dim = cfg.dim;
-        self.emb = Some(Embedding::new(&mut self.store, "csrm.emb", ds.num_items(), cfg.dim, &mut rng));
-        self.gru = Some(GruCell::new(&mut self.store, "csrm.gru", cfg.dim, cfg.dim, &mut rng));
+        self.emb = Some(Embedding::new(
+            &mut self.store,
+            "csrm.emb",
+            ds.num_items(),
+            cfg.dim,
+            &mut rng,
+        ));
+        self.gru = Some(GruCell::new(
+            &mut self.store,
+            "csrm.gru",
+            cfg.dim,
+            cfg.dim,
+            &mut rng,
+        ));
         self.memory = Some(self.store.add(
             "csrm.memory",
             cosmo_nn::init::xavier_uniform(16, cfg.dim, &mut rng),
         ));
-        self.fuse = Some(Linear::new(&mut self.store, "csrm.fuse", 2 * cfg.dim, cfg.dim, &mut rng));
+        self.fuse = Some(Linear::new(
+            &mut self.store,
+            "csrm.fuse",
+            2 * cfg.dim,
+            cfg.dim,
+            &mut rng,
+        ));
         let mut opt = Adam::new(cfg.lr);
         for _ in 0..cfg.epochs {
             let instances = prefix_instances(ds, cfg, &mut rng);

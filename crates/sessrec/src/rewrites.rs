@@ -52,7 +52,11 @@ pub fn drift_analysis(
     let mut stable = RankMetrics::default();
     for s in &ds.test {
         let n = s.items.len();
-        let upper = if max_steps == 0 { n } else { (2 + max_steps).min(n) };
+        let upper = if max_steps == 0 {
+            n
+        } else {
+            (2 + max_steps).min(n)
+        };
         for t in 2..upper {
             let scores = model.score_prefix(ds, &s.items[..t], &s.queries[..t + 1]);
             if s.queries[t] != s.queries[t - 1] {
@@ -95,7 +99,11 @@ mod tests {
     #[test]
     fn cosmo_gnn_is_more_drift_resistant_than_gru() {
         let ds = dataset();
-        let cfg = TrainConfig { epochs: 4, dim: 16, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 4,
+            dim: 16,
+            ..Default::default()
+        };
         let mut cosmo = CosmoGnn::new();
         cosmo.fit(&ds, &cfg);
         let mut gru = Gru4Rec::new();
@@ -114,7 +122,11 @@ mod tests {
     #[test]
     fn stable_steps_are_easier_than_drift_steps() {
         let ds = dataset();
-        let cfg = TrainConfig { epochs: 3, dim: 16, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            dim: 16,
+            ..Default::default()
+        };
         let mut gru = Gru4Rec::new();
         gru.fit(&ds, &cfg);
         let r = drift_analysis(&ds, &gru, 10, 6);
@@ -127,11 +139,20 @@ mod tests {
     #[test]
     fn step_counts_partition_the_session_steps() {
         let ds = dataset();
-        let cfg = TrainConfig { epochs: 1, dim: 8, max_sessions: 10, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            dim: 8,
+            max_sessions: 10,
+            ..Default::default()
+        };
         let mut gru = Gru4Rec::new();
         gru.fit(&ds, &cfg);
         let r = drift_analysis(&ds, &gru, 10, 0);
-        let expected: usize = ds.test.iter().map(|s| s.items.len().saturating_sub(2)).sum();
+        let expected: usize = ds
+            .test
+            .iter()
+            .map(|s| s.items.len().saturating_sub(2))
+            .sum();
         assert_eq!(r.n_drift + r.n_stable, expected);
     }
 }

@@ -20,7 +20,11 @@ fn dataset() -> SessionDataset {
 #[test]
 fn cosmo_gnn_beats_gce_gnn_and_fpmc() {
     let ds = dataset();
-    let cfg = TrainConfig { epochs: 3, dim: 16, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 3,
+        dim: 16,
+        ..Default::default()
+    };
     let mut gce = GceGnn::new();
     gce.fit(&ds, &cfg);
     let gce_scores = evaluate(&gce, &ds, 10);
@@ -53,16 +57,34 @@ fn every_model_trains_and_scores() {
     let w = World::generate(WorldConfig::tiny(132));
     let mut ds = generate_sessions(&w, &SessionConfig::electronics(10, 12));
     attach_knowledge(&mut ds, |text| vec![text.len() as f32 % 7.0; 8]);
-    let cfg = TrainConfig { epochs: 1, dim: 8, max_sessions: 10, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 1,
+        dim: 8,
+        max_sessions: 10,
+        ..Default::default()
+    };
     let results = run_all_models(&ds, &cfg, 10);
     assert_eq!(results.len(), 8);
     let names: Vec<&str> = results.iter().map(|r| r.model.as_str()).collect();
     assert_eq!(
         names,
-        ["FPMC", "GRU4Rec", "STAMP", "CSRM", "SRGNN", "GC-SAN", "GCE-GNN", "COSMO-GNN"]
+        [
+            "FPMC",
+            "GRU4Rec",
+            "STAMP",
+            "CSRM",
+            "SRGNN",
+            "GC-SAN",
+            "GCE-GNN",
+            "COSMO-GNN"
+        ]
     );
     for r in &results {
         assert!(r.hits >= 0.0 && r.hits <= 100.0);
-        assert!(r.ndcg <= r.hits + 1e-9, "{}: ndcg must not exceed hits", r.model);
+        assert!(
+            r.ndcg <= r.hits + 1e-9,
+            "{}: ndcg must not exceed hits",
+            r.model
+        );
     }
 }

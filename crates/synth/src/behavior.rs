@@ -122,7 +122,11 @@ impl BehaviorLog {
                     prods.iter().map(|p| world.product(*p).popularity).collect();
                 prods[sample_weighted(&weights, &mut rng)]
             };
-            search_buys.push(SearchBuy { query: q, product, domain: d });
+            search_buys.push(SearchBuy {
+                query: q,
+                product,
+                domain: d,
+            });
         }
 
         let mut cobuys = Vec::with_capacity(config.total_cobuys);
@@ -155,7 +159,11 @@ impl BehaviorLog {
                 continue;
             }
             let (a, b) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-            cobuys.push(CoBuy { p1: a, p2: b, domain: d });
+            cobuys.push(CoBuy {
+                p1: a,
+                p2: b,
+                domain: d,
+            });
         }
 
         let mut log = BehaviorLog {
@@ -321,7 +329,12 @@ mod tests {
             counts[cb.domain.0 as usize] += 1;
         }
         // Home & Kitchen (2) should far exceed Video Games (13)
-        assert!(counts[2] > counts[13] * 3, "hk={} vg={}", counts[2], counts[13]);
+        assert!(
+            counts[2] > counts[13] * 3,
+            "hk={} vg={}",
+            counts[2],
+            counts[13]
+        );
     }
 
     #[test]

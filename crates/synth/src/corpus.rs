@@ -26,7 +26,11 @@ pub fn corpus(world: &World) -> Vec<String> {
                 intent.relation.predicate(),
                 intent.tail
             ));
-            out.push(format!("they are {} {}", short_predicate(intent.relation), intent.tail));
+            out.push(format!(
+                "they are {} {}",
+                short_predicate(intent.relation),
+                intent.tail
+            ));
         }
     }
     out
@@ -65,7 +69,9 @@ mod tests {
         assert!(c.len() > w.products.len() + w.queries.len());
         assert!(c.contains(&w.products[0].title));
         assert!(c.contains(&w.queries[0].text));
-        assert!(c.iter().any(|s| s.starts_with("the ") && s.contains(" is ")));
+        assert!(c
+            .iter()
+            .any(|s| s.starts_with("the ") && s.contains(" is ")));
     }
 
     #[test]

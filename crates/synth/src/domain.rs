@@ -72,15 +72,38 @@ pub const BODY_PARTS: &[&str] = &[
 
 /// Product-type modifiers used to derive specialised types from bases.
 pub const MODIFIERS: &[&str] = &[
-    "portable", "wireless", "kids", "heavy duty", "mini", "professional",
-    "waterproof", "smart", "foldable", "adjustable", "rechargeable",
-    "stainless steel", "organic", "compact", "outdoor", "ergonomic",
+    "portable",
+    "wireless",
+    "kids",
+    "heavy duty",
+    "mini",
+    "professional",
+    "waterproof",
+    "smart",
+    "foldable",
+    "adjustable",
+    "rechargeable",
+    "stainless steel",
+    "organic",
+    "compact",
+    "outdoor",
+    "ergonomic",
 ];
 
 /// Brand names used in product titles.
 pub const BRANDS: &[&str] = &[
-    "acme", "northpeak", "homely", "zenit", "brightline", "cascade",
-    "oakfield", "lumos", "vertex", "meadow", "pioneer", "solstice",
+    "acme",
+    "northpeak",
+    "homely",
+    "zenit",
+    "brightline",
+    "cascade",
+    "oakfield",
+    "lumos",
+    "vertex",
+    "meadow",
+    "pioneer",
+    "solstice",
 ];
 
 /// The 18 domain specifications (Table 3 order; "Others" last).
@@ -88,46 +111,108 @@ pub const SPECS: [DomainSpec; 18] = [
     DomainSpec {
         name: "Clothing, Shoes & Jewelry",
         bases: &[
-            "running shoes", "wedding dress", "winter jacket", "rain boots", "yoga pants",
-            "leather belt", "silver necklace", "wool socks", "baseball cap", "hiking boots",
-            "normal suit", "compression sleeve", "denim jeans", "sun hat", "ankle socks", "puffer vest",
+            "running shoes",
+            "wedding dress",
+            "winter jacket",
+            "rain boots",
+            "yoga pants",
+            "leather belt",
+            "silver necklace",
+            "wool socks",
+            "baseball cap",
+            "hiking boots",
+            "normal suit",
+            "compression sleeve",
+            "denim jeans",
+            "sun hat",
+            "ankle socks",
+            "puffer vest",
         ],
         functions: &[
-            "keeping you warm", "providing arch support", "wicking away sweat",
-            "protecting your feet", "matching a formal outfit", "preventing blisters",
-            "staying dry in the rain", "completing an elegant look",
+            "keeping you warm",
+            "providing arch support",
+            "wicking away sweat",
+            "protecting your feet",
+            "matching a formal outfit",
+            "preventing blisters",
+            "staying dry in the rain",
+            "completing an elegant look",
         ],
         events: &[
-            "a wedding party", "a morning run", "a job interview", "a winter hike",
-            "a beach vacation", "a graduation ceremony",
+            "a wedding party",
+            "a morning run",
+            "a job interview",
+            "a winter hike",
+            "a beach vacation",
+            "a graduation ceremony",
         ],
         audiences: &[
-            "marathon runners", "brides", "office workers", "hikers", "fashion lovers",
+            "marathon runners",
+            "brides",
+            "office workers",
+            "hikers",
+            "fashion lovers",
             "pregnant women",
         ],
         locations: &["the gym", "the office", "the trail", "the beach"],
         interests: &["fashion", "trail running", "yoga", "formal style"],
-        activities: &["run a marathon", "attend a wedding", "hike a mountain", "go dancing"],
+        activities: &[
+            "run a marathon",
+            "attend a wedding",
+            "hike a mountain",
+            "go dancing",
+        ],
         cobuy_weight: 7.4,
         searchbuy_weight: 9.4,
     },
     DomainSpec {
         name: "Sports & Outdoors",
         bases: &[
-            "air mattress", "camping tent", "sleeping bag", "tennis racket", "yoga mat",
-            "water bottle", "fishing rod", "bike helmet", "trekking poles", "kayak paddle",
-            "resistance bands", "golf gloves", "climbing harness", "swim goggles", "jump rope", "camping stove",
+            "air mattress",
+            "camping tent",
+            "sleeping bag",
+            "tennis racket",
+            "yoga mat",
+            "water bottle",
+            "fishing rod",
+            "bike helmet",
+            "trekking poles",
+            "kayak paddle",
+            "resistance bands",
+            "golf gloves",
+            "climbing harness",
+            "swim goggles",
+            "jump rope",
+            "camping stove",
         ],
         functions: &[
-            "providing arch support", "keeping you hydrated", "protecting your head",
-            "improving your grip", "staying comfortable overnight", "building core strength",
-            "keeping gear dry", "absorbing impact",
+            "providing arch support",
+            "keeping you hydrated",
+            "protecting your head",
+            "improving your grip",
+            "staying comfortable overnight",
+            "building core strength",
+            "keeping gear dry",
+            "absorbing impact",
         ],
         events: &[
-            "camping", "winter camping", "lakeside camping", "4-person camping",
-            "a fishing trip", "a tennis match", "a yoga class", "mountain camping",
+            "camping",
+            "winter camping",
+            "lakeside camping",
+            "4-person camping",
+            "a fishing trip",
+            "a tennis match",
+            "a yoga class",
+            "mountain camping",
         ],
-        audiences: &["campers", "anglers", "cyclists", "yogis", "tennis players", "backpackers"],
+        audiences: &[
+            "campers",
+            "anglers",
+            "cyclists",
+            "yogis",
+            "tennis players",
+            "backpackers",
+        ],
         locations: &["the campsite", "the lake", "the court", "the mountains"],
         interests: &["camping", "fitness", "fishing", "cycling"],
         activities: &["play tennis", "go camping", "catch fish", "ride a century"],
@@ -137,359 +222,993 @@ pub const SPECS: [DomainSpec; 18] = [
     DomainSpec {
         name: "Home & Kitchen",
         bases: &[
-            "potato peeler", "chef knife", "cutting board", "air fryer", "coffee maker",
-            "storage bins", "throw pillow", "bed sheets", "vacuum cleaner", "spice rack",
-            "mixing bowls", "dish rack", "table lamp", "curtain rod", "cast iron skillet", "knife sharpener", "food containers", "oven mitts",
+            "potato peeler",
+            "chef knife",
+            "cutting board",
+            "air fryer",
+            "coffee maker",
+            "storage bins",
+            "throw pillow",
+            "bed sheets",
+            "vacuum cleaner",
+            "spice rack",
+            "mixing bowls",
+            "dish rack",
+            "table lamp",
+            "curtain rod",
+            "cast iron skillet",
+            "knife sharpener",
+            "food containers",
+            "oven mitts",
         ],
         functions: &[
-            "peeling potatoes", "chopping vegetables", "brewing fresh coffee",
-            "keeping food warm", "organizing the pantry", "holding snacks",
-            "making crispy fries", "keeping the bedroom tidy",
+            "peeling potatoes",
+            "chopping vegetables",
+            "brewing fresh coffee",
+            "keeping food warm",
+            "organizing the pantry",
+            "holding snacks",
+            "making crispy fries",
+            "keeping the bedroom tidy",
         ],
         events: &[
-            "a dinner party", "holiday baking", "a family breakfast", "spring cleaning",
-            "a housewarming", "meal prep sunday",
+            "a dinner party",
+            "holiday baking",
+            "a family breakfast",
+            "spring cleaning",
+            "a housewarming",
+            "meal prep sunday",
         ],
-        audiences: &["home cooks", "busy parents", "coffee lovers", "new homeowners", "bakers", "hosts"],
-        locations: &["the kitchen", "the bedroom", "the pantry", "the dining room"],
+        audiences: &[
+            "home cooks",
+            "busy parents",
+            "coffee lovers",
+            "new homeowners",
+            "bakers",
+            "hosts",
+        ],
+        locations: &[
+            "the kitchen",
+            "the bedroom",
+            "the pantry",
+            "the dining room",
+        ],
         interests: &["cooking", "home decor", "baking", "organization"],
-        activities: &["cook a feast", "bake bread", "host a dinner", "deep clean the house"],
+        activities: &[
+            "cook a feast",
+            "bake bread",
+            "host a dinner",
+            "deep clean the house",
+        ],
         cobuy_weight: 13.5,
         searchbuy_weight: 12.1,
     },
     DomainSpec {
         name: "Patio, Lawn & Garden",
         bases: &[
-            "garden hose", "lawn mower", "patio umbrella", "planter box", "hedge trimmer",
-            "bird feeder", "fire pit", "hammock", "sprinkler head", "garden gloves", "leaf blower", "compost bin", "string lights",
+            "garden hose",
+            "lawn mower",
+            "patio umbrella",
+            "planter box",
+            "hedge trimmer",
+            "bird feeder",
+            "fire pit",
+            "hammock",
+            "sprinkler head",
+            "garden gloves",
+            "leaf blower",
+            "compost bin",
+            "string lights",
         ],
         functions: &[
-            "watering the flower beds", "trimming the hedges", "hanging out in the backyard",
-            "keeping pests away", "providing shade", "growing fresh herbs",
-            "attracting songbirds", "mowing the lawn",
+            "watering the flower beds",
+            "trimming the hedges",
+            "hanging out in the backyard",
+            "keeping pests away",
+            "providing shade",
+            "growing fresh herbs",
+            "attracting songbirds",
+            "mowing the lawn",
         ],
         events: &[
-            "a backyard barbecue", "spring planting", "a garden party", "autumn cleanup",
-            "a bonfire night", "an outdoor brunch",
+            "a backyard barbecue",
+            "spring planting",
+            "a garden party",
+            "autumn cleanup",
+            "a bonfire night",
+            "an outdoor brunch",
         ],
-        audiences: &["gardeners", "homeowners", "bird watchers", "grill masters", "landscapers", "patio loungers"],
-        locations: &["the backyard", "the patio", "the greenhouse", "the front lawn"],
-        interests: &["gardening", "bird watching", "landscaping", "outdoor living"],
-        activities: &["grow tomatoes", "host a barbecue", "relax in a hammock", "plant a garden"],
+        audiences: &[
+            "gardeners",
+            "homeowners",
+            "bird watchers",
+            "grill masters",
+            "landscapers",
+            "patio loungers",
+        ],
+        locations: &[
+            "the backyard",
+            "the patio",
+            "the greenhouse",
+            "the front lawn",
+        ],
+        interests: &[
+            "gardening",
+            "bird watching",
+            "landscaping",
+            "outdoor living",
+        ],
+        activities: &[
+            "grow tomatoes",
+            "host a barbecue",
+            "relax in a hammock",
+            "plant a garden",
+        ],
         cobuy_weight: 3.7,
         searchbuy_weight: 3.0,
     },
     DomainSpec {
         name: "Tools & Home Improvement",
         bases: &[
-            "cordless drill", "screwdriver set", "tape measure", "work light", "circular saw",
-            "tool box", "stud finder", "paint roller", "wrench set", "safety goggles",
-            "extension cord", "shop vacuum", "level tool", "utility knife", "sander", "clamp set",
+            "cordless drill",
+            "screwdriver set",
+            "tape measure",
+            "work light",
+            "circular saw",
+            "tool box",
+            "stud finder",
+            "paint roller",
+            "wrench set",
+            "safety goggles",
+            "extension cord",
+            "shop vacuum",
+            "level tool",
+            "utility knife",
+            "sander",
+            "clamp set",
         ],
         functions: &[
-            "sharpening scissors", "building a fence", "hanging shelves",
-            "measuring twice and cutting once", "protecting your eyes", "driving screws fast",
-            "finding wall studs", "lighting up the workbench",
+            "sharpening scissors",
+            "building a fence",
+            "hanging shelves",
+            "measuring twice and cutting once",
+            "protecting your eyes",
+            "driving screws fast",
+            "finding wall studs",
+            "lighting up the workbench",
         ],
         events: &[
-            "a weekend renovation", "a deck build", "a bathroom remodel", "a furniture assembly",
-            "a roof repair", "a garage cleanup",
+            "a weekend renovation",
+            "a deck build",
+            "a bathroom remodel",
+            "a furniture assembly",
+            "a roof repair",
+            "a garage cleanup",
         ],
-        audiences: &["diy enthusiasts", "contractors", "woodworkers", "handymen", "renovators", "makers"],
+        audiences: &[
+            "diy enthusiasts",
+            "contractors",
+            "woodworkers",
+            "handymen",
+            "renovators",
+            "makers",
+        ],
         locations: &["the garage", "the workshop", "the job site", "the basement"],
-        interests: &["woodworking", "home renovation", "metalworking", "diy projects"],
-        activities: &["build a fence", "remodel the kitchen", "assemble furniture", "fix a leak"],
+        interests: &[
+            "woodworking",
+            "home renovation",
+            "metalworking",
+            "diy projects",
+        ],
+        activities: &[
+            "build a fence",
+            "remodel the kitchen",
+            "assemble furniture",
+            "fix a leak",
+        ],
         cobuy_weight: 8.2,
         searchbuy_weight: 6.6,
     },
     DomainSpec {
         name: "Musical Instruments",
         bases: &[
-            "acoustic guitar", "guitar strings", "keyboard stand", "microphone cable",
-            "drum sticks", "violin bow", "ukulele case", "guitar tuner", "piano bench",
-            "music stand", "capo", "drum pad", "metronome",
+            "acoustic guitar",
+            "guitar strings",
+            "keyboard stand",
+            "microphone cable",
+            "drum sticks",
+            "violin bow",
+            "ukulele case",
+            "guitar tuner",
+            "piano bench",
+            "music stand",
+            "capo",
+            "drum pad",
+            "metronome",
         ],
         functions: &[
-            "keeping the guitar in tune", "holding sheet music", "amplifying vocals",
-            "protecting the instrument", "practicing quietly", "improving tone",
+            "keeping the guitar in tune",
+            "holding sheet music",
+            "amplifying vocals",
+            "protecting the instrument",
+            "practicing quietly",
+            "improving tone",
         ],
         events: &[
-            "a wedding party", "a live gig", "a school recital", "a studio session",
-            "an open mic night", "band practice",
+            "a wedding party",
+            "a live gig",
+            "a school recital",
+            "a studio session",
+            "an open mic night",
+            "band practice",
         ],
-        audiences: &["guitarists", "drummers", "music students", "singers", "buskers", "producers"],
+        audiences: &[
+            "guitarists",
+            "drummers",
+            "music students",
+            "singers",
+            "buskers",
+            "producers",
+        ],
         locations: &["the studio", "the stage", "the practice room", "the garage"],
         interests: &["music production", "songwriting", "jazz", "classical music"],
-        activities: &["play a gig", "record an album", "learn guitar", "join a band"],
+        activities: &[
+            "play a gig",
+            "record an album",
+            "learn guitar",
+            "join a band",
+        ],
         cobuy_weight: 0.8,
         searchbuy_weight: 0.5,
     },
     DomainSpec {
         name: "Industrial & Scientific",
         bases: &[
-            "nitrile gloves", "lab notebook", "digital caliper", "safety vest", "shipping labels",
-            "packing tape", "ratchet straps", "storage drum", "ph test strips", "microscope slides",
-            "heat gun", "workbench mat", "barcode scanner", "torque wrench", "safety glasses", "pallet wrap",
+            "nitrile gloves",
+            "lab notebook",
+            "digital caliper",
+            "safety vest",
+            "shipping labels",
+            "packing tape",
+            "ratchet straps",
+            "storage drum",
+            "ph test strips",
+            "microscope slides",
+            "heat gun",
+            "workbench mat",
+            "barcode scanner",
+            "torque wrench",
+            "safety glasses",
+            "pallet wrap",
         ],
         functions: &[
-            "holding a lot of weight", "keeping samples sterile", "measuring with precision",
-            "securing heavy loads", "staying visible on site", "sealing boxes tight",
-            "testing water quality", "resisting chemicals",
+            "holding a lot of weight",
+            "keeping samples sterile",
+            "measuring with precision",
+            "securing heavy loads",
+            "staying visible on site",
+            "sealing boxes tight",
+            "testing water quality",
+            "resisting chemicals",
         ],
         events: &[
-            "a lab experiment", "a warehouse shift", "an equipment audit", "a field survey",
-            "an inventory count", "a safety inspection",
+            "a lab experiment",
+            "a warehouse shift",
+            "an equipment audit",
+            "a field survey",
+            "an inventory count",
+            "a safety inspection",
         ],
-        audiences: &["lab technicians", "warehouse workers", "engineers", "researchers", "machinists", "inspectors"],
-        locations: &["the laboratory", "the warehouse", "the factory floor", "the loading dock"],
+        audiences: &[
+            "lab technicians",
+            "warehouse workers",
+            "engineers",
+            "researchers",
+            "machinists",
+            "inspectors",
+        ],
+        locations: &[
+            "the laboratory",
+            "the warehouse",
+            "the factory floor",
+            "the loading dock",
+        ],
         interests: &["chemistry", "metrology", "logistics", "quality control"],
-        activities: &["run an experiment", "calibrate instruments", "move freight", "test samples"],
+        activities: &[
+            "run an experiment",
+            "calibrate instruments",
+            "move freight",
+            "test samples",
+        ],
         cobuy_weight: 12.3,
         searchbuy_weight: 9.5,
     },
     DomainSpec {
         name: "Automotive",
         bases: &[
-            "car wax", "jumper cables", "floor mats", "wiper blades", "tire gauge",
-            "seat covers", "phone mount", "motor oil", "trailer hitch", "car vacuum", "dash camera", "snow brush", "tire inflator",
+            "car wax",
+            "jumper cables",
+            "floor mats",
+            "wiper blades",
+            "tire gauge",
+            "seat covers",
+            "phone mount",
+            "motor oil",
+            "trailer hitch",
+            "car vacuum",
+            "dash camera",
+            "snow brush",
+            "tire inflator",
         ],
         functions: &[
-            "digging a hole", "protecting the paint", "starting a dead battery",
-            "keeping the cabin clean", "checking tire pressure", "towing a trailer",
-            "seeing clearly in the rain", "organizing the trunk",
+            "digging a hole",
+            "protecting the paint",
+            "starting a dead battery",
+            "keeping the cabin clean",
+            "checking tire pressure",
+            "towing a trailer",
+            "seeing clearly in the rain",
+            "organizing the trunk",
         ],
         events: &[
-            "a road trip", "a winter commute", "a car show", "an oil change",
-            "a tailgate party", "a track day",
+            "a road trip",
+            "a winter commute",
+            "a car show",
+            "an oil change",
+            "a tailgate party",
+            "a track day",
         ],
-        audiences: &["commuters", "road trippers", "car detailers", "mechanics", "rv owners", "off-roaders"],
-        locations: &["the garage", "the highway", "the driveway", "the car interior"],
-        interests: &["car detailing", "off-roading", "classic cars", "motorsports"],
-        activities: &["detail the car", "take a road trip", "change the oil", "tow a camper"],
+        audiences: &[
+            "commuters",
+            "road trippers",
+            "car detailers",
+            "mechanics",
+            "rv owners",
+            "off-roaders",
+        ],
+        locations: &[
+            "the garage",
+            "the highway",
+            "the driveway",
+            "the car interior",
+        ],
+        interests: &[
+            "car detailing",
+            "off-roading",
+            "classic cars",
+            "motorsports",
+        ],
+        activities: &[
+            "detail the car",
+            "take a road trip",
+            "change the oil",
+            "tow a camper",
+        ],
         cobuy_weight: 5.3,
         searchbuy_weight: 3.0,
     },
     DomainSpec {
         name: "Electronics",
         bases: &[
-            "camera case", "screen protector glass", "usb charger", "bluetooth speaker",
-            "apple watch", "hdmi cable", "wireless earbuds", "laptop stand", "power bank",
-            "webcam cover", "memory card", "surface cover", "usb hub", "portable monitor", "smart bulb", "router",
+            "camera case",
+            "screen protector glass",
+            "usb charger",
+            "bluetooth speaker",
+            "apple watch",
+            "hdmi cable",
+            "wireless earbuds",
+            "laptop stand",
+            "power bank",
+            "webcam cover",
+            "memory card",
+            "surface cover",
+            "usb hub",
+            "portable monitor",
+            "smart bulb",
+            "router",
         ],
         functions: &[
-            "providing protection for camera", "charging two devices at once",
-            "preventing blisters", "streaming music anywhere", "tracking your heart rate",
-            "keeping the screen scratch free", "extending battery life", "raising the laptop to eye level",
+            "providing protection for camera",
+            "charging two devices at once",
+            "preventing blisters",
+            "streaming music anywhere",
+            "tracking your heart rate",
+            "keeping the screen scratch free",
+            "extending battery life",
+            "raising the laptop to eye level",
         ],
         events: &[
-            "a video call", "a photo shoot", "a long flight", "a workout session",
-            "a movie night", "a gaming session",
+            "a video call",
+            "a photo shoot",
+            "a long flight",
+            "a workout session",
+            "a movie night",
+            "a gaming session",
         ],
-        audiences: &["photographers", "remote workers", "travelers", "fitness trackers", "audiophiles", "streamers"],
-        locations: &["the home office", "the studio", "the airplane", "the living room"],
+        audiences: &[
+            "photographers",
+            "remote workers",
+            "travelers",
+            "fitness trackers",
+            "audiophiles",
+            "streamers",
+        ],
+        locations: &[
+            "the home office",
+            "the studio",
+            "the airplane",
+            "the living room",
+        ],
         interests: &["photography", "smart home tech", "audio gear", "wearables"],
-        activities: &["shoot a video", "track calories burned", "work remotely", "stream a game"],
+        activities: &[
+            "shoot a video",
+            "track calories burned",
+            "work remotely",
+            "stream a game",
+        ],
         cobuy_weight: 5.7,
         searchbuy_weight: 6.4,
     },
     DomainSpec {
         name: "Baby Products",
         bases: &[
-            "baby monitor", "diaper bag", "baby socks", "bottle warmer", "stroller organizer",
-            "teething ring", "swaddle blanket", "high chair", "baby carrier", "nursing pillow", "sippy cup", "crib mobile", "baby gate",
+            "baby monitor",
+            "diaper bag",
+            "baby socks",
+            "bottle warmer",
+            "stroller organizer",
+            "teething ring",
+            "swaddle blanket",
+            "high chair",
+            "baby carrier",
+            "nursing pillow",
+            "sippy cup",
+            "crib mobile",
+            "baby gate",
         ],
         functions: &[
-            "keeping the baby's feet dry", "soothing sore gums", "warming milk evenly",
-            "hearing the baby from another room", "keeping diapers organized",
-            "helping the baby sleep", "carrying the baby hands free",
+            "keeping the baby's feet dry",
+            "soothing sore gums",
+            "warming milk evenly",
+            "hearing the baby from another room",
+            "keeping diapers organized",
+            "helping the baby sleep",
+            "carrying the baby hands free",
         ],
         events: &[
-            "a baby shower", "a first birthday", "a family outing", "nap time",
-            "a pediatric visit", "a long car ride",
+            "a baby shower",
+            "a first birthday",
+            "a family outing",
+            "nap time",
+            "a pediatric visit",
+            "a long car ride",
         ],
-        audiences: &["new parents", "daycare workers", "grandparents", "babysitters", "expecting mothers", "toddlers"],
-        locations: &["the nursery", "the daycare", "the stroller", "the changing table"],
-        interests: &["parenting", "child development", "montessori play", "baby gear"],
-        activities: &["soothe a newborn", "plan a baby shower", "travel with a baby", "babyproof the house"],
+        audiences: &[
+            "new parents",
+            "daycare workers",
+            "grandparents",
+            "babysitters",
+            "expecting mothers",
+            "toddlers",
+        ],
+        locations: &[
+            "the nursery",
+            "the daycare",
+            "the stroller",
+            "the changing table",
+        ],
+        interests: &[
+            "parenting",
+            "child development",
+            "montessori play",
+            "baby gear",
+        ],
+        activities: &[
+            "soothe a newborn",
+            "plan a baby shower",
+            "travel with a baby",
+            "babyproof the house",
+        ],
         cobuy_weight: 3.5,
         searchbuy_weight: 1.6,
     },
     DomainSpec {
         name: "Arts, Crafts & Sewing",
         bases: &[
-            "acrylic paint", "sewing machine", "embroidery hoop", "fabric scissors",
-            "sketchbook", "glue gun", "knitting needles", "rubber stamps", "canvas panels",
-            "bead kit", "yarn skeins", "calligraphy pen", "mod podge", "felt sheets",
+            "acrylic paint",
+            "sewing machine",
+            "embroidery hoop",
+            "fabric scissors",
+            "sketchbook",
+            "glue gun",
+            "knitting needles",
+            "rubber stamps",
+            "canvas panels",
+            "bead kit",
+            "yarn skeins",
+            "calligraphy pen",
+            "mod podge",
+            "felt sheets",
         ],
         functions: &[
-            "stamping on fabric", "cutting through denim", "holding fabric taut",
-            "blending bright colors", "sticking parts instantly", "sketching on the go",
-            "knitting a warm scarf", "organizing tiny beads",
+            "stamping on fabric",
+            "cutting through denim",
+            "holding fabric taut",
+            "blending bright colors",
+            "sticking parts instantly",
+            "sketching on the go",
+            "knitting a warm scarf",
+            "organizing tiny beads",
         ],
         events: &[
-            "a craft fair", "a quilting bee", "an art class", "a scrapbooking night",
-            "a diy gift season", "a school project",
+            "a craft fair",
+            "a quilting bee",
+            "an art class",
+            "a scrapbooking night",
+            "a diy gift season",
+            "a school project",
         ],
-        audiences: &["quilters", "painters", "scrapbookers", "knitters", "art teachers", "crafters"],
-        locations: &["the craft room", "the art studio", "the classroom", "the sewing table"],
-        interests: &["watercolor painting", "quilting", "hand lettering", "jewelry making"],
-        activities: &["sew a quilt", "paint a portrait", "make handmade gifts", "learn embroidery"],
+        audiences: &[
+            "quilters",
+            "painters",
+            "scrapbookers",
+            "knitters",
+            "art teachers",
+            "crafters",
+        ],
+        locations: &[
+            "the craft room",
+            "the art studio",
+            "the classroom",
+            "the sewing table",
+        ],
+        interests: &[
+            "watercolor painting",
+            "quilting",
+            "hand lettering",
+            "jewelry making",
+        ],
+        activities: &[
+            "sew a quilt",
+            "paint a portrait",
+            "make handmade gifts",
+            "learn embroidery",
+        ],
         cobuy_weight: 4.2,
         searchbuy_weight: 3.3,
     },
     DomainSpec {
         name: "Health & Household",
         bases: &[
-            "face moisturizer", "vitamin gummies", "heating pad", "first aid kit",
-            "hand sanitizer", "massage roller", "air purifier", "bath salts", "knee brace",
-            "sleep mask", "herbal tea", "foam earplugs", "pill organizer", "blood pressure monitor", "compression socks", "essential oils",
+            "face moisturizer",
+            "vitamin gummies",
+            "heating pad",
+            "first aid kit",
+            "hand sanitizer",
+            "massage roller",
+            "air purifier",
+            "bath salts",
+            "knee brace",
+            "sleep mask",
+            "herbal tea",
+            "foam earplugs",
+            "pill organizer",
+            "blood pressure monitor",
+            "compression socks",
+            "essential oils",
         ],
         functions: &[
-            "hydrating the skin", "drying the face", "relieving muscle tension",
-            "supporting the immune system", "easing lower back pain", "filtering allergens",
-            "blocking out light", "soothing a sore knee",
+            "hydrating the skin",
+            "drying the face",
+            "relieving muscle tension",
+            "supporting the immune system",
+            "easing lower back pain",
+            "filtering allergens",
+            "blocking out light",
+            "soothing a sore knee",
         ],
         events: &[
-            "allergy season", "a spa day", "flu season", "a meditation retreat",
-            "post-workout recovery", "a good night's sleep",
+            "allergy season",
+            "a spa day",
+            "flu season",
+            "a meditation retreat",
+            "post-workout recovery",
+            "a good night's sleep",
         ],
-        audiences: &["allergy sufferers", "athletes in recovery", "light sleepers", "wellness enthusiasts", "seniors", "nurses"],
-        locations: &["the bathroom", "the medicine cabinet", "the bedroom", "the gym bag"],
+        audiences: &[
+            "allergy sufferers",
+            "athletes in recovery",
+            "light sleepers",
+            "wellness enthusiasts",
+            "seniors",
+            "nurses",
+        ],
+        locations: &[
+            "the bathroom",
+            "the medicine cabinet",
+            "the bedroom",
+            "the gym bag",
+        ],
         interests: &["herbal medicine", "skincare", "mindfulness", "nutrition"],
-        activities: &["recover from a workout", "sleep through the night", "build a skincare routine", "manage allergies"],
+        activities: &[
+            "recover from a workout",
+            "sleep through the night",
+            "build a skincare routine",
+            "manage allergies",
+        ],
         cobuy_weight: 7.4,
         searchbuy_weight: 11.5,
     },
     DomainSpec {
         name: "Toys & Games",
         bases: &[
-            "building blocks", "board game", "stuffed animal", "puzzle set", "toy kite",
-            "play dough", "remote control car", "dollhouse", "card game", "water blaster", "jigsaw puzzle", "action figure", "craft slime",
+            "building blocks",
+            "board game",
+            "stuffed animal",
+            "puzzle set",
+            "toy kite",
+            "play dough",
+            "remote control car",
+            "dollhouse",
+            "card game",
+            "water blaster",
+            "jigsaw puzzle",
+            "action figure",
+            "craft slime",
         ],
         functions: &[
-            "flying in the air", "teaching shapes and colors", "keeping kids busy on trips",
-            "sparking imagination", "building fine motor skills", "entertaining the whole family",
+            "flying in the air",
+            "teaching shapes and colors",
+            "keeping kids busy on trips",
+            "sparking imagination",
+            "building fine motor skills",
+            "entertaining the whole family",
             "racing across the driveway",
         ],
         events: &[
-            "a birthday party", "family game night", "a rainy afternoon", "a playdate",
-            "summer vacation", "christmas morning",
+            "a birthday party",
+            "family game night",
+            "a rainy afternoon",
+            "a playdate",
+            "summer vacation",
+            "christmas morning",
         ],
-        audiences: &["toddlers", "board gamers", "collectors", "kids aged 8 to 12", "party planners", "teachers"],
-        locations: &["the playroom", "the park", "the living room floor", "the backyard"],
-        interests: &["lego building", "strategy games", "model kits", "outdoor play"],
-        activities: &["fly a kite", "win game night", "build a castle", "host a playdate"],
+        audiences: &[
+            "toddlers",
+            "board gamers",
+            "collectors",
+            "kids aged 8 to 12",
+            "party planners",
+            "teachers",
+        ],
+        locations: &[
+            "the playroom",
+            "the park",
+            "the living room floor",
+            "the backyard",
+        ],
+        interests: &[
+            "lego building",
+            "strategy games",
+            "model kits",
+            "outdoor play",
+        ],
+        activities: &[
+            "fly a kite",
+            "win game night",
+            "build a castle",
+            "host a playdate",
+        ],
         cobuy_weight: 4.7,
         searchbuy_weight: 3.9,
     },
     DomainSpec {
         name: "Video Games",
         bases: &[
-            "gaming headset", "controller grip", "charging dock", "gaming mouse",
-            "headset stand", "console skin", "gaming chair", "capture card", "mouse pad",
-            "thumbstick caps", "rgb light strip", "stream deck", "console stand",
+            "gaming headset",
+            "controller grip",
+            "charging dock",
+            "gaming mouse",
+            "headset stand",
+            "console skin",
+            "gaming chair",
+            "capture card",
+            "mouse pad",
+            "thumbstick caps",
+            "rgb light strip",
+            "stream deck",
+            "console stand",
         ],
         functions: &[
-            "protecting the headset", "hearing enemy footsteps", "charging two controllers",
-            "keeping aim steady", "reducing wrist strain", "recording gameplay",
+            "protecting the headset",
+            "hearing enemy footsteps",
+            "charging two controllers",
+            "keeping aim steady",
+            "reducing wrist strain",
+            "recording gameplay",
             "staying comfortable in long sessions",
         ],
         events: &[
-            "a ranked match", "a lan party", "a speedrun attempt", "a streaming marathon",
-            "a co-op night", "a game launch",
+            "a ranked match",
+            "a lan party",
+            "a speedrun attempt",
+            "a streaming marathon",
+            "a co-op night",
+            "a game launch",
         ],
-        audiences: &["competitive gamers", "streamers", "console players", "speedrunners", "casual players", "esports fans"],
-        locations: &["the gaming den", "the desk setup", "the couch", "the tournament hall"],
+        audiences: &[
+            "competitive gamers",
+            "streamers",
+            "console players",
+            "speedrunners",
+            "casual players",
+            "esports fans",
+        ],
+        locations: &[
+            "the gaming den",
+            "the desk setup",
+            "the couch",
+            "the tournament hall",
+        ],
         interests: &["esports", "retro games", "game streaming", "rpg worlds"],
-        activities: &["climb the ranked ladder", "stream a playthrough", "finish a speedrun", "host a lan party"],
+        activities: &[
+            "climb the ranked ladder",
+            "stream a playthrough",
+            "finish a speedrun",
+            "host a lan party",
+        ],
         cobuy_weight: 0.5,
         searchbuy_weight: 0.6,
     },
     DomainSpec {
         name: "Grocery & Gourmet Food",
         bases: &[
-            "olive oil", "potato chips", "dark chocolate", "green tea", "pasta sauce",
-            "trail mix", "hot sauce", "granola bars", "ground coffee", "sea salt", "matcha powder", "protein bars", "dried mango",
+            "olive oil",
+            "potato chips",
+            "dark chocolate",
+            "green tea",
+            "pasta sauce",
+            "trail mix",
+            "hot sauce",
+            "granola bars",
+            "ground coffee",
+            "sea salt",
+            "matcha powder",
+            "protein bars",
+            "dried mango",
         ],
         functions: &[
-            "making potato chips", "sweetening the afternoon", "spicing up taco night",
-            "fueling a long hike", "starting the morning right", "finishing a salad",
+            "making potato chips",
+            "sweetening the afternoon",
+            "spicing up taco night",
+            "fueling a long hike",
+            "starting the morning right",
+            "finishing a salad",
             "calming the evening",
         ],
         events: &[
-            "a picnic", "movie night", "a holiday dinner", "an afternoon tea",
-            "a camping breakfast", "a tailgate",
+            "a picnic",
+            "movie night",
+            "a holiday dinner",
+            "an afternoon tea",
+            "a camping breakfast",
+            "a tailgate",
         ],
-        audiences: &["home chefs", "snack lovers", "tea drinkers", "spice fans", "hikers", "coffee addicts"],
-        locations: &["the pantry", "the picnic basket", "the office drawer", "the spice rack"],
-        interests: &["gourmet cooking", "specialty coffee", "healthy snacking", "hot sauces"],
-        activities: &["cook italian dinner", "brew the perfect cup", "pack trail snacks", "host a tasting"],
+        audiences: &[
+            "home chefs",
+            "snack lovers",
+            "tea drinkers",
+            "spice fans",
+            "hikers",
+            "coffee addicts",
+        ],
+        locations: &[
+            "the pantry",
+            "the picnic basket",
+            "the office drawer",
+            "the spice rack",
+        ],
+        interests: &[
+            "gourmet cooking",
+            "specialty coffee",
+            "healthy snacking",
+            "hot sauces",
+        ],
+        activities: &[
+            "cook italian dinner",
+            "brew the perfect cup",
+            "pack trail snacks",
+            "host a tasting",
+        ],
         cobuy_weight: 3.2,
         searchbuy_weight: 6.3,
     },
     DomainSpec {
         name: "Office Products",
         bases: &[
-            "gel pens", "sticky notes", "desk organizer", "label maker", "notebook",
-            "paper shredder", "desk lamp", "file folders", "whiteboard", "stapler", "highlighters", "monitor stand", "binder clips",
+            "gel pens",
+            "sticky notes",
+            "desk organizer",
+            "label maker",
+            "notebook",
+            "paper shredder",
+            "desk lamp",
+            "file folders",
+            "whiteboard",
+            "stapler",
+            "highlighters",
+            "monitor stand",
+            "binder clips",
         ],
         functions: &[
-            "writing down important information", "keeping the desk tidy",
-            "labeling every drawer", "shredding sensitive documents", "brainstorming ideas",
-            "filing tax papers", "lighting late-night work",
+            "writing down important information",
+            "keeping the desk tidy",
+            "labeling every drawer",
+            "shredding sensitive documents",
+            "brainstorming ideas",
+            "filing tax papers",
+            "lighting late-night work",
         ],
         events: &[
-            "tax season", "a team brainstorm", "back to school", "a quarterly review",
-            "a home office setup", "an exam week",
+            "tax season",
+            "a team brainstorm",
+            "back to school",
+            "a quarterly review",
+            "a home office setup",
+            "an exam week",
         ],
-        audiences: &["students", "accountants", "remote workers", "teachers", "planners", "managers"],
-        locations: &["the home office", "the classroom", "the cubicle", "the study desk"],
-        interests: &["bullet journaling", "productivity", "stationery", "organization"],
-        activities: &["organize the office", "study for finals", "plan the quarter", "journal daily"],
+        audiences: &[
+            "students",
+            "accountants",
+            "remote workers",
+            "teachers",
+            "planners",
+            "managers",
+        ],
+        locations: &[
+            "the home office",
+            "the classroom",
+            "the cubicle",
+            "the study desk",
+        ],
+        interests: &[
+            "bullet journaling",
+            "productivity",
+            "stationery",
+            "organization",
+        ],
+        activities: &[
+            "organize the office",
+            "study for finals",
+            "plan the quarter",
+            "journal daily",
+        ],
         cobuy_weight: 4.3,
         searchbuy_weight: 4.3,
     },
     DomainSpec {
         name: "Pet Supplies",
         bases: &[
-            "dog leash", "cat tree", "pet bed", "dog treats", "litter box",
-            "bird cage", "aquarium filter", "pet carrier", "flea collar", "chew toys", "cat scratcher", "dog ramp", "water fountain",
+            "dog leash",
+            "cat tree",
+            "pet bed",
+            "dog treats",
+            "litter box",
+            "bird cage",
+            "aquarium filter",
+            "pet carrier",
+            "flea collar",
+            "chew toys",
+            "cat scratcher",
+            "dog ramp",
+            "water fountain",
         ],
         functions: &[
-            "walking the dog", "keeping claws off the couch", "rewarding good behavior",
-            "keeping the tank clean", "calming an anxious pet", "controlling fleas",
+            "walking the dog",
+            "keeping claws off the couch",
+            "rewarding good behavior",
+            "keeping the tank clean",
+            "calming an anxious pet",
+            "controlling fleas",
             "giving the cat a perch",
         ],
         events: &[
-            "a vet visit", "a puppy's first walk", "adoption day", "a grooming session",
-            "a weekend at the kennel", "a move to a new home",
+            "a vet visit",
+            "a puppy's first walk",
+            "adoption day",
+            "a grooming session",
+            "a weekend at the kennel",
+            "a move to a new home",
         ],
-        audiences: &["dog owners", "cat owners", "bird keepers", "aquarists", "pet sitters", "puppy trainers"],
-        locations: &["the dog park", "the living room corner", "the vet clinic", "the backyard"],
-        interests: &["dog training", "aquascaping", "cat behavior", "pet nutrition"],
-        activities: &["walk the dog", "train a puppy", "set up an aquarium", "adopt a kitten"],
+        audiences: &[
+            "dog owners",
+            "cat owners",
+            "bird keepers",
+            "aquarists",
+            "pet sitters",
+            "puppy trainers",
+        ],
+        locations: &[
+            "the dog park",
+            "the living room corner",
+            "the vet clinic",
+            "the backyard",
+        ],
+        interests: &[
+            "dog training",
+            "aquascaping",
+            "cat behavior",
+            "pet nutrition",
+        ],
+        activities: &[
+            "walk the dog",
+            "train a puppy",
+            "set up an aquarium",
+            "adopt a kitten",
+        ],
         cobuy_weight: 1.4,
         searchbuy_weight: 2.8,
     },
     DomainSpec {
         name: "Others",
         bases: &[
-            "fitness tracker", "luggage tag", "travel pillow", "umbrella", "gift card holder",
-            "key organizer", "book light", "reusable bags", "wall calendar", "picture frame", "packing cubes", "door mat", "phone stand",
+            "fitness tracker",
+            "luggage tag",
+            "travel pillow",
+            "umbrella",
+            "gift card holder",
+            "key organizer",
+            "book light",
+            "reusable bags",
+            "wall calendar",
+            "picture frame",
+            "packing cubes",
+            "door mat",
+            "phone stand",
         ],
         functions: &[
-            "tracking calories burned", "finding your suitcase fast", "sleeping on a plane",
-            "staying dry in a storm", "reading in bed", "remembering every birthday",
+            "tracking calories burned",
+            "finding your suitcase fast",
+            "sleeping on a plane",
+            "staying dry in a storm",
+            "reading in bed",
+            "remembering every birthday",
             "carrying groceries sustainably",
         ],
         events: &[
-            "an international trip", "a housewarming gift", "a rainy commute",
-            "a new year's reset", "a graduation gift", "a long layover",
+            "an international trip",
+            "a housewarming gift",
+            "a rainy commute",
+            "a new year's reset",
+            "a graduation gift",
+            "a long layover",
         ],
-        audiences: &["frequent flyers", "gift shoppers", "bookworms", "minimalists", "commuters", "planners"],
-        locations: &["the carry-on", "the entryway", "the nightstand", "the office wall"],
-        interests: &["travel hacking", "fitness tracking", "reading", "minimalism"],
-        activities: &["travel light", "hit a step goal", "read more books", "give the perfect gift"],
+        audiences: &[
+            "frequent flyers",
+            "gift shoppers",
+            "bookworms",
+            "minimalists",
+            "commuters",
+            "planners",
+        ],
+        locations: &[
+            "the carry-on",
+            "the entryway",
+            "the nightstand",
+            "the office wall",
+        ],
+        interests: &[
+            "travel hacking",
+            "fitness tracking",
+            "reading",
+            "minimalism",
+        ],
+        activities: &[
+            "travel light",
+            "hit a step goal",
+            "read more books",
+            "give the perfect gift",
+        ],
         cobuy_weight: 5.8,
         searchbuy_weight: 8.7,
     },
@@ -520,7 +1239,11 @@ mod tests {
     fn eighteen_domains_matching_kg_categories() {
         assert_eq!(SPECS.len(), 18);
         for (i, spec) in SPECS.iter().enumerate() {
-            assert_eq!(spec.name, cosmo_kg::CATEGORIES[i], "domain order must match Table 3");
+            assert_eq!(
+                spec.name,
+                cosmo_kg::CATEGORIES[i],
+                "domain order must match Table 3"
+            );
         }
     }
 
@@ -528,12 +1251,32 @@ mod tests {
     fn every_domain_has_content() {
         for spec in &SPECS {
             assert!(spec.bases.len() >= 8, "{}: too few bases", spec.name);
-            assert!(spec.functions.len() >= 6, "{}: too few functions", spec.name);
+            assert!(
+                spec.functions.len() >= 6,
+                "{}: too few functions",
+                spec.name
+            );
             assert!(spec.events.len() >= 5, "{}: too few events", spec.name);
-            assert!(spec.audiences.len() >= 5, "{}: too few audiences", spec.name);
-            assert!(spec.locations.len() >= 4, "{}: too few locations", spec.name);
-            assert!(spec.interests.len() >= 4, "{}: too few interests", spec.name);
-            assert!(spec.activities.len() >= 4, "{}: too few activities", spec.name);
+            assert!(
+                spec.audiences.len() >= 5,
+                "{}: too few audiences",
+                spec.name
+            );
+            assert!(
+                spec.locations.len() >= 4,
+                "{}: too few locations",
+                spec.name
+            );
+            assert!(
+                spec.interests.len() >= 4,
+                "{}: too few interests",
+                spec.name
+            );
+            assert!(
+                spec.activities.len() >= 4,
+                "{}: too few activities",
+                spec.name
+            );
             assert!(spec.cobuy_weight > 0.0 && spec.searchbuy_weight > 0.0);
         }
     }

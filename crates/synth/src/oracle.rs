@@ -77,7 +77,12 @@ impl<'w> Oracle<'w> {
         let informative = !Self::is_generic(tail) && !tokenize(tail).is_empty();
         let Some(intent) = self.world.lookup_intent(relation, tail) else {
             // Hallucinated tail: no such intention exists in this world.
-            return Judgment { relevant: false, informative, plausible: false, typical: false };
+            return Judgment {
+                relevant: false,
+                informative,
+                plausible: false,
+                typical: false,
+            };
         };
         let pt = self.world.ptype_of(p);
         let query = self.world.query(q);
@@ -96,7 +101,12 @@ impl<'w> Oracle<'w> {
             && plausible
             && w >= TYPICAL_WEIGHT
             && (query_matches_intent || product_on_target);
-        Judgment { relevant, informative, plausible, typical }
+        Judgment {
+            relevant,
+            informative,
+            plausible,
+            typical,
+        }
     }
 
     /// Judge a co-buy knowledge candidate `(p1, p2, relation, tail)`.
@@ -116,7 +126,12 @@ impl<'w> Oracle<'w> {
     ) -> Judgment {
         let informative = !Self::is_generic(tail) && !tokenize(tail).is_empty();
         let Some(intent) = self.world.lookup_intent(relation, tail) else {
-            return Judgment { relevant: false, informative, plausible: false, typical: false };
+            return Judgment {
+                relevant: false,
+                informative,
+                plausible: false,
+                typical: false,
+            };
         };
         let t1 = self.world.ptype_of(p1);
         let t2 = self.world.ptype_of(p2);
@@ -130,7 +145,12 @@ impl<'w> Oracle<'w> {
         let shared = w1 > 0.0 && w2 > 0.0;
         let plausible = shared;
         let typical = informative && shared && w1.min(w2) >= 0.4 && w1.max(w2) >= TYPICAL_WEIGHT;
-        Judgment { relevant, informative, plausible, typical }
+        Judgment {
+            relevant,
+            informative,
+            plausible,
+            typical,
+        }
     }
 
     /// Ground truth for the co-purchase-prediction auxiliary task (§3.4):
@@ -181,7 +201,10 @@ mod tests {
         let w = world();
         let (q, p, rel, tail) = typical_case(&w);
         let j = Oracle::new(&w).judge_search_buy(q, p, rel, &tail);
-        assert!(j.relevant && j.informative && j.plausible && j.typical, "{j:?}");
+        assert!(
+            j.relevant && j.informative && j.plausible && j.typical,
+            "{j:?}"
+        );
     }
 
     #[test]
@@ -195,7 +218,9 @@ mod tests {
     #[test]
     fn generic_tail_is_uninformative() {
         assert!(Oracle::is_generic("they like them"));
-        assert!(Oracle::is_generic("because they are used for the same reason"));
+        assert!(Oracle::is_generic(
+            "because they are used for the same reason"
+        ));
         assert!(!Oracle::is_generic("walking the dog"));
         let w = world();
         let (q, p, rel, _) = typical_case(&w);
@@ -213,15 +238,19 @@ mod tests {
                 let other = w.ptype(c);
                 for (iid, wt) in &pt.profile {
                     if *wt >= TYPICAL_WEIGHT && other.weight_of(*iid) == 0.0 {
-                        let p1 = w.products_of_type(
-                            crate::world::ProductTypeId(
-                                w.product_types.iter().position(|x| std::ptr::eq(x, pt)).unwrap() as u32,
-                            ),
-                        )[0];
+                        let p1 = w.products_of_type(crate::world::ProductTypeId(
+                            w.product_types
+                                .iter()
+                                .position(|x| std::ptr::eq(x, pt))
+                                .unwrap() as u32,
+                        ))[0];
                         let p2 = w.products_of_type(c)[0];
                         let i = w.intent(*iid);
                         let j = oracle.judge_cobuy(p1, p2, i.relation, &i.tail);
-                        assert!(!j.plausible, "one-sided intent must be implausible for the pair");
+                        assert!(
+                            !j.plausible,
+                            "one-sided intent must be implausible for the pair"
+                        );
                         break 'outer;
                     }
                 }
@@ -288,11 +317,7 @@ mod tests {
         // Find a product with a fringe (low-weight) intent; pair it with a
         // specific query for its own type: plausible but not typical.
         for (ti, pt) in w.product_types.iter().enumerate() {
-            if let Some((iid, _)) = pt
-                .profile
-                .iter()
-                .find(|(_, wt)| *wt > 0.0 && *wt < 0.35)
-            {
+            if let Some((iid, _)) = pt.profile.iter().find(|(_, wt)| *wt > 0.0 && *wt < 0.35) {
                 let tid = crate::world::ProductTypeId(ti as u32);
                 let qid = w
                     .queries

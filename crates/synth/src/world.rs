@@ -206,7 +206,11 @@ impl World {
             return id;
         }
         let id = IntentId(self.intents.len() as u32);
-        self.intents.push(Intent { relation, tail: canon.clone(), domain });
+        self.intents.push(Intent {
+            relation,
+            tail: canon.clone(),
+            domain,
+        });
         self.intent_index.insert((relation, canon), id);
         id
     }
@@ -300,11 +304,11 @@ impl World {
     ) -> Vec<(IntentId, f32)> {
         let mut profile: Vec<(IntentId, f32)> = Vec::new();
         let add_from = |w: &mut World,
-                            rels: &[Relation],
-                            count: usize,
-                            weights: &[f32],
-                            rng: &mut StdRng,
-                            profile: &mut Vec<(IntentId, f32)>| {
+                        rels: &[Relation],
+                        count: usize,
+                        weights: &[f32],
+                        rng: &mut StdRng,
+                        profile: &mut Vec<(IntentId, f32)>| {
             let mut pool: Vec<IntentId> = rels
                 .iter()
                 .flat_map(|&r| w.domain_intents(domain, r))
@@ -327,7 +331,14 @@ impl World {
             rng,
             &mut profile,
         );
-        add_from(self, &[Relation::UsedForEve], 2, &[0.8, 0.45], rng, &mut profile);
+        add_from(
+            self,
+            &[Relation::UsedForEve],
+            2,
+            &[0.8, 0.45],
+            rng,
+            &mut profile,
+        );
         add_from(
             self,
             &[Relation::UsedBy, Relation::UsedForAud, Relation::XIsA],
@@ -338,7 +349,14 @@ impl World {
         );
         add_from(self, &[Relation::UsedInLoc], 1, &[0.6], rng, &mut profile);
         add_from(self, &[Relation::UsedOn], 1, &[0.4], rng, &mut profile);
-        add_from(self, &[Relation::XInterestedIn], 1, &[0.5], rng, &mut profile);
+        add_from(
+            self,
+            &[Relation::XInterestedIn],
+            1,
+            &[0.5],
+            rng,
+            &mut profile,
+        );
         add_from(self, &[Relation::XWant], 1, &[0.6], rng, &mut profile);
         if matches!(domain.0, 0 | 9 | 11) {
             add_from(self, &[Relation::UsedInBody], 1, &[0.5], rng, &mut profile);
@@ -350,7 +368,11 @@ impl World {
         let fringe = self.config.fringe_intents;
         add_from(
             self,
-            &[Relation::UsedForEve, Relation::XWant, Relation::XInterestedIn],
+            &[
+                Relation::UsedForEve,
+                Relation::XWant,
+                Relation::XInterestedIn,
+            ],
             fringe,
             &[0.2],
             rng,
@@ -373,7 +395,11 @@ impl World {
                     .collect();
                 let mut scored: Vec<(ProductTypeId, usize)> = ids
                     .iter()
-                    .filter(|&&o| o != tid && self.product_types[o.0 as usize].base != self.product_types[tid.0 as usize].base)
+                    .filter(|&&o| {
+                        o != tid
+                            && self.product_types[o.0 as usize].base
+                                != self.product_types[tid.0 as usize].base
+                    })
                     .map(|&o| {
                         let shared = self.product_types[o.0 as usize]
                             .profile
@@ -425,7 +451,11 @@ impl World {
                         format!("{brand} {tname}")
                     };
                     let pid = ProductId(self.products.len() as u32);
-                    self.products.push(Product { ptype: tid, title, popularity: 0.0 });
+                    self.products.push(Product {
+                        ptype: tid,
+                        title,
+                        popularity: 0.0,
+                    });
                     self.products_by_type[tid.0 as usize].push(pid);
                     domain_products.push(pid);
                 }
@@ -462,8 +492,7 @@ impl World {
                     }
                     let tail = self.intents[iid.0 as usize].tail.clone();
                     let text = broad_query_text(&tail);
-                    let specificity =
-                        (1.0 / (1.0 + targets.len() as f32)).clamp(0.05, 0.6);
+                    let specificity = (1.0 / (1.0 + targets.len() as f32)).clamp(0.05, 0.6);
                     let engagement = rng.gen_range(0.2f32..1.0);
                     let qid = QueryId(self.queries.len() as u32);
                     self.queries.push(Query {
@@ -668,7 +697,10 @@ mod tests {
             .map(|p| w.product(*p).popularity)
             .collect();
         pops.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        assert!(pops[0] > pops[pops.len() - 1] * 2.0, "head should dominate tail");
+        assert!(
+            pops[0] > pops[pops.len() - 1] * 2.0,
+            "head should dominate tail"
+        );
     }
 
     #[test]
@@ -775,11 +807,21 @@ mod summary_tests {
     fn summary_is_consistent_with_accessors() {
         let w = World::generate(WorldConfig::tiny(701));
         let s = w.summary();
-        assert_eq!(s.types_per_domain.iter().sum::<usize>(), w.product_types.len());
-        assert_eq!(s.products_per_domain.iter().sum::<usize>(), w.products.len());
+        assert_eq!(
+            s.types_per_domain.iter().sum::<usize>(),
+            w.product_types.len()
+        );
+        assert_eq!(
+            s.products_per_domain.iter().sum::<usize>(),
+            w.products.len()
+        );
         assert_eq!(s.queries_per_domain.iter().sum::<usize>(), w.queries.len());
         assert_eq!(s.intents, w.intents.len());
-        assert!(s.mean_profile_len >= 5.0, "profiles too thin: {}", s.mean_profile_len);
+        assert!(
+            s.mean_profile_len >= 5.0,
+            "profiles too thin: {}",
+            s.mean_profile_len
+        );
         assert!(s.mean_complements >= 1.0);
         assert!(s.broad_query_fraction > 0.2 && s.broad_query_fraction < 0.9);
     }

@@ -63,7 +63,12 @@ pub struct CostMeter {
 impl CostMeter {
     /// New meter for a model.
     pub fn new(model: TeacherModel) -> Self {
-        CostMeter { model, calls: 0, prompt_tokens: 0, generated_tokens: 0 }
+        CostMeter {
+            model,
+            calls: 0,
+            prompt_tokens: 0,
+            generated_tokens: 0,
+        }
     }
 
     /// Record one generation call from raw prompt/continuation strings

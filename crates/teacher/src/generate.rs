@@ -137,7 +137,10 @@ impl QualityMixture {
         let weights = [
             (Provenance::Typical, self.typical),
             (Provenance::PlausibleAtypical, self.plausible_atypical),
-            (Provenance::OneSided, if cobuy { self.one_sided } else { 0.0 }),
+            (
+                Provenance::OneSided,
+                if cobuy { self.one_sided } else { 0.0 },
+            ),
             (Provenance::Generic, self.generic),
             (Provenance::Paraphrase, self.paraphrase),
             (Provenance::Implausible, self.implausible),
@@ -193,7 +196,12 @@ impl<'w> Teacher<'w> {
     pub fn new(world: &'w World, config: TeacherConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
         let meter = CostMeter::new(config.model);
-        Teacher { world, config, rng, meter }
+        Teacher {
+            world,
+            config,
+            rng,
+            meter,
+        }
     }
 
     /// Relations to prompt for a behaviour (the paper prompts the four
@@ -203,9 +211,14 @@ impl<'w> Teacher<'w> {
         // function relations are prompted most often
         let r: f64 = self.rng.gen();
         if r < 0.45 {
-            *[Relation::UsedForFunc, Relation::CapableOf, Relation::UsedTo, Relation::UsedForEve]
-                .choose(&mut self.rng)
-                .unwrap()
+            *[
+                Relation::UsedForFunc,
+                Relation::CapableOf,
+                Relation::UsedTo,
+                Relation::UsedForEve,
+            ]
+            .choose(&mut self.rng)
+            .unwrap()
         } else {
             let _ = domain;
             *Relation::ALL.choose(&mut self.rng).unwrap()
@@ -216,13 +229,22 @@ impl<'w> Teacher<'w> {
     pub fn generate_search_buy(&mut self, q: QueryId, p: ProductId) -> Candidate {
         let domain = self.world.ptype_of(p).domain;
         let relation = self.pick_relation(domain);
-        let prompt =
-            search_buy_prompt(&self.world.query(q).text, &self.world.product(p).title, relation);
+        let prompt = search_buy_prompt(
+            &self.world.query(q).text,
+            &self.world.product(p).title,
+            relation,
+        );
         let mixture = self.config.search_buy_mixture.clone();
         let provenance = mixture.sample(&mut self.rng, false);
         let (raw, relation) = self.render(provenance, relation, BehaviorRef::SearchBuy(q, p));
         self.meter.record_generation(&prompt.text, &raw);
-        Candidate { behavior: BehaviorRef::SearchBuy(q, p), relation, raw, domain, provenance }
+        Candidate {
+            behavior: BehaviorRef::SearchBuy(q, p),
+            relation,
+            raw,
+            domain,
+            provenance,
+        }
     }
 
     /// Generate one candidate for a co-buy behaviour.
@@ -238,7 +260,13 @@ impl<'w> Teacher<'w> {
         let provenance = mixture.sample(&mut self.rng, true);
         let (raw, relation) = self.render(provenance, relation, BehaviorRef::CoBuy(p1, p2));
         self.meter.record_generation(&prompt.text, &raw);
-        Candidate { behavior: BehaviorRef::CoBuy(p1, p2), relation, raw, domain, provenance }
+        Candidate {
+            behavior: BehaviorRef::CoBuy(p1, p2),
+            relation,
+            raw,
+            domain,
+            provenance,
+        }
     }
 
     /// Render the candidate's surface text for a provenance class. May
@@ -285,7 +313,11 @@ impl<'w> Teacher<'w> {
                 } else {
                     secondary.unwrap_or(primary)
                 };
-                let other = if side == primary { secondary.unwrap_or(primary) } else { primary };
+                let other = if side == primary {
+                    secondary.unwrap_or(primary)
+                } else {
+                    primary
+                };
                 let iid = self
                     .pick_profile_intent(side, 0.5, None)
                     .filter(|&i| self.world.ptype_of(other).weight_of(i) == 0.0)
@@ -448,8 +480,10 @@ mod tests {
     fn generation_is_deterministic() {
         let (w, log) = setup();
         let sb = log.search_buys[0];
-        let a = Teacher::new(&w, TeacherConfig::default()).generate_search_buy(sb.query, sb.product);
-        let b = Teacher::new(&w, TeacherConfig::default()).generate_search_buy(sb.query, sb.product);
+        let a =
+            Teacher::new(&w, TeacherConfig::default()).generate_search_buy(sb.query, sb.product);
+        let b =
+            Teacher::new(&w, TeacherConfig::default()).generate_search_buy(sb.query, sb.product);
         assert_eq!(a.raw, b.raw);
         assert_eq!(a.provenance, b.provenance);
     }
@@ -472,7 +506,10 @@ mod tests {
                 }
             }
         }
-        assert!(typical_total > 20, "mixture should produce typical candidates");
+        assert!(
+            typical_total > 20,
+            "mixture should produce typical candidates"
+        );
         let frac = typical_hits as f64 / typical_total as f64;
         assert!(frac > 0.9, "typical candidates should be plausible: {frac}");
     }

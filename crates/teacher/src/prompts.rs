@@ -24,9 +24,7 @@ pub struct Prompt {
 fn relation_question(relation: Relation) -> String {
     use Relation::*;
     match relation {
-        UsedForFunc | UsedForEve | UsedForAud => {
-            "What can the product be used for?".to_string()
-        }
+        UsedForFunc | UsedForEve | UsedForAud => "What can the product be used for?".to_string(),
         CapableOf => "What is the product capable of?".to_string(),
         UsedTo => "What is the product used to do?".to_string(),
         UsedAs => "What can the product be used as?".to_string(),

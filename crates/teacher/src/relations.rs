@@ -89,7 +89,10 @@ pub fn extract_pattern(raw: &str) -> Option<&'static str> {
 
 /// Canonical relation for a pattern.
 pub fn canonical_relation(pattern: &str) -> Option<Relation> {
-    PATTERNS.iter().find(|(p, _)| *p == pattern).map(|(_, r)| *r)
+    PATTERNS
+        .iter()
+        .find(|(p, _)| *p == pattern)
+        .map(|(_, r)| *r)
 }
 
 /// Mine the relation table from a generation corpus: frequency-count
@@ -157,7 +160,10 @@ mod tests {
             Some("capable of"),
             "'capable of' must win over 'used for'"
         );
-        assert_eq!(extract_pattern("1. it is used with a tripod."), Some("used with"));
+        assert_eq!(
+            extract_pattern("1. it is used with a tripod."),
+            Some("used with")
+        );
         assert_eq!(extract_pattern("no predicate here"), None);
     }
 

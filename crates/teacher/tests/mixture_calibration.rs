@@ -78,9 +78,18 @@ fn raw_pool_quality_shape_matches_table4_premise() {
     }
     let (sb_p, sb_t) = judge_rate(&sb_j);
     let (cb_p, cb_t) = judge_rate(&cb_j);
-    assert!(sb_p > cb_p, "search-buy plausibility {sb_p:.2} must exceed co-buy {cb_p:.2}");
-    assert!(sb_t > cb_t, "search-buy typicality {sb_t:.2} must exceed co-buy {cb_t:.2}");
-    assert!(sb_t < 0.5, "raw search-buy typicality should be noisy (<50%): {sb_t:.2}");
+    assert!(
+        sb_p > cb_p,
+        "search-buy plausibility {sb_p:.2} must exceed co-buy {cb_p:.2}"
+    );
+    assert!(
+        sb_t > cb_t,
+        "search-buy typicality {sb_t:.2} must exceed co-buy {cb_t:.2}"
+    );
+    assert!(
+        sb_t < 0.5,
+        "raw search-buy typicality should be noisy (<50%): {sb_t:.2}"
+    );
     assert!(cb_t < 0.3, "raw co-buy typicality 'notably low': {cb_t:.2}");
 }
 
@@ -90,11 +99,17 @@ fn cost_meter_reflects_model_choice() {
     let sb = log.search_buys[0];
     let mut small = Teacher::new(
         &w,
-        TeacherConfig { model: cosmo_teacher::TeacherModel::Llama7b, ..Default::default() },
+        TeacherConfig {
+            model: cosmo_teacher::TeacherModel::Llama7b,
+            ..Default::default()
+        },
     );
     let mut big = Teacher::new(
         &w,
-        TeacherConfig { model: cosmo_teacher::TeacherModel::Opt175b, ..Default::default() },
+        TeacherConfig {
+            model: cosmo_teacher::TeacherModel::Opt175b,
+            ..Default::default()
+        },
     );
     small.generate_search_buy(sb.query, sb.product);
     big.generate_search_buy(sb.query, sb.product);

@@ -45,7 +45,10 @@ pub fn canonicalize_tail(raw: &str) -> String {
         let mut stripped = false;
         for prefix in BOILERPLATE_PREFIXES {
             if toks.len() > prefix.len()
-                && toks[..prefix.len()].iter().map(|s| s.as_str()).eq(prefix.iter().copied())
+                && toks[..prefix.len()]
+                    .iter()
+                    .map(|s| s.as_str())
+                    .eq(prefix.iter().copied())
             {
                 toks.drain(..prefix.len());
                 stripped = true;
@@ -91,7 +94,10 @@ mod tests {
 
     #[test]
     fn plural_merge() {
-        assert!(same_tail("used for walking the dogs", "used for walking the dog"));
+        assert!(same_tail(
+            "used for walking the dogs",
+            "used for walking the dog"
+        ));
         assert!(same_tail("used by cat owners", "used by cat owner"));
     }
 
@@ -104,7 +110,10 @@ mod tests {
     fn does_not_overstem() {
         // "ss"/"us" endings are not plurals
         assert_eq!(canonicalize_tail("used for fitness"), "used for fitness");
-        assert_eq!(canonicalize_tail("protects the walrus"), "protects the walrus");
+        assert_eq!(
+            canonicalize_tail("protects the walrus"),
+            "protects the walrus"
+        );
     }
 
     #[test]

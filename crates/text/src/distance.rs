@@ -7,7 +7,11 @@
 pub fn edit_distance(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     if short.is_empty() {
         return long.len();
     }
@@ -93,7 +97,10 @@ mod tests {
 
     #[test]
     fn bounded_early_exit() {
-        assert_eq!(edit_distance_bounded("short", "a much longer string", 3), None);
+        assert_eq!(
+            edit_distance_bounded("short", "a much longer string", 3),
+            None
+        );
         assert_eq!(edit_distance_bounded("kitten", "sitting", 3), Some(3));
         assert_eq!(edit_distance_bounded("kitten", "sitting", 2), None);
     }

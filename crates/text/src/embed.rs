@@ -130,10 +130,7 @@ mod tests {
         let e = embedder();
         let para = e.similarity("camping air mattress", "air mattress for camping");
         let unrelated = e.similarity("camping air mattress", "hydrating the skin");
-        assert!(
-            para > unrelated + 0.2,
-            "para={para} unrelated={unrelated}"
-        );
+        assert!(para > unrelated + 0.2, "para={para} unrelated={unrelated}");
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //! continuations of history `h`. The base case is a uniform-smoothed unigram.
 
 use crate::hash::FxHashMap;
-use crate::vocab::{Vocab, BOS};
 #[cfg(test)]
 use crate::vocab::EOS;
+use crate::vocab::{Vocab, BOS};
 
 /// Key for an n-gram history: the history token ids packed into a `u64`
 /// hash. We additionally store the raw length to namespace different orders.

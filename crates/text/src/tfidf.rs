@@ -62,8 +62,7 @@ impl TfIdf {
         for t in tokens {
             *tf.entry(t.as_str()).or_insert(0.0) += 1.0;
         }
-        let mut out: Vec<(&str, f32)> =
-            tf.into_iter().map(|(t, f)| (t, f * self.idf(t))).collect();
+        let mut out: Vec<(&str, f32)> = tf.into_iter().map(|(t, f)| (t, f * self.idf(t))).collect();
         out.sort_by(|a, b| a.0.cmp(b.0));
         out
     }

@@ -31,11 +31,7 @@ pub fn tokenize_into(text: &str, out: &mut Vec<String>) {
         let c = chars[i];
         if is_token_char(c) {
             cur.extend(c.to_lowercase());
-        } else if is_joiner(c)
-            && !cur.is_empty()
-            && i + 1 < n
-            && is_token_char(chars[i + 1])
-        {
+        } else if is_joiner(c) && !cur.is_empty() && i + 1 < n && is_token_char(chars[i + 1]) {
             cur.push(c);
         } else if !cur.is_empty() {
             out.push(std::mem::take(&mut cur));

@@ -6,12 +6,16 @@
 //! cargo run --release --example build_kg -- /tmp/cosmo_kg.json
 //! ```
 
-use cosmo::core::{annotate, sample_behaviors, AnnotationConfig, CoarseFilter, FilterConfig, SamplingConfig};
+use cosmo::core::{
+    annotate, sample_behaviors, AnnotationConfig, CoarseFilter, FilterConfig, SamplingConfig,
+};
 use cosmo::synth::{corpus, BehaviorConfig, BehaviorLog, SpecificityService, World, WorldConfig};
 use cosmo::teacher::{Teacher, TeacherConfig};
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "/tmp/cosmo_kg.json".to_string());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/tmp/cosmo_kg.json".to_string());
 
     // 1. A synthetic e-commerce world with ground-truth intent profiles.
     let world = World::generate(WorldConfig::tiny(7));
@@ -65,10 +69,15 @@ fn main() {
     println!("filter: kept {kept}/{} candidates", filtered.len());
 
     // 6. Simulated human annotation (§3.3.2).
-    let annotation = annotate(&world, &log, &filtered, &AnnotationConfig {
-        budget_per_behavior: 150,
-        ..AnnotationConfig::default()
-    });
+    let annotation = annotate(
+        &world,
+        &log,
+        &filtered,
+        &AnnotationConfig {
+            budget_per_behavior: 150,
+            ..AnnotationConfig::default()
+        },
+    );
     println!(
         "annotation: {} labels, audit accuracy {:.1}%",
         annotation.annotations.len(),
@@ -111,6 +120,10 @@ fn main() {
         &std::fs::read_to_string(&path).expect("read snapshot"),
     )
     .expect("parse snapshot");
-    println!("snapshot round-trip ok: {} ({} bytes)", path, std::fs::metadata(&path).unwrap().len());
+    println!(
+        "snapshot round-trip ok: {} ({} bytes)",
+        path,
+        std::fs::metadata(&path).unwrap().len()
+    );
     assert_eq!(reloaded.num_edges(), kg.num_edges());
 }

@@ -9,7 +9,7 @@
 use cosmo::core::{apply_feedback, run, PipelineConfig};
 use cosmo::kg::NodeKind;
 use cosmo::lm::{build_instructions, tail_vocab_from_pipeline, CosmoLm, StudentConfig};
-use cosmo::serving::{ServingConfig, ServingSystem};
+use cosmo::serving::ServingSystem;
 use std::sync::Arc;
 
 fn main() {
@@ -24,16 +24,18 @@ fn main() {
     // Stand up serving over the day-0 KG.
     let instructions = build_instructions(&out.world, &out.filtered, &out.annotation, 1);
     let mut student = CosmoLm::new(
-        StudentConfig { epochs: 4, ..StudentConfig::default() },
+        StudentConfig {
+            epochs: 4,
+            ..StudentConfig::default()
+        },
         tail_vocab_from_pipeline(&out),
     );
     student.train(&instructions);
-    let system = ServingSystem::new(
-        Arc::new(out.kg.clone()),
-        Arc::new(student),
-        &[],
-        ServingConfig::default(),
-    );
+    let system = ServingSystem::builder()
+        .kg(Arc::new(out.kg.clone()))
+        .lm(Arc::new(student))
+        .build()
+        .expect("default serving config is valid");
 
     // A day of traffic that includes queries the KG has never seen. Each
     // request that leads to a purchase is recorded through the feedback
@@ -47,7 +49,7 @@ fn main() {
             system.record_feedback(&q.text, &out.world.product(p).title);
         }
     }
-    system.run_batch_cycle();
+    system.run_batch_cycle().expect("batch workers healthy");
     let snap = system.snapshot();
     println!(
         "day 1 traffic: hit rate {:.0}%, {} cold queries fed back, L2 holds {} entries",

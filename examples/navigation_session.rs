@@ -25,7 +25,11 @@ fn main() {
         if suggestions.len() < 2 || session.candidates.len() < 4 {
             continue;
         }
-        println!("\nquery: \"{}\" — {} candidate products", q.text, session.candidates.len());
+        println!(
+            "\nquery: \"{}\" — {} candidate products",
+            q.text,
+            session.candidates.len()
+        );
         println!(
             "suggestions: {:?}",
             suggestions.iter().map(|s| s.label()).collect::<Vec<_>>()
@@ -50,7 +54,11 @@ fn main() {
     let report = run_abtest(
         &out.world,
         &engine,
-        &AbTestConfig { users: 150_000, visibility: 0.25, ..AbTestConfig::default() },
+        &AbTestConfig {
+            users: 150_000,
+            visibility: 0.25,
+            ..AbTestConfig::default()
+        },
     );
     println!(
         "\nA/B ({} control / {} treatment): sales lift {:+.2}%, engagement lift {:+.1}%",

@@ -7,7 +7,7 @@
 
 use cosmo::core::{run, PipelineConfig};
 use cosmo::lm::{build_instructions, tail_vocab_from_pipeline, CosmoLm, StudentConfig};
-use cosmo::serving::{ServingConfig, ServingSystem};
+use cosmo::serving::{ops_view, ServingSystem};
 use std::sync::Arc;
 
 fn main() {
@@ -22,17 +22,20 @@ fn main() {
     let mut hot: Vec<_> = out.world.queries.iter().collect();
     hot.sort_by(|a, b| b.engagement.partial_cmp(&a.engagement).unwrap());
     let preload: Vec<String> = hot.iter().take(50).map(|q| q.text.clone()).collect();
-    let system = ServingSystem::new(
-        Arc::new(out.kg),
-        Arc::new(student),
-        &preload,
-        ServingConfig::default(),
-    );
+    let system = ServingSystem::builder()
+        .kg(Arc::new(out.kg))
+        .lm(Arc::new(student))
+        .preload(preload.clone())
+        .build()
+        .expect("default serving config is valid");
 
     // Request path: hot query → L1 hit with features.
     let hot_query = &preload[0];
     let r = system.handle_request(hot_query);
-    println!("request \"{}\" → {:?} in {}µs", hot_query, r.layer, r.latency_us);
+    println!(
+        "request \"{}\" → {:?} in {}µs",
+        hot_query, r.layer, r.latency_us
+    );
     if let Some(f) = &r.features {
         for (rel, tail, score) in f.intents.iter().take(3) {
             println!("  intent [{}] {} ({score:.2})", rel.name(), tail);
@@ -45,8 +48,11 @@ fn main() {
     // Cold query → asynchronous miss, then batch processing, then L2 hit.
     let cold = "glow in the dark dog harness";
     let miss = system.handle_request(cold);
-    println!("\nrequest \"{cold}\" → {:?} (forwarded to batch)", miss.layer);
-    let processed = system.run_batch_cycle();
+    println!(
+        "\nrequest \"{cold}\" → {:?} (forwarded to batch)",
+        miss.layer
+    );
+    let processed = system.run_batch_cycle().expect("batch workers healthy");
     println!("batch cycle processed {processed} pending queries");
     let hit = system.handle_request(cold);
     println!("request \"{cold}\" again → {:?}", hit.layer);
@@ -65,5 +71,11 @@ fn main() {
 
     // Feedback loop: record an interaction for the next offline run.
     system.record_feedback(cold, "acme glow dog harness");
-    println!("feedback recorded: {} events queued", system.drain_feedback().len());
+    println!(
+        "feedback recorded: {} events queued",
+        system.drain_feedback().len()
+    );
+
+    // The one-line ops summary a dashboard would scrape.
+    println!("\nops: {}", ops_view(&system.snapshot()));
 }

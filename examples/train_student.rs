@@ -27,14 +27,20 @@ fn main() {
 
     // Instruction-tune the student.
     let mut student = CosmoLm::new(
-        StudentConfig { epochs: 10, ..StudentConfig::default() },
+        StudentConfig {
+            epochs: 10,
+            ..StudentConfig::default()
+        },
         tail_vocab_from_pipeline(&out),
     );
     let report = student.train(&instructions);
     println!("\n== training ==");
     println!("generation instances: {}", report.n_generate);
     println!("prediction instances: {}", report.n_predict);
-    println!("held-out generation top-1 (exact tail): {:.1}%", report.gen_top1 * 100.0);
+    println!(
+        "held-out generation top-1 (exact tail): {:.1}%",
+        report.gen_top1 * 100.0
+    );
     for (task, acc) in &report.predict_accuracy {
         println!("held-out {task}: {:.1}%", acc * 100.0);
     }

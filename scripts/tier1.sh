@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything that must pass before a change lands.
+#
+#   ./scripts/tier1.sh
+#
+# Runs the release build, the full test suite, clippy with warnings
+# denied, and the formatting check. Requires network access (or a warm
+# cargo cache) for the first build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
+echo "tier1: all checks passed"

@@ -19,7 +19,11 @@ fn pipeline_builds_a_multirelation_graph() {
     let out = pipeline();
     assert!(out.kg.num_nodes() > 100);
     assert!(out.kg.num_edges() > 200);
-    assert!(out.kg.num_relations() >= 10, "relations: {}", out.kg.num_relations());
+    assert!(
+        out.kg.num_relations() >= 10,
+        "relations: {}",
+        out.kg.num_relations()
+    );
     // both behaviour types contribute edges
     let (_, _, cb) = out.stats.totals(BehaviorKind::CoBuy);
     let (_, _, sb) = out.stats.totals(BehaviorKind::SearchBuy);
@@ -42,7 +46,10 @@ fn student_trains_from_pipeline_annotations() {
     let instructions = build_instructions(&out.world, &out.filtered, &out.annotation, 1);
     assert!(instructions.len() > 100);
     let mut student = CosmoLm::new(
-        StudentConfig { epochs: 4, ..StudentConfig::default() },
+        StudentConfig {
+            epochs: 4,
+            ..StudentConfig::default()
+        },
         tail_vocab_from_pipeline(out),
     );
     let report = student.train(&instructions);
@@ -58,7 +65,10 @@ fn serving_round_trip_over_pipeline_kg() {
     let out = pipeline();
     let instructions = build_instructions(&out.world, &out.filtered, &out.annotation, 2);
     let mut student = CosmoLm::new(
-        StudentConfig { epochs: 2, ..StudentConfig::default() },
+        StudentConfig {
+            epochs: 2,
+            ..StudentConfig::default()
+        },
         tail_vocab_from_pipeline(out),
     );
     student.train(&instructions);
@@ -71,20 +81,30 @@ fn serving_round_trip_over_pipeline_kg() {
         .map(|(_, n)| n.text.clone())
         .collect();
     assert!(!preload.is_empty());
-    let system = ServingSystem::new(
-        Arc::new(out.kg.clone()),
-        Arc::new(student),
-        &preload,
-        ServingConfig { workers: 2, ..Default::default() },
-    );
+    let system = ServingSystem::builder()
+        .kg(Arc::new(out.kg.clone()))
+        .lm(Arc::new(student))
+        .preload(preload.clone())
+        .config(ServingConfig {
+            workers: 2,
+            ..Default::default()
+        })
+        .build()
+        .expect("serving config is valid");
     // hot path
     let r = system.handle_request(&preload[0]);
     let features = r.features.expect("preloaded query must hit");
     assert!(!features.intents.is_empty());
     // cold path: async miss → batch → hit
-    assert!(system.handle_request("entirely novel query").features.is_none());
-    assert_eq!(system.run_batch_cycle(), 1);
-    assert!(system.handle_request("entirely novel query").features.is_some());
+    assert!(system
+        .handle_request("entirely novel query")
+        .features
+        .is_none());
+    assert_eq!(system.run_batch_cycle().expect("healthy workers"), 1);
+    assert!(system
+        .handle_request("entirely novel query")
+        .features
+        .is_some());
 }
 
 #[test]

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 
 fn word() -> impl Strategy<Value = String> {
     prop::sample::select(vec![
-        "camping", "tent", "dog", "leash", "warm", "winter", "walking", "the", "holding",
-        "snacks", "used", "for", "keeping", "mattress", "air",
+        "camping", "tent", "dog", "leash", "warm", "winter", "walking", "the", "holding", "snacks",
+        "used", "for", "keeping", "mattress", "air",
     ])
     .prop_map(|s| s.to_string())
 }
