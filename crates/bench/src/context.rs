@@ -96,6 +96,9 @@ pub struct Ctx {
     pub student_report: StudentReport,
     /// Scale used.
     pub scale: Scale,
+    /// Base seed the context was built from (experiments that re-run the
+    /// pipeline, e.g. `pipeline-scaling`, reuse it).
+    pub seed: u64,
 }
 
 /// Build the shared context (pipeline → instructions → student).
@@ -123,5 +126,6 @@ pub fn build_context(scale: Scale, seed: u64) -> Ctx {
         student: Arc::new(student),
         student_report,
         scale,
+        seed,
     }
 }

@@ -21,7 +21,7 @@ pub mod tables;
 pub use context::{build_context, Ctx, Scale};
 
 /// All experiment names accepted by the `repro` binary.
-pub const EXPERIMENTS: [&str; 21] = [
+pub const EXPERIMENTS: [&str; 22] = [
     "table1",
     "table2",
     "table3",
@@ -43,6 +43,7 @@ pub const EXPERIMENTS: [&str; 21] = [
     "feedback",
     "kgstats",
     "throughput",
+    "pipeline-scaling",
 ];
 
 /// Run one experiment by name against a prepared context.
@@ -69,8 +70,26 @@ pub fn run_experiment(ctx: &Ctx, name: &str) -> Option<String> {
         "kgstats" => kgstats::kgstats(ctx),
         "rewrites" => extensions::rewrites(ctx),
         "feedback" => extensions::feedback_loop(ctx),
+        "pipeline-scaling" => extensions::pipeline_scaling(ctx),
         "ablations" => ablations::ablations(ctx, 0xAB),
         _ => return None,
     };
     Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a full tiny-scale context and runs the thread-scaling sweep
+    /// (four complete pipeline runs) — slow, so opt-in:
+    /// `cargo test -q --release -- --ignored`.
+    #[test]
+    #[ignore = "slow: full context build plus four pipeline runs"]
+    fn pipeline_scaling_experiment_runs() {
+        let ctx = build_context(Scale::Tiny, 0xC05);
+        let out = run_experiment(&ctx, "pipeline-scaling").expect("known experiment");
+        assert!(out.contains("speedup"), "missing header:\n{out}");
+        assert!(out.contains("1.00x"), "missing sequential baseline:\n{out}");
+    }
 }

@@ -206,7 +206,7 @@ pub fn annotate(
                 ((-u.ln()) / w.max(1e-12), i)
             })
             .collect();
-        keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
         for &(_, idx) in keyed.iter().take(cfg.budget_per_behavior) {
             let f = &filtered[idx];
             let parsed = f.parsed.as_ref().expect("kept candidates are parsed");

@@ -137,7 +137,7 @@ pub struct Critic {
 }
 
 /// Training metrics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CriticReport {
     /// Examples with a plausibility label.
     pub n_plausible: usize,
@@ -336,7 +336,7 @@ pub fn auc(scored: &[(f32, bool)]) -> f64 {
     let mut pos = 0u64;
     let mut neg = 0u64;
     let mut sorted: Vec<(f32, bool)> = scored.to_vec();
-    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut rank_sum = 0.0f64;
     for (rank, (_, label)) in sorted.iter().enumerate() {
         if *label {

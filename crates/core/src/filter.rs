@@ -16,6 +16,7 @@
 //! similarity is above a threshold (Eq. 1): those are "essentially
 //! paraphrases of original user behavior contexts".
 
+use cosmo_exec::WorkerPool;
 use cosmo_synth::World;
 use cosmo_teacher::{parse_candidate, BehaviorRef, Candidate, Parsed};
 use cosmo_text::distance::edit_distance_bounded;
@@ -130,6 +131,19 @@ impl CoarseFilter {
     /// Run both filter stages over a candidate batch. Generic detection is
     /// corpus-level (frequency + head entropy), hence the batch interface.
     pub fn filter(&self, world: &World, candidates: Vec<Candidate>) -> Vec<FilteredCandidate> {
+        self.filter_with(world, candidates, &WorkerPool::new(1))
+    }
+
+    /// [`CoarseFilter::filter`], fanning the per-candidate decisions out
+    /// over a worker pool. Pass 1 (corpus-level generic-tail statistics)
+    /// stays sequential; pass 2 decisions are independent per candidate, so
+    /// the index-ordered map yields output identical to the sequential run.
+    pub fn filter_with(
+        &self,
+        world: &World,
+        candidates: Vec<Candidate>,
+        pool: &WorkerPool,
+    ) -> Vec<FilteredCandidate> {
         // Pass 1: parse everything and build tail → head-count stats.
         let parses: Vec<Option<Parsed>> =
             candidates.iter().map(|c| parse_candidate(&c.raw)).collect();
@@ -171,17 +185,19 @@ impl CoarseFilter {
             .map(|(t, _)| t.to_string())
             .collect();
 
-        // Pass 2: per-candidate decisions.
-        candidates
+        // Pass 2: per-candidate decisions, fanned out over the pool.
+        let pairs: Vec<(Candidate, Option<Parsed>)> = candidates.into_iter().zip(parses).collect();
+        let decisions: Vec<FilterDecision> =
+            pool.map(&pairs, pool.chunk_for(pairs.len()), |_, (c, p)| {
+                self.decide(world, c, p.as_ref(), &generic_tails)
+            });
+        pairs
             .into_iter()
-            .zip(parses)
-            .map(|(candidate, parsed)| {
-                let decision = self.decide(world, &candidate, parsed.as_ref(), &generic_tails);
-                FilteredCandidate {
-                    candidate,
-                    parsed,
-                    decision,
-                }
+            .zip(decisions)
+            .map(|((candidate, parsed), decision)| FilteredCandidate {
+                candidate,
+                parsed,
+                decision,
             })
             .collect()
     }
@@ -251,7 +267,7 @@ impl CoarseFilter {
 
 /// Filter-quality report against the hidden provenance labels
 /// (**evaluation only** — the filter itself never sees provenance).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FilterReport {
     /// Candidates in.
     pub total: usize,

@@ -9,14 +9,23 @@
 //! serving/navigation, the annotations for instruction-data construction
 //! (§3.4), the kept candidates with critic scores, and a stage-by-stage
 //! report used by the repro binaries and ablations.
+//!
+//! The expensive stages — teacher generation, per-candidate filter
+//! decisions, feature extraction, critic scoring, and edge
+//! materialisation — fan out over a [`cosmo_exec::WorkerPool`]. Every
+//! fan-out merges index-ordered and every teacher task owns an RNG stream
+//! derived from its `(behaviour, generation)` coordinates, so the output is
+//! identical at any thread count; `threads = 1` runs inline on the caller
+//! thread with no worker threads at all.
 
 use crate::annotation::{annotate, AnnotationConfig, AnnotationOutput};
 use crate::critic::{features, Critic, CriticConfig, CriticExample, CriticReport};
 use crate::filter::{CoarseFilter, FilterConfig, FilterReport, FilteredCandidate};
 use crate::sampling::{sample_behaviors, SamplingConfig, SamplingReport};
-use cosmo_kg::{BehaviorKind, Edge, KgStats, KnowledgeGraph, NodeKind};
+use cosmo_exec::WorkerPool;
+use cosmo_kg::{BehaviorKind, Edge, KgStats, KnowledgeGraph, NodeKind, Relation};
 use cosmo_synth::{BehaviorConfig, BehaviorLog, SpecificityService, World, WorldConfig};
-use cosmo_teacher::{BehaviorRef, Teacher, TeacherConfig};
+use cosmo_teacher::{BehaviorRef, Candidate, CostMeter, Teacher, TeacherConfig};
 use serde::{Deserialize, Serialize};
 
 /// Full pipeline configuration.
@@ -42,6 +51,11 @@ pub struct PipelineConfig {
     pub gens_per_cobuy: usize,
     /// Keep candidates with critic plausibility above this (§3.3.2: 0.5).
     pub plausibility_threshold: f32,
+    /// Worker threads for the parallel stages. `0` = auto-detect the
+    /// available parallelism; `1` = run everything inline on the caller
+    /// thread. Any value produces byte-identical output.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -57,11 +71,21 @@ impl Default for PipelineConfig {
             gens_per_searchbuy: 4,
             gens_per_cobuy: 6,
             plausibility_threshold: 0.5,
+            threads: 0,
         }
     }
 }
 
 impl PipelineConfig {
+    /// Resolve the `threads` knob: `0` means every available core.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            WorkerPool::available_parallelism()
+        } else {
+            self.threads
+        }
+    }
+
     /// A fast configuration for tests.
     pub fn tiny(seed: u64) -> Self {
         PipelineConfig {
@@ -83,7 +107,7 @@ impl PipelineConfig {
 }
 
 /// Per-stage counters of one pipeline run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PipelineReport {
     /// Behaviour-sampling funnel.
     pub sampling: SamplingReport,
@@ -137,31 +161,75 @@ pub fn run(cfg: PipelineConfig) -> PipelineOutput {
     run_over(world, log, &cfg)
 }
 
+/// Everything needed to add one admitted candidate's edges to the KG,
+/// computed in parallel and merged sequentially in candidate order.
+struct EdgeSpec {
+    /// Head nodes in intern order.
+    heads: Vec<(NodeKind, String)>,
+    /// Relation type.
+    relation: Relation,
+    /// Canonicalised tail text.
+    tail: String,
+    /// Source behaviour kind.
+    behavior: BehaviorKind,
+    /// Product category index.
+    category: u8,
+    /// Critic plausibility.
+    plausibility: f32,
+    /// Critic typicality.
+    typicality: f32,
+}
+
 /// Run the pipeline over a pre-built world and log (used by ablations that
 /// share the same world across configurations).
 pub fn run_over(world: World, log: BehaviorLog, cfg: &PipelineConfig) -> PipelineOutput {
     let mut report = PipelineReport::default();
     let specificity = SpecificityService::new(cfg.world.seed ^ 0x5FEC, 0.05);
+    let pool = WorkerPool::new(cfg.effective_threads());
 
     // §3.2.1 sampling
     let sampled = sample_behaviors(&world, &log, &specificity, &cfg.sampling);
     report.sampling = sampled.report.clone();
 
-    // §3.2.2 generation
-    let mut teacher = Teacher::new(&world, cfg.teacher.clone());
-    let mut candidates = Vec::new();
-    for &(q, p) in &sampled.search_buys {
-        for _ in 0..cfg.gens_per_searchbuy {
-            candidates.push(teacher.generate_search_buy(q, p));
+    // §3.2.2 generation. Each (behaviour, generation) pair is one task
+    // whose RNG stream is derived from its coordinates, not from a shared
+    // sequential stream — so the fan-out cannot change what is generated.
+    let mut tasks: Vec<(u64, u64, BehaviorRef)> = Vec::new();
+    for (bi, &(q, p)) in sampled.search_buys.iter().enumerate() {
+        for gi in 0..cfg.gens_per_searchbuy {
+            tasks.push((bi as u64, gi as u64, BehaviorRef::SearchBuy(q, p)));
         }
     }
-    for &(p1, p2) in &sampled.cobuys {
-        for _ in 0..cfg.gens_per_cobuy {
-            candidates.push(teacher.generate_cobuy(p1, p2));
+    let cobuy_base = sampled.search_buys.len() as u64;
+    for (bi, &(p1, p2)) in sampled.cobuys.iter().enumerate() {
+        for gi in 0..cfg.gens_per_cobuy {
+            tasks.push((
+                cobuy_base + bi as u64,
+                gi as u64,
+                BehaviorRef::CoBuy(p1, p2),
+            ));
         }
+    }
+    let generated: Vec<(Candidate, CostMeter)> = pool.map(
+        &tasks,
+        pool.chunk_for(tasks.len()),
+        |_, &(bi, gi, behavior)| {
+            let mut teacher = Teacher::for_task(&world, cfg.teacher.clone(), bi, gi);
+            let candidate = match behavior {
+                BehaviorRef::SearchBuy(q, p) => teacher.generate_search_buy(q, p),
+                BehaviorRef::CoBuy(p1, p2) => teacher.generate_cobuy(p1, p2),
+            };
+            (candidate, teacher.meter)
+        },
+    );
+    let mut meter = CostMeter::new(cfg.teacher.model);
+    let mut candidates = Vec::with_capacity(generated.len());
+    for (c, m) in generated {
+        meter.merge(&m);
+        candidates.push(c);
     }
     report.candidates = candidates.len();
-    report.teacher_flops = teacher.meter.total_flops();
+    report.teacher_flops = meter.total_flops();
 
     // Table 3: behaviour-pair counts per category
     let mut stats = KgStats::new();
@@ -172,9 +240,9 @@ pub fn run_over(world: World, log: BehaviorLog, cfg: &PipelineConfig) -> Pipelin
         stats.add_behavior_pairs(BehaviorKind::CoBuy, world.ptype_of(p1).domain.0, 1);
     }
 
-    // §3.3.1 coarse filtering
+    // §3.3.1 coarse filtering (per-candidate decisions fan out)
     let filter = CoarseFilter::fit(&cosmo_synth::corpus(&world), cfg.filter.clone());
-    let filtered = filter.filter(&world, candidates);
+    let filtered = filter.filter_with(&world, candidates, &pool);
     report.kept_after_filter = filtered.iter().filter(|f| f.decision.kept()).count();
     report.filter = FilterReport::evaluate(&filtered);
 
@@ -188,12 +256,13 @@ pub fn run_over(world: World, log: BehaviorLog, cfg: &PipelineConfig) -> Pipelin
         stats.add_annotations(c.behavior.kind(), c.domain.0, 1);
     }
 
-    // critic training
+    // critic training (example construction fans out; training itself is
+    // sequential SGD and stays on the caller thread)
     let mut critic = Critic::new(cfg.critic.clone());
-    let examples: Vec<CriticExample> = annotation
-        .annotations
-        .iter()
-        .map(|a| {
+    let examples: Vec<CriticExample> = pool.map(
+        &annotation.annotations,
+        pool.chunk_for(annotation.annotations.len()),
+        |_, a| {
             let f = &filtered[a.candidate_idx];
             let tail = f.parsed.as_ref().map(|p| p.tail.as_str()).unwrap_or("");
             CriticExample {
@@ -201,8 +270,8 @@ pub fn run_over(world: World, log: BehaviorLog, cfg: &PipelineConfig) -> Pipelin
                 plausible: a.answers.plausible.as_bool(),
                 typical: a.answers.typical.as_bool(),
             }
-        })
-        .collect();
+        },
+    );
     report.critic = critic.train(&examples);
 
     // critic scoring of every kept candidate
@@ -212,74 +281,79 @@ pub fn run_over(world: World, log: BehaviorLog, cfg: &PipelineConfig) -> Pipelin
         .filter(|(_, f)| f.decision.kept())
         .map(|(i, _)| i)
         .collect();
-    let feats: Vec<Vec<usize>> = kept_idx
-        .iter()
-        .map(|&i| {
-            let f = &filtered[i];
-            let tail = f.parsed.as_ref().map(|p| p.tail.as_str()).unwrap_or("");
-            features(&world, &f.candidate, tail, cfg.critic.buckets)
-        })
-        .collect();
+    let feats: Vec<Vec<usize>> = pool.map(&kept_idx, pool.chunk_for(kept_idx.len()), |_, &i| {
+        let f = &filtered[i];
+        let tail = f.parsed.as_ref().map(|p| p.tail.as_str()).unwrap_or("");
+        features(&world, &f.candidate, tail, cfg.critic.buckets)
+    });
+    // score in fixed chunks to bound tape size; chunks are independent
+    // forward passes, so they fan out too, and the merge is index-ordered
+    const SCORE_CHUNK: usize = 512;
+    let starts: Vec<usize> = (0..feats.len()).step_by(SCORE_CHUNK).collect();
+    let chunk_scores: Vec<Vec<(f32, f32)>> = pool.map(&starts, 1, |_, &start| {
+        let end = (start + SCORE_CHUNK).min(feats.len());
+        critic.score_batch(&feats[start..end])
+    });
     let mut scores: Vec<Option<(f32, f32)>> = vec![None; filtered.len()];
-    // score in chunks to bound tape size
-    let mut offset = 0;
-    for chunk in feats.chunks(512) {
-        for (j, s) in critic.score_batch(chunk).into_iter().enumerate() {
-            scores[kept_idx[offset + j]] = Some(s);
+    for (&start, chunk) in starts.iter().zip(chunk_scores) {
+        for (j, s) in chunk.into_iter().enumerate() {
+            scores[kept_idx[start + j]] = Some(s);
         }
-        offset += chunk.len();
     }
 
-    // §3.3.2: keep plausibility > threshold, build the KG
+    // §3.3.2: keep plausibility > threshold, build the KG. The string
+    // materialisation per admitted candidate fans out; the merge interns
+    // nodes sequentially in candidate order (tail first, then heads) so
+    // node-id assignment matches the sequential run exactly.
+    let specs: Vec<Option<EdgeSpec>> = pool.map(
+        &filtered,
+        pool.chunk_for(filtered.len()),
+        |i, f: &FilteredCandidate| -> Option<EdgeSpec> {
+            let (plausibility, typicality) = scores[i]?;
+            if plausibility <= cfg.plausibility_threshold {
+                return None;
+            }
+            let parsed = f.parsed.as_ref()?;
+            if parsed.tail.is_empty() {
+                return None;
+            }
+            let heads = match f.candidate.behavior {
+                BehaviorRef::SearchBuy(q, p) => vec![
+                    (NodeKind::Query, world.query(q).text.clone()),
+                    (NodeKind::Product, world.product(p).title.clone()),
+                ],
+                BehaviorRef::CoBuy(p1, p2) => vec![
+                    (NodeKind::Product, world.product(p1).title.clone()),
+                    (NodeKind::Product, world.product(p2).title.clone()),
+                ],
+            };
+            Some(EdgeSpec {
+                heads,
+                relation: f.candidate.relation,
+                tail: parsed.tail.clone(),
+                behavior: f.candidate.behavior.kind(),
+                category: f.candidate.domain.0,
+                plausibility,
+                typicality,
+            })
+        },
+    );
     let mut kg = KnowledgeGraph::new();
-    for (i, f) in filtered.iter().enumerate() {
-        let Some((plaus, typ)) = scores[i] else {
-            continue;
-        };
-        if plaus <= cfg.plausibility_threshold {
-            continue;
-        }
-        let Some(parsed) = &f.parsed else { continue };
-        if parsed.tail.is_empty() {
-            continue;
-        }
-        let tail_node = kg.intern_node(NodeKind::Intention, &parsed.tail);
-        let relation = f.candidate.relation;
-        let category = f.candidate.domain.0;
-        match f.candidate.behavior {
-            BehaviorRef::SearchBuy(q, p) => {
-                let qn = kg.intern_node(NodeKind::Query, &world.query(q).text);
-                let pn = kg.intern_node(NodeKind::Product, &world.product(p).title);
-                for head in [qn, pn] {
-                    kg.add_edge(Edge {
-                        head,
-                        relation,
-                        tail: tail_node,
-                        behavior: BehaviorKind::SearchBuy,
-                        category,
-                        plausibility: plaus,
-                        typicality: typ,
-                        support: 1,
-                    });
-                    report.edges_admitted += 1;
-                }
-            }
-            BehaviorRef::CoBuy(p1, p2) => {
-                for p in [p1, p2] {
-                    let pn = kg.intern_node(NodeKind::Product, &world.product(p).title);
-                    kg.add_edge(Edge {
-                        head: pn,
-                        relation,
-                        tail: tail_node,
-                        behavior: BehaviorKind::CoBuy,
-                        category,
-                        plausibility: plaus,
-                        typicality: typ,
-                        support: 1,
-                    });
-                    report.edges_admitted += 1;
-                }
-            }
+    for spec in specs.into_iter().flatten() {
+        let tail_node = kg.intern_node(NodeKind::Intention, &spec.tail);
+        for (kind, text) in &spec.heads {
+            let head = kg.intern_node(*kind, text);
+            kg.add_edge(Edge {
+                head,
+                relation: spec.relation,
+                tail: tail_node,
+                behavior: spec.behavior,
+                category: spec.category,
+                plausibility: spec.plausibility,
+                typicality: spec.typicality,
+                support: 1,
+            });
+            report.edges_admitted += 1;
         }
     }
     stats.count_edges(&kg);
@@ -359,6 +433,24 @@ mod tests {
         let (_, _, cb_edges) = out.stats.totals(BehaviorKind::CoBuy);
         let (_, _, sb_edges) = out.stats.totals(BehaviorKind::SearchBuy);
         assert_eq!((cb_edges + sb_edges) as usize, out.kg.num_edges());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let mut sequential = PipelineConfig::tiny(61);
+        sequential.threads = 1;
+        let mut parallel = PipelineConfig::tiny(61);
+        parallel.threads = 4;
+        let a = run(sequential);
+        let b = run(parallel);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.kg.num_nodes(), b.kg.num_nodes());
+        assert_eq!(a.kg.num_edges(), b.kg.num_edges());
+        assert_eq!(a.scores, b.scores);
+        for (fa, fb) in a.filtered.iter().zip(&b.filtered) {
+            assert_eq!(fa.candidate.raw, fb.candidate.raw);
+            assert_eq!(fa.decision, fb.decision);
+        }
     }
 
     #[test]

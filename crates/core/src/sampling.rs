@@ -67,7 +67,7 @@ pub struct SampledBehaviors {
 }
 
 /// Funnel counts per stage.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SamplingReport {
     /// Distinct co-buy pairs in the raw log.
     pub cobuy_pairs_in: usize,

@@ -119,7 +119,7 @@ pub fn top_intents_global(kg: &KnowledgeGraph, k: usize) -> Vec<(NodeId, f64)> {
         .filter(|(_, n)| n.kind == NodeKind::Intention)
         .map(|(id, _)| (id, rank[id.0 as usize]))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     scored.truncate(k);
     scored
 }
@@ -173,7 +173,7 @@ mod tests {
         let max_idx = rank
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(max_idx, hub.0 as usize, "hub must dominate");

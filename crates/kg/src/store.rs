@@ -201,9 +201,7 @@ impl KnowledgeGraph {
         edges.sort_by(|a, b| {
             let sa = a.typicality * (1.0 + a.support as f32).ln();
             let sb = b.typicality * (1.0 + b.support as f32).ln();
-            sb.partial_cmp(&sa)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.tail.cmp(&b.tail))
+            sb.total_cmp(&sa).then(a.tail.cmp(&b.tail))
         });
         edges.truncate(k);
         edges
@@ -348,6 +346,37 @@ mod tests {
         assert_eq!(top.len(), 2);
         assert_eq!(kg.node(top[0].tail).text, "keep warm");
         assert_eq!(kg.node(top[1].tail).text, "gift");
+    }
+
+    #[test]
+    fn top_intents_survives_nan_typicality() {
+        // A NaN score must neither panic the sort nor destabilise the
+        // ranking of the finite-scored edges.
+        let mut kg = KnowledgeGraph::new();
+        let h = kg.intern_node(NodeKind::Query, "winter clothes");
+        for (i, (tail, ty)) in [("keep warm", 0.9f32), ("broken", f32::NAN), ("gift", 0.5)]
+            .iter()
+            .enumerate()
+        {
+            let t = kg.intern_node(NodeKind::Intention, tail);
+            kg.add_edge(Edge {
+                head: h,
+                relation: Relation::CapableOf,
+                tail: t,
+                behavior: BehaviorKind::SearchBuy,
+                category: i as u8,
+                plausibility: 0.9,
+                typicality: *ty,
+                support: 1,
+            });
+        }
+        let top = kg.top_intents(h, 3);
+        assert_eq!(top.len(), 3);
+        // total_cmp orders NaN above every finite float, so the NaN edge
+        // ranks first under the descending sort — deterministically.
+        assert_eq!(kg.node(top[0].tail).text, "broken");
+        assert_eq!(kg.node(top[1].tail).text, "keep warm");
+        assert_eq!(kg.node(top[2].tail).text, "gift");
     }
 
     #[test]

@@ -333,7 +333,7 @@ impl CosmoLm {
             })
             .map(|(i, &s)| (i, s))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored
             .into_iter()
             .take(k)

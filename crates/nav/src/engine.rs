@@ -99,8 +99,7 @@ impl NavigationEngine {
         let mut edges: Vec<_> = self.kg.heads_of(node).collect();
         edges.sort_by(|a, b| {
             (b.typicality * b.support as f32)
-                .partial_cmp(&(a.typicality * a.support as f32))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&(a.typicality * a.support as f32))
                 .then(a.head.cmp(&b.head))
         });
         for e in edges {

@@ -43,17 +43,19 @@ pub fn pair_knowledge(kg: &KnowledgeGraph, lm: &CosmoLm, query: &str, product: &
                 .collect();
             // USED_WITH tails carry the complement structure; surface the
             // best two even when they rank below the generic top-4
-            let mut with: Vec<_> = kg
+            let mut with: Vec<(usize, f32, String)> = kg
                 .tails_of_rel(n, Relation::UsedWith)
-                .map(|e| {
+                .enumerate()
+                .map(|(i, e)| {
                     (
+                        i,
                         e.typicality * (1.0 + e.support as f32).ln(),
                         kg.node(e.tail).text.clone(),
                     )
                 })
                 .collect();
-            with.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-            for (_, t) in with.into_iter().take(2) {
+            with.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            for (_, _, t) in with.into_iter().take(2) {
                 if !tails.iter().any(|(_, x)| x == &t) {
                     tails.push((Some(Relation::UsedWith), t));
                 }

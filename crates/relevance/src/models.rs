@@ -269,7 +269,7 @@ impl RelevanceModel {
                 let argmax = row
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .unwrap()
                     .0;
                 out.push(EsciLabel::ALL[argmax]);

@@ -7,10 +7,11 @@
 //!   others for batch processing"; the request path is cache-only and
 //!   never blocks on model inference;
 //! * **Batch processing and cache update** — pending queries are drained
-//!   from the bounded queue and dispatched to a **persistent worker pool**
-//!   (spawned once at build time, fed over a channel — no per-cycle thread
-//!   spawning), formatted into structured features by the Feature Store,
-//!   and installed into the daily cache layer. A panicking worker chunk
+//!   from the bounded queue and dispatched to the shared persistent
+//!   worker pool ([`cosmo_exec::WorkerPool`], spawned once at build time
+//!   and fed over a bounded channel — no per-cycle thread spawning),
+//!   formatted into structured features by the Feature Store, and
+//!   installed into the daily cache layer. A panicking worker chunk
 //!   degrades the cycle (re-queued + surfaced in metrics) instead of
 //!   killing the caller;
 //! * **Daily refresh** — the model ingests new behaviour logs (simulated
@@ -34,14 +35,12 @@ use crate::cache::{AdmissionPolicy, CacheConfig, CacheLayer, CacheStore};
 use crate::error::ServingError;
 use crate::features::{compute_features, FeatureStore, StructuredFeatures};
 pub use crate::histogram::LatencyRecorder;
+use cosmo_exec::{ChunkResult, WorkerPool};
 use cosmo_kg::KnowledgeGraph;
 use cosmo_lm::CosmoLm;
-use crossbeam::channel::{self, Sender};
 use parking_lot::Mutex;
-use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Serving configuration: worker pool, batching, cache sizing, and
@@ -152,83 +151,12 @@ pub struct SystemSnapshot {
     pub model_version: u64,
 }
 
-/// Result of one worker chunk.
-enum ChunkOutcome {
-    Computed(Vec<StructuredFeatures>),
-    Panicked(Vec<String>),
-}
-
-/// One unit of work for the pool: a chunk of queries plus the cycle's
-/// reply channel.
-struct BatchJob {
-    queries: Vec<String>,
-    reply: Sender<ChunkOutcome>,
-}
-
 /// Test hook: a query with this text makes a worker panic mid-chunk.
 #[cfg(test)]
 pub(crate) const PANIC_QUERY: &str = "__cosmo_injected_worker_panic__";
 
-/// Persistent batch-worker pool: threads are spawned once and fed jobs
-/// over a channel; dropping the pool closes the channel and joins them.
-struct WorkerPool {
-    tx: Option<Sender<BatchJob>>,
-    handles: Vec<JoinHandle<()>>,
-}
-
-impl WorkerPool {
-    fn spawn(workers: usize, kg: Arc<KnowledgeGraph>, lm: Arc<CosmoLm>) -> Self {
-        let (tx, rx) = channel::unbounded::<BatchJob>();
-        let handles = (0..workers.max(1))
-            .map(|_| {
-                let rx = rx.clone();
-                let kg = kg.clone();
-                let lm = lm.clone();
-                std::thread::spawn(move || {
-                    while let Ok(BatchJob { queries, reply }) = rx.recv() {
-                        let computed = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                            queries
-                                .iter()
-                                .map(|q| {
-                                    #[cfg(test)]
-                                    assert!(q != PANIC_QUERY, "injected worker panic");
-                                    compute_features(q, &kg, &lm)
-                                })
-                                .collect::<Vec<_>>()
-                        }));
-                        let outcome = match computed {
-                            Ok(feats) => ChunkOutcome::Computed(feats),
-                            Err(_) => ChunkOutcome::Panicked(queries),
-                        };
-                        let _ = reply.send(outcome);
-                    }
-                })
-            })
-            .collect();
-        WorkerPool {
-            tx: Some(tx),
-            handles,
-        }
-    }
-
-    fn submit(&self, job: BatchJob) {
-        if let Some(tx) = &self.tx {
-            let _ = tx.send(job);
-        }
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        self.tx.take(); // closes the channel; workers drain and exit
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-/// Builder for [`ServingSystem`] — replaces the old 4-positional-arg
-/// constructor with named, validated configuration.
+/// Builder for [`ServingSystem`]: named, validated configuration — the
+/// only way to construct a system.
 #[derive(Default)]
 pub struct ServingSystemBuilder {
     kg: Option<Arc<KnowledgeGraph>>,
@@ -324,12 +252,14 @@ impl ServingSystemBuilder {
             features.put(f.clone());
         }
         let cache = CacheStore::new(preloaded, self.cfg.cache_config());
-        let pool = WorkerPool::spawn(self.cfg.workers, kg, lm);
+        let pool = WorkerPool::new(self.cfg.workers);
         Ok(ServingSystem {
             cache,
             features,
             latency: LatencyRecorder::default(),
             cfg: self.cfg,
+            kg,
+            lm,
             pool,
             batch_failed_chunks: AtomicU64::new(0),
             model_version: AtomicU64::new(1),
@@ -347,6 +277,8 @@ pub struct ServingSystem {
     /// Request-path latency histogram.
     pub latency: LatencyRecorder,
     cfg: ServingConfig,
+    kg: Arc<KnowledgeGraph>,
+    lm: Arc<CosmoLm>,
     pool: WorkerPool,
     batch_failed_chunks: AtomicU64,
     model_version: AtomicU64,
@@ -357,25 +289,6 @@ impl ServingSystem {
     /// Start building a serving system.
     pub fn builder() -> ServingSystemBuilder {
         ServingSystemBuilder::default()
-    }
-
-    /// Build the system; `preload` seeds the L1 yearly-frequent layer.
-    ///
-    /// Deprecated positional-argument shim — use [`ServingSystem::builder`].
-    #[deprecated(since = "0.1.0", note = "use ServingSystem::builder()")]
-    pub fn new(
-        kg: Arc<KnowledgeGraph>,
-        lm: Arc<CosmoLm>,
-        preload: &[String],
-        cfg: ServingConfig,
-    ) -> Self {
-        ServingSystem::builder()
-            .kg(kg)
-            .lm(lm)
-            .preload(preload.iter().cloned())
-            .config(cfg)
-            .build()
-            .expect("invalid ServingConfig")
     }
 
     /// The active configuration.
@@ -417,35 +330,29 @@ impl ServingSystem {
             return Ok(0);
         }
         let chunk = queries.len().div_ceil(self.cfg.workers.max(1)).max(1);
-        let (reply_tx, reply_rx) = channel::unbounded::<ChunkOutcome>();
-        let mut jobs = 0usize;
-        for part in queries.chunks(chunk) {
-            self.pool.submit(BatchJob {
-                queries: part.to_vec(),
-                reply: reply_tx.clone(),
-            });
-            jobs += 1;
-        }
-        drop(reply_tx);
+        let outcomes = self.pool.try_map_chunks(&queries, chunk, |_, q| {
+            #[cfg(test)]
+            assert!(q != PANIC_QUERY, "injected worker panic");
+            compute_features(q, &self.kg, &self.lm)
+        });
         let mut installed = 0usize;
         let mut failed_chunks = 0usize;
         let mut requeued = 0usize;
-        for _ in 0..jobs {
-            match reply_rx.recv() {
-                Ok(ChunkOutcome::Computed(feats)) => {
-                    let mut arcs = Vec::with_capacity(feats.len());
-                    for f in feats {
+        for outcome in outcomes {
+            match outcome {
+                ChunkResult::Computed { results, .. } => {
+                    let mut arcs = Vec::with_capacity(results.len());
+                    for f in results {
                         arcs.push(self.features.put(f));
                     }
                     installed += arcs.len();
                     self.cache.install(arcs);
                 }
-                Ok(ChunkOutcome::Panicked(qs)) => {
+                ChunkResult::Panicked { start, len } => {
                     failed_chunks += 1;
-                    requeued += self.cache.requeue(&qs);
+                    requeued += self.cache.requeue(&queries[start..start + len]);
                     self.batch_failed_chunks.fetch_add(1, Ordering::Relaxed);
                 }
-                Err(_) => break, // pool shut down mid-cycle
             }
         }
         if failed_chunks > 0 {
@@ -615,14 +522,6 @@ mod tests {
             ServingSystem::builder().kg(kg).build().err(),
             Some(ServingError::MissingModel)
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_shim_still_works() {
-        let (kg, lm) = parts();
-        let sys = ServingSystem::new(kg, lm, &["camping".to_string()], ServingConfig::default());
-        assert_eq!(sys.handle_request("camping").layer, Some(CacheLayer::L1));
     }
 
     #[test]

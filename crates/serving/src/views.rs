@@ -67,11 +67,7 @@ pub fn navigation_view(f: &StructuredFeatures, k: usize) -> Vec<String> {
         .iter()
         .map(|(_, tail, score)| (tail.as_str(), *score))
         .collect();
-    ranked.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(b.0))
-    });
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
     let mut out: Vec<String> = Vec::with_capacity(k);
     for (tail, _) in ranked {
         if !out.iter().any(|t| t == tail) {

@@ -46,10 +46,7 @@ impl Cdf {
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let total = *self.cumulative.last().unwrap();
         let x = rng.gen_range(0.0..total);
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&x).unwrap())
-        {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&x)) {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i,
         }

@@ -696,7 +696,7 @@ mod tests {
             .iter()
             .map(|p| w.product(*p).popularity)
             .collect();
-        pops.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        pops.sort_by(|a, b| b.total_cmp(a));
         assert!(
             pops[0] > pops[pops.len() - 1] * 2.0,
             "head should dominate tail"

@@ -90,6 +90,15 @@ impl CostMeter {
         self.calls
     }
 
+    /// Fold another meter's counts into this one (same model assumed).
+    /// Token counts are integers, so the merged totals are independent of
+    /// merge order — parallel pipeline stages rely on that.
+    pub fn merge(&mut self, other: &CostMeter) {
+        self.calls += other.calls;
+        self.prompt_tokens += other.prompt_tokens;
+        self.generated_tokens += other.generated_tokens;
+    }
+
     /// Total simulated FLOPs: `2·P` per processed token.
     pub fn total_flops(&self) -> f64 {
         2.0 * self.model.params() * (self.prompt_tokens + self.generated_tokens) as f64

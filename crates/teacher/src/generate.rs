@@ -182,6 +182,26 @@ impl Default for TeacherConfig {
     }
 }
 
+impl TeacherConfig {
+    /// Deterministic per-candidate seed derived from `(seed, behaviour
+    /// index, generation index)`. Tasks seeded this way are independent of
+    /// generation *order*, which is what lets the pipeline fan candidate
+    /// generation out across threads and still produce byte-identical
+    /// output (see [`Teacher::for_task`]).
+    pub fn task_seed(&self, behavior_idx: u64, gen_idx: u64) -> u64 {
+        let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        h = mix64(h ^ mix64(behavior_idx.wrapping_add(1)));
+        mix64(h ^ mix64(gen_idx.wrapping_add(0x5851_F42D_4C95_7F2D)))
+    }
+}
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// The simulated teacher LLM.
 pub struct Teacher<'w> {
     world: &'w World,
@@ -195,6 +215,28 @@ impl<'w> Teacher<'w> {
     /// Host a simulated model over a world.
     pub fn new(world: &'w World, config: TeacherConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
+        let meter = CostMeter::new(config.model);
+        Teacher {
+            world,
+            config,
+            rng,
+            meter,
+        }
+    }
+
+    /// A teacher seeded for one generation task: candidate `gen_idx` of
+    /// behaviour `behavior_idx`. Unlike [`Teacher::new`] (one shared RNG
+    /// stream, order-dependent), every task draws from its own stream
+    /// derived via [`TeacherConfig::task_seed`], so a batch of tasks can
+    /// be generated in any order — or concurrently — with identical
+    /// results.
+    pub fn for_task(
+        world: &'w World,
+        config: TeacherConfig,
+        behavior_idx: u64,
+        gen_idx: u64,
+    ) -> Self {
+        let rng = StdRng::seed_from_u64(config.task_seed(behavior_idx, gen_idx));
         let meter = CostMeter::new(config.model);
         Teacher {
             world,
@@ -486,6 +528,37 @@ mod tests {
             Teacher::new(&w, TeacherConfig::default()).generate_search_buy(sb.query, sb.product);
         assert_eq!(a.raw, b.raw);
         assert_eq!(a.provenance, b.provenance);
+    }
+
+    #[test]
+    fn task_seeded_generation_is_order_independent() {
+        let (w, log) = setup();
+        let sb = log.search_buys[0];
+        let gen = |bi: u64, gi: u64| {
+            let mut t = Teacher::for_task(&w, TeacherConfig::default(), bi, gi);
+            let c = t.generate_search_buy(sb.query, sb.product);
+            (c.raw, c.provenance, c.relation)
+        };
+        // same task → same candidate, no matter what ran before it
+        let a = gen(3, 1);
+        let _ = gen(0, 0);
+        let _ = gen(7, 2);
+        assert_eq!(a, gen(3, 1));
+        // task coordinates produce distinct, well-mixed seeds
+        let cfg = TeacherConfig::default();
+        let seeds = [
+            cfg.task_seed(0, 0),
+            cfg.task_seed(0, 1),
+            cfg.task_seed(1, 0),
+            cfg.task_seed(1, 1),
+            TeacherConfig {
+                seed: cfg.seed ^ 1,
+                ..cfg.clone()
+            }
+            .task_seed(0, 0),
+        ];
+        let distinct: std::collections::HashSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(distinct.len(), seeds.len(), "seed collision: {seeds:?}");
     }
 
     #[test]

@@ -6,6 +6,13 @@
 # Runs the release build, the full test suite, clippy with warnings
 # denied, and the formatting check. Requires network access (or a warm
 # cargo cache) for the first build.
+#
+# Slow opt-in tests (full repro experiments, scaling sweeps) are marked
+# `#[ignore]` and stay out of this gate; run them explicitly with
+#
+#   cargo test -q --release -- --ignored
+#
+# when touching the pipeline's parallel stages or the bench experiments.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
