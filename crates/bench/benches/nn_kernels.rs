@@ -23,6 +23,32 @@ fn bench_matmul(c: &mut Criterion) {
     g.finish();
 }
 
+/// The blocked kernel against the seed-era scalar loop (`matmul_reference`)
+/// and the 4-thread row-partitioned variant, at the shape the `nn-scaling`
+/// experiment's speedup figure quotes. All three produce identical bytes;
+/// only the wall clock differs.
+fn bench_matmul_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let a = cosmo_nn::init::uniform(256, 256, -1.0, 1.0, &mut rng);
+    let b = cosmo_nn::init::uniform(256, 256, -1.0, 1.0, &mut rng);
+    let pool = cosmo_exec::WorkerPool::new(4);
+    assert_eq!(a.matmul(&b).data(), a.matmul_reference(&b).data());
+    assert_eq!(
+        a.matmul_par(&b, &pool).data(),
+        a.matmul_reference(&b).data()
+    );
+    let mut g = c.benchmark_group("nn/matmul_256");
+    g.throughput(Throughput::Elements((256u64).pow(3)));
+    g.bench_function("reference_scalar", |bch| {
+        bch.iter(|| a.matmul_reference(&b).sum())
+    });
+    g.bench_function("blocked", |bch| bch.iter(|| a.matmul(&b).sum()));
+    g.bench_function("threaded_4", |bch| {
+        bch.iter(|| a.matmul_par(&b, &pool).sum())
+    });
+    g.finish();
+}
+
 fn bench_gru_training_step(c: &mut Criterion) {
     let mut store = ParamStore::new();
     let mut rng = StdRng::seed_from_u64(2);
@@ -73,6 +99,7 @@ fn bench_embedding_bag(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_matmul_kernels,
     bench_gru_training_step,
     bench_embedding_bag
 );

@@ -21,7 +21,7 @@ pub mod tables;
 pub use context::{build_context, Ctx, Scale};
 
 /// All experiment names accepted by the `repro` binary.
-pub const EXPERIMENTS: [&str; 22] = [
+pub const EXPERIMENTS: [&str; 23] = [
     "table1",
     "table2",
     "table3",
@@ -44,6 +44,7 @@ pub const EXPERIMENTS: [&str; 22] = [
     "kgstats",
     "throughput",
     "pipeline-scaling",
+    "nn-scaling",
 ];
 
 /// Run one experiment by name against a prepared context.
@@ -71,6 +72,7 @@ pub fn run_experiment(ctx: &Ctx, name: &str) -> Option<String> {
         "rewrites" => extensions::rewrites(ctx),
         "feedback" => extensions::feedback_loop(ctx),
         "pipeline-scaling" => extensions::pipeline_scaling(ctx),
+        "nn-scaling" => extensions::nn_scaling(ctx),
         "ablations" => ablations::ablations(ctx, 0xAB),
         _ => return None,
     };
@@ -91,5 +93,19 @@ mod tests {
         let out = run_experiment(&ctx, "pipeline-scaling").expect("known experiment");
         assert!(out.contains("speedup"), "missing header:\n{out}");
         assert!(out.contains("1.00x"), "missing sequential baseline:\n{out}");
+    }
+
+    /// The blocked kernel must clearly beat the seed scalar loop at
+    /// 256×256 (the ISSUE target is ≥3×; asserted loosely here so the
+    /// test is robust on throttled CI machines). Timing-dependent, so
+    /// opt-in: `cargo test -q --release -- --ignored`.
+    #[test]
+    #[ignore = "timing-dependent kernel speedup measurement"]
+    fn blocked_matmul_beats_reference_at_256() {
+        let (reference, blocked, _threaded) = extensions::matmul_gflops(256, 256, 256);
+        assert!(
+            blocked >= 2.0 * reference,
+            "blocked kernel only reached {blocked:.2} GFLOP/s vs reference {reference:.2}"
+        );
     }
 }

@@ -15,6 +15,7 @@
 
 use cosmo_nn::layers::{Embedding, Linear};
 use cosmo_nn::opt::Adam;
+use cosmo_nn::train::{shard_ranges, ShardRunner};
 use cosmo_nn::{ParamStore, Tape};
 use cosmo_synth::World;
 use cosmo_teacher::{BehaviorRef, Candidate};
@@ -51,6 +52,20 @@ pub struct CriticConfig {
     pub batch: usize,
     /// Adam learning rate.
     pub lr: f32,
+    /// Worker threads for sharded gradient steps (`0` = all cores,
+    /// `1` = inline). Thread count never changes the result — see
+    /// `cosmo_nn::train`.
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+    /// Shard size for data-parallel gradient steps. `0` keeps each batch
+    /// on a single tape — the exact whole-batch formulation; any other
+    /// value fixes the shard structure independently of `threads`.
+    #[serde(default)]
+    pub microbatch: usize,
+}
+
+fn default_threads() -> usize {
+    1
 }
 
 impl Default for CriticConfig {
@@ -62,6 +77,8 @@ impl Default for CriticConfig {
             epochs: 14,
             batch: 64,
             lr: 0.01,
+            threads: 1,
+            microbatch: 0,
         }
     }
 }
@@ -180,6 +197,7 @@ impl Critic {
         let (train_idx, test_idx) = order.split_at(split.max(1).min(examples.len()));
 
         let mut opt = Adam::new(self.cfg.lr);
+        let mut runner = ShardRunner::new(self.cfg.threads);
         let mut report = CriticReport::default();
         for e in examples {
             report.n_plausible += usize::from(e.plausible.is_some());
@@ -193,7 +211,7 @@ impl Critic {
             let mut steps = 0;
             for chunk in idx.chunks(self.cfg.batch) {
                 let batch: Vec<&CriticExample> = chunk.iter().map(|&i| &examples[i]).collect();
-                let loss = self.train_step(&batch, &mut opt);
+                let loss = self.train_step(&batch, &mut opt, &mut runner);
                 epoch_loss += loss;
                 steps += 1;
             }
@@ -225,52 +243,70 @@ impl Critic {
         report
     }
 
-    fn train_step(&mut self, batch: &[&CriticExample], opt: &mut Adam) -> f32 {
-        // build one flat gather with segment ids
-        let mut ids = Vec::new();
-        let mut segments = Vec::new();
-        for (s, e) in batch.iter().enumerate() {
-            for &f in &e.features {
-                ids.push(f);
-                segments.push(s);
+    /// One sharded gradient step. Each shard records the same graph the
+    /// whole-batch formulation would, scaled by `shard_len / batch_len` so
+    /// shard losses (and gradients) sum to the batch mean; with one shard
+    /// the scale is `1.0` and the step is the exact legacy computation.
+    fn train_step(
+        &mut self,
+        batch: &[&CriticExample],
+        opt: &mut Adam,
+        runner: &mut ShardRunner,
+    ) -> f32 {
+        let shards = shard_ranges(batch.len(), self.cfg.microbatch);
+        let batch_len = batch.len();
+        let Critic {
+            store,
+            emb,
+            head_plausible,
+            head_typical,
+            ..
+        } = self;
+        let losses = runner.grad_step(store, shards.len(), |tape, s, shard_i| {
+            let range = shards[shard_i].clone();
+            let shard = &batch[range.start..range.end];
+            // build one flat gather with segment ids
+            let mut ids = Vec::new();
+            let mut segments = Vec::new();
+            for (seg, e) in shard.iter().enumerate() {
+                for &f in &e.features {
+                    ids.push(f);
+                    segments.push(seg);
+                }
             }
-        }
-        let mut tape = Tape::new();
-        let table = self.emb.table(&mut tape, &self.store);
-        let rows = tape.gather(table, &ids);
-        let pooled = tape.segment_mean(rows, &segments, batch.len());
-        let logit_p = self.head_plausible.forward(&mut tape, &self.store, pooled);
-        let logit_t = self.head_typical.forward(&mut tape, &self.store, pooled);
+            let table = emb.table(tape, s);
+            let rows = tape.gather(table, &ids);
+            let pooled = tape.segment_mean(rows, &segments, shard.len());
+            let logit_p = head_plausible.forward(tape, s, pooled);
+            let logit_t = head_typical.forward(tape, s, pooled);
 
-        // mask missing labels by zero-weighting: build target vectors with
-        // the predicted value substituted (gradient contribution = 0)
-        let vp = tape.value(logit_p).clone();
-        let vt = tape.value(logit_t).clone();
-        let targets_p: Vec<f32> = batch
-            .iter()
-            .enumerate()
-            .map(|(i, e)| match e.plausible {
-                Some(b) => f32::from(b),
-                None => sigmoid(vp.get(i, 0)),
-            })
-            .collect();
-        let targets_t: Vec<f32> = batch
-            .iter()
-            .enumerate()
-            .map(|(i, e)| match e.typical {
-                Some(b) => f32::from(b),
-                None => sigmoid(vt.get(i, 0)),
-            })
-            .collect();
-        let loss_p = tape.bce_with_logits(logit_p, &targets_p);
-        let loss_t = tape.bce_with_logits(logit_t, &targets_t);
-        let loss = tape.add(loss_p, loss_t);
-        let out = tape.value(loss).item();
-        tape.backward(loss);
-        self.store.zero_grads();
-        tape.accumulate_param_grads(&mut self.store);
-        opt.step(&mut self.store);
-        out
+            // mask missing labels by zero-weighting: build target vectors
+            // with the predicted value substituted (gradient = 0)
+            let vp = tape.value(logit_p);
+            let targets_p: Vec<f32> = shard
+                .iter()
+                .enumerate()
+                .map(|(i, e)| match e.plausible {
+                    Some(b) => f32::from(b),
+                    None => sigmoid(vp.get(i, 0)),
+                })
+                .collect();
+            let vt = tape.value(logit_t);
+            let targets_t: Vec<f32> = shard
+                .iter()
+                .enumerate()
+                .map(|(i, e)| match e.typical {
+                    Some(b) => f32::from(b),
+                    None => sigmoid(vt.get(i, 0)),
+                })
+                .collect();
+            let loss_p = tape.bce_with_logits(logit_p, &targets_p);
+            let loss_t = tape.bce_with_logits(logit_t, &targets_t);
+            let loss = tape.add(loss_p, loss_t);
+            tape.scale(loss, range.len() as f32 / batch_len as f32)
+        });
+        opt.step(store);
+        losses.iter().sum()
     }
 
     /// Score features → `(plausibility, typicality)` probabilities.
@@ -448,5 +484,34 @@ mod tests {
         let critic = Critic::new(CriticConfig::default());
         let (p, t) = critic.score(&[]);
         assert!((0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&t));
+    }
+
+    /// Data-parallel training must be a pure function of the data and the
+    /// shard structure: with sharding engaged (`microbatch`), `threads = 1`
+    /// and `threads = 4` must produce byte-identical reports and scores.
+    #[test]
+    fn critic_training_is_thread_count_invariant() {
+        let examples: Vec<CriticExample> = (0..200)
+            .map(|i| CriticExample {
+                features: vec![i % 97, (i * 31) % 4096 + 100, 7 + (i % 2) * 6],
+                plausible: Some(i % 2 == 0),
+                typical: (i % 5 != 0).then_some(i % 3 == 0),
+            })
+            .collect();
+        let train_with = |threads: usize| {
+            let mut critic = Critic::new(CriticConfig {
+                epochs: 2,
+                microbatch: 16,
+                threads,
+                ..Default::default()
+            });
+            let report = critic.train(&examples);
+            let probe = critic.score(&[7, 13, 150]);
+            (report, probe)
+        };
+        let (r1, p1) = train_with(1);
+        let (r4, p4) = train_with(4);
+        assert_eq!(r1, r4, "critic reports diverged across thread counts");
+        assert_eq!(p1, p4, "critic scores diverged across thread counts");
     }
 }

@@ -23,6 +23,7 @@ use crate::instruction::{Instruction, TaskType};
 use cosmo_kg::Relation;
 use cosmo_nn::layers::{Embedding, Linear};
 use cosmo_nn::opt::Adam;
+use cosmo_nn::train::{shard_ranges, ShardRunner};
 use cosmo_nn::{ParamStore, Tape};
 use cosmo_text::hash::hash_str_ns;
 use cosmo_text::{tokenize, FxHashMap};
@@ -49,6 +50,18 @@ pub struct StudentConfig {
     pub batch: usize,
     /// Adam learning rate.
     pub lr: f32,
+    /// Worker threads for sharded gradient steps (`0` = all cores,
+    /// `1` = inline). Never changes the result — see `cosmo_nn::train`.
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+    /// Shard size for data-parallel gradient steps; `0` keeps each batch
+    /// on a single tape (the exact whole-batch formulation).
+    #[serde(default)]
+    pub microbatch: usize,
+}
+
+fn default_threads() -> usize {
+    1
 }
 
 impl Default for StudentConfig {
@@ -60,12 +73,14 @@ impl Default for StudentConfig {
             epochs: 12,
             batch: 64,
             lr: 0.01,
+            threads: 1,
+            microbatch: 0,
         }
     }
 }
 
 /// Training/eval metrics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StudentReport {
     /// Generation instances trained on.
     pub n_generate: usize,
@@ -151,21 +166,7 @@ impl CosmoLm {
 
     /// Hash an input text into encoder features.
     pub fn features(&self, input: &str) -> Vec<usize> {
-        let toks = tokenize(input);
-        let mut out = Vec::with_capacity(toks.len() * 2);
-        for t in &toks {
-            out.push((hash_str_ns(t, NS_TOK) % self.cfg.buckets as u64) as usize);
-        }
-        for w in toks.windows(2) {
-            out.push(
-                (hash_str_ns(&format!("{} {}", w[0], w[1]), NS_BI) % self.cfg.buckets as u64)
-                    as usize,
-            );
-        }
-        if out.is_empty() {
-            out.push(0);
-        }
-        out
+        hash_features(self.cfg.buckets, input)
     }
 
     /// Instruction-tune on the dataset; last 15% of each task held out.
@@ -197,6 +198,7 @@ impl CosmoLm {
         }
 
         let mut opt = Adam::new(self.cfg.lr);
+        let mut runner = ShardRunner::new(self.cfg.threads);
         for _epoch in 0..self.cfg.epochs {
             train_set.shuffle(&mut rng);
             let mut gen_loss = 0.0f32;
@@ -209,7 +211,7 @@ impl CosmoLm {
                     .filter(|i| i.task == TaskType::Generate)
                     .collect();
                 if !gens.is_empty() {
-                    gen_loss += self.gen_step(&gens, &mut opt);
+                    gen_loss += self.gen_step(&gens, &mut opt, &mut runner);
                     gen_steps += 1;
                 }
                 for slot in 0..4 {
@@ -219,7 +221,7 @@ impl CosmoLm {
                         .filter(|i| head_slot(i.task) == Some(slot) && i.label.is_some())
                         .collect();
                     if !preds.is_empty() {
-                        self.predict_step(slot, &preds, &mut opt);
+                        self.predict_step(slot, &preds, &mut opt, &mut runner);
                     }
                 }
             }
@@ -266,49 +268,71 @@ impl CosmoLm {
     }
 
     fn encode_batch(&self, tape: &mut Tape, inputs: &[&str]) -> cosmo_nn::Var {
-        let mut ids = Vec::new();
-        let mut segments = Vec::new();
-        for (s, input) in inputs.iter().enumerate() {
-            for f in self.features(input) {
-                ids.push(f);
-                segments.push(s);
-            }
-        }
-        let table = self.enc.table(tape, &self.store);
-        let rows = tape.gather(table, &ids);
-        tape.segment_mean(rows, &segments, inputs.len())
+        encode_inputs(tape, &self.store, &self.enc, self.cfg.buckets, inputs)
     }
 
-    fn gen_step(&mut self, batch: &[&Instruction], opt: &mut Adam) -> f32 {
-        let inputs: Vec<&str> = batch.iter().map(|i| i.input.as_str()).collect();
-        let targets: Vec<usize> = batch
-            .iter()
-            .map(|i| self.tail_index[i.tail.as_ref().unwrap()])
-            .collect();
-        let mut tape = Tape::new();
-        let enc = self.encode_batch(&mut tape, &inputs);
-        let tails = self.tail_emb.table(&mut tape, &self.store);
-        let logits = tape.matmul_nt(enc, tails);
-        let loss = tape.cross_entropy(logits, &targets);
-        let out = tape.value(loss).item();
-        tape.backward(loss);
-        self.store.zero_grads();
-        tape.accumulate_param_grads(&mut self.store);
-        opt.step(&mut self.store);
-        out
+    /// Sharded generation step; shard losses are scaled by
+    /// `shard_len / batch_len` so they sum to the batch mean (one shard —
+    /// the default — is the exact whole-batch computation).
+    fn gen_step(
+        &mut self,
+        batch: &[&Instruction],
+        opt: &mut Adam,
+        runner: &mut ShardRunner,
+    ) -> f32 {
+        let shards = shard_ranges(batch.len(), self.cfg.microbatch);
+        let batch_len = batch.len();
+        let buckets = self.cfg.buckets;
+        let CosmoLm {
+            store,
+            enc,
+            tail_emb,
+            tail_index,
+            ..
+        } = self;
+        let losses = runner.grad_step(store, shards.len(), |tape, s, shard_i| {
+            let range = shards[shard_i].clone();
+            let shard = &batch[range.start..range.end];
+            let inputs: Vec<&str> = shard.iter().map(|i| i.input.as_str()).collect();
+            let targets: Vec<usize> = shard
+                .iter()
+                .map(|i| tail_index[i.tail.as_ref().unwrap()])
+                .collect();
+            let e = encode_inputs(tape, s, enc, buckets, &inputs);
+            let tails = tail_emb.table(tape, s);
+            let logits = tape.matmul_nt(e, tails);
+            let loss = tape.cross_entropy(logits, &targets);
+            tape.scale(loss, range.len() as f32 / batch_len as f32)
+        });
+        opt.step(store);
+        losses.iter().sum()
     }
 
-    fn predict_step(&mut self, slot: usize, batch: &[&Instruction], opt: &mut Adam) {
-        let inputs: Vec<&str> = batch.iter().map(|i| i.input.as_str()).collect();
-        let labels: Vec<f32> = batch.iter().map(|i| f32::from(i.label.unwrap())).collect();
-        let mut tape = Tape::new();
-        let enc = self.encode_batch(&mut tape, &inputs);
-        let logits = self.heads[slot].forward(&mut tape, &self.store, enc);
-        let loss = tape.bce_with_logits(logits, &labels);
-        tape.backward(loss);
-        self.store.zero_grads();
-        tape.accumulate_param_grads(&mut self.store);
-        opt.step(&mut self.store);
+    fn predict_step(
+        &mut self,
+        slot: usize,
+        batch: &[&Instruction],
+        opt: &mut Adam,
+        runner: &mut ShardRunner,
+    ) {
+        let shards = shard_ranges(batch.len(), self.cfg.microbatch);
+        let batch_len = batch.len();
+        let buckets = self.cfg.buckets;
+        let CosmoLm {
+            store, enc, heads, ..
+        } = self;
+        let head = &heads[slot];
+        runner.grad_step(store, shards.len(), |tape, s, shard_i| {
+            let range = shards[shard_i].clone();
+            let shard = &batch[range.start..range.end];
+            let inputs: Vec<&str> = shard.iter().map(|i| i.input.as_str()).collect();
+            let labels: Vec<f32> = shard.iter().map(|i| f32::from(i.label.unwrap())).collect();
+            let e = encode_inputs(tape, s, enc, buckets, &inputs);
+            let logits = head.forward(tape, s, e);
+            let loss = tape.bce_with_logits(logits, &labels);
+            tape.scale(loss, range.len() as f32 / batch_len as f32)
+        });
+        opt.step(store);
     }
 
     /// Generate the top-`k` tails for an input, optionally constrained to
@@ -426,6 +450,45 @@ impl CosmoLm {
     pub fn num_parameters(&self) -> usize {
         self.store.num_scalars()
     }
+}
+
+/// Hash an input text into encoder features (free function so sharded
+/// training closures can use it while the store is mutably borrowed).
+fn hash_features(buckets: usize, input: &str) -> Vec<usize> {
+    let toks = tokenize(input);
+    let mut out = Vec::with_capacity(toks.len() * 2);
+    for t in &toks {
+        out.push((hash_str_ns(t, NS_TOK) % buckets as u64) as usize);
+    }
+    for w in toks.windows(2) {
+        out.push((hash_str_ns(&format!("{} {}", w[0], w[1]), NS_BI) % buckets as u64) as usize);
+    }
+    if out.is_empty() {
+        out.push(0);
+    }
+    out
+}
+
+/// Encode a batch of inputs on `tape`: hashed-feature embedding bag with
+/// per-input segment means.
+fn encode_inputs(
+    tape: &mut Tape,
+    store: &ParamStore,
+    enc: &Embedding,
+    buckets: usize,
+    inputs: &[&str],
+) -> cosmo_nn::Var {
+    let mut ids = Vec::new();
+    let mut segments = Vec::new();
+    for (s, input) in inputs.iter().enumerate() {
+        for f in hash_features(buckets, input) {
+            ids.push(f);
+            segments.push(s);
+        }
+    }
+    let table = enc.table(tape, store);
+    let rows = tape.gather(table, &ids);
+    tape.segment_mean(rows, &segments, inputs.len())
 }
 
 #[cfg(test)]
@@ -590,5 +653,32 @@ mod tests {
     #[should_panic(expected = "tail vocabulary")]
     fn empty_vocab_rejected() {
         let _ = CosmoLm::new(StudentConfig::default(), vec![]);
+    }
+
+    /// With sharding engaged, thread count must not change anything: the
+    /// trained reports and the generation ranking have to be byte-identical
+    /// at `threads = 1` and `threads = 4`.
+    #[test]
+    fn student_training_is_thread_count_invariant() {
+        let train_with = |threads: usize| {
+            let mut lm = CosmoLm::new(
+                StudentConfig {
+                    epochs: 2,
+                    microbatch: 16,
+                    threads,
+                    ..Default::default()
+                },
+                tails(),
+            );
+            let report = lm.train(&toy_instructions());
+            let gen = lm.generate("user searched camping item fresh", None, 3);
+            let pred = lm.predict(TaskType::Plausibility, "is it plausible");
+            (report, gen, pred)
+        };
+        let (r1, g1, p1) = train_with(1);
+        let (r4, g4, p4) = train_with(4);
+        assert_eq!(r1, r4, "student reports diverged across thread counts");
+        assert_eq!(g1, g4, "generation diverged across thread counts");
+        assert_eq!(p1, p4, "prediction diverged across thread counts");
     }
 }

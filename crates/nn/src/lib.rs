@@ -41,7 +41,9 @@ pub mod opt;
 pub mod params;
 pub mod tape;
 pub mod tensor;
+pub mod train;
 
 pub use params::{ParamId, ParamStore};
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;
+pub use train::ShardRunner;

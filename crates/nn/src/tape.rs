@@ -13,6 +13,16 @@
 //! Every op's gradient is verified against central finite differences in
 //! the tests at the bottom of this file and property-tested in
 //! `tests/gradcheck.rs`.
+//!
+//! # Workspace reuse
+//!
+//! A tape owns a free list of `f32` buffers. Every node value, every
+//! gradient, and every backward temporary is carved out of that pool, and
+//! [`Tape::reset`] returns all of them to it — so a training loop that
+//! calls `reset()` between minibatches stops paying an allocator
+//! round-trip per recorded op after the first step. Buffer reuse never
+//! changes any computed value: the arithmetic (and therefore every result
+//! bit) is identical to a freshly allocated tape.
 
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
@@ -75,16 +85,100 @@ struct Node {
     op: Op,
 }
 
-/// A forward-pass recording; create one per training step.
+/// A forward-pass recording.
+///
+/// Create one per training step, or — cheaper — keep one per worker and
+/// call [`Tape::reset`] between steps to recycle every buffer it owns.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Recycled backing buffers for node values, gradients and backward
+    /// temporaries.
+    free: Vec<Vec<f32>>,
+}
+
+// ----------------------------------------------------------- pool helpers
+// Free functions over the pool (not methods) so `backward` can borrow
+// `nodes` and `free` independently.
+
+/// Pop a cleared buffer from the pool (or a fresh one).
+fn take_buf(free: &mut Vec<Vec<f32>>) -> Vec<f32> {
+    match free.pop() {
+        Some(mut b) => {
+            b.clear();
+            b
+        }
+        None => Vec::new(),
+    }
+}
+
+/// A pooled `rows×cols` tensor filled with `fill`.
+fn pooled_full(free: &mut Vec<Vec<f32>>, rows: usize, cols: usize, fill: f32) -> Tensor {
+    let mut buf = take_buf(free);
+    buf.resize(rows * cols, fill);
+    Tensor::from_vec(rows, cols, buf)
+}
+
+/// A pooled copy of `src`.
+fn pooled_copy(free: &mut Vec<Vec<f32>>, src: &Tensor) -> Tensor {
+    let mut buf = take_buf(free);
+    buf.extend_from_slice(src.data());
+    Tensor::from_vec(src.rows(), src.cols(), buf)
+}
+
+/// A pooled elementwise map of `src`.
+fn pooled_map(free: &mut Vec<Vec<f32>>, src: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let mut buf = take_buf(free);
+    buf.extend(src.data().iter().map(|&x| f(x)));
+    Tensor::from_vec(src.rows(), src.cols(), buf)
+}
+
+/// A pooled elementwise combine of `a` and `b` (equal shapes).
+fn pooled_zip(
+    free: &mut Vec<Vec<f32>>,
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(f32, f32) -> f32,
+) -> Tensor {
+    let mut buf = take_buf(free);
+    buf.extend(a.data().iter().zip(b.data().iter()).map(|(&x, &y)| f(x, y)));
+    Tensor::from_vec(a.rows(), a.cols(), buf)
+}
+
+/// Add `g` into the node's gradient slot (in place when one exists),
+/// recycling `g`'s buffer if it is not kept.
+fn accum_grad(slot: &mut Option<Tensor>, g: Tensor, free: &mut Vec<Vec<f32>>) {
+    match slot {
+        Some(existing) => {
+            existing.add_assign(&g);
+            free.push(g.into_data());
+        }
+        slot @ None => *slot = Some(g),
+    }
 }
 
 impl Tape {
     /// Empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new() }
+        Tape::default()
+    }
+
+    /// Clear all recorded nodes, returning every value and gradient buffer
+    /// to the internal pool so the next forward pass allocates (almost)
+    /// nothing. Results computed on a reset tape are bitwise identical to
+    /// a fresh one.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.free.push(node.value.into_data());
+            if let Some(g) = node.grad {
+                self.free.push(g.into_data());
+            }
+        }
+    }
+
+    /// Number of pooled buffers currently available for reuse.
+    pub fn pooled_buffers(&self) -> usize {
+        self.free.len()
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
@@ -125,26 +219,40 @@ impl Tape {
 
     /// Record a parameter leaf (copies the current value out of the store).
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(store.value(id).clone(), Op::Param(id))
+        let v = pooled_copy(&mut self.free, store.value(id));
+        self.push(v, Op::Param(id))
     }
 
     // ------------------------------------------------------------------- ops
 
     /// `a · b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
-        self.push(v, Op::Matmul(a, b))
+        let (n, m) = (self.nodes[a.0].value.rows(), self.nodes[b.0].value.cols());
+        let mut out = pooled_full(&mut self.free, n, m, 0.0);
+        self.nodes[a.0]
+            .value
+            .matmul_into(&self.nodes[b.0].value, &mut out);
+        self.push(out, Op::Matmul(a, b))
     }
 
     /// `a · bᵀ`.
     pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.matmul_nt(&self.nodes[b.0].value);
-        self.push(v, Op::MatmulNT(a, b))
+        let (n, m) = (self.nodes[a.0].value.rows(), self.nodes[b.0].value.rows());
+        let mut out = pooled_full(&mut self.free, n, m, 0.0);
+        let mut scratch = take_buf(&mut self.free);
+        self.nodes[a.0]
+            .value
+            .matmul_nt_into(&self.nodes[b.0].value, &mut out, &mut scratch);
+        self.free.push(scratch);
+        self.push(out, Op::MatmulNT(a, b))
     }
 
     /// Elementwise `a + b`.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(av.shape(), bv.shape(), "add_assign shape mismatch");
+        let v = pooled_zip(&mut self.free, av, bv, |x, y| x + y);
         self.push(v, Op::Add(a, b))
     }
 
@@ -153,19 +261,16 @@ impl Tape {
         let av = &self.nodes[a.0].value;
         let bv = &self.nodes[b.0].value;
         assert_eq!(av.shape(), bv.shape(), "sub shape mismatch");
-        let data = av
-            .data()
-            .iter()
-            .zip(bv.data().iter())
-            .map(|(&x, &y)| x - y)
-            .collect();
-        let v = Tensor::from_vec(av.rows(), av.cols(), data);
+        let v = pooled_zip(&mut self.free, av, bv, |x, y| x - y);
         self.push(v, Op::Sub(a, b))
     }
 
     /// Elementwise `a ⊙ b`.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(av.shape(), bv.shape(), "hadamard shape mismatch");
+        let v = pooled_zip(&mut self.free, av, bv, |x, y| x * y);
         self.push(v, Op::Mul(a, b))
     }
 
@@ -175,7 +280,8 @@ impl Tape {
         let rv = &self.nodes[row.0].value;
         assert_eq!(rv.rows(), 1, "add_row rhs must be a row vector");
         assert_eq!(av.cols(), rv.cols(), "add_row width mismatch");
-        let mut v = av.clone();
+        let mut v = pooled_copy(&mut self.free, &self.nodes[a.0].value);
+        let rv = &self.nodes[row.0].value;
         for r in 0..v.rows() {
             let row_s = v.row_slice_mut(r);
             for (x, &y) in row_s.iter_mut().zip(rv.data().iter()) {
@@ -191,7 +297,8 @@ impl Tape {
         let rv = &self.nodes[row.0].value;
         assert_eq!(rv.rows(), 1, "mul_row rhs must be a row vector");
         assert_eq!(av.cols(), rv.cols(), "mul_row width mismatch");
-        let mut v = av.clone();
+        let mut v = pooled_copy(&mut self.free, &self.nodes[a.0].value);
+        let rv = &self.nodes[row.0].value;
         for r in 0..v.rows() {
             let row_s = v.row_slice_mut(r);
             for (x, &y) in row_s.iter_mut().zip(rv.data().iter()) {
@@ -203,13 +310,13 @@ impl Tape {
 
     /// `s · a`.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|x| s * x);
+        let v = pooled_map(&mut self.free, &self.nodes[a.0].value, |x| s * x);
         self.push(v, Op::Scale(a, s))
     }
 
     /// `a + s` elementwise.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x + s);
+        let v = pooled_map(&mut self.free, &self.nodes[a.0].value, |x| x + s);
         self.push(v, Op::AddScalar(a))
     }
 
@@ -221,45 +328,46 @@ impl Tape {
 
     /// ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let v = pooled_map(&mut self.free, &self.nodes[a.0].value, |x| x.max(0.0));
         self.push(v, Op::Relu(a))
     }
 
     /// tanh.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f32::tanh);
+        let v = pooled_map(&mut self.free, &self.nodes[a.0].value, f32::tanh);
         self.push(v, Op::Tanh(a))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(sigmoid_scalar);
+        let v = pooled_map(&mut self.free, &self.nodes[a.0].value, sigmoid_scalar);
         self.push(v, Op::Sigmoid(a))
     }
 
     /// Elementwise `ln`; caller guarantees positivity.
     pub fn log(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f32::ln);
+        let v = pooled_map(&mut self.free, &self.nodes[a.0].value, f32::ln);
         self.push(v, Op::Log(a))
     }
 
     /// Gather rows `idx` from `a`.
     pub fn gather(&mut self, a: Var, idx: &[usize]) -> Var {
+        let mut buf = take_buf(&mut self.free);
         let av = &self.nodes[a.0].value;
         let cols = av.cols();
-        let mut v = Tensor::zeros(idx.len(), cols);
-        for (i, &r) in idx.iter().enumerate() {
+        for &r in idx {
             assert!(r < av.rows(), "gather index {r} out of range");
-            v.row_slice_mut(i).copy_from_slice(av.row_slice(r));
+            buf.extend_from_slice(av.row_slice(r));
         }
+        let v = Tensor::from_vec(idx.len(), cols, buf);
         self.push(v, Op::Gather(a, idx.to_vec()))
     }
 
     /// Mean over rows: `[n×d] → [1×d]`.
     pub fn mean_rows(&mut self, a: Var) -> Var {
+        let mut v = pooled_full(&mut self.free, 1, self.nodes[a.0].value.cols(), 0.0);
         let av = &self.nodes[a.0].value;
         let n = av.rows().max(1);
-        let mut v = Tensor::zeros(1, av.cols());
         for r in 0..av.rows() {
             for (o, &x) in v.data_mut().iter_mut().zip(av.row_slice(r).iter()) {
                 *o += x;
@@ -271,8 +379,8 @@ impl Tape {
 
     /// Sum over rows: `[n×d] → [1×d]`.
     pub fn sum_rows(&mut self, a: Var) -> Var {
+        let mut v = pooled_full(&mut self.free, 1, self.nodes[a.0].value.cols(), 0.0);
         let av = &self.nodes[a.0].value;
-        let mut v = Tensor::zeros(1, av.cols());
         for r in 0..av.rows() {
             for (o, &x) in v.data_mut().iter_mut().zip(av.row_slice(r).iter()) {
                 *o += x;
@@ -284,10 +392,10 @@ impl Tape {
     /// Per-segment mean over rows: `[n×d] → [k×d]` with `segments[i] < k`
     /// giving row `i`'s destination. Empty segments yield zero rows.
     pub fn segment_mean(&mut self, a: Var, segments: &[usize], k: usize) -> Var {
+        let d = self.nodes[a.0].value.cols();
+        let mut v = pooled_full(&mut self.free, k, d, 0.0);
         let av = &self.nodes[a.0].value;
         assert_eq!(av.rows(), segments.len(), "segment_mean length mismatch");
-        let d = av.cols();
-        let mut v = Tensor::zeros(k, d);
         let mut counts = vec![0usize; k];
         for (r, &s) in segments.iter().enumerate() {
             assert!(s < k, "segment id {s} out of range");
@@ -310,40 +418,44 @@ impl Tape {
     /// Sum of all elements: `→ [1×1]`.
     pub fn sum_all(&mut self, a: Var) -> Var {
         let s = self.nodes[a.0].value.sum();
-        self.push(Tensor::scalar(s), Op::SumAll(a))
+        let v = pooled_full(&mut self.free, 1, 1, s);
+        self.push(v, Op::SumAll(a))
     }
 
     /// Mean of all elements: `→ [1×1]`.
     pub fn mean_all(&mut self, a: Var) -> Var {
         let t = &self.nodes[a.0].value;
         let s = t.sum() / t.len().max(1) as f32;
-        self.push(Tensor::scalar(s), Op::MeanAll(a))
+        let v = pooled_full(&mut self.free, 1, 1, s);
+        self.push(v, Op::MeanAll(a))
     }
 
     /// Concatenate along columns: `[n×c1] ++ [n×c2] → [n×(c1+c2)]`.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let mut buf = take_buf(&mut self.free);
         let av = &self.nodes[a.0].value;
         let bv = &self.nodes[b.0].value;
         assert_eq!(av.rows(), bv.rows(), "concat_cols row mismatch");
         let (n, c1, c2) = (av.rows(), av.cols(), bv.cols());
-        let mut v = Tensor::zeros(n, c1 + c2);
         for r in 0..n {
-            v.row_slice_mut(r)[..c1].copy_from_slice(av.row_slice(r));
-            v.row_slice_mut(r)[c1..].copy_from_slice(bv.row_slice(r));
+            buf.extend_from_slice(av.row_slice(r));
+            buf.extend_from_slice(bv.row_slice(r));
         }
+        let v = Tensor::from_vec(n, c1 + c2, buf);
         self.push(v, Op::ConcatCols(a, b))
     }
 
     /// Transpose.
     pub fn transpose(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.transpose();
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = pooled_full(&mut self.free, c, r, 0.0);
+        self.nodes[a.0].value.transpose_into(&mut v);
         self.push(v, Op::Transpose(a))
     }
 
     /// Row-wise softmax.
     pub fn softmax(&mut self, a: Var) -> Var {
-        let av = &self.nodes[a.0].value;
-        let mut v = av.clone();
+        let mut v = pooled_copy(&mut self.free, &self.nodes[a.0].value);
         for r in 0..v.rows() {
             softmax_row(v.row_slice_mut(r));
         }
@@ -361,7 +473,8 @@ impl Tape {
             let row = lv.row_slice(r);
             loss += (log_sum_exp(row) - row[t]) as f64;
         }
-        let v = Tensor::scalar((loss / targets.len().max(1) as f64) as f32);
+        let s = (loss / targets.len().max(1) as f64) as f32;
+        let v = pooled_full(&mut self.free, 1, 1, s);
         self.push(v, Op::CrossEntropy(logits, targets.to_vec()))
     }
 
@@ -376,7 +489,8 @@ impl Tape {
             // max(x,0) - x*t + ln(1 + e^{-|x|})  (numerically stable)
             loss += (x.max(0.0) - x * t + (-x.abs()).exp().ln_1p()) as f64;
         }
-        let v = Tensor::scalar((loss / targets.len().max(1) as f64) as f32);
+        let s = (loss / targets.len().max(1) as f64) as f32;
+        let v = pooled_full(&mut self.free, 1, 1, s);
         self.push(v, Op::BceWithLogits(logits, targets.to_vec()))
     }
 
@@ -391,206 +505,223 @@ impl Tape {
             // -ln σ(x) = ln(1 + e^{-x}) = max(-x, 0) + ln(1 + e^{-|x|})
             loss += ((-x).max(0.0) + (-x.abs()).exp().ln_1p()) as f64;
         }
-        let v = Tensor::scalar((loss / dv.rows().max(1) as f64) as f32);
+        let s = (loss / dv.rows().max(1) as f64) as f32;
+        let v = pooled_full(&mut self.free, 1, 1, s);
         self.push(v, Op::BprLoss(diffs))
     }
 
     // -------------------------------------------------------------- backward
 
     /// Run reverse-mode differentiation from the scalar node `loss`.
+    ///
+    /// Gradients are carved out of the tape's buffer pool and accumulated
+    /// in place; no node value or op is cloned. The reverse walk splits the
+    /// node array at the current index — every parent lives strictly below
+    /// its child, so the child's gradient and op can be read while the
+    /// parents' gradient slots are written.
     pub fn backward(&mut self, loss: Var) {
         assert_eq!(
             self.nodes[loss.0].value.shape(),
             (1, 1),
             "backward root must be a scalar"
         );
-        for n in self.nodes.iter_mut() {
-            n.grad = None;
+        let Tape { nodes, free } = self;
+        for n in nodes.iter_mut() {
+            if let Some(g) = n.grad.take() {
+                free.push(g.into_data());
+            }
         }
-        self.nodes[loss.0].grad = Some(Tensor::scalar(1.0));
+        nodes[loss.0].grad = Some(pooled_full(free, 1, 1, 1.0));
         for i in (0..=loss.0).rev() {
-            let Some(g) = self.nodes[i].grad.clone() else {
+            // Parents of node `i` always have smaller indices, so the slice
+            // below `i` holds every gradient slot this op writes.
+            let (parents, rest) = nodes.split_at_mut(i);
+            let node = &rest[0];
+            let Some(g) = node.grad.as_ref() else {
                 continue;
             };
-            let op = self.nodes[i].op.clone();
-            match op {
+            match &node.op {
                 Op::Input | Op::Param(_) => {}
                 Op::Matmul(a, b) => {
-                    let da = g.matmul_nt(&self.nodes[b.0].value);
-                    let db = self.nodes[a.0].value.matmul_tn(&g);
-                    self.accum(a, da);
-                    self.accum(b, db);
+                    let (av, bv) = (&parents[a.0].value, &parents[b.0].value);
+                    let mut da = pooled_full(free, g.rows(), av.cols(), 0.0);
+                    let mut scratch = take_buf(free);
+                    g.matmul_nt_into(bv, &mut da, &mut scratch);
+                    free.push(scratch);
+                    let mut db = pooled_full(free, av.cols(), g.cols(), 0.0);
+                    av.matmul_tn_into(g, &mut db);
+                    accum_grad(&mut parents[a.0].grad, da, free);
+                    accum_grad(&mut parents[b.0].grad, db, free);
                 }
                 Op::MatmulNT(a, b) => {
-                    let da = g.matmul(&self.nodes[b.0].value);
-                    let db = g.matmul_tn(&self.nodes[a.0].value);
-                    self.accum(a, da);
-                    self.accum(b, db);
+                    let (av, bv) = (&parents[a.0].value, &parents[b.0].value);
+                    let mut da = pooled_full(free, g.rows(), bv.cols(), 0.0);
+                    g.matmul_into(bv, &mut da);
+                    let mut db = pooled_full(free, g.cols(), av.cols(), 0.0);
+                    g.matmul_tn_into(av, &mut db);
+                    accum_grad(&mut parents[a.0].grad, da, free);
+                    accum_grad(&mut parents[b.0].grad, db, free);
                 }
                 Op::Add(a, b) => {
-                    self.accum(a, g.clone());
-                    self.accum(b, g);
+                    let ga = pooled_copy(free, g);
+                    accum_grad(&mut parents[a.0].grad, ga, free);
+                    let gb = pooled_copy(free, g);
+                    accum_grad(&mut parents[b.0].grad, gb, free);
                 }
                 Op::Sub(a, b) => {
-                    let mut ng = g.clone();
-                    ng.scale_assign(-1.0);
-                    self.accum(a, g);
-                    self.accum(b, ng);
+                    let ga = pooled_copy(free, g);
+                    let ng = pooled_map(free, g, |x| -x);
+                    accum_grad(&mut parents[a.0].grad, ga, free);
+                    accum_grad(&mut parents[b.0].grad, ng, free);
                 }
                 Op::Mul(a, b) => {
-                    let da = g.hadamard(&self.nodes[b.0].value);
-                    let db = g.hadamard(&self.nodes[a.0].value);
-                    self.accum(a, da);
-                    self.accum(b, db);
+                    let da = pooled_zip(free, g, &parents[b.0].value, |x, y| x * y);
+                    let db = pooled_zip(free, g, &parents[a.0].value, |x, y| x * y);
+                    accum_grad(&mut parents[a.0].grad, da, free);
+                    accum_grad(&mut parents[b.0].grad, db, free);
                 }
                 Op::AddRow(a, row) => {
-                    let mut drow = Tensor::zeros(1, g.cols());
+                    let mut drow = pooled_full(free, 1, g.cols(), 0.0);
                     for r in 0..g.rows() {
                         for (o, &x) in drow.data_mut().iter_mut().zip(g.row_slice(r)) {
                             *o += x;
                         }
                     }
-                    self.accum(a, g);
-                    self.accum(row, drow);
+                    let ga = pooled_copy(free, g);
+                    accum_grad(&mut parents[a.0].grad, ga, free);
+                    accum_grad(&mut parents[row.0].grad, drow, free);
                 }
                 Op::MulRow(a, row) => {
-                    let av = self.nodes[a.0].value.clone();
-                    let rv = self.nodes[row.0].value.clone();
-                    let mut da = g.clone();
+                    let av = &parents[a.0].value;
+                    let rv = &parents[row.0].value;
+                    let mut da = pooled_copy(free, g);
                     for r in 0..da.rows() {
                         for (x, &y) in da.row_slice_mut(r).iter_mut().zip(rv.data()) {
                             *x *= y;
                         }
                     }
-                    let mut drow = Tensor::zeros(1, g.cols());
+                    let mut drow = pooled_full(free, 1, g.cols(), 0.0);
                     for r in 0..g.rows() {
                         for c in 0..g.cols() {
                             drow.data_mut()[c] += g.get(r, c) * av.get(r, c);
                         }
                     }
-                    self.accum(a, da);
-                    self.accum(row, drow);
+                    accum_grad(&mut parents[a.0].grad, da, free);
+                    accum_grad(&mut parents[row.0].grad, drow, free);
                 }
                 Op::Scale(a, s) => {
-                    let mut da = g;
-                    da.scale_assign(s);
-                    self.accum(a, da);
+                    let mut da = pooled_copy(free, g);
+                    da.scale_assign(*s);
+                    accum_grad(&mut parents[a.0].grad, da, free);
                 }
-                Op::AddScalar(a) => self.accum(a, g),
+                Op::AddScalar(a) => {
+                    let da = pooled_copy(free, g);
+                    accum_grad(&mut parents[a.0].grad, da, free);
+                }
                 Op::Relu(a) => {
-                    let av = &self.nodes[a.0].value;
-                    let data = g
-                        .data()
-                        .iter()
-                        .zip(av.data().iter())
-                        .map(|(&gx, &x)| if x > 0.0 { gx } else { 0.0 })
-                        .collect();
-                    let da = Tensor::from_vec(g.rows(), g.cols(), data);
-                    self.accum(a, da);
+                    let da =
+                        pooled_zip(
+                            free,
+                            g,
+                            &parents[a.0].value,
+                            |gx, x| {
+                                if x > 0.0 {
+                                    gx
+                                } else {
+                                    0.0
+                                }
+                            },
+                        );
+                    accum_grad(&mut parents[a.0].grad, da, free);
                 }
                 Op::Tanh(a) => {
-                    let out = &self.nodes[i].value;
-                    let data = g
-                        .data()
-                        .iter()
-                        .zip(out.data().iter())
-                        .map(|(&gx, &y)| gx * (1.0 - y * y))
-                        .collect();
-                    let da = Tensor::from_vec(g.rows(), g.cols(), data);
-                    self.accum(a, da);
+                    let da = pooled_zip(free, g, &node.value, |gx, y| gx * (1.0 - y * y));
+                    accum_grad(&mut parents[a.0].grad, da, free);
                 }
                 Op::Sigmoid(a) => {
-                    let out = &self.nodes[i].value;
-                    let data = g
-                        .data()
-                        .iter()
-                        .zip(out.data().iter())
-                        .map(|(&gx, &y)| gx * y * (1.0 - y))
-                        .collect();
-                    let da = Tensor::from_vec(g.rows(), g.cols(), data);
-                    self.accum(a, da);
+                    let da = pooled_zip(free, g, &node.value, |gx, y| gx * y * (1.0 - y));
+                    accum_grad(&mut parents[a.0].grad, da, free);
                 }
                 Op::Log(a) => {
-                    let av = &self.nodes[a.0].value;
-                    let data = g
-                        .data()
-                        .iter()
-                        .zip(av.data().iter())
-                        .map(|(&gx, &x)| gx / x)
-                        .collect();
-                    let da = Tensor::from_vec(g.rows(), g.cols(), data);
-                    self.accum(a, da);
+                    let da = pooled_zip(free, g, &parents[a.0].value, |gx, x| gx / x);
+                    accum_grad(&mut parents[a.0].grad, da, free);
                 }
                 Op::Gather(a, idx) => {
-                    let av_shape = self.nodes[a.0].value.shape();
-                    let mut da = Tensor::zeros(av_shape.0, av_shape.1);
+                    let (rows, cols) = parents[a.0].value.shape();
+                    let mut da = pooled_full(free, rows, cols, 0.0);
                     for (i_out, &r) in idx.iter().enumerate() {
                         for (o, &x) in da.row_slice_mut(r).iter_mut().zip(g.row_slice(i_out)) {
                             *o += x;
                         }
                     }
-                    self.accum(a, da);
+                    accum_grad(&mut parents[a.0].grad, da, free);
                 }
                 Op::MeanRows(a) => {
-                    let (n, c) = self.nodes[a.0].value.shape();
-                    let mut da = Tensor::zeros(n, c);
+                    let (n, c) = parents[a.0].value.shape();
+                    let mut da = pooled_full(free, n, c, 0.0);
                     let inv = 1.0 / n.max(1) as f32;
                     for r in 0..n {
                         for (o, &x) in da.row_slice_mut(r).iter_mut().zip(g.data()) {
                             *o = x * inv;
                         }
                     }
-                    self.accum(a, da);
+                    accum_grad(&mut parents[a.0].grad, da, free);
                 }
                 Op::SumRows(a) => {
-                    let (n, c) = self.nodes[a.0].value.shape();
-                    let mut da = Tensor::zeros(n, c);
+                    let (n, c) = parents[a.0].value.shape();
+                    let mut da = pooled_full(free, n, c, 0.0);
                     for r in 0..n {
                         da.row_slice_mut(r).copy_from_slice(g.data());
                     }
-                    self.accum(a, da);
+                    accum_grad(&mut parents[a.0].grad, da, free);
                 }
                 Op::SegmentMean(a, segments, k) => {
-                    let (n, d) = self.nodes[a.0].value.shape();
-                    let mut counts = vec![0usize; k];
-                    for &s in &segments {
+                    let (n, d) = parents[a.0].value.shape();
+                    let mut counts = vec![0usize; *k];
+                    for &s in segments {
                         counts[s] += 1;
                     }
-                    let mut da = Tensor::zeros(n, d);
+                    let mut da = pooled_full(free, n, d, 0.0);
                     for (r, &s) in segments.iter().enumerate() {
                         let inv = 1.0 / counts[s] as f32;
                         for (o, &x) in da.row_slice_mut(r).iter_mut().zip(g.row_slice(s)) {
                             *o = x * inv;
                         }
                     }
-                    self.accum(a, da);
+                    accum_grad(&mut parents[a.0].grad, da, free);
                 }
                 Op::SumAll(a) => {
-                    let (n, c) = self.nodes[a.0].value.shape();
-                    self.accum(a, Tensor::full(n, c, g.item()));
+                    let (n, c) = parents[a.0].value.shape();
+                    let da = pooled_full(free, n, c, g.item());
+                    accum_grad(&mut parents[a.0].grad, da, free);
                 }
                 Op::MeanAll(a) => {
-                    let (n, c) = self.nodes[a.0].value.shape();
+                    let (n, c) = parents[a.0].value.shape();
                     let v = g.item() / (n * c).max(1) as f32;
-                    self.accum(a, Tensor::full(n, c, v));
+                    let da = pooled_full(free, n, c, v);
+                    accum_grad(&mut parents[a.0].grad, da, free);
                 }
                 Op::ConcatCols(a, b) => {
-                    let c1 = self.nodes[a.0].value.cols();
-                    let c2 = self.nodes[b.0].value.cols();
+                    let c1 = parents[a.0].value.cols();
+                    let c2 = parents[b.0].value.cols();
                     let n = g.rows();
-                    let mut da = Tensor::zeros(n, c1);
-                    let mut db = Tensor::zeros(n, c2);
+                    let mut da = pooled_full(free, n, c1, 0.0);
+                    let mut db = pooled_full(free, n, c2, 0.0);
                     for r in 0..n {
                         da.row_slice_mut(r).copy_from_slice(&g.row_slice(r)[..c1]);
                         db.row_slice_mut(r).copy_from_slice(&g.row_slice(r)[c1..]);
                     }
-                    self.accum(a, da);
-                    self.accum(b, db);
+                    accum_grad(&mut parents[a.0].grad, da, free);
+                    accum_grad(&mut parents[b.0].grad, db, free);
                 }
-                Op::Transpose(a) => self.accum(a, g.transpose()),
+                Op::Transpose(a) => {
+                    let mut da = pooled_full(free, g.cols(), g.rows(), 0.0);
+                    g.transpose_into(&mut da);
+                    accum_grad(&mut parents[a.0].grad, da, free);
+                }
                 Op::Softmax(a) => {
-                    let y = self.nodes[i].value.clone();
-                    let mut da = Tensor::zeros(y.rows(), y.cols());
+                    let y = &node.value;
+                    let mut da = pooled_full(free, y.rows(), y.cols(), 0.0);
                     for r in 0..y.rows() {
                         let yr = y.row_slice(r);
                         let gr = g.row_slice(r);
@@ -599,50 +730,46 @@ impl Tape {
                             da.set(r, c, yr[c] * (gr[c] - dot));
                         }
                     }
-                    self.accum(a, da);
+                    accum_grad(&mut parents[a.0].grad, da, free);
                 }
                 Op::CrossEntropy(logits, targets) => {
-                    let lv = self.nodes[logits.0].value.clone();
+                    let lv = &parents[logits.0].value;
                     let gscale = g.item() / targets.len().max(1) as f32;
-                    let mut da = Tensor::zeros(lv.rows(), lv.cols());
+                    let mut da = pooled_full(free, lv.rows(), lv.cols(), 0.0);
+                    let mut row = take_buf(free);
                     for (r, &t) in targets.iter().enumerate() {
-                        let mut row: Vec<f32> = lv.row_slice(r).to_vec();
+                        row.clear();
+                        row.extend_from_slice(lv.row_slice(r));
                         softmax_row(&mut row);
                         for (c, &p) in row.iter().enumerate() {
                             let indicator = if c == t { 1.0 } else { 0.0 };
                             da.set(r, c, gscale * (p - indicator));
                         }
                     }
-                    self.accum(logits, da);
+                    free.push(row);
+                    accum_grad(&mut parents[logits.0].grad, da, free);
                 }
                 Op::BceWithLogits(logits, targets) => {
-                    let lv = self.nodes[logits.0].value.clone();
+                    let lv = &parents[logits.0].value;
                     let gscale = g.item() / targets.len().max(1) as f32;
-                    let mut da = Tensor::zeros(lv.rows(), 1);
+                    let mut da = pooled_full(free, lv.rows(), 1, 0.0);
                     for (r, &t) in targets.iter().enumerate() {
                         let p = sigmoid_scalar(lv.get(r, 0));
                         da.set(r, 0, gscale * (p - t));
                     }
-                    self.accum(logits, da);
+                    accum_grad(&mut parents[logits.0].grad, da, free);
                 }
                 Op::BprLoss(diffs) => {
-                    let dv = self.nodes[diffs.0].value.clone();
+                    let dv = &parents[diffs.0].value;
                     let gscale = g.item() / dv.rows().max(1) as f32;
-                    let mut da = Tensor::zeros(dv.rows(), 1);
+                    let mut da = pooled_full(free, dv.rows(), 1, 0.0);
                     for r in 0..dv.rows() {
                         let s = sigmoid_scalar(dv.get(r, 0));
                         da.set(r, 0, gscale * (s - 1.0));
                     }
-                    self.accum(diffs, da);
+                    accum_grad(&mut parents[diffs.0].grad, da, free);
                 }
             }
-        }
-    }
-
-    fn accum(&mut self, v: Var, g: Tensor) {
-        match &mut self.nodes[v.0].grad {
-            Some(existing) => existing.add_assign(&g),
-            slot @ None => *slot = Some(g),
         }
     }
 
@@ -933,6 +1060,111 @@ mod tests {
         for r in 0..2 {
             let sum: f32 = tape.value(s).row_slice(r).iter().sum();
             assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// One forward/backward through most of the op set, parameterized so a
+    /// reused tape can be compared against fresh ones.
+    fn mixed_step(tape: &mut Tape, store: &ParamStore, ids: &[ParamId], shift: f32) -> Var {
+        let emb = tape.param(store, ids[0]);
+        let w = tape.param(store, ids[1]);
+        let g = tape.gather(emb, &[0, 2, 2, 1]);
+        let m = tape.segment_mean(g, &[0, 0, 1, 1], 2);
+        let h = tape.matmul(m, w);
+        let h = tape.tanh(h);
+        let shifted = tape.add_scalar(h, shift);
+        let sm = tape.softmax(shifted);
+        let ce = tape.cross_entropy(sm, &[1, 0]);
+        let att = tape.matmul_nt(m, m);
+        let reg = tape.mean_all(att);
+        tape.add(ce, reg)
+    }
+
+    /// `reset()` must recycle buffers *and* leave every computed value and
+    /// gradient bitwise identical to a fresh tape.
+    #[test]
+    fn reset_tape_reproduces_fresh_tape_bitwise() {
+        let mut store = ParamStore::new();
+        let e = store.add(
+            "emb",
+            Tensor::from_vec(3, 4, (0..12).map(|i| (i as f32 * 0.7).sin()).collect()),
+        );
+        let w = store.add(
+            "w",
+            Tensor::from_vec(
+                4,
+                4,
+                (0..16).map(|i| (i as f32 * 0.3).cos() * 0.5).collect(),
+            ),
+        );
+        let ids = [e, w];
+
+        let mut reused = Tape::new();
+        for step in 0..3 {
+            let shift = step as f32 * 0.1;
+
+            let mut fresh = Tape::new();
+            let fl = mixed_step(&mut fresh, &store, &ids, shift);
+            fresh.backward(fl);
+            store.zero_grads();
+            fresh.accumulate_param_grads(&mut store);
+            let fresh_grads: Vec<Tensor> = ids.iter().map(|&id| store.grad(id).clone()).collect();
+
+            reused.reset();
+            let rl = mixed_step(&mut reused, &store, &ids, shift);
+            reused.backward(rl);
+            store.zero_grads();
+            reused.accumulate_param_grads(&mut store);
+
+            assert_eq!(
+                fresh.value(fl).data(),
+                reused.value(rl).data(),
+                "loss diverged on reused tape at step {step}"
+            );
+            for (&id, fg) in ids.iter().zip(&fresh_grads) {
+                assert_eq!(
+                    store.grad(id).data(),
+                    fg.data(),
+                    "grad diverged on reused tape at step {step}"
+                );
+            }
+        }
+        assert!(
+            reused.pooled_buffers() == 0 || reused.len() > 0,
+            "reused tape should be holding its buffers in nodes"
+        );
+        reused.reset();
+        assert!(
+            reused.pooled_buffers() > 0,
+            "reset must return buffers to the pool"
+        );
+    }
+
+    /// After the first step, a reset tape should run the same graph without
+    /// growing its pool demand (i.e. it reuses rather than reallocates).
+    #[test]
+    fn reset_tape_reaches_steady_state_pool() {
+        let mut store = ParamStore::new();
+        let e = store.add(
+            "emb",
+            Tensor::from_vec(3, 4, (0..12).map(|i| i as f32 * 0.1).collect()),
+        );
+        let w = store.add("w", Tensor::from_vec(4, 4, vec![0.25; 16]));
+        let ids = [e, w];
+        let mut tape = Tape::new();
+        let l = mixed_step(&mut tape, &store, &ids, 0.0);
+        tape.backward(l);
+        tape.reset();
+        let after_first = tape.pooled_buffers();
+        for _ in 0..4 {
+            let l = mixed_step(&mut tape, &store, &ids, 0.0);
+            tape.backward(l);
+            tape.reset();
+            assert_eq!(
+                tape.pooled_buffers(),
+                after_first,
+                "pool should neither grow nor shrink across identical steps"
+            );
         }
     }
 }

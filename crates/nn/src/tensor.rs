@@ -6,6 +6,7 @@
 //! 2-D linear algebra, and a single concrete layout keeps the hot matmul
 //! loops simple enough for the compiler to vectorise.
 
+use cosmo_exec::WorkerPool;
 use serde::{Deserialize, Serialize};
 
 /// A row-major 2-D matrix of `f32`.
@@ -96,6 +97,12 @@ impl Tensor {
         &self.data
     }
 
+    /// Consume the tensor and take its backing buffer (for buffer pools).
+    #[inline]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Flat mutable view.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f32] {
@@ -135,6 +142,13 @@ impl Tensor {
     }
 
     /// Matrix product `self · other` (`[n×k]·[k×m] → [n×m]`).
+    ///
+    /// Cache-blocked, register-tiled kernel (see [`kernels`]). Every output
+    /// element is accumulated in strictly increasing-`k` order — the same
+    /// order as the naive i-k-j loop — so the result is bitwise identical
+    /// to [`Tensor::matmul_reference`] for finite inputs, and `0 × NaN`/
+    /// `0 × ∞` propagate per IEEE 754 (the old kernel's `a == 0` skip
+    /// silently flushed them to `0`).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols,
@@ -145,15 +159,27 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(n, m);
-        // i-k-j loop order: innermost loop walks both `other` and `out`
-        // contiguously, which is the cache-friendly order for row-major data.
+        kernels::mm_band(&self.data, &other.data, &mut out.data, k, m);
+        out
+    }
+
+    /// Reference scalar matmul: the seed i-k-j loop, kept as the baseline
+    /// the blocked kernel is benchmarked against (`BENCH_nn.json`) and as
+    /// a correctness oracle in tests. Dense — no zero skipping.
+    pub fn matmul_reference(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(n, m);
         for i in 0..n {
             let out_row = &mut out.data[i * m..(i + 1) * m];
             for kk in 0..k {
                 let a = self.data[i * k + kk];
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &other.data[kk * m..(kk + 1) * m];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
@@ -163,8 +189,47 @@ impl Tensor {
         out
     }
 
-    /// `self · otherᵀ` (`[n×k]·[m×k]ᵀ → [n×m]`) without materialising the
-    /// transpose; the inner loop is a contiguous dot product.
+    /// `self · other` with the output rows partitioned across `pool`.
+    ///
+    /// Each worker runs the identical blocked kernel over a disjoint band
+    /// of output rows, so the accumulation order of every element is
+    /// unchanged and the result is byte-identical to [`Tensor::matmul`]
+    /// at any thread count. Small products run inline.
+    pub fn matmul_par(&self, other: &Tensor, pool: &WorkerPool) -> Tensor {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        if pool.threads() == 1 || n < 2 || n * k * m < kernels::MIN_PAR_WORK {
+            return self.matmul(other);
+        }
+        let mut out = Tensor::zeros(n, m);
+        let band = n.div_ceil(pool.threads());
+        let b = &other.data;
+        pool.scope(|s| {
+            for (a_band, out_band) in self
+                .data
+                .chunks(band * k)
+                .zip(out.data.chunks_mut(band * m))
+            {
+                s.spawn(move || kernels::mm_band(a_band, b, out_band, k, m));
+            }
+        });
+        out
+    }
+
+    /// `self · otherᵀ` (`[n×k]·[m×k]ᵀ → [n×m]`).
+    ///
+    /// For `n ≥ 2` the transpose is materialised once and the blocked
+    /// [`Tensor::matmul`] kernel runs on it; for a single row the contiguous
+    /// dot-product loop is already optimal (and the transpose would cost as
+    /// much as the product). Both paths accumulate in strictly increasing-`k`
+    /// order, so the result is bitwise identical to
+    /// `self.matmul(&other.transpose())`.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols,
@@ -174,6 +239,9 @@ impl Tensor {
             other.shape()
         );
         let (n, k, m) = (self.rows, self.cols, other.rows);
+        if n >= 2 && k >= 2 {
+            return self.matmul(&other.transpose());
+        }
         let mut out = Tensor::zeros(n, m);
         for i in 0..n {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -189,7 +257,28 @@ impl Tensor {
         out
     }
 
+    /// [`Tensor::matmul_nt`] with output rows partitioned across `pool`;
+    /// byte-identical to the sequential result at any thread count.
+    pub fn matmul_nt_par(&self, other: &Tensor, pool: &WorkerPool) -> Tensor {
+        assert_eq!(
+            self.cols,
+            other.cols,
+            "matmul_nt shape mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        if self.rows >= 2 && self.cols >= 2 {
+            self.matmul_par(&other.transpose(), pool)
+        } else {
+            self.matmul_nt(other)
+        }
+    }
+
     /// `selfᵀ · other` (`[k×n]ᵀ·[k×m] → [n×m]`).
+    ///
+    /// Blocked kernel with strided reads of `self`; accumulation per output
+    /// element is strictly increasing-`k`, bitwise identical to
+    /// `self.transpose().matmul(&other)` (and IEEE-faithful: no zero skip).
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.rows,
@@ -200,31 +289,128 @@ impl Tensor {
         );
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(n, m);
-        for kk in 0..k {
-            for i in 0..n {
-                let a = self.data[kk * n + i];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * m..(kk + 1) * m];
-                let out_row = &mut out.data[i * m..(i + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        kernels::mm_tn_band(&self.data, &other.data, &mut out.data, k, n, m, 0);
+        out
+    }
+
+    /// [`Tensor::matmul_tn`] with output rows (columns of `self`)
+    /// partitioned across `pool`; byte-identical to the sequential result
+    /// at any thread count.
+    pub fn matmul_tn_par(&self, other: &Tensor, pool: &WorkerPool) -> Tensor {
+        assert_eq!(
+            self.rows,
+            other.rows,
+            "matmul_tn shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (k, n, m) = (self.rows, self.cols, other.cols);
+        if pool.threads() == 1 || n < 2 || n * k * m < kernels::MIN_PAR_WORK {
+            return self.matmul_tn(other);
+        }
+        let mut out = Tensor::zeros(n, m);
+        let band = n.div_ceil(pool.threads());
+        let (a, b) = (&self.data, &other.data);
+        pool.scope(|s| {
+            for (bi, out_band) in out.data.chunks_mut(band * m).enumerate() {
+                s.spawn(move || kernels::mm_tn_band(a, b, out_band, k, n, m, bi * band));
+            }
+        });
+        out
+    }
+
+    /// [`Tensor::matmul`] into a caller-provided output tensor (shape
+    /// `[n×m]`), overwriting it. Lets buffer pools avoid an allocation;
+    /// the result is identical to the allocating variant.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul_into output shape"
+        );
+        kernels::mm_band(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.cols,
+            other.cols,
+        );
+    }
+
+    /// [`Tensor::matmul_nt`] into a caller-provided output tensor (shape
+    /// `[n×m]`). `scratch` holds the materialised `otherᵀ` when the blocked
+    /// path is taken, so repeated calls reuse its capacity.
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Tensor, scratch: &mut Vec<f32>) {
+        assert_eq!(
+            self.cols,
+            other.cols,
+            "matmul_nt shape mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let (n, k, m) = (self.rows, self.cols, other.rows);
+        assert_eq!(out.shape(), (n, m), "matmul_nt_into output shape");
+        if n >= 2 && k >= 2 {
+            scratch.clear();
+            scratch.resize(k * m, 0.0);
+            for r in 0..m {
+                for c in 0..k {
+                    scratch[c * m + r] = other.data[r * k + c];
                 }
             }
+            kernels::mm_band(&self.data, scratch, &mut out.data, k, m);
+            return;
         }
-        out
+        for i in 0..n {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..m {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row.iter()) {
+                    acc += x * y;
+                }
+                out.data[i * m + j] = acc;
+            }
+        }
+    }
+
+    /// [`Tensor::matmul_tn`] into a caller-provided output tensor (shape
+    /// `[n×m]`), overwriting it.
+    pub fn matmul_tn_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.rows,
+            other.rows,
+            "matmul_tn shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (k, n, m) = (self.rows, self.cols, other.cols);
+        assert_eq!(out.shape(), (n, m), "matmul_tn_into output shape");
+        kernels::mm_tn_band(&self.data, &other.data, &mut out.data, k, n, m, 0);
     }
 
     /// Materialised transpose.
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose into a caller-provided `[cols×rows]` tensor.
+    pub fn transpose_into(&self, out: &mut Tensor) {
+        assert_eq!(out.shape(), (self.cols, self.rows), "transpose_into shape");
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     /// Elementwise map into a new tensor.
@@ -316,6 +502,285 @@ impl Tensor {
     }
 }
 
+/// Cache-blocked, register-tiled matmul kernels.
+///
+/// The micro-kernel holds an `MR × NR` accumulator tile in registers and,
+/// for each `k`, broadcasts one element of `A` against a contiguous
+/// `NR`-wide strip of a `B` row (a broadcast-FMA). The vector lanes run
+/// across the *output columns*, never across `k`, so each output element is
+/// still a single scalar chain `((a₀b₀) + a₁b₁) + …` in strictly
+/// increasing-`k` order — the compiler can vectorise freely without
+/// reassociating the float sum. That is the determinism contract: blocked,
+/// banded, and multi-threaded variants are all bitwise identical to the
+/// naive scalar loop.
+mod kernels {
+    /// Output columns per register strip (f32 lanes the compiler can pack)
+    /// on the baseline (no runtime-detected ISA) path.
+    const NR: usize = 16;
+    /// Output rows per micro-tile on the baseline path.
+    const MR: usize = 4;
+    /// Below this many multiply-adds a parallel dispatch costs more than
+    /// it saves; shapes (not thread count) decide, keeping results
+    /// identical at every thread count.
+    pub(super) const MIN_PAR_WORK: usize = 1 << 16;
+
+    /// Tiled micro-kernel body, generic over the `TM × TN` register tile.
+    ///
+    /// The tile size and the vector width only decide how many *column*
+    /// chains make progress concurrently; each output element is always
+    /// one scalar chain in strictly increasing-`k` order, so every
+    /// instantiation (and every ISA it is compiled for) produces the same
+    /// bits. `U2` unrolls the `k` loop by two — the two updates stay
+    /// sequential per element (`acc += a₀·b₀` then `acc += a₁·b₁`), so the
+    /// chain (and the bits) are unchanged; it only gives the scheduler two
+    /// independent `B`-row loads per iteration. The wide-ISA paths want it
+    /// (~1.5× there); the 16-register SSE2 baseline spills under it, so it
+    /// stays off there.
+    #[inline(always)]
+    fn mm_band_impl<const TM: usize, const TN: usize, const U2: bool>(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        k: usize,
+        m: usize,
+    ) {
+        let n = out.len().checked_div(m).unwrap_or(0);
+        debug_assert_eq!(a.len(), n * k);
+        debug_assert_eq!(b.len(), k * m);
+        let mut i0 = 0;
+        while i0 < n {
+            let ib = TM.min(n - i0);
+            let mut j0 = 0;
+            while j0 < m {
+                let jb = TN.min(m - j0);
+                let mut acc = [[0.0f32; TN]; TM];
+                if ib == TM && jb == TN {
+                    let mut kk = 0;
+                    if U2 {
+                        while kk + 2 <= k {
+                            let b0: &[f32; TN] =
+                                b[kk * m + j0..kk * m + j0 + TN].try_into().unwrap();
+                            let b1: &[f32; TN] = b[(kk + 1) * m + j0..(kk + 1) * m + j0 + TN]
+                                .try_into()
+                                .unwrap();
+                            for r in 0..TM {
+                                let av0 = a[(i0 + r) * k + kk];
+                                let av1 = a[(i0 + r) * k + kk + 1];
+                                for c in 0..TN {
+                                    acc[r][c] += av0 * b0[c];
+                                }
+                                for c in 0..TN {
+                                    acc[r][c] += av1 * b1[c];
+                                }
+                            }
+                            kk += 2;
+                        }
+                    }
+                    while kk < k {
+                        let brow: &[f32; TN] = b[kk * m + j0..kk * m + j0 + TN].try_into().unwrap();
+                        for r in 0..TM {
+                            let av = a[(i0 + r) * k + kk];
+                            for c in 0..TN {
+                                acc[r][c] += av * brow[c];
+                            }
+                        }
+                        kk += 1;
+                    }
+                } else {
+                    for kk in 0..k {
+                        let brow = &b[kk * m + j0..kk * m + j0 + jb];
+                        for (r, accr) in acc.iter_mut().enumerate().take(ib) {
+                            let av = a[(i0 + r) * k + kk];
+                            for (c, &bv) in brow.iter().enumerate() {
+                                accr[c] += av * bv;
+                            }
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate().take(ib) {
+                    let base = (i0 + r) * m + j0;
+                    out[base..base + jb].copy_from_slice(&accr[..jb]);
+                }
+                j0 += TN;
+            }
+            i0 += TM;
+        }
+    }
+
+    /// Transposed-A micro-kernel body; see [`mm_band_impl`] for the tile,
+    /// unroll, and determinism story.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn mm_tn_band_impl<const TM: usize, const TN: usize, const U2: bool>(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        k: usize,
+        n: usize,
+        m: usize,
+        i0: usize,
+    ) {
+        let nb = out.len().checked_div(m).unwrap_or(0);
+        debug_assert_eq!(a.len(), k * n);
+        debug_assert_eq!(b.len(), k * m);
+        debug_assert!(i0 + nb <= n);
+        let mut r0 = 0;
+        while r0 < nb {
+            let ib = TM.min(nb - r0);
+            let mut j0 = 0;
+            while j0 < m {
+                let jb = TN.min(m - j0);
+                let mut acc = [[0.0f32; TN]; TM];
+                if ib == TM && jb == TN {
+                    let mut kk = 0;
+                    if U2 {
+                        while kk + 2 <= k {
+                            let b0: &[f32; TN] =
+                                b[kk * m + j0..kk * m + j0 + TN].try_into().unwrap();
+                            let b1: &[f32; TN] = b[(kk + 1) * m + j0..(kk + 1) * m + j0 + TN]
+                                .try_into()
+                                .unwrap();
+                            for r in 0..TM {
+                                let av0 = a[kk * n + i0 + r0 + r];
+                                let av1 = a[(kk + 1) * n + i0 + r0 + r];
+                                for c in 0..TN {
+                                    acc[r][c] += av0 * b0[c];
+                                }
+                                for c in 0..TN {
+                                    acc[r][c] += av1 * b1[c];
+                                }
+                            }
+                            kk += 2;
+                        }
+                    }
+                    while kk < k {
+                        let brow: &[f32; TN] = b[kk * m + j0..kk * m + j0 + TN].try_into().unwrap();
+                        for r in 0..TM {
+                            let av = a[kk * n + i0 + r0 + r];
+                            for c in 0..TN {
+                                acc[r][c] += av * brow[c];
+                            }
+                        }
+                        kk += 1;
+                    }
+                } else {
+                    for kk in 0..k {
+                        let brow = &b[kk * m + j0..kk * m + j0 + jb];
+                        for (r, accr) in acc.iter_mut().enumerate().take(ib) {
+                            let av = a[kk * n + i0 + r0 + r];
+                            for (c, &bv) in brow.iter().enumerate() {
+                                accr[c] += av * bv;
+                            }
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate().take(ib) {
+                    let base = (r0 + r) * m + j0;
+                    out[base..base + jb].copy_from_slice(&accr[..jb]);
+                }
+                j0 += TN;
+            }
+            r0 += TM;
+        }
+    }
+
+    // Runtime-dispatched ISA variants: the binary is built for baseline
+    // x86-64 (SSE2), so the compiler packs 4 lanes; recompiling the same
+    // body under a wider target feature lets it pack 8 (AVX2) or 16
+    // (AVX-512) without changing a single arithmetic step. mul and add
+    // stay separate instructions (rustc never contracts to FMA), so the
+    // wide paths are bitwise identical to the scalar chain — the kernel
+    // tests assert exactly that against the reference loop.
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn mm_band_avx512(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize) {
+        // 8×32 tile: 16 zmm accumulators keep both FMA ports busy across
+        // the 4-cycle add latency.
+        mm_band_impl::<8, 32, true>(a, b, out, k, m)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mm_band_avx2(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize) {
+        mm_band_impl::<4, 16, true>(a, b, out, k, m)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn mm_tn_band_avx512(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        k: usize,
+        n: usize,
+        m: usize,
+        i0: usize,
+    ) {
+        mm_tn_band_impl::<8, 32, true>(a, b, out, k, n, m, i0)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn mm_tn_band_avx2(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        k: usize,
+        n: usize,
+        m: usize,
+        i0: usize,
+    ) {
+        mm_tn_band_impl::<4, 16, true>(a, b, out, k, n, m, i0)
+    }
+
+    /// `out = a · b` where `a` is the band's rows (`out.len() / m` of
+    /// them, `k` wide) and `b` is the full `[k×m]` right-hand side.
+    pub(super) fn mm_band(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: the feature is checked at runtime and the body is
+            // plain slice arithmetic — the feature gate only widens the
+            // autovectorizer's lanes.
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return unsafe { mm_band_avx512(a, b, out, k, m) };
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return unsafe { mm_band_avx2(a, b, out, k, m) };
+            }
+        }
+        mm_band_impl::<MR, NR, false>(a, b, out, k, m)
+    }
+
+    /// `out[i − i0][j] = Σₖ a[k][i] · b[k][j]` for the band of output rows
+    /// `i0 .. i0 + out.len() / m`, with `a` the full `[k×n]` matrix read
+    /// column-wise (strided) and `b` the full `[k×m]` matrix.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn mm_tn_band(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        k: usize,
+        n: usize,
+        m: usize,
+        i0: usize,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: as in `mm_band`.
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return unsafe { mm_tn_band_avx512(a, b, out, k, n, m, i0) };
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return unsafe { mm_tn_band_avx2(a, b, out, k, n, m, i0) };
+            }
+        }
+        mm_tn_band_impl::<MR, NR, false>(a, b, out, k, n, m, i0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,5 +851,112 @@ mod tests {
         assert_eq!(h.data(), &[2., 1., -3.]);
         h.scale_assign(2.0);
         assert_eq!(h.data(), &[4., 2., -6.]);
+    }
+
+    /// Deterministic pseudo-random tensor (splitmix64-ish) for kernel tests.
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut s = seed;
+        let data = (0..rows * cols)
+            .map(|_| {
+                s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z >> 40) as f32 / (1 << 24) as f32) * 4.0 - 2.0
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    /// The blocked kernel keeps the naive loop's per-element accumulation
+    /// order, so it must match the scalar reference *bitwise* — including
+    /// ragged edges that don't fill a full register tile.
+    #[test]
+    fn blocked_matmul_is_bitwise_equal_to_reference() {
+        for &(n, k, m) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 16, 16),
+            (5, 17, 33),
+            (13, 9, 21),
+            (32, 24, 48),
+        ] {
+            let a = pseudo(n, k, 0xA0 + n as u64);
+            let b = pseudo(k, m, 0xB0 + m as u64);
+            assert_eq!(
+                a.matmul(&b).data(),
+                a.matmul_reference(&b).data(),
+                "shape ({n},{k},{m})"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_tn_is_bitwise_equal_to_explicit_transpose() {
+        for &(k, n, m) in &[(1, 1, 1), (5, 3, 7), (16, 4, 16), (17, 5, 33), (9, 13, 21)] {
+            let a = pseudo(k, n, 0xC0 + n as u64);
+            let b = pseudo(k, m, 0xD0 + m as u64);
+            assert_eq!(
+                a.matmul_tn(&b).data(),
+                a.transpose().matmul_reference(&b).data(),
+                "shape ({k},{n},{m})"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_nt_is_bitwise_equal_to_explicit_transpose() {
+        for &(n, k, m) in &[(1, 1, 1), (1, 8, 40), (3, 5, 7), (5, 17, 33), (13, 9, 21)] {
+            let a = pseudo(n, k, 0xE0 + n as u64);
+            let b = pseudo(m, k, 0xF0 + m as u64);
+            assert_eq!(
+                a.matmul_nt(&b).data(),
+                a.matmul_reference(&b.transpose()).data(),
+                "shape ({n},{k},{m})"
+            );
+        }
+    }
+
+    /// Regression for the removed `a == 0.0` fast path: a zero coefficient
+    /// against NaN/∞ must produce NaN per IEEE 754, not silently flush to 0.
+    #[test]
+    fn zero_times_non_finite_propagates_nan() {
+        let a = Tensor::from_vec(2, 2, vec![0.0, 0.0, 1.0, 0.0]);
+        let b = Tensor::from_vec(2, 2, vec![f32::NAN, f32::INFINITY, 1.0, 2.0]);
+        let c = a.matmul(&b);
+        assert!(c.get(0, 0).is_nan(), "0·NaN + 0·1 must be NaN");
+        assert!(c.get(0, 1).is_nan(), "0·∞ + 0·2 must be NaN");
+        assert!(c.get(1, 0).is_nan(), "1·NaN must be NaN");
+        let tn = a.transpose().matmul_tn(&b);
+        assert!(tn.get(0, 0).is_nan(), "matmul_tn must propagate NaN too");
+        let r = a.matmul_reference(&b);
+        assert!(r.get(0, 0).is_nan() && r.get(0, 1).is_nan());
+    }
+
+    /// Row-banded parallel kernels must be byte-identical to sequential at
+    /// every thread count (disjoint output rows, same per-element order).
+    #[test]
+    fn parallel_matmuls_match_sequential_bitwise() {
+        let a = pseudo(37, 29, 1);
+        let b = pseudo(29, 41, 2);
+        let tn_a = pseudo(29, 37, 3);
+        let nt_b = pseudo(41, 29, 4);
+        let seq = a.matmul(&b);
+        let seq_tn = tn_a.matmul_tn(&b);
+        let seq_nt = a.matmul_nt(&nt_b);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(a.matmul_par(&b, &pool).data(), seq.data(), "t={threads}");
+            assert_eq!(
+                tn_a.matmul_tn_par(&b, &pool).data(),
+                seq_tn.data(),
+                "tn t={threads}"
+            );
+            assert_eq!(
+                a.matmul_nt_par(&nt_b, &pool).data(),
+                seq_nt.data(),
+                "nt t={threads}"
+            );
+        }
     }
 }

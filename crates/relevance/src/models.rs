@@ -17,6 +17,7 @@ use crate::dataset::{EsciDataset, EsciExample, EsciLabel};
 use crate::metrics::Confusion;
 use cosmo_nn::layers::{Embedding, Mlp};
 use cosmo_nn::opt::Adam;
+use cosmo_nn::train::{shard_ranges, ShardRunner};
 use cosmo_nn::{ParamStore, Tape};
 use cosmo_text::hash::hash_str_ns;
 use cosmo_text::tokenize;
@@ -76,6 +77,18 @@ pub struct RelevanceConfig {
     pub lr: f32,
     /// Train the encoder embedding (false = fixed-encoder regime).
     pub trainable_encoder: bool,
+    /// Worker threads for sharded gradient steps (`0` = all cores,
+    /// `1` = inline). Never changes the result — see `cosmo_nn::train`.
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+    /// Shard size for data-parallel gradient steps; `0` keeps each batch
+    /// on a single tape (the exact whole-batch formulation).
+    #[serde(default)]
+    pub microbatch: usize,
+}
+
+fn default_threads() -> usize {
+    1
 }
 
 impl Default for RelevanceConfig {
@@ -89,6 +102,8 @@ impl Default for RelevanceConfig {
             batch: 64,
             lr: 0.01,
             trainable_encoder: true,
+            threads: 1,
+            microbatch: 0,
         }
     }
 }
@@ -103,7 +118,7 @@ pub struct RelevanceModel {
 }
 
 /// Train + test Macro/Micro F1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RelevanceResult {
     /// Architecture evaluated.
     pub architecture: String,
@@ -147,111 +162,41 @@ impl RelevanceModel {
         }
     }
 
-    /// Hashed features per field for one example.
-    fn field_features(&self, e: &EsciExample) -> (Vec<usize>, Vec<usize>) {
-        let b = self.cfg.buckets;
-        let q_toks = tokenize(&e.query);
-        let p_toks = tokenize(&e.product);
-        let g_toks = tokenize(&e.knowledge);
-        let mut qf: Vec<usize> = q_toks
-            .iter()
-            .map(|t| bucket(hash_str_ns(t, NS_Q), b))
-            .collect();
-        let mut pf: Vec<usize> = p_toks
-            .iter()
-            .map(|t| bucket(hash_str_ns(t, NS_P), b))
-            .collect();
-        match self.arch {
-            Architecture::BiEncoder => {
-                // strictly independent towers: (query feats, product feats)
-                if qf.is_empty() {
-                    qf.push(0);
-                }
-                if pf.is_empty() {
-                    pf.push(0);
-                }
-                (qf, pf)
-            }
-            Architecture::CrossEncoder | Architecture::CrossEncoderWithIntent => {
-                let mut joint = qf;
-                joint.append(&mut pf);
-                for q in q_toks.iter().take(CROSS_CAP) {
-                    for p in p_toks.iter().take(CROSS_CAP) {
-                        joint.push(bucket(hash_str_ns(&format!("{q}|{p}"), NS_QP), b));
-                    }
-                }
-                if joint.is_empty() {
-                    joint.push(0);
-                }
-                let mut g_block = Vec::new();
-                if self.arch == Architecture::CrossEncoderWithIntent {
-                    // Dedicated G segment: tails + bigram connection
-                    // markers pooled separately so the intent signal is not
-                    // diluted by the (much larger) lexical feature set.
-                    for g in &g_toks {
-                        g_block.push(bucket(hash_str_ns(g, NS_G), b));
-                    }
-                    for w in g_toks.windows(2) {
-                        g_block.push(bucket(hash_str_ns(&format!("{} {}", w[0], w[1]), NS_QG), b));
-                    }
-                    if g_block.is_empty() {
-                        g_block.push(1);
-                    }
-                }
-                (joint, g_block)
-            }
-        }
-    }
-
     /// Forward a batch, returning logits `[n×4]`.
     fn forward_batch(&self, tape: &mut Tape, batch: &[&EsciExample]) -> cosmo_nn::Var {
-        let table = self.emb.table(tape, &self.store);
-        let mut ids_a = Vec::new();
-        let mut seg_a = Vec::new();
-        let mut ids_b = Vec::new();
-        let mut seg_b = Vec::new();
-        for (s, e) in batch.iter().enumerate() {
-            let (a, bfeat) = self.field_features(e);
-            for f in a {
-                ids_a.push(f);
-                seg_a.push(s);
-            }
-            for f in bfeat {
-                ids_b.push(f);
-                seg_b.push(s);
-            }
-        }
-        let pooled_a = {
-            let rows = tape.gather(table, &ids_a);
-            tape.segment_mean(rows, &seg_a, batch.len())
-        };
-        let pooled = if self.arch == Architecture::CrossEncoder {
-            pooled_a
-        } else {
-            // bi-encoder: second tower; w/ intent: the G segment
-            let rows = tape.gather(table, &ids_b);
-            let pooled_b = tape.segment_mean(rows, &seg_b, batch.len());
-            tape.concat_cols(pooled_a, pooled_b)
-        };
-        self.head.forward(tape, &self.store, pooled)
+        forward_examples(
+            tape,
+            &self.store,
+            &self.emb,
+            &self.head,
+            self.arch,
+            self.cfg.buckets,
+            batch,
+        )
     }
 
     /// Train on the dataset's train split.
     pub fn train(&mut self, dataset: &EsciDataset) {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x7141);
         let mut opt = Adam::new(self.cfg.lr);
+        let mut runner = ShardRunner::new(self.cfg.threads);
         let mut order: Vec<usize> = (0..dataset.train.len()).collect();
+        let (arch, buckets, microbatch) = (self.arch, self.cfg.buckets, self.cfg.microbatch);
         for _ in 0..self.cfg.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(self.cfg.batch) {
                 let batch: Vec<&EsciExample> = chunk.iter().map(|&i| &dataset.train[i]).collect();
-                let targets: Vec<usize> = batch.iter().map(|e| e.label.index()).collect();
-                let mut tape = Tape::new();
-                let logits = self.forward_batch(&mut tape, &batch);
-                let loss = tape.cross_entropy(logits, &targets);
-                tape.backward(loss);
-                self.store.zero_grads();
-                tape.accumulate_param_grads(&mut self.store);
+                let shards = shard_ranges(batch.len(), microbatch);
+                let batch_len = batch.len();
+                let (emb, head) = (&self.emb, &self.head);
+                runner.grad_step(&mut self.store, shards.len(), |tape, s, shard_i| {
+                    let range = shards[shard_i].clone();
+                    let shard = &batch[range.start..range.end];
+                    let targets: Vec<usize> = shard.iter().map(|e| e.label.index()).collect();
+                    let logits = forward_examples(tape, s, emb, head, arch, buckets, shard);
+                    let loss = tape.cross_entropy(logits, &targets);
+                    tape.scale(loss, range.len() as f32 / batch_len as f32)
+                });
                 opt.step(&mut self.store);
             }
         }
@@ -293,6 +238,103 @@ impl RelevanceModel {
             micro_f1: conf.micro_f1() * 100.0,
         }
     }
+}
+
+/// Hashed features per field for one example (free function so sharded
+/// training closures can run it while the store is mutably borrowed).
+fn field_features(arch: Architecture, b: usize, e: &EsciExample) -> (Vec<usize>, Vec<usize>) {
+    let q_toks = tokenize(&e.query);
+    let p_toks = tokenize(&e.product);
+    let g_toks = tokenize(&e.knowledge);
+    let mut qf: Vec<usize> = q_toks
+        .iter()
+        .map(|t| bucket(hash_str_ns(t, NS_Q), b))
+        .collect();
+    let mut pf: Vec<usize> = p_toks
+        .iter()
+        .map(|t| bucket(hash_str_ns(t, NS_P), b))
+        .collect();
+    match arch {
+        Architecture::BiEncoder => {
+            // strictly independent towers: (query feats, product feats)
+            if qf.is_empty() {
+                qf.push(0);
+            }
+            if pf.is_empty() {
+                pf.push(0);
+            }
+            (qf, pf)
+        }
+        Architecture::CrossEncoder | Architecture::CrossEncoderWithIntent => {
+            let mut joint = qf;
+            joint.append(&mut pf);
+            for q in q_toks.iter().take(CROSS_CAP) {
+                for p in p_toks.iter().take(CROSS_CAP) {
+                    joint.push(bucket(hash_str_ns(&format!("{q}|{p}"), NS_QP), b));
+                }
+            }
+            if joint.is_empty() {
+                joint.push(0);
+            }
+            let mut g_block = Vec::new();
+            if arch == Architecture::CrossEncoderWithIntent {
+                // Dedicated G segment: tails + bigram connection
+                // markers pooled separately so the intent signal is not
+                // diluted by the (much larger) lexical feature set.
+                for g in &g_toks {
+                    g_block.push(bucket(hash_str_ns(g, NS_G), b));
+                }
+                for w in g_toks.windows(2) {
+                    g_block.push(bucket(hash_str_ns(&format!("{} {}", w[0], w[1]), NS_QG), b));
+                }
+                if g_block.is_empty() {
+                    g_block.push(1);
+                }
+            }
+            (joint, g_block)
+        }
+    }
+}
+
+/// Forward a batch of examples, returning logits `[n×4]`.
+fn forward_examples(
+    tape: &mut Tape,
+    store: &ParamStore,
+    emb: &Embedding,
+    head: &Mlp,
+    arch: Architecture,
+    buckets: usize,
+    batch: &[&EsciExample],
+) -> cosmo_nn::Var {
+    let table = emb.table(tape, store);
+    let mut ids_a = Vec::new();
+    let mut seg_a = Vec::new();
+    let mut ids_b = Vec::new();
+    let mut seg_b = Vec::new();
+    for (s, e) in batch.iter().enumerate() {
+        let (a, bfeat) = field_features(arch, buckets, e);
+        for f in a {
+            ids_a.push(f);
+            seg_a.push(s);
+        }
+        for f in bfeat {
+            ids_b.push(f);
+            seg_b.push(s);
+        }
+    }
+    let pooled_a = {
+        let rows = tape.gather(table, &ids_a);
+        tape.segment_mean(rows, &seg_a, batch.len())
+    };
+    let pooled = if arch == Architecture::CrossEncoder {
+        pooled_a
+    } else {
+        // bi-encoder: second tower; w/ intent: the G segment
+        let rows = tape.gather(table, &ids_b);
+        let pooled_b = tape.segment_mean(rows, &seg_b, batch.len());
+        tape.concat_cols(pooled_a, pooled_b)
+    };
+    head.forward(tape, store, pooled)
 }
 
 /// Train and evaluate one architecture on one dataset (Table 6 cell).
@@ -413,5 +455,29 @@ mod tests {
         let model = RelevanceModel::new(Architecture::BiEncoder, quick_cfg(true));
         let refs: Vec<&EsciExample> = ds.test.iter().collect();
         assert_eq!(model.predict(&refs).len(), ds.test.len());
+    }
+
+    /// Sharded training must be byte-identical at `threads = 1` and
+    /// `threads = 4` (same shard structure, fixed merge order).
+    #[test]
+    fn relevance_training_is_thread_count_invariant() {
+        let ds = dataset();
+        let run = |threads: usize| {
+            run_architecture(
+                ds,
+                Architecture::CrossEncoderWithIntent,
+                RelevanceConfig {
+                    epochs: 2,
+                    microbatch: 16,
+                    threads,
+                    ..Default::default()
+                },
+            )
+        };
+        assert_eq!(
+            run(1),
+            run(4),
+            "relevance results diverged across thread counts"
+        );
     }
 }

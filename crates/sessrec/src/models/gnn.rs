@@ -1,9 +1,17 @@
 //! Graph models: SR-GNN, GC-SAN, GCE-GNN and COSMO-GNN (§4.2.2–§4.2.3).
+//!
+//! The shared fit loop ([`gnn_fit_loop!`]) trains through
+//! [`ShardRunner`]: the default `batch_instances = 0` replays the original
+//! one-step-per-instance schedule bitwise, while `batch_instances = k`
+//! groups `k` prefix instances per optimizer step (one shard each, merged
+//! in instance order) so the `threads` knob scales throughput without
+//! changing any result.
 
 use super::{global_cooccurrence, prefix_instances, rng_for, SessionModel, TrainConfig};
 use crate::dataset::SessionDataset;
 use cosmo_nn::layers::{attention_pool, Embedding, Linear, Mlp};
 use cosmo_nn::opt::Adam;
+use cosmo_nn::train::ShardRunner;
 use cosmo_nn::{ParamStore, Tape, Tensor, Var};
 use cosmo_text::FxHashMap;
 
@@ -120,30 +128,48 @@ impl GgnnCore {
     }
 }
 
+/// SR-GNN session representation: propagate over the session graph, then
+/// the standard attention readout.
+fn ggnn_rep(core: &GgnnCore, store: &ParamStore, tape: &mut Tape, items: &[usize]) -> Var {
+    let (nodes, alias, a_in, a_out) = session_graph(items);
+    let h = core.propagate(tape, store, &nodes, &a_in, &a_out, 1);
+    core.readout(tape, store, h, &alias)
+}
+
+/// Global aggregation matrix for a session's nodes: `[n×V]` rows of
+/// neighbour weights, multiplied against the full item table.
+fn global_matrix(global_nbrs: &[Vec<(usize, f32)>], nodes: &[usize], v: usize) -> Tensor {
+    let mut g = Tensor::zeros(nodes.len(), v);
+    for (r, &node) in nodes.iter().enumerate() {
+        for &(nbr, w) in &global_nbrs[node] {
+            g.set(r, nbr, w);
+        }
+    }
+    g
+}
+
 macro_rules! gnn_fit_loop {
-    ($self:ident, $ds:ident, $cfg:ident, $rng:ident, $rep_fn:expr) => {{
+    ($self:ident, $ds:ident, $cfg:ident, $rng:ident, $core:ident, $rep_fn:expr) => {{
         let mut opt = Adam::new($cfg.lr);
+        let mut runner = ShardRunner::new($cfg.threads);
+        let group = $cfg.batch_instances.max(1);
         for _ in 0..$cfg.epochs {
             let instances = prefix_instances($ds, $cfg, &mut $rng);
-            for (si, len) in instances {
-                let s = &$ds.train[si];
-                let prefix = &s.items[..len - 1];
-                let queries = &s.queries[..len];
-                let target = s.items[len - 1];
-                let mut tape = Tape::new();
-                #[allow(clippy::redundant_closure_call)]
-                let rep: Var = ($rep_fn)(&*$self, &mut tape, $ds, prefix, queries);
-                let table = $self
-                    .core
-                    .as_ref()
-                    .unwrap()
-                    .emb
-                    .table(&mut tape, &$self.store);
-                let logits = tape.matmul_nt(rep, table);
-                let loss = tape.cross_entropy(logits, &[target]);
-                tape.backward(loss);
-                $self.store.zero_grads();
-                tape.accumulate_param_grads(&mut $self.store);
+            for batch in instances.chunks(group) {
+                let batch_len = batch.len();
+                runner.grad_step(&mut $self.store, batch_len, |tape, st, i| {
+                    let (si, len) = batch[i];
+                    let s = &$ds.train[si];
+                    let prefix = &s.items[..len - 1];
+                    let queries = &s.queries[..len];
+                    let target = s.items[len - 1];
+                    #[allow(clippy::redundant_closure_call)]
+                    let rep: Var = ($rep_fn)(tape, st, $ds, prefix, queries);
+                    let table = $core.emb.table(tape, st);
+                    let logits = tape.matmul_nt(rep, table);
+                    let loss = tape.cross_entropy(logits, &[target]);
+                    tape.scale(loss, 1.0 / batch_len as f32)
+                });
                 opt.step(&mut $self.store);
             }
         }
@@ -164,13 +190,6 @@ impl SrGnn {
             store: ParamStore::new(),
             core: None,
         }
-    }
-
-    fn rep(&self, tape: &mut Tape, items: &[usize]) -> Var {
-        let core = self.core.as_ref().unwrap();
-        let (nodes, alias, a_in, a_out) = session_graph(items);
-        let h = core.propagate(tape, &self.store, &nodes, &a_in, &a_out, 1);
-        core.readout(tape, &self.store, h, &alias)
     }
 }
 
@@ -194,29 +213,64 @@ impl SessionModel for SrGnn {
             cfg.dim,
             &mut rng,
         ));
+        let core = self.core.as_ref().unwrap();
         gnn_fit_loop!(
             self,
             ds,
             cfg,
             rng,
-            |m: &Self, tape: &mut Tape, _ds: &SessionDataset, items: &[usize], _q: &[usize]| {
-                m.rep(tape, items)
-            }
+            core,
+            |tape: &mut Tape,
+             st: &ParamStore,
+             _ds: &SessionDataset,
+             items: &[usize],
+             _q: &[usize]| { ggnn_rep(core, st, tape, items) }
         );
     }
 
     fn score_prefix(&self, _ds: &SessionDataset, items: &[usize], _queries: &[usize]) -> Vec<f32> {
+        let core = self.core.as_ref().unwrap();
         let mut tape = Tape::new();
-        let rep = self.rep(&mut tape, items);
-        let table = self
-            .core
-            .as_ref()
-            .unwrap()
-            .emb
-            .table(&mut tape, &self.store);
+        let rep = ggnn_rep(core, &self.store, &mut tape, items);
+        let table = core.emb.table(&mut tape, &self.store);
         let logits = tape.matmul_nt(rep, table);
         tape.value(logits).row_slice(0).to_vec()
     }
+}
+
+/// GC-SAN session representation: SR-GNN propagation followed by a
+/// single-head self-attention block over the position sequence,
+/// residually combined.
+fn gcsan_rep(
+    core: &GgnnCore,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    store: &ParamStore,
+    tape: &mut Tape,
+    items: &[usize],
+) -> Var {
+    let (nodes, alias, a_in, a_out) = session_graph(items);
+    let h = core.propagate(tape, store, &nodes, &a_in, &a_out, 1);
+    // sequence view + single-head self-attention
+    let seq = tape.gather(h, &alias);
+    let q = wq.forward(tape, store, seq);
+    let k = wk.forward(tape, store, seq);
+    let v = wv.forward(tape, store, seq);
+    let scores = tape.matmul_nt(q, k);
+    let scaled = tape.scale(scores, 1.0 / (core.dim as f32).sqrt());
+    let attn = tape.softmax(scaled);
+    let ctx = tape.matmul(attn, v);
+    let ctx = tape.scale(ctx, 0.5);
+    let residual = tape.add(ctx, seq);
+    // readout: last position + attention pool + sequence mean
+    let last = tape.gather(residual, &[alias.len() - 1]);
+    let mean = tape.mean_rows(residual);
+    let q = tape.add(last, mean);
+    let pooled = attention_pool(tape, q, residual);
+    let a = tape.concat_cols(pooled, last);
+    let cat = tape.concat_cols(a, mean);
+    core.readout_combine.forward(tape, store, cat)
 }
 
 /// GC-SAN (Xu et al. 2019): SR-GNN propagation followed by a self-attention
@@ -239,31 +293,6 @@ impl GcSan {
             wk: None,
             wv: None,
         }
-    }
-
-    fn rep(&self, tape: &mut Tape, items: &[usize]) -> Var {
-        let core = self.core.as_ref().unwrap();
-        let (nodes, alias, a_in, a_out) = session_graph(items);
-        let h = core.propagate(tape, &self.store, &nodes, &a_in, &a_out, 1);
-        // sequence view + single-head self-attention
-        let seq = tape.gather(h, &alias);
-        let q = self.wq.unwrap().forward(tape, &self.store, seq);
-        let k = self.wk.unwrap().forward(tape, &self.store, seq);
-        let v = self.wv.unwrap().forward(tape, &self.store, seq);
-        let scores = tape.matmul_nt(q, k);
-        let scaled = tape.scale(scores, 1.0 / (core.dim as f32).sqrt());
-        let attn = tape.softmax(scaled);
-        let ctx = tape.matmul(attn, v);
-        let ctx = tape.scale(ctx, 0.5);
-        let residual = tape.add(ctx, seq);
-        // readout: last position + attention pool + sequence mean
-        let last = tape.gather(residual, &[alias.len() - 1]);
-        let mean = tape.mean_rows(residual);
-        let q = tape.add(last, mean);
-        let pooled = attention_pool(tape, q, residual);
-        let a = tape.concat_cols(pooled, last);
-        let cat = tape.concat_cols(a, mean);
-        core.readout_combine.forward(tape, &self.store, cat)
     }
 }
 
@@ -308,29 +337,59 @@ impl SessionModel for GcSan {
             cfg.dim,
             &mut rng,
         ));
+        let core = self.core.as_ref().unwrap();
+        let (wq, wk, wv) = (self.wq.unwrap(), self.wk.unwrap(), self.wv.unwrap());
         gnn_fit_loop!(
             self,
             ds,
             cfg,
             rng,
-            |m: &Self, tape: &mut Tape, _ds: &SessionDataset, items: &[usize], _q: &[usize]| {
-                m.rep(tape, items)
-            }
+            core,
+            |tape: &mut Tape,
+             st: &ParamStore,
+             _ds: &SessionDataset,
+             items: &[usize],
+             _q: &[usize]| { gcsan_rep(core, wq, wk, wv, st, tape, items) }
         );
     }
 
     fn score_prefix(&self, _ds: &SessionDataset, items: &[usize], _queries: &[usize]) -> Vec<f32> {
+        let core = self.core.as_ref().unwrap();
         let mut tape = Tape::new();
-        let rep = self.rep(&mut tape, items);
-        let table = self
-            .core
-            .as_ref()
-            .unwrap()
-            .emb
-            .table(&mut tape, &self.store);
+        let rep = gcsan_rep(
+            core,
+            self.wq.unwrap(),
+            self.wk.unwrap(),
+            self.wv.unwrap(),
+            &self.store,
+            &mut tape,
+            items,
+        );
+        let table = core.emb.table(&mut tape, &self.store);
         let logits = tape.matmul_nt(rep, table);
         tape.value(logits).row_slice(0).to_vec()
     }
+}
+
+/// GCE-GNN session representation: session-level propagation fused with
+/// the global co-occurrence aggregation, then the standard readout.
+fn gce_rep(
+    core: &GgnnCore,
+    global_proj: Linear,
+    global_nbrs: &[Vec<(usize, f32)>],
+    store: &ParamStore,
+    tape: &mut Tape,
+    items: &[usize],
+) -> Var {
+    let (nodes, alias, a_in, a_out) = session_graph(items);
+    let h_sess = core.propagate(tape, store, &nodes, &a_in, &a_out, 1);
+    // global-level aggregation
+    let table = core.emb.table(tape, store);
+    let g = tape.input(global_matrix(global_nbrs, &nodes, core.emb.vocab()));
+    let h_glob_raw = tape.matmul(g, table);
+    let h_glob = global_proj.forward(tape, store, h_glob_raw);
+    let h = tape.add(h_sess, h_glob);
+    core.readout(tape, store, h, &alias)
 }
 
 /// GCE-GNN (Wang et al. 2020): session-level propagation fused with a
@@ -352,34 +411,6 @@ impl GceGnn {
             global_proj: None,
             global_nbrs: Vec::new(),
         }
-    }
-
-    /// Global aggregation matrix for the session's nodes: `[n×V]` rows of
-    /// neighbour weights, multiplied against the full item table.
-    fn global_matrix(&self, nodes: &[usize], v: usize) -> Tensor {
-        let mut g = Tensor::zeros(nodes.len(), v);
-        for (r, &node) in nodes.iter().enumerate() {
-            for &(nbr, w) in &self.global_nbrs[node] {
-                g.set(r, nbr, w);
-            }
-        }
-        g
-    }
-
-    fn rep(&self, tape: &mut Tape, items: &[usize]) -> Var {
-        let core = self.core.as_ref().unwrap();
-        let (nodes, alias, a_in, a_out) = session_graph(items);
-        let h_sess = core.propagate(tape, &self.store, &nodes, &a_in, &a_out, 1);
-        // global-level aggregation
-        let table = core.emb.table(tape, &self.store);
-        let g = tape.input(self.global_matrix(&nodes, core.emb.vocab()));
-        let h_glob_raw = tape.matmul(g, table);
-        let h_glob = self
-            .global_proj
-            .unwrap()
-            .forward(tape, &self.store, h_glob_raw);
-        let h = tape.add(h_sess, h_glob);
-        core.readout(tape, &self.store, h, &alias)
     }
 }
 
@@ -411,29 +442,99 @@ impl SessionModel for GceGnn {
             &mut rng,
         ));
         self.global_nbrs = global_cooccurrence(ds, 8);
+        let core = self.core.as_ref().unwrap();
+        let global_proj = self.global_proj.unwrap();
+        let global_nbrs = &self.global_nbrs;
         gnn_fit_loop!(
             self,
             ds,
             cfg,
             rng,
-            |m: &Self, tape: &mut Tape, _ds: &SessionDataset, items: &[usize], _q: &[usize]| {
-                m.rep(tape, items)
-            }
+            core,
+            |tape: &mut Tape,
+             st: &ParamStore,
+             _ds: &SessionDataset,
+             items: &[usize],
+             _q: &[usize]| { gce_rep(core, global_proj, global_nbrs, st, tape, items) }
         );
     }
 
     fn score_prefix(&self, _ds: &SessionDataset, items: &[usize], _queries: &[usize]) -> Vec<f32> {
+        let core = self.core.as_ref().unwrap();
         let mut tape = Tape::new();
-        let rep = self.rep(&mut tape, items);
-        let table = self
-            .core
-            .as_ref()
-            .unwrap()
-            .emb
-            .table(&mut tape, &self.store);
+        let rep = gce_rep(
+            core,
+            self.global_proj.unwrap(),
+            &self.global_nbrs,
+            &self.store,
+            &mut tape,
+            items,
+        );
+        let table = core.emb.table(&mut tape, &self.store);
         let logits = tape.matmul_nt(rep, table);
         tape.value(logits).row_slice(0).to_vec()
     }
+}
+
+/// Per-query knowledge embedding matrix `[T×knowledge_dim]` for a
+/// session's query sequence (zero rows where knowledge is missing).
+fn knowledge_matrix(ds: &SessionDataset, queries: &[usize], knowledge_dim: usize) -> Tensor {
+    let mut t = Tensor::zeros(queries.len(), knowledge_dim);
+    for (r, &q) in queries.iter().enumerate() {
+        let k = &ds.query_knowledge[q];
+        if k.len() == knowledge_dim {
+            t.row_slice_mut(r).copy_from_slice(k);
+        }
+    }
+    t
+}
+
+/// COSMO-GNN session representation: GCE-GNN style fusion plus the
+/// knowledge-conditioned readout of §4.2.3.
+#[allow(clippy::too_many_arguments)]
+fn cosmo_rep(
+    core: &GgnnCore,
+    global_proj: Linear,
+    knowledge_mlp: Mlp,
+    fuse: Linear,
+    global_nbrs: &[Vec<(usize, f32)>],
+    knowledge_dim: usize,
+    store: &ParamStore,
+    tape: &mut Tape,
+    ds: &SessionDataset,
+    items: &[usize],
+    queries: &[usize],
+) -> Var {
+    let (nodes, alias, a_in, a_out) = session_graph(items);
+    let h_sess = core.propagate(tape, store, &nodes, &a_in, &a_out, 1);
+    let table = core.emb.table(tape, store);
+    let g = tape.input(global_matrix(global_nbrs, &nodes, core.emb.vocab()));
+    let h_glob_raw = tape.matmul(g, table);
+    let h_glob = global_proj.forward(tape, store, h_glob_raw);
+    let h = tape.add(h_sess, h_glob);
+    // knowledge-conditioned readout: the current step's transformed
+    // knowledge embedding joins the attention query, steering the
+    // readout towards items serving the active intent
+    let know_pre = tape.input(knowledge_matrix(ds, queries, knowledge_dim));
+    let ghat_pre = knowledge_mlp.forward(tape, store, know_pre);
+    let glast_pre = tape.gather(ghat_pre, &[queries.len() - 1]);
+    let last_n = tape.gather(h, &[*alias.last().unwrap()]);
+    let mean_n = tape.mean_rows(h);
+    let q0 = tape.add(last_n, mean_n);
+    let q = tape.add(q0, glast_pre);
+    let pooled = attention_pool(tape, q, h);
+    let a0 = tape.concat_cols(pooled, last_n);
+    let cat0 = tape.concat_cols(a0, mean_n);
+    let base = core.readout_combine.forward(tape, store, cat0);
+    // per-step knowledge embeddings g_t → MLP → ĝ_t (§4.2.3: the same
+    // LM vectorises the generated knowledge; a two-layer perceptron
+    // aligns it with the GNN feature space)
+    // average pooling over steps plus the current (last) step
+    let gmean = tape.mean_rows(ghat_pre);
+    let glast = tape.gather(ghat_pre, &[queries.len() - 1]);
+    let kno = tape.concat_cols(gmean, glast);
+    let all = tape.concat_cols(base, kno);
+    fuse.forward(tape, store, all)
 }
 
 /// COSMO-GNN (§4.2.3): GCE-GNN extended with COSMO knowledge — each step's
@@ -463,68 +564,6 @@ impl CosmoGnn {
             global_nbrs: Vec::new(),
             knowledge_dim: 0,
         }
-    }
-
-    fn knowledge_matrix(&self, ds: &SessionDataset, queries: &[usize]) -> Tensor {
-        let mut t = Tensor::zeros(queries.len(), self.knowledge_dim);
-        for (r, &q) in queries.iter().enumerate() {
-            let k = &ds.query_knowledge[q];
-            if k.len() == self.knowledge_dim {
-                t.row_slice_mut(r).copy_from_slice(k);
-            }
-        }
-        t
-    }
-
-    fn rep(&self, tape: &mut Tape, ds: &SessionDataset, items: &[usize], queries: &[usize]) -> Var {
-        let core = self.core.as_ref().unwrap();
-        let (nodes, alias, a_in, a_out) = session_graph(items);
-        let h_sess = core.propagate(tape, &self.store, &nodes, &a_in, &a_out, 1);
-        let table = core.emb.table(tape, &self.store);
-        let g = tape.input(self.global_matrix_like(&nodes, core.emb.vocab()));
-        let h_glob_raw = tape.matmul(g, table);
-        let h_glob = self
-            .global_proj
-            .unwrap()
-            .forward(tape, &self.store, h_glob_raw);
-        let h = tape.add(h_sess, h_glob);
-        // knowledge-conditioned readout: the current step's transformed
-        // knowledge embedding joins the attention query, steering the
-        // readout towards items serving the active intent
-        let know_pre = tape.input(self.knowledge_matrix(ds, queries));
-        let ghat_pre = self
-            .knowledge_mlp
-            .as_ref()
-            .unwrap()
-            .forward(tape, &self.store, know_pre);
-        let glast_pre = tape.gather(ghat_pre, &[queries.len() - 1]);
-        let last_n = tape.gather(h, &[*alias.last().unwrap()]);
-        let mean_n = tape.mean_rows(h);
-        let q0 = tape.add(last_n, mean_n);
-        let q = tape.add(q0, glast_pre);
-        let pooled = attention_pool(tape, q, h);
-        let a0 = tape.concat_cols(pooled, last_n);
-        let cat0 = tape.concat_cols(a0, mean_n);
-        let base = core.readout_combine.forward(tape, &self.store, cat0);
-        // per-step knowledge embeddings g_t → MLP → ĝ_t (§4.2.3: the same
-        // LM vectorises the generated knowledge; a two-layer perceptron
-        // aligns it with the GNN feature space)
-        // average pooling over steps plus the current (last) step
-        let gmean = tape.mean_rows(ghat_pre);
-        let glast = tape.gather(ghat_pre, &[queries.len() - 1]);
-        let kno = tape.concat_cols(gmean, glast);
-        let all = tape.concat_cols(base, kno);
-        self.fuse.unwrap().forward(tape, &self.store, all)
-    }
-
-    fn global_matrix_like(&self, nodes: &[usize], v: usize) -> Tensor {
-        let mut g = Tensor::zeros(nodes.len(), v);
-        for (r, &node) in nodes.iter().enumerate() {
-            for &(nbr, w) in &self.global_nbrs[node] {
-                g.set(r, nbr, w);
-            }
-        }
-        g
     }
 }
 
@@ -577,26 +616,59 @@ impl SessionModel for CosmoGnn {
             cfg.dim,
             &mut rng,
         ));
+        let core = self.core.as_ref().unwrap();
+        let (global_proj, knowledge_mlp, fuse) = (
+            self.global_proj.unwrap(),
+            self.knowledge_mlp.unwrap(),
+            self.fuse.unwrap(),
+        );
+        let global_nbrs = &self.global_nbrs;
+        let knowledge_dim = self.knowledge_dim;
         gnn_fit_loop!(
             self,
             ds,
             cfg,
             rng,
-            |m: &Self, tape: &mut Tape, ds: &SessionDataset, items: &[usize], q: &[usize]| {
-                m.rep(tape, ds, items, q)
+            core,
+            |tape: &mut Tape,
+             st: &ParamStore,
+             ds: &SessionDataset,
+             items: &[usize],
+             q: &[usize]| {
+                cosmo_rep(
+                    core,
+                    global_proj,
+                    knowledge_mlp,
+                    fuse,
+                    global_nbrs,
+                    knowledge_dim,
+                    st,
+                    tape,
+                    ds,
+                    items,
+                    q,
+                )
             }
         );
     }
 
     fn score_prefix(&self, ds: &SessionDataset, items: &[usize], queries: &[usize]) -> Vec<f32> {
+        let core = self.core.as_ref().unwrap();
         let mut tape = Tape::new();
-        let rep = self.rep(&mut tape, ds, items, queries);
-        let table = self
-            .core
-            .as_ref()
-            .unwrap()
-            .emb
-            .table(&mut tape, &self.store);
+        let rep = cosmo_rep(
+            core,
+            self.global_proj.unwrap(),
+            self.knowledge_mlp.unwrap(),
+            self.fuse.unwrap(),
+            &self.global_nbrs,
+            self.knowledge_dim,
+            &self.store,
+            &mut tape,
+            ds,
+            items,
+            queries,
+        );
+        let table = core.emb.table(&mut tape, &self.store);
         let logits = tape.matmul_nt(rep, table);
         tape.value(logits).row_slice(0).to_vec()
     }

@@ -1,10 +1,17 @@
 //! Sequential baselines: FPMC, GRU4Rec, STAMP, CSRM (§4.2.2).
+//!
+//! Every fit loop runs through [`ShardRunner`], so the `threads` knob in
+//! [`TrainConfig`] parallelises gradient work without changing results:
+//! with the default `batch_instances = 0` each optimizer step replays the
+//! original single-tape schedule bitwise, and any grouping is a function
+//! of the data alone, never of the thread count.
 
 use super::{prefix_instances, rng_for, SessionModel, TrainConfig};
 use crate::dataset::SessionDataset;
 use cosmo_nn::layers::{attention_pool, Embedding, GruCell, Linear};
 use cosmo_nn::opt::Adam;
-use cosmo_nn::{ParamStore, Tape, Tensor, Var};
+use cosmo_nn::train::{shard_ranges, ShardRunner};
+use cosmo_nn::{ParamId, ParamStore, Tape, Tensor, Var};
 use rand::Rng;
 
 /// FPMC (Rendle et al. 2010): a factorized first-order Markov chain —
@@ -16,7 +23,7 @@ pub struct Fpmc {
     store: ParamStore,
     last_emb: Option<Embedding>,
     item_emb: Option<Embedding>,
-    bias: Option<cosmo_nn::ParamId>,
+    bias: Option<ParamId>,
 }
 
 impl Fpmc {
@@ -60,7 +67,13 @@ impl SessionModel for Fpmc {
             &mut rng,
         ));
         self.bias = Some(self.store.add("fpmc.bias", Tensor::zeros(1, v)));
+        let (last_emb, item_emb, bias) = (
+            self.last_emb.unwrap(),
+            self.item_emb.unwrap(),
+            self.bias.unwrap(),
+        );
         let mut opt = Adam::new(cfg.lr);
+        let mut runner = ShardRunner::new(cfg.threads);
         for _ in 0..cfg.epochs {
             let mut order: Vec<usize> = (0..ds.train.len()).collect();
             use rand::seq::SliceRandom;
@@ -81,19 +94,18 @@ impl SessionModel for Fpmc {
                 if lasts.is_empty() {
                     continue;
                 }
-                let mut tape = Tape::new();
-                let l = self
-                    .last_emb
-                    .unwrap()
-                    .forward(&mut tape, &self.store, &lasts);
-                let table = self.item_emb.unwrap().table(&mut tape, &self.store);
-                let logits = tape.matmul_nt(l, table);
-                let b = tape.param(&self.store, self.bias.unwrap());
-                let logits = tape.add_row(logits, b);
-                let loss = tape.cross_entropy(logits, &targets);
-                tape.backward(loss);
-                self.store.zero_grads();
-                tape.accumulate_param_grads(&mut self.store);
+                let shards = shard_ranges(lasts.len(), cfg.batch_instances);
+                let n_pairs = lasts.len();
+                runner.grad_step(&mut self.store, shards.len(), |tape, st, i| {
+                    let r = shards[i].clone();
+                    let l = last_emb.forward(tape, st, &lasts[r.start..r.end]);
+                    let table = item_emb.table(tape, st);
+                    let logits = tape.matmul_nt(l, table);
+                    let b = tape.param(st, bias);
+                    let logits = tape.add_row(logits, b);
+                    let loss = tape.cross_entropy(logits, &targets[r.start..r.end]);
+                    tape.scale(loss, r.len() as f32 / n_pairs as f32)
+                });
                 opt.step(&mut self.store);
             }
         }
@@ -112,6 +124,24 @@ impl SessionModel for Fpmc {
         let logits = tape.add_row(logits, b);
         tape.value(logits).row_slice(0).to_vec()
     }
+}
+
+/// Run a GRU over an item prefix, returning all hidden states `[T×d]`
+/// stacked on the tape.
+fn gru_hidden_states(
+    emb: Embedding,
+    gru: GruCell,
+    dim: usize,
+    tape: &mut Tape,
+    store: &ParamStore,
+    items: &[usize],
+) -> Vec<Var> {
+    let xs: Vec<Var> = items
+        .iter()
+        .map(|&i| emb.forward(tape, store, &[i]))
+        .collect();
+    let h0 = tape.input(Tensor::zeros(1, dim));
+    gru.run(tape, store, &xs, h0)
 }
 
 /// GRU4Rec (Hidasi et al. 2016): item embeddings → GRU → hidden state →
@@ -133,17 +163,6 @@ impl Gru4Rec {
             gru: None,
             dim: 0,
         }
-    }
-
-    /// Run the GRU over an item prefix, returning all hidden states
-    /// `[T×d]` stacked on the tape.
-    fn hidden_states(&self, tape: &mut Tape, items: &[usize]) -> Vec<Var> {
-        let xs: Vec<Var> = items
-            .iter()
-            .map(|&i| self.emb.unwrap().forward(tape, &self.store, &[i]))
-            .collect();
-        let h0 = tape.input(Tensor::zeros(1, self.dim));
-        self.gru.unwrap().run(tape, &self.store, &xs, h0)
     }
 }
 
@@ -175,7 +194,10 @@ impl SessionModel for Gru4Rec {
             cfg.dim,
             &mut rng,
         ));
+        let (emb, gru, dim) = (self.emb.unwrap(), self.gru.unwrap(), self.dim);
         let mut opt = Adam::new(cfg.lr);
+        let mut runner = ShardRunner::new(cfg.threads);
+        let group = cfg.batch_instances.max(1);
         for _ in 0..cfg.epochs {
             let mut order: Vec<usize> = (0..ds.train.len()).collect();
             use rand::seq::SliceRandom;
@@ -183,30 +205,29 @@ impl SessionModel for Gru4Rec {
             if cfg.max_sessions > 0 {
                 order.truncate(cfg.max_sessions);
             }
-            for &si in &order {
-                let s = &ds.train[si];
-                if s.items.len() < 2 {
-                    continue;
-                }
-                let mut tape = Tape::new();
-                let hs = self.hidden_states(&mut tape, &s.items[..s.items.len() - 1]);
-                // stack hidden states via repeated concat-free gather trick:
-                // score each state against the table and stack losses
-                let table = self.emb.unwrap().table(&mut tape, &self.store);
-                let targets: Vec<usize> = s.items[1..].to_vec();
-                let mut total: Option<Var> = None;
-                for (h, &t) in hs.iter().zip(targets.iter()) {
-                    let logits = tape.matmul_nt(*h, table);
-                    let loss = tape.cross_entropy(logits, &[t]);
-                    total = Some(match total {
-                        Some(acc) => tape.add(acc, loss),
-                        None => loss,
-                    });
-                }
-                let loss = tape.scale(total.unwrap(), 1.0 / targets.len() as f32);
-                tape.backward(loss);
-                self.store.zero_grads();
-                tape.accumulate_param_grads(&mut self.store);
+            order.retain(|&si| ds.train[si].items.len() >= 2);
+            for batch in order.chunks(group) {
+                let batch_len = batch.len();
+                runner.grad_step(&mut self.store, batch_len, |tape, st, i| {
+                    let s = &ds.train[batch[i]];
+                    let hs =
+                        gru_hidden_states(emb, gru, dim, tape, st, &s.items[..s.items.len() - 1]);
+                    // stack hidden states via repeated concat-free gather trick:
+                    // score each state against the table and stack losses
+                    let table = emb.table(tape, st);
+                    let targets: Vec<usize> = s.items[1..].to_vec();
+                    let mut total: Option<Var> = None;
+                    for (h, &t) in hs.iter().zip(targets.iter()) {
+                        let logits = tape.matmul_nt(*h, table);
+                        let loss = tape.cross_entropy(logits, &[t]);
+                        total = Some(match total {
+                            Some(acc) => tape.add(acc, loss),
+                            None => loss,
+                        });
+                    }
+                    let loss = tape.scale(total.unwrap(), 1.0 / targets.len() as f32);
+                    tape.scale(loss, 1.0 / batch_len as f32)
+                });
                 opt.step(&mut self.store);
             }
         }
@@ -214,11 +235,42 @@ impl SessionModel for Gru4Rec {
 
     fn score_prefix(&self, _ds: &SessionDataset, items: &[usize], _queries: &[usize]) -> Vec<f32> {
         let mut tape = Tape::new();
-        let hs = self.hidden_states(&mut tape, items);
+        let hs = gru_hidden_states(
+            self.emb.unwrap(),
+            self.gru.unwrap(),
+            self.dim,
+            &mut tape,
+            &self.store,
+            items,
+        );
         let table = self.emb.unwrap().table(&mut tape, &self.store);
         let logits = tape.matmul_nt(*hs.last().unwrap(), table);
         tape.value(logits).row_slice(0).to_vec()
     }
+}
+
+/// STAMP's session representation: attention over the history queried by
+/// the *last* item plus the session mean, combined through two MLP
+/// "cells".
+fn stamp_rep(
+    emb: Embedding,
+    mlp_a: Linear,
+    mlp_b: Linear,
+    tape: &mut Tape,
+    store: &ParamStore,
+    items: &[usize],
+) -> Var {
+    let seq = emb.forward(tape, store, items); // [T×d]
+    let last = emb.forward(tape, store, &[*items.last().unwrap()]);
+    let mean = tape.mean_rows(seq);
+    // attention with (last + mean) as the query
+    let q = tape.add(last, mean);
+    let ma = attention_pool(tape, q, seq);
+    let hs = mlp_a.forward(tape, store, ma);
+    let hs = tape.tanh(hs);
+    let ht = mlp_b.forward(tape, store, last);
+    let ht = tape.tanh(ht);
+    tape.mul(hs, ht)
 }
 
 /// STAMP (Liu et al. 2018): short-term attention/memory priority — an
@@ -241,21 +293,6 @@ impl Stamp {
             mlp_a: None,
             mlp_b: None,
         }
-    }
-
-    fn session_rep(&self, tape: &mut Tape, items: &[usize]) -> Var {
-        let emb = self.emb.unwrap();
-        let seq = emb.forward(tape, &self.store, items); // [T×d]
-        let last = emb.forward(tape, &self.store, &[*items.last().unwrap()]);
-        let mean = tape.mean_rows(seq);
-        // attention with (last + mean) as the query
-        let q = tape.add(last, mean);
-        let ma = attention_pool(tape, q, seq);
-        let hs = self.mlp_a.unwrap().forward(tape, &self.store, ma);
-        let hs = tape.tanh(hs);
-        let ht = self.mlp_b.unwrap().forward(tape, &self.store, last);
-        let ht = tape.tanh(ht);
-        tape.mul(hs, ht)
     }
 }
 
@@ -293,21 +330,25 @@ impl SessionModel for Stamp {
             cfg.dim,
             &mut rng,
         ));
+        let (emb, mlp_a, mlp_b) = (self.emb.unwrap(), self.mlp_a.unwrap(), self.mlp_b.unwrap());
         let mut opt = Adam::new(cfg.lr);
+        let mut runner = ShardRunner::new(cfg.threads);
+        let group = cfg.batch_instances.max(1);
         for _ in 0..cfg.epochs {
             let instances = prefix_instances(ds, cfg, &mut rng);
-            for (si, len) in instances {
-                let s = &ds.train[si];
-                let prefix = &s.items[..len - 1];
-                let target = s.items[len - 1];
-                let mut tape = Tape::new();
-                let rep = self.session_rep(&mut tape, prefix);
-                let table = self.emb.unwrap().table(&mut tape, &self.store);
-                let logits = tape.matmul_nt(rep, table);
-                let loss = tape.cross_entropy(logits, &[target]);
-                tape.backward(loss);
-                self.store.zero_grads();
-                tape.accumulate_param_grads(&mut self.store);
+            for batch in instances.chunks(group) {
+                let batch_len = batch.len();
+                runner.grad_step(&mut self.store, batch_len, |tape, st, i| {
+                    let (si, len) = batch[i];
+                    let s = &ds.train[si];
+                    let prefix = &s.items[..len - 1];
+                    let target = s.items[len - 1];
+                    let rep = stamp_rep(emb, mlp_a, mlp_b, tape, st, prefix);
+                    let table = emb.table(tape, st);
+                    let logits = tape.matmul_nt(rep, table);
+                    let loss = tape.cross_entropy(logits, &[target]);
+                    tape.scale(loss, 1.0 / batch_len as f32)
+                });
                 opt.step(&mut self.store);
             }
         }
@@ -315,11 +356,40 @@ impl SessionModel for Stamp {
 
     fn score_prefix(&self, _ds: &SessionDataset, items: &[usize], _queries: &[usize]) -> Vec<f32> {
         let mut tape = Tape::new();
-        let rep = self.session_rep(&mut tape, items);
+        let rep = stamp_rep(
+            self.emb.unwrap(),
+            self.mlp_a.unwrap(),
+            self.mlp_b.unwrap(),
+            &mut tape,
+            &self.store,
+            items,
+        );
         let table = self.emb.unwrap().table(&mut tape, &self.store);
         let logits = tape.matmul_nt(rep, table);
         tape.value(logits).row_slice(0).to_vec()
     }
+}
+
+/// CSRM's session representation: inner GRU memory plus attention over a
+/// learned matrix of latent session prototypes, fused through a linear
+/// gate.
+#[allow(clippy::too_many_arguments)]
+fn csrm_rep(
+    emb: Embedding,
+    gru: GruCell,
+    memory: ParamId,
+    fuse: Linear,
+    dim: usize,
+    tape: &mut Tape,
+    store: &ParamStore,
+    items: &[usize],
+) -> Var {
+    let hs = gru_hidden_states(emb, gru, dim, tape, store, items);
+    let inner = *hs.last().unwrap();
+    let mem = tape.param(store, memory);
+    let outer = attention_pool(tape, inner, mem);
+    let cat = tape.concat_cols(inner, outer);
+    fuse.forward(tape, store, cat)
 }
 
 /// CSRM (Wang et al. 2019): an inner memory encoder (GRU over the session)
@@ -329,7 +399,7 @@ pub struct Csrm {
     store: ParamStore,
     emb: Option<Embedding>,
     gru: Option<GruCell>,
-    memory: Option<cosmo_nn::ParamId>,
+    memory: Option<ParamId>,
     fuse: Option<Linear>,
     dim: usize,
 }
@@ -345,20 +415,6 @@ impl Csrm {
             fuse: None,
             dim: 0,
         }
-    }
-
-    fn session_rep(&self, tape: &mut Tape, items: &[usize]) -> Var {
-        let xs: Vec<Var> = items
-            .iter()
-            .map(|&i| self.emb.unwrap().forward(tape, &self.store, &[i]))
-            .collect();
-        let h0 = tape.input(Tensor::zeros(1, self.dim));
-        let hs = self.gru.unwrap().run(tape, &self.store, &xs, h0);
-        let inner = *hs.last().unwrap();
-        let mem = tape.param(&self.store, self.memory.unwrap());
-        let outer = attention_pool(tape, inner, mem);
-        let cat = tape.concat_cols(inner, outer);
-        self.fuse.unwrap().forward(tape, &self.store, cat)
     }
 }
 
@@ -401,21 +457,31 @@ impl SessionModel for Csrm {
             cfg.dim,
             &mut rng,
         ));
+        let (emb, gru, memory, fuse, dim) = (
+            self.emb.unwrap(),
+            self.gru.unwrap(),
+            self.memory.unwrap(),
+            self.fuse.unwrap(),
+            self.dim,
+        );
         let mut opt = Adam::new(cfg.lr);
+        let mut runner = ShardRunner::new(cfg.threads);
+        let group = cfg.batch_instances.max(1);
         for _ in 0..cfg.epochs {
             let instances = prefix_instances(ds, cfg, &mut rng);
-            for (si, len) in instances {
-                let s = &ds.train[si];
-                let prefix = &s.items[..len - 1];
-                let target = s.items[len - 1];
-                let mut tape = Tape::new();
-                let rep = self.session_rep(&mut tape, prefix);
-                let table = self.emb.unwrap().table(&mut tape, &self.store);
-                let logits = tape.matmul_nt(rep, table);
-                let loss = tape.cross_entropy(logits, &[target]);
-                tape.backward(loss);
-                self.store.zero_grads();
-                tape.accumulate_param_grads(&mut self.store);
+            for batch in instances.chunks(group) {
+                let batch_len = batch.len();
+                runner.grad_step(&mut self.store, batch_len, |tape, st, i| {
+                    let (si, len) = batch[i];
+                    let s = &ds.train[si];
+                    let prefix = &s.items[..len - 1];
+                    let target = s.items[len - 1];
+                    let rep = csrm_rep(emb, gru, memory, fuse, dim, tape, st, prefix);
+                    let table = emb.table(tape, st);
+                    let logits = tape.matmul_nt(rep, table);
+                    let loss = tape.cross_entropy(logits, &[target]);
+                    tape.scale(loss, 1.0 / batch_len as f32)
+                });
                 opt.step(&mut self.store);
             }
         }
@@ -423,7 +489,16 @@ impl SessionModel for Csrm {
 
     fn score_prefix(&self, _ds: &SessionDataset, items: &[usize], _queries: &[usize]) -> Vec<f32> {
         let mut tape = Tape::new();
-        let rep = self.session_rep(&mut tape, items);
+        let rep = csrm_rep(
+            self.emb.unwrap(),
+            self.gru.unwrap(),
+            self.memory.unwrap(),
+            self.fuse.unwrap(),
+            self.dim,
+            &mut tape,
+            &self.store,
+            items,
+        );
         let table = self.emb.unwrap().table(&mut tape, &self.store);
         let logits = tape.matmul_nt(rep, table);
         tape.value(logits).row_slice(0).to_vec()

@@ -186,3 +186,131 @@ proptest! {
         });
     }
 }
+
+/// Deterministic well-conditioned values for the non-proptest checks below
+/// (kept in [-0.9, 0.9] like `small_vals`).
+fn hash_vals(n: usize, salt: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64 + salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ((h >> 33) % 1801) as f32 / 1000.0 - 0.9
+        })
+        .collect()
+}
+
+/// Shapes chosen to push the backward pass through the *tiled fast path*
+/// of every matmul variant: the forward `[9×8]·[8×34]` matmul backward
+/// computes `dW = Xᵀ·g` via `matmul_tn` with an `8×34` output (a full
+/// 8-row register tile plus a column edge) and `dX = g·Wᵀ` via `matmul_nt`.
+/// The proptest graphs above only cover the edge path (tiny shapes).
+#[test]
+fn tiled_matmul_backward_gradients() {
+    let mut store = ParamStore::new();
+    let x = store.add("x", Tensor::from_vec(9, 8, hash_vals(72, 1)));
+    let w = store.add("w", Tensor::from_vec(8, 34, hash_vals(272, 2)));
+    let targets: Vec<usize> = (0..9).map(|i| (i * 7) % 34).collect();
+    let t2 = targets.clone();
+    check(&mut store, &move |tape, s| {
+        let xv = tape.param(s, x);
+        let wv = tape.param(s, w);
+        let h = tape.matmul(xv, wv);
+        tape.cross_entropy(h, &t2)
+    });
+}
+
+/// Transpose backward at tile-exceeding shapes (`transpose_into` runs the
+/// blocked copy in both directions), composed with a tiled matmul.
+#[test]
+fn tiled_transpose_backward_gradients() {
+    let mut store = ParamStore::new();
+    let a = store.add("a", Tensor::from_vec(34, 9, hash_vals(306, 3)));
+    let b = store.add("b", Tensor::from_vec(34, 5, hash_vals(170, 4)));
+    check(&mut store, &move |tape, s| {
+        let av = tape.param(s, a);
+        let bv = tape.param(s, b);
+        let at = tape.transpose(av);
+        let h = tape.matmul(at, bv);
+        let sq = tape.mul(h, h);
+        tape.mean_all(sq)
+    });
+}
+
+/// A reused-workspace tape (`reset()` between builds, buffers retained)
+/// must produce gradients bitwise identical to a fresh tape — and they
+/// must still pass the finite-difference check after several reuse cycles.
+#[test]
+fn reused_workspace_tape_matches_fresh_tape_bitwise() {
+    let mut store = ParamStore::new();
+    let x = store.add("x", Tensor::from_vec(9, 8, hash_vals(72, 5)));
+    let w = store.add("w", Tensor::from_vec(8, 34, hash_vals(272, 6)));
+    let targets: Vec<usize> = (0..9).map(|i| (i * 11) % 34).collect();
+
+    let build = |tape: &mut Tape, s: &ParamStore| {
+        let xv = tape.param(s, x);
+        let wv = tape.param(s, w);
+        let h = tape.matmul(xv, wv);
+        let h = tape.tanh(h);
+        tape.cross_entropy(h, &targets)
+    };
+
+    // Fresh tape: the baseline gradients.
+    let mut fresh = Tape::new();
+    let loss = build(&mut fresh, &store);
+    fresh.backward(loss);
+    store.zero_grads();
+    fresh.accumulate_param_grads(&mut store);
+    let base: Vec<(cosmo::nn::ParamId, Vec<f32>)> = store
+        .ids()
+        .into_iter()
+        .map(|id| (id, store.grad(id).data().to_vec()))
+        .collect();
+
+    // One tape reused across cycles; graph sizes vary between resets so
+    // the retained buffers get both grown and shrunk.
+    let mut reused = Tape::new();
+    for cycle in 0..4 {
+        reused.reset();
+        if cycle % 2 == 1 {
+            // interleave a differently-shaped graph to perturb the pool
+            let small = build_small(&mut reused, &store, x);
+            reused.backward(small);
+        }
+        reused.reset();
+        let loss = build(&mut reused, &store);
+        reused.backward(loss);
+        store.zero_grads();
+        reused.accumulate_param_grads(&mut store);
+        for (id, want) in &base {
+            assert_eq!(
+                store.grad(*id).data(),
+                &want[..],
+                "reused-tape gradients drifted on cycle {cycle}"
+            );
+        }
+    }
+
+    // And the reused tape's gradients are not just self-consistent but
+    // numerically correct.
+    store.zero_grads();
+    reused.reset();
+    let loss = build(&mut reused, &store);
+    reused.backward(loss);
+    reused.accumulate_param_grads(&mut store);
+    for id in store.ids() {
+        let analytic = store.grad(id).clone();
+        let numeric = finite_diff(&mut store, id, &|s| {
+            let mut t = Tape::new();
+            let l = build(&mut t, s);
+            t.value(l).item()
+        });
+        for (a, n) in analytic.data().iter().zip(numeric.data().iter()) {
+            prop_assert_close(*a, *n);
+        }
+    }
+}
+
+fn build_small(tape: &mut Tape, s: &ParamStore, x: cosmo::nn::ParamId) -> cosmo::nn::Var {
+    let xv = tape.param(s, x);
+    let sq = tape.mul(xv, xv);
+    tape.sum_all(sq)
+}
