@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-671c25d1d7655a24.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-671c25d1d7655a24.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cosmo-10fadb84e85a0023.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcosmo-10fadb84e85a0023.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cosmo_core-d90d5d6c0de561c1.d: crates/core/src/lib.rs crates/core/src/annotation.rs crates/core/src/critic.rs crates/core/src/feedback.rs crates/core/src/filter.rs crates/core/src/pipeline.rs crates/core/src/sampling.rs
+
+/root/repo/target/debug/deps/libcosmo_core-d90d5d6c0de561c1.rmeta: crates/core/src/lib.rs crates/core/src/annotation.rs crates/core/src/critic.rs crates/core/src/feedback.rs crates/core/src/filter.rs crates/core/src/pipeline.rs crates/core/src/sampling.rs
+
+crates/core/src/lib.rs:
+crates/core/src/annotation.rs:
+crates/core/src/critic.rs:
+crates/core/src/feedback.rs:
+crates/core/src/filter.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/sampling.rs:

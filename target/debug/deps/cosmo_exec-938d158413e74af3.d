@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cosmo_exec-938d158413e74af3.d: crates/exec/src/lib.rs
+
+/root/repo/target/debug/deps/libcosmo_exec-938d158413e74af3.rmeta: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cosmo_nav-884413e6b7588584.d: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs
+
+/root/repo/target/debug/deps/libcosmo_nav-884413e6b7588584.rmeta: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs
+
+crates/nav/src/lib.rs:
+crates/nav/src/abtest.rs:
+crates/nav/src/engine.rs:

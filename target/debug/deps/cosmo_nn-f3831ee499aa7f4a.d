@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cosmo_nn-f3831ee499aa7f4a.d: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/opt.rs crates/nn/src/params.rs crates/nn/src/tape.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libcosmo_nn-f3831ee499aa7f4a.rmeta: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/opt.rs crates/nn/src/params.rs crates/nn/src/tape.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/opt.rs:
+crates/nn/src/params.rs:
+crates/nn/src/tape.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:

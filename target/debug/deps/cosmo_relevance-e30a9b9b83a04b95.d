@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cosmo_relevance-e30a9b9b83a04b95.d: crates/relevance/src/lib.rs crates/relevance/src/dataset.rs crates/relevance/src/metrics.rs crates/relevance/src/models.rs
+
+/root/repo/target/debug/deps/libcosmo_relevance-e30a9b9b83a04b95.rmeta: crates/relevance/src/lib.rs crates/relevance/src/dataset.rs crates/relevance/src/metrics.rs crates/relevance/src/models.rs
+
+crates/relevance/src/lib.rs:
+crates/relevance/src/dataset.rs:
+crates/relevance/src/metrics.rs:
+crates/relevance/src/models.rs:

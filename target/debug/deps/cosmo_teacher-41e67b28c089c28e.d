@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cosmo_teacher-41e67b28c089c28e.d: crates/teacher/src/lib.rs crates/teacher/src/cost.rs crates/teacher/src/generate.rs crates/teacher/src/prompts.rs crates/teacher/src/relations.rs
+
+/root/repo/target/debug/deps/libcosmo_teacher-41e67b28c089c28e.rmeta: crates/teacher/src/lib.rs crates/teacher/src/cost.rs crates/teacher/src/generate.rs crates/teacher/src/prompts.rs crates/teacher/src/relations.rs
+
+crates/teacher/src/lib.rs:
+crates/teacher/src/cost.rs:
+crates/teacher/src/generate.rs:
+crates/teacher/src/prompts.rs:
+crates/teacher/src/relations.rs:

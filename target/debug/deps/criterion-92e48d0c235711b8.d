@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-92e48d0c235711b8.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-92e48d0c235711b8.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-e999422af97de3e9.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-e999422af97de3e9.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-ab952a08b859bf20.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ab952a08b859bf20.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-527dcccd8478af78.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-527dcccd8478af78.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

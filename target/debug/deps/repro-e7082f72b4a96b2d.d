@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-e7082f72b4a96b2d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-e7082f72b4a96b2d.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-abca5fc926650493.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-abca5fc926650493.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-1d34bc0ba142c409.d: .stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-1d34bc0ba142c409.so: .stubs/serde_derive/src/lib.rs
+
+.stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-3f19585fe300dbc1.d: .stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-3f19585fe300dbc1.rmeta: .stubs/serde_derive/src/lib.rs
+
+.stubs/serde_derive/src/lib.rs:

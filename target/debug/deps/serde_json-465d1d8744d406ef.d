@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-465d1d8744d406ef.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-465d1d8744d406ef.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

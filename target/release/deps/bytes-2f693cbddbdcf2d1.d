@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-2f693cbddbdcf2d1.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-2f693cbddbdcf2d1.rlib: .stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-2f693cbddbdcf2d1.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

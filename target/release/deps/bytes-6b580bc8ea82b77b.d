@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bytes-6b580bc8ea82b77b.d: .stubs/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbytes-6b580bc8ea82b77b.rmeta: .stubs/bytes/src/lib.rs Cargo.toml
+
+.stubs/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-7b95f4d331734d53.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-7b95f4d331734d53: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

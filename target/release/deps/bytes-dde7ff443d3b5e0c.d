@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bytes-dde7ff443d3b5e0c.d: .stubs/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbytes-dde7ff443d3b5e0c.rmeta: .stubs/bytes/src/lib.rs Cargo.toml
+
+.stubs/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

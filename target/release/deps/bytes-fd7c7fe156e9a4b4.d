@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-fd7c7fe156e9a4b4.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-fd7c7fe156e9a4b4.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cosmo-3185f9bfe9f4a39e.d: src/lib.rs
+
+/root/repo/target/release/deps/libcosmo-3185f9bfe9f4a39e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcosmo-3185f9bfe9f4a39e.rmeta: src/lib.rs
+
+src/lib.rs:

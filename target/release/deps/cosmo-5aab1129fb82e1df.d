@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cosmo-5aab1129fb82e1df.d: src/lib.rs
+
+/root/repo/target/release/deps/libcosmo-5aab1129fb82e1df.rmeta: src/lib.rs
+
+src/lib.rs:

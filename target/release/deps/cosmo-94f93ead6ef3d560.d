@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cosmo-94f93ead6ef3d560.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcosmo-94f93ead6ef3d560.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

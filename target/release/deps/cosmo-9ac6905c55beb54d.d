@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cosmo-9ac6905c55beb54d.d: src/lib.rs
+
+/root/repo/target/release/deps/cosmo-9ac6905c55beb54d: src/lib.rs
+
+src/lib.rs:

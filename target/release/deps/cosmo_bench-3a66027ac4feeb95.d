@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cosmo_bench-3a66027ac4feeb95.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/context.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/kgstats.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/release/deps/libcosmo_bench-3a66027ac4feeb95.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/context.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/kgstats.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/context.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/kgstats.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

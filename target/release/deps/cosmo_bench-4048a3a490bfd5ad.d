@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cosmo_bench-4048a3a490bfd5ad.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/context.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/kgstats.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libcosmo_bench-4048a3a490bfd5ad.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/context.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/kgstats.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/context.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/kgstats.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cosmo_bench-4d8461964def6839.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/context.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/kgstats.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libcosmo_bench-4d8461964def6839.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/context.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/kgstats.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libcosmo_bench-4d8461964def6839.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/context.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/kgstats.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/context.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/kgstats.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cosmo_core-e001a1ebeb232497.d: crates/core/src/lib.rs crates/core/src/annotation.rs crates/core/src/critic.rs crates/core/src/feedback.rs crates/core/src/filter.rs crates/core/src/pipeline.rs crates/core/src/sampling.rs
+
+/root/repo/target/release/deps/libcosmo_core-e001a1ebeb232497.rmeta: crates/core/src/lib.rs crates/core/src/annotation.rs crates/core/src/critic.rs crates/core/src/feedback.rs crates/core/src/filter.rs crates/core/src/pipeline.rs crates/core/src/sampling.rs
+
+crates/core/src/lib.rs:
+crates/core/src/annotation.rs:
+crates/core/src/critic.rs:
+crates/core/src/feedback.rs:
+crates/core/src/filter.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/sampling.rs:

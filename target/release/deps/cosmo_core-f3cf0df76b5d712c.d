@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cosmo_core-f3cf0df76b5d712c.d: crates/core/src/lib.rs crates/core/src/annotation.rs crates/core/src/critic.rs crates/core/src/feedback.rs crates/core/src/filter.rs crates/core/src/pipeline.rs crates/core/src/sampling.rs
+
+/root/repo/target/release/deps/cosmo_core-f3cf0df76b5d712c: crates/core/src/lib.rs crates/core/src/annotation.rs crates/core/src/critic.rs crates/core/src/feedback.rs crates/core/src/filter.rs crates/core/src/pipeline.rs crates/core/src/sampling.rs
+
+crates/core/src/lib.rs:
+crates/core/src/annotation.rs:
+crates/core/src/critic.rs:
+crates/core/src/feedback.rs:
+crates/core/src/filter.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/sampling.rs:

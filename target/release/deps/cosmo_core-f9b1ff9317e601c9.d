@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cosmo_core-f9b1ff9317e601c9.d: crates/core/src/lib.rs crates/core/src/annotation.rs crates/core/src/critic.rs crates/core/src/feedback.rs crates/core/src/filter.rs crates/core/src/pipeline.rs crates/core/src/sampling.rs Cargo.toml
+
+/root/repo/target/release/deps/libcosmo_core-f9b1ff9317e601c9.rmeta: crates/core/src/lib.rs crates/core/src/annotation.rs crates/core/src/critic.rs crates/core/src/feedback.rs crates/core/src/filter.rs crates/core/src/pipeline.rs crates/core/src/sampling.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/annotation.rs:
+crates/core/src/critic.rs:
+crates/core/src/feedback.rs:
+crates/core/src/filter.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

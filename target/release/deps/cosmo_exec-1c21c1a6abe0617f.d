@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cosmo_exec-1c21c1a6abe0617f.d: crates/exec/src/lib.rs
+
+/root/repo/target/release/deps/libcosmo_exec-1c21c1a6abe0617f.rlib: crates/exec/src/lib.rs
+
+/root/repo/target/release/deps/libcosmo_exec-1c21c1a6abe0617f.rmeta: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cosmo_exec-2738df3778fa6a46.d: crates/exec/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcosmo_exec-2738df3778fa6a46.rmeta: crates/exec/src/lib.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cosmo_exec-673dc15c9a0e2c27.d: crates/exec/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcosmo_exec-673dc15c9a0e2c27.rmeta: crates/exec/src/lib.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cosmo_exec-bd7e02d026fb2cda.d: crates/exec/src/lib.rs
+
+/root/repo/target/release/deps/cosmo_exec-bd7e02d026fb2cda: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

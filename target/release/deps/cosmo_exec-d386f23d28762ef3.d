@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cosmo_exec-d386f23d28762ef3.d: crates/exec/src/lib.rs
+
+/root/repo/target/release/deps/libcosmo_exec-d386f23d28762ef3.rmeta: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

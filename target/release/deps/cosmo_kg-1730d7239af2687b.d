@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cosmo_kg-1730d7239af2687b.d: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/stats.rs crates/kg/src/store.rs Cargo.toml
+
+/root/repo/target/release/deps/libcosmo_kg-1730d7239af2687b.rmeta: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/stats.rs crates/kg/src/store.rs Cargo.toml
+
+crates/kg/src/lib.rs:
+crates/kg/src/algo.rs:
+crates/kg/src/hierarchy.rs:
+crates/kg/src/schema.rs:
+crates/kg/src/stats.rs:
+crates/kg/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

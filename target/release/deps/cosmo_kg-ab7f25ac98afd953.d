@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cosmo_kg-ab7f25ac98afd953.d: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/stats.rs crates/kg/src/store.rs
+
+/root/repo/target/release/deps/cosmo_kg-ab7f25ac98afd953: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/stats.rs crates/kg/src/store.rs
+
+crates/kg/src/lib.rs:
+crates/kg/src/algo.rs:
+crates/kg/src/hierarchy.rs:
+crates/kg/src/schema.rs:
+crates/kg/src/stats.rs:
+crates/kg/src/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cosmo_lm-37187393bb52dd55.d: crates/lm/src/lib.rs crates/lm/src/efficiency.rs crates/lm/src/eval.rs crates/lm/src/instruction.rs crates/lm/src/student.rs
+
+/root/repo/target/release/deps/libcosmo_lm-37187393bb52dd55.rmeta: crates/lm/src/lib.rs crates/lm/src/efficiency.rs crates/lm/src/eval.rs crates/lm/src/instruction.rs crates/lm/src/student.rs
+
+crates/lm/src/lib.rs:
+crates/lm/src/efficiency.rs:
+crates/lm/src/eval.rs:
+crates/lm/src/instruction.rs:
+crates/lm/src/student.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cosmo_lm-4bea88da619b7902.d: crates/lm/src/lib.rs crates/lm/src/efficiency.rs crates/lm/src/eval.rs crates/lm/src/instruction.rs crates/lm/src/student.rs
+
+/root/repo/target/release/deps/libcosmo_lm-4bea88da619b7902.rlib: crates/lm/src/lib.rs crates/lm/src/efficiency.rs crates/lm/src/eval.rs crates/lm/src/instruction.rs crates/lm/src/student.rs
+
+/root/repo/target/release/deps/libcosmo_lm-4bea88da619b7902.rmeta: crates/lm/src/lib.rs crates/lm/src/efficiency.rs crates/lm/src/eval.rs crates/lm/src/instruction.rs crates/lm/src/student.rs
+
+crates/lm/src/lib.rs:
+crates/lm/src/efficiency.rs:
+crates/lm/src/eval.rs:
+crates/lm/src/instruction.rs:
+crates/lm/src/student.rs:

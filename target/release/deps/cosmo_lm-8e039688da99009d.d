@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cosmo_lm-8e039688da99009d.d: crates/lm/src/lib.rs crates/lm/src/efficiency.rs crates/lm/src/eval.rs crates/lm/src/instruction.rs crates/lm/src/student.rs
+
+/root/repo/target/release/deps/cosmo_lm-8e039688da99009d: crates/lm/src/lib.rs crates/lm/src/efficiency.rs crates/lm/src/eval.rs crates/lm/src/instruction.rs crates/lm/src/student.rs
+
+crates/lm/src/lib.rs:
+crates/lm/src/efficiency.rs:
+crates/lm/src/eval.rs:
+crates/lm/src/instruction.rs:
+crates/lm/src/student.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cosmo_lm-ca780626e5c2f637.d: crates/lm/src/lib.rs crates/lm/src/efficiency.rs crates/lm/src/eval.rs crates/lm/src/instruction.rs crates/lm/src/student.rs Cargo.toml
+
+/root/repo/target/release/deps/libcosmo_lm-ca780626e5c2f637.rmeta: crates/lm/src/lib.rs crates/lm/src/efficiency.rs crates/lm/src/eval.rs crates/lm/src/instruction.rs crates/lm/src/student.rs Cargo.toml
+
+crates/lm/src/lib.rs:
+crates/lm/src/efficiency.rs:
+crates/lm/src/eval.rs:
+crates/lm/src/instruction.rs:
+crates/lm/src/student.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cosmo_nav-1ce4023eca71834d.d: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs
+
+/root/repo/target/release/deps/libcosmo_nav-1ce4023eca71834d.rmeta: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs
+
+crates/nav/src/lib.rs:
+crates/nav/src/abtest.rs:
+crates/nav/src/engine.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cosmo_nav-36d16da3c9e95e92.d: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs
+
+/root/repo/target/release/deps/cosmo_nav-36d16da3c9e95e92: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs
+
+crates/nav/src/lib.rs:
+crates/nav/src/abtest.rs:
+crates/nav/src/engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cosmo_nav-f0de1e1acc332f05.d: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs
+
+/root/repo/target/release/deps/libcosmo_nav-f0de1e1acc332f05.rlib: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs
+
+/root/repo/target/release/deps/libcosmo_nav-f0de1e1acc332f05.rmeta: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs
+
+crates/nav/src/lib.rs:
+crates/nav/src/abtest.rs:
+crates/nav/src/engine.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cosmo_nav-f9250a8ba07973f9.d: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs Cargo.toml
+
+/root/repo/target/release/deps/libcosmo_nav-f9250a8ba07973f9.rmeta: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs Cargo.toml
+
+crates/nav/src/lib.rs:
+crates/nav/src/abtest.rs:
+crates/nav/src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

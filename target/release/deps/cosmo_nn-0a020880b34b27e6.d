@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cosmo_nn-0a020880b34b27e6.d: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/opt.rs crates/nn/src/params.rs crates/nn/src/tape.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libcosmo_nn-0a020880b34b27e6.rlib: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/opt.rs crates/nn/src/params.rs crates/nn/src/tape.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libcosmo_nn-0a020880b34b27e6.rmeta: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/opt.rs crates/nn/src/params.rs crates/nn/src/tape.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/opt.rs:
+crates/nn/src/params.rs:
+crates/nn/src/tape.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:

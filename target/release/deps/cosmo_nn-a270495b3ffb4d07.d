@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cosmo_nn-a270495b3ffb4d07.d: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/opt.rs crates/nn/src/params.rs crates/nn/src/tape.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/cosmo_nn-a270495b3ffb4d07: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/opt.rs crates/nn/src/params.rs crates/nn/src/tape.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/opt.rs:
+crates/nn/src/params.rs:
+crates/nn/src/tape.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:

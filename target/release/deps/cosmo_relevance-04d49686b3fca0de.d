@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cosmo_relevance-04d49686b3fca0de.d: crates/relevance/src/lib.rs crates/relevance/src/dataset.rs crates/relevance/src/metrics.rs crates/relevance/src/models.rs
+
+/root/repo/target/release/deps/cosmo_relevance-04d49686b3fca0de: crates/relevance/src/lib.rs crates/relevance/src/dataset.rs crates/relevance/src/metrics.rs crates/relevance/src/models.rs
+
+crates/relevance/src/lib.rs:
+crates/relevance/src/dataset.rs:
+crates/relevance/src/metrics.rs:
+crates/relevance/src/models.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cosmo_relevance-304a001e25335020.d: crates/relevance/src/lib.rs crates/relevance/src/dataset.rs crates/relevance/src/metrics.rs crates/relevance/src/models.rs
+
+/root/repo/target/release/deps/libcosmo_relevance-304a001e25335020.rlib: crates/relevance/src/lib.rs crates/relevance/src/dataset.rs crates/relevance/src/metrics.rs crates/relevance/src/models.rs
+
+/root/repo/target/release/deps/libcosmo_relevance-304a001e25335020.rmeta: crates/relevance/src/lib.rs crates/relevance/src/dataset.rs crates/relevance/src/metrics.rs crates/relevance/src/models.rs
+
+crates/relevance/src/lib.rs:
+crates/relevance/src/dataset.rs:
+crates/relevance/src/metrics.rs:
+crates/relevance/src/models.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cosmo_relevance-3fefb4a68dd4b009.d: crates/relevance/src/lib.rs crates/relevance/src/dataset.rs crates/relevance/src/metrics.rs crates/relevance/src/models.rs Cargo.toml
+
+/root/repo/target/release/deps/libcosmo_relevance-3fefb4a68dd4b009.rmeta: crates/relevance/src/lib.rs crates/relevance/src/dataset.rs crates/relevance/src/metrics.rs crates/relevance/src/models.rs Cargo.toml
+
+crates/relevance/src/lib.rs:
+crates/relevance/src/dataset.rs:
+crates/relevance/src/metrics.rs:
+crates/relevance/src/models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cosmo_relevance-d2e904000a2a6feb.d: crates/relevance/src/lib.rs crates/relevance/src/dataset.rs crates/relevance/src/metrics.rs crates/relevance/src/models.rs
+
+/root/repo/target/release/deps/libcosmo_relevance-d2e904000a2a6feb.rmeta: crates/relevance/src/lib.rs crates/relevance/src/dataset.rs crates/relevance/src/metrics.rs crates/relevance/src/models.rs
+
+crates/relevance/src/lib.rs:
+crates/relevance/src/dataset.rs:
+crates/relevance/src/metrics.rs:
+crates/relevance/src/models.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cosmo_serving-7d177c1d32e7905b.d: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/error.rs crates/serving/src/features.rs crates/serving/src/histogram.rs crates/serving/src/sim.rs crates/serving/src/system.rs crates/serving/src/views.rs
+
+/root/repo/target/release/deps/libcosmo_serving-7d177c1d32e7905b.rmeta: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/error.rs crates/serving/src/features.rs crates/serving/src/histogram.rs crates/serving/src/sim.rs crates/serving/src/system.rs crates/serving/src/views.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/cache.rs:
+crates/serving/src/error.rs:
+crates/serving/src/features.rs:
+crates/serving/src/histogram.rs:
+crates/serving/src/sim.rs:
+crates/serving/src/system.rs:
+crates/serving/src/views.rs:

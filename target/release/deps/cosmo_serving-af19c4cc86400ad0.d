@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cosmo_serving-af19c4cc86400ad0.d: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/error.rs crates/serving/src/features.rs crates/serving/src/histogram.rs crates/serving/src/sim.rs crates/serving/src/system.rs crates/serving/src/views.rs
+
+/root/repo/target/release/deps/libcosmo_serving-af19c4cc86400ad0.rlib: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/error.rs crates/serving/src/features.rs crates/serving/src/histogram.rs crates/serving/src/sim.rs crates/serving/src/system.rs crates/serving/src/views.rs
+
+/root/repo/target/release/deps/libcosmo_serving-af19c4cc86400ad0.rmeta: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/error.rs crates/serving/src/features.rs crates/serving/src/histogram.rs crates/serving/src/sim.rs crates/serving/src/system.rs crates/serving/src/views.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/cache.rs:
+crates/serving/src/error.rs:
+crates/serving/src/features.rs:
+crates/serving/src/histogram.rs:
+crates/serving/src/sim.rs:
+crates/serving/src/system.rs:
+crates/serving/src/views.rs:

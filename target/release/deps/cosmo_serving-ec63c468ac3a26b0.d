@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/cosmo_serving-ec63c468ac3a26b0.d: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/error.rs crates/serving/src/features.rs crates/serving/src/histogram.rs crates/serving/src/sim.rs crates/serving/src/system.rs crates/serving/src/views.rs Cargo.toml
+
+/root/repo/target/release/deps/libcosmo_serving-ec63c468ac3a26b0.rmeta: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/error.rs crates/serving/src/features.rs crates/serving/src/histogram.rs crates/serving/src/sim.rs crates/serving/src/system.rs crates/serving/src/views.rs Cargo.toml
+
+crates/serving/src/lib.rs:
+crates/serving/src/cache.rs:
+crates/serving/src/error.rs:
+crates/serving/src/features.rs:
+crates/serving/src/histogram.rs:
+crates/serving/src/sim.rs:
+crates/serving/src/system.rs:
+crates/serving/src/views.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

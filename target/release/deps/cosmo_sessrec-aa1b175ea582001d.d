@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cosmo_sessrec-aa1b175ea582001d.d: crates/sessrec/src/lib.rs crates/sessrec/src/dataset.rs crates/sessrec/src/metrics.rs crates/sessrec/src/models/mod.rs crates/sessrec/src/models/gnn.rs crates/sessrec/src/models/seq.rs crates/sessrec/src/rewrites.rs
+
+/root/repo/target/release/deps/libcosmo_sessrec-aa1b175ea582001d.rlib: crates/sessrec/src/lib.rs crates/sessrec/src/dataset.rs crates/sessrec/src/metrics.rs crates/sessrec/src/models/mod.rs crates/sessrec/src/models/gnn.rs crates/sessrec/src/models/seq.rs crates/sessrec/src/rewrites.rs
+
+/root/repo/target/release/deps/libcosmo_sessrec-aa1b175ea582001d.rmeta: crates/sessrec/src/lib.rs crates/sessrec/src/dataset.rs crates/sessrec/src/metrics.rs crates/sessrec/src/models/mod.rs crates/sessrec/src/models/gnn.rs crates/sessrec/src/models/seq.rs crates/sessrec/src/rewrites.rs
+
+crates/sessrec/src/lib.rs:
+crates/sessrec/src/dataset.rs:
+crates/sessrec/src/metrics.rs:
+crates/sessrec/src/models/mod.rs:
+crates/sessrec/src/models/gnn.rs:
+crates/sessrec/src/models/seq.rs:
+crates/sessrec/src/rewrites.rs:

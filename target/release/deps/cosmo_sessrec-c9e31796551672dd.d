@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cosmo_sessrec-c9e31796551672dd.d: crates/sessrec/src/lib.rs crates/sessrec/src/dataset.rs crates/sessrec/src/metrics.rs crates/sessrec/src/models/mod.rs crates/sessrec/src/models/gnn.rs crates/sessrec/src/models/seq.rs crates/sessrec/src/rewrites.rs
+
+/root/repo/target/release/deps/cosmo_sessrec-c9e31796551672dd: crates/sessrec/src/lib.rs crates/sessrec/src/dataset.rs crates/sessrec/src/metrics.rs crates/sessrec/src/models/mod.rs crates/sessrec/src/models/gnn.rs crates/sessrec/src/models/seq.rs crates/sessrec/src/rewrites.rs
+
+crates/sessrec/src/lib.rs:
+crates/sessrec/src/dataset.rs:
+crates/sessrec/src/metrics.rs:
+crates/sessrec/src/models/mod.rs:
+crates/sessrec/src/models/gnn.rs:
+crates/sessrec/src/models/seq.rs:
+crates/sessrec/src/rewrites.rs:

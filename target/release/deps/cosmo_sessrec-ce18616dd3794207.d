@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cosmo_sessrec-ce18616dd3794207.d: crates/sessrec/src/lib.rs crates/sessrec/src/dataset.rs crates/sessrec/src/metrics.rs crates/sessrec/src/models/mod.rs crates/sessrec/src/models/gnn.rs crates/sessrec/src/models/seq.rs crates/sessrec/src/rewrites.rs Cargo.toml
+
+/root/repo/target/release/deps/libcosmo_sessrec-ce18616dd3794207.rmeta: crates/sessrec/src/lib.rs crates/sessrec/src/dataset.rs crates/sessrec/src/metrics.rs crates/sessrec/src/models/mod.rs crates/sessrec/src/models/gnn.rs crates/sessrec/src/models/seq.rs crates/sessrec/src/rewrites.rs Cargo.toml
+
+crates/sessrec/src/lib.rs:
+crates/sessrec/src/dataset.rs:
+crates/sessrec/src/metrics.rs:
+crates/sessrec/src/models/mod.rs:
+crates/sessrec/src/models/gnn.rs:
+crates/sessrec/src/models/seq.rs:
+crates/sessrec/src/rewrites.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cosmo_sessrec-d394f68b6da27952.d: crates/sessrec/src/lib.rs crates/sessrec/src/dataset.rs crates/sessrec/src/metrics.rs crates/sessrec/src/models/mod.rs crates/sessrec/src/models/gnn.rs crates/sessrec/src/models/seq.rs crates/sessrec/src/rewrites.rs
+
+/root/repo/target/release/deps/libcosmo_sessrec-d394f68b6da27952.rmeta: crates/sessrec/src/lib.rs crates/sessrec/src/dataset.rs crates/sessrec/src/metrics.rs crates/sessrec/src/models/mod.rs crates/sessrec/src/models/gnn.rs crates/sessrec/src/models/seq.rs crates/sessrec/src/rewrites.rs
+
+crates/sessrec/src/lib.rs:
+crates/sessrec/src/dataset.rs:
+crates/sessrec/src/metrics.rs:
+crates/sessrec/src/models/mod.rs:
+crates/sessrec/src/models/gnn.rs:
+crates/sessrec/src/models/seq.rs:
+crates/sessrec/src/rewrites.rs:

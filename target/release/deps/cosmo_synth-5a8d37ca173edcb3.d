@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cosmo_synth-5a8d37ca173edcb3.d: crates/synth/src/lib.rs crates/synth/src/behavior.rs crates/synth/src/corpus.rs crates/synth/src/domain.rs crates/synth/src/oracle.rs crates/synth/src/util.rs crates/synth/src/world.rs
+
+/root/repo/target/release/deps/libcosmo_synth-5a8d37ca173edcb3.rmeta: crates/synth/src/lib.rs crates/synth/src/behavior.rs crates/synth/src/corpus.rs crates/synth/src/domain.rs crates/synth/src/oracle.rs crates/synth/src/util.rs crates/synth/src/world.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/behavior.rs:
+crates/synth/src/corpus.rs:
+crates/synth/src/domain.rs:
+crates/synth/src/oracle.rs:
+crates/synth/src/util.rs:
+crates/synth/src/world.rs:

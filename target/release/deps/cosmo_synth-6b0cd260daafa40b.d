@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cosmo_synth-6b0cd260daafa40b.d: crates/synth/src/lib.rs crates/synth/src/behavior.rs crates/synth/src/corpus.rs crates/synth/src/domain.rs crates/synth/src/oracle.rs crates/synth/src/util.rs crates/synth/src/world.rs
+
+/root/repo/target/release/deps/libcosmo_synth-6b0cd260daafa40b.rlib: crates/synth/src/lib.rs crates/synth/src/behavior.rs crates/synth/src/corpus.rs crates/synth/src/domain.rs crates/synth/src/oracle.rs crates/synth/src/util.rs crates/synth/src/world.rs
+
+/root/repo/target/release/deps/libcosmo_synth-6b0cd260daafa40b.rmeta: crates/synth/src/lib.rs crates/synth/src/behavior.rs crates/synth/src/corpus.rs crates/synth/src/domain.rs crates/synth/src/oracle.rs crates/synth/src/util.rs crates/synth/src/world.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/behavior.rs:
+crates/synth/src/corpus.rs:
+crates/synth/src/domain.rs:
+crates/synth/src/oracle.rs:
+crates/synth/src/util.rs:
+crates/synth/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cosmo_synth-e7f019e5db7c9bf8.d: crates/synth/src/lib.rs crates/synth/src/behavior.rs crates/synth/src/corpus.rs crates/synth/src/domain.rs crates/synth/src/oracle.rs crates/synth/src/util.rs crates/synth/src/world.rs
+
+/root/repo/target/release/deps/cosmo_synth-e7f019e5db7c9bf8: crates/synth/src/lib.rs crates/synth/src/behavior.rs crates/synth/src/corpus.rs crates/synth/src/domain.rs crates/synth/src/oracle.rs crates/synth/src/util.rs crates/synth/src/world.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/behavior.rs:
+crates/synth/src/corpus.rs:
+crates/synth/src/domain.rs:
+crates/synth/src/oracle.rs:
+crates/synth/src/util.rs:
+crates/synth/src/world.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cosmo_synth-f28d828a5ac0f516.d: crates/synth/src/lib.rs crates/synth/src/behavior.rs crates/synth/src/corpus.rs crates/synth/src/domain.rs crates/synth/src/oracle.rs crates/synth/src/util.rs crates/synth/src/world.rs Cargo.toml
+
+/root/repo/target/release/deps/libcosmo_synth-f28d828a5ac0f516.rmeta: crates/synth/src/lib.rs crates/synth/src/behavior.rs crates/synth/src/corpus.rs crates/synth/src/domain.rs crates/synth/src/oracle.rs crates/synth/src/util.rs crates/synth/src/world.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+crates/synth/src/behavior.rs:
+crates/synth/src/corpus.rs:
+crates/synth/src/domain.rs:
+crates/synth/src/oracle.rs:
+crates/synth/src/util.rs:
+crates/synth/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

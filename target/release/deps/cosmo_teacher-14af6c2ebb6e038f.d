@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cosmo_teacher-14af6c2ebb6e038f.d: crates/teacher/src/lib.rs crates/teacher/src/cost.rs crates/teacher/src/generate.rs crates/teacher/src/prompts.rs crates/teacher/src/relations.rs Cargo.toml
+
+/root/repo/target/release/deps/libcosmo_teacher-14af6c2ebb6e038f.rmeta: crates/teacher/src/lib.rs crates/teacher/src/cost.rs crates/teacher/src/generate.rs crates/teacher/src/prompts.rs crates/teacher/src/relations.rs Cargo.toml
+
+crates/teacher/src/lib.rs:
+crates/teacher/src/cost.rs:
+crates/teacher/src/generate.rs:
+crates/teacher/src/prompts.rs:
+crates/teacher/src/relations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cosmo_teacher-197e70056103233d.d: crates/teacher/src/lib.rs crates/teacher/src/cost.rs crates/teacher/src/generate.rs crates/teacher/src/prompts.rs crates/teacher/src/relations.rs
+
+/root/repo/target/release/deps/libcosmo_teacher-197e70056103233d.rlib: crates/teacher/src/lib.rs crates/teacher/src/cost.rs crates/teacher/src/generate.rs crates/teacher/src/prompts.rs crates/teacher/src/relations.rs
+
+/root/repo/target/release/deps/libcosmo_teacher-197e70056103233d.rmeta: crates/teacher/src/lib.rs crates/teacher/src/cost.rs crates/teacher/src/generate.rs crates/teacher/src/prompts.rs crates/teacher/src/relations.rs
+
+crates/teacher/src/lib.rs:
+crates/teacher/src/cost.rs:
+crates/teacher/src/generate.rs:
+crates/teacher/src/prompts.rs:
+crates/teacher/src/relations.rs:

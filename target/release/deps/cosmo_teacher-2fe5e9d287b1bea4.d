@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cosmo_teacher-2fe5e9d287b1bea4.d: crates/teacher/src/lib.rs crates/teacher/src/cost.rs crates/teacher/src/generate.rs crates/teacher/src/prompts.rs crates/teacher/src/relations.rs
+
+/root/repo/target/release/deps/libcosmo_teacher-2fe5e9d287b1bea4.rmeta: crates/teacher/src/lib.rs crates/teacher/src/cost.rs crates/teacher/src/generate.rs crates/teacher/src/prompts.rs crates/teacher/src/relations.rs
+
+crates/teacher/src/lib.rs:
+crates/teacher/src/cost.rs:
+crates/teacher/src/generate.rs:
+crates/teacher/src/prompts.rs:
+crates/teacher/src/relations.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/cosmo_text-3367966e5eb9ff09.d: crates/text/src/lib.rs crates/text/src/canon.rs crates/text/src/distance.rs crates/text/src/embed.rs crates/text/src/hash.rs crates/text/src/ngram.rs crates/text/src/segment.rs crates/text/src/tfidf.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs Cargo.toml
+
+/root/repo/target/release/deps/libcosmo_text-3367966e5eb9ff09.rmeta: crates/text/src/lib.rs crates/text/src/canon.rs crates/text/src/distance.rs crates/text/src/embed.rs crates/text/src/hash.rs crates/text/src/ngram.rs crates/text/src/segment.rs crates/text/src/tfidf.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs Cargo.toml
+
+crates/text/src/lib.rs:
+crates/text/src/canon.rs:
+crates/text/src/distance.rs:
+crates/text/src/embed.rs:
+crates/text/src/hash.rs:
+crates/text/src/ngram.rs:
+crates/text/src/segment.rs:
+crates/text/src/tfidf.rs:
+crates/text/src/tokenize.rs:
+crates/text/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

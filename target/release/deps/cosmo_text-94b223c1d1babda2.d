@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cosmo_text-94b223c1d1babda2.d: crates/text/src/lib.rs crates/text/src/canon.rs crates/text/src/distance.rs crates/text/src/embed.rs crates/text/src/hash.rs crates/text/src/ngram.rs crates/text/src/segment.rs crates/text/src/tfidf.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+/root/repo/target/release/deps/libcosmo_text-94b223c1d1babda2.rmeta: crates/text/src/lib.rs crates/text/src/canon.rs crates/text/src/distance.rs crates/text/src/embed.rs crates/text/src/hash.rs crates/text/src/ngram.rs crates/text/src/segment.rs crates/text/src/tfidf.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+crates/text/src/lib.rs:
+crates/text/src/canon.rs:
+crates/text/src/distance.rs:
+crates/text/src/embed.rs:
+crates/text/src/hash.rs:
+crates/text/src/ngram.rs:
+crates/text/src/segment.rs:
+crates/text/src/tfidf.rs:
+crates/text/src/tokenize.rs:
+crates/text/src/vocab.rs:

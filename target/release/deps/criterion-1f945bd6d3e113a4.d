@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-1f945bd6d3e113a4.d: .stubs/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-1f945bd6d3e113a4.rmeta: .stubs/criterion/src/lib.rs Cargo.toml
+
+.stubs/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-d8817b9dd612d002.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-d8817b9dd612d002.rlib: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-d8817b9dd612d002.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

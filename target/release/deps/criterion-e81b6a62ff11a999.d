@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-e81b6a62ff11a999.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e81b6a62ff11a999.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

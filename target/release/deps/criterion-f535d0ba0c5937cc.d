@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-f535d0ba0c5937cc.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-f535d0ba0c5937cc: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-c3d1b1c8072cf988.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-c3d1b1c8072cf988: tests/end_to_end.rs
+
+tests/end_to_end.rs:

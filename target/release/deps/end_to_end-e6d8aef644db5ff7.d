@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/end_to_end-e6d8aef644db5ff7.d: tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/release/deps/libend_to_end-e6d8aef644db5ff7.rmeta: tests/end_to_end.rs Cargo.toml
+
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/experiments_smoke-8c6b3a649893cd82.d: crates/bench/tests/experiments_smoke.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiments_smoke-8c6b3a649893cd82.rmeta: crates/bench/tests/experiments_smoke.rs Cargo.toml
+
+crates/bench/tests/experiments_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gradcheck-975d6b21211eb602.d: tests/gradcheck.rs Cargo.toml
+
+/root/repo/target/release/deps/libgradcheck-975d6b21211eb602.rmeta: tests/gradcheck.rs Cargo.toml
+
+tests/gradcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

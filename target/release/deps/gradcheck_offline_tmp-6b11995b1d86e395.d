@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gradcheck_offline_tmp-6b11995b1d86e395.d: tests/gradcheck_offline_tmp.rs
+
+/root/repo/target/release/deps/gradcheck_offline_tmp-6b11995b1d86e395: tests/gradcheck_offline_tmp.rs
+
+tests/gradcheck_offline_tmp.rs:

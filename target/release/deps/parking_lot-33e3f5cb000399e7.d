@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-33e3f5cb000399e7.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-33e3f5cb000399e7.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

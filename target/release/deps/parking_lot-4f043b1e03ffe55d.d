@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parking_lot-4f043b1e03ffe55d.d: .stubs/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libparking_lot-4f043b1e03ffe55d.rmeta: .stubs/parking_lot/src/lib.rs Cargo.toml
+
+.stubs/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

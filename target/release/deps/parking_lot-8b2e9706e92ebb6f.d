@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-8b2e9706e92ebb6f.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-8b2e9706e92ebb6f: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

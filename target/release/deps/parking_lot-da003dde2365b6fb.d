@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-da003dde2365b6fb.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-da003dde2365b6fb.rlib: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-da003dde2365b6fb.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-ea461babcc833408.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-ea461babcc833408.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-af00cc09d62db1db.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-af00cc09d62db1db.rlib: .stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-af00cc09d62db1db.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

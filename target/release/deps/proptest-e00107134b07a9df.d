@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-e00107134b07a9df.d: .stubs/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-e00107134b07a9df.rmeta: .stubs/proptest/src/lib.rs Cargo.toml
+
+.stubs/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-e06a0c9824e5c903.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-e06a0c9824e5c903: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-00c409b76fc5ff06.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-00c409b76fc5ff06.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-59fbe84ee70442fc.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-59fbe84ee70442fc: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

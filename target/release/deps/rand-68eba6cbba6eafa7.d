@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-68eba6cbba6eafa7.d: .stubs/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-68eba6cbba6eafa7.rmeta: .stubs/rand/src/lib.rs Cargo.toml
+
+.stubs/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-9c1e93f97a359e6a.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9c1e93f97a359e6a.rlib: .stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9c1e93f97a359e6a.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-d2b4c976df9e4810.d: .stubs/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-d2b4c976df9e4810.rmeta: .stubs/rand/src/lib.rs Cargo.toml
+
+.stubs/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

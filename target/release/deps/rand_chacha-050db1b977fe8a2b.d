@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-050db1b977fe8a2b.d: .stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-050db1b977fe8a2b.rlib: .stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-050db1b977fe8a2b.rmeta: .stubs/rand_chacha/src/lib.rs
+
+.stubs/rand_chacha/src/lib.rs:

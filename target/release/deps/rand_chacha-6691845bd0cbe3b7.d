@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-6691845bd0cbe3b7.d: .stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-6691845bd0cbe3b7: .stubs/rand_chacha/src/lib.rs
+
+.stubs/rand_chacha/src/lib.rs:

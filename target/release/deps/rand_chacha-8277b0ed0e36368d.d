@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-8277b0ed0e36368d.d: .stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-8277b0ed0e36368d.rmeta: .stubs/rand_chacha/src/lib.rs
+
+.stubs/rand_chacha/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_chacha-86a864f9182985aa.d: .stubs/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_chacha-86a864f9182985aa.rmeta: .stubs/rand_chacha/src/lib.rs Cargo.toml
+
+.stubs/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

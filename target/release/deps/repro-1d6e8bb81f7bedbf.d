@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro-1d6e8bb81f7bedbf.d: crates/bench/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro-1d6e8bb81f7bedbf.rmeta: crates/bench/src/bin/repro.rs Cargo.toml
+
+crates/bench/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-6bdbe8ffe78cd1ed.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-6bdbe8ffe78cd1ed: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

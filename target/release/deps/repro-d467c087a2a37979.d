@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-d467c087a2a37979.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-d467c087a2a37979: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

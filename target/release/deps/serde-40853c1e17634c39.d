@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-40853c1e17634c39.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-40853c1e17634c39: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

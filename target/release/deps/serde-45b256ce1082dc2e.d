@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-45b256ce1082dc2e.d: .stubs/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-45b256ce1082dc2e.rmeta: .stubs/serde/src/lib.rs Cargo.toml
+
+.stubs/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

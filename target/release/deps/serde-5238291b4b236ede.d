@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-5238291b4b236ede.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-5238291b4b236ede.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-6bdcfabfdd2e273e.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-6bdcfabfdd2e273e.rlib: .stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-6bdcfabfdd2e273e.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-d3b7484b847e1e70.d: .stubs/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-d3b7484b847e1e70.rmeta: .stubs/serde/src/lib.rs Cargo.toml
+
+.stubs/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_derive-4dffd59b9ecda682.d: .stubs/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_derive-4dffd59b9ecda682.so: .stubs/serde_derive/src/lib.rs Cargo.toml
+
+.stubs/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-63c83d937684a325.d: .stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-63c83d937684a325: .stubs/serde_derive/src/lib.rs
+
+.stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-d0ec923aaaae2b41.d: .stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-d0ec923aaaae2b41.so: .stubs/serde_derive/src/lib.rs
+
+.stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_derive-f162569fb5afeaf6.d: .stubs/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_derive-f162569fb5afeaf6.so: .stubs/serde_derive/src/lib.rs Cargo.toml
+
+.stubs/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-29ffef09952d95ba.d: .stubs/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_json-29ffef09952d95ba.rmeta: .stubs/serde_json/src/lib.rs Cargo.toml
+
+.stubs/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-669f5ef8218eea89.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-669f5ef8218eea89: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-8191d0263a2d8c5e.d: .stubs/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_json-8191d0263a2d8c5e.rmeta: .stubs/serde_json/src/lib.rs Cargo.toml
+
+.stubs/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

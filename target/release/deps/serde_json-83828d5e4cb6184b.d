@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-83828d5e4cb6184b.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-83828d5e4cb6184b.rlib: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-83828d5e4cb6184b.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

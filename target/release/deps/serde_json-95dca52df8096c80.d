@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-95dca52df8096c80.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-95dca52df8096c80.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/build_kg-b2489ce44e18867e.d: examples/build_kg.rs
+
+/root/repo/target/release/examples/build_kg-b2489ce44e18867e: examples/build_kg.rs
+
+examples/build_kg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/build_kg-c468470bac24e314.d: examples/build_kg.rs Cargo.toml
+
+/root/repo/target/release/examples/libbuild_kg-c468470bac24e314.rmeta: examples/build_kg.rs Cargo.toml
+
+examples/build_kg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

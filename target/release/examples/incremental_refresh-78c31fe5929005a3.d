@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/incremental_refresh-78c31fe5929005a3.d: examples/incremental_refresh.rs
+
+/root/repo/target/release/examples/incremental_refresh-78c31fe5929005a3: examples/incremental_refresh.rs
+
+examples/incremental_refresh.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/incremental_refresh-9a405ba94094d11f.d: examples/incremental_refresh.rs Cargo.toml
+
+/root/repo/target/release/examples/libincremental_refresh-9a405ba94094d11f.rmeta: examples/incremental_refresh.rs Cargo.toml
+
+examples/incremental_refresh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/navigation_session-615aa3f8c8a70382.d: examples/navigation_session.rs Cargo.toml
+
+/root/repo/target/release/examples/libnavigation_session-615aa3f8c8a70382.rmeta: examples/navigation_session.rs Cargo.toml
+
+examples/navigation_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

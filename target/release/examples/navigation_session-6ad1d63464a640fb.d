@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/navigation_session-6ad1d63464a640fb.d: examples/navigation_session.rs
+
+/root/repo/target/release/examples/navigation_session-6ad1d63464a640fb: examples/navigation_session.rs
+
+examples/navigation_session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1fe406e61970eba8.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1fe406e61970eba8: examples/quickstart.rs
+
+examples/quickstart.rs:

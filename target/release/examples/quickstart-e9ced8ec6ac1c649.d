@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-e9ced8ec6ac1c649.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-e9ced8ec6ac1c649.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serve_intents-5b543a61711c23b0.d: examples/serve_intents.rs
+
+/root/repo/target/release/examples/serve_intents-5b543a61711c23b0: examples/serve_intents.rs
+
+examples/serve_intents.rs:

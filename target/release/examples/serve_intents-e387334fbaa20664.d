@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/serve_intents-e387334fbaa20664.d: examples/serve_intents.rs Cargo.toml
+
+/root/repo/target/release/examples/libserve_intents-e387334fbaa20664.rmeta: examples/serve_intents.rs Cargo.toml
+
+examples/serve_intents.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

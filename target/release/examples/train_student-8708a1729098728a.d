@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/train_student-8708a1729098728a.d: examples/train_student.rs
+
+/root/repo/target/release/examples/train_student-8708a1729098728a: examples/train_student.rs
+
+examples/train_student.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/train_student-fc17d8a6ef81774d.d: examples/train_student.rs Cargo.toml
+
+/root/repo/target/release/examples/libtrain_student-fc17d8a6ef81774d.rmeta: examples/train_student.rs Cargo.toml
+
+examples/train_student.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR
