@@ -1,7 +1,10 @@
-//! Knowledge-graph store benchmarks: the serving path's lookups and the
-//! navigation hierarchy build.
+//! Knowledge-graph store benchmarks: the serving path's lookups (hashmap
+//! adjacency vs frozen CSR snapshot), the navigation hierarchy build, and
+//! snapshot/JSON (de)serialisation.
 
-use cosmo_kg::{BehaviorKind, Edge, IntentHierarchy, KnowledgeGraph, NodeKind, Relation};
+use cosmo_kg::{
+    BehaviorKind, Edge, IntentHierarchy, KgSnapshot, KnowledgeGraph, NodeKind, Relation,
+};
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 
 fn build_graph(n_heads: usize, tails_per_head: usize) -> KnowledgeGraph {
@@ -47,6 +50,21 @@ fn bench_lookup(c: &mut Criterion) {
                 .count()
         })
     });
+
+    // the same lookups over the frozen CSR snapshot
+    let snap = kg.freeze();
+    c.bench_function("kg/snapshot_find_node", |b| {
+        b.iter(|| snap.find_node(NodeKind::Query, black_box("query 1234")))
+    });
+    c.bench_function("kg/snapshot_top_intents_k5", |b| {
+        b.iter(|| cosmo_kg::GraphView::top_intents(&snap, black_box(node), 5).len())
+    });
+    c.bench_function("kg/snapshot_tails_of_rel", |b| {
+        b.iter(|| {
+            snap.tails_of_rel_slice(black_box(node), Relation::CapableOf)
+                .len()
+        })
+    });
 }
 
 fn bench_hierarchy(c: &mut Criterion) {
@@ -54,7 +72,19 @@ fn bench_hierarchy(c: &mut Criterion) {
     let mut g = c.benchmark_group("kg");
     g.sample_size(20);
     g.bench_function("hierarchy_build", |b| {
-        b.iter_batched(|| &kg, IntentHierarchy::build, BatchSize::SmallInput)
+        b.iter_batched(
+            || &kg,
+            |kg| IntentHierarchy::build(kg),
+            BatchSize::SmallInput,
+        )
+    });
+    let snap = kg.freeze();
+    g.bench_function("hierarchy_build_snapshot", |b| {
+        b.iter_batched(
+            || &snap,
+            |s| IntentHierarchy::build(s),
+            BatchSize::SmallInput,
+        )
     });
     g.finish();
 }
@@ -75,11 +105,56 @@ fn bench_json_roundtrip(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_snapshot_roundtrip(c: &mut Criterion) {
+    let kg = build_graph(500, 8);
+    let snap = kg.freeze();
+    let bytes = snap.to_bytes();
+    let mut g = c.benchmark_group("kg");
+    g.sample_size(20);
+    g.bench_function("snapshot_freeze", |b| b.iter(|| kg.freeze().num_edges()));
+    g.bench_function("snapshot_serialize", |b| b.iter(|| snap.to_bytes().len()));
+    g.bench_function("snapshot_deserialize", |b| {
+        b.iter(|| {
+            KgSnapshot::from_bytes(black_box(&bytes))
+                .unwrap()
+                .num_edges()
+        })
+    });
+    g.finish();
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let corpus: Vec<String> = (0..200)
+        .map(|i| format!("product {i} for outdoor camping and hiking trips {}", i % 9))
+        .collect();
+    let embedder = cosmo_text::HashedEmbedder::fit(&corpus, 128);
+    let text = "winter camping air mattress portable lightweight";
+    let mut g = c.benchmark_group("embed");
+    g.bench_function("embed_alloc", |b| {
+        b.iter(|| embedder.embed(black_box(text))[0])
+    });
+    let mut scratch = cosmo_text::EmbedScratch::default();
+    let mut out = vec![0.0f32; 128];
+    g.bench_function("embed_into_scratch", |b| {
+        b.iter(|| {
+            embedder.embed_into(black_box(text), &mut scratch, &mut out);
+            out[0]
+        })
+    });
+    let others: Vec<String> = (0..16).map(|i| format!("context phrase {i}")).collect();
+    g.bench_function("similarity_many_16", |b| {
+        b.iter(|| embedder.similarity_many(black_box(text), &others).len())
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_insert,
     bench_lookup,
     bench_hierarchy,
-    bench_json_roundtrip
+    bench_json_roundtrip,
+    bench_snapshot_roundtrip,
+    bench_embed
 );
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 
 use crate::context::{Ctx, Scale};
 use cosmo_core::apply_feedback;
-use cosmo_kg::NodeKind;
+use cosmo_kg::{BehaviorKind, Edge, KgSnapshot, KnowledgeGraph, NodeId, NodeKind, Relation};
 use cosmo_sessrec::{
     attach_knowledge, drift_analysis, generate_sessions, CosmoGnn, GceGnn, Gru4Rec, SessionConfig,
     SessionModel, TrainConfig,
@@ -251,6 +251,295 @@ pub fn matmul_gflops(m: usize, k: usize, n: usize) -> (f64, f64, f64) {
         flops / t_blk / 1e9,
         flops / t_par / 1e9,
     )
+}
+
+/// Deterministic synthetic KG: `n_heads` query nodes, each with `deg`
+/// intent edges drawn from a shared intent pool, relations cycling through
+/// all 15 types (pure arithmetic — identical graph in every build).
+fn scaling_kg(n_heads: usize, deg: usize) -> KnowledgeGraph {
+    let mut kg = KnowledgeGraph::new();
+    for i in 0..n_heads {
+        let q = kg.intern_node(NodeKind::Query, &format!("query {i}"));
+        for j in 0..deg {
+            let t_idx = (i * 31 + j * 131) % n_heads;
+            let t = kg.intern_node(NodeKind::Intention, &format!("intent {t_idx}"));
+            kg.add_edge(Edge {
+                head: q,
+                relation: Relation::ALL[(i * 7 + j) % Relation::ALL.len()],
+                tail: t,
+                behavior: BehaviorKind::SearchBuy,
+                category: (i % 23) as u8,
+                plausibility: 0.5 + (j % 10) as f32 / 20.0,
+                typicality: 0.3 + (i % 10) as f32 / 20.0,
+                support: 1 + (j as u32 % 7),
+            });
+        }
+    }
+    kg
+}
+
+/// Rebuild a mutable store from a snapshot via the intern/merge write path —
+/// the baseline that `KgSnapshot::load` is measured against (what a serving
+/// host would have to do without the binary snapshot format).
+fn rebuild_via_intern(snap: &KgSnapshot) -> KnowledgeGraph {
+    let mut kg = KnowledgeGraph::new();
+    // interning in id order reproduces the same dense ids, so edges
+    // carry over without remapping
+    for id in 0..snap.num_nodes() {
+        let id = NodeId(id as u32);
+        kg.intern_node(snap.node_kind(id), snap.node_text(id));
+    }
+    for e in snap.edges() {
+        kg.add_edge(e.clone());
+    }
+    kg
+}
+
+/// Comparable fingerprint of serving features: every float by bit pattern.
+type FeatureBits = (
+    String,
+    Vec<(Relation, String, u32)>,
+    Vec<u32>,
+    Option<String>,
+);
+
+fn feature_bits(f: &cosmo_serving::StructuredFeatures) -> FeatureBits {
+    (
+        f.query.clone(),
+        f.intents
+            .iter()
+            .map(|(r, t, s)| (*r, t.clone(), s.to_bits()))
+            .collect(),
+        f.subcategory.iter().map(|x| x.to_bits()).collect(),
+        f.strong_intent.clone(),
+    )
+}
+
+/// KG read-path scaling: build vs freeze vs snapshot save/load wall-clock,
+/// `tails_of_rel` lookups/sec over the hashmap adjacency vs the CSR slice,
+/// and embeds/sec for the allocating `embed` vs scratch-reusing
+/// `embed_into`, at three graph sizes. Also asserts the serving and nav
+/// read paths produce bitwise-identical answers over the store and the
+/// snapshot. Writes `BENCH_kg.json` and returns the human-readable summary.
+pub fn kg_scaling(ctx: &Ctx) -> String {
+    let mut out = String::new();
+    let mut json = String::from("{\n  \"sizes\": [\n");
+
+    let _ = writeln!(
+        out,
+        "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>11} {:>11} {:>8}",
+        "graph",
+        "edges",
+        "build(s)",
+        "freeze(s)",
+        "load(s)",
+        "load-spd",
+        "map lk/s",
+        "csr lk/s",
+        "csr-spd"
+    );
+    let sizes = [(500usize, 8usize), (2000, 24), (8000, 64)];
+    let (mut csr_speedup_largest, mut load_speedup_largest) = (0.0f64, 0.0f64);
+    for (si, &(n_heads, deg)) in sizes.iter().enumerate() {
+        let t0 = std::time::Instant::now();
+        let kg = scaling_kg(n_heads, deg);
+        let build_secs = t0.elapsed().as_secs_f64();
+
+        let t0 = std::time::Instant::now();
+        let snap = kg.freeze();
+        let freeze_secs = t0.elapsed().as_secs_f64();
+
+        let path = std::env::temp_dir().join(format!(
+            "cosmo_bench_kg_{}_{}.snap",
+            std::process::id(),
+            n_heads
+        ));
+        let t0 = std::time::Instant::now();
+        snap.save(&path).expect("snapshot save");
+        let save_secs = t0.elapsed().as_secs_f64();
+        let t0 = std::time::Instant::now();
+        let loaded = KgSnapshot::load(&path).expect("snapshot load");
+        let load_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(loaded, snap, "loaded snapshot differs at {n_heads} heads");
+        let _ = std::fs::remove_file(&path);
+
+        let t0 = std::time::Instant::now();
+        let rebuilt = rebuild_via_intern(&snap);
+        let rebuild_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            (rebuilt.num_nodes(), rebuilt.num_edges()),
+            (snap.num_nodes(), snap.num_edges()),
+            "rebuild diverged at {n_heads} heads"
+        );
+        let load_speedup = rebuild_secs / load_secs;
+
+        // lookup probes: head × relation pairs spread over the whole graph
+        let heads: Vec<NodeId> = (0..n_heads)
+            .map(|i| {
+                kg.find_node(NodeKind::Query, &format!("query {i}"))
+                    .expect("probe head")
+            })
+            .collect();
+        let probes: Vec<(NodeId, Relation)> = (0..2048u64)
+            .map(|p| {
+                let h = p.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (
+                    heads[(h % n_heads as u64) as usize],
+                    Relation::ALL[(h >> 32) as usize % Relation::ALL.len()],
+                )
+            })
+            .collect();
+        let t_map = best_secs(9, || {
+            let mut acc = 0u64;
+            for &(h, r) in &probes {
+                for e in kg.tails_of_rel(h, r) {
+                    acc += e.tail.0 as u64;
+                }
+            }
+            std::hint::black_box(acc);
+        });
+        let t_csr = best_secs(9, || {
+            let mut acc = 0u64;
+            for &(h, r) in &probes {
+                for e in snap.tails_of_rel_slice(h, r) {
+                    acc += e.tail.0 as u64;
+                }
+            }
+            std::hint::black_box(acc);
+        });
+        let (map_rate, csr_rate) = (probes.len() as f64 / t_map, probes.len() as f64 / t_csr);
+        let csr_speedup = csr_rate / map_rate;
+        if si + 1 == sizes.len() {
+            csr_speedup_largest = csr_speedup;
+            load_speedup_largest = load_speedup;
+        }
+
+        let _ = writeln!(
+            out,
+            "{:<12} {:>9} {:>10.3} {:>10.3} {:>10.4} {:>9.1}x {:>11.0} {:>11.0} {:>7.1}x",
+            format!("{n_heads}x{deg}"),
+            kg.num_edges(),
+            build_secs,
+            freeze_secs,
+            load_secs,
+            load_speedup,
+            map_rate,
+            csr_rate,
+            csr_speedup
+        );
+        let _ = write!(
+            json,
+            "    {{\"heads\": {n_heads}, \"degree\": {deg}, \"nodes\": {}, \"edges\": {}, \
+             \"build_secs\": {build_secs:.6}, \"freeze_secs\": {freeze_secs:.6}, \
+             \"save_secs\": {save_secs:.6}, \"load_secs\": {load_secs:.6}, \
+             \"rebuild_secs\": {rebuild_secs:.6}, \"load_speedup\": {load_speedup:.3}, \
+             \"map_lookups_per_sec\": {map_rate:.0}, \"csr_lookups_per_sec\": {csr_rate:.0}, \
+             \"csr_speedup\": {csr_speedup:.3}}}{}",
+            kg.num_nodes(),
+            kg.num_edges(),
+            if si + 1 < sizes.len() { ",\n" } else { "\n" }
+        );
+    }
+    json.push_str("  ],\n");
+
+    // embedding fast path: allocating embed() vs scratch-reusing embed_into()
+    let corpus: Vec<String> = (0..256)
+        .map(|i| {
+            format!(
+                "sample product {i} for camping hiking outdoor use {}",
+                i % 7
+            )
+        })
+        .collect();
+    let embedder = cosmo_text::HashedEmbedder::fit(&corpus, 64);
+    let texts: Vec<String> = (0..512)
+        .map(|i| format!("winter camping air mattress model {i} portable"))
+        .collect();
+    let t_alloc = best_secs(9, || {
+        let mut acc = 0.0f32;
+        for t in &texts {
+            acc += embedder.embed(t)[0];
+        }
+        std::hint::black_box(acc);
+    });
+    let mut scratch = cosmo_text::EmbedScratch::default();
+    let mut buf = vec![0.0f32; 64];
+    let t_into = best_secs(9, || {
+        let mut acc = 0.0f32;
+        for t in &texts {
+            embedder.embed_into(t, &mut scratch, &mut buf);
+            acc += buf[0];
+        }
+        std::hint::black_box(acc);
+    });
+    let (embed_rate, into_rate) = (texts.len() as f64 / t_alloc, texts.len() as f64 / t_into);
+    let _ = writeln!(
+        out,
+        "\nembedding: {:.0} embeds/s allocating, {:.0} embeds/s with scratch reuse ({:.2}x)",
+        embed_rate,
+        into_rate,
+        into_rate / embed_rate
+    );
+    let _ = write!(
+        json,
+        "  \"embed\": {{\"embed_per_sec\": {embed_rate:.0}, \"embed_into_per_sec\": {into_rate:.0}, \
+         \"speedup\": {:.3}}},\n",
+        into_rate / embed_rate
+    );
+
+    // read-path identity: the pipeline's real KG served from the mutable
+    // store and from the frozen snapshot must answer bitwise-identically
+    let kg = &ctx.out.kg;
+    let snap = kg.freeze();
+    let mut serving_identical = true;
+    for q in ctx.out.world.queries.iter().take(50) {
+        let a = cosmo_serving::compute_features(&q.text, kg, &ctx.student);
+        let b = cosmo_serving::compute_features(&q.text, &snap, &ctx.student);
+        if feature_bits(&a) != feature_bits(&b) {
+            serving_identical = false;
+        }
+    }
+    assert!(serving_identical, "serving features diverged on snapshot");
+    let store_engine = cosmo_nav::NavigationEngine::new(kg.clone());
+    let snap_engine = cosmo_nav::NavigationEngine::new(kg.freeze());
+    let mut nav_identical = true;
+    for q in ctx.out.world.queries.iter().take(25) {
+        let a = store_engine.interpret(&q.text, 5);
+        let b = snap_engine.interpret(&q.text, 5);
+        if a != b {
+            nav_identical = false;
+        }
+        for s in &a {
+            if store_engine.products_for_intent(s.label(), 8)
+                != snap_engine.products_for_intent(s.label(), 8)
+            {
+                nav_identical = false;
+            }
+        }
+    }
+    assert!(nav_identical, "navigation diverged on snapshot");
+    let _ = writeln!(
+        out,
+        "serving + navigation answers over the snapshot: bitwise-identical \
+         to the mutable store"
+    );
+
+    let _ = write!(
+        json,
+        "  \"csr_speedup_largest\": {csr_speedup_largest:.3},\n  \
+         \"load_speedup_largest\": {load_speedup_largest:.3},\n  \
+         \"serving_identical\": {serving_identical},\n  \
+         \"nav_identical\": {nav_identical}\n}}\n"
+    );
+    match std::fs::write("BENCH_kg.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "\nwrote BENCH_kg.json");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "\ncould not write BENCH_kg.json: {e}");
+        }
+    }
+    out
 }
 
 /// Deterministic synthetic critic training set (no RNG: identical bits in

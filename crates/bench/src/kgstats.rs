@@ -6,9 +6,11 @@ use crate::context::Ctx;
 use cosmo_kg::{connected_components, degree_histogram, giant_component_size, top_intents_global};
 use std::fmt::Write as _;
 
-/// Render the KG analytics report.
+/// Render the KG analytics report. The analytics iterate CSR slices, so
+/// the built graph is frozen into a [`cosmo_kg::KgSnapshot`] first.
 pub fn kgstats(ctx: &Ctx) -> String {
-    let kg = &ctx.out.kg;
+    let kg = ctx.out.kg.freeze();
+    let kg = &kg;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -53,7 +55,7 @@ pub fn kgstats(ctx: &Ctx) -> String {
         "\ntop intentions by PageRank (global behavioural mass):"
     );
     for (node, score) in top_intents_global(kg, 10) {
-        let _ = writeln!(out, "  {:>8.5}  {}", score, kg.node(node).text);
+        let _ = writeln!(out, "  {:>8.5}  {}", score, kg.node_text(node));
     }
     out
 }

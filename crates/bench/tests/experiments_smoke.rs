@@ -33,7 +33,7 @@ fn every_fast_experiment_runs() {
         assert!(out.len() > 40, "{name} produced almost no output: {out:?}");
     }
     assert!(run_experiment(ctx(), "no-such-experiment").is_none());
-    assert_eq!(EXPERIMENTS.len(), 21);
+    assert_eq!(EXPERIMENTS.len(), 24);
 }
 
 #[test]

@@ -236,13 +236,12 @@ impl CoarseFilter {
         if generic_tails.contains(&parsed.tail) {
             return FilterDecision::Generic;
         }
-        // similarity filter (Eq. 1)
-        let tail_emb = self.embedder.embed(&parsed.tail);
-        for ctx in &contexts {
-            let sim = cosmo_text::cosine(&tail_emb, &self.embedder.embed(ctx));
-            if sim > self.cfg.similarity_threshold {
-                return FilterDecision::Paraphrase;
-            }
+        // similarity filter (Eq. 1) — batched: the tail is embedded once and
+        // the context embeddings reuse one scratch buffer (no per-context
+        // allocation), producing the same cosines bitwise.
+        let sims = self.embedder.similarity_many(&parsed.tail, &contexts);
+        if sims.iter().any(|&sim| sim > self.cfg.similarity_threshold) {
+            return FilterDecision::Paraphrase;
         }
         FilterDecision::Keep
     }

@@ -1,4 +1,4 @@
-//! Graph algorithms over the knowledge graph.
+//! Graph algorithms over the frozen knowledge-graph snapshot.
 //!
 //! Used by the serving/navigation stack beyond plain adjacency lookups:
 //!
@@ -9,29 +9,39 @@
 //!   healthy pipeline run yields one giant component per domain cluster);
 //! * **degree distribution** — the long-tail shape reports of the KG
 //!   statistics pages.
+//!
+//! All algorithms take a [`KgSnapshot`] and iterate its CSR slices directly
+//! — no temporary per-node adjacency vectors are materialised. Freeze a
+//! [`crate::store::KnowledgeGraph`] first (`kg.freeze()`); the freeze cost
+//! is amortised across every traversal that follows.
 
-use crate::store::{KnowledgeGraph, NodeId};
+use crate::snapshot::KgSnapshot;
+use crate::store::NodeId;
 use cosmo_text::FxHashMap;
 
 /// PageRank over the undirected view of the KG.
 ///
 /// Damping `d`, `iterations` rounds of synchronous updates; returns a score
 /// per node id (dense, indexed by `NodeId.0`). Deterministic.
-pub fn pagerank(kg: &KnowledgeGraph, d: f64, iterations: usize) -> Vec<f64> {
-    let n = kg.num_nodes();
+pub fn pagerank(snap: &KgSnapshot, d: f64, iterations: usize) -> Vec<f64> {
+    let n = snap.num_nodes();
     if n == 0 {
         return Vec::new();
     }
-    // undirected adjacency (edges carry weight = support)
-    let mut neighbours: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
-    for (_, e) in kg.edges() {
-        let w = e.support as f64;
-        neighbours[e.head.0 as usize].push((e.tail.0, w));
-        neighbours[e.tail.0 as usize].push((e.head.0, w));
-    }
-    let out_weight: Vec<f64> = neighbours
-        .iter()
-        .map(|ns| ns.iter().map(|(_, w)| w).sum::<f64>())
+    let edges = snap.edges();
+    // Undirected weighted degree (edge weight = support): out-edges plus
+    // in-edges, both read straight from the CSR slices.
+    let out_weight: Vec<f64> = (0..n)
+        .map(|i| {
+            let id = NodeId(i as u32);
+            let out: f64 = snap.out_slice(id).iter().map(|e| e.support as f64).sum();
+            let inw: f64 = snap
+                .in_slice(id)
+                .iter()
+                .map(|&j| edges[j as usize].support as f64)
+                .sum();
+            out + inw
+        })
         .collect();
     let mut rank = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];
@@ -43,9 +53,14 @@ pub fn pagerank(kg: &KnowledgeGraph, d: f64, iterations: usize) -> Vec<f64> {
                 dangling += rank[i];
                 continue;
             }
+            let id = NodeId(i as u32);
             let share = d * rank[i] / out_weight[i];
-            for &(j, w) in &neighbours[i] {
-                next[j as usize] += share * w;
+            for e in snap.out_slice(id) {
+                next[e.tail.0 as usize] += share * e.support as f64;
+            }
+            for &j in snap.in_slice(id) {
+                let e = &edges[j as usize];
+                next[e.head.0 as usize] += share * e.support as f64;
             }
         }
         // dangling mass is redistributed uniformly
@@ -60,14 +75,10 @@ pub fn pagerank(kg: &KnowledgeGraph, d: f64, iterations: usize) -> Vec<f64> {
 
 /// Connected components over the undirected view: returns
 /// `(component id per node, number of components)`.
-pub fn connected_components(kg: &KnowledgeGraph) -> (Vec<usize>, usize) {
-    let n = kg.num_nodes();
+pub fn connected_components(snap: &KgSnapshot) -> (Vec<usize>, usize) {
+    let n = snap.num_nodes();
+    let edges = snap.edges();
     let mut comp = vec![usize::MAX; n];
-    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for (_, e) in kg.edges() {
-        adjacency[e.head.0 as usize].push(e.tail.0);
-        adjacency[e.tail.0 as usize].push(e.head.0);
-    }
     let mut count = 0;
     let mut stack = Vec::new();
     for start in 0..n {
@@ -77,7 +88,16 @@ pub fn connected_components(kg: &KnowledgeGraph) -> (Vec<usize>, usize) {
         comp[start] = count;
         stack.push(start as u32);
         while let Some(v) = stack.pop() {
-            for &u in &adjacency[v as usize] {
+            let id = NodeId(v);
+            for e in snap.out_slice(id) {
+                let u = e.tail.0;
+                if comp[u as usize] == usize::MAX {
+                    comp[u as usize] = count;
+                    stack.push(u);
+                }
+            }
+            for &j in snap.in_slice(id) {
+                let u = edges[j as usize].head.0;
                 if comp[u as usize] == usize::MAX {
                     comp[u as usize] = count;
                     stack.push(u);
@@ -90,8 +110,8 @@ pub fn connected_components(kg: &KnowledgeGraph) -> (Vec<usize>, usize) {
 }
 
 /// Size of the largest connected component.
-pub fn giant_component_size(kg: &KnowledgeGraph) -> usize {
-    let (comp, count) = connected_components(kg);
+pub fn giant_component_size(snap: &KgSnapshot) -> usize {
+    let (comp, count) = connected_components(snap);
     let mut sizes = vec![0usize; count];
     for &c in &comp {
         sizes[c] += 1;
@@ -101,23 +121,24 @@ pub fn giant_component_size(kg: &KnowledgeGraph) -> usize {
 
 /// Degree histogram of the KG (`degree → node count`), for the long-tail
 /// shape diagnostics.
-pub fn degree_histogram(kg: &KnowledgeGraph) -> FxHashMap<usize, usize> {
+pub fn degree_histogram(snap: &KgSnapshot) -> FxHashMap<usize, usize> {
     let mut hist: FxHashMap<usize, usize> = FxHashMap::default();
-    for (id, _) in kg.nodes() {
-        let deg = kg.out_degree(id) + kg.in_degree(id);
+    for i in 0..snap.num_nodes() {
+        let id = NodeId(i as u32);
+        let deg = snap.out_slice(id).len() + snap.in_slice(id).len();
         *hist.entry(deg).or_insert(0) += 1;
     }
     hist
 }
 
 /// Top-`k` intention nodes by PageRank, with scores.
-pub fn top_intents_global(kg: &KnowledgeGraph, k: usize) -> Vec<(NodeId, f64)> {
+pub fn top_intents_global(snap: &KgSnapshot, k: usize) -> Vec<(NodeId, f64)> {
     use crate::schema::NodeKind;
-    let rank = pagerank(kg, 0.85, 30);
-    let mut scored: Vec<(NodeId, f64)> = kg
-        .nodes()
-        .filter(|(_, n)| n.kind == NodeKind::Intention)
-        .map(|(id, _)| (id, rank[id.0 as usize]))
+    let rank = pagerank(snap, 0.85, 30);
+    let mut scored: Vec<(NodeId, f64)> = (0..snap.num_nodes())
+        .map(|i| NodeId(i as u32))
+        .filter(|&id| snap.node_kind(id) == NodeKind::Intention)
+        .map(|id| (id, rank[id.0 as usize]))
         .collect();
     scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     scored.truncate(k);
@@ -128,7 +149,7 @@ pub fn top_intents_global(kg: &KnowledgeGraph, k: usize) -> Vec<(NodeId, f64)> {
 mod tests {
     use super::*;
     use crate::schema::{BehaviorKind, NodeKind, Relation};
-    use crate::store::Edge;
+    use crate::store::{Edge, KnowledgeGraph};
 
     fn star_graph(leaves: usize) -> KnowledgeGraph {
         // one hub intention fed by `leaves` products
@@ -166,7 +187,8 @@ mod tests {
     #[test]
     fn pagerank_sums_to_one_and_ranks_hub_highest() {
         let kg = star_graph(8);
-        let rank = pagerank(&kg, 0.85, 40);
+        let snap = kg.freeze();
+        let rank = pagerank(&snap, 0.85, 40);
         let sum: f64 = rank.iter().sum();
         assert!((sum - 1.0).abs() < 1e-6, "sum={sum}");
         let hub = kg.find_node(NodeKind::Intention, "hub intent").unwrap();
@@ -181,16 +203,17 @@ mod tests {
 
     #[test]
     fn pagerank_empty_graph() {
-        let kg = KnowledgeGraph::new();
-        assert!(pagerank(&kg, 0.85, 10).is_empty());
+        let snap = KnowledgeGraph::new().freeze();
+        assert!(pagerank(&snap, 0.85, 10).is_empty());
     }
 
     #[test]
     fn components_of_star_is_one() {
         let kg = star_graph(5);
-        let (_, count) = connected_components(&kg);
+        let snap = kg.freeze();
+        let (_, count) = connected_components(&snap);
         assert_eq!(count, 1);
-        assert_eq!(giant_component_size(&kg), kg.num_nodes());
+        assert_eq!(giant_component_size(&snap), kg.num_nodes());
     }
 
     #[test]
@@ -209,15 +232,17 @@ mod tests {
             typicality: 0.9,
             support: 1,
         });
-        let (_, count) = connected_components(&kg);
+        let snap = kg.freeze();
+        let (_, count) = connected_components(&snap);
         assert_eq!(count, 2);
-        assert_eq!(giant_component_size(&kg), kg.num_nodes() - 2);
+        assert_eq!(giant_component_size(&snap), kg.num_nodes() - 2);
     }
 
     #[test]
     fn degree_histogram_counts_everything() {
         let kg = star_graph(4);
-        let hist = degree_histogram(&kg);
+        let snap = kg.freeze();
+        let hist = degree_histogram(&snap);
         let total: usize = hist.values().sum();
         assert_eq!(total, kg.num_nodes());
         // the hub has degree 4
@@ -227,7 +252,8 @@ mod tests {
     #[test]
     fn top_global_intents_prefers_hub() {
         let kg = star_graph(6);
-        let top = top_intents_global(&kg, 2);
+        let snap = kg.freeze();
+        let top = top_intents_global(&snap, 2);
         assert_eq!(kg.node(top[0].0).text, "hub intent");
         assert!(top[0].1 > top[1].1);
     }

@@ -13,7 +13,8 @@
 //! navigation engine in `cosmo-nav` walks.
 
 use crate::schema::NodeKind;
-use crate::store::{KnowledgeGraph, NodeId};
+use crate::store::NodeId;
+use crate::view::GraphView;
 use cosmo_text::{tokenize, FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 
@@ -41,20 +42,26 @@ pub struct IntentHierarchy {
     pub nodes: Vec<HierNode>,
     /// Indices of root nodes (no parents).
     pub roots: Vec<usize>,
-    #[serde(skip)]
-    by_text: FxHashMap<String, usize>,
+    /// Node indices sorted by tail text — the binary-searched index behind
+    /// [`IntentHierarchy::find`]. Serialised (it is plain data), so lookups
+    /// survive deserialisation without a rebuild step.
+    by_text: Vec<u32>,
 }
 
 impl IntentHierarchy {
-    /// Build the hierarchy from every intention node in the graph.
-    pub fn build(kg: &KnowledgeGraph) -> Self {
+    /// Build the hierarchy from every intention node in the graph. Works
+    /// over any [`GraphView`] backend — the mutable store or a frozen
+    /// snapshot — and produces identical hierarchies for equal graphs.
+    pub fn build<G: GraphView>(kg: &G) -> Self {
         // Collect intention nodes with their token sets.
         let mut items: Vec<(NodeId, String, FxHashSet<String>)> = Vec::new();
-        for (id, node) in kg.nodes() {
-            if node.kind == NodeKind::Intention {
-                let toks: FxHashSet<String> = tokenize(&node.text).into_iter().collect();
+        for i in 0..kg.num_nodes() {
+            let id = NodeId(i as u32);
+            if kg.node_kind(id) == NodeKind::Intention {
+                let text = kg.node_text(id);
+                let toks: FxHashSet<String> = tokenize(text).into_iter().collect();
                 if !toks.is_empty() {
-                    items.push((id, node.text.clone(), toks));
+                    items.push((id, text.to_string(), toks));
                 }
             }
         }
@@ -72,7 +79,7 @@ impl IntentHierarchy {
                 let mut support = 0;
                 for e in kg.heads_of(*id) {
                     support += e.support;
-                    if kg.node(e.head).kind == NodeKind::Product {
+                    if kg.node_kind(e.head) == NodeKind::Product {
                         products.push(e.head);
                     }
                 }
@@ -141,11 +148,8 @@ impl IntentHierarchy {
         let roots = (0..nodes.len())
             .filter(|&i| nodes[i].parents.is_empty() && !nodes[i].children.is_empty())
             .collect();
-        let by_text = nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.text.clone(), i))
-            .collect();
+        let mut by_text: Vec<u32> = (0..nodes.len() as u32).collect();
+        by_text.sort_unstable_by(|&a, &b| nodes[a as usize].text.cmp(&nodes[b as usize].text));
         IntentHierarchy {
             nodes,
             roots,
@@ -153,14 +157,23 @@ impl IntentHierarchy {
         }
     }
 
+    /// Binary search the sorted text index; intention texts are unique
+    /// (nodes are interned per `(kind, text)`), so at most one node matches.
+    fn find_index(&self, text: &str) -> Option<usize> {
+        self.by_text
+            .binary_search_by(|&i| self.nodes[i as usize].text.as_str().cmp(text))
+            .ok()
+            .map(|pos| self.by_text[pos] as usize)
+    }
+
     /// Find a hierarchy node by exact tail text.
     pub fn find(&self, text: &str) -> Option<&HierNode> {
-        self.by_text.get(text).map(|&i| &self.nodes[i])
+        self.find_index(text).map(|i| &self.nodes[i])
     }
 
     /// Refinements (child intents) of a tail text, ranked by support.
     pub fn refinements_of(&self, text: &str) -> Vec<&HierNode> {
-        let Some(&i) = self.by_text.get(text) else {
+        let Some(i) = self.find_index(text) else {
             return Vec::new();
         };
         let mut children: Vec<&HierNode> = self.nodes[i]
@@ -212,7 +225,7 @@ impl IntentHierarchy {
 mod tests {
     use super::*;
     use crate::schema::{BehaviorKind, Relation};
-    use crate::store::Edge;
+    use crate::store::{Edge, KnowledgeGraph};
 
     fn graph_with_intents(tails: &[&str]) -> KnowledgeGraph {
         let mut kg = KnowledgeGraph::new();
@@ -296,5 +309,56 @@ mod tests {
         let h = IntentHierarchy::build(&kg);
         assert!(h.is_empty());
         assert_eq!(h.depth(), 0);
+    }
+
+    #[test]
+    fn build_over_snapshot_matches_store() {
+        let kg = graph_with_intents(&[
+            "camping",
+            "winter camping",
+            "lakeside camping",
+            "cold winter camping",
+            "hiking",
+        ]);
+        let snap = kg.freeze();
+        let from_store = IntentHierarchy::build(&kg);
+        let from_snap = IntentHierarchy::build(&snap);
+        assert_eq!(from_store.len(), from_snap.len());
+        assert_eq!(from_store.roots, from_snap.roots);
+        for (a, b) in from_store.nodes.iter().zip(&from_snap.nodes) {
+            assert_eq!(a.intent, b.intent);
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.children, b.children);
+            assert_eq!(a.parents, b.parents);
+            assert_eq!(a.products, b.products);
+            assert_eq!(a.support, b.support);
+        }
+    }
+
+    #[test]
+    fn find_scales_to_ten_thousand_intents() {
+        // Regression test for the sorted-index lookup: 10k intents, every
+        // one findable, refinements correct, unknown texts rejected —
+        // exercising the binary search far beyond the toy fixtures.
+        let mut tails: Vec<String> = Vec::new();
+        for i in 0..5000 {
+            tails.push(format!("activity{i}"));
+            tails.push(format!("outdoor{i} activity{i}"));
+        }
+        let refs: Vec<&str> = tails.iter().map(|s| s.as_str()).collect();
+        let kg = graph_with_intents(&refs);
+        let h = IntentHierarchy::build(&kg);
+        assert_eq!(h.len(), 10_000);
+        for i in (0..5000).step_by(97) {
+            let base = format!("activity{i}");
+            let node = h.find(&base).expect("base intent must be found");
+            assert_eq!(node.text, base);
+            let fine = h.refinements_of(&base);
+            assert_eq!(fine.len(), 1, "refinements of {base}");
+            assert_eq!(fine[0].text, format!("outdoor{i} activity{i}"));
+        }
+        assert!(h.find("activity5000").is_none());
+        assert!(h.find("").is_none());
+        assert!(h.refinements_of("no such intent").is_empty());
     }
 }

@@ -1,24 +1,33 @@
 //! # cosmo-kg
 //!
 //! The COSMO knowledge graph: schema (15 relations of Table 2, node and
-//! behaviour kinds), an interned in-memory store with adjacency indexes and
-//! JSON snapshots, per-category statistics (Tables 1 & 3), and the intent
-//! hierarchy of Figure 8 that powers search navigation.
+//! behaviour kinds), an interned mutable store for the offline pipeline,
+//! a frozen CSR snapshot with a versioned binary format for the read side,
+//! per-category statistics (Tables 1 & 3), and the intent hierarchy of
+//! Figure 8 that powers search navigation.
 //!
 //! The pipeline in `cosmo-core` writes refined knowledge into a
-//! [`KnowledgeGraph`]; `cosmo-serving` reads it at request time; `cosmo-nav`
-//! walks the [`IntentHierarchy`] for multi-turn navigation.
+//! [`KnowledgeGraph`]; freezing it yields a [`KgSnapshot`] that
+//! `cosmo-serving` reads at request time and `cosmo-nav` walks via the
+//! [`IntentHierarchy`] for multi-turn navigation — both through the
+//! [`GraphView`] trait, which the mutable store also implements (and
+//! answers bitwise-identically). JSON (de)serialisation of the mutable
+//! store remains for offline interchange.
 
 pub mod algo;
 pub mod hierarchy;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
+pub mod view;
 
 pub use algo::{
     connected_components, degree_histogram, giant_component_size, pagerank, top_intents_global,
 };
 pub use hierarchy::IntentHierarchy;
 pub use schema::{BehaviorKind, NodeKind, Relation, TailType};
+pub use snapshot::{KgSnapshot, SnapshotError};
 pub use stats::{summarize, CategoryRow, KgStats, KgSummary, CATEGORIES};
 pub use store::{Edge, EdgeId, KnowledgeGraph, Node, NodeId};
+pub use view::GraphView;

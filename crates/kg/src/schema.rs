@@ -171,8 +171,13 @@ impl Relation {
     }
 
     /// Stable small integer id (index into [`Relation::ALL`]).
+    ///
+    /// `ALL` lists the variants in declaration order, so the index is the
+    /// enum discriminant — `index_roundtrip` pins this. Constant-time
+    /// because adjacency binary searches key on it.
+    #[inline]
     pub fn index(self) -> usize {
-        Relation::ALL.iter().position(|&r| r == self).unwrap()
+        self as usize
     }
 
     /// Inverse of [`Relation::index`].

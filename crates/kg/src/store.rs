@@ -23,7 +23,7 @@ pub struct NodeId(pub u32);
 pub struct EdgeId(pub u32);
 
 /// A node: product, query, or intention tail.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Node {
     /// Node kind.
     pub kind: NodeKind,
@@ -32,7 +32,7 @@ pub struct Node {
 }
 
 /// A knowledge edge `(head, relation, tail)` with provenance and scores.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Edge {
     /// Head node (product or query).
     pub head: NodeId,
@@ -115,8 +115,24 @@ impl KnowledgeGraph {
             return eid;
         }
         let eid = EdgeId(self.edges.len() as u32);
-        self.out_adj.entry(edge.head).or_default().push(eid);
-        self.in_adj.entry(edge.tail).or_default().push(eid);
+        // Adjacency lists are kept sorted — out by (relation, tail), in by
+        // (head, relation) — so iteration order is a function of graph
+        // *content*, not insertion history, and matches the frozen
+        // [`crate::snapshot::KgSnapshot`] CSR order exactly.
+        let out = self.out_adj.entry(edge.head).or_default();
+        let out_key = (edge.relation.index(), edge.tail);
+        let pos = out.partition_point(|&e| {
+            let o = &self.edges[e.0 as usize];
+            (o.relation.index(), o.tail) < out_key
+        });
+        out.insert(pos, eid);
+        let inl = self.in_adj.entry(edge.tail).or_default();
+        let in_key = (edge.head, edge.relation.index());
+        let pos = inl.partition_point(|&e| {
+            let i = &self.edges[e.0 as usize];
+            (i.head, i.relation.index()) < in_key
+        });
+        inl.insert(pos, eid);
         self.edge_index.insert(key, eid);
         self.edges.push(edge);
         eid
@@ -197,14 +213,12 @@ impl KnowledgeGraph {
     /// Top-`k` intention tails for `head` ranked by
     /// `typicality · ln(1 + support)` — the serving-time ranking.
     pub fn top_intents(&self, head: NodeId, k: usize) -> Vec<&Edge> {
-        let mut edges: Vec<&Edge> = self.tails_of(head).collect();
-        edges.sort_by(|a, b| {
-            let sa = a.typicality * (1.0 + a.support as f32).ln();
-            let sb = b.typicality * (1.0 + b.support as f32).ln();
-            sb.total_cmp(&sa).then(a.tail.cmp(&b.tail))
-        });
-        edges.truncate(k);
-        edges
+        crate::view::rank_intents(self.tails_of(head).collect(), k)
+    }
+
+    /// Freeze into a read-optimised [`crate::snapshot::KgSnapshot`].
+    pub fn freeze(&self) -> crate::snapshot::KgSnapshot {
+        crate::snapshot::KgSnapshot::freeze(self)
     }
 
     /// Rebuild the skipped (non-serialised) indexes after deserialisation.
@@ -222,6 +236,19 @@ impl KnowledgeGraph {
             self.edge_index.insert((e.head, e.relation, e.tail), eid);
             self.out_adj.entry(e.head).or_default().push(eid);
             self.in_adj.entry(e.tail).or_default().push(eid);
+        }
+        // Restore the sorted-adjacency invariant maintained by `add_edge`.
+        for list in self.out_adj.values_mut() {
+            list.sort_unstable_by_key(|&e| {
+                let o = &self.edges[e.0 as usize];
+                (o.relation.index(), o.tail)
+            });
+        }
+        for list in self.in_adj.values_mut() {
+            list.sort_unstable_by_key(|&e| {
+                let i = &self.edges[e.0 as usize];
+                (i.head, i.relation.index())
+            });
         }
     }
 
@@ -394,5 +421,58 @@ mod tests {
     fn num_relations_counts_distinct() {
         let kg = tiny_graph();
         assert_eq!(kg.num_relations(), 1);
+    }
+
+    #[test]
+    fn adjacency_order_independent_of_insertion() {
+        // Two graphs with the same edges added in opposite orders must
+        // enumerate adjacency identically — the invariant that makes store
+        // and snapshot read paths bitwise-interchangeable.
+        let mk_edge = |head, relation, tail| Edge {
+            head,
+            relation,
+            tail,
+            behavior: BehaviorKind::SearchBuy,
+            category: 0,
+            plausibility: 0.5,
+            typicality: 0.5,
+            support: 1,
+        };
+        let mut fwd = KnowledgeGraph::new();
+        let mut rev = KnowledgeGraph::new();
+        for kg in [&mut fwd, &mut rev] {
+            kg.intern_node(NodeKind::Query, "q");
+            for i in 0..6 {
+                kg.intern_node(NodeKind::Intention, &format!("t{i}"));
+            }
+        }
+        let q = NodeId(0);
+        let edges: Vec<Edge> = (0..6)
+            .map(|i| {
+                mk_edge(
+                    q,
+                    Relation::ALL[(5 - (i % 3)) % Relation::ALL.len()],
+                    NodeId(1 + i as u32),
+                )
+            })
+            .collect();
+        for e in &edges {
+            fwd.add_edge(e.clone());
+        }
+        for e in edges.iter().rev() {
+            rev.add_edge(e.clone());
+        }
+        let a: Vec<&Edge> = fwd.tails_of(q).collect();
+        let b: Vec<&Edge> = rev.tails_of(q).collect();
+        assert_eq!(a, b);
+        assert!(a
+            .windows(2)
+            .all(|w| (w[0].relation.index(), w[0].tail) < (w[1].relation.index(), w[1].tail)));
+        for i in 1..7 {
+            let t = NodeId(i);
+            let ia: Vec<&Edge> = fwd.heads_of(t).collect();
+            let ib: Vec<&Edge> = rev.heads_of(t).collect();
+            assert_eq!(ia, ib);
+        }
     }
 }

@@ -81,7 +81,11 @@ pub struct AbTestReport {
 }
 
 /// Run the simulation over a world and its navigation engine.
-pub fn run_abtest(world: &World, engine: &NavigationEngine, cfg: &AbTestConfig) -> AbTestReport {
+pub fn run_abtest<G: cosmo_kg::GraphView>(
+    world: &World,
+    engine: &NavigationEngine<G>,
+    cfg: &AbTestConfig,
+) -> AbTestReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Broad queries are the widget's target surface.
     let broad: Vec<_> = (0..world.queries.len())

@@ -14,7 +14,7 @@
 //! "camping air mattress" → lakeside/mountain/4-person variants) is a
 //! stateful walk down these layers, implemented by [`NavSession`].
 
-use cosmo_kg::{IntentHierarchy, KnowledgeGraph, NodeId, NodeKind};
+use cosmo_kg::{GraphView, IntentHierarchy, KnowledgeGraph, NodeId, NodeKind};
 use cosmo_text::{tokenize, FxHashSet};
 use serde::{Deserialize, Serialize};
 
@@ -39,20 +39,26 @@ impl Suggestion {
 }
 
 /// The navigation service: a KG plus its intent hierarchy.
-pub struct NavigationEngine {
-    kg: KnowledgeGraph,
+///
+/// Generic over the graph backend: the mutable [`KnowledgeGraph`] builder
+/// (the default, for tests and offline tooling) and the frozen
+/// [`cosmo_kg::KgSnapshot`] (production serving) yield identical
+/// suggestions — both enumerate adjacency in the same content-determined
+/// order.
+pub struct NavigationEngine<G: GraphView = KnowledgeGraph> {
+    kg: G,
     hierarchy: IntentHierarchy,
 }
 
-impl NavigationEngine {
+impl<G: GraphView> NavigationEngine<G> {
     /// Build the engine (constructs the Figure 8 hierarchy).
-    pub fn new(kg: KnowledgeGraph) -> Self {
+    pub fn new(kg: G) -> Self {
         let hierarchy = IntentHierarchy::build(&kg);
         NavigationEngine { kg, hierarchy }
     }
 
     /// The underlying graph.
-    pub fn kg(&self) -> &KnowledgeGraph {
+    pub fn kg(&self) -> &G {
         &self.kg
     }
 
@@ -79,7 +85,7 @@ impl NavigationEngine {
         self.kg
             .top_intents(node, k)
             .into_iter()
-            .map(|e| Suggestion::Intent(self.kg.node(e.tail).text.clone()))
+            .map(|e| Suggestion::Intent(self.kg.node_text(e.tail).to_string()))
             .collect()
     }
 
@@ -103,9 +109,8 @@ impl NavigationEngine {
                 .then(a.head.cmp(&b.head))
         });
         for e in edges {
-            let n = self.kg.node(e.head);
-            if n.kind == NodeKind::Product && seen.insert(e.head) {
-                out.push((e.head, n.text.clone()));
+            if self.kg.node_kind(e.head) == NodeKind::Product && seen.insert(e.head) {
+                out.push((e.head, self.kg.node_text(e.head).to_string()));
                 if out.len() >= k {
                     break;
                 }
@@ -139,18 +144,22 @@ impl NavigationEngine {
 }
 
 /// A multi-turn navigation walk (Figure 9).
-pub struct NavSession<'e> {
-    engine: &'e NavigationEngine,
+pub struct NavSession<'e, G: GraphView = KnowledgeGraph> {
+    engine: &'e NavigationEngine<G>,
     /// The trail of selections made so far.
     pub trail: Vec<Suggestion>,
     /// Current candidate products.
     pub candidates: Vec<(NodeId, String)>,
 }
 
-impl<'e> NavSession<'e> {
+impl<'e, G: GraphView> NavSession<'e, G> {
     /// Start a session from a broad query; returns the first-turn
     /// suggestions.
-    pub fn start(engine: &'e NavigationEngine, query: &str, k: usize) -> (Self, Vec<Suggestion>) {
+    pub fn start(
+        engine: &'e NavigationEngine<G>,
+        query: &str,
+        k: usize,
+    ) -> (Self, Vec<Suggestion>) {
         let suggestions = engine.interpret(query, k);
         let candidates = engine
             .kg
@@ -161,9 +170,9 @@ impl<'e> NavSession<'e> {
                     .kg
                     .tails_of(node)
                     .flat_map(|e| engine.kg.heads_of(e.tail))
-                    .filter(|e2| engine.kg.node(e2.head).kind == NodeKind::Product)
+                    .filter(|e2| engine.kg.node_kind(e2.head) == NodeKind::Product)
                     .filter(|e2| seen.insert(e2.head))
-                    .map(|e2| (e2.head, engine.kg.node(e2.head).text.clone()))
+                    .map(|e2| (e2.head, engine.kg.node_text(e2.head).to_string()))
                     .collect()
             })
             .unwrap_or_default();
@@ -303,6 +312,29 @@ mod tests {
         let prods = engine.products_for_intent("winter camping", 10);
         assert_eq!(prods.len(), 2);
         assert!(prods[0].1.contains("winter"));
+    }
+
+    #[test]
+    fn snapshot_backend_yields_identical_navigation() {
+        let kg = camping_kg();
+        let store_engine = NavigationEngine::new(kg.clone());
+        let snap_engine = NavigationEngine::new(kg.freeze());
+        for query in ["camping", "quantum flux"] {
+            assert_eq!(
+                store_engine.interpret(query, 5),
+                snap_engine.interpret(query, 5)
+            );
+            let (a, sa) = NavSession::start(&store_engine, query, 5);
+            let (b, sb) = NavSession::start(&snap_engine, query, 5);
+            assert_eq!(sa, sb);
+            assert_eq!(a.candidates, b.candidates);
+        }
+        for intent in ["camping", "winter camping", "lakeside camping"] {
+            assert_eq!(
+                store_engine.products_for_intent(intent, 10),
+                snap_engine.products_for_intent(intent, 10)
+            );
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! threads and the batch writer contend only when they touch the same
 //! shard, mirroring the cache store's layout.
 
-use cosmo_kg::{KnowledgeGraph, NodeKind, Relation};
+use cosmo_kg::{GraphView, NodeKind, Relation};
 use cosmo_lm::CosmoLm;
 use cosmo_text::hash::hash_str_ns;
 use cosmo_text::FxHashMap;
@@ -48,11 +48,16 @@ const STRONG_INTENT_MARGIN: f32 = 0.3;
 /// Compute structured features for a query: KG intents when the query node
 /// exists (cheap lookup), falling back to COSMO-LM generation, plus the
 /// student embedding as the subcategory representation.
-pub fn compute_features(query: &str, kg: &KnowledgeGraph, lm: &CosmoLm) -> StructuredFeatures {
+///
+/// Generic over the graph backend: the mutable [`cosmo_kg::KnowledgeGraph`]
+/// and the frozen [`cosmo_kg::KgSnapshot`] produce bitwise-identical
+/// features (both enumerate adjacency in the same content-determined
+/// order); production serving uses the snapshot.
+pub fn compute_features<G: GraphView>(query: &str, kg: &G, lm: &CosmoLm) -> StructuredFeatures {
     let mut intents: Vec<(Relation, String, f32)> = Vec::new();
     if let Some(node) = kg.find_node(NodeKind::Query, query) {
         for e in kg.top_intents(node, 5) {
-            intents.push((e.relation, kg.node(e.tail).text.clone(), e.typicality));
+            intents.push((e.relation, kg.node_text(e.tail).to_string(), e.typicality));
         }
     }
     if intents.is_empty() {
@@ -143,7 +148,7 @@ impl FeatureStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cosmo_kg::{BehaviorKind, Edge};
+    use cosmo_kg::{BehaviorKind, Edge, KnowledgeGraph};
     use cosmo_lm::StudentConfig;
 
     fn lm() -> CosmoLm {
@@ -222,6 +227,27 @@ mod tests {
         // replacing an existing key does not grow the store
         store.put(compute_features("query 0", &kg, &model));
         assert_eq!(store.len(), 32);
+    }
+
+    #[test]
+    fn snapshot_features_bitwise_identical_to_store() {
+        let kg = kg_with_query("camping");
+        let snap = kg.freeze();
+        let model = lm();
+        for query in ["camping", "brand new query", ""] {
+            let a = compute_features(query, &kg, &model);
+            let b = compute_features(query, &snap, &model);
+            assert_eq!(a.query, b.query);
+            assert_eq!(a.strong_intent, b.strong_intent);
+            assert_eq!(a.intents.len(), b.intents.len());
+            for ((ra, ta, sa), (rb, tb, sb)) in a.intents.iter().zip(&b.intents) {
+                assert_eq!(ra, rb);
+                assert_eq!(ta, tb);
+                assert_eq!(sa.to_bits(), sb.to_bits());
+            }
+            let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.subcategory), bits(&b.subcategory));
+        }
     }
 
     #[test]

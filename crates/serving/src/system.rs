@@ -36,7 +36,7 @@ use crate::error::ServingError;
 use crate::features::{compute_features, FeatureStore, StructuredFeatures};
 pub use crate::histogram::LatencyRecorder;
 use cosmo_exec::{ChunkResult, WorkerPool};
-use cosmo_kg::KnowledgeGraph;
+use cosmo_kg::{KgSnapshot, KnowledgeGraph};
 use cosmo_lm::CosmoLm;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -160,15 +160,30 @@ pub(crate) const PANIC_QUERY: &str = "__cosmo_injected_worker_panic__";
 #[derive(Default)]
 pub struct ServingSystemBuilder {
     kg: Option<Arc<KnowledgeGraph>>,
+    snapshot: Option<Arc<KgSnapshot>>,
     lm: Option<Arc<CosmoLm>>,
     preload: Vec<String>,
     cfg: ServingConfig,
 }
 
 impl ServingSystemBuilder {
-    /// Knowledge graph backing feature computation (required).
+    /// Knowledge graph backing feature computation. Frozen into a
+    /// [`KgSnapshot`] at build time — serving only ever reads the graph,
+    /// and the CSR snapshot answers lookups several times faster than the
+    /// hashmap-backed builder. Pass a pre-frozen (or file-loaded) snapshot
+    /// via [`ServingSystemBuilder::snapshot`] to skip the freeze; one of
+    /// the two is required.
     pub fn kg(mut self, kg: Arc<KnowledgeGraph>) -> Self {
         self.kg = Some(kg);
+        self
+    }
+
+    /// Frozen knowledge-graph snapshot backing feature computation —
+    /// typically loaded from a file written offline ([`KgSnapshot::load`]),
+    /// mirroring the paper's offline-materialise → online-serve boundary.
+    /// Takes precedence over [`ServingSystemBuilder::kg`].
+    pub fn snapshot(mut self, snapshot: Arc<KgSnapshot>) -> Self {
+        self.snapshot = Some(snapshot);
         self
     }
 
@@ -240,12 +255,16 @@ impl ServingSystemBuilder {
     /// spawn the worker pool, and assemble the system.
     pub fn build(self) -> Result<ServingSystem, ServingError> {
         self.cfg.validate()?;
-        let kg = self.kg.ok_or(ServingError::MissingKnowledgeGraph)?;
+        let kg = match (self.snapshot, self.kg) {
+            (Some(snapshot), _) => snapshot,
+            (None, Some(kg)) => Arc::new(kg.freeze()),
+            (None, None) => return Err(ServingError::MissingKnowledgeGraph),
+        };
         let lm = self.lm.ok_or(ServingError::MissingModel)?;
         let preloaded: Vec<StructuredFeatures> = self
             .preload
             .iter()
-            .map(|q| compute_features(q, &kg, &lm))
+            .map(|q| compute_features(q, &*kg, &lm))
             .collect();
         let features = FeatureStore::with_shards(self.cfg.shards);
         for f in &preloaded {
@@ -277,7 +296,7 @@ pub struct ServingSystem {
     /// Request-path latency histogram.
     pub latency: LatencyRecorder,
     cfg: ServingConfig,
-    kg: Arc<KnowledgeGraph>,
+    kg: Arc<KgSnapshot>,
     lm: Arc<CosmoLm>,
     pool: WorkerPool,
     batch_failed_chunks: AtomicU64,
@@ -333,7 +352,7 @@ impl ServingSystem {
         let outcomes = self.pool.try_map_chunks(&queries, chunk, |_, q| {
             #[cfg(test)]
             assert!(q != PANIC_QUERY, "injected worker panic");
-            compute_features(q, &self.kg, &self.lm)
+            compute_features(q, &*self.kg, &self.lm)
         });
         let mut installed = 0usize;
         let mut failed_chunks = 0usize;

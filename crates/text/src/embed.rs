@@ -13,14 +13,50 @@
 //! while orthogonal content (a true intention like "keep warm" for query
 //! "winter clothes") stays dissimilar.
 
-use crate::hash::hash_str_ns;
+use crate::hash::{hash_bytes_ns, hash_pair_ns, hash_str_ns};
 use crate::tfidf::TfIdf;
-use crate::tokenize::{char_ngrams, tokenize};
+use crate::tokenize::tokenize_spans;
 
 /// Feature namespaces.
 const NS_WORD: u32 = 1;
 const NS_CHAR3: u32 = 2;
 const NS_BIGRAM: u32 = 3;
+
+/// Reusable buffers for [`HashedEmbedder::embed_into`]. After a few calls the
+/// buffers reach steady-state capacity and embedding stops allocating
+/// entirely; keep one per worker thread and reuse it across texts.
+#[derive(Debug, Default, Clone)]
+pub struct EmbedScratch {
+    /// lowercase text buffer shared by all token spans
+    lower: String,
+    /// byte spans of tokens into `lower`
+    spans: Vec<(u32, u32)>,
+    /// word-namespace hash of each token (also feeds bigram keys)
+    word_hashes: Vec<u64>,
+    /// IDF weight of each token
+    word_idfs: Vec<f32>,
+}
+
+impl EmbedScratch {
+    fn clear(&mut self) {
+        self.lower.clear();
+        self.spans.clear();
+        self.word_hashes.clear();
+        self.word_idfs.clear();
+    }
+}
+
+/// Encode chars as UTF-8 into `buf`, returning the byte length. The bytes
+/// equal those of the `String` the chars would collect into, so hashing them
+/// matches hashing that string.
+#[inline]
+fn encode_chars(chars: &[char], buf: &mut [u8]) -> usize {
+    let mut len = 0;
+    for &c in chars {
+        len += c.encode_utf8(&mut buf[len..]).len();
+    }
+    len
+}
 
 /// A frozen sentence embedder producing dense `dim`-dimensional vectors.
 #[derive(Debug, Clone)]
@@ -64,32 +100,129 @@ impl HashedEmbedder {
     }
 
     /// Embed raw text into an L2-normalised vector.
+    ///
+    /// Thin wrapper over [`HashedEmbedder::embed_into`]; both paths produce
+    /// bitwise-identical vectors (pinned by tests).
     pub fn embed(&self, text: &str) -> Vec<f32> {
-        let tokens = tokenize(text);
-        self.embed_tokens(&tokens)
+        let mut scratch = EmbedScratch::default();
+        let mut out = vec![0.0f32; self.dim];
+        self.embed_into(text, &mut scratch, &mut out);
+        out
     }
 
-    /// Embed a pre-tokenised document.
+    /// Embed a pre-tokenised document. Produces the same vector as
+    /// [`HashedEmbedder::embed`] on the text the tokens came from.
     pub fn embed_tokens(&self, tokens: &[String]) -> Vec<f32> {
-        let mut v = vec![0.0f32; self.dim];
-        for (i, tok) in tokens.iter().enumerate() {
-            let w = self.idf.idf(tok);
-            self.add_feature(&mut v, hash_str_ns(tok, NS_WORD), w);
-            for cg in char_ngrams(tok, 3) {
-                self.add_feature(&mut v, hash_str_ns(&cg, NS_CHAR3), w * self.char_weight);
-            }
-            if i + 1 < tokens.len() {
-                let bg = format!("{tok} {}", tokens[i + 1]);
-                self.add_feature(&mut v, hash_str_ns(&bg, NS_BIGRAM), w * self.bigram_weight);
+        let mut scratch = EmbedScratch::default();
+        for tok in tokens {
+            let start = scratch.lower.len() as u32;
+            scratch.lower.push_str(tok);
+            scratch.spans.push((start, scratch.lower.len() as u32));
+        }
+        let mut out = vec![0.0f32; self.dim];
+        self.embed_spans_into(&mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free embedding: tokenise `text` into `scratch` (reused
+    /// buffers, no per-token `String`s) and write the L2-normalised vector
+    /// into `out`, which must be `dim()` long. Bigram features hash the two
+    /// token hashes via [`hash_pair_ns`] instead of formatting a joined
+    /// string; char-trigram features hash stack-encoded UTF-8 windows.
+    pub fn embed_into(&self, text: &str, scratch: &mut EmbedScratch, out: &mut [f32]) {
+        scratch.clear();
+        tokenize_spans(text, &mut scratch.lower, &mut scratch.spans);
+        self.embed_spans_into(scratch, out);
+    }
+
+    /// Shared feature-accumulation core over tokens already split into
+    /// `scratch.lower` / `scratch.spans`. Feature order (word, trigrams,
+    /// bigram — per token) is fixed so every entry point accumulates floats
+    /// in the same order and stays bitwise-identical.
+    fn embed_spans_into(&self, scratch: &mut EmbedScratch, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "embed_into: output length != dim");
+        out.fill(0.0);
+        scratch.word_hashes.clear();
+        scratch.word_idfs.clear();
+        for &(s, e) in &scratch.spans {
+            let tok = &scratch.lower[s as usize..e as usize];
+            scratch.word_hashes.push(hash_str_ns(tok, NS_WORD));
+            scratch.word_idfs.push(self.idf.idf(tok));
+        }
+        let n = scratch.spans.len();
+        for i in 0..n {
+            let (s, e) = scratch.spans[i];
+            let tok = &scratch.lower[s as usize..e as usize];
+            let w = scratch.word_idfs[i];
+            self.add_feature(out, scratch.word_hashes[i], w);
+            self.add_char3_features(out, tok, w * self.char_weight);
+            if i + 1 < n {
+                let key = hash_pair_ns(
+                    scratch.word_hashes[i],
+                    scratch.word_hashes[i + 1],
+                    NS_BIGRAM,
+                );
+                self.add_feature(out, key, w * self.bigram_weight);
             }
         }
-        l2_normalize(&mut v);
-        v
+        l2_normalize(out);
+    }
+
+    /// Add one feature per char-trigram of `^tok$` without materialising the
+    /// trigram strings: a rolling 3-char window is UTF-8-encoded into a stack
+    /// buffer and hashed, yielding the same keys as hashing the equivalent
+    /// `String`s.
+    fn add_char3_features(&self, out: &mut [f32], tok: &str, w: f32) {
+        let mut win = ['\0'; 3];
+        let mut filled = 0usize;
+        let mut buf = [0u8; 12]; // 3 chars x at most 4 UTF-8 bytes
+        for c in std::iter::once('^')
+            .chain(tok.chars())
+            .chain(std::iter::once('$'))
+        {
+            if filled < 3 {
+                win[filled] = c;
+                filled += 1;
+                if filled < 3 {
+                    continue;
+                }
+            } else {
+                win[0] = win[1];
+                win[1] = win[2];
+                win[2] = c;
+            }
+            let len = encode_chars(&win, &mut buf);
+            self.add_feature(out, hash_bytes_ns(&buf[..len], NS_CHAR3), w);
+        }
+        if filled < 3 {
+            // Fewer than 3 marked chars (empty token): single short n-gram,
+            // matching `char_ngrams`' padding behaviour.
+            let len = encode_chars(&win[..filled], &mut buf);
+            self.add_feature(out, hash_bytes_ns(&buf[..len], NS_CHAR3), w);
+        }
     }
 
     /// Cosine similarity of two raw texts (Eq. 1 of the paper).
     pub fn similarity(&self, a: &str, b: &str) -> f32 {
         crate::cosine(&self.embed(a), &self.embed(b))
+    }
+
+    /// Batched similarity of one text against many: the query is embedded
+    /// once and the scratch/output buffers are reused across `others`,
+    /// replacing N×2 embedding allocations with two. Returns exactly
+    /// `similarity(text, other)` for each entry, bitwise.
+    pub fn similarity_many<S: AsRef<str>>(&self, text: &str, others: &[S]) -> Vec<f32> {
+        let mut scratch = EmbedScratch::default();
+        let mut a = vec![0.0f32; self.dim];
+        self.embed_into(text, &mut scratch, &mut a);
+        let mut b = vec![0.0f32; self.dim];
+        others
+            .iter()
+            .map(|o| {
+                self.embed_into(o.as_ref(), &mut scratch, &mut b);
+                crate::cosine(&a, &b)
+            })
+            .collect()
     }
 }
 
@@ -165,5 +298,119 @@ mod tests {
         let v = e.embed("");
         assert!(v.iter().all(|&x| x == 0.0));
         assert_eq!(e.similarity("", "anything"), 0.0);
+    }
+
+    #[test]
+    fn embed_into_matches_embed_bitwise() {
+        let e = embedder();
+        let mut scratch = EmbedScratch::default();
+        let mut out = vec![0.0f32; e.dim()];
+        for text in [
+            "camping air mattress",
+            "the cat's toy — 4-person!",
+            "Winter CLOTHES to keep warm",
+            "",
+            "ÜBER straße",
+        ] {
+            e.embed_into(text, &mut scratch, &mut out);
+            let reference = e.embed(text);
+            assert_eq!(
+                out.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                "text={text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn embed_tokens_matches_embed_bitwise() {
+        let e = embedder();
+        for text in ["camping air mattress", "used for walking the dog", "a"] {
+            let toks = crate::tokenize::tokenize(text);
+            let via_tokens = e.embed_tokens(&toks);
+            let via_text = e.embed(text);
+            assert_eq!(
+                via_tokens.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                via_text.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                "text={text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_state() {
+        let e = embedder();
+        let mut scratch = EmbedScratch::default();
+        let mut out = vec![0.0f32; e.dim()];
+        // Long text first, then a short one: stale buffer contents must not
+        // bleed into the second embedding.
+        e.embed_into(
+            "a very long piece of text with many different tokens inside it",
+            &mut scratch,
+            &mut out,
+        );
+        e.embed_into("dog leash", &mut scratch, &mut out);
+        let fresh = e.embed("dog leash");
+        assert_eq!(
+            out.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            fresh.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn similarity_many_matches_similarity_bitwise() {
+        let e = embedder();
+        let contexts = [
+            "camping air mattress".to_string(),
+            "winter clothes".to_string(),
+            "hydrating the skin".to_string(),
+            String::new(),
+        ];
+        let many = e.similarity_many("air mattress for camping", &contexts);
+        assert_eq!(many.len(), contexts.len());
+        for (ctx, &got) in contexts.iter().zip(&many) {
+            let single = e.similarity("air mattress for camping", ctx);
+            assert_eq!(got.to_bits(), single.to_bits(), "ctx={ctx:?}");
+        }
+    }
+
+    #[test]
+    fn embedding_values_are_pinned() {
+        // Golden bits lock the feature definition (hash namespaces, combine
+        // function, weights, accumulation order). Any change to the embedding
+        // scheme — intended or not — must update these constants explicitly.
+        let corpus: Vec<String> = vec![
+            "camping air mattress for outdoor use".into(),
+            "winter clothes to keep warm".into(),
+        ];
+        let e = HashedEmbedder::fit(&corpus, 16);
+        let got: Vec<u32> = e
+            .embed("camping air mattress")
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        let expected: [u32; 16] = [
+            0, 0, 1058262330, 3203814923, 1041485114, 1041485114, 0, 1056331275, 0, 1041485114, 0,
+            0, 3197357370, 1044713889, 3188968762, 0,
+        ];
+        assert_eq!(got, expected);
+        assert_eq!(
+            crate::hash::hash_pair_ns(
+                crate::hash::hash_str_ns("winter", 1),
+                crate::hash::hash_str_ns("camping", 1),
+                3,
+            ),
+            0x6c6e_7eac_8e41_b68b
+        );
+    }
+
+    #[test]
+    fn bigram_features_distinguish_order() {
+        // The combine-based bigram key must still encode token order:
+        // "air mattress" and "mattress air" share unigrams + trigrams but
+        // not bigrams.
+        let e = embedder();
+        let s = e.similarity("camping air mattress", "camping mattress air");
+        assert!(s < 1.0 - 1e-4, "s={s}");
     }
 }

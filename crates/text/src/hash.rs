@@ -87,9 +87,30 @@ pub fn hash_bytes(bytes: &[u8]) -> u64 {
 /// in different buckets.
 #[inline]
 pub fn hash_str_ns(s: &str, namespace: u32) -> u64 {
+    hash_bytes_ns(s.as_bytes(), namespace)
+}
+
+/// Byte-slice variant of [`hash_str_ns`]; produces identical hashes for the
+/// same UTF-8 bytes, letting hot paths hash stack-encoded char windows
+/// without materialising a `String` first.
+#[inline]
+pub fn hash_bytes_ns(bytes: &[u8], namespace: u32) -> u64 {
     let mut h = FxHasher::default();
     h.write_u32(namespace);
-    h.write(s.as_bytes());
+    h.write(bytes);
+    h.finish()
+}
+
+/// Combine two pre-computed hashes under a namespace. This is the n-gram
+/// fast path: a bigram feature key is derived from the two token hashes
+/// directly instead of concatenating the tokens into a fresh `String` and
+/// re-hashing its bytes.
+#[inline]
+pub fn hash_pair_ns(a: u64, b: u64, namespace: u32) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(namespace);
+    h.write_u64(a);
+    h.write_u64(b);
     h.finish()
 }
 

@@ -33,12 +33,12 @@ pub mod vocab;
 
 pub use canon::canonicalize_tail;
 pub use distance::{edit_distance, jaccard, normalized_edit_distance};
-pub use embed::HashedEmbedder;
+pub use embed::{EmbedScratch, HashedEmbedder};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use ngram::NgramLm;
 pub use segment::first_sentence;
 pub use tfidf::TfIdf;
-pub use tokenize::{tokenize, tokenize_into};
+pub use tokenize::{tokenize, tokenize_into, tokenize_spans};
 pub use vocab::Vocab;
 
 /// Shannon entropy (nats) of an empirical distribution given by counts.

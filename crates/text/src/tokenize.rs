@@ -19,27 +19,50 @@ fn is_joiner(c: char) -> bool {
     c == '\'' || c == '-'
 }
 
+/// Tokenize `text` into lowercase tokens represented as byte spans into a
+/// shared lowercase buffer: each `(start, end)` in `spans` indexes
+/// `lower[start..end]`. Appends to both buffers, so both can be reused
+/// across calls without reallocating (clear them between unrelated texts).
+///
+/// This is the zero-allocation core; [`tokenize_into`] and [`tokenize`] are
+/// wrappers that materialise owned `String`s from the spans, so the token
+/// *text* produced by every path is identical by construction.
+pub fn tokenize_spans(text: &str, lower: &mut String, spans: &mut Vec<(u32, u32)>) {
+    let mut start = lower.len() as u32;
+    let mut it = text.chars().peekable();
+    while let Some(c) = it.next() {
+        if is_token_char(c) {
+            for lc in c.to_lowercase() {
+                lower.push(lc);
+            }
+        } else if is_joiner(c)
+            && lower.len() as u32 > start
+            && it.peek().is_some_and(|&next| is_token_char(next))
+        {
+            lower.push(c);
+        } else if lower.len() as u32 > start {
+            spans.push((start, lower.len() as u32));
+            start = lower.len() as u32;
+        }
+    }
+    if lower.len() as u32 > start {
+        spans.push((start, lower.len() as u32));
+    }
+}
+
 /// Tokenize `text` into lowercase word tokens, appending into `out`.
 ///
 /// Reusing the output buffer avoids per-call allocations on hot paths
 /// (the coarse filter tokenises millions of candidate strings).
 pub fn tokenize_into(text: &str, out: &mut Vec<String>) {
-    let chars: Vec<char> = text.chars().collect();
-    let mut cur = String::new();
-    let n = chars.len();
-    for i in 0..n {
-        let c = chars[i];
-        if is_token_char(c) {
-            cur.extend(c.to_lowercase());
-        } else if is_joiner(c) && !cur.is_empty() && i + 1 < n && is_token_char(chars[i + 1]) {
-            cur.push(c);
-        } else if !cur.is_empty() {
-            out.push(std::mem::take(&mut cur));
-        }
-    }
-    if !cur.is_empty() {
-        out.push(cur);
-    }
+    let mut lower = String::new();
+    let mut spans = Vec::new();
+    tokenize_spans(text, &mut lower, &mut spans);
+    out.extend(
+        spans
+            .iter()
+            .map(|&(s, e)| lower[s as usize..e as usize].to_string()),
+    );
 }
 
 /// Tokenize `text` into a fresh vector. See [`tokenize_into`].
@@ -103,6 +126,42 @@ mod tests {
         tokenize_into("one two", &mut buf);
         tokenize_into("three", &mut buf);
         assert_eq!(buf, vec!["one", "two", "three"]);
+    }
+
+    #[test]
+    fn spans_match_owned_tokens() {
+        for text in [
+            "Camping Air-Mattress, 4-person!",
+            "the cat's toy",
+            "- hello -world '",
+            "trailing-",
+            "",
+            "!!! ... ???",
+            "ÜBER-Größe straße",
+            "a-b-c--d",
+        ] {
+            let mut lower = String::new();
+            let mut spans = Vec::new();
+            tokenize_spans(text, &mut lower, &mut spans);
+            let from_spans: Vec<&str> = spans
+                .iter()
+                .map(|&(s, e)| &lower[s as usize..e as usize])
+                .collect();
+            assert_eq!(from_spans, tokenize(text), "text={text:?}");
+        }
+    }
+
+    #[test]
+    fn spans_append_across_calls() {
+        let mut lower = String::new();
+        let mut spans = Vec::new();
+        tokenize_spans("one two", &mut lower, &mut spans);
+        tokenize_spans("three", &mut lower, &mut spans);
+        let toks: Vec<&str> = spans
+            .iter()
+            .map(|&(s, e)| &lower[s as usize..e as usize])
+            .collect();
+        assert_eq!(toks, vec!["one", "two", "three"]);
     }
 
     #[test]

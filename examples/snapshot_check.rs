@@ -1,0 +1,105 @@
+//! Snapshot-format compatibility gate (run by `scripts/tier1.sh`).
+//!
+//! Builds a deterministic synthetic graph, freezes it into the versioned
+//! binary snapshot, saves and reloads it, and verifies the reload answers
+//! read queries identically to the builder store. The header constants are
+//! asserted against hard-coded expected bytes so that any accidental
+//! format change (magic, version, layout) fails the gate instead of
+//! silently invalidating snapshots written by earlier builds.
+//!
+//! ```text
+//! cargo run --release --example snapshot_check
+//! ```
+
+use cosmo::kg::{BehaviorKind, Edge, GraphView, KgSnapshot, KnowledgeGraph, NodeKind, Relation};
+
+fn main() {
+    // 1. A deterministic synthetic graph: 2000 query heads, 12 intent
+    //    edges each, relations cycling through all 15 types.
+    let n_heads = 2000usize;
+    let deg = 12usize;
+    let mut kg = KnowledgeGraph::new();
+    for i in 0..n_heads {
+        let q = kg.intern_node(NodeKind::Query, &format!("query {i}"));
+        for j in 0..deg {
+            let t = kg.intern_node(
+                NodeKind::Intention,
+                &format!("intent {}", (i * 17 + j * 29) % 800),
+            );
+            kg.add_edge(Edge {
+                head: q,
+                relation: Relation::ALL[(i + j) % Relation::ALL.len()],
+                tail: t,
+                behavior: BehaviorKind::SearchBuy,
+                category: (i % 18) as u8,
+                plausibility: 0.5 + (j % 10) as f32 / 20.0,
+                typicality: (i % 10) as f32 / 10.0,
+                support: 1 + (j as u32 % 5),
+            });
+        }
+    }
+    println!(
+        "graph: {} nodes, {} edges, {} relations",
+        kg.num_nodes(),
+        kg.num_edges(),
+        kg.num_relations()
+    );
+
+    // 2. Freeze and check the on-disk header: magic + format version 1.
+    let snap = kg.freeze();
+    let bytes = snap.to_bytes();
+    assert_eq!(&bytes[0..8], b"COSMOKG\0", "header magic changed");
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        1,
+        "format version changed — bump deliberately and keep a loader for v1"
+    );
+
+    // 3. Save → load round-trip.
+    let path =
+        std::env::temp_dir().join(format!("cosmo_snapshot_check_{}.snap", std::process::id()));
+    snap.save(&path).expect("save snapshot");
+    let loaded = KgSnapshot::load(&path).expect("load snapshot");
+    let on_disk = std::fs::metadata(&path).unwrap().len();
+    let _ = std::fs::remove_file(&path);
+
+    // 4. Summary stats must survive the round-trip …
+    assert_eq!(loaded.num_nodes(), kg.num_nodes());
+    assert_eq!(loaded.num_edges(), kg.num_edges());
+    assert_eq!(loaded.num_relations(), kg.num_relations());
+    // … and re-serialising must reproduce the original bytes exactly.
+    assert_eq!(loaded.to_bytes(), bytes, "snapshot not byte-stable");
+
+    // 5. Spot-check read answers against the builder store: node lookup
+    //    and per-relation adjacency on a spread of heads.
+    for i in (0..n_heads).step_by(97) {
+        let text = format!("query {i}");
+        let id = kg.find_node(NodeKind::Query, &text).expect("store head");
+        assert_eq!(loaded.find_node(NodeKind::Query, &text), Some(id));
+        assert_eq!(loaded.node_text(id), text);
+        for &rel in &Relation::ALL {
+            let store: Vec<u32> = kg.tails_of_rel(id, rel).map(|e| e.tail.0).collect();
+            let snap: Vec<u32> = loaded
+                .tails_of_rel_slice(id, rel)
+                .iter()
+                .map(|e| e.tail.0)
+                .collect();
+            assert_eq!(store, snap, "adjacency diverged at head {i} {rel:?}");
+        }
+        assert_eq!(
+            kg.top_intents(id, 5)
+                .iter()
+                .map(|e| e.tail.0)
+                .collect::<Vec<_>>(),
+            GraphView::top_intents(&loaded, id, 5)
+                .iter()
+                .map(|e| e.tail.0)
+                .collect::<Vec<_>>(),
+            "intent ranking diverged at head {i}"
+        );
+    }
+    println!(
+        "snapshot check ok: {} bytes on disk, header v1, reload identical",
+        on_disk
+    );
+}

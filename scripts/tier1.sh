@@ -20,4 +20,6 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+# snapshot-format compatibility: freeze, save, reload, compare answers
+cargo run --release --example snapshot_check
 echo "tier1: all checks passed"

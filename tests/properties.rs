@@ -2,9 +2,34 @@
 //! n-gram probability normalisation, canonicalisation idempotence, metric
 //! bounds, cache coherence.
 
-use cosmo::kg::{BehaviorKind, Edge, KnowledgeGraph, NodeKind, Relation};
+use cosmo::kg::{BehaviorKind, Edge, GraphView, KgSnapshot, KnowledgeGraph, NodeKind, Relation};
 use cosmo::text;
 use proptest::prelude::*;
+
+/// Build a graph from proptest-generated edge tuples
+/// `(head text, relation index, tail text, is_cobuy, category)`.
+fn graph_from(edges: &[(String, usize, String, bool, u8)]) -> KnowledgeGraph {
+    let mut kg = KnowledgeGraph::new();
+    for (i, (head_text, rel_idx, tail_text, is_cobuy, cat)) in edges.iter().enumerate() {
+        let head = kg.intern_node(NodeKind::Product, head_text);
+        let tail = kg.intern_node(NodeKind::Intention, tail_text);
+        kg.add_edge(Edge {
+            head,
+            relation: Relation::from_index(*rel_idx).unwrap(),
+            tail,
+            behavior: if *is_cobuy {
+                BehaviorKind::CoBuy
+            } else {
+                BehaviorKind::SearchBuy
+            },
+            category: *cat,
+            plausibility: 0.5 + (i % 5) as f32 / 10.0,
+            typicality: (i % 7) as f32 / 7.0,
+            support: 1 + (i as u32 % 4),
+        });
+    }
+    kg
+}
 
 fn word() -> impl Strategy<Value = String> {
     prop::sample::select(vec![
@@ -71,21 +96,7 @@ proptest! {
             1..40,
         ),
     ) {
-        let mut kg = KnowledgeGraph::new();
-        for (head_text, rel_idx, tail_text, is_cobuy, cat) in &edges {
-            let head = kg.intern_node(NodeKind::Product, head_text);
-            let tail = kg.intern_node(NodeKind::Intention, tail_text);
-            kg.add_edge(Edge {
-                head,
-                relation: Relation::from_index(*rel_idx).unwrap(),
-                tail,
-                behavior: if *is_cobuy { BehaviorKind::CoBuy } else { BehaviorKind::SearchBuy },
-                category: *cat,
-                plausibility: 0.9,
-                typicality: 0.5,
-                support: 1,
-            });
-        }
+        let kg = graph_from(&edges);
         // 1. out-degree sum equals in-degree sum equals edge count
         let out_sum: usize = kg.nodes().map(|(id, _)| kg.out_degree(id)).sum();
         let in_sum: usize = kg.nodes().map(|(id, _)| kg.in_degree(id)).sum();
@@ -101,6 +112,59 @@ proptest! {
         prop_assert_eq!(kg2.num_edges(), kg.num_edges());
         let out_sum2: usize = kg2.nodes().map(|(id, _)| kg2.out_degree(id)).sum();
         prop_assert_eq!(out_sum2, out_sum);
+    }
+
+    /// Every adjacency answer from the frozen CSR snapshot equals the
+    /// mutable store's answer (order-normalised), for every node and every
+    /// relation.
+    #[test]
+    fn snapshot_answers_match_store(
+        edges in prop::collection::vec(
+            (phrase(), 0usize..15, phrase(), prop::bool::ANY, 0u8..18),
+            1..40,
+        ),
+    ) {
+        let kg = graph_from(&edges);
+        let snap = kg.freeze();
+        prop_assert_eq!(snap.num_nodes(), kg.num_nodes());
+        prop_assert_eq!(snap.num_edges(), kg.num_edges());
+        let key = |e: &Edge| (e.relation.index(), e.head.0, e.tail.0, e.support);
+        let norm = |mut v: Vec<(usize, u32, u32, u32)>| { v.sort_unstable(); v };
+        for (id, node) in kg.nodes() {
+            prop_assert_eq!(snap.node_kind(id), node.kind);
+            prop_assert_eq!(snap.node_text(id), node.text.as_str());
+            prop_assert_eq!(snap.find_node(node.kind, &node.text), Some(id));
+            prop_assert_eq!(
+                norm(kg.tails_of(id).map(key).collect()),
+                norm(GraphView::tails_of(&snap, id).map(key).collect())
+            );
+            prop_assert_eq!(
+                norm(kg.heads_of(id).map(key).collect()),
+                norm(GraphView::heads_of(&snap, id).map(key).collect())
+            );
+            for &rel in &Relation::ALL {
+                prop_assert_eq!(
+                    norm(kg.tails_of_rel(id, rel).map(key).collect()),
+                    norm(snap.tails_of_rel_slice(id, rel).iter().map(key).collect())
+                );
+            }
+        }
+    }
+
+    /// `save` → `load` is lossless and byte-stable: re-serialising the
+    /// loaded snapshot reproduces the original bytes exactly.
+    #[test]
+    fn snapshot_binary_roundtrip_byte_stable(
+        edges in prop::collection::vec(
+            (phrase(), 0usize..15, phrase(), prop::bool::ANY, 0u8..18),
+            0..40,
+        ),
+    ) {
+        let snap = graph_from(&edges).freeze();
+        let bytes = snap.to_bytes();
+        let reloaded = KgSnapshot::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&reloaded, &snap);
+        prop_assert_eq!(reloaded.to_bytes(), bytes);
     }
 
     #[test]
