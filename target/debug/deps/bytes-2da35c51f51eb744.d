@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-2da35c51f51eb744.d: .stubs/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-2da35c51f51eb744.rmeta: .stubs/bytes/src/lib.rs Cargo.toml
+
+.stubs/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-b3c8baae25bbb54a.d: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-b3c8baae25bbb54a.rlib: .stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-b3c8baae25bbb54a.rmeta: .stubs/bytes/src/lib.rs
+
+.stubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cosmo-0984ec71bc2af09d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcosmo-0984ec71bc2af09d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcosmo-0984ec71bc2af09d.rmeta: src/lib.rs
+
+src/lib.rs:

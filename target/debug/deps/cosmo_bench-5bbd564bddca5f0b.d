@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cosmo_bench-5bbd564bddca5f0b.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/context.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/kgstats.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libcosmo_bench-5bbd564bddca5f0b.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/context.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/kgstats.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/context.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/kgstats.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cosmo_core-eb1519601c0a9a3a.d: crates/core/src/lib.rs crates/core/src/annotation.rs crates/core/src/critic.rs crates/core/src/feedback.rs crates/core/src/filter.rs crates/core/src/pipeline.rs crates/core/src/sampling.rs
+
+/root/repo/target/debug/deps/cosmo_core-eb1519601c0a9a3a: crates/core/src/lib.rs crates/core/src/annotation.rs crates/core/src/critic.rs crates/core/src/feedback.rs crates/core/src/filter.rs crates/core/src/pipeline.rs crates/core/src/sampling.rs
+
+crates/core/src/lib.rs:
+crates/core/src/annotation.rs:
+crates/core/src/critic.rs:
+crates/core/src/feedback.rs:
+crates/core/src/filter.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/sampling.rs:

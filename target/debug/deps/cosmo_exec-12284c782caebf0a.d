@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cosmo_exec-12284c782caebf0a.d: crates/exec/src/lib.rs
+
+/root/repo/target/debug/deps/libcosmo_exec-12284c782caebf0a.rlib: crates/exec/src/lib.rs
+
+/root/repo/target/debug/deps/libcosmo_exec-12284c782caebf0a.rmeta: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cosmo_exec-a591e001ff6c06e5.d: crates/exec/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcosmo_exec-a591e001ff6c06e5.rmeta: crates/exec/src/lib.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

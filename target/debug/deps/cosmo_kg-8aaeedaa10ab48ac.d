@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/cosmo_kg-8aaeedaa10ab48ac.d: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/stats.rs crates/kg/src/store.rs
+/root/repo/target/debug/deps/cosmo_kg-8aaeedaa10ab48ac.d: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/snapshot.rs crates/kg/src/stats.rs crates/kg/src/store.rs crates/kg/src/view.rs
 
-/root/repo/target/debug/deps/libcosmo_kg-8aaeedaa10ab48ac.rmeta: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/stats.rs crates/kg/src/store.rs
+/root/repo/target/debug/deps/libcosmo_kg-8aaeedaa10ab48ac.rmeta: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/snapshot.rs crates/kg/src/stats.rs crates/kg/src/store.rs crates/kg/src/view.rs
 
 crates/kg/src/lib.rs:
 crates/kg/src/algo.rs:
 crates/kg/src/hierarchy.rs:
 crates/kg/src/schema.rs:
+crates/kg/src/snapshot.rs:
 crates/kg/src/stats.rs:
 crates/kg/src/store.rs:
+crates/kg/src/view.rs:

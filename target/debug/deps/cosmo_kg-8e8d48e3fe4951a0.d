@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cosmo_kg-8e8d48e3fe4951a0.d: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/snapshot.rs crates/kg/src/stats.rs crates/kg/src/store.rs crates/kg/src/view.rs
+
+/root/repo/target/debug/deps/libcosmo_kg-8e8d48e3fe4951a0.rlib: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/snapshot.rs crates/kg/src/stats.rs crates/kg/src/store.rs crates/kg/src/view.rs
+
+/root/repo/target/debug/deps/libcosmo_kg-8e8d48e3fe4951a0.rmeta: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/snapshot.rs crates/kg/src/stats.rs crates/kg/src/store.rs crates/kg/src/view.rs
+
+crates/kg/src/lib.rs:
+crates/kg/src/algo.rs:
+crates/kg/src/hierarchy.rs:
+crates/kg/src/schema.rs:
+crates/kg/src/snapshot.rs:
+crates/kg/src/stats.rs:
+crates/kg/src/store.rs:
+crates/kg/src/view.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cosmo_kg-8eb77ab5f112e6a6.d: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/snapshot.rs crates/kg/src/stats.rs crates/kg/src/store.rs crates/kg/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcosmo_kg-8eb77ab5f112e6a6.rmeta: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/snapshot.rs crates/kg/src/stats.rs crates/kg/src/store.rs crates/kg/src/view.rs Cargo.toml
+
+crates/kg/src/lib.rs:
+crates/kg/src/algo.rs:
+crates/kg/src/hierarchy.rs:
+crates/kg/src/schema.rs:
+crates/kg/src/snapshot.rs:
+crates/kg/src/stats.rs:
+crates/kg/src/store.rs:
+crates/kg/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

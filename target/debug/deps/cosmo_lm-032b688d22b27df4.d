@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cosmo_lm-032b688d22b27df4.d: crates/lm/src/lib.rs crates/lm/src/efficiency.rs crates/lm/src/eval.rs crates/lm/src/instruction.rs crates/lm/src/student.rs
+
+/root/repo/target/debug/deps/libcosmo_lm-032b688d22b27df4.rlib: crates/lm/src/lib.rs crates/lm/src/efficiency.rs crates/lm/src/eval.rs crates/lm/src/instruction.rs crates/lm/src/student.rs
+
+/root/repo/target/debug/deps/libcosmo_lm-032b688d22b27df4.rmeta: crates/lm/src/lib.rs crates/lm/src/efficiency.rs crates/lm/src/eval.rs crates/lm/src/instruction.rs crates/lm/src/student.rs
+
+crates/lm/src/lib.rs:
+crates/lm/src/efficiency.rs:
+crates/lm/src/eval.rs:
+crates/lm/src/instruction.rs:
+crates/lm/src/student.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cosmo_nav-1f11a625e387e7d6.d: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs
+
+/root/repo/target/debug/deps/libcosmo_nav-1f11a625e387e7d6.rlib: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs
+
+/root/repo/target/debug/deps/libcosmo_nav-1f11a625e387e7d6.rmeta: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs
+
+crates/nav/src/lib.rs:
+crates/nav/src/abtest.rs:
+crates/nav/src/engine.rs:

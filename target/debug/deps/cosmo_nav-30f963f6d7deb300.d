@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cosmo_nav-30f963f6d7deb300.d: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs
+
+/root/repo/target/debug/deps/cosmo_nav-30f963f6d7deb300: crates/nav/src/lib.rs crates/nav/src/abtest.rs crates/nav/src/engine.rs
+
+crates/nav/src/lib.rs:
+crates/nav/src/abtest.rs:
+crates/nav/src/engine.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cosmo_nn-360c2894281ef0e4.d: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/opt.rs crates/nn/src/params.rs crates/nn/src/tape.rs crates/nn/src/tensor.rs crates/nn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcosmo_nn-360c2894281ef0e4.rmeta: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/opt.rs crates/nn/src/params.rs crates/nn/src/tape.rs crates/nn/src/tensor.rs crates/nn/src/train.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/opt.rs:
+crates/nn/src/params.rs:
+crates/nn/src/tape.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cosmo_nn-ff4385ae01e963ea.d: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/opt.rs crates/nn/src/params.rs crates/nn/src/tape.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libcosmo_nn-ff4385ae01e963ea.rlib: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/opt.rs crates/nn/src/params.rs crates/nn/src/tape.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libcosmo_nn-ff4385ae01e963ea.rmeta: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/opt.rs crates/nn/src/params.rs crates/nn/src/tape.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/opt.rs:
+crates/nn/src/params.rs:
+crates/nn/src/tape.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cosmo_relevance-dc66eccb34d9a15f.d: crates/relevance/src/lib.rs crates/relevance/src/dataset.rs crates/relevance/src/metrics.rs crates/relevance/src/models.rs
+
+/root/repo/target/debug/deps/libcosmo_relevance-dc66eccb34d9a15f.rlib: crates/relevance/src/lib.rs crates/relevance/src/dataset.rs crates/relevance/src/metrics.rs crates/relevance/src/models.rs
+
+/root/repo/target/debug/deps/libcosmo_relevance-dc66eccb34d9a15f.rmeta: crates/relevance/src/lib.rs crates/relevance/src/dataset.rs crates/relevance/src/metrics.rs crates/relevance/src/models.rs
+
+crates/relevance/src/lib.rs:
+crates/relevance/src/dataset.rs:
+crates/relevance/src/metrics.rs:
+crates/relevance/src/models.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cosmo_serving-6755fdfa0c82d140.d: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/error.rs crates/serving/src/features.rs crates/serving/src/histogram.rs crates/serving/src/sim.rs crates/serving/src/system.rs crates/serving/src/views.rs
+
+/root/repo/target/debug/deps/libcosmo_serving-6755fdfa0c82d140.rlib: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/error.rs crates/serving/src/features.rs crates/serving/src/histogram.rs crates/serving/src/sim.rs crates/serving/src/system.rs crates/serving/src/views.rs
+
+/root/repo/target/debug/deps/libcosmo_serving-6755fdfa0c82d140.rmeta: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/error.rs crates/serving/src/features.rs crates/serving/src/histogram.rs crates/serving/src/sim.rs crates/serving/src/system.rs crates/serving/src/views.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/cache.rs:
+crates/serving/src/error.rs:
+crates/serving/src/features.rs:
+crates/serving/src/histogram.rs:
+crates/serving/src/sim.rs:
+crates/serving/src/system.rs:
+crates/serving/src/views.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cosmo_serving-8562efba2c3af0ad.d: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/error.rs crates/serving/src/features.rs crates/serving/src/histogram.rs crates/serving/src/sim.rs crates/serving/src/system.rs crates/serving/src/views.rs
+
+/root/repo/target/debug/deps/cosmo_serving-8562efba2c3af0ad: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/error.rs crates/serving/src/features.rs crates/serving/src/histogram.rs crates/serving/src/sim.rs crates/serving/src/system.rs crates/serving/src/views.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/cache.rs:
+crates/serving/src/error.rs:
+crates/serving/src/features.rs:
+crates/serving/src/histogram.rs:
+crates/serving/src/sim.rs:
+crates/serving/src/system.rs:
+crates/serving/src/views.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cosmo_sessrec-9893173e93718a81.d: crates/sessrec/src/lib.rs crates/sessrec/src/dataset.rs crates/sessrec/src/metrics.rs crates/sessrec/src/models/mod.rs crates/sessrec/src/models/gnn.rs crates/sessrec/src/models/seq.rs crates/sessrec/src/rewrites.rs
+
+/root/repo/target/debug/deps/libcosmo_sessrec-9893173e93718a81.rlib: crates/sessrec/src/lib.rs crates/sessrec/src/dataset.rs crates/sessrec/src/metrics.rs crates/sessrec/src/models/mod.rs crates/sessrec/src/models/gnn.rs crates/sessrec/src/models/seq.rs crates/sessrec/src/rewrites.rs
+
+/root/repo/target/debug/deps/libcosmo_sessrec-9893173e93718a81.rmeta: crates/sessrec/src/lib.rs crates/sessrec/src/dataset.rs crates/sessrec/src/metrics.rs crates/sessrec/src/models/mod.rs crates/sessrec/src/models/gnn.rs crates/sessrec/src/models/seq.rs crates/sessrec/src/rewrites.rs
+
+crates/sessrec/src/lib.rs:
+crates/sessrec/src/dataset.rs:
+crates/sessrec/src/metrics.rs:
+crates/sessrec/src/models/mod.rs:
+crates/sessrec/src/models/gnn.rs:
+crates/sessrec/src/models/seq.rs:
+crates/sessrec/src/rewrites.rs:

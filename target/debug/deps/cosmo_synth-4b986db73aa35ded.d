@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cosmo_synth-4b986db73aa35ded.d: crates/synth/src/lib.rs crates/synth/src/behavior.rs crates/synth/src/corpus.rs crates/synth/src/domain.rs crates/synth/src/oracle.rs crates/synth/src/util.rs crates/synth/src/world.rs
+
+/root/repo/target/debug/deps/libcosmo_synth-4b986db73aa35ded.rlib: crates/synth/src/lib.rs crates/synth/src/behavior.rs crates/synth/src/corpus.rs crates/synth/src/domain.rs crates/synth/src/oracle.rs crates/synth/src/util.rs crates/synth/src/world.rs
+
+/root/repo/target/debug/deps/libcosmo_synth-4b986db73aa35ded.rmeta: crates/synth/src/lib.rs crates/synth/src/behavior.rs crates/synth/src/corpus.rs crates/synth/src/domain.rs crates/synth/src/oracle.rs crates/synth/src/util.rs crates/synth/src/world.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/behavior.rs:
+crates/synth/src/corpus.rs:
+crates/synth/src/domain.rs:
+crates/synth/src/oracle.rs:
+crates/synth/src/util.rs:
+crates/synth/src/world.rs:

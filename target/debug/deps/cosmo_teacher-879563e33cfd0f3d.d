@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cosmo_teacher-879563e33cfd0f3d.d: crates/teacher/src/lib.rs crates/teacher/src/cost.rs crates/teacher/src/generate.rs crates/teacher/src/prompts.rs crates/teacher/src/relations.rs
+
+/root/repo/target/debug/deps/libcosmo_teacher-879563e33cfd0f3d.rlib: crates/teacher/src/lib.rs crates/teacher/src/cost.rs crates/teacher/src/generate.rs crates/teacher/src/prompts.rs crates/teacher/src/relations.rs
+
+/root/repo/target/debug/deps/libcosmo_teacher-879563e33cfd0f3d.rmeta: crates/teacher/src/lib.rs crates/teacher/src/cost.rs crates/teacher/src/generate.rs crates/teacher/src/prompts.rs crates/teacher/src/relations.rs
+
+crates/teacher/src/lib.rs:
+crates/teacher/src/cost.rs:
+crates/teacher/src/generate.rs:
+crates/teacher/src/prompts.rs:
+crates/teacher/src/relations.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cosmo_text-0878bb1531d8214b.d: crates/text/src/lib.rs crates/text/src/canon.rs crates/text/src/distance.rs crates/text/src/embed.rs crates/text/src/hash.rs crates/text/src/ngram.rs crates/text/src/segment.rs crates/text/src/tfidf.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+/root/repo/target/debug/deps/libcosmo_text-0878bb1531d8214b.rlib: crates/text/src/lib.rs crates/text/src/canon.rs crates/text/src/distance.rs crates/text/src/embed.rs crates/text/src/hash.rs crates/text/src/ngram.rs crates/text/src/segment.rs crates/text/src/tfidf.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+/root/repo/target/debug/deps/libcosmo_text-0878bb1531d8214b.rmeta: crates/text/src/lib.rs crates/text/src/canon.rs crates/text/src/distance.rs crates/text/src/embed.rs crates/text/src/hash.rs crates/text/src/ngram.rs crates/text/src/segment.rs crates/text/src/tfidf.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs
+
+crates/text/src/lib.rs:
+crates/text/src/canon.rs:
+crates/text/src/distance.rs:
+crates/text/src/embed.rs:
+crates/text/src/hash.rs:
+crates/text/src/ngram.rs:
+crates/text/src/segment.rs:
+crates/text/src/tfidf.rs:
+crates/text/src/tokenize.rs:
+crates/text/src/vocab.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/cosmo_text-b88476cd8e2dc01d.d: crates/text/src/lib.rs crates/text/src/canon.rs crates/text/src/distance.rs crates/text/src/embed.rs crates/text/src/hash.rs crates/text/src/ngram.rs crates/text/src/segment.rs crates/text/src/tfidf.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcosmo_text-b88476cd8e2dc01d.rmeta: crates/text/src/lib.rs crates/text/src/canon.rs crates/text/src/distance.rs crates/text/src/embed.rs crates/text/src/hash.rs crates/text/src/ngram.rs crates/text/src/segment.rs crates/text/src/tfidf.rs crates/text/src/tokenize.rs crates/text/src/vocab.rs Cargo.toml
+
+crates/text/src/lib.rs:
+crates/text/src/canon.rs:
+crates/text/src/distance.rs:
+crates/text/src/embed.rs:
+crates/text/src/hash.rs:
+crates/text/src/ngram.rs:
+crates/text/src/segment.rs:
+crates/text/src/tfidf.rs:
+crates/text/src/tokenize.rs:
+crates/text/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-347a55a9a371020b.d: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-347a55a9a371020b.rlib: .stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-347a55a9a371020b.rmeta: .stubs/criterion/src/lib.rs
+
+.stubs/criterion/src/lib.rs:

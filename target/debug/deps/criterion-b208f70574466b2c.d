@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-b208f70574466b2c.d: .stubs/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-b208f70574466b2c.rmeta: .stubs/criterion/src/lib.rs Cargo.toml
+
+.stubs/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d23494dc0b900966.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d23494dc0b900966: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradcheck-4336978c5a82bd6f.d: tests/gradcheck.rs
+
+/root/repo/target/debug/deps/gradcheck-4336978c5a82bd6f: tests/gradcheck.rs
+
+tests/gradcheck.rs:

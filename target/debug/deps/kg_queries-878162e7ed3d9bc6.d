@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kg_queries-878162e7ed3d9bc6.d: crates/bench/benches/kg_queries.rs
+
+/root/repo/target/debug/deps/libkg_queries-878162e7ed3d9bc6.rmeta: crates/bench/benches/kg_queries.rs
+
+crates/bench/benches/kg_queries.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-c3a62ca0c31cfcc6.d: .stubs/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-c3a62ca0c31cfcc6.rmeta: .stubs/parking_lot/src/lib.rs Cargo.toml
+
+.stubs/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

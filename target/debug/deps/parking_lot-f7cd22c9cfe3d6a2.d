@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-f7cd22c9cfe3d6a2.d: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-f7cd22c9cfe3d6a2.rlib: .stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-f7cd22c9cfe3d6a2.rmeta: .stubs/parking_lot/src/lib.rs
+
+.stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-6103370b117bd6bb.d: .stubs/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-6103370b117bd6bb.rmeta: .stubs/proptest/src/lib.rs Cargo.toml
+
+.stubs/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-c7b46e3bdc4f3e63.d: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c7b46e3bdc4f3e63.rlib: .stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c7b46e3bdc4f3e63.rmeta: .stubs/proptest/src/lib.rs
+
+.stubs/proptest/src/lib.rs:

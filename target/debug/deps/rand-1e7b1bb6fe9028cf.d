@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-1e7b1bb6fe9028cf.d: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1e7b1bb6fe9028cf.rlib: .stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1e7b1bb6fe9028cf.rmeta: .stubs/rand/src/lib.rs
+
+.stubs/rand/src/lib.rs:

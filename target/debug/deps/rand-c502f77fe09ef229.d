@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-c502f77fe09ef229.d: .stubs/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-c502f77fe09ef229.rmeta: .stubs/rand/src/lib.rs Cargo.toml
+
+.stubs/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-128989bc59f92d50.d: .stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-128989bc59f92d50.rlib: .stubs/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-128989bc59f92d50.rmeta: .stubs/rand_chacha/src/lib.rs
+
+.stubs/rand_chacha/src/lib.rs:

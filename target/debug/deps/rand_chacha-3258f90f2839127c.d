@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-3258f90f2839127c.d: .stubs/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-3258f90f2839127c.rmeta: .stubs/rand_chacha/src/lib.rs Cargo.toml
+
+.stubs/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-d4380406f40ff939.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-d4380406f40ff939.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

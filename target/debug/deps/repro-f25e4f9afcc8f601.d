@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-f25e4f9afcc8f601.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-f25e4f9afcc8f601.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-0cf9ac74c9776a68.d: .stubs/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-0cf9ac74c9776a68.rmeta: .stubs/serde/src/lib.rs Cargo.toml
+
+.stubs/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

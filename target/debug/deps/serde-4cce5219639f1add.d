@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-4cce5219639f1add.d: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4cce5219639f1add.rlib: .stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4cce5219639f1add.rmeta: .stubs/serde/src/lib.rs
+
+.stubs/serde/src/lib.rs:

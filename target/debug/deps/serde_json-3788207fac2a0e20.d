@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-3788207fac2a0e20.d: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3788207fac2a0e20.rlib: .stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3788207fac2a0e20.rmeta: .stubs/serde_json/src/lib.rs
+
+.stubs/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-6d640043ad81774a.d: .stubs/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-6d640043ad81774a.rmeta: .stubs/serde_json/src/lib.rs Cargo.toml
+
+.stubs/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/build_kg-486db73690672330.d: examples/build_kg.rs
+
+/root/repo/target/debug/examples/libbuild_kg-486db73690672330.rmeta: examples/build_kg.rs
+
+examples/build_kg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_refresh-475584b2bcf1e40f.d: examples/incremental_refresh.rs
+
+/root/repo/target/debug/examples/incremental_refresh-475584b2bcf1e40f: examples/incremental_refresh.rs
+
+examples/incremental_refresh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_refresh-c58f5e053484e094.d: examples/incremental_refresh.rs
+
+/root/repo/target/debug/examples/libincremental_refresh-c58f5e053484e094.rmeta: examples/incremental_refresh.rs
+
+examples/incremental_refresh.rs:

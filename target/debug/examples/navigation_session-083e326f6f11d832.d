@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/navigation_session-083e326f6f11d832.d: examples/navigation_session.rs
+
+/root/repo/target/debug/examples/libnavigation_session-083e326f6f11d832.rmeta: examples/navigation_session.rs
+
+examples/navigation_session.rs:

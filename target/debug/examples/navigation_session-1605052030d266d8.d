@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/navigation_session-1605052030d266d8.d: examples/navigation_session.rs
+
+/root/repo/target/debug/examples/navigation_session-1605052030d266d8: examples/navigation_session.rs
+
+examples/navigation_session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3af7fc8df41ffbb8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-3af7fc8df41ffbb8.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

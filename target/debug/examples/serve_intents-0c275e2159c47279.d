@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_intents-0c275e2159c47279.d: examples/serve_intents.rs
+
+/root/repo/target/debug/examples/libserve_intents-0c275e2159c47279.rmeta: examples/serve_intents.rs
+
+examples/serve_intents.rs:

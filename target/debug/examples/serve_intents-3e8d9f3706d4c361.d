@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_intents-3e8d9f3706d4c361.d: examples/serve_intents.rs
+
+/root/repo/target/debug/examples/serve_intents-3e8d9f3706d4c361: examples/serve_intents.rs
+
+examples/serve_intents.rs:

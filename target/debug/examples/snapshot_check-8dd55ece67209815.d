@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/snapshot_check-8dd55ece67209815.d: examples/snapshot_check.rs
+
+/root/repo/target/debug/examples/libsnapshot_check-8dd55ece67209815.rmeta: examples/snapshot_check.rs
+
+examples/snapshot_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_student-2f0fafc931d68b3d.d: examples/train_student.rs
+
+/root/repo/target/debug/examples/libtrain_student-2f0fafc931d68b3d.rmeta: examples/train_student.rs
+
+examples/train_student.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_student-4070bf8cd7a3ce01.d: examples/train_student.rs
+
+/root/repo/target/debug/examples/train_student-4070bf8cd7a3ce01: examples/train_student.rs
+
+examples/train_student.rs:

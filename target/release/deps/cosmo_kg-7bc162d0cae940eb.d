@@ -1,12 +1,14 @@
-/root/repo/target/release/deps/cosmo_kg-7bc162d0cae940eb.d: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/stats.rs crates/kg/src/store.rs
+/root/repo/target/release/deps/cosmo_kg-7bc162d0cae940eb.d: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/snapshot.rs crates/kg/src/stats.rs crates/kg/src/store.rs crates/kg/src/view.rs
 
-/root/repo/target/release/deps/libcosmo_kg-7bc162d0cae940eb.rlib: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/stats.rs crates/kg/src/store.rs
+/root/repo/target/release/deps/libcosmo_kg-7bc162d0cae940eb.rlib: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/snapshot.rs crates/kg/src/stats.rs crates/kg/src/store.rs crates/kg/src/view.rs
 
-/root/repo/target/release/deps/libcosmo_kg-7bc162d0cae940eb.rmeta: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/stats.rs crates/kg/src/store.rs
+/root/repo/target/release/deps/libcosmo_kg-7bc162d0cae940eb.rmeta: crates/kg/src/lib.rs crates/kg/src/algo.rs crates/kg/src/hierarchy.rs crates/kg/src/schema.rs crates/kg/src/snapshot.rs crates/kg/src/stats.rs crates/kg/src/store.rs crates/kg/src/view.rs
 
 crates/kg/src/lib.rs:
 crates/kg/src/algo.rs:
 crates/kg/src/hierarchy.rs:
 crates/kg/src/schema.rs:
+crates/kg/src/snapshot.rs:
 crates/kg/src/stats.rs:
 crates/kg/src/store.rs:
+crates/kg/src/view.rs:

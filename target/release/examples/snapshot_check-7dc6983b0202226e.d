@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/snapshot_check-7dc6983b0202226e.d: examples/snapshot_check.rs
+
+/root/repo/target/release/examples/snapshot_check-7dc6983b0202226e: examples/snapshot_check.rs
+
+examples/snapshot_check.rs:
