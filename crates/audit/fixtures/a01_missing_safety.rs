@@ -1,0 +1,7 @@
+// audit-as: crates/exec/src/lib.rs
+// Fixture: an unsafe block with no `// SAFETY:` contract. Audited under
+// an allowlisted kernel path so only A01 fires.
+pub fn first_byte(xs: &[u8]) -> u8 {
+    let p = xs.as_ptr();
+    unsafe { *p }
+}

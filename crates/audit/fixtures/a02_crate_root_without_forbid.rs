@@ -1,0 +1,4 @@
+// audit-as: crates/text/src/lib.rs
+//! Fixture: a crate root that forgot `#![forbid(unsafe_code)]`. Audited
+//! as `crates/<safe-crate>/src/lib.rs`, where the attribute is mandatory.
+pub mod store;

@@ -1,0 +1,8 @@
+// audit-as: crates/kg/src/algo.rs
+// Fixture: a fully documented unsafe block — but in a crate that is not
+// on the kernel allowlist, so A02 fires (and only A02).
+pub fn first_byte(xs: &[u8]) -> u8 {
+    let p = xs.as_ptr();
+    // SAFETY: xs is a live slice, so its base pointer is readable.
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+// audit-as: crates/serving/src/views.rs
+// Fixture: the NaN-panicking float sort PR 2 purged from the workspace.
+pub fn rank(mut scores: Vec<f32>) -> Vec<f32> {
+    scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    scores
+}

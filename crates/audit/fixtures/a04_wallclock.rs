@@ -1,0 +1,9 @@
+// audit-as: crates/core/src/pipeline.rs
+// Fixture: a wall-clock read inside a deterministic crate's library
+// source — output would depend on the machine, not the seed.
+use std::time::Instant;
+
+pub fn stamp() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

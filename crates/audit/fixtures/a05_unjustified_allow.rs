@@ -1,0 +1,6 @@
+// audit-as: crates/nav/src/engine.rs
+// Fixture: a lint suppression with no stated reason — no trailing
+// comment, no comment on the line above.
+
+#[allow(dead_code)]
+fn helper() {}

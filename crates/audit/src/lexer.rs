@@ -1,0 +1,424 @@
+//! A small Rust surface lexer that strips comments and string/char
+//! literal *contents* from source text, line by line.
+//!
+//! The lints in this crate are token greps; the lexer exists so they never
+//! fire on text inside a string literal, a doc comment, or a block comment
+//! (`"partial_cmp"` in an error message, `unsafe` in prose, …). It is not
+//! a parser: it only tracks the five lexical states that decide whether a
+//! byte is code, comment, or literal content, which is all the lints need.
+//!
+//! Handled:
+//!
+//! * line comments (`//`, `///`, `//!`) — removed from code, text captured
+//!   per line so the `SAFETY:` / justification lints can read them;
+//! * nested block comments (`/* a /* b */ c */`), across lines;
+//! * string literals with escapes (`"a\"b"`), including multi-line ones;
+//! * raw (and byte/raw-byte) strings `r"…"`, `r#"…"#`, `br##"…"##` with
+//!   any hash depth;
+//! * char and byte-char literals (`'a'`, `'\''`, `b'\n'`) without
+//!   swallowing lifetimes (`'env`, `'static`, `'_`).
+//!
+//! Masked bytes are replaced with spaces, so line numbers and column
+//! positions in the surviving code are unchanged.
+
+/// One source line after masking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedLine {
+    /// The line with comments removed and literal contents blanked;
+    /// string/char delimiters are kept so the code stays readable.
+    pub code: String,
+    /// Concatenated text of every comment on this line (without the
+    /// `//` / `/*` markers); empty when the line has no comment.
+    pub comment: String,
+}
+
+impl MaskedLine {
+    /// True when the line holds no code at all (blank or comment-only).
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty() && !self.comment.trim().is_empty()
+    }
+
+    /// True when the line's code is an attribute (`#[…]` / `#![…]`).
+    pub fn is_attribute(&self) -> bool {
+        let t = self.code.trim_start();
+        t.starts_with("#[") || t.starts_with("#![")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* … */`.
+    BlockComment(u32),
+    Str,
+    /// Number of `#`s that must follow the closing quote.
+    RawStr(u32),
+    CharLit,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Mask `src` into per-line code/comment views. Never fails: invalid
+/// Rust degrades to a best-effort mask (the lints then see more, not
+/// less, which only errs toward false positives on files rustc would
+/// reject anyway).
+pub fn mask_source(src: &str) -> Vec<MaskedLine> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut prev_code_char = ' ';
+    let mut i = 0;
+
+    macro_rules! flush_line {
+        () => {
+            lines.push(MaskedLine {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    // Plain or byte string; raw strings are caught at the
+                    // `r`/`b` below before their quote is reached.
+                    code.push('"');
+                    prev_code_char = '"';
+                    state = State::Str;
+                    i += 1;
+                }
+                'r' | 'b' if !is_ident(prev_code_char) => {
+                    // Possible raw/byte literal prefix: r"…", r#"…"#, b"…",
+                    // br#"…"#, b'…'. Look ahead past an optional second
+                    // prefix letter and any hashes.
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    match chars.get(j) {
+                        Some('"') if c == 'b' && hashes == 0 && chars.get(i + 1) == Some(&'"') => {
+                            // b"…" — ordinary escaped string body.
+                            code.push_str("b\"");
+                            prev_code_char = '"';
+                            state = State::Str;
+                            i += 2;
+                        }
+                        Some('"') if j > i + 1 || c == 'r' => {
+                            for &ch in &chars[i..=j] {
+                                code.push(ch);
+                            }
+                            prev_code_char = '"';
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                        }
+                        Some('\'')
+                            if c == 'b' && hashes == 0 && chars.get(i + 1) == Some(&'\'') =>
+                        {
+                            // b'…' byte char literal.
+                            code.push_str("b'");
+                            prev_code_char = '\'';
+                            state = State::CharLit;
+                            i += 2;
+                        }
+                        _ => {
+                            code.push(c);
+                            prev_code_char = c;
+                            i += 1;
+                        }
+                    }
+                }
+                '\'' => {
+                    // Lifetime or char literal. `'x` followed by an
+                    // identifier and *no* closing quote is a lifetime.
+                    let is_lifetime = match next {
+                        Some(n) if n == '_' || (n.is_alphabetic() && n != '\\') => {
+                            let mut j = i + 2;
+                            while chars.get(j).copied().map(is_ident) == Some(true) {
+                                j += 1;
+                            }
+                            chars.get(j) != Some(&'\'')
+                        }
+                        _ => false,
+                    };
+                    code.push('\'');
+                    prev_code_char = '\'';
+                    if !is_lifetime {
+                        state = State::CharLit;
+                    }
+                    i += 1;
+                }
+                _ => {
+                    code.push(c);
+                    if !c.is_whitespace() {
+                        prev_code_char = c;
+                    }
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.push_str("/*");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        comment.push_str("*/");
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    if next == Some('\n') {
+                        // Line continuation: let the newline be handled by
+                        // the flush above so line numbers stay aligned.
+                        code.push(' ');
+                        i += 1;
+                    } else {
+                        code.push_str("  ");
+                        i += 2; // skip the escaped char (also handles \" and \\)
+                    }
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                let closes =
+                    c == '"' && (0..hashes as usize).all(|h| chars.get(i + 1 + h) == Some(&'#'));
+                if closes {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Final line without trailing newline.
+    if !code.is_empty() || !comment.is_empty() || lines.is_empty() {
+        flush_line!();
+    }
+    lines
+}
+
+/// True when `code` contains `word` as a standalone token (not embedded
+/// in a longer identifier like `unsafe_code`).
+pub fn contains_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .map(is_ident)
+                .unwrap_or(false);
+        let after = code[at + word.len()..].chars().next();
+        let after_ok = !after.map(is_ident).unwrap_or(false);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        mask_source(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comment_is_stripped_and_captured() {
+        let lines = mask_source("let x = 1; // unsafe partial_cmp\nlet y = 2;");
+        assert_eq!(lines[0].code.trim_end(), "let x = 1;");
+        assert_eq!(lines[0].comment, " unsafe partial_cmp");
+        assert_eq!(lines[1].code, "let y = 2;");
+        assert!(lines[1].comment.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let lines = mask_source("/// uses unsafe internally\nfn f() {}");
+        assert!(lines[0].code.trim().is_empty());
+        assert!(lines[0].comment.contains("uses unsafe internally"));
+        assert!(lines[0].is_comment_only());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = mask_source("a /* x /* unsafe */ y */ b\nc");
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert!(lines[0].comment.contains("unsafe"));
+        assert_eq!(lines[1].code, "c");
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let lines = mask_source("a /* one\ntwo unsafe\nthree */ b");
+        assert_eq!(lines[0].code.trim(), "a");
+        assert!(lines[0].comment.contains("one"));
+        assert!(lines[1].code.trim().is_empty());
+        assert!(lines[1].comment.contains("unsafe"));
+        assert_eq!(lines[2].code.trim(), "b");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = mask_source(r#"let s = "calls partial_cmp and unsafe";"#);
+        assert!(!lines[0].code.contains("partial_cmp"));
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains('"'), "delimiters survive");
+    }
+
+    #[test]
+    fn slashes_inside_string_are_not_comments() {
+        let lines = mask_source(r#"let url = "http://example.com"; let x = 1; // real"#);
+        assert!(lines[0].code.contains("let x = 1;"));
+        assert_eq!(lines[0].comment, " real");
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let lines = mask_source(r#"let s = "a\"b // not a comment"; done();"#);
+        assert!(lines[0].code.contains("done();"));
+        assert!(lines[0].comment.is_empty());
+        assert!(!lines[0].code.contains("not a comment"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"quote " and // and unsafe"#; after();"####;
+        let lines = mask_source(src);
+        assert!(lines[0].code.contains("after();"));
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn raw_byte_string() {
+        let lines = mask_source(r###"let s = br##"body // unsafe"##; x();"###);
+        assert!(lines[0].code.contains("x();"));
+        assert!(!lines[0].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn multiline_string_keeps_masking() {
+        let lines = mask_source("let s = \"line one\nline // two unsafe\";\nlet y = 3;");
+        assert!(!lines[1].code.contains("unsafe"));
+        assert!(lines[1].comment.is_empty(), "// inside string is content");
+        assert_eq!(lines[2].code, "let y = 3;");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = mask_source("fn f<'a>(x: &'a str, y: &'static u8, z: &'_ i8) { g(x) }");
+        assert!(lines[0].code.contains("'a"));
+        assert!(lines[0].code.contains("'static"));
+        assert!(lines[0].code.contains("g(x)"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let lines = mask_source("let q = '\"'; let e = '\\''; let n = b'\\n'; h();");
+        assert!(lines[0].code.contains("h();"));
+        // the double quote inside the char must not open a string
+        assert!(!lines[0].code.contains("let e = \""));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_before_string() {
+        // `for` / `var` ends in r|b but the quote opens a plain string.
+        let lines = mask_source(r#"attr="x // y"; z();"#);
+        assert!(lines[0].code.contains("z();"));
+        assert!(lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("unsafe fn f()", "unsafe"));
+        assert!(contains_word("return unsafe { x }", "unsafe"));
+        assert!(!contains_word("#![forbid(unsafe_code)]", "unsafe"));
+        assert!(!contains_word("let my_unsafe = 1;", "unsafe"));
+        assert!(contains_word("a.partial_cmp(b)", "partial_cmp"));
+        assert!(!contains_word("a.partial_cmp_x(b)", "partial_cmp"));
+    }
+
+    #[test]
+    fn attribute_lines_detected() {
+        let lines = code_of("#[allow(dead_code)]\n#![forbid(unsafe_code)]\nfn f() {}");
+        let masked = mask_source("#[allow(dead_code)]\n#![forbid(unsafe_code)]\nfn f() {}");
+        assert!(masked[0].is_attribute());
+        assert!(masked[1].is_attribute());
+        assert!(!masked[2].is_attribute());
+        assert_eq!(lines[2], "fn f() {}");
+    }
+}

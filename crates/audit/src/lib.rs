@@ -1,0 +1,67 @@
+//! # cosmo-audit
+//!
+//! A workspace invariant linter for COSMO-rs. The system's core guarantee
+//! — bitwise-deterministic output at any thread count — is easy to break
+//! silently: one `partial_cmp().unwrap()` float sort, one wall-clock read
+//! in a pipeline stage, one undocumented `unsafe` block. This crate turns
+//! those conventions into machine-checked lints that run in tier-1:
+//!
+//! | id  | invariant |
+//! |-----|-----------|
+//! | A01 | every `unsafe` is immediately preceded by a `// SAFETY:` comment |
+//! | A02 | `unsafe` only in the kernel allowlist; all other crate roots `#![forbid(unsafe_code)]` |
+//! | A03 | no `partial_cmp` (float sorts must use `total_cmp`) |
+//! | A04 | no `SystemTime`/`Instant`/thread-identity in deterministic crates |
+//! | A05 | every `#[allow(…)]` carries a justification comment |
+//!
+//! Lints run over a masked view of the source (see [`lexer`]) so they
+//! never fire inside strings or comments. `cargo run -p cosmo-audit`
+//! audits the workspace and exits nonzero on any violation; the fixture
+//! snippets under `crates/audit/fixtures/` pin each lint against rot.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod lints;
+pub mod walk;
+
+pub use lints::{audit_source, Lint, Policy, Violation};
+
+use std::io;
+use std::path::Path;
+
+/// Outcome of a workspace audit.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// Number of files scanned.
+    pub files_audited: usize,
+    /// Every violation, in deterministic (path, line) order.
+    pub violations: Vec<Violation>,
+}
+
+/// Parse a fixture's `// audit-as: <path>` directive: the workspace path
+/// class the snippet pretends to live at, so path-conditional lints (A02's
+/// crate-root rule, A04's deterministic-crate scope) fire as intended.
+/// Only the first five lines are searched — the directive is a header.
+pub fn audit_as_directive(src: &str) -> Option<String> {
+    src.lines().take(5).find_map(|l| {
+        l.trim()
+            .strip_prefix("// audit-as: ")
+            .map(|p| p.trim().to_string())
+    })
+}
+
+/// Audit the workspace rooted at `root` under the COSMO policy.
+pub fn run_audit(root: &Path) -> io::Result<AuditReport> {
+    let policy = Policy::cosmo();
+    let files = walk::collect_rs_files(root)?;
+    let mut violations = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        violations.extend(audit_source(&policy, rel, &src));
+    }
+    Ok(AuditReport {
+        files_audited: files.len(),
+        violations,
+    })
+}

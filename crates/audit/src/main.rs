@@ -1,0 +1,101 @@
+//! `cosmo-audit` CLI: audit the workspace, print `file:line:lint-id`
+//! violations, exit nonzero when any invariant is broken.
+//!
+//! Usage:
+//!   cargo run -p cosmo-audit               # audit the enclosing workspace
+//!   cargo run -p cosmo-audit -- <root>     # audit an explicit root
+//!   cargo run -p cosmo-audit -- <file.rs>  # audit one file (fixtures use this)
+
+#![forbid(unsafe_code)]
+
+use cosmo_audit::{audit_source, AuditReport, Policy};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [] => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("cosmo-audit: no workspace Cargo.toml above the current directory");
+                return ExitCode::from(2);
+            }
+        },
+        [root] => PathBuf::from(root),
+        _ => {
+            eprintln!("usage: cosmo-audit [workspace-root | file.rs]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = if root.is_file() {
+        match audit_file(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cosmo-audit: failed to read {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match cosmo_audit::run_audit(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cosmo-audit: failed to read {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if report.violations.is_empty() {
+        println!(
+            "cosmo-audit: {} files audited, 0 violations",
+            report.files_audited
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "cosmo-audit: {} files audited, {} violation(s)",
+            report.files_audited,
+            report.violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Audit a single `.rs` file under the workspace policy. The file's
+/// `// audit-as: <path>` directive (used by the fixtures) decides which
+/// workspace path class it is judged as; without one the path is taken
+/// as given — outside every allowlist unless it really is a kernel file.
+fn audit_file(path: &Path) -> std::io::Result<AuditReport> {
+    let src = std::fs::read_to_string(path)?;
+    let rel = cosmo_audit::audit_as_directive(&src)
+        .unwrap_or_else(|| path.to_string_lossy().replace('\\', "/"));
+    Ok(AuditReport {
+        files_audited: 1,
+        violations: audit_source(&Policy::cosmo(), &rel, &src),
+    })
+}
+
+/// Ascend from the current directory to the first `Cargo.toml` declaring
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if is_workspace_root(&dir) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|s| s.contains("[workspace]"))
+        .unwrap_or(false)
+}

@@ -1,0 +1,94 @@
+//! Deterministic workspace walker.
+//!
+//! Collects every `.rs` file under the audited roots (`crates/`, `src/`,
+//! `examples/`, `tests/`), sorted so the report order is stable across
+//! machines. Build output (`target/`) and the audit's own deliberately-bad
+//! fixture snippets (`crates/audit/fixtures/`) are skipped.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory roots the audit covers, relative to the workspace root.
+pub const SCAN_ROOTS: [&str; 4] = ["crates", "src", "examples", "tests"];
+
+/// Path components that end a walk wherever they appear.
+const SKIP_DIR_NAMES: [&str; 1] = ["target"];
+
+/// Relative directory prefixes excluded from the walk.
+const SKIP_PREFIXES: [&str; 1] = ["crates/audit/fixtures"];
+
+/// Collect the relative (forward-slash) paths of every auditable `.rs`
+/// file under `root`, sorted lexicographically.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            walk_dir(root, &dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let rel = relative(root, &path);
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIR_NAMES.contains(&name) || SKIP_PREFIXES.contains(&rel.as_str()) {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root` with forward slashes.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The audit crate always sits at `<workspace>/crates/audit`.
+    fn workspace_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/audit has a workspace two levels up")
+            .to_path_buf()
+    }
+
+    #[test]
+    fn walk_finds_known_files_and_skips_fixtures_and_target() {
+        let files = collect_rs_files(&workspace_root()).expect("walk workspace");
+        assert!(files.iter().any(|f| f == "crates/exec/src/lib.rs"));
+        assert!(files.iter().any(|f| f == "src/lib.rs"));
+        assert!(files.iter().any(|f| f == "examples/serve_intents.rs"));
+        assert!(files.iter().any(|f| f == "crates/audit/src/lints.rs"));
+        assert!(
+            !files.iter().any(|f| f.contains("fixtures/")),
+            "fixture snippets are deliberately bad and must be skipped"
+        );
+        assert!(!files.iter().any(|f| f.contains("target/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk order must be deterministic");
+    }
+}

@@ -1,0 +1,109 @@
+//! Fixture-driven regression tests: one deliberately-bad snippet per lint
+//! ID, committed under `crates/audit/fixtures/`, each asserted to be
+//! caught. If a lint silently rots, these fail.
+//!
+//! The final test audits the real workspace and requires zero violations —
+//! the same gate `cargo run -p cosmo-audit` enforces in tier-1.
+
+use cosmo_audit::{audit_as_directive, audit_source, Lint, Policy};
+use std::path::Path;
+
+/// Audit fixture `name` at the path class its own `// audit-as:` header
+/// declares (the same directive `cargo run -p cosmo-audit -- <fixture>`
+/// honors), returning the lint ids that fired.
+fn fixture_lints(name: &str) -> Vec<Lint> {
+    let src = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name),
+    )
+    .expect("fixture exists");
+    let pretend_path = audit_as_directive(&src)
+        .unwrap_or_else(|| panic!("fixture {name} is missing its audit-as directive"));
+    audit_source(&Policy::cosmo(), &pretend_path, &src)
+        .into_iter()
+        .map(|v| v.lint)
+        .collect()
+}
+
+#[test]
+fn a01_fixture_is_caught() {
+    // Audited under an allowlisted kernel path so A02 stays quiet and the
+    // missing SAFETY contract is isolated.
+    let lints = fixture_lints("a01_missing_safety.rs");
+    assert_eq!(lints, vec![Lint::A01]);
+}
+
+#[test]
+fn a02_fixture_is_caught() {
+    let lints = fixture_lints("a02_unsafe_outside_kernel.rs");
+    assert_eq!(lints, vec![Lint::A02]);
+}
+
+#[test]
+fn a02_crate_root_fixture_is_caught() {
+    let lints = fixture_lints("a02_crate_root_without_forbid.rs");
+    assert_eq!(lints, vec![Lint::A02]);
+}
+
+#[test]
+fn a03_fixture_is_caught() {
+    let lints = fixture_lints("a03_partial_cmp_sort.rs");
+    assert_eq!(lints, vec![Lint::A03]);
+}
+
+#[test]
+fn a04_fixture_is_caught() {
+    let lints = fixture_lints("a04_wallclock.rs");
+    assert!(!lints.is_empty());
+    assert!(lints.iter().all(|&l| l == Lint::A04), "{lints:?}");
+}
+
+#[test]
+fn a05_fixture_is_caught() {
+    let lints = fixture_lints("a05_unjustified_allow.rs");
+    assert_eq!(lints, vec![Lint::A05]);
+}
+
+/// Every committed fixture must be rejected when audited at the path
+/// class its `audit-as` header targets — the in-process equivalent of
+/// `cargo run -p cosmo-audit -- crates/audit/fixtures/<f>` exiting
+/// nonzero, without spawning cargo.
+#[test]
+fn every_fixture_produces_at_least_one_violation() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("fixtures dir") {
+        let path = entry.expect("read fixture").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        assert!(
+            !fixture_lints(&name).is_empty(),
+            "fixture {name} no longer trips its lint"
+        );
+        seen += 1;
+    }
+    assert!(seen >= 6, "expected one fixture per lint, found {seen}");
+}
+
+/// The real workspace must be clean — this is the tier-1 invariant the
+/// `cosmo-audit` binary enforces, duplicated here so plain `cargo test`
+/// catches regressions even when the binary step is skipped.
+#[test]
+fn workspace_has_zero_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = cosmo_audit::run_audit(&root).expect("audit workspace");
+    assert!(report.files_audited > 50, "walker found the workspace");
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(
+        report.violations.is_empty(),
+        "workspace invariant violations:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -480,10 +480,10 @@ pub fn kg_scaling(ctx: &Ctx) -> String {
         into_rate,
         into_rate / embed_rate
     );
-    let _ = write!(
+    let _ = writeln!(
         json,
         "  \"embed\": {{\"embed_per_sec\": {embed_rate:.0}, \"embed_into_per_sec\": {into_rate:.0}, \
-         \"speedup\": {:.3}}},\n",
+         \"speedup\": {:.3}}},",
         into_rate / embed_rate
     );
 

@@ -3,7 +3,7 @@
 use crate::context::{Ctx, Scale};
 use crate::tables::esci_with_knowledge;
 use cosmo_kg::{IntentHierarchy, Relation};
-use cosmo_lm::{measured_student_throughput, simulated_comparison};
+use cosmo_lm::{simulated_comparison, CosmoLm};
 use cosmo_nav::{run_abtest, AbTestConfig, NavSession, NavigationEngine};
 use cosmo_relevance::{Architecture, RelevanceConfig};
 use cosmo_serving::{
@@ -407,4 +407,45 @@ pub fn efficiency(ctx: &Ctx) -> String {
         "\nmeasured: our COSMO-LM stand-in serves {tput:.0} generations/s single-threaded on this machine"
     );
     out
+}
+
+/// Measured student throughput: generations per second on this machine.
+///
+/// Lives here rather than in `cosmo-lm` because the student crate is
+/// deterministic and may not read the clock (audit lint A04); benchmarks
+/// are the designated wall-clock surface.
+pub fn measured_student_throughput(student: &CosmoLm, inputs: &[String]) -> f64 {
+    if inputs.is_empty() {
+        return 0.0;
+    }
+    let start = std::time::Instant::now();
+    let mut sink = 0usize;
+    for input in inputs {
+        sink += student.generate(input, None, 1).len();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(sink > 0);
+    inputs.len() as f64 / elapsed.max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmo_lm::StudentConfig;
+
+    #[test]
+    fn measured_throughput_positive() {
+        let lm = CosmoLm::new(
+            StudentConfig::default(),
+            vec![
+                ("sleeping outdoors".into(), None),
+                ("peeling potatoes".into(), None),
+            ],
+        );
+        let inputs: Vec<String> = (0..50)
+            .map(|i| format!("user searched camping {i}"))
+            .collect();
+        let tput = measured_student_throughput(&lm, &inputs);
+        assert!(tput > 0.0);
+    }
 }

@@ -11,6 +11,8 @@
 //! cargo run --release -p cosmo-bench --bin repro -- table6 --scale small
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ablations;
 pub mod context;
 pub mod extensions;

@@ -9,6 +9,8 @@
 //! Run the whole thing with [`pipeline::run`]; each stage is also usable on
 //! its own (the ablation benches toggle stages individually).
 
+#![forbid(unsafe_code)]
+
 pub mod annotation;
 pub mod critic;
 pub mod feedback;

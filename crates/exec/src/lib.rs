@@ -284,6 +284,11 @@ struct ScopeState {
 impl ScopeState {
     fn finish_one(&self) {
         let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        debug_assert!(
+            *pending > 0,
+            "finish_one without a matching spawn — the WaitGuard soundness \
+             argument assumes pending counts every outstanding job exactly once"
+        );
         *pending -= 1;
         if *pending == 0 {
             self.done.notify_all();
@@ -355,17 +360,28 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    // Miri interprets every instruction, so the stress shapes that take
+    // milliseconds natively take minutes. Under Miri we shrink item counts
+    // and thread/chunk grids; the interleavings exercised are the same.
+    const N_ITEMS: u64 = if cfg!(miri) { 64 } else { 1000 };
+
     #[test]
     fn map_matches_sequential_for_any_thread_count() {
-        let items: Vec<u64> = (0..1000).collect();
+        let items: Vec<u64> = (0..N_ITEMS).collect();
         let expect: Vec<u64> = items
             .iter()
             .enumerate()
             .map(|(i, x)| x * 3 + i as u64)
             .collect();
-        for threads in [1, 2, 4, 8] {
+        let thread_grid: &[usize] = if cfg!(miri) { &[1, 4] } else { &[1, 2, 4, 8] };
+        let chunk_grid: &[usize] = if cfg!(miri) {
+            &[1, 7, 5000]
+        } else {
+            &[1, 7, 64, 5000]
+        };
+        for &threads in thread_grid {
             let pool = WorkerPool::new(threads);
-            for chunk in [1, 7, 64, 5000] {
+            for &chunk in chunk_grid {
                 let got = pool.map(&items, chunk, |i, x| x * 3 + i as u64);
                 assert_eq!(got, expect, "threads={threads} chunk={chunk}");
             }
@@ -373,6 +389,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "relies on wall-clock sleep to spread work")]
     fn map_runs_on_many_threads() {
         let pool = WorkerPool::new(4);
         let items: Vec<usize> = (0..64).collect();
@@ -459,18 +476,19 @@ mod tests {
 
     #[test]
     fn concurrent_scopes_share_one_pool() {
+        let per_scope: u64 = if cfg!(miri) { 40 } else { 200 };
         let pool = Arc::new(WorkerPool::new(4));
         let mut joins = Vec::new();
         for t in 0..4u64 {
             let pool = Arc::clone(&pool);
             joins.push(std::thread::spawn(move || {
-                let items: Vec<u64> = (0..200).map(|i| i + t * 1000).collect();
+                let items: Vec<u64> = (0..per_scope).map(|i| i + t * 1000).collect();
                 pool.map(&items, 13, |_, &x| x + 1)
             }));
         }
         for (t, j) in joins.into_iter().enumerate() {
             let got = j.join().unwrap();
-            let expect: Vec<u64> = (0..200).map(|i| i + t as u64 * 1000 + 1).collect();
+            let expect: Vec<u64> = (0..per_scope).map(|i| i + t as u64 * 1000 + 1).collect();
             assert_eq!(got, expect);
         }
     }

@@ -14,6 +14,8 @@
 //! answers bitwise-identically). JSON (de)serialisation of the mutable
 //! store remains for offline interchange.
 
+#![forbid(unsafe_code)]
+
 pub mod algo;
 pub mod hierarchy;
 pub mod schema;

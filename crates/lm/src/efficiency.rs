@@ -10,15 +10,12 @@
 //!   actual deployments (OPT-30B/175B teacher + critic scoring vs
 //!   LLaMA-7B/13B student) using the transformer cost model in
 //!   `cosmo-teacher::cost`;
-//! * **Measured view** — wall-clock throughput of *our* student vs *our*
-//!   simulated teacher path on this machine, to confirm the pipeline-level
-//!   speedup is architectural (one forward pass vs generate + parse +
-//!   filter + score).
+//! * **Measured view** — wall-clock throughput of *our* student on this
+//!   machine; lives in `cosmo-bench` (`figures::measured_student_throughput`)
+//!   because this crate is deterministic and may not read the clock (A04).
 
-use crate::student::CosmoLm;
 use cosmo_teacher::{CostMeter, TeacherModel};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// One efficiency row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -66,25 +63,9 @@ pub fn simulated_comparison(prompt: &str, generation: &str) -> Vec<EfficiencyRow
     .collect()
 }
 
-/// Measured student throughput: generations per second on this machine.
-pub fn measured_student_throughput(student: &CosmoLm, inputs: &[String]) -> f64 {
-    if inputs.is_empty() {
-        return 0.0;
-    }
-    let start = Instant::now();
-    let mut sink = 0usize;
-    for input in inputs {
-        sink += student.generate(input, None, 1).len();
-    }
-    let elapsed = start.elapsed().as_secs_f64();
-    assert!(sink > 0);
-    inputs.len() as f64 / elapsed.max(1e-9)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::student::{CosmoLm, StudentConfig};
 
     #[test]
     fn student_models_dominate_teacher_pipelines() {
@@ -100,21 +81,5 @@ mod tests {
             "teacher pipeline must be ≫ student"
         );
         assert!(opt175.sim_latency_ms > llama7.sim_latency_ms);
-    }
-
-    #[test]
-    fn measured_throughput_positive() {
-        let lm = CosmoLm::new(
-            StudentConfig::default(),
-            vec![
-                ("sleeping outdoors".into(), None),
-                ("peeling potatoes".into(), None),
-            ],
-        );
-        let inputs: Vec<String> = (0..50)
-            .map(|i| format!("user searched camping {i}"))
-            .collect();
-        let tput = measured_student_throughput(&lm, &inputs);
-        assert!(tput > 0.0);
     }
 }

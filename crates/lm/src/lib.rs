@@ -9,12 +9,14 @@
 //! that motivates deploying a small student instead of the distillation
 //! pipeline.
 
+#![forbid(unsafe_code)]
+
 pub mod efficiency;
 pub mod eval;
 pub mod instruction;
 pub mod student;
 
-pub use efficiency::{measured_student_throughput, simulated_comparison, EfficiencyRow};
+pub use efficiency::{simulated_comparison, EfficiencyRow};
 pub use eval::{eval_generation, table9, GenerationEval, Table9Row};
 pub use instruction::{build_instructions, render_behavior, task_histogram, Instruction, TaskType};
 pub use student::{CosmoLm, StudentConfig, StudentReport};

@@ -7,6 +7,8 @@
 //! reproduces the shape of the paper's online experiment (+0.7% sales,
 //! +8% navigation engagement on ~10% of traffic).
 
+#![forbid(unsafe_code)]
+
 pub mod abtest;
 pub mod engine;
 

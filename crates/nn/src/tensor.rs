@@ -610,7 +610,7 @@ mod kernels {
     /// Transposed-A micro-kernel body; see [`mm_band_impl`] for the tile,
     /// unroll, and determinism story.
     #[inline(always)]
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // kernel ABI: three slices + four dims beats a struct in the hot loop
     fn mm_tn_band_impl<const TM: usize, const TN: usize, const U2: bool>(
         a: &[f32],
         b: &[f32],
@@ -694,7 +694,12 @@ mod kernels {
 
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx512f")]
+    // SAFETY: callers must verify `avx512f` via `is_x86_feature_detected!`
+    // before calling — that is the *only* obligation `unsafe` marks here.
+    // The body is the bounds-checked generic tile over plain slices; the
+    // feature gate merely lets the autovectorizer pack 16 f32 lanes.
     unsafe fn mm_band_avx512(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize) {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx512f"));
         // 8×32 tile: 16 zmm accumulators keep both FMA ports busy across
         // the 4-cycle add latency.
         mm_band_impl::<8, 32, true>(a, b, out, k, m)
@@ -702,13 +707,18 @@ mod kernels {
 
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
+    // SAFETY: callers must verify `avx2` at runtime; body is the same
+    // bounds-checked generic tile, packed 8 lanes wide.
     unsafe fn mm_band_avx2(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize) {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
         mm_band_impl::<4, 16, true>(a, b, out, k, m)
     }
 
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx512f")]
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // kernel ABI mirrors mm_tn_band_impl
+                                         // SAFETY: callers must verify `avx512f` at runtime; body is the
+                                         // bounds-checked transposed-A generic tile.
     unsafe fn mm_tn_band_avx512(
         a: &[f32],
         b: &[f32],
@@ -718,12 +728,15 @@ mod kernels {
         m: usize,
         i0: usize,
     ) {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx512f"));
         mm_tn_band_impl::<8, 32, true>(a, b, out, k, n, m, i0)
     }
 
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // kernel ABI mirrors mm_tn_band_impl
+                                         // SAFETY: callers must verify `avx2` at runtime; body is the
+                                         // bounds-checked transposed-A generic tile.
     unsafe fn mm_tn_band_avx2(
         a: &[f32],
         b: &[f32],
@@ -733,21 +746,28 @@ mod kernels {
         m: usize,
         i0: usize,
     ) {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
         mm_tn_band_impl::<4, 16, true>(a, b, out, k, n, m, i0)
     }
 
     /// `out = a · b` where `a` is the band's rows (`out.len() / m` of
     /// them, `k` wide) and `b` is the full `[k×m]` right-hand side.
     pub(super) fn mm_band(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize) {
-        #[cfg(target_arch = "x86_64")]
+        debug_assert_eq!(b.len(), k * m, "mm_band rhs shape");
+        debug_assert_eq!(a.len() * m, out.len() * k, "mm_band band shape");
+        // Under Miri the runtime ISA dispatch is skipped: feature
+        // detection is a host-CPU read Miri cannot model, and the wide
+        // wrappers re-instantiate the identical generic body anyway, so
+        // the portable path below gives full interpreter coverage.
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
-            // SAFETY: the feature is checked at runtime and the body is
-            // plain slice arithmetic — the feature gate only widens the
-            // autovectorizer's lanes.
             if std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: avx512f was verified on this CPU on the line
+                // above, which is the wrapper's only precondition.
                 return unsafe { mm_band_avx512(a, b, out, k, m) };
             }
             if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: avx2 was verified on this CPU on the line above.
                 return unsafe { mm_band_avx2(a, b, out, k, m) };
             }
         }
@@ -757,7 +777,7 @@ mod kernels {
     /// `out[i − i0][j] = Σₖ a[k][i] · b[k][j]` for the band of output rows
     /// `i0 .. i0 + out.len() / m`, with `a` the full `[k×n]` matrix read
     /// column-wise (strided) and `b` the full `[k×m]` matrix.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // kernel ABI mirrors mm_tn_band_impl
     pub(super) fn mm_tn_band(
         a: &[f32],
         b: &[f32],
@@ -767,13 +787,19 @@ mod kernels {
         m: usize,
         i0: usize,
     ) {
-        #[cfg(target_arch = "x86_64")]
+        debug_assert_eq!(a.len(), k * n, "mm_tn_band lhs shape");
+        debug_assert_eq!(b.len(), k * m, "mm_tn_band rhs shape");
+        debug_assert!(i0 + out.len() / m <= n, "mm_tn_band band range");
+        // See `mm_band` for why Miri takes the portable path.
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
-            // SAFETY: as in `mm_band`.
             if std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: avx512f was verified on this CPU on the line
+                // above, which is the wrapper's only precondition.
                 return unsafe { mm_tn_band_avx512(a, b, out, k, n, m, i0) };
             }
             if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: avx2 was verified on this CPU on the line above.
                 return unsafe { mm_tn_band_avx2(a, b, out, k, n, m, i0) };
             }
         }
@@ -873,14 +899,19 @@ mod tests {
     /// ragged edges that don't fill a full register tile.
     #[test]
     fn blocked_matmul_is_bitwise_equal_to_reference() {
-        for &(n, k, m) in &[
-            (1, 1, 1),
-            (3, 5, 7),
-            (4, 16, 16),
-            (5, 17, 33),
-            (13, 9, 21),
-            (32, 24, 48),
-        ] {
+        let shapes: &[(usize, usize, usize)] = if cfg!(miri) {
+            &[(1, 1, 1), (3, 5, 7), (5, 17, 33)]
+        } else {
+            &[
+                (1, 1, 1),
+                (3, 5, 7),
+                (4, 16, 16),
+                (5, 17, 33),
+                (13, 9, 21),
+                (32, 24, 48),
+            ]
+        };
+        for &(n, k, m) in shapes {
             let a = pseudo(n, k, 0xA0 + n as u64);
             let b = pseudo(k, m, 0xB0 + m as u64);
             assert_eq!(
@@ -893,7 +924,12 @@ mod tests {
 
     #[test]
     fn matmul_tn_is_bitwise_equal_to_explicit_transpose() {
-        for &(k, n, m) in &[(1, 1, 1), (5, 3, 7), (16, 4, 16), (17, 5, 33), (9, 13, 21)] {
+        let shapes: &[(usize, usize, usize)] = if cfg!(miri) {
+            &[(1, 1, 1), (5, 3, 7), (17, 5, 33)]
+        } else {
+            &[(1, 1, 1), (5, 3, 7), (16, 4, 16), (17, 5, 33), (9, 13, 21)]
+        };
+        for &(k, n, m) in shapes {
             let a = pseudo(k, n, 0xC0 + n as u64);
             let b = pseudo(k, m, 0xD0 + m as u64);
             assert_eq!(
@@ -906,7 +942,12 @@ mod tests {
 
     #[test]
     fn matmul_nt_is_bitwise_equal_to_explicit_transpose() {
-        for &(n, k, m) in &[(1, 1, 1), (1, 8, 40), (3, 5, 7), (5, 17, 33), (13, 9, 21)] {
+        let shapes: &[(usize, usize, usize)] = if cfg!(miri) {
+            &[(1, 1, 1), (3, 5, 7), (5, 17, 33)]
+        } else {
+            &[(1, 1, 1), (1, 8, 40), (3, 5, 7), (5, 17, 33), (13, 9, 21)]
+        };
+        for &(n, k, m) in shapes {
             let a = pseudo(n, k, 0xE0 + n as u64);
             let b = pseudo(m, k, 0xF0 + m as u64);
             assert_eq!(
@@ -935,16 +976,37 @@ mod tests {
 
     /// Row-banded parallel kernels must be byte-identical to sequential at
     /// every thread count (disjoint output rows, same per-element order).
+    ///
+    /// The shape must satisfy `n·k·m ≥ MIN_PAR_WORK` or the `*_par` entry
+    /// points silently fall back to sequential and the test is vacuous:
+    /// 37·29·63 = 67,599 ≥ 65,536 crosses the threshold while keeping
+    /// ragged (non-tile-multiple) edges in every dimension. Under Miri that
+    /// much arithmetic takes minutes, so we drop below the threshold and
+    /// only check the fallback agrees — the banded path's soundness story
+    /// (disjoint `split_at_mut` bands) is covered by cosmo-exec's own
+    /// Miri-run scope tests.
     #[test]
     fn parallel_matmuls_match_sequential_bitwise() {
-        let a = pseudo(37, 29, 1);
-        let b = pseudo(29, 41, 2);
-        let tn_a = pseudo(29, 37, 3);
-        let nt_b = pseudo(41, 29, 4);
+        let (n, k, m) = if cfg!(miri) { (7, 5, 9) } else { (37, 29, 63) };
+        if !cfg!(miri) {
+            assert!(
+                n * k * m >= kernels::MIN_PAR_WORK,
+                "shape must hit band path"
+            );
+        }
+        let a = pseudo(n, k, 1);
+        let b = pseudo(k, m, 2);
+        let tn_a = pseudo(k, n, 3);
+        let nt_b = pseudo(m, k, 4);
         let seq = a.matmul(&b);
         let seq_tn = tn_a.matmul_tn(&b);
         let seq_nt = a.matmul_nt(&nt_b);
-        for threads in [1usize, 2, 3, 4, 8] {
+        let thread_grid: &[usize] = if cfg!(miri) {
+            &[1, 4]
+        } else {
+            &[1, 2, 3, 4, 8]
+        };
+        for &threads in thread_grid {
             let pool = WorkerPool::new(threads);
             assert_eq!(a.matmul_par(&b, &pool).data(), seq.data(), "t={threads}");
             assert_eq!(

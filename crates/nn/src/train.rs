@@ -184,7 +184,8 @@ mod tests {
     fn grad_step_is_bitwise_identical_across_thread_counts() {
         let shards = shard_ranges(8, 3);
         let mut reference: Option<(Vec<f32>, Tensor)> = None;
-        for threads in [1usize, 2, 4, 8] {
+        let thread_grid: &[usize] = if cfg!(miri) { &[1, 4] } else { &[1, 2, 4, 8] };
+        for &threads in thread_grid {
             let (mut store, w) = toy_store();
             let mut runner = ShardRunner::new(threads);
             let ranges = shards.clone();

@@ -1,5 +1,10 @@
 //! Property tests for the tensor kernels: algebraic identities that the
 //! hand-rolled matmul variants must satisfy.
+//!
+//! Skipped under Miri: proptest's RNG-driven case generation is far too
+//! slow in the interpreter, and the same kernels are Miri-covered by the
+//! unit tests in `src/tensor.rs`.
+#![cfg(not(miri))]
 
 use cosmo_nn::Tensor;
 use proptest::prelude::*;

@@ -6,6 +6,8 @@
 //! encoder regimes, and Macro/Micro F1 evaluation — the machinery behind
 //! Table 6 and Figure 7.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod metrics;
 pub mod models;

@@ -46,6 +46,8 @@
 //! query for the next batch cycle, which is what lets the deployment meet
 //! "Amazon's restricted search latency requirements" (§3.5.3).
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod error;
 pub mod features;

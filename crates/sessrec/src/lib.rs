@@ -7,6 +7,8 @@
 //! COSMO-GNN (§4.2.3), trained with full-softmax next-item prediction and
 //! evaluated with Hits/NDCG/MRR@10 — the machinery behind Table 8.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod metrics;
 pub mod models;

@@ -163,6 +163,7 @@ macro_rules! gnn_fit_loop {
                     let prefix = &s.items[..len - 1];
                     let queries = &s.queries[..len];
                     let target = s.items[len - 1];
+                    // $rep_fn is a macro argument, not a literal closure
                     #[allow(clippy::redundant_closure_call)]
                     let rep: Var = ($rep_fn)(tape, st, $ds, prefix, queries);
                     let table = $core.emb.table(tape, st);

@@ -23,6 +23,8 @@
 //! * [`corpus`](crate::corpus()) — the e-commerce pre-training corpus for the LM and
 //!   embedding filters (§3.3.1).
 
+#![forbid(unsafe_code)]
+
 pub mod behavior;
 pub mod corpus;
 pub mod domain;

@@ -348,7 +348,7 @@ mod tests {
         assert_eq!(j1.typical, j2.typical);
     }
 
-    #[allow(dead_code)]
+    #[allow(dead_code)] // test helper kept for ad-hoc debugging of world invariants
     fn intent_exists(w: &World, id: IntentId) -> bool {
         (id.0 as usize) < w.intents.len()
     }

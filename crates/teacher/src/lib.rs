@@ -11,6 +11,8 @@
 //! one-sided co-buy intents). The noise mixture is tuned so that the
 //! *annotated* pool reproduces Table 4's plausibility/typicality ratios.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod generate;
 pub mod prompts;

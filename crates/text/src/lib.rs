@@ -21,6 +21,8 @@
 //! (tokenisation, hashing, n-gram scoring) are exercised by the Criterion
 //! benches in `cosmo-bench`.
 
+#![forbid(unsafe_code)]
+
 pub mod canon;
 pub mod distance;
 pub mod embed;

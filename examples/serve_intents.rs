@@ -20,7 +20,11 @@ fn main() {
     // Online: pre-load the "yearly frequent" cache layer with the world's
     // most engaged queries, exactly like the deployment strategy of §3.5.
     let mut hot: Vec<_> = out.world.queries.iter().collect();
-    hot.sort_by(|a, b| b.engagement.partial_cmp(&a.engagement).unwrap());
+    hot.sort_by(|a, b| {
+        b.engagement
+            .total_cmp(&a.engagement)
+            .then(a.text.cmp(&b.text))
+    });
     let preload: Vec<String> = hot.iter().take(50).map(|q| q.text.clone()).collect();
     let system = ServingSystem::builder()
         .kg(Arc::new(out.kg))

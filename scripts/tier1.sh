@@ -18,6 +18,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# workspace invariant linter: SAFETY contracts, unsafe allowlist,
+# total_cmp-only float sorts, no wall clock in deterministic crates,
+# justified #[allow]s (see crates/audit and DESIGN.md)
+cargo run --release -p cosmo-audit
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 # snapshot-format compatibility: freeze, save, reload, compare answers

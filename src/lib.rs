@@ -38,6 +38,8 @@
 //! | [`sessrec`] | §4.2 session-based recommendation (8 models) |
 //! | [`nav`] | §4.3 multi-turn navigation + A/B simulation |
 
+#![forbid(unsafe_code)]
+
 pub use cosmo_core as core;
 pub use cosmo_kg as kg;
 pub use cosmo_lm as lm;
