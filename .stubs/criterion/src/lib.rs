@@ -1,0 +1,231 @@
+//! Workspace-local shim for `criterion`: the bench-definition API
+//! (`criterion_group!` / `criterion_main!` / `Criterion` /
+//! `benchmark_group`) backed by a small median-of-samples timer instead
+//! of the statistical machinery. Benches compile and run with
+//! `cargo bench`, printing one `name: time/iter` line each.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-group sample count (the shim keeps far fewer than the real crate).
+const DEFAULT_SAMPLES: usize = 12;
+
+/// Target wall time per sample when calibrating iteration counts.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(8);
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim runs every
+/// batch with one input regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; real criterion batches many per alloc.
+    SmallInput,
+    /// Inputs are large; real criterion allocates one per iteration.
+    LargeInput,
+}
+
+/// Throughput annotation attached to a group (printed, not analysed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timer handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last routine, for reporting.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, called in a calibrated loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // calibrate: grow the per-sample iteration count until one
+        // sample takes long enough to time reliably
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 2).max(4);
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        self.last_ns = per_iter[per_iter.len() / 2];
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            per_iter.push(start.elapsed().as_nanos() as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        self.last_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let time = if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    };
+    match throughput {
+        Some(Throughput::Bytes(b)) if ns > 0.0 => {
+            let gbs = b as f64 / ns; // bytes per ns == GB/s
+            println!("{name}: {time}/iter ({gbs:.3} GB/s)");
+        }
+        Some(Throughput::Elements(e)) if ns > 0.0 => {
+            let meps = e as f64 * 1_000.0 / ns; // elements per ns → M/s
+            println!("{name}: {time}/iter ({meps:.3} Melem/s)");
+        }
+        _ => println!("{name}: {time}/iter"),
+    }
+}
+
+/// Bench registry root, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Time one closure under `name`.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: DEFAULT_SAMPLES,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        report(name.as_ref(), b.last_ns, None);
+        self
+    }
+
+    /// Open a named group of related benches.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group with shared sample-count / throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-bench sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Annotate per-iteration throughput for the group's benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time one closure under `group/name`.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name.as_ref()),
+            b.last_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Close the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        c.bench_function("sum_small", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(4);
+        g.throughput(Throughput::Elements(8));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, bench_example);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

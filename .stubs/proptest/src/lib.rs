@@ -1,0 +1,412 @@
+//! Workspace-local shim implementing the subset of the `proptest` API the
+//! workspace's property tests use: the [`proptest!`] macro, [`Strategy`]
+//! with `prop_map`, numeric-range strategies, `prop::collection::vec`,
+//! `prop::bool::ANY`, `prop::sample::select`, and the `prop_assert*`
+//! macros.
+//!
+//! Unlike the real crate there is no shrinking and no persisted failure
+//! seeds: every case is drawn from a generator seeded deterministically
+//! from the test name and case index, so failures reproduce exactly on
+//! re-run. `prop_assert*` map to the std `assert*` macros.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// `&str` strategies are regex-like string patterns, as in the real
+    /// crate. The shim interprets the subset the workspace writes:
+    /// sequences of `[class]{lo,hi}` / `[class]` / literal-char atoms,
+    /// where a class lists chars and `a-z` ranges.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut StdRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for (chars, lo, hi) in &atoms {
+                let n = if lo == hi {
+                    *lo
+                } else {
+                    rng.gen_range(*lo..=*hi)
+                };
+                for _ in 0..n {
+                    out.push(chars[rng.gen_range(0..chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Pattern → (alphabet, min, max) atoms.
+    fn parse_pattern(pat: &str) -> Vec<(Vec<char>, usize, usize)> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pat:?}"));
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                let mut set = Vec::new();
+                let mut j = 0;
+                while j < class.len() {
+                    if j + 2 < class.len() && class[j + 1] == '-' {
+                        for c in class[j]..=class[j + 2] {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(class[j]);
+                        j += 1;
+                    }
+                }
+                set
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            let (lo, hi) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.parse().expect("pattern repeat lower bound"),
+                        b.parse().expect("pattern repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("pattern repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push((alphabet, lo, hi));
+        }
+        atoms
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $t:ident),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    pub trait SizeRange {
+        /// Draw a length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for vectors of `elem`-generated values.
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    /// `prop::collection::vec(elem, len)` — vectors with generated length.
+    pub fn vec<S: Strategy, L: SizeRange>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// `prop::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+/// Sampling from fixed sets.
+pub mod sample {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+
+    /// Strategy drawing uniformly from a fixed list.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// `prop::sample::select` — uniform choice from a non-empty list.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.0.choose(rng).expect("non-empty by construction").clone()
+        }
+    }
+}
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Number of cases each property runs (the only knob the shim keeps).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // the real crate's default; properties here are cheap
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Deterministic per-test seed: FNV-1a over the test name.
+#[doc(hidden)]
+pub fn __seed(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Define property tests: each `#[test]` fn body runs once per case with
+/// its `pat in strategy` arguments freshly drawn.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($p:pat in $s:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..(__config.cases as u64) {
+                    let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        $crate::__seed(stringify!($name), __case),
+                    );
+                    $(let $p = ($s).sample(&mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Property-scoped assert (the shim panics, as `assert!` does).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property-scoped assert_eq.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property-scoped assert_ne.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of the crate's strategy modules.
+    pub mod prop {
+        pub use crate::{bool, collection, sample};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_hold(x in 1u32..10, y in -1.0f64..=1.0) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-1.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            mut v in prop::collection::vec(0u64..100, 1..20),
+            flag in prop::bool::ANY,
+            pick in prop::sample::select(vec!["a", "b"]),
+        ) {
+            v.sort_unstable();
+            prop_assert!(v.len() < 20 && !v.is_empty());
+            prop_assert!(v.iter().all(|&x| x < 100));
+            let _ = flag;
+            prop_assert!(pick == "a" || pick == "b");
+        }
+
+        #[test]
+        fn mapped_strategy_applies(n in (0u32..5).prop_map(|x| x * 2)) {
+            prop_assert!(n % 2 == 0 && n < 10);
+        }
+    }
+}

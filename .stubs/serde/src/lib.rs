@@ -1,0 +1,459 @@
+//! Workspace-local shim for `serde`: a small value-model serialization
+//! framework with the same spelling the real crate exposes at the call
+//! sites this workspace uses (`derive(Serialize, Deserialize)` plus
+//! `serde_json::to_string` / `from_str`).
+//!
+//! Instead of the visitor architecture, types convert to and from a
+//! single [`Value`] tree. Numbers are carried as their canonical text
+//! token so integer round-trips are exact and float round-trips use
+//! Rust's shortest-representation `Display`.
+//!
+//! Map serialization sorts keys so the encoded form of a given value is
+//! deterministic — snapshots and checkpoints must not depend on hash
+//! iteration order.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::BuildHasher;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The intermediate tree every serializable type converts through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// A number, kept as its canonical text token.
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// Key → value entries, in encoding order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map entries, when this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Sequence elements, when this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// String contents, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number token, when this is a number.
+    pub fn as_num(&self) -> Option<&str> {
+        match self {
+            Value::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// Conversion failure while rebuilding a type from a [`Value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Convert to the intermediate tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from the intermediate tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(type_err("bool", other)),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => n.parse::<$t>().map_err(|e| {
+                        Error::msg(format!("bad {}: {n:?}: {e}", stringify!($t)))
+                    }),
+                    other => Err(type_err(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if self.is_finite() {
+                    Value::Num(format!("{self}"))
+                } else {
+                    // JSON has no NaN/Inf token; the real serde_json
+                    // also encodes them as null
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => n.parse::<$t>().map_err(|e| {
+                        Error::msg(format!("bad {}: {n:?}: {e}", stringify!($t)))
+                    }),
+                    other => Err(type_err(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(type_err("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // The workspace derives Deserialize on static report-table rows
+        // (`&'static str` fields). Those rows are only ever decoded in
+        // tests/tools, so the shim promotes the string by leaking it —
+        // a bounded, deliberate leak, not a cycle.
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(type_err("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(type_err("char", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(type_err("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::msg(format!("expected {N} elements, got {n}")))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                match v {
+                    Value::Seq(items) if items.len() == LEN => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(type_err("tuple", other)),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize, S: BuildHasher> Serialize for HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        // deterministic encoding regardless of hasher iteration order
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize, S: BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => {
+                let mut out = HashMap::with_capacity_and_hasher(entries.len(), S::default());
+                for (k, item) in entries {
+                    out.insert(k.clone(), V::from_value(item)?);
+                }
+                Ok(out)
+            }
+            other => Err(type_err("map", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// support used by the generated code
+// ---------------------------------------------------------------------------
+
+fn type_err(expected: &str, got: &Value) -> Error {
+    let kind = match got {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Num(_) => "number",
+        Value::Str(_) => "string",
+        Value::Seq(_) => "sequence",
+        Value::Map(_) => "map",
+    };
+    Error::msg(format!("expected {expected}, got {kind}"))
+}
+
+/// Generated-code helper: look up a map key.
+#[doc(hidden)]
+pub fn __lookup<'v>(m: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    m.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Generated-code helper: required field.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(m: &[(String, Value)], key: &str) -> Result<T, Error> {
+    match __lookup(m, key) {
+        Some(v) => T::from_value(v).map_err(|e| Error::msg(format!("field {key:?}: {e}"))),
+        None => Err(Error::msg(format!("missing field {key:?}"))),
+    }
+}
+
+/// Generated-code helper: field that falls back to a default when absent.
+#[doc(hidden)]
+pub fn __field_or<T: Deserialize>(
+    m: &[(String, Value)],
+    key: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, Error> {
+    match __lookup(m, key) {
+        Some(v) => T::from_value(v).map_err(|e| Error::msg(format!("field {key:?}: {e}"))),
+        None => Ok(default()),
+    }
+}
+
+/// Generated-code helper: map access with a type-name error.
+#[doc(hidden)]
+pub fn __as_map<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+    v.as_map()
+        .ok_or_else(|| Error::msg(format!("expected map for {ty}")))
+}
+
+/// Generated-code helper: sequence access with an exact-arity check.
+#[doc(hidden)]
+pub fn __as_tuple<'v>(v: &'v Value, ty: &str, len: usize) -> Result<&'v [Value], Error> {
+    match v.as_seq() {
+        Some(s) if s.len() == len => Ok(s),
+        Some(s) => Err(Error::msg(format!(
+            "expected {len} elements for {ty}, got {}",
+            s.len()
+        ))),
+        None => Err(Error::msg(format!("expected sequence for {ty}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(f64::to_value(&f64::NAN), Value::Null);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, "a".to_string(), 0.5f32)];
+        let rt: Vec<(u32, String, f32)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(rt, v);
+
+        let opt: Option<u32> = None;
+        assert_eq!(opt.to_value(), Value::Null);
+        let rt: Option<u32> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(rt, None);
+
+        let mut m: HashMap<String, u32> = HashMap::new();
+        m.insert("b".into(), 2);
+        m.insert("a".into(), 1);
+        let val = m.to_value();
+        // sorted keys → deterministic order
+        assert_eq!(
+            val,
+            Value::Map(vec![
+                ("a".into(), Value::Num("1".into())),
+                ("b".into(), Value::Num("2".into())),
+            ])
+        );
+        let rt: HashMap<String, u32> = Deserialize::from_value(&val).unwrap();
+        assert_eq!(rt, m);
+    }
+
+    #[test]
+    fn errors_name_the_offending_field() {
+        let m = vec![("x".to_string(), Value::Str("nope".into()))];
+        let err = __field::<u32>(&m, "x").unwrap_err();
+        assert!(err.to_string().contains("\"x\""), "{err}");
+        let err = __field::<u32>(&m, "y").unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+    }
+}

@@ -1,0 +1,457 @@
+//! Workspace-local shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly on `proc_macro` token
+//! streams (no `syn`/`quote`), targeting the serde shim's value model.
+//!
+//! Supported shapes — exactly what the workspace derives on:
+//! - named structs, with field attrs `#[serde(skip)]`, `#[serde(default)]`,
+//!   and `#[serde(default = "path")]`
+//! - tuple structs (newtype and wider)
+//! - enums with unit and newtype variants (externally tagged)
+//! - lifetime-only generics (e.g. `Ckpt<'a>`)
+//!
+//! Anything else (struct variants, type generics with bounds, `where`
+//! clauses, renames) panics with a message naming the gap, which surfaces
+//! as a compile error at the derive site.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Derive `serde::Serialize` (value-model `to_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize` (value-model `from_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+    /// `Some("")` for bare `#[serde(default)]`, `Some(path)` for
+    /// `#[serde(default = "path")]`, `None` for required fields.
+    default: Option<String>,
+    /// Bare `Option<…>` fields tolerate a missing key (as real serde does).
+    is_option: bool,
+}
+
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+enum Body {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Verbatim generics, e.g. `<'a>`; empty when non-generic.
+    generics: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kind = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    let generics = take_generics(&toks, &mut i);
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "where" {
+            panic!("serde shim derive: `where` clauses are not supported ({name})");
+        }
+    }
+    let body = match (kind.as_str(), toks.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Named(parse_named_fields(g))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::Tuple(tuple_arity(g))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum(parse_variants(g, &name))
+        }
+        _ => panic!("serde shim derive: unsupported item shape for {name}"),
+    };
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 2; // '#' + the bracketed group
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1; // pub(crate) / pub(super)
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn take_generics(toks: &[TokenTree], i: &mut usize) -> String {
+    if !matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return String::new();
+    }
+    let mut out = String::new();
+    let mut depth = 0i32;
+    loop {
+        let t = toks
+            .get(*i)
+            .unwrap_or_else(|| panic!("serde shim derive: unclosed generics"));
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        out.push_str(&t.to_string());
+        *i += 1;
+        if depth == 0 {
+            if out.contains(':') {
+                panic!("serde shim derive: bounded generics are not supported ({out})");
+            }
+            return out;
+        }
+    }
+}
+
+/// Field-level serde attributes recognised by the shim.
+fn parse_serde_attr(group: &Group, skip: &mut bool, default: &mut Option<String>) {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    // shape: serde ( … ) — anything else (doc, allow, …) is ignored
+    if !matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        match &args[j] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => *skip = true,
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                if matches!(args.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    let lit = args
+                        .get(j + 2)
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| panic!("serde shim derive: default = needs a path"));
+                    *default = Some(lit.trim_matches('"').to_string());
+                    j += 2;
+                } else {
+                    *default = Some(String::new());
+                }
+            }
+            TokenTree::Punct(_) => {}
+            other => panic!("serde shim derive: unsupported serde attribute {other}"),
+        }
+        j += 1;
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut skip = false;
+        let mut default = None;
+        while matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(ag)) = toks.get(i + 1) {
+                parse_serde_attr(ag, &mut skip, &mut default);
+            }
+            i += 2;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        i += 1; // ':'
+        // walk the type to the next top-level comma; groups are single
+        // trees, so only `<`/`>` need depth tracking
+        let mut depth = 0i32;
+        let mut first_type_ident: Option<String> = None;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Ident(id) => {
+                    if first_type_ident.is_none() {
+                        first_type_ident = Some(id.to_string());
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let is_option = first_type_ident.as_deref() == Some("Option");
+        out.push(Field {
+            name,
+            skip,
+            default,
+            is_option,
+        });
+    }
+    out
+}
+
+fn tuple_arity(group: &Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        panic!("serde shim derive: empty tuple structs are not supported");
+    }
+    let mut depth = 0i32;
+    let mut arity = 1;
+    let mut trailing_comma = false;
+    for (idx, t) in toks.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    trailing_comma = idx + 1 == toks.len();
+                    arity += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+fn parse_variants(group: &Group, enum_name: &str) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let mut newtype = false;
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if tuple_arity(g) != 1 {
+                    panic!("serde shim derive: only newtype variants are supported ({enum_name}::{name})");
+                }
+                newtype = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde shim derive: struct variants are not supported ({enum_name}::{name})");
+            }
+            _ => {}
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde shim derive: explicit discriminants are not supported ({enum_name}::{name})");
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        out.push(Variant { name, newtype });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let Item {
+        name,
+        generics,
+        body,
+    } = item;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl{generics} serde::Serialize for {name}{generics} {{ \
+         fn to_value(&self) -> serde::Value {{ "
+    );
+    match body {
+        Body::Named(fields) => {
+            out.push_str("serde::Value::Map(vec![");
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                let fname = &f.name;
+                let _ = write!(
+                    out,
+                    "(String::from(\"{fname}\"), serde::Serialize::to_value(&self.{fname})),"
+                );
+            }
+            out.push_str("])");
+        }
+        Body::Tuple(1) => out.push_str("serde::Serialize::to_value(&self.0)"),
+        Body::Tuple(n) => {
+            out.push_str("serde::Value::Seq(vec![");
+            for idx in 0..*n {
+                let _ = write!(out, "serde::Serialize::to_value(&self.{idx}),");
+            }
+            out.push_str("])");
+        }
+        Body::Enum(variants) => {
+            out.push_str("match self {");
+            for v in variants {
+                let vname = &v.name;
+                if v.newtype {
+                    let _ = write!(
+                        out,
+                        "{name}::{vname}(__x) => serde::Value::Map(vec![\
+                         (String::from(\"{vname}\"), serde::Serialize::to_value(__x))]),"
+                    );
+                } else {
+                    let _ = write!(
+                        out,
+                        "{name}::{vname} => serde::Value::Str(String::from(\"{vname}\")),"
+                    );
+                }
+            }
+            out.push('}');
+        }
+    }
+    out.push_str(" } }");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let Item {
+        name,
+        generics,
+        body,
+    } = item;
+    if !generics.is_empty() {
+        panic!("serde shim derive: Deserialize on generic types is not supported ({name})");
+    }
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl serde::Deserialize for {name} {{ \
+         fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{ "
+    );
+    match body {
+        Body::Named(fields) => {
+            let _ = write!(out, "let __m = serde::__as_map(__v, \"{name}\")?; Ok({name} {{");
+            for f in fields {
+                let fname = &f.name;
+                if f.skip {
+                    let _ = write!(out, "{fname}: Default::default(),");
+                } else if let Some(path) = &f.default {
+                    let fallback = if path.is_empty() { "Default::default" } else { path };
+                    let _ = write!(
+                        out,
+                        "{fname}: serde::__field_or(__m, \"{fname}\", {fallback})?,"
+                    );
+                } else if f.is_option {
+                    let _ = write!(
+                        out,
+                        "{fname}: serde::__field_or(__m, \"{fname}\", Default::default)?,"
+                    );
+                } else {
+                    let _ = write!(out, "{fname}: serde::__field(__m, \"{fname}\")?,");
+                }
+            }
+            out.push_str("})");
+        }
+        Body::Tuple(1) => {
+            let _ = write!(out, "Ok({name}(serde::Deserialize::from_value(__v)?))");
+        }
+        Body::Tuple(n) => {
+            let _ = write!(out, "let __s = serde::__as_tuple(__v, \"{name}\", {n})?; Ok({name}(");
+            for idx in 0..*n {
+                let _ = write!(out, "serde::Deserialize::from_value(&__s[{idx}])?,");
+            }
+            out.push_str("))");
+        }
+        Body::Enum(variants) => {
+            out.push_str("match __v {");
+            if variants.iter().any(|v| !v.newtype) {
+                out.push_str("serde::Value::Str(__s) => match __s.as_str() {");
+                for v in variants.iter().filter(|v| !v.newtype) {
+                    let vname = &v.name;
+                    let _ = write!(out, "\"{vname}\" => Ok({name}::{vname}),");
+                }
+                let _ = write!(
+                    out,
+                    "__other => Err(serde::Error::msg(format!(\
+                     \"unknown {name} variant {{__other:?}}\"))), }}, "
+                );
+            }
+            if variants.iter().any(|v| v.newtype) {
+                out.push_str(
+                    "serde::Value::Map(__m) if __m.len() == 1 => { \
+                     let (__k, __val) = &__m[0]; match __k.as_str() {",
+                );
+                for v in variants.iter().filter(|v| v.newtype) {
+                    let vname = &v.name;
+                    let _ = write!(
+                        out,
+                        "\"{vname}\" => Ok({name}::{vname}(serde::Deserialize::from_value(__val)?)),"
+                    );
+                }
+                let _ = write!(
+                    out,
+                    "__other => Err(serde::Error::msg(format!(\
+                     \"unknown {name} variant {{__other:?}}\"))), }} }}, "
+                );
+            }
+            let _ = write!(
+                out,
+                "__other => Err(serde::Error::msg(format!(\
+                 \"expected {name} variant, got {{__other:?}}\"))), }}"
+            );
+        }
+    }
+    out.push_str(" } }");
+    out
+}

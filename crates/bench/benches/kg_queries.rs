@@ -72,19 +72,11 @@ fn bench_hierarchy(c: &mut Criterion) {
     let mut g = c.benchmark_group("kg");
     g.sample_size(20);
     g.bench_function("hierarchy_build", |b| {
-        b.iter_batched(
-            || &kg,
-            |kg| IntentHierarchy::build(kg),
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| &kg, IntentHierarchy::build, BatchSize::SmallInput)
     });
     let snap = kg.freeze();
     g.bench_function("hierarchy_build_snapshot", |b| {
-        b.iter_batched(
-            || &snap,
-            |s| IntentHierarchy::build(s),
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| &snap, IntentHierarchy::build, BatchSize::SmallInput)
     });
     g.finish();
 }

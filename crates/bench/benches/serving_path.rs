@@ -85,9 +85,10 @@ fn bench_concurrent_hits(c: &mut Criterion) {
     g.throughput(Throughput::Elements((THREADS * PER_THREAD) as u64));
     g.bench_function("concurrent_hits_4x1000", |b| {
         b.iter(|| {
+            let sys = &sys;
             std::thread::scope(|s| {
                 for qs in &queries {
-                    s.spawn(|| {
+                    s.spawn(move || {
                         for q in qs {
                             black_box(sys.handle_request(q).latency_us);
                         }

@@ -10,6 +10,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut seed = 0x000C_0530_u64;
+    let mut smoke = false;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -23,12 +24,13 @@ fn main() {
                 i += 1;
                 seed = args[i].parse().expect("--seed <u64>");
             }
+            "--smoke" => smoke = true,
             other => targets.push(other.to_string()),
         }
         i += 1;
     }
     if targets.is_empty() {
-        eprintln!("usage: repro <experiment|all|ablations> [--scale tiny|small|full]");
+        eprintln!("usage: repro <experiment|all|ablations> [--scale tiny|small|full] [--smoke]");
         eprintln!("experiments: {}", EXPERIMENTS.join(", "));
         std::process::exit(2);
     }
@@ -52,7 +54,14 @@ fn main() {
 
     for t in &targets {
         let t1 = Instant::now();
-        match run_experiment(&ctx, t) {
+        // `serve` is the one experiment with a mode switch: --smoke is the
+        // seconds-long CI gate, the default is the full saturation sweep
+        let result = if t == "serve" {
+            Some(cosmo_bench::serve::serve(&ctx, smoke))
+        } else {
+            run_experiment(&ctx, t)
+        };
+        match result {
             Some(output) => {
                 println!("\n================ {t} ================");
                 println!("{output}");

@@ -7,8 +7,7 @@ use cosmo_lm::{simulated_comparison, CosmoLm};
 use cosmo_nav::{run_abtest, AbTestConfig, NavSession, NavigationEngine};
 use cosmo_relevance::{Architecture, RelevanceConfig};
 use cosmo_serving::{
-    ops_view, query_universe, simulate, simulate_concurrent, ServingConfig, ServingSystem,
-    TrafficConfig,
+    query_universe, simulate, simulate_concurrent, ServingConfig, ServingSystem, TrafficConfig,
 };
 use cosmo_teacher::{cobuy_prompt, search_buy_prompt};
 use std::fmt::Write as _;
@@ -153,7 +152,7 @@ pub fn serving_throughput(ctx: &Ctx) -> String {
             last.hit_rate * 100.0,
             last.queue_high_water,
         );
-        let _ = writeln!(out, "  {}", ops_view(&system.snapshot()));
+        let _ = writeln!(out, "  {}", system.ops().render());
     }
     out
 }

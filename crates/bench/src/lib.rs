@@ -18,12 +18,13 @@ pub mod context;
 pub mod extensions;
 pub mod figures;
 pub mod kgstats;
+pub mod serve;
 pub mod tables;
 
 pub use context::{build_context, Ctx, Scale};
 
 /// All experiment names accepted by the `repro` binary.
-pub const EXPERIMENTS: [&str; 24] = [
+pub const EXPERIMENTS: [&str; 25] = [
     "table1",
     "table2",
     "table3",
@@ -45,6 +46,7 @@ pub const EXPERIMENTS: [&str; 24] = [
     "feedback",
     "kgstats",
     "throughput",
+    "serve",
     "pipeline-scaling",
     "nn-scaling",
     "kg-scaling",
@@ -71,6 +73,9 @@ pub fn run_experiment(ctx: &Ctx, name: &str) -> Option<String> {
         "abtest" => figures::abtest(ctx),
         "efficiency" => figures::efficiency(ctx),
         "throughput" => figures::serving_throughput(ctx),
+        // smoke mode here keeps `repro -- all` fast; the full saturation
+        // sweep is `repro -- serve` (without --smoke) via the binary
+        "serve" => serve::serve(ctx, /*smoke=*/ true),
         "kgstats" => kgstats::kgstats(ctx),
         "rewrites" => extensions::rewrites(ctx),
         "feedback" => extensions::feedback_loop(ctx),

@@ -1,0 +1,185 @@
+//! The `serve` experiment: stand up the real HTTP front end over a
+//! frozen [`cosmo_kg::KgSnapshot`] and drive it closed-loop with
+//! synthetic query streams, sweeping offered concurrency to saturation.
+//!
+//! Two modes:
+//!
+//! - **smoke** (`repro -- serve --smoke`, and the tier-1 gate): one short
+//!   fixed-concurrency window at tiny load; asserts nonzero throughput
+//!   and zero 5xx responses, so CI catches a wedged server in seconds.
+//! - **full** (`repro -- serve`): doubles concurrency until sustained
+//!   throughput stops improving ≥5% per step, reporting p50/p99 latency
+//!   and drop/reject rates at every point.
+//!
+//! Both write `BENCH_serve.json` for machine consumption.
+
+use crate::context::Ctx;
+use cosmo_http::{run_load, sweep_to_saturation, HttpServer, LoadConfig, LoadReport, ServerConfig};
+use cosmo_serving::{AdmissionPolicy, ServeRequest, ServingSystem};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Stand up the serving system + HTTP server, run the load shape, write
+/// `BENCH_serve.json`, and render the human-readable summary.
+pub fn serve(ctx: &Ctx, smoke: bool) -> String {
+    let snapshot = Arc::new(ctx.out.kg.freeze());
+
+    // synthetic query stream: the world's real generated queries, with a
+    // slice of them preloaded so the sweep exercises the hit path too
+    let queries: Vec<String> = ctx
+        .out
+        .world
+        .queries
+        .iter()
+        .take(256)
+        .map(|q| q.text.clone())
+        .collect();
+    let preload: Vec<String> = queries.iter().step_by(2).cloned().collect();
+    let bodies: Vec<String> = queries
+        .iter()
+        .map(|q| ServeRequest::new(q.clone()).to_json())
+        .collect();
+
+    let system = Arc::new(
+        ServingSystem::builder()
+            .snapshot(snapshot)
+            .lm(ctx.student.clone())
+            .preload(preload)
+            .build()
+            .expect("default serving config is valid"),
+    );
+
+    let server_cfg = ServerConfig {
+        conn_workers: if smoke { 2 } else { 8 },
+        conn_backlog: 256,
+        admission: AdmissionPolicy::RejectNew,
+        ..ServerConfig::default()
+    };
+    let handle = HttpServer::start(Arc::clone(&system), server_cfg).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // background batch thread: turn enqueued misses into L2 entries while
+    // the load runs, like the Figure 5 async refresh path
+    let stop_batch = Arc::new(AtomicBool::new(false));
+    let batch = {
+        let system = Arc::clone(&system);
+        let stop = Arc::clone(&stop_batch);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let _ = system.run_batch_cycle();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+
+    let reports: Vec<LoadReport> = if smoke {
+        vec![run_load(
+            addr,
+            &LoadConfig {
+                concurrency: 2,
+                duration: Duration::from_millis(400),
+                bodies,
+            },
+        )]
+    } else {
+        sweep_to_saturation(addr, bodies, Duration::from_secs(2), 32, 0.05)
+    };
+
+    stop_batch.store(true, Ordering::Relaxed);
+    let _ = batch.join();
+    let http_stats = handle.stats();
+    handle.shutdown();
+
+    // render
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "HTTP front end over frozen snapshot ({} nodes / {} edges), {} mode",
+        system.kg_snapshot().num_nodes(),
+        system.kg_snapshot().num_edges(),
+        if smoke { "smoke" } else { "sweep" }
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "concurrency", "req/s", "requests", "ok", "rejected", "errors", "p50(us)", "p99(us)"
+    );
+    for r in &reports {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10.1} {:>10} {:>9} {:>9} {:>9} {:>10} {:>10}",
+            r.concurrency,
+            r.throughput_rps,
+            r.requests,
+            r.ok,
+            r.rejected,
+            r.other_errors + r.transport_errors,
+            r.p50_us,
+            r.p99_us
+        );
+    }
+    let best = reports
+        .iter()
+        .max_by(|a, b| a.throughput_rps.total_cmp(&b.throughput_rps))
+        .expect("at least one load window ran");
+    let _ = writeln!(
+        out,
+        "saturation: {:.1} req/s at concurrency {} (p99 {}us); \
+         conns accepted {}, shed {}, rejected-at-accept {}",
+        best.throughput_rps,
+        best.concurrency,
+        best.p99_us,
+        http_stats.accepted,
+        http_stats.shed_conns,
+        http_stats.rejected_conns
+    );
+
+    let mut json = String::from("{");
+    let _ = write!(
+        json,
+        "\"mode\":\"{}\",\"snapshot_nodes\":{},\"snapshot_edges\":{},\"runs\":[",
+        if smoke { "smoke" } else { "sweep" },
+        system.kg_snapshot().num_nodes(),
+        system.kg_snapshot().num_edges()
+    );
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&r.to_json());
+    }
+    let _ = write!(
+        json,
+        "],\"saturation_rps\":{:.1},\"saturation_concurrency\":{},\
+         \"conns_accepted\":{},\"conns_shed\":{},\"conns_rejected\":{}}}",
+        best.throughput_rps,
+        best.concurrency,
+        http_stats.accepted,
+        http_stats.shed_conns,
+        http_stats.rejected_conns
+    );
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "\nwrote BENCH_serve.json");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "\ncould not write BENCH_serve.json: {e}");
+        }
+    }
+
+    if smoke {
+        let total_5xx: u64 = reports.iter().map(|r| r.rejected + r.other_errors).sum();
+        assert!(
+            best.requests > 0 && best.throughput_rps > 0.0,
+            "smoke: server answered no requests"
+        );
+        assert_eq!(
+            total_5xx, 0,
+            "smoke: server answered {total_5xx} 5xx responses"
+        );
+        let _ = writeln!(out, "smoke ok: nonzero throughput, zero 5xx");
+    }
+    out
+}

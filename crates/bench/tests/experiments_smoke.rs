@@ -33,7 +33,7 @@ fn every_fast_experiment_runs() {
         assert!(out.len() > 40, "{name} produced almost no output: {out:?}");
     }
     assert!(run_experiment(ctx(), "no-such-experiment").is_none());
-    assert_eq!(EXPERIMENTS.len(), 24);
+    assert_eq!(EXPERIMENTS.len(), 25);
 }
 
 #[test]
@@ -145,6 +145,20 @@ fn throughput_compares_single_shard_to_sharded() {
     assert!(t.contains("sharded (default)"), "missing sharded row: {t}");
     // both rows report a positive req/s figure and an ops summary line
     assert_eq!(t.matches("hit_rate=").count(), 2, "two ops_view lines: {t}");
+}
+
+/// The tier-1 serve gate: the HTTP front end over the frozen snapshot
+/// answers real closed-loop load with nonzero throughput and zero 5xx
+/// (the smoke-mode `serve` experiment asserts both internally).
+#[test]
+fn serve_smoke_sustains_load_without_errors() {
+    let t = run_experiment(ctx(), "serve").unwrap();
+    assert!(t.contains("smoke ok"), "smoke gate line missing: {t}");
+    assert!(t.contains("saturation:"), "saturation summary missing: {t}");
+    assert!(
+        t.contains("BENCH_serve.json"),
+        "bench artifact line missing: {t}"
+    );
 }
 
 #[test]

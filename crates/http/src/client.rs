@@ -1,0 +1,131 @@
+//! A minimal blocking HTTP/1.1 client with keep-alive, used by the load
+//! harness and the integration tests. Speaks exactly the dialect the
+//! server emits (lower-case headers, `content-length` bodies).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One received response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A keep-alive connection to one server.
+pub struct HttpClient {
+    addr: SocketAddr,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connect, with a read timeout so tests cannot hang.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(HttpClient {
+            addr,
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Send one request and read its response on the persistent
+    /// connection. If the server answered `connection: close`, the next
+    /// call reconnects transparently.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
+        self.send(method, path, body)?;
+        let resp = self.read_response()?;
+        if resp.header("connection") == Some("close") {
+            let fresh = HttpClient::connect(self.addr)?;
+            self.reader = fresh.reader;
+            self.writer = fresh.writer;
+        }
+        Ok(resp)
+    }
+
+    /// Write one request without reading the response (for pipelining
+    /// tests — production callers should use [`HttpClient::request`]).
+    pub fn send(&mut self, method: &str, path: &str, body: &str) -> io::Result<()> {
+        let msg = format!(
+            "{method} {path} HTTP/1.1\r\nhost: cosmo\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(msg.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Read one response off the wire.
+    pub fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            ));
+        }
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof in headers",
+                ));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+                headers.push((name, value));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 body"))?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

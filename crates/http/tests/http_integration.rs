@@ -1,0 +1,421 @@
+//! End-to-end tests for the HTTP front end: keep-alive, pipelining,
+//! malformed/oversized input, connection backpressure, byte-identity
+//! with the in-process serving path, and clean shutdown draining.
+
+use cosmo_http::{HttpClient, HttpServer, ServerConfig};
+use cosmo_kg::{BehaviorKind, Edge, KnowledgeGraph, NodeKind, Relation};
+use cosmo_lm::{CosmoLm, StudentConfig};
+use cosmo_serving::{
+    AdmissionPolicy, NavigateResponse, OpsStats, ServeRequest, ServeResponse, ServingConfig,
+    ServingSystem, SnapshotVersion,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A small KG with real intent edges so `/v1/serve-intents` can hit and
+/// `/v1/navigate` has something to suggest.
+fn test_kg() -> KnowledgeGraph {
+    let mut kg = KnowledgeGraph::new();
+    let pairs = [
+        ("sleeping bag", "sleeping outdoors", Relation::UsedForFunc),
+        ("sleeping bag", "keeping warm", Relation::CapableOf),
+        ("tent", "sleeping outdoors", Relation::UsedForFunc),
+        ("air mattress", "sleeping outdoors", Relation::UsedForFunc),
+    ];
+    for (i, (product, intent, relation)) in pairs.iter().enumerate() {
+        let head = kg.intern_node(NodeKind::Product, product);
+        let tail = kg.intern_node(NodeKind::Intention, intent);
+        kg.add_edge(Edge {
+            head,
+            relation: *relation,
+            tail,
+            behavior: BehaviorKind::SearchBuy,
+            category: 0,
+            plausibility: 0.9,
+            typicality: 0.5 + (i as f32) * 0.05,
+            support: 3,
+        });
+    }
+    kg
+}
+
+fn test_system(cfg: ServingConfig, preload: &[&str]) -> Arc<ServingSystem> {
+    let lm = Arc::new(CosmoLm::new(
+        StudentConfig::default(),
+        vec![
+            ("sleeping outdoors".into(), Some(Relation::UsedForFunc)),
+            ("keeping warm".into(), Some(Relation::CapableOf)),
+        ],
+    ));
+    Arc::new(
+        ServingSystem::builder()
+            .snapshot(Arc::new(test_kg().freeze()))
+            .lm(lm)
+            .preload(preload.iter().copied())
+            .config(cfg)
+            .build()
+            .expect("test serving config is valid"),
+    )
+}
+
+fn start_default() -> (Arc<ServingSystem>, cosmo_http::ServerHandle) {
+    let system = test_system(ServingConfig::default(), &["sleeping bag", "tent"]);
+    let handle =
+        HttpServer::start(Arc::clone(&system), ServerConfig::default()).expect("bind ephemeral");
+    (system, handle)
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let (_system, handle) = start_default();
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    for _ in 0..5 {
+        let resp = client
+            .request("GET", "/v1/snapshot-version", "")
+            .expect("keep-alive request");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+        let version = SnapshotVersion::from_json(&resp.body).expect("typed body");
+        assert_eq!(version.nodes, 5); // 3 products + 2 intentions interned above
+        assert!(version.edges >= 4);
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.accepted, 1, "one connection served every request");
+    assert_eq!(stats.requests, 5);
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let (_system, handle) = start_default();
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    // write both requests before reading either response
+    client.send("GET", "/v1/snapshot-version", "").unwrap();
+    client
+        .send(
+            "POST",
+            "/v1/serve-intents",
+            &ServeRequest::new("sleeping bag").to_json(),
+        )
+        .unwrap();
+    let first = client.read_response().unwrap();
+    let second = client.read_response().unwrap();
+    assert_eq!(first.status, 200);
+    assert!(SnapshotVersion::from_json(&first.body).is_ok());
+    assert_eq!(second.status, 200);
+    let served = ServeResponse::from_json(&second.body).unwrap();
+    assert_eq!(served.query, "sleeping bag");
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_400_and_close() {
+    let (_system, handle) = start_default();
+    for raw in [
+        "BOGUS\r\n\r\n",
+        "GET / HTTP/2\r\n\r\n",
+        "POST /v1/serve-intents HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+    ] {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap(); // server closes → EOF
+        assert!(out.starts_with("HTTP/1.1 400 "), "got {out:?} for {raw:?}");
+        assert!(out.contains("\r\nconnection: close\r\n"));
+    }
+    // bad JSON in a well-formed request is also a 400, but keep-alive
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let resp = client
+        .request("POST", "/v1/serve-intents", "{\"no_query\":1}")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("bad_request"));
+    assert!(handle.stats().bad_requests >= 4);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_requests_get_413_or_431_without_panicking() {
+    let system = test_system(ServingConfig::default(), &[]);
+    let config = ServerConfig {
+        max_body_bytes: 256,
+        max_header_bytes: 512,
+        ..ServerConfig::default()
+    };
+    let handle = HttpServer::start(system, config).expect("bind ephemeral");
+
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let huge = format!(
+        "{{\"query\":\"{}\"}}",
+        "sleeping bag ".repeat(64) // > 256 bytes of body
+    );
+    let resp = client.request("POST", "/v1/serve-intents", &huge).unwrap();
+    assert_eq!(resp.status, 413);
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let raw = format!(
+        "GET /v1/snapshot-version HTTP/1.1\r\nx-pad: {}\r\n\r\n",
+        "a".repeat(1024)
+    );
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 431 "), "got {out:?}");
+
+    assert_eq!(handle.stats().oversized, 2);
+    // the server survived both: a normal request still works
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let ok = client.request("GET", "/v1/snapshot-version", "").unwrap();
+    assert_eq!(ok.status, 200);
+    handle.shutdown();
+}
+
+/// With a single worker pinned by an idle connection, a one-deep queue,
+/// and `RejectNew`, the third connection must be answered `503` with
+/// `Retry-After` at admission.
+#[test]
+fn connection_backpressure_rejects_with_503() {
+    let system = test_system(ServingConfig::default(), &["sleeping bag"]);
+    let config = ServerConfig {
+        acceptors: 1,
+        conn_workers: 1,
+        conn_backlog: 1,
+        admission: AdmissionPolicy::RejectNew,
+        read_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    };
+    let handle = HttpServer::start(system, config).expect("bind ephemeral");
+
+    // _pinned occupies the single worker (idle until its read times out);
+    // _queued fills the one-deep queue.
+    let _pinned = TcpStream::connect(handle.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let _queued = TcpStream::connect(handle.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let resp = client
+        .request(
+            "POST",
+            "/v1/serve-intents",
+            &ServeRequest::new("tent").to_json(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    assert!(resp.body.contains("overloaded"));
+    assert_eq!(handle.stats().rejected_conns, 1);
+    handle.shutdown();
+}
+
+/// Same overload under `DropOldest`: the queued-but-unserved connection
+/// is shed (closed without a response) and the new one takes its place.
+#[test]
+fn connection_backpressure_sheds_oldest() {
+    let system = test_system(ServingConfig::default(), &["sleeping bag"]);
+    let config = ServerConfig {
+        acceptors: 1,
+        conn_workers: 1,
+        conn_backlog: 1,
+        admission: AdmissionPolicy::DropOldest,
+        read_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    };
+    let handle = HttpServer::start(system, config).expect("bind ephemeral");
+
+    let _pinned = TcpStream::connect(handle.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let mut shed_victim = TcpStream::connect(handle.addr()).unwrap();
+    shed_victim
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let resp = client
+        .request(
+            "POST",
+            "/v1/serve-intents",
+            &ServeRequest::new("sleeping bag").to_json(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "newest connection is served");
+    // the shed connection sees EOF, never a response
+    let mut buf = Vec::new();
+    let shed_read = shed_victim.read_to_end(&mut buf);
+    assert!(
+        shed_read.is_ok() && buf.is_empty(),
+        "shed connection got {buf:?}"
+    );
+    assert_eq!(handle.stats().shed_conns, 1);
+    handle.shutdown();
+}
+
+/// The acceptance bar for the whole front end: for hit, miss, and
+/// repeat-miss traffic the HTTP response body equals
+/// `ServingSystem::handle(&req).to_json()` byte for byte.
+#[test]
+fn http_bodies_are_byte_identical_to_in_process_handle() {
+    let (system, handle) = start_default();
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    let cases = [
+        ServeRequest::new("sleeping bag"), // L1 hit
+        ServeRequest {
+            query: "tent".into(),
+            top_k: 1,
+        }, // hit, truncated
+        ServeRequest::new("never seen before"), // miss → enqueued
+        ServeRequest::new("never seen before"), // repeat miss → enqueued
+        ServeRequest::new(""),             // empty query
+    ];
+    for req in &cases {
+        let http = client
+            .request("POST", "/v1/serve-intents", &req.to_json())
+            .unwrap();
+        // the HTTP call above already enqueued any miss, so this
+        // in-process call observes the same cache state
+        let in_process = system.handle(req);
+        assert_eq!(
+            http.body,
+            in_process.to_json(),
+            "HTTP and in-process bodies diverge for {:?}",
+            req.query
+        );
+        let expected_status = if in_process.status == cosmo_serving::ServeStatus::Rejected {
+            503
+        } else {
+            200
+        };
+        assert_eq!(http.status, expected_status);
+    }
+    handle.shutdown();
+}
+
+/// A serving-layer `Rejected` (pending queue full under `RejectNew`)
+/// must surface as HTTP 503 + `Retry-After` while still carrying the
+/// byte-identical `ServeResponse` body.
+#[test]
+fn serving_layer_rejection_maps_to_503_with_identical_body() {
+    let system = test_system(
+        ServingConfig {
+            shards: 1,
+            pending_bound: 1,
+            admission: AdmissionPolicy::RejectNew,
+            ..ServingConfig::default()
+        },
+        &[],
+    );
+    let handle =
+        HttpServer::start(Arc::clone(&system), ServerConfig::default()).expect("bind ephemeral");
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    let filler = ServeRequest::new("fills the only pending slot");
+    let first = client
+        .request("POST", "/v1/serve-intents", &filler.to_json())
+        .unwrap();
+    assert_eq!(first.status, 200); // enqueued
+
+    let rejected = ServeRequest::new("no room for this one");
+    let resp = client
+        .request("POST", "/v1/serve-intents", &rejected.to_json())
+        .unwrap();
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    let in_process = system.handle(&rejected);
+    assert_eq!(in_process.status, cosmo_serving::ServeStatus::Rejected);
+    assert_eq!(resp.body, in_process.to_json());
+    handle.shutdown();
+}
+
+#[test]
+fn navigate_and_ops_routes_answer_typed_bodies() {
+    let (system, handle) = start_default();
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    let resp = client
+        .request(
+            "POST",
+            "/v1/navigate",
+            "{\"query\":\"sleeping outdoors\",\"k\":3}",
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let nav = NavigateResponse::from_json(&resp.body).expect("typed navigate body");
+    assert_eq!(nav.query, "sleeping outdoors");
+    for item in &nav.suggestions {
+        assert!(
+            ["intent", "product_type", "attribute"].contains(&item.kind.as_str()),
+            "unknown kind {:?}",
+            item.kind
+        );
+    }
+
+    let resp = client.request("GET", "/ops/stats", "").unwrap();
+    assert_eq!(resp.status, 200);
+    let ops = OpsStats::from_json(&resp.body).expect("typed ops body");
+    assert_eq!(ops.to_json(), system.ops().to_json());
+
+    // routing edges: wrong method and unknown path
+    assert_eq!(
+        client
+            .request("GET", "/v1/serve-intents", "")
+            .unwrap()
+            .status,
+        405
+    );
+    assert_eq!(
+        client.request("POST", "/ops/stats", "{}").unwrap().status,
+        405
+    );
+    assert_eq!(client.request("GET", "/nope", "").unwrap().status, 404);
+    handle.shutdown();
+}
+
+/// Shutdown must drain: every connection queued before shutdown gets its
+/// answer, and in-flight keep-alive connections are closed politely
+/// (`connection: close` on the final response), not reset.
+#[test]
+fn shutdown_drains_queued_and_in_flight_connections() {
+    let system = test_system(ServingConfig::default(), &["sleeping bag"]);
+    let config = ServerConfig {
+        conn_workers: 2,
+        read_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    };
+    let handle = HttpServer::start(system, config).expect("bind ephemeral");
+
+    let mut clients: Vec<HttpClient> = (0..6)
+        .map(|_| HttpClient::connect(handle.addr()).unwrap())
+        .collect();
+    // write all requests first so several sit queued when shutdown lands
+    for c in &mut clients {
+        c.send(
+            "POST",
+            "/v1/serve-intents",
+            &ServeRequest::new("sleeping bag").to_json(),
+        )
+        .unwrap();
+    }
+    let shutdown = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(50));
+        handle.shutdown();
+    });
+    let mut answered = 0;
+    for c in &mut clients {
+        if let Ok(resp) = c.read_response() {
+            assert_eq!(resp.status, 200);
+            answered += 1;
+        }
+    }
+    shutdown.join().unwrap();
+    assert_eq!(answered, 6, "every pre-shutdown request was answered");
+}

@@ -103,3 +103,53 @@ impl GraphView for KnowledgeGraph {
         KnowledgeGraph::top_intents(self, head, k)
     }
 }
+
+/// Shared-ownership views serve like their referent: the HTTP front end
+/// and other long-lived services hold `Arc<KgSnapshot>` and want to pass
+/// it straight to `GraphView`-generic consumers (navigation, feature
+/// computation) without re-borrowing games.
+impl<G: GraphView> GraphView for std::sync::Arc<G> {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+
+    fn find_node(&self, kind: NodeKind, text: &str) -> Option<NodeId> {
+        (**self).find_node(kind, text)
+    }
+
+    fn node_kind(&self, id: NodeId) -> NodeKind {
+        (**self).node_kind(id)
+    }
+
+    fn node_text(&self, id: NodeId) -> &str {
+        (**self).node_text(id)
+    }
+
+    fn out_degree(&self, id: NodeId) -> usize {
+        (**self).out_degree(id)
+    }
+
+    fn in_degree(&self, id: NodeId) -> usize {
+        (**self).in_degree(id)
+    }
+
+    fn tails_of(&self, head: NodeId) -> impl Iterator<Item = &Edge> {
+        (**self).tails_of(head)
+    }
+
+    fn tails_of_rel(&self, head: NodeId, relation: Relation) -> impl Iterator<Item = &Edge> {
+        (**self).tails_of_rel(head, relation)
+    }
+
+    fn heads_of(&self, tail: NodeId) -> impl Iterator<Item = &Edge> {
+        (**self).heads_of(tail)
+    }
+
+    fn top_intents(&self, head: NodeId, k: usize) -> Vec<&Edge> {
+        (**self).top_intents(head, k)
+    }
+}

@@ -1135,7 +1135,7 @@ mod tests {
             }
         }
         assert!(
-            reused.pooled_buffers() == 0 || reused.len() > 0,
+            reused.pooled_buffers() == 0 || !reused.is_empty(),
             "reused tape should be holding its buffers in nodes"
         );
         reused.reset();

@@ -39,6 +39,21 @@ pub enum CacheLayer {
     L2,
 }
 
+/// Outcome of a request-path cache lookup, including what happened to
+/// the query on a miss — the information the wire protocol's
+/// `status` field reports.
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// Served from the given layer.
+    Hit(Arc<StructuredFeatures>, CacheLayer),
+    /// Miss: the query is queued (or was already queued — dedupe) for
+    /// the next batch cycle.
+    MissEnqueued,
+    /// Miss: the shard's pending queue is full and
+    /// [`AdmissionPolicy::RejectNew`] refused the query.
+    MissRejected,
+}
+
 /// What to do with a new pending query when its shard's queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AdmissionPolicy {
@@ -155,6 +170,17 @@ struct PendingShard {
     members: FxHashSet<String>,
 }
 
+/// What the pending queue did with a missed query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EnqueueOutcome {
+    /// Added to the queue (possibly evicting the oldest entry).
+    Queued,
+    /// Already queued — the miss cost no slot.
+    Duplicate,
+    /// Refused by [`AdmissionPolicy::RejectNew`].
+    Rejected,
+}
+
 /// All mutable state owned by one shard.
 #[derive(Default)]
 struct Shard {
@@ -210,29 +236,41 @@ impl CacheStore {
 
     /// Request-path lookup: L1, then the query's L2 shard; on miss the
     /// query is queued (deduplicated, bounded) for the next batch cycle
-    /// and `None` returns immediately.
-    pub fn get(&self, query: &str) -> Option<(Arc<StructuredFeatures>, CacheLayer)> {
+    /// and the admission outcome is reported — the request path never
+    /// blocks on model inference.
+    pub fn lookup(&self, query: &str) -> CacheLookup {
         if let Some(f) = self.l1.read().get(query) {
             self.metrics.l1_hits.fetch_add(1, Ordering::Relaxed);
-            return Some((f.clone(), CacheLayer::L1));
+            return CacheLookup::Hit(f.clone(), CacheLayer::L1);
         }
         let shard = self.shard_of(query);
         if let Some(f) = shard.l2.read().map.get(query) {
             self.metrics.l2_hits.fetch_add(1, Ordering::Relaxed);
             *shard.hits.lock().entry(query.to_string()).or_insert(0) += 1;
-            return Some((f.clone(), CacheLayer::L2));
+            return CacheLookup::Hit(f.clone(), CacheLayer::L2);
         }
         self.metrics.misses.fetch_add(1, Ordering::Relaxed);
-        self.enqueue(shard, query);
-        None
+        match self.enqueue(shard, query) {
+            EnqueueOutcome::Queued | EnqueueOutcome::Duplicate => CacheLookup::MissEnqueued,
+            EnqueueOutcome::Rejected => CacheLookup::MissRejected,
+        }
     }
 
-    /// Enqueue a missed query subject to dedupe and admission. Returns
-    /// true when the query was added (false: duplicate or rejected).
-    fn enqueue(&self, shard: &Shard, query: &str) -> bool {
+    /// [`CacheStore::lookup`] flattened to an `Option` for callers that
+    /// do not care whether a miss was enqueued or rejected.
+    pub fn get(&self, query: &str) -> Option<(Arc<StructuredFeatures>, CacheLayer)> {
+        match self.lookup(query) {
+            CacheLookup::Hit(f, layer) => Some((f, layer)),
+            CacheLookup::MissEnqueued | CacheLookup::MissRejected => None,
+        }
+    }
+
+    /// Enqueue a missed query subject to dedupe and admission.
+    fn enqueue(&self, shard: &Shard, query: &str) -> EnqueueOutcome {
         let mut pending = shard.pending.lock();
         if pending.members.contains(query) {
-            return false; // already queued: N identical misses cost one slot
+            // already queued: N identical misses cost one slot
+            return EnqueueOutcome::Duplicate;
         }
         if pending.queue.len() >= self.pending_bound_per_shard {
             match self.admission {
@@ -245,14 +283,14 @@ impl CacheStore {
                 }
                 AdmissionPolicy::RejectNew => {
                     self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                    return false;
+                    return EnqueueOutcome::Rejected;
                 }
             }
         }
         pending.queue.push_back(query.to_string());
         pending.members.insert(query.to_string());
         self.metrics.note_enqueued();
-        true
+        EnqueueOutcome::Queued
     }
 
     /// Put queries back on the queue (used when a batch chunk fails);
@@ -260,7 +298,7 @@ impl CacheStore {
     pub fn requeue(&self, queries: &[String]) -> usize {
         queries
             .iter()
-            .filter(|q| self.enqueue(self.shard_of(q), q))
+            .filter(|q| matches!(self.enqueue(self.shard_of(q), q), EnqueueOutcome::Queued))
             .count()
     }
 
@@ -477,6 +515,27 @@ mod tests {
         assert_eq!(cache.metrics.dropped.load(Ordering::Relaxed), 0);
         // the first three keep their slots
         assert_eq!(cache.drain_pending(10), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn lookup_reports_admission_outcome() {
+        let cfg = CacheConfig {
+            shards: 1,
+            pending_bound: 1,
+            admission: AdmissionPolicy::RejectNew,
+            ..CacheConfig::default()
+        };
+        let cache = CacheStore::new(vec![feat("hot")], cfg);
+        assert!(matches!(
+            cache.lookup("hot"),
+            CacheLookup::Hit(_, CacheLayer::L1)
+        ));
+        assert!(matches!(cache.lookup("a"), CacheLookup::MissEnqueued));
+        // duplicate miss of a queued query still reports enqueued
+        assert!(matches!(cache.lookup("a"), CacheLookup::MissEnqueued));
+        // queue full: a new query is rejected
+        assert!(matches!(cache.lookup("b"), CacheLookup::MissRejected));
+        assert_eq!(cache.metrics.rejected.load(Ordering::Relaxed), 1);
     }
 
     #[test]

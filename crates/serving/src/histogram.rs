@@ -113,6 +113,19 @@ impl LatencyRecorder {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// Non-empty buckets as `(lower_bound_us, count)`, ascending — the
+    /// full distribution in sparse form, as exported on the ops surface.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_lower_bound(idx), c))
+            })
+            .collect()
+    }
+
     /// Number of samples recorded since the last reset.
     pub fn len(&self) -> usize {
         self.count.load(Ordering::Relaxed) as usize
@@ -179,6 +192,24 @@ mod tests {
             let lb = bucket_lower_bound(idx);
             assert_eq!(bucket_index(lb), idx, "lower bound of {idx} maps back");
         }
+    }
+
+    #[test]
+    fn nonzero_buckets_are_sparse_and_sorted() {
+        let rec = LatencyRecorder::default();
+        for v in [3u64, 3, 7, 1_000] {
+            rec.record(v);
+        }
+        let buckets = rec.nonzero_buckets();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], (3, 2));
+        assert_eq!(buckets[1], (7, 1));
+        assert_eq!(buckets[2].1, 1);
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(
+            buckets.iter().map(|(_, c)| c).sum::<u64>() as usize,
+            rec.len()
+        );
     }
 
     #[test]

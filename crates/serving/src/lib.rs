@@ -18,7 +18,7 @@
 //! identical misses cost one slot, and an explicit [`AdmissionPolicy`]
 //! (drop-oldest or reject-new) decides what happens when the queue is
 //! full, with both outcomes surfaced in [`CacheMetrics`] and
-//! [`SystemSnapshot`]. Request latencies go into a fixed-bucket
+//! [`protocol::OpsStats`]. Request latencies go into a fixed-bucket
 //! log-scaled histogram ([`LatencyRecorder`]): O(1) lock-free record,
 //! O(buckets) percentile.
 //!
@@ -41,6 +41,15 @@
 //!     .build()?;
 //! ```
 //!
+//! ## Wire protocol
+//!
+//! The [`protocol`] module defines the typed request/response surface
+//! ([`ServeRequest`], [`ServeResponse`], [`OpsStats`], …) with a
+//! canonical std-only JSON encoding shared by the in-process path
+//! ([`ServingSystem::serve`] / [`ServingSystem::handle`]) and the
+//! `cosmo-http` network front end — both answer byte-identically for the
+//! same cache state.
+//!
 //! Design constraint carried over from the paper: the request path is
 //! cache-only and never blocks on model inference — a miss enqueues the
 //! query for the next batch cycle, which is what lets the deployment meet
@@ -52,16 +61,26 @@ pub mod cache;
 pub mod error;
 pub mod features;
 pub mod histogram;
+pub mod protocol;
 pub mod sim;
 pub mod system;
 pub mod views;
 
-pub use cache::{AdmissionPolicy, CacheConfig, CacheLayer, CacheMetrics, CacheStore};
+pub use cache::{AdmissionPolicy, CacheConfig, CacheLayer, CacheLookup, CacheMetrics, CacheStore};
 pub use error::ServingError;
 pub use features::{compute_features, FeatureStore, StructuredFeatures};
 pub use histogram::{bucket_index, LatencyRecorder};
+pub use protocol::{
+    ErrorBody, IntentItem, NavigateItem, NavigateRequest, NavigateResponse, OpsStats,
+    ProtocolError, ServeRequest, ServeResponse, ServeStatus, SnapshotVersion, OPS_VERSION,
+    PROTOCOL_VERSION,
+};
 pub use sim::{
     query_universe, simulate, simulate_concurrent, DayReport, ThroughputReport, TrafficConfig,
 };
-pub use system::{ServeResult, ServingConfig, ServingSystem, ServingSystemBuilder, SystemSnapshot};
-pub use views::{navigation_view, ops_view, recommendation_view, relevance_view};
+#[allow(deprecated)] // deprecated shim stays importable until call sites finish migrating
+pub use system::SystemSnapshot;
+pub use system::{ServeResult, Served, ServingConfig, ServingSystem, ServingSystemBuilder};
+#[allow(deprecated)] // deprecated shim stays importable until call sites finish migrating
+pub use views::ops_view;
+pub use views::{navigation_view, recommendation_view, relevance_view};

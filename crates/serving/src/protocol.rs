@@ -1,0 +1,1362 @@
+//! Typed wire protocol shared by the in-process serving path and the
+//! HTTP front end (`cosmo-http`).
+//!
+//! Every message the serving tier exchanges with a client has a typed
+//! struct here plus a hand-rolled, std-only JSON encoding:
+//!
+//! * [`ServeRequest`] / [`ServeResponse`] — `POST /v1/serve-intents` and
+//!   [`crate::ServingSystem::handle`];
+//! * [`NavigateRequest`] / [`NavigateResponse`] — `POST /v1/navigate`;
+//! * [`SnapshotVersion`] — `GET /v1/snapshot-version`;
+//! * [`OpsStats`] — the versioned operational schema returned by both
+//!   [`crate::ServingSystem::ops`] and `GET /ops/stats`;
+//! * [`ErrorBody`] — the body of every non-2xx protocol error.
+//!
+//! **Byte identity.** Encoding is canonical: fixed field order, no
+//! whitespace, shortest round-trip float formatting. The HTTP layer
+//! serialises the exact structs the in-process path returns, so for the
+//! same system state `POST /v1/serve-intents` answers byte-for-byte what
+//! `handle(ServeRequest).to_json()` produces (locked by a tier-1
+//! integration test in `cosmo-http`).
+//!
+//! **Versioning rules.** `protocol_version` / `ops_version` bump only on
+//! breaking changes (field removal, meaning change, reordering). Adding
+//! a field at the end of the canonical order is non-breaking: decoders
+//! here ignore unknown fields and fill defaulted ones. Responses always
+//! carry the version so clients can refuse what they do not speak.
+//!
+//! The decoder is a small recursive-descent JSON parser (strings with
+//! full escape/surrogate handling, numbers kept as raw text so `u64`
+//! counters and `f32` scores round-trip exactly, depth-capped). No
+//! external crates: the wire layer must stay std-only.
+
+use crate::cache::CacheLayer;
+use crate::features::StructuredFeatures;
+use std::fmt;
+
+/// Version of the request/response wire schema.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Version of the [`OpsStats`] schema.
+pub const OPS_VERSION: u32 = 1;
+
+/// Everything that can go wrong while decoding a protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The payload is not valid JSON (position, description).
+    Json(usize, String),
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A field is present but has the wrong type or an invalid value.
+    BadField(&'static str),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Json(pos, msg) => write!(f, "invalid json at byte {pos}: {msg}"),
+            ProtocolError::MissingField(name) => write!(f, "missing field `{name}`"),
+            ProtocolError::BadField(name) => write!(f, "invalid field `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+// ---------------------------------------------------------------------------
+// JSON: canonical encoder helpers + recursive-descent decoder.
+// ---------------------------------------------------------------------------
+
+/// Append a JSON string literal (with escapes) to `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append an `f32` in shortest round-trip form (Rust's `Display` emits the
+/// shortest decimal that parses back to the same bits).
+fn push_f32(out: &mut String, v: f32) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+        // `Display` prints integral floats without a decimal point; JSON
+        // numbers allow that, but keep the token unambiguous for readers.
+    } else {
+        // Scores and rates are always finite; clamp pathological values
+        // instead of emitting invalid JSON.
+        out.push('0');
+    }
+}
+
+/// Append an `f64` in shortest round-trip form.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push('0');
+    }
+}
+
+/// A parsed JSON value. Numbers keep their raw text so integer counters
+/// and float scores can be re-parsed at full precision by the accessor
+/// that knows the target type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw source text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing non-whitespace rejected).
+    pub fn parse(src: &str) -> Result<Json, ProtocolError> {
+        let bytes = src.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(ProtocolError::Json(p.pos, "trailing characters".into()));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `u64` accessor (re-parses the raw number text).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// `f32` accessor (re-parses the raw number text — bit-exact for
+    /// values produced by [`push_f32`]).
+    pub fn as_f32(&self) -> Option<f32> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// `f64` accessor.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum nesting depth the decoder accepts (the protocol needs 4).
+const MAX_DEPTH: usize = 32;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ProtocolError {
+        ProtocolError::Json(self.pos, msg.to_string())
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ProtocolError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ProtocolError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &'static str, v: Json) -> Result<Json, ProtocolError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ProtocolError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ProtocolError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ProtocolError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // surrogate pair: require \uXXXX low half
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(code)
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid code point"))?);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("raw control character")),
+                Some(_) => {
+                    // copy one UTF-8 code point (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction)
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| (b & 0xC0) == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ProtocolError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("invalid number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("invalid number fraction"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("invalid number exponent"));
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ascii")
+            .to_string();
+        Ok(Json::Num(raw))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field extraction helpers.
+// ---------------------------------------------------------------------------
+
+fn req_str(obj: &Json, name: &'static str) -> Result<String, ProtocolError> {
+    obj.get(name)
+        .ok_or(ProtocolError::MissingField(name))?
+        .as_str()
+        .map(str::to_string)
+        .ok_or(ProtocolError::BadField(name))
+}
+
+fn req_u64(obj: &Json, name: &'static str) -> Result<u64, ProtocolError> {
+    obj.get(name)
+        .ok_or(ProtocolError::MissingField(name))?
+        .as_u64()
+        .ok_or(ProtocolError::BadField(name))
+}
+
+fn opt_u64(obj: &Json, name: &'static str, default: u64) -> Result<u64, ProtocolError> {
+    match obj.get(name) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v.as_u64().ok_or(ProtocolError::BadField(name)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ServeRequest / ServeResponse.
+// ---------------------------------------------------------------------------
+
+/// A serve-intents request: the query plus how many intents to render.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeRequest {
+    /// The search query.
+    pub query: String,
+    /// Max intent key-value pairs rendered into the response.
+    pub top_k: usize,
+}
+
+/// Default intent count when the request does not specify one.
+pub const DEFAULT_TOP_K: usize = 5;
+
+impl ServeRequest {
+    /// A request with the default `top_k`.
+    pub fn new(query: impl Into<String>) -> Self {
+        ServeRequest {
+            query: query.into(),
+            top_k: DEFAULT_TOP_K,
+        }
+    }
+
+    /// Canonical JSON encoding.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"query\":");
+        push_json_str(&mut out, &self.query);
+        out.push_str(&format!(",\"top_k\":{}}}", self.top_k));
+        out
+    }
+
+    /// Decode from JSON (`query` required, `top_k` optional).
+    pub fn from_json(src: &str) -> Result<Self, ProtocolError> {
+        let v = Json::parse(src)?;
+        let query = req_str(&v, "query")?;
+        let top_k = opt_u64(&v, "top_k", DEFAULT_TOP_K as u64)? as usize;
+        Ok(ServeRequest { query, top_k })
+    }
+}
+
+/// How the request path answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeStatus {
+    /// Features served from the cache.
+    Hit,
+    /// Miss: the query is queued (or already queued) for the next
+    /// asynchronous batch cycle; retry shortly.
+    Enqueued,
+    /// Miss: the pending queue is full under
+    /// [`crate::AdmissionPolicy::RejectNew`] — the HTTP layer maps this
+    /// to `503` with `Retry-After`.
+    Rejected,
+}
+
+impl ServeStatus {
+    /// Wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServeStatus::Hit => "hit",
+            ServeStatus::Enqueued => "enqueued",
+            ServeStatus::Rejected => "rejected",
+        }
+    }
+
+    /// Parse a wire token.
+    pub fn parse(s: &str) -> Option<ServeStatus> {
+        match s {
+            "hit" => Some(ServeStatus::Hit),
+            "enqueued" => Some(ServeStatus::Enqueued),
+            "rejected" => Some(ServeStatus::Rejected),
+            _ => None,
+        }
+    }
+}
+
+/// One rendered intent key-value pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntentItem {
+    /// Relation name (e.g. `USED_FOR_FUNC`).
+    pub relation: String,
+    /// Intention tail text.
+    pub tail: String,
+    /// Serving-time score.
+    pub score: f32,
+}
+
+/// The serve-intents response. Deterministic for a given cache state —
+/// request latency is deliberately *not* part of the body (clients
+/// measure it; [`crate::ServeResult::latency_us`] carries it in-process),
+/// which is what makes the HTTP and in-process answers byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResponse {
+    /// Wire schema version ([`PROTOCOL_VERSION`]).
+    pub protocol_version: u32,
+    /// The query echoed back.
+    pub query: String,
+    /// How the request path answered.
+    pub status: ServeStatus,
+    /// Which cache layer answered (hits only).
+    pub layer: Option<CacheLayer>,
+    /// Model version serving this response.
+    pub model_version: u64,
+    /// Rendered intents, best first (hits only; capped at `top_k`).
+    pub intents: Vec<IntentItem>,
+    /// Detected strong intent (hits only).
+    pub strong_intent: Option<String>,
+}
+
+fn layer_str(layer: CacheLayer) -> &'static str {
+    match layer {
+        CacheLayer::L1 => "l1",
+        CacheLayer::L2 => "l2",
+    }
+}
+
+impl ServeResponse {
+    /// Response for a cache hit: render up to `top_k` intents.
+    pub fn for_hit(
+        req: &ServeRequest,
+        features: &StructuredFeatures,
+        layer: CacheLayer,
+        model_version: u64,
+    ) -> Self {
+        ServeResponse {
+            protocol_version: PROTOCOL_VERSION,
+            query: req.query.clone(),
+            status: ServeStatus::Hit,
+            layer: Some(layer),
+            model_version,
+            intents: features
+                .intents
+                .iter()
+                .take(req.top_k)
+                .map(|(rel, tail, score)| IntentItem {
+                    relation: rel.name().to_string(),
+                    tail: tail.clone(),
+                    score: *score,
+                })
+                .collect(),
+            strong_intent: features.strong_intent.clone(),
+        }
+    }
+
+    /// Response for a miss (enqueued or rejected).
+    pub fn for_miss(req: &ServeRequest, status: ServeStatus, model_version: u64) -> Self {
+        ServeResponse {
+            protocol_version: PROTOCOL_VERSION,
+            query: req.query.clone(),
+            status,
+            layer: None,
+            model_version,
+            intents: Vec::new(),
+            strong_intent: None,
+        }
+    }
+
+    /// Canonical JSON encoding (fixed field order, no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"protocol_version\":");
+        out.push_str(&self.protocol_version.to_string());
+        out.push_str(",\"query\":");
+        push_json_str(&mut out, &self.query);
+        out.push_str(",\"status\":\"");
+        out.push_str(self.status.as_str());
+        out.push_str("\",\"layer\":");
+        match self.layer {
+            Some(layer) => {
+                out.push('"');
+                out.push_str(layer_str(layer));
+                out.push('"');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"model_version\":");
+        out.push_str(&self.model_version.to_string());
+        out.push_str(",\"intents\":[");
+        for (i, item) in self.intents.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"relation\":");
+            push_json_str(&mut out, &item.relation);
+            out.push_str(",\"tail\":");
+            push_json_str(&mut out, &item.tail);
+            out.push_str(",\"score\":");
+            push_f32(&mut out, item.score);
+            out.push('}');
+        }
+        out.push_str("],\"strong_intent\":");
+        match &self.strong_intent {
+            Some(s) => push_json_str(&mut out, s),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(src: &str) -> Result<Self, ProtocolError> {
+        let v = Json::parse(src)?;
+        let status =
+            ServeStatus::parse(&req_str(&v, "status")?).ok_or(ProtocolError::BadField("status"))?;
+        let layer = match v.get("layer") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => match s.as_str() {
+                "l1" => Some(CacheLayer::L1),
+                "l2" => Some(CacheLayer::L2),
+                _ => return Err(ProtocolError::BadField("layer")),
+            },
+            Some(_) => return Err(ProtocolError::BadField("layer")),
+        };
+        let mut intents = Vec::new();
+        for item in v
+            .get("intents")
+            .ok_or(ProtocolError::MissingField("intents"))?
+            .as_arr()
+            .ok_or(ProtocolError::BadField("intents"))?
+        {
+            intents.push(IntentItem {
+                relation: req_str(item, "relation")?,
+                tail: req_str(item, "tail")?,
+                score: item
+                    .get("score")
+                    .ok_or(ProtocolError::MissingField("score"))?
+                    .as_f32()
+                    .ok_or(ProtocolError::BadField("score"))?,
+            });
+        }
+        let strong_intent = match v.get("strong_intent") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(ProtocolError::BadField("strong_intent")),
+        };
+        Ok(ServeResponse {
+            protocol_version: req_u64(&v, "protocol_version")? as u32,
+            query: req_str(&v, "query")?,
+            status,
+            layer,
+            model_version: req_u64(&v, "model_version")?,
+            intents,
+            strong_intent,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NavigateRequest / NavigateResponse.
+// ---------------------------------------------------------------------------
+
+/// A navigation request: broad query plus suggestion count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NavigateRequest {
+    /// The broad query to interpret.
+    pub query: String,
+    /// Max suggestions returned.
+    pub k: usize,
+}
+
+/// Default suggestion count.
+pub const DEFAULT_NAV_K: usize = 5;
+
+impl NavigateRequest {
+    /// A request with the default `k`.
+    pub fn new(query: impl Into<String>) -> Self {
+        NavigateRequest {
+            query: query.into(),
+            k: DEFAULT_NAV_K,
+        }
+    }
+
+    /// Canonical JSON encoding.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"query\":");
+        push_json_str(&mut out, &self.query);
+        out.push_str(&format!(",\"k\":{}}}", self.k));
+        out
+    }
+
+    /// Decode from JSON (`query` required, `k` optional).
+    pub fn from_json(src: &str) -> Result<Self, ProtocolError> {
+        let v = Json::parse(src)?;
+        Ok(NavigateRequest {
+            query: req_str(&v, "query")?,
+            k: opt_u64(&v, "k", DEFAULT_NAV_K as u64)? as usize,
+        })
+    }
+}
+
+/// One navigation suggestion on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NavigateItem {
+    /// Suggestion kind: `intent`, `product_type`, or `attribute`.
+    pub kind: String,
+    /// Display label.
+    pub label: String,
+}
+
+/// The navigation response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NavigateResponse {
+    /// Wire schema version ([`PROTOCOL_VERSION`]).
+    pub protocol_version: u32,
+    /// The query echoed back.
+    pub query: String,
+    /// Ranked suggestions.
+    pub suggestions: Vec<NavigateItem>,
+}
+
+impl NavigateResponse {
+    /// Canonical JSON encoding.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"protocol_version\":");
+        out.push_str(&self.protocol_version.to_string());
+        out.push_str(",\"query\":");
+        push_json_str(&mut out, &self.query);
+        out.push_str(",\"suggestions\":[");
+        for (i, s) in self.suggestions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"kind\":");
+            push_json_str(&mut out, &s.kind);
+            out.push_str(",\"label\":");
+            push_json_str(&mut out, &s.label);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(src: &str) -> Result<Self, ProtocolError> {
+        let v = Json::parse(src)?;
+        let mut suggestions = Vec::new();
+        for item in v
+            .get("suggestions")
+            .ok_or(ProtocolError::MissingField("suggestions"))?
+            .as_arr()
+            .ok_or(ProtocolError::BadField("suggestions"))?
+        {
+            suggestions.push(NavigateItem {
+                kind: req_str(item, "kind")?,
+                label: req_str(item, "label")?,
+            });
+        }
+        Ok(NavigateResponse {
+            protocol_version: req_u64(&v, "protocol_version")? as u32,
+            query: req_str(&v, "query")?,
+            suggestions,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotVersion.
+// ---------------------------------------------------------------------------
+
+/// Identity of the frozen KG snapshot a server is answering from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotVersion {
+    /// Wire schema version ([`PROTOCOL_VERSION`]).
+    pub protocol_version: u32,
+    /// Binary snapshot format version (`cosmo_kg::snapshot::FORMAT_VERSION`).
+    pub format_version: u32,
+    /// Node count.
+    pub nodes: u64,
+    /// Merged edge count.
+    pub edges: u64,
+    /// Distinct relation types.
+    pub relations: u64,
+    /// Interned text arena size in bytes.
+    pub arena_bytes: u64,
+    /// Serving model version (increments per daily refresh).
+    pub model_version: u64,
+}
+
+impl SnapshotVersion {
+    /// Canonical JSON encoding.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"protocol_version\":{},\"format_version\":{},\"nodes\":{},\"edges\":{},\
+             \"relations\":{},\"arena_bytes\":{},\"model_version\":{}}}",
+            self.protocol_version,
+            self.format_version,
+            self.nodes,
+            self.edges,
+            self.relations,
+            self.arena_bytes,
+            self.model_version
+        )
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(src: &str) -> Result<Self, ProtocolError> {
+        let v = Json::parse(src)?;
+        Ok(SnapshotVersion {
+            protocol_version: req_u64(&v, "protocol_version")? as u32,
+            format_version: req_u64(&v, "format_version")? as u32,
+            nodes: req_u64(&v, "nodes")?,
+            edges: req_u64(&v, "edges")?,
+            relations: req_u64(&v, "relations")?,
+            arena_bytes: req_u64(&v, "arena_bytes")?,
+            model_version: req_u64(&v, "model_version")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OpsStats.
+// ---------------------------------------------------------------------------
+
+/// The versioned operational schema: one struct covering everything the
+/// old `SystemSnapshot` + `ops_view` pair exposed, plus queue shard
+/// depths, raw hit/miss counters, and the latency histogram itself.
+/// Returned by [`crate::ServingSystem::ops`] and `GET /ops/stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpsStats {
+    /// Ops schema version ([`OPS_VERSION`]).
+    pub ops_version: u32,
+    /// Current model version.
+    pub model_version: u64,
+    /// Entries in the pre-loaded L1 layer.
+    pub l1_size: usize,
+    /// Entries in the daily L2 layer (all shards).
+    pub l2_size: usize,
+    /// Per-shard L2 entry counts.
+    pub l2_shard_sizes: Vec<usize>,
+    /// Distinct queries queued for the next batch cycle.
+    pub pending: usize,
+    /// Per-shard pending-queue depths.
+    pub pending_shard_depths: Vec<usize>,
+    /// Peak queue depth since the last metrics reset.
+    pub queue_high_water: usize,
+    /// Pending entries evicted under drop-oldest admission.
+    pub dropped: u64,
+    /// Pending enqueues refused under reject-new admission.
+    pub rejected: u64,
+    /// Batch-worker chunks that panicked (queries were re-queued).
+    pub batch_failed_chunks: u64,
+    /// L1 hits since the last reset.
+    pub l1_hits: u64,
+    /// L2 hits since the last reset.
+    pub l2_hits: u64,
+    /// Misses since the last reset.
+    pub misses: u64,
+    /// Cumulative cache hit rate.
+    pub hit_rate: f64,
+    /// p50 request latency (µs).
+    pub p50_us: u64,
+    /// p99 request latency (µs).
+    pub p99_us: u64,
+    /// Latency samples recorded since the last reset.
+    pub latency_count: u64,
+    /// Non-empty latency histogram buckets as `(lower_bound_us, count)`.
+    pub latency_buckets: Vec<(u64, u64)>,
+    /// Feature-store size.
+    pub features: usize,
+}
+
+impl OpsStats {
+    /// Canonical JSON encoding.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"ops_version\":");
+        out.push_str(&self.ops_version.to_string());
+        out.push_str(&format!(",\"model_version\":{}", self.model_version));
+        out.push_str(&format!(",\"l1_size\":{}", self.l1_size));
+        out.push_str(&format!(",\"l2_size\":{}", self.l2_size));
+        out.push_str(",\"l2_shard_sizes\":[");
+        for (i, s) in self.l2_shard_sizes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_string());
+        }
+        out.push_str(&format!("],\"pending\":{}", self.pending));
+        out.push_str(",\"pending_shard_depths\":[");
+        for (i, s) in self.pending_shard_depths.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_string());
+        }
+        out.push_str(&format!("],\"queue_high_water\":{}", self.queue_high_water));
+        out.push_str(&format!(",\"dropped\":{}", self.dropped));
+        out.push_str(&format!(",\"rejected\":{}", self.rejected));
+        out.push_str(&format!(
+            ",\"batch_failed_chunks\":{}",
+            self.batch_failed_chunks
+        ));
+        out.push_str(&format!(",\"l1_hits\":{}", self.l1_hits));
+        out.push_str(&format!(",\"l2_hits\":{}", self.l2_hits));
+        out.push_str(&format!(",\"misses\":{}", self.misses));
+        out.push_str(",\"hit_rate\":");
+        push_f64(&mut out, self.hit_rate);
+        out.push_str(&format!(",\"p50_us\":{}", self.p50_us));
+        out.push_str(&format!(",\"p99_us\":{}", self.p99_us));
+        out.push_str(&format!(",\"latency_count\":{}", self.latency_count));
+        out.push_str(",\"latency_buckets\":[");
+        for (i, (lo, n)) in self.latency_buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{lo},{n}]"));
+        }
+        out.push_str(&format!("],\"features\":{}}}", self.features));
+        out
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(src: &str) -> Result<Self, ProtocolError> {
+        let v = Json::parse(src)?;
+        let usize_arr = |name: &'static str| -> Result<Vec<usize>, ProtocolError> {
+            v.get(name)
+                .ok_or(ProtocolError::MissingField(name))?
+                .as_arr()
+                .ok_or(ProtocolError::BadField(name))?
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .map(|u| u as usize)
+                        .ok_or(ProtocolError::BadField(name))
+                })
+                .collect()
+        };
+        let mut latency_buckets = Vec::new();
+        for pair in v
+            .get("latency_buckets")
+            .ok_or(ProtocolError::MissingField("latency_buckets"))?
+            .as_arr()
+            .ok_or(ProtocolError::BadField("latency_buckets"))?
+        {
+            let pair = pair
+                .as_arr()
+                .ok_or(ProtocolError::BadField("latency_buckets"))?;
+            let [lo, n] = pair else {
+                return Err(ProtocolError::BadField("latency_buckets"));
+            };
+            latency_buckets.push((
+                lo.as_u64()
+                    .ok_or(ProtocolError::BadField("latency_buckets"))?,
+                n.as_u64()
+                    .ok_or(ProtocolError::BadField("latency_buckets"))?,
+            ));
+        }
+        Ok(OpsStats {
+            ops_version: req_u64(&v, "ops_version")? as u32,
+            model_version: req_u64(&v, "model_version")?,
+            l1_size: req_u64(&v, "l1_size")? as usize,
+            l2_size: req_u64(&v, "l2_size")? as usize,
+            l2_shard_sizes: usize_arr("l2_shard_sizes")?,
+            pending: req_u64(&v, "pending")? as usize,
+            pending_shard_depths: usize_arr("pending_shard_depths")?,
+            queue_high_water: req_u64(&v, "queue_high_water")? as usize,
+            dropped: req_u64(&v, "dropped")?,
+            rejected: req_u64(&v, "rejected")?,
+            batch_failed_chunks: req_u64(&v, "batch_failed_chunks")?,
+            l1_hits: req_u64(&v, "l1_hits")?,
+            l2_hits: req_u64(&v, "l2_hits")?,
+            misses: req_u64(&v, "misses")?,
+            hit_rate: v
+                .get("hit_rate")
+                .ok_or(ProtocolError::MissingField("hit_rate"))?
+                .as_f64()
+                .ok_or(ProtocolError::BadField("hit_rate"))?,
+            p50_us: req_u64(&v, "p50_us")?,
+            p99_us: req_u64(&v, "p99_us")?,
+            latency_count: req_u64(&v, "latency_count")?,
+            latency_buckets,
+            features: req_u64(&v, "features")? as usize,
+        })
+    }
+
+    /// Operator-facing one-line summary (the format the retired
+    /// `ops_view` printed, so dashboards keep scraping unchanged).
+    pub fn render(&self) -> String {
+        let shard_spread = self
+            .l2_shard_sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        format!(
+            "cache l1={} l2={} (shards {shard_spread}) | queue pending={} hwm={} \
+             dropped={} rejected={} | batch failed_chunks={} | hit_rate={:.3} \
+             p50={}us p99={}us | features={} model=v{}",
+            self.l1_size,
+            self.l2_size,
+            self.pending,
+            self.queue_high_water,
+            self.dropped,
+            self.rejected,
+            self.batch_failed_chunks,
+            self.hit_rate,
+            self.p50_us,
+            self.p99_us,
+            self.features,
+            self.model_version,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ErrorBody.
+// ---------------------------------------------------------------------------
+
+/// Body of every non-2xx protocol error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorBody {
+    /// Stable machine-readable error token (e.g. `bad_request`).
+    pub error: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl ErrorBody {
+    /// Build an error body.
+    pub fn new(error: impl Into<String>, detail: impl Into<String>) -> Self {
+        ErrorBody {
+            error: error.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Canonical JSON encoding.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"error\":");
+        push_json_str(&mut out, &self.error);
+        out.push_str(",\"detail\":");
+        push_json_str(&mut out, &self.detail);
+        out.push('}');
+        out
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(src: &str) -> Result<Self, ProtocolError> {
+        let v = Json::parse(src)?;
+        Ok(ErrorBody {
+            error: req_str(&v, "error")?,
+            detail: req_str(&v, "detail")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_request_golden_round_trip() {
+        let req = ServeRequest {
+            query: "winter \"camping\" \\ gear".into(),
+            top_k: 3,
+        };
+        let s = req.to_json();
+        assert_eq!(s, r#"{"query":"winter \"camping\" \\ gear","top_k":3}"#);
+        assert_eq!(ServeRequest::from_json(&s).unwrap(), req);
+        // top_k defaults when absent
+        let d = ServeRequest::from_json(r#"{"query":"camping"}"#).unwrap();
+        assert_eq!(d.top_k, DEFAULT_TOP_K);
+    }
+
+    #[test]
+    fn serve_response_golden_round_trip() {
+        let resp = ServeResponse {
+            protocol_version: PROTOCOL_VERSION,
+            query: "camping".into(),
+            status: ServeStatus::Hit,
+            layer: Some(CacheLayer::L1),
+            model_version: 2,
+            intents: vec![
+                IntentItem {
+                    relation: "USED_FOR_EVE".into(),
+                    tail: "sleeping outdoors".into(),
+                    score: 0.9,
+                },
+                IntentItem {
+                    relation: "CAPABLE_OF".into(),
+                    tail: "keeping warm".into(),
+                    score: 0.625,
+                },
+            ],
+            strong_intent: Some("sleeping outdoors".into()),
+        };
+        let s = resp.to_json();
+        assert_eq!(
+            s,
+            "{\"protocol_version\":1,\"query\":\"camping\",\"status\":\"hit\",\
+             \"layer\":\"l1\",\"model_version\":2,\"intents\":[\
+             {\"relation\":\"USED_FOR_EVE\",\"tail\":\"sleeping outdoors\",\"score\":0.9},\
+             {\"relation\":\"CAPABLE_OF\",\"tail\":\"keeping warm\",\"score\":0.625}],\
+             \"strong_intent\":\"sleeping outdoors\"}"
+        );
+        assert_eq!(ServeResponse::from_json(&s).unwrap(), resp);
+    }
+
+    #[test]
+    fn serve_response_miss_and_rejected_round_trip() {
+        for status in [ServeStatus::Enqueued, ServeStatus::Rejected] {
+            let resp = ServeResponse::for_miss(&ServeRequest::new("q"), status, 1);
+            let s = resp.to_json();
+            assert!(s.contains(&format!("\"status\":\"{}\"", status.as_str())));
+            assert!(s.contains("\"layer\":null"));
+            assert_eq!(ServeResponse::from_json(&s).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn scores_round_trip_bitwise() {
+        // shortest round-trip formatting: parse(format(x)) == x bitwise
+        for bits in [0x3F00_0000u32, 0x3E99_999A, 0x0000_0001, 0x7F7F_FFFF] {
+            let score = f32::from_bits(bits);
+            let resp = ServeResponse {
+                protocol_version: 1,
+                query: "q".into(),
+                status: ServeStatus::Hit,
+                layer: Some(CacheLayer::L2),
+                model_version: 1,
+                intents: vec![IntentItem {
+                    relation: "USED_FOR_FUNC".into(),
+                    tail: "t".into(),
+                    score,
+                }],
+                strong_intent: None,
+            };
+            let back = ServeResponse::from_json(&resp.to_json()).unwrap();
+            assert_eq!(back.intents[0].score.to_bits(), score.to_bits());
+        }
+    }
+
+    #[test]
+    fn navigate_golden_round_trip() {
+        let req = NavigateRequest {
+            query: "camping".into(),
+            k: 4,
+        };
+        assert_eq!(req.to_json(), r#"{"query":"camping","k":4}"#);
+        assert_eq!(NavigateRequest::from_json(&req.to_json()).unwrap(), req);
+
+        let resp = NavigateResponse {
+            protocol_version: PROTOCOL_VERSION,
+            query: "camping".into(),
+            suggestions: vec![
+                NavigateItem {
+                    kind: "intent".into(),
+                    label: "winter camping".into(),
+                },
+                NavigateItem {
+                    kind: "product_type".into(),
+                    label: "air mattress".into(),
+                },
+            ],
+        };
+        let s = resp.to_json();
+        assert_eq!(
+            s,
+            "{\"protocol_version\":1,\"query\":\"camping\",\"suggestions\":[\
+             {\"kind\":\"intent\",\"label\":\"winter camping\"},\
+             {\"kind\":\"product_type\",\"label\":\"air mattress\"}]}"
+        );
+        assert_eq!(NavigateResponse::from_json(&s).unwrap(), resp);
+    }
+
+    #[test]
+    fn snapshot_version_golden_round_trip() {
+        let sv = SnapshotVersion {
+            protocol_version: 1,
+            format_version: 1,
+            nodes: 6_300_000,
+            edges: 29_000_000,
+            relations: 15,
+            arena_bytes: 123_456_789,
+            model_version: 3,
+        };
+        let s = sv.to_json();
+        assert_eq!(
+            s,
+            "{\"protocol_version\":1,\"format_version\":1,\"nodes\":6300000,\
+             \"edges\":29000000,\"relations\":15,\"arena_bytes\":123456789,\
+             \"model_version\":3}"
+        );
+        assert_eq!(SnapshotVersion::from_json(&s).unwrap(), sv);
+    }
+
+    #[test]
+    fn ops_stats_round_trip_and_render() {
+        let ops = OpsStats {
+            ops_version: OPS_VERSION,
+            model_version: 3,
+            l1_size: 10,
+            l2_size: 7,
+            l2_shard_sizes: vec![3, 4],
+            pending: 2,
+            pending_shard_depths: vec![1, 1],
+            queue_high_water: 9,
+            dropped: 5,
+            rejected: 1,
+            batch_failed_chunks: 0,
+            l1_hits: 12,
+            l2_hits: 2,
+            misses: 2,
+            hit_rate: 0.875,
+            p50_us: 12,
+            p99_us: 340,
+            latency_count: 16,
+            latency_buckets: vec![(12, 14), (336, 2)],
+            features: 17,
+        };
+        let s = ops.to_json();
+        assert_eq!(OpsStats::from_json(&s).unwrap(), ops);
+        // the render line keeps the old ops_view shape
+        let line = ops.render();
+        for token in [
+            "l1=10",
+            "shards 3/4",
+            "pending=2",
+            "hwm=9",
+            "dropped=5",
+            "rejected=1",
+            "hit_rate=0.875",
+            "p50=12us",
+            "model=v3",
+        ] {
+            assert!(line.contains(token), "missing {token} in {line}");
+        }
+    }
+
+    #[test]
+    fn error_body_round_trip() {
+        let e = ErrorBody::new("bad_request", "invalid field `query`");
+        assert_eq!(
+            e.to_json(),
+            r#"{"error":"bad_request","detail":"invalid field `query`"}"#
+        );
+        assert_eq!(ErrorBody::from_json(&e.to_json()).unwrap(), e);
+    }
+
+    #[test]
+    fn decoder_tolerates_whitespace_and_unknown_fields() {
+        let src = "\n{\t\"query\" : \"camping\" ,\n  \"top_k\": 2, \"future_field\": [1, {\"x\": null}] }";
+        let req = ServeRequest::from_json(src).unwrap();
+        assert_eq!(req.query, "camping");
+        assert_eq!(req.top_k, 2);
+    }
+
+    #[test]
+    fn decoder_handles_escapes_and_surrogates() {
+        let v = Json::parse(r#""a\u00e9b \ud83d\ude00 \n\t\\""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "aéb 😀 \n\t\\");
+        // encoder round-trips non-ascii text verbatim
+        let mut out = String::new();
+        push_json_str(&mut out, "aéb 😀");
+        assert_eq!(Json::parse(&out).unwrap().as_str().unwrap(), "aéb 😀");
+    }
+
+    #[test]
+    fn decoder_rejects_malformed_payloads() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1,2",
+            "\"unterminated",
+            "{\"a\": 01e}",
+            "nul",
+            "{\"a\":1} trailing",
+            "\"\\ud800\"",
+            "\"\\q\"",
+            "{\"a\":--1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed: {bad:?}");
+        }
+        // depth bomb is rejected, not a stack overflow
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn numbers_preserve_u64_precision() {
+        let v = Json::parse("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        let v = Json::parse("1.5e3").unwrap();
+        assert_eq!(v.as_f64(), Some(1500.0));
+    }
+
+    #[test]
+    fn bad_typed_fields_are_reported() {
+        assert_eq!(
+            ServeRequest::from_json("{}").unwrap_err(),
+            ProtocolError::MissingField("query")
+        );
+        assert_eq!(
+            ServeRequest::from_json(r#"{"query": 7}"#).unwrap_err(),
+            ProtocolError::BadField("query")
+        );
+        assert_eq!(
+            ServeResponse::from_json(r#"{"protocol_version":1,"query":"q","status":"nope"}"#)
+                .unwrap_err(),
+            ProtocolError::BadField("status")
+        );
+    }
+}

@@ -31,10 +31,11 @@
 //!     .build()?;
 //! ```
 
-use crate::cache::{AdmissionPolicy, CacheConfig, CacheLayer, CacheStore};
+use crate::cache::{AdmissionPolicy, CacheConfig, CacheLayer, CacheLookup, CacheStore};
 use crate::error::ServingError;
 use crate::features::{compute_features, FeatureStore, StructuredFeatures};
 pub use crate::histogram::LatencyRecorder;
+use crate::protocol::{OpsStats, ServeRequest, ServeResponse, ServeStatus, OPS_VERSION};
 use cosmo_exec::{ChunkResult, WorkerPool};
 use cosmo_kg::{KgSnapshot, KnowledgeGraph};
 use cosmo_lm::CosmoLm;
@@ -119,8 +120,27 @@ pub struct ServeResult {
     pub latency_us: u64,
 }
 
+/// A typed request answered in-process: the wire-identical
+/// [`ServeResponse`] plus the in-process extras (the full feature object
+/// and the measured latency) that deliberately stay off the wire.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The response, exactly as the HTTP front end would serialise it.
+    pub response: ServeResponse,
+    /// The full cached features on a hit (in-process callers get the
+    /// whole object, not just the rendered intents).
+    pub features: Option<Arc<StructuredFeatures>>,
+    /// Request-path latency in microseconds (measured, not part of the
+    /// response body — that is what keeps the body deterministic).
+    pub latency_us: u64,
+}
+
 /// One operational snapshot of the serving system (the quantities an ops
 /// dashboard for Figure 5 would chart).
+#[deprecated(
+    since = "0.6.0",
+    note = "use the versioned `protocol::OpsStats` returned by `ServingSystem::ops()`"
+)]
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemSnapshot {
     /// Entries in the pre-loaded L1 layer.
@@ -315,23 +335,50 @@ impl ServingSystem {
         &self.cfg
     }
 
-    /// Request path: cache-only, never blocks on model inference.
-    pub fn handle_request(&self, query: &str) -> ServeResult {
+    /// Typed request path: cache-only, never blocks on model inference.
+    ///
+    /// This is the single entry point both surfaces share — the HTTP
+    /// front end serialises [`Served::response`] verbatim, so network
+    /// and in-process callers get byte-identical answers for the same
+    /// cache state.
+    pub fn serve(&self, req: &ServeRequest) -> Served {
         let start = Instant::now();
-        let hit = self.cache.get(query);
+        let lookup = self.cache.lookup(&req.query);
         let latency_us = start.elapsed().as_micros() as u64;
         self.latency.record(latency_us);
-        match hit {
-            Some((f, layer)) => ServeResult {
+        let model_version = self.model_version();
+        match lookup {
+            CacheLookup::Hit(f, layer) => Served {
+                response: ServeResponse::for_hit(req, &f, layer, model_version),
                 features: Some(f),
-                layer: Some(layer),
                 latency_us,
             },
-            None => ServeResult {
+            CacheLookup::MissEnqueued => Served {
+                response: ServeResponse::for_miss(req, ServeStatus::Enqueued, model_version),
                 features: None,
-                layer: None,
                 latency_us,
             },
+            CacheLookup::MissRejected => Served {
+                response: ServeResponse::for_miss(req, ServeStatus::Rejected, model_version),
+                features: None,
+                latency_us,
+            },
+        }
+    }
+
+    /// [`ServingSystem::serve`] reduced to the wire response.
+    pub fn handle(&self, req: &ServeRequest) -> ServeResponse {
+        self.serve(req).response
+    }
+
+    /// Untyped request path, kept for callers that only have a query
+    /// string: a thin wrapper over [`ServingSystem::serve`].
+    pub fn handle_request(&self, query: &str) -> ServeResult {
+        let served = self.serve(&ServeRequest::new(query));
+        ServeResult {
+            layer: served.response.layer,
+            features: served.features,
+            latency_us: served.latency_us,
         }
     }
 
@@ -397,23 +444,61 @@ impl ServingSystem {
         self.model_version.load(Ordering::Relaxed)
     }
 
-    /// Operational snapshot for dashboards/alerts.
-    pub fn snapshot(&self) -> SystemSnapshot {
+    /// The versioned operational stats schema: everything the ops
+    /// dashboard charts, identical between in-process callers and
+    /// `GET /ops/stats` on the HTTP front end.
+    pub fn ops(&self) -> OpsStats {
         let (l1_size, l2_size) = self.cache.sizes();
-        SystemSnapshot {
+        OpsStats {
+            ops_version: OPS_VERSION,
+            model_version: self.model_version(),
             l1_size,
             l2_size,
             l2_shard_sizes: self.cache.l2_shard_sizes(),
             pending: self.cache.pending_len(),
+            pending_shard_depths: self.cache.pending_shard_sizes(),
             queue_high_water: self.cache.metrics.pending_high_water(),
             dropped: self.cache.metrics.dropped.load(Ordering::Relaxed),
             rejected: self.cache.metrics.rejected.load(Ordering::Relaxed),
             batch_failed_chunks: self.batch_failed_chunks.load(Ordering::Relaxed),
+            l1_hits: self.cache.metrics.l1_hits.load(Ordering::Relaxed),
+            l2_hits: self.cache.metrics.l2_hits.load(Ordering::Relaxed),
+            misses: self.cache.metrics.misses.load(Ordering::Relaxed),
             hit_rate: self.cache.metrics.hit_rate(),
             p50_us: self.latency.percentile(0.5),
             p99_us: self.latency.percentile(0.99),
+            latency_count: self.latency.len() as u64,
+            latency_buckets: self.latency.nonzero_buckets(),
             features: self.features.len(),
-            model_version: self.model_version(),
+        }
+    }
+
+    /// The frozen knowledge-graph snapshot this system answers from
+    /// (used by the HTTP front end for `GET /v1/snapshot-version` and to
+    /// build its navigation engine over the same graph).
+    pub fn kg_snapshot(&self) -> &Arc<KgSnapshot> {
+        &self.kg
+    }
+
+    /// Operational snapshot for dashboards/alerts.
+    #[deprecated(since = "0.6.0", note = "use `ServingSystem::ops()`")]
+    #[allow(deprecated)] // the deprecated shim must mention its own deprecated return type
+    pub fn snapshot(&self) -> SystemSnapshot {
+        let ops = self.ops();
+        SystemSnapshot {
+            l1_size: ops.l1_size,
+            l2_size: ops.l2_size,
+            l2_shard_sizes: ops.l2_shard_sizes,
+            pending: ops.pending,
+            queue_high_water: ops.queue_high_water,
+            dropped: ops.dropped,
+            rejected: ops.rejected,
+            batch_failed_chunks: ops.batch_failed_chunks,
+            hit_rate: ops.hit_rate,
+            p50_us: ops.p50_us,
+            p99_us: ops.p99_us,
+            features: ops.features,
+            model_version: ops.model_version,
         }
     }
 
@@ -504,23 +589,89 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_reflects_state() {
+    fn ops_reflects_state() {
+        let sys = system(&["hot"]);
+        let _ = sys.handle_request("hot");
+        let _ = sys.handle_request("cold");
+        let ops = sys.ops();
+        assert_eq!(ops.ops_version, OPS_VERSION);
+        assert_eq!(ops.l1_size, 1);
+        assert_eq!(ops.pending, 1);
+        assert_eq!(ops.pending_shard_depths.iter().sum::<usize>(), 1);
+        assert_eq!(ops.queue_high_water, 1);
+        assert_eq!((ops.l1_hits, ops.l2_hits, ops.misses), (1, 0, 1));
+        assert!((ops.hit_rate - 0.5).abs() < 1e-9);
+        assert_eq!(ops.model_version, 1);
+        assert_eq!(ops.dropped + ops.rejected, 0);
+        assert_eq!(ops.latency_count, 2);
+        assert_eq!(
+            ops.latency_buckets.iter().map(|(_, c)| c).sum::<u64>(),
+            2,
+            "histogram buckets account for every sample"
+        );
+        sys.run_batch_cycle().unwrap();
+        let ops2 = sys.ops();
+        assert_eq!(ops2.pending, 0);
+        assert_eq!(ops2.l2_size, 1);
+        assert_eq!(ops2.l2_shard_sizes.iter().sum::<usize>(), 1);
+        assert!(ops2.features >= 2);
+        // the ops schema round-trips over its own wire encoding
+        use crate::protocol::OpsStats;
+        assert_eq!(OpsStats::from_json(&ops2.to_json()).unwrap(), ops2);
+    }
+
+    #[test]
+    fn typed_serve_matches_untyped_path() {
+        let sys = system(&["hot"]);
+        let served = sys.serve(&ServeRequest::new("hot"));
+        assert_eq!(served.response.status, ServeStatus::Hit);
+        assert_eq!(served.response.layer, Some(CacheLayer::L1));
+        assert!(served.features.is_some());
+        assert!(!served.response.intents.is_empty());
+        // a miss reports the admission outcome on the wire
+        let miss = sys.handle(&ServeRequest::new("cold"));
+        assert_eq!(miss.status, ServeStatus::Enqueued);
+        assert_eq!(miss.layer, None);
+        // handle_request stays a thin wrapper over serve
+        let r = sys.handle_request("hot");
+        assert_eq!(r.layer, Some(CacheLayer::L1));
+        assert!(r.features.is_some());
+    }
+
+    #[test]
+    fn rejected_miss_is_surfaced_in_response() {
+        let (kg, lm) = parts();
+        let sys = ServingSystem::builder()
+            .kg(kg)
+            .lm(lm)
+            .shards(1)
+            .pending_bound(1)
+            .admission(AdmissionPolicy::RejectNew)
+            .build()
+            .unwrap();
+        assert_eq!(
+            sys.handle(&ServeRequest::new("a")).status,
+            ServeStatus::Enqueued
+        );
+        assert_eq!(
+            sys.handle(&ServeRequest::new("b")).status,
+            ServeStatus::Rejected
+        );
+        assert_eq!(sys.ops().rejected, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)] // locks the deprecated SystemSnapshot shim to the ops() values
+    fn deprecated_snapshot_shim_matches_ops() {
         let sys = system(&["hot"]);
         let _ = sys.handle_request("hot");
         let _ = sys.handle_request("cold");
         let snap = sys.snapshot();
-        assert_eq!(snap.l1_size, 1);
-        assert_eq!(snap.pending, 1);
-        assert_eq!(snap.queue_high_water, 1);
-        assert!((snap.hit_rate - 0.5).abs() < 1e-9);
-        assert_eq!(snap.model_version, 1);
-        assert_eq!(snap.dropped + snap.rejected, 0);
-        sys.run_batch_cycle().unwrap();
-        let snap2 = sys.snapshot();
-        assert_eq!(snap2.pending, 0);
-        assert_eq!(snap2.l2_size, 1);
-        assert_eq!(snap2.l2_shard_sizes.iter().sum::<usize>(), 1);
-        assert!(snap2.features >= 2);
+        let ops = sys.ops();
+        assert_eq!(snap.l1_size, ops.l1_size);
+        assert_eq!(snap.pending, ops.pending);
+        assert_eq!(snap.hit_rate, ops.hit_rate);
+        assert_eq!(snap.model_version, ops.model_version);
     }
 
     #[test]
@@ -561,10 +712,10 @@ mod tests {
         assert_eq!(failed_chunks, 1, "only the poisoned chunk fails");
         assert!(requeued >= 1, "poisoned chunk re-queued");
         assert_eq!(sys.cache.pending_len(), requeued);
-        let snap = sys.snapshot();
-        assert_eq!(snap.batch_failed_chunks, 1);
+        let ops = sys.ops();
+        assert_eq!(ops.batch_failed_chunks, 1);
         assert_eq!(
-            snap.l2_size,
+            ops.l2_size,
             8 - requeued,
             "surviving chunks are still installed"
         );

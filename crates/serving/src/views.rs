@@ -16,6 +16,7 @@
 //! downstream surface shares one cache entry per query.
 
 use crate::features::StructuredFeatures;
+#[allow(deprecated)] // the deprecated ops_view shim still renders the old snapshot type
 use crate::system::SystemSnapshot;
 use cosmo_text::hash::hash_str_ns;
 
@@ -84,6 +85,11 @@ pub fn navigation_view(f: &StructuredFeatures, k: usize) -> Vec<String> {
 /// cache layer sizes (with the per-shard L2 spread), queue depth against
 /// its high-water mark, admission counters, hit rate, and latency
 /// percentiles — the quantities an on-call dashboard for Figure 5 charts.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `ServingSystem::ops().render()` — same line, versioned schema"
+)]
+#[allow(deprecated)] // the deprecated shim renders the deprecated snapshot type
 pub fn ops_view(snap: &SystemSnapshot) -> String {
     let shard_spread = snap
         .l2_shard_sizes
@@ -157,6 +163,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // locks the deprecated ops_view shim's output format
     fn ops_view_mentions_every_operational_counter() {
         let snap = SystemSnapshot {
             l1_size: 10,

@@ -131,7 +131,7 @@ fn miss_flood_respects_bound_with_drops_visible() {
             "queue exceeded bound at request {i}"
         );
     }
-    let snap = sys.snapshot();
+    let snap = sys.ops();
     assert!(snap.pending <= bound);
     assert!(snap.queue_high_water <= bound);
     assert_eq!(snap.rejected, 0);
@@ -160,7 +160,7 @@ fn single_shard_flood_drops_exactly_overflow() {
     for i in 0..flood {
         let _ = sys.handle_request(&format!("flood {i}"));
     }
-    let snap = sys.snapshot();
+    let snap = sys.ops();
     assert_eq!(snap.pending, bound);
     assert_eq!(snap.queue_high_water, bound);
     assert_eq!(snap.dropped, (flood - bound) as u64);
@@ -183,7 +183,7 @@ fn single_shard_flood_rejects_new_when_full() {
     for i in 0..bound * 4 {
         let _ = sys.handle_request(&format!("flood {i}"));
     }
-    let snap = sys.snapshot();
+    let snap = sys.ops();
     assert_eq!(snap.pending, bound);
     assert_eq!(snap.dropped, 0);
     assert_eq!(snap.rejected, (bound * 3) as u64);

@@ -50,12 +50,12 @@ fn main() {
         }
     }
     system.run_batch_cycle().expect("batch workers healthy");
-    let snap = system.snapshot();
+    let ops = system.ops();
     println!(
         "day 1 traffic: hit rate {:.0}%, {} cold queries fed back, L2 holds {} entries",
-        snap.hit_rate * 100.0,
+        ops.hit_rate * 100.0,
         served_cold,
-        snap.l2_size
+        ops.l2_size
     );
 
     // Nightly refresh: consume the feedback into the offline pipeline.

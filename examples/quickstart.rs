@@ -7,6 +7,9 @@
 
 use cosmo::core::{run, PipelineConfig};
 use cosmo::kg::NodeKind;
+use cosmo::lm::{tail_vocab_from_pipeline, CosmoLm, StudentConfig};
+use cosmo::serving::{ServeRequest, ServingSystem};
+use std::sync::Arc;
 
 fn main() {
     // The whole offline system — synthetic world, behaviour logs, teacher
@@ -54,4 +57,21 @@ fn main() {
             edge.support
         );
     }
+
+    // Serve the same query through the typed request API, over the frozen
+    // CSR snapshot production uses (the HTTP front end serialises exactly
+    // this response body — see `examples/serve_http.rs`).
+    println!("\n== typed serving ==");
+    let lm = Arc::new(CosmoLm::new(
+        StudentConfig::default(),
+        tail_vocab_from_pipeline(&out),
+    ));
+    let system = ServingSystem::builder()
+        .snapshot(Arc::new(out.kg.freeze()))
+        .lm(lm)
+        .preload([query.1.clone()])
+        .build()
+        .expect("default serving config is valid");
+    let response = system.handle(&ServeRequest::new(&query.1));
+    println!("wire body: {}", response.to_json());
 }

@@ -1,5 +1,7 @@
 //! Online serving (Figure 5): stand up the feature store + two-layer
-//! asynchronous cache over a freshly built KG and replay a day of traffic.
+//! asynchronous cache over a frozen KG snapshot and drive it through the
+//! typed request API — the same `ServeRequest → ServeResponse` pair the
+//! HTTP front end speaks on the wire.
 //!
 //! ```text
 //! cargo run --release --example serve_intents
@@ -7,7 +9,7 @@
 
 use cosmo::core::{run, PipelineConfig};
 use cosmo::lm::{build_instructions, tail_vocab_from_pipeline, CosmoLm, StudentConfig};
-use cosmo::serving::{ops_view, ServingSystem};
+use cosmo::serving::{ServeRequest, ServeStatus, ServingSystem};
 use std::sync::Arc;
 
 fn main() {
@@ -27,39 +29,55 @@ fn main() {
     });
     let preload: Vec<String> = hot.iter().take(50).map(|q| q.text.clone()).collect();
     let system = ServingSystem::builder()
-        .kg(Arc::new(out.kg))
+        .snapshot(Arc::new(out.kg.freeze()))
         .lm(Arc::new(student))
         .preload(preload.clone())
         .build()
         .expect("default serving config is valid");
 
-    // Request path: hot query → L1 hit with features.
-    let hot_query = &preload[0];
-    let r = system.handle_request(hot_query);
+    // Typed request path: hot query → L1 hit with rendered intents.
+    let req = ServeRequest {
+        query: preload[0].clone(),
+        top_k: 3,
+    };
+    let served = system.serve(&req);
+    let resp = &served.response;
     println!(
-        "request \"{}\" → {:?} in {}µs",
-        hot_query, r.layer, r.latency_us
+        "request \"{}\" → {} from {:?} in {}µs",
+        req.query,
+        resp.status.as_str(),
+        resp.layer,
+        served.latency_us
     );
-    if let Some(f) = &r.features {
-        for (rel, tail, score) in f.intents.iter().take(3) {
-            println!("  intent [{}] {} ({score:.2})", rel.name(), tail);
-        }
-        if let Some(strong) = &f.strong_intent {
-            println!("  strong intent: {strong}");
-        }
+    for item in &resp.intents {
+        println!(
+            "  intent [{}] {} ({:.2})",
+            item.relation, item.tail, item.score
+        );
     }
+    if let Some(strong) = &resp.strong_intent {
+        println!("  strong intent: {strong}");
+    }
+    println!("  wire body: {}", resp.to_json());
 
     // Cold query → asynchronous miss, then batch processing, then L2 hit.
-    let cold = "glow in the dark dog harness";
-    let miss = system.handle_request(cold);
+    let cold = ServeRequest::new("glow in the dark dog harness");
+    let miss = system.handle(&cold);
+    assert_eq!(miss.status, ServeStatus::Enqueued);
     println!(
-        "\nrequest \"{cold}\" → {:?} (forwarded to batch)",
-        miss.layer
+        "\nrequest \"{}\" → {} (forwarded to batch)",
+        cold.query,
+        miss.status.as_str()
     );
     let processed = system.run_batch_cycle().expect("batch workers healthy");
     println!("batch cycle processed {processed} pending queries");
-    let hit = system.handle_request(cold);
-    println!("request \"{cold}\" again → {:?}", hit.layer);
+    let hit = system.handle(&cold);
+    println!(
+        "request \"{}\" again → {} from {:?}",
+        cold.query,
+        hit.status.as_str(),
+        hit.layer
+    );
 
     // Daily refresh: hot L2 entries promote into L1, model version bumps.
     let promoted = system.daily_refresh();
@@ -67,19 +85,21 @@ fn main() {
         "\ndaily refresh: promoted {promoted} entries to L1, model now v{}",
         system.model_version()
     );
-    println!(
-        "cache hit rate so far: {:.0}%  (p99 latency {}µs)",
-        system.cache.metrics.hit_rate() * 100.0,
-        system.latency.percentile(0.99)
-    );
 
     // Feedback loop: record an interaction for the next offline run.
-    system.record_feedback(cold, "acme glow dog harness");
+    system.record_feedback(&cold.query, "acme glow dog harness");
     println!(
         "feedback recorded: {} events queued",
         system.drain_feedback().len()
     );
 
-    // The one-line ops summary a dashboard would scrape.
-    println!("\nops: {}", ops_view(&system.snapshot()));
+    // The versioned ops schema a dashboard would scrape (also served as
+    // JSON at `GET /ops/stats` by the HTTP front end).
+    let ops = system.ops();
+    println!(
+        "\nops: {}\ncache hit rate {:.0}%, p99 latency {}µs",
+        ops.render(),
+        ops.hit_rate * 100.0,
+        ops.p99_us
+    );
 }

@@ -26,4 +26,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 # snapshot-format compatibility: freeze, save, reload, compare answers
 cargo run --release --example snapshot_check
+# HTTP front end smoke: real sockets, closed-loop load for a fraction of
+# a second; asserts nonzero throughput and zero 5xx (full saturation
+# sweep is opt-in: `repro -- serve` without --smoke)
+cargo run --release -p cosmo-bench --bin repro -- serve --smoke --scale tiny
 echo "tier1: all checks passed"

@@ -34,6 +34,7 @@
 //! | [`core`] | the offline pipeline: sampling, filtering, annotation, critics |
 //! | [`lm`] | instruction data + the COSMO-LM student |
 //! | [`serving`] | feature store, two-layer async cache, batch processing (Figure 5) |
+//! | [`http`] | std-only HTTP/1.1 front end + closed-loop load harness over the frozen snapshot |
 //! | [`relevance`] | §4.1 search relevance (ESCI, bi/cross encoders) |
 //! | [`sessrec`] | §4.2 session-based recommendation (8 models) |
 //! | [`nav`] | §4.3 multi-turn navigation + A/B simulation |
@@ -41,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 pub use cosmo_core as core;
+pub use cosmo_http as http;
 pub use cosmo_kg as kg;
 pub use cosmo_lm as lm;
 pub use cosmo_nav as nav;

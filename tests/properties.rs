@@ -207,9 +207,15 @@ proptest! {
 
 #[test]
 fn cache_coherent_under_concurrent_mixed_ops() {
-    use cosmo::serving::{CacheStore, StructuredFeatures};
+    use cosmo::serving::{CacheConfig, CacheStore, StructuredFeatures};
     use std::sync::Arc;
-    let cache = Arc::new(CacheStore::new(vec![], 256));
+    let cache = Arc::new(CacheStore::new(
+        vec![],
+        CacheConfig {
+            l2_capacity: 256,
+            ..CacheConfig::default()
+        },
+    ));
     let mut handles = Vec::new();
     for t in 0..4 {
         let c = cache.clone();
