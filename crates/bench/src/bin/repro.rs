@@ -11,6 +11,7 @@ fn main() {
     let mut scale = Scale::Small;
     let mut seed = 0x000C_0530_u64;
     let mut smoke = false;
+    let mut swap = false;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -25,12 +26,15 @@ fn main() {
                 seed = args[i].parse().expect("--seed <u64>");
             }
             "--smoke" => smoke = true,
+            "--swap" => swap = true,
             other => targets.push(other.to_string()),
         }
         i += 1;
     }
     if targets.is_empty() {
-        eprintln!("usage: repro <experiment|all|ablations> [--scale tiny|small|full] [--smoke]");
+        eprintln!(
+            "usage: repro <experiment|all|ablations> [--scale tiny|small|full] [--smoke] [--swap]"
+        );
         eprintln!("experiments: {}", EXPERIMENTS.join(", "));
         std::process::exit(2);
     }
@@ -54,9 +58,12 @@ fn main() {
 
     for t in &targets {
         let t1 = Instant::now();
-        // `serve` is the one experiment with a mode switch: --smoke is the
-        // seconds-long CI gate, the default is the full saturation sweep
-        let result = if t == "serve" {
+        // `serve` is the one experiment with mode switches: --smoke is the
+        // seconds-long CI gate, --swap exercises hot snapshot reloads
+        // under live traffic, the default is the full saturation sweep
+        let result = if t == "serve" && swap {
+            Some(cosmo_bench::serve::serve_swap(&ctx, smoke))
+        } else if t == "serve" {
             Some(cosmo_bench::serve::serve(&ctx, smoke))
         } else {
             run_experiment(&ctx, t)

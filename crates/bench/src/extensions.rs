@@ -327,19 +327,22 @@ pub fn kg_scaling(ctx: &Ctx) -> String {
 
     let _ = writeln!(
         out,
-        "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>11} {:>11} {:>8}",
+        "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>11} {:>9} {:>11} {:>11} {:>8}",
         "graph",
         "edges",
         "build(s)",
         "freeze(s)",
         "load(s)",
         "load-spd",
+        "v2 open(s)",
+        "v2-spd",
         "map lk/s",
         "csr lk/s",
         "csr-spd"
     );
     let sizes = [(500usize, 8usize), (2000, 24), (8000, 64)];
     let (mut csr_speedup_largest, mut load_speedup_largest) = (0.0f64, 0.0f64);
+    let mut v2_speedup_largest = 0.0f64;
     for (si, &(n_heads, deg)) in sizes.iter().enumerate() {
         let t0 = std::time::Instant::now();
         let kg = scaling_kg(n_heads, deg);
@@ -362,6 +365,28 @@ pub fn kg_scaling(ctx: &Ctx) -> String {
         let load_secs = t0.elapsed().as_secs_f64();
         assert_eq!(loaded, snap, "loaded snapshot differs at {n_heads} heads");
         let _ = std::fs::remove_file(&path);
+
+        // v2 zero-copy open: mmap + structural validation, no Vec
+        // materialisation — compare against the v1 full parse above
+        let path_v2 = std::env::temp_dir().join(format!(
+            "cosmo_bench_kg_{}_{}.kg2",
+            std::process::id(),
+            n_heads
+        ));
+        snap.save_v2(&path_v2).expect("v2 snapshot save");
+        let v2_load_secs = best_secs(9, || {
+            let mapped = cosmo_kg::MappedSnapshot::open(&path_v2).expect("v2 snapshot open");
+            std::hint::black_box(mapped.num_edges());
+        });
+        let mapped = cosmo_kg::MappedSnapshot::open(&path_v2).expect("v2 snapshot open");
+        assert_eq!(
+            mapped.to_owned_snapshot(),
+            snap,
+            "v2 mapped snapshot differs at {n_heads} heads"
+        );
+        drop(mapped);
+        let _ = std::fs::remove_file(&path_v2);
+        let v2_load_speedup = load_secs / v2_load_secs;
 
         let t0 = std::time::Instant::now();
         let rebuilt = rebuild_via_intern(&snap);
@@ -412,17 +437,20 @@ pub fn kg_scaling(ctx: &Ctx) -> String {
         if si + 1 == sizes.len() {
             csr_speedup_largest = csr_speedup;
             load_speedup_largest = load_speedup;
+            v2_speedup_largest = v2_load_speedup;
         }
 
         let _ = writeln!(
             out,
-            "{:<12} {:>9} {:>10.3} {:>10.3} {:>10.4} {:>9.1}x {:>11.0} {:>11.0} {:>7.1}x",
+            "{:<12} {:>9} {:>10.3} {:>10.3} {:>10.4} {:>9.1}x {:>11.6} {:>8.0}x {:>11.0} {:>11.0} {:>7.1}x",
             format!("{n_heads}x{deg}"),
             kg.num_edges(),
             build_secs,
             freeze_secs,
             load_secs,
             load_speedup,
+            v2_load_secs,
+            v2_load_speedup,
             map_rate,
             csr_rate,
             csr_speedup
@@ -432,6 +460,7 @@ pub fn kg_scaling(ctx: &Ctx) -> String {
             "    {{\"heads\": {n_heads}, \"degree\": {deg}, \"nodes\": {}, \"edges\": {}, \
              \"build_secs\": {build_secs:.6}, \"freeze_secs\": {freeze_secs:.6}, \
              \"save_secs\": {save_secs:.6}, \"load_secs\": {load_secs:.6}, \
+             \"v2_load_secs\": {v2_load_secs:.6}, \"v2_load_speedup\": {v2_load_speedup:.3}, \
              \"rebuild_secs\": {rebuild_secs:.6}, \"load_speedup\": {load_speedup:.3}, \
              \"map_lookups_per_sec\": {map_rate:.0}, \"csr_lookups_per_sec\": {csr_rate:.0}, \
              \"csr_speedup\": {csr_speedup:.3}}}{}",
@@ -528,6 +557,7 @@ pub fn kg_scaling(ctx: &Ctx) -> String {
         json,
         "  \"csr_speedup_largest\": {csr_speedup_largest:.3},\n  \
          \"load_speedup_largest\": {load_speedup_largest:.3},\n  \
+         \"v2_load_speedup_largest\": {v2_speedup_largest:.3},\n  \
          \"serving_identical\": {serving_identical},\n  \
          \"nav_identical\": {nav_identical}\n}}\n"
     );

@@ -14,10 +14,12 @@
 //! Both write `BENCH_serve.json` for machine consumption.
 
 use crate::context::Ctx;
-use cosmo_http::{run_load, sweep_to_saturation, HttpServer, LoadConfig, LoadReport, ServerConfig};
-use cosmo_serving::{AdmissionPolicy, ServeRequest, ServingSystem};
+use cosmo_http::{
+    run_load, sweep_to_saturation, HttpClient, HttpServer, LoadConfig, LoadReport, ServerConfig,
+};
+use cosmo_serving::{AdmissionPolicy, ServeRequest, ServeResponse, ServingSystem};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -97,8 +99,8 @@ pub fn serve(ctx: &Ctx, smoke: bool) -> String {
     let _ = writeln!(
         out,
         "HTTP front end over frozen snapshot ({} nodes / {} edges), {} mode",
-        system.kg_snapshot().num_nodes(),
-        system.kg_snapshot().num_edges(),
+        system.kg_view().num_nodes(),
+        system.kg_view().num_edges(),
         if smoke { "smoke" } else { "sweep" }
     );
     let _ = writeln!(
@@ -141,8 +143,8 @@ pub fn serve(ctx: &Ctx, smoke: bool) -> String {
         json,
         "\"mode\":\"{}\",\"snapshot_nodes\":{},\"snapshot_edges\":{},\"runs\":[",
         if smoke { "smoke" } else { "sweep" },
-        system.kg_snapshot().num_nodes(),
-        system.kg_snapshot().num_edges()
+        system.kg_view().num_nodes(),
+        system.kg_view().num_edges()
     );
     for (i, r) in reports.iter().enumerate() {
         if i > 0 {
@@ -180,6 +182,192 @@ pub fn serve(ctx: &Ctx, smoke: bool) -> String {
             "smoke: server answered {total_5xx} 5xx responses"
         );
         let _ = writeln!(out, "smoke ok: nonzero throughput, zero 5xx");
+    }
+    out
+}
+
+/// The `serve --swap` experiment: hot snapshot reloads under live
+/// traffic.
+///
+/// Every query the clients send is preloaded, so each request must be a
+/// cache hit — which makes "zero 5xx across N swaps" a hard assertion
+/// rather than a statistical hope. Request threads additionally record
+/// the response body per `(query, snapshot_generation)` pair and assert
+/// byte-identity within each generation: a torn read across the RCU
+/// boundary (old graph, new cache, or vice versa) would surface here.
+///
+/// Smoke mode (the tier-1 gate) runs 3 swaps with 2 client threads; the
+/// full mode runs 10 swaps with 4. Writes `BENCH_serve_swap.json`.
+pub fn serve_swap(ctx: &Ctx, smoke: bool) -> String {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    let swaps: u64 = if smoke { 3 } else { 10 };
+    let client_threads = if smoke { 2 } else { 4 };
+    let window = Duration::from_millis(if smoke { 25 } else { 60 });
+
+    let queries: Vec<String> = ctx
+        .out
+        .world
+        .queries
+        .iter()
+        .take(64)
+        .map(|q| q.text.clone())
+        .collect();
+    let system = Arc::new(
+        ServingSystem::builder()
+            .snapshot(Arc::new(ctx.out.kg.freeze()))
+            .lm(ctx.student.clone())
+            .preload(queries.iter().cloned())
+            .build()
+            .expect("default serving config is valid"),
+    );
+    let handle = HttpServer::start(
+        Arc::clone(&system),
+        ServerConfig {
+            conn_workers: client_threads + 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // Pre-write the v2 snapshot files the reloads will map: the real
+    // pipeline KG plus i extra nodes, so every generation differs.
+    let dir = std::env::temp_dir().join(format!("cosmo_serve_swap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("swap snapshot dir");
+    let paths: Vec<std::path::PathBuf> = (1..=swaps)
+        .map(|i| {
+            let mut kg = ctx.out.kg.clone();
+            for j in 0..i {
+                let head = kg.intern_node(
+                    cosmo_kg::NodeKind::Product,
+                    &format!("swap-bench product {i}-{j}"),
+                );
+                let tail = kg.intern_node(cosmo_kg::NodeKind::Intention, "swap bench traffic");
+                kg.add_edge(cosmo_kg::Edge {
+                    head,
+                    relation: cosmo_kg::Relation::UsedForFunc,
+                    tail,
+                    behavior: cosmo_kg::BehaviorKind::SearchBuy,
+                    category: 0,
+                    plausibility: 0.75,
+                    typicality: 0.5,
+                    support: 1,
+                });
+            }
+            let path = dir.join(format!("gen_{i}.kg2"));
+            kg.freeze().save_v2(&path).expect("v2 snapshot save");
+            path
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let fivexx = Arc::new(AtomicU64::new(0));
+    let bodies_by_gen: Arc<Mutex<HashMap<(usize, u64), String>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let divergent = Arc::new(AtomicU64::new(0));
+    let clients: Vec<_> = (0..client_threads)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            let fivexx = Arc::clone(&fivexx);
+            let bodies_by_gen = Arc::clone(&bodies_by_gen);
+            let divergent = Arc::clone(&divergent);
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("client connect");
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let qi = (t + served as usize) % queries.len();
+                    let body = ServeRequest::new(queries[qi].clone()).to_json();
+                    match client.request("POST", "/v1/serve-intents", &body) {
+                        Ok(resp) => {
+                            if resp.status >= 500 {
+                                fivexx.fetch_add(1, Ordering::Relaxed);
+                            } else if let Ok(decoded) = ServeResponse::from_json(&resp.body) {
+                                let mut seen = bodies_by_gen.lock().expect("bodies map");
+                                let prior = seen
+                                    .entry((qi, decoded.snapshot_generation))
+                                    .or_insert_with(|| resp.body.clone());
+                                if *prior != resp.body {
+                                    divergent.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            served += 1;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+
+    let mut ops = HttpClient::connect(addr).expect("ops client connect");
+    let mut reload_secs = Vec::with_capacity(paths.len());
+    for path in &paths {
+        std::thread::sleep(window);
+        let body = format!("{{\"path\":{:?}}}", path.display().to_string());
+        let t0 = std::time::Instant::now();
+        let resp = ops
+            .request("POST", "/ops/reload", &body)
+            .expect("reload request");
+        reload_secs.push(t0.elapsed().as_secs_f64());
+        assert_eq!(resp.status, 200, "reload refused: {}", resp.body);
+    }
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let served: u64 = clients.into_iter().map(|c| c.join().expect("client")).sum();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let fivexx = fivexx.load(Ordering::Relaxed);
+    let divergent = divergent.load(Ordering::Relaxed);
+    let final_generation = system.generation();
+    let generations: std::collections::BTreeSet<u64> = bodies_by_gen
+        .lock()
+        .expect("bodies map")
+        .keys()
+        .map(|&(_, g)| g)
+        .collect();
+    assert_eq!(fivexx, 0, "swap: {fivexx} 5xx responses under reload");
+    assert_eq!(divergent, 0, "swap: bodies diverged within a generation");
+    assert_eq!(
+        final_generation,
+        swaps + 1,
+        "swap: generations are sequential"
+    );
+    assert!(served > 0, "swap: clients made no progress");
+
+    let worst_reload = reload_secs.iter().cloned().fold(0.0f64, f64::max);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "hot swap under live traffic: {swaps} reloads, {served} requests on \
+         {client_threads} connections, 0 5xx, 0 divergent bodies"
+    );
+    let _ = writeln!(
+        out,
+        "generations observed by traffic: {generations:?}; final generation {final_generation}; \
+         worst reload {worst_reload:.4}s"
+    );
+
+    let mut json = String::from("{\"mode\":\"swap\",");
+    let _ = write!(
+        json,
+        "\"swaps\":{swaps},\"requests\":{served},\"client_threads\":{client_threads},\
+         \"fivexx\":{fivexx},\"divergent_bodies\":{divergent},\
+         \"final_generation\":{final_generation},\"generations_observed\":{},\
+         \"worst_reload_secs\":{worst_reload:.6}}}",
+        generations.len()
+    );
+    match std::fs::write("BENCH_serve_swap.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "\nwrote BENCH_serve_swap.json");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "\ncould not write BENCH_serve_swap.json: {e}");
+        }
     }
     out
 }

@@ -6,6 +6,11 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+/// Largest response body the client will buffer. The server's JSON
+/// responses are far below this; a bogus `content-length` from a broken
+/// or hostile peer must not turn into an unbounded allocation.
+pub const MAX_RESPONSE_BODY_BYTES: usize = 1 << 20;
+
 /// One received response.
 #[derive(Debug, Clone)]
 pub struct ClientResponse {
@@ -117,6 +122,12 @@ impl HttpClient {
                 }
                 headers.push((name, value));
             }
+        }
+        if content_length > MAX_RESPONSE_BODY_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response body over client limit",
+            ));
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;

@@ -9,6 +9,7 @@
 //! |----------------------------|--------------------|---------------------|
 //! | `POST /v1/serve-intents`   | `ServeRequest`     | `ServeResponse`     |
 //! | `POST /v1/navigate`        | `NavigateRequest`  | `NavigateResponse`  |
+//! | `POST /ops/reload`         | `ReloadRequest`    | `ReloadResponse`    |
 //! | `GET /v1/snapshot-version` | —                  | `SnapshotVersion`   |
 //! | `GET /ops/stats`           | —                  | `OpsStats`          |
 //!
@@ -34,5 +35,5 @@ pub mod wire;
 
 pub use client::{ClientResponse, HttpClient};
 pub use loadgen::{run_load, sweep_to_saturation, LoadConfig, LoadReport};
-pub use server::{route, HttpServer, HttpStats, ServerConfig, ServerHandle};
+pub use server::{HttpServer, HttpStats, Router, ServerConfig, ServerHandle};
 pub use wire::{read_request, write_response, ReadError, Request, Response, Status};

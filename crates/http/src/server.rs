@@ -21,11 +21,12 @@
 
 use crate::wire::{read_request, write_response, ReadError, Request, Response};
 use cosmo_exec::WorkerPool;
-use cosmo_kg::{snapshot::FORMAT_VERSION, KgSnapshot};
+use cosmo_kg::KgSnapshotView;
 use cosmo_nav::{NavigationEngine, Suggestion};
 use cosmo_serving::{
-    AdmissionPolicy, ErrorBody, NavigateItem, NavigateRequest, NavigateResponse, ServeRequest,
-    ServeStatus, ServingSystem, SnapshotVersion, PROTOCOL_VERSION,
+    AdmissionPolicy, ErrorBody, NavigateItem, NavigateRequest, NavigateResponse, ReloadRequest,
+    ReloadResponse, ServeRequest, ServeStatus, ServingSystem, SnapshotGeneration, SnapshotVersion,
+    PROTOCOL_VERSION,
 };
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter};
@@ -106,8 +107,7 @@ pub struct HttpStats {
 
 /// State shared between the handle, acceptors, and workers.
 struct Shared {
-    system: Arc<ServingSystem>,
-    nav: NavigationEngine<Arc<KgSnapshot>>,
+    router: Router,
     config: ServerConfig,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_signal: Condvar,
@@ -129,17 +129,16 @@ pub struct ServerHandle {
 impl HttpServer {
     /// Bind `config.addr` and start serving `system` in the background.
     ///
-    /// The navigation engine is built once here, over the same frozen
-    /// [`KgSnapshot`] the serving system answers from, so `/v1/navigate`
-    /// and `/v1/serve-intents` can never disagree about graph contents.
+    /// The navigation engine is built per snapshot generation, over the
+    /// same frozen view the serving system answers from, so
+    /// `/v1/navigate` and `/v1/serve-intents` can never disagree about
+    /// graph contents — including across a hot swap.
     pub fn start(system: Arc<ServingSystem>, config: ServerConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let nav = NavigationEngine::new(system.kg_snapshot().clone());
         let shared = Arc::new(Shared {
-            system,
-            nav,
+            router: Router::new(system),
             config,
             queue: Mutex::new(VecDeque::new()),
             queue_signal: Condvar::new(),
@@ -341,11 +340,21 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 let _ = write_response(&mut writer, &Response::json(status, body), false);
                 return;
             }
+            // Valid HTTP we refuse on purpose (Transfer-Encoding): answer
+            // 501 and close so no unread body bytes can desync the
+            // connection into a smuggled second request.
+            Err(ReadError::Unsupported(detail)) => {
+                shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                let body = ErrorBody::new("not_implemented", detail).to_json();
+                let _ = write_response(&mut writer, &Response::json(501, body), false);
+                return;
+            }
         };
 
         let draining = shared.shutdown.load(Ordering::SeqCst);
         let keep_alive = !req.close && served < max_requests && !draining;
-        let resp = route(&shared.system, &shared.nav, &req);
+        let resp = shared.router.route(&req);
         shared.counters.requests.fetch_add(1, Ordering::Relaxed);
         match resp.status.0 {
             400 => {
@@ -362,85 +371,171 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Map one parsed request to a response. Pure routing — no I/O — so the
-/// integration tests can prove the HTTP body is byte-identical to the
-/// in-process [`ServingSystem::handle`] answer.
-pub fn route(
-    system: &ServingSystem,
-    nav: &NavigationEngine<Arc<KgSnapshot>>,
-    req: &Request,
-) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/serve-intents") => serve_intents(system, &req.body),
-        ("POST", "/v1/navigate") => navigate(nav, &req.body),
-        ("GET", "/v1/snapshot-version") => Response::json(200, snapshot_version(system).to_json()),
-        ("GET", "/ops/stats") => Response::json(200, system.ops().to_json()),
-        ("GET", "/v1/serve-intents") | ("GET", "/v1/navigate") => Response::json(
-            405,
-            ErrorBody::new("method_not_allowed", "use POST").to_json(),
-        ),
-        ("POST", "/v1/snapshot-version") | ("POST", "/ops/stats") => Response::json(
-            405,
-            ErrorBody::new("method_not_allowed", "use GET").to_json(),
-        ),
-        _ => Response::json(404, ErrorBody::new("not_found", "unknown route").to_json()),
-    }
+/// Maps parsed requests to responses. Pure routing — no socket I/O — so
+/// the integration tests can prove the HTTP body is byte-identical to
+/// the in-process [`ServingSystem::handle`] answer.
+///
+/// The navigation engine is generation-scoped: it is rebuilt lazily the
+/// first time a request lands on a freshly swapped snapshot, so
+/// `/v1/navigate` always answers from the same graph the response's
+/// `snapshot_generation` tag names.
+pub struct Router {
+    system: Arc<ServingSystem>,
+    nav: Mutex<(u64, Arc<NavigationEngine<Arc<KgSnapshotView>>>)>,
 }
 
-/// `POST /v1/serve-intents`: decode, delegate to the serving read path,
-/// and map [`ServeStatus::Rejected`] to `503` + `Retry-After` — with the
-/// *same* body bytes `handle` would return in-process.
-fn serve_intents(system: &ServingSystem, body: &[u8]) -> Response {
-    let req = match decode_body(body, ServeRequest::from_json) {
-        Ok(req) => req,
-        Err(resp) => return resp,
-    };
-    let resp = system.handle(&req);
-    if resp.status == ServeStatus::Rejected {
-        Response::json(503, resp.to_json()).with_header("retry-after", "1")
-    } else {
+impl Router {
+    /// Build a router over `system`, with the navigation engine primed
+    /// for the current generation.
+    pub fn new(system: Arc<ServingSystem>) -> Router {
+        let generation = system.current();
+        let nav = Arc::new(NavigationEngine::new(Arc::clone(&generation.view)));
+        Router {
+            system,
+            nav: Mutex::new((generation.generation, nav)),
+        }
+    }
+
+    /// The serving system this router answers from.
+    pub fn system(&self) -> &Arc<ServingSystem> {
+        &self.system
+    }
+
+    /// Map one parsed request to a response.
+    pub fn route(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/v1/serve-intents") => self.serve_intents(&req.body),
+            ("POST", "/v1/navigate") => self.navigate(&req.body),
+            ("POST", "/ops/reload") => self.reload(&req.body),
+            ("GET", "/v1/snapshot-version") => {
+                Response::json(200, self.snapshot_version().to_json())
+            }
+            ("GET", "/ops/stats") => Response::json(200, self.system.ops().to_json()),
+            ("GET", "/v1/serve-intents") | ("GET", "/v1/navigate") | ("GET", "/ops/reload") => {
+                Response::json(
+                    405,
+                    ErrorBody::new("method_not_allowed", "use POST").to_json(),
+                )
+            }
+            ("POST", "/v1/snapshot-version") | ("POST", "/ops/stats") => Response::json(
+                405,
+                ErrorBody::new("method_not_allowed", "use GET").to_json(),
+            ),
+            _ => Response::json(404, ErrorBody::new("not_found", "unknown route").to_json()),
+        }
+    }
+
+    /// The navigation engine for `generation`, rebuilding it if the
+    /// snapshot was swapped since the last navigate request.
+    fn nav_for(
+        &self,
+        generation: &SnapshotGeneration,
+    ) -> Arc<NavigationEngine<Arc<KgSnapshotView>>> {
+        let mut cached = self.nav.lock().expect("nav cache poisoned");
+        if cached.0 != generation.generation {
+            *cached = (
+                generation.generation,
+                Arc::new(NavigationEngine::new(Arc::clone(&generation.view))),
+            );
+        }
+        Arc::clone(&cached.1)
+    }
+
+    /// `POST /v1/serve-intents`: decode, delegate to the serving read
+    /// path, and map [`ServeStatus::Rejected`] to `503` + `Retry-After`
+    /// — with the *same* body bytes `handle` would return in-process.
+    fn serve_intents(&self, body: &[u8]) -> Response {
+        let req = match decode_body(body, ServeRequest::from_json) {
+            Ok(req) => req,
+            Err(resp) => return resp,
+        };
+        let resp = self.system.handle(&req);
+        if resp.status == ServeStatus::Rejected {
+            Response::json(503, resp.to_json()).with_header("retry-after", "1")
+        } else {
+            Response::json(200, resp.to_json())
+        }
+    }
+
+    /// `POST /v1/navigate`: interpret a broad query against the frozen
+    /// KG of the current generation.
+    fn navigate(&self, body: &[u8]) -> Response {
+        let req = match decode_body(body, NavigateRequest::from_json) {
+            Ok(req) => req,
+            Err(resp) => return resp,
+        };
+        let generation = self.system.current();
+        let nav = self.nav_for(&generation);
+        let suggestions = nav
+            .interpret(&req.query, req.k)
+            .into_iter()
+            .map(|s| NavigateItem {
+                kind: match s {
+                    Suggestion::Intent(_) => "intent",
+                    Suggestion::ProductType(_) => "product_type",
+                    Suggestion::Attribute(_) => "attribute",
+                }
+                .to_string(),
+                label: s.label().to_string(),
+            })
+            .collect();
+        let resp = NavigateResponse {
+            protocol_version: PROTOCOL_VERSION,
+            query: req.query,
+            suggestions,
+        };
         Response::json(200, resp.to_json())
     }
-}
 
-/// `POST /v1/navigate`: interpret a broad query against the frozen KG.
-fn navigate(nav: &NavigationEngine<Arc<KgSnapshot>>, body: &[u8]) -> Response {
-    let req = match decode_body(body, NavigateRequest::from_json) {
-        Ok(req) => req,
-        Err(resp) => return resp,
-    };
-    let suggestions = nav
-        .interpret(&req.query, req.k)
-        .into_iter()
-        .map(|s| NavigateItem {
-            kind: match s {
-                Suggestion::Intent(_) => "intent",
-                Suggestion::ProductType(_) => "product_type",
-                Suggestion::Attribute(_) => "attribute",
+    /// `POST /ops/reload`: open + fully verify the snapshot file named in
+    /// the body, then atomically publish it as the next generation. The
+    /// new generation is visible to every request that starts after the
+    /// swap; in-flight requests finish on the old one. A snapshot that
+    /// fails verification is refused with `400` and the server keeps
+    /// serving the current generation untouched.
+    fn reload(&self, body: &[u8]) -> Response {
+        let req = match decode_body(body, ReloadRequest::from_json) {
+            Ok(req) => req,
+            Err(resp) => return resp,
+        };
+        match KgSnapshotView::open_verified(std::path::Path::new(&req.path)) {
+            Ok(view) => {
+                let (format_version, nodes, edges) = (
+                    view.format_version(),
+                    view.num_nodes() as u64,
+                    view.num_edges() as u64,
+                );
+                let generation = self.system.swap_snapshot(view);
+                let resp = ReloadResponse {
+                    protocol_version: PROTOCOL_VERSION,
+                    generation,
+                    format_version,
+                    nodes,
+                    edges,
+                };
+                Response::json(200, resp.to_json())
             }
-            .to_string(),
-            label: s.label().to_string(),
-        })
-        .collect();
-    let resp = NavigateResponse {
-        protocol_version: PROTOCOL_VERSION,
-        query: req.query,
-        suggestions,
-    };
-    Response::json(200, resp.to_json())
-}
+            Err(e) => Response::json(
+                400,
+                ErrorBody::new("reload_failed", e.to_string()).to_json(),
+            ),
+        }
+    }
 
-/// The identity of the snapshot this server answers from.
-fn snapshot_version(system: &ServingSystem) -> SnapshotVersion {
-    let snap = system.kg_snapshot();
-    SnapshotVersion {
-        protocol_version: PROTOCOL_VERSION,
-        format_version: FORMAT_VERSION,
-        nodes: snap.num_nodes() as u64,
-        edges: snap.num_edges() as u64,
-        relations: snap.num_relations() as u64,
-        arena_bytes: snap.arena_len() as u64,
-        model_version: system.model_version(),
+    /// The identity of the snapshot the current generation answers from.
+    fn snapshot_version(&self) -> SnapshotVersion {
+        let generation = self.system.current();
+        let view = &generation.view;
+        SnapshotVersion {
+            protocol_version: PROTOCOL_VERSION,
+            format_version: view.format_version(),
+            nodes: view.num_nodes() as u64,
+            edges: view.num_edges() as u64,
+            relations: view.num_relations() as u64,
+            arena_bytes: view.arena_len() as u64,
+            model_version: self.system.model_version(),
+            generation: generation.generation,
+        }
     }
 }
 

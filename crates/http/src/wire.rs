@@ -48,6 +48,10 @@ pub enum ReadError {
     Malformed(&'static str),
     /// Header section or body over the configured cap → 431/413, close.
     TooLarge(&'static str),
+    /// Valid HTTP the server deliberately does not implement (e.g. any
+    /// `Transfer-Encoding`) → 501, close. Closing matters: the framing of
+    /// the unread body is unknown, so the connection cannot be reused.
+    Unsupported(&'static str),
 }
 
 impl From<io::Error> for ReadError {
@@ -113,12 +117,26 @@ pub fn read_request<R: BufRead>(
         headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
-        Some((_, v)) => v
+    // Request smuggling hardening: a front proxy and this parser must
+    // never disagree about where the body ends. We implement no transfer
+    // codings, so *any* Transfer-Encoding header is refused outright
+    // rather than ignored (ignoring it is the classic TE.CL desync), and
+    // duplicate Content-Length headers are only accepted when every copy
+    // agrees (RFC 9112 §6.3).
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(ReadError::Unsupported("transfer-encoding not supported"));
+    }
+    let mut content_length = None;
+    for (_, v) in headers.iter().filter(|(k, _)| k == "content-length") {
+        let parsed = v
             .parse::<usize>()
-            .map_err(|_| ReadError::Malformed("invalid content-length"))?,
-        None => 0,
-    };
+            .map_err(|_| ReadError::Malformed("invalid content-length"))?;
+        if content_length.is_some_and(|prev| prev != parsed) {
+            return Err(ReadError::Malformed("conflicting content-length"));
+        }
+        content_length = Some(parsed);
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body_bytes {
         // drain nothing: the connection is closed after an over-limit
         // request, so the unread body bytes die with it
@@ -189,6 +207,7 @@ impl Status {
             413 => "Payload Too Large",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            501 => "Not Implemented",
             503 => "Service Unavailable",
             _ => "Unknown",
         }
@@ -318,6 +337,36 @@ mod tests {
             parse(huge_body),
             Err(ReadError::TooLarge("body over limit"))
         ));
+    }
+
+    #[test]
+    fn transfer_encoding_is_refused() {
+        // Any TE value — not just "chunked" — must be refused: ignoring
+        // it would let a front proxy and this parser frame the body
+        // differently (TE.CL request smuggling).
+        for te in ["chunked", "identity", "gzip, chunked"] {
+            let req = format!(
+                "POST / HTTP/1.1\r\nTransfer-Encoding: {te}\r\nContent-Length: 4\r\n\r\nabcd"
+            );
+            assert!(
+                matches!(parse(&req), Err(ReadError::Unsupported(_))),
+                "TE {te:?} should be unsupported"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_content_length_must_agree() {
+        // Conflicting copies are the CL.CL smuggling vector → reject.
+        let conflicting = "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nabcde";
+        assert!(matches!(
+            parse(conflicting),
+            Err(ReadError::Malformed("conflicting content-length"))
+        ));
+        // Identical copies are legal per RFC 9112 §6.3.
+        let agreeing = "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = parse(agreeing).unwrap();
+        assert_eq!(req.body, b"abcd");
     }
 
     #[test]

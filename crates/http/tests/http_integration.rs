@@ -419,3 +419,176 @@ fn shutdown_drains_queued_and_in_flight_connections() {
     shutdown.join().unwrap();
     assert_eq!(answered, 6, "every pre-shutdown request was answered");
 }
+
+/// Request-smuggling hardening over real sockets: conflicting duplicate
+/// `Content-Length` headers are refused with `400`, any
+/// `Transfer-Encoding` with `501`, and both close the connection so no
+/// unread body bytes can desync the framing.
+#[test]
+fn smuggling_vectors_are_refused_and_closed() {
+    let (_system, handle) = start_default();
+    let cases = [
+        (
+            // CL.CL desync attempt: two disagreeing lengths
+            "POST /v1/serve-intents HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 11\r\n\r\nabcd",
+            "HTTP/1.1 400 ",
+        ),
+        (
+            // TE.CL desync attempt: chunked framing we do not implement
+            "POST /v1/serve-intents HTTP/1.1\r\ntransfer-encoding: chunked\r\ncontent-length: 4\r\n\r\n0\r\n\r\n",
+            "HTTP/1.1 501 ",
+        ),
+        (
+            // even a benign-looking TE is refused rather than half-implemented
+            "GET /v1/snapshot-version HTTP/1.1\r\ntransfer-encoding: identity\r\n\r\n",
+            "HTTP/1.1 501 ",
+        ),
+    ];
+    for (raw, expected) in cases {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap(); // server closes → EOF
+        assert!(out.starts_with(expected), "got {out:?} for {raw:?}");
+        assert!(out.contains("\r\nconnection: close\r\n"), "got {out:?}");
+    }
+    // agreeing duplicates are allowed (RFC 9112 §6.3) and served normally
+    let raw = "GET /v1/snapshot-version HTTP/1.1\r\ncontent-length: 0\r\ncontent-length: 0\r\nconnection: close\r\n\r\n";
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 200 "), "got {out:?}");
+    handle.shutdown();
+}
+
+/// The acceptance bar for the hot-swap tentpole: ten snapshot reloads
+/// land under concurrent request traffic with **zero 5xx** responses,
+/// and within any one snapshot generation the response body for a given
+/// query is byte-identical across every thread that observed it.
+#[test]
+fn hot_swap_under_load_is_zero_downtime_and_generation_consistent() {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    const SWAPS: u64 = 10;
+    let queries = ["sleeping bag", "tent", "air mattress"];
+    let system = test_system(ServingConfig::default(), &queries);
+    let handle =
+        HttpServer::start(Arc::clone(&system), ServerConfig::default()).expect("bind ephemeral");
+    let addr = handle.addr();
+
+    // Pre-write the snapshot files the swaps will load: the base graph
+    // plus i extra edges, so every generation really is a different KG.
+    let dir = std::env::temp_dir().join(format!("cosmo_swap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths: Vec<_> = (1..=SWAPS)
+        .map(|i| {
+            let mut kg = test_kg();
+            for j in 0..i {
+                let head = kg.intern_node(NodeKind::Product, &format!("lantern mk{j}"));
+                let tail = kg.intern_node(NodeKind::Intention, "lighting a campsite");
+                kg.add_edge(Edge {
+                    head,
+                    relation: Relation::UsedForFunc,
+                    tail,
+                    behavior: BehaviorKind::SearchBuy,
+                    category: 0,
+                    plausibility: 0.8,
+                    typicality: 0.4,
+                    support: 2,
+                });
+            }
+            let path = dir.join(format!("swap_{i}.kg2"));
+            kg.freeze().save_v2(&path).unwrap();
+            path
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    // (query, generation) → body; any divergence within a generation is
+    // a torn read across the swap boundary
+    let seen: Arc<Mutex<HashMap<(String, u64), String>>> = Arc::new(Mutex::new(HashMap::new()));
+    let readers: Vec<_> = (0..4)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            let seen = Arc::clone(&seen);
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                let mut count = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let query = queries[(t + count as usize) % queries.len()];
+                    let resp = client
+                        .request(
+                            "POST",
+                            "/v1/serve-intents",
+                            &ServeRequest::new(query).to_json(),
+                        )
+                        .unwrap();
+                    assert!(
+                        resp.status < 500,
+                        "5xx under swap: {} {}",
+                        resp.status,
+                        resp.body
+                    );
+                    assert_eq!(resp.status, 200, "preloaded query must hit");
+                    let body = ServeResponse::from_json(&resp.body).unwrap();
+                    let mut seen = seen.lock().unwrap();
+                    let prior = seen
+                        .entry((query.to_string(), body.snapshot_generation))
+                        .or_insert_with(|| resp.body.clone());
+                    assert_eq!(
+                        *prior, resp.body,
+                        "bodies diverge within generation {} for {query:?}",
+                        body.snapshot_generation
+                    );
+                    count += 1;
+                }
+                count
+            })
+        })
+        .collect();
+
+    let mut ops_client = HttpClient::connect(addr).unwrap();
+    for (i, path) in paths.iter().enumerate() {
+        std::thread::sleep(Duration::from_millis(30));
+        let body = format!("{{\"path\":{:?}}}", path.display().to_string());
+        let resp = ops_client.request("POST", "/ops/reload", &body).unwrap();
+        assert_eq!(resp.status, 200, "reload failed: {}", resp.body);
+        let reloaded = cosmo_serving::ReloadResponse::from_json(&resp.body).unwrap();
+        assert_eq!(
+            reloaded.generation,
+            i as u64 + 2,
+            "generations are sequential"
+        );
+        assert_eq!(reloaded.format_version, 2, "reload served the v2 mmap path");
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(total > 0, "readers made progress");
+
+    // the final generation is live and identifies the last snapshot
+    let resp = ops_client
+        .request("GET", "/v1/snapshot-version", "")
+        .unwrap();
+    let version = SnapshotVersion::from_json(&resp.body).unwrap();
+    assert_eq!(version.generation, SWAPS + 1);
+    assert_eq!(version.format_version, 2);
+    // traffic really did span multiple generations
+    let generations: std::collections::BTreeSet<u64> =
+        seen.lock().unwrap().keys().map(|(_, g)| *g).collect();
+    assert!(
+        generations.len() >= 2,
+        "expected traffic across generations, saw {generations:?}"
+    );
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -13,16 +13,25 @@
 //! [`GraphView`] trait, which the mutable store also implements (and
 //! answers bitwise-identically). JSON (de)serialisation of the mutable
 //! store remains for offline interchange.
-
-#![forbid(unsafe_code)]
+//!
+//! Snapshot files come in two format versions: the compact parse-on-load
+//! v1 ([`snapshot`]) and the 64-byte-aligned zero-copy v2
+//! ([`snapshot_v2`]) that [`MappedSnapshot`] serves straight out of
+//! memory-mapped file bytes. [`KgSnapshotView`] abstracts over both so
+//! the serving tier can hot-swap either kind.
+//!
+//! `unsafe` is confined to the [`zerocopy`] cast seam (enforced by the
+//! workspace audit); the rest of the crate is `unsafe`-free.
 
 pub mod algo;
 pub mod hierarchy;
 pub mod schema;
 pub mod snapshot;
+pub mod snapshot_v2;
 pub mod stats;
 pub mod store;
 pub mod view;
+pub(crate) mod zerocopy;
 
 pub use algo::{
     connected_components, degree_histogram, giant_component_size, pagerank, top_intents_global,
@@ -30,6 +39,7 @@ pub use algo::{
 pub use hierarchy::IntentHierarchy;
 pub use schema::{BehaviorKind, NodeKind, Relation, TailType};
 pub use snapshot::{KgSnapshot, SnapshotError};
+pub use snapshot_v2::{KgSnapshotView, MappedSnapshot, Verify};
 pub use stats::{summarize, CategoryRow, KgStats, KgSummary, CATEGORIES};
 pub use store::{Edge, EdgeId, KnowledgeGraph, Node, NodeId};
 pub use view::GraphView;

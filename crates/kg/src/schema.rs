@@ -9,7 +9,14 @@
 use serde::{Deserialize, Serialize};
 
 /// The 15 COSMO relation types (Table 2).
+///
+/// `repr(u8)` with declaration-order discriminants `0..15`: the v2
+/// snapshot stores the discriminant byte directly and casts validated
+/// buffers back to `&[Edge]`, so the representation is part of the
+/// on-disk format (pinned by `index_roundtrip` and the snapshot layout
+/// tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
 pub enum Relation {
     /// Product is used for a function/usage ("dry face").
     UsedForFunc,
@@ -205,7 +212,11 @@ impl TailType {
 }
 
 /// Kind of a node in the COSMO KG (§3.1: products, queries and intentions).
+///
+/// `repr(u8)` discriminants (`Product = 0`, `Query = 1`, `Intention = 2`)
+/// are part of the snapshot binary format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
 pub enum NodeKind {
     /// A product (head of co-buy knowledge).
     Product,
@@ -216,7 +227,11 @@ pub enum NodeKind {
 }
 
 /// Which user behaviour produced an edge (§3.1).
+///
+/// `repr(u8)` discriminants (`SearchBuy = 0`, `CoBuy = 1`) are part of
+/// the snapshot binary format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
 pub enum BehaviorKind {
     /// Query–purchase pair within a short session.
     SearchBuy,

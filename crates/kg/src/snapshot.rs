@@ -81,7 +81,7 @@ impl From<std::io::Error> for SnapshotError {
     }
 }
 
-fn kind_to_u8(k: NodeKind) -> u8 {
+pub(crate) fn kind_to_u8(k: NodeKind) -> u8 {
     match k {
         NodeKind::Product => 0,
         NodeKind::Query => 1,
@@ -89,7 +89,7 @@ fn kind_to_u8(k: NodeKind) -> u8 {
     }
 }
 
-fn kind_from_u8(b: u8) -> Option<NodeKind> {
+pub(crate) fn kind_from_u8(b: u8) -> Option<NodeKind> {
     match b {
         0 => Some(NodeKind::Product),
         1 => Some(NodeKind::Query),
@@ -98,7 +98,7 @@ fn kind_from_u8(b: u8) -> Option<NodeKind> {
     }
 }
 
-fn behavior_to_u8(b: BehaviorKind) -> u8 {
+pub(crate) fn behavior_to_u8(b: BehaviorKind) -> u8 {
     match b {
         BehaviorKind::SearchBuy => 0,
         BehaviorKind::CoBuy => 1,
@@ -114,28 +114,31 @@ fn behavior_from_u8(b: u8) -> Option<BehaviorKind> {
 }
 
 /// A frozen knowledge graph in CSR layout. See the module docs.
+///
+/// Fields are `pub(crate)` so the v2 encoder/decoder
+/// ([`crate::snapshot_v2`]) can stream them without copies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KgSnapshot {
     /// Kind of node `i`.
-    kinds: Vec<NodeKind>,
+    pub(crate) kinds: Vec<NodeKind>,
     /// `n+1` byte offsets into `arena`; node `i`'s text is
     /// `arena[text_offsets[i]..text_offsets[i+1]]`.
-    text_offsets: Vec<u32>,
+    pub(crate) text_offsets: Vec<u32>,
     /// All node text, concatenated.
-    arena: String,
+    pub(crate) arena: String,
     /// All edges, sorted by `(head, relation, tail)`.
-    edges: Vec<Edge>,
+    pub(crate) edges: Vec<Edge>,
     /// `n+1` prefix offsets into `edges`: out-edges of node `i` are
     /// `edges[out_offsets[i]..out_offsets[i+1]]`.
-    out_offsets: Vec<u32>,
+    pub(crate) out_offsets: Vec<u32>,
     /// `n+1` prefix offsets into `in_edges`.
-    in_offsets: Vec<u32>,
+    pub(crate) in_offsets: Vec<u32>,
     /// Edge indices sorted by `(tail, edge index)` — i.e. for each tail, by
     /// `(head, relation)`.
-    in_edges: Vec<u32>,
+    pub(crate) in_edges: Vec<u32>,
     /// `(kind, text hash, id)` sorted ascending; binary-searched by
     /// `find_node` with text verification on hash hits.
-    lookup: Vec<(u8, u64, u32)>,
+    pub(crate) lookup: Vec<(u8, u64, u32)>,
 }
 
 impl KgSnapshot {
@@ -334,6 +337,10 @@ impl KgSnapshot {
 
     /// Deserialise from [`Self::to_bytes`] output, validating magic,
     /// version, checksum and structural invariants.
+    ///
+    /// Buffers in the v2 format ([`crate::snapshot_v2`]) are accepted and
+    /// decoded into an owned snapshot — the inverse of the v1→v2
+    /// migration `load` performs, so both entry points read both formats.
     pub fn from_bytes(buf: &[u8]) -> Result<KgSnapshot, SnapshotError> {
         if buf.len() < HEADER_LEN {
             return Err(SnapshotError::Corrupt("buffer shorter than header"));
@@ -342,22 +349,41 @@ impl KgSnapshot {
             return Err(SnapshotError::BadMagic);
         }
         let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if version == crate::snapshot_v2::FORMAT_VERSION_V2 {
+            let mapped = crate::snapshot_v2::MappedSnapshot::from_bytes(
+                buf.to_vec(),
+                crate::snapshot_v2::Verify::Full,
+            )?;
+            return Ok(mapped.to_owned_snapshot());
+        }
         if version != FORMAT_VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let n = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
         let m = u32::from_le_bytes(buf[16..20].try_into().unwrap()) as usize;
-        let arena_len = u64::from_le_bytes(buf[20..28].try_into().unwrap()) as usize;
+        let arena_len = usize::try_from(u64::from_le_bytes(buf[20..28].try_into().unwrap()))
+            .map_err(|_| SnapshotError::Corrupt("arena length overflows usize"))?;
         let checksum = u64::from_le_bytes(buf[28..36].try_into().unwrap());
 
+        // The header fields are untrusted: the expected payload length is
+        // computed with checked arithmetic so a crafted header (e.g.
+        // `arena_len` near `u64::MAX`) is a clean Corrupt, not an
+        // overflow panic (debug) or a wrapped bogus length (release).
+        let per_node = n
+            .checked_add(1)
+            .and_then(|n1| n1.checked_mul(4))
+            .and_then(|o| o.checked_mul(3)) // text + out + in offset arrays
+            .ok_or(SnapshotError::Corrupt("node count overflows layout"))?;
+        let per_edge = EDGE_RECORD_LEN
+            .checked_add(4) // edge record + in-edge index
+            .and_then(|b| b.checked_mul(m))
+            .ok_or(SnapshotError::Corrupt("edge count overflows layout"))?;
         let expected = n
-            + 4 * (n + 1)
-            + arena_len
-            + EDGE_RECORD_LEN * m
-            + 4 * (n + 1)
-            + 4 * (n + 1)
-            + 4 * m
-            + LOOKUP_RECORD_LEN * n;
+            .checked_mul(1 + LOOKUP_RECORD_LEN) // kind byte + lookup record
+            .and_then(|b| b.checked_add(per_node))
+            .and_then(|b| b.checked_add(per_edge))
+            .and_then(|b| b.checked_add(arena_len))
+            .ok_or(SnapshotError::Corrupt("header sizes overflow layout"))?;
         let payload = &buf[HEADER_LEN..];
         if payload.len() != expected {
             return Err(SnapshotError::Corrupt("payload length mismatch"));

@@ -1,0 +1,1075 @@
+//! Snapshot binary format **v2**: fixed 64-byte-aligned sections usable
+//! directly from borrowed file bytes.
+//!
+//! The v1 format ([`crate::snapshot`]) is compact but must be *parsed*:
+//! every offset array, edge record and lookup record is decoded into a
+//! freshly allocated `Vec`, so load time is O(bytes) with a full copy.
+//! v2 instead lays each CSR array out exactly as it lives in memory —
+//!
+//! ```text
+//! [ 64-byte header ][ section table: 8 × (offset u64, len u64) ]
+//! [ kinds: n × u8          ]  (each section starts 64-byte aligned,
+//! [ text_offsets: (n+1)×u32]   zero-padded up to the next section)
+//! [ arena: UTF-8 bytes     ]
+//! [ edges: m × Edge (28 B) ]  ← the repr(C) layout of `Edge` itself
+//! [ out_offsets: (n+1)×u32 ]
+//! [ in_offsets:  (n+1)×u32 ]
+//! [ in_edges: m × u32      ]
+//! [ lookup: n × LookupRec  ]  (hash u64, id u32, kind u8, pad ×3)
+//! ```
+//!
+//! — so [`MappedSnapshot`] serves every read straight out of a borrowed
+//! `&[u8]` (typically an `mmap` region from [`cosmo_mapped::MappedBytes`])
+//! with **no** `Vec` materialisation: opening is O(pages touched), and
+//! concurrent server processes share one physical copy of the file.
+//!
+//! ## Validation levels
+//!
+//! All integer arithmetic over untrusted header/table fields is checked
+//! (`checked_add`/`checked_mul` → [`SnapshotError::Corrupt`]), mirroring
+//! the hardened v1 decoder. Two verification levels trade scan cost
+//! against rigor:
+//!
+//! * [`Verify::Structural`] — everything *panic-freedom and memory
+//!   safety* require: header/table geometry, enum tag scans (node kinds,
+//!   edge relation/behavior bytes — casting an invalid discriminant
+//!   would be UB), UTF-8 arena + char-boundary offsets, monotone offset
+//!   arrays bounded by their targets, edge endpoints `< n`, in-edge
+//!   indices `< m`, strict edge sort order, sorted lookup with ids `< n`.
+//!   One pass over the file; this is the level the serving reload path's
+//!   *open* uses for the O(pages) claim.
+//! * [`Verify::Full`] — Structural **plus** the payload checksum, exact
+//!   prefix-offset recomputation, in-edge grouping, and lookup-vs-node
+//!   hash verification: byte-for-byte as strict as the v1 decoder. Used
+//!   when publishing a snapshot into a live server (`/ops/reload`) and
+//!   by the corruption property tests.
+//!
+//! ## Endianness
+//!
+//! The borrowed view reinterprets little-endian file bytes as host
+//! integers, so the mapped path is little-endian-only (checked at load;
+//! big-endian hosts get a clean `Corrupt` error). Both supported targets
+//! (x86_64, aarch64) are little-endian.
+
+use crate::schema::{NodeKind, Relation};
+use crate::snapshot::{kind_from_u8, KgSnapshot, SnapshotError, MAGIC};
+use crate::store::{Edge, NodeId};
+use crate::view::GraphView;
+use crate::zerocopy::{cast_slice, str_from_validated, LookupRec};
+use cosmo_mapped::MappedBytes;
+use cosmo_text::hash::hash_bytes;
+use std::path::Path;
+
+/// Format version tag for this layout.
+pub const FORMAT_VERSION_V2: u32 = 2;
+/// v2 header size: magic(8) version(4) reserved(4) n(8) m(8) arena(8)
+/// checksum(8) total_len(8) reserved(8).
+pub const HEADER_LEN_V2: usize = 64;
+/// Sections in the table, in file order.
+const SECTION_COUNT: usize = 8;
+/// Every section begins on a 64-byte boundary.
+const SECTION_ALIGN: usize = 64;
+/// Byte offset of the section table (right after the header).
+const TABLE_OFF: usize = HEADER_LEN_V2;
+/// Byte offset of the first section: header + table, already 64-aligned.
+const FIRST_SECTION_OFF: usize = TABLE_OFF + SECTION_COUNT * 16;
+
+const SEC_KINDS: usize = 0;
+const SEC_TEXT_OFFSETS: usize = 1;
+const SEC_ARENA: usize = 2;
+const SEC_EDGES: usize = 3;
+const SEC_OUT_OFFSETS: usize = 4;
+const SEC_IN_OFFSETS: usize = 5;
+const SEC_IN_EDGES: usize = 6;
+const SEC_LOOKUP: usize = 7;
+
+/// On-disk edge record size — the in-memory `repr(C)` layout of [`Edge`].
+const EDGE_SIZE: usize = std::mem::size_of::<Edge>();
+/// On-disk lookup record size.
+const LOOKUP_SIZE: usize = std::mem::size_of::<LookupRec>();
+
+// The file format *is* the in-memory layout: pin it at compile time so an
+// innocent field reorder cannot silently change the format.
+const _: () = {
+    assert!(std::mem::size_of::<Edge>() == 28);
+    assert!(std::mem::align_of::<Edge>() == 4);
+    assert!(std::mem::offset_of!(Edge, head) == 0);
+    assert!(std::mem::offset_of!(Edge, relation) == 4);
+    assert!(std::mem::offset_of!(Edge, tail) == 8);
+    assert!(std::mem::offset_of!(Edge, behavior) == 12);
+    assert!(std::mem::offset_of!(Edge, category) == 13);
+    assert!(std::mem::offset_of!(Edge, plausibility) == 16);
+    assert!(std::mem::offset_of!(Edge, typicality) == 20);
+    assert!(std::mem::offset_of!(Edge, support) == 24);
+    assert!(std::mem::size_of::<LookupRec>() == 16);
+    assert!(std::mem::align_of::<LookupRec>() == 8);
+    assert!(std::mem::offset_of!(LookupRec, hash) == 0);
+    assert!(std::mem::offset_of!(LookupRec, id) == 8);
+    assert!(std::mem::offset_of!(LookupRec, kind) == 12);
+    assert!(FIRST_SECTION_OFF.is_multiple_of(SECTION_ALIGN));
+};
+
+/// How much of the snapshot to verify at load time (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verify {
+    /// Memory-safety-complete single-pass validation; skips the checksum
+    /// and the cross-array consistency recomputation.
+    Structural,
+    /// Structural plus checksum and full cross-array verification —
+    /// exactly as strict as the v1 decoder.
+    Full,
+}
+
+/// Round up to the next section boundary; `None` on overflow.
+fn align_up(x: usize) -> Option<usize> {
+    x.checked_add(SECTION_ALIGN - 1)
+        .map(|v| v & !(SECTION_ALIGN - 1))
+}
+
+/// The eight expected section lengths for the given counts, checked.
+fn section_lens(n: usize, m: usize, arena_len: usize) -> Result<[usize; 8], SnapshotError> {
+    let overflow = || SnapshotError::Corrupt("section sizes overflow layout");
+    let n1 = n.checked_add(1).ok_or_else(overflow)?;
+    let off_bytes = n1.checked_mul(4).ok_or_else(overflow)?;
+    Ok([
+        n,
+        off_bytes,
+        arena_len,
+        m.checked_mul(EDGE_SIZE).ok_or_else(overflow)?,
+        off_bytes,
+        off_bytes,
+        m.checked_mul(4).ok_or_else(overflow)?,
+        n.checked_mul(LOOKUP_SIZE).ok_or_else(overflow)?,
+    ])
+}
+
+impl KgSnapshot {
+    /// Serialise to the v2 aligned-section format.
+    pub fn to_bytes_v2(&self) -> Vec<u8> {
+        let n = self.num_nodes();
+        let m = self.num_edges();
+        let lens = section_lens(n, m, self.arena.len()).expect("in-memory snapshot fits layout");
+
+        let mut offsets = [0usize; SECTION_COUNT];
+        let mut cursor = FIRST_SECTION_OFF;
+        for (off, len) in offsets.iter_mut().zip(lens) {
+            *off = cursor;
+            cursor = align_up(cursor + len).expect("in-memory snapshot fits layout");
+        }
+        let total_len = offsets[SECTION_COUNT - 1] + lens[SECTION_COUNT - 1];
+
+        let mut out = vec![0u8; total_len];
+        out[..8].copy_from_slice(&MAGIC);
+        out[8..12].copy_from_slice(&FORMAT_VERSION_V2.to_le_bytes());
+        // 12..16 reserved = 0
+        out[16..24].copy_from_slice(&(n as u64).to_le_bytes());
+        out[24..32].copy_from_slice(&(m as u64).to_le_bytes());
+        out[32..40].copy_from_slice(&(self.arena.len() as u64).to_le_bytes());
+        // 40..48 checksum, patched below
+        out[48..56].copy_from_slice(&(total_len as u64).to_le_bytes());
+        // 56..64 reserved = 0
+        for i in 0..SECTION_COUNT {
+            let t = TABLE_OFF + i * 16;
+            out[t..t + 8].copy_from_slice(&(offsets[i] as u64).to_le_bytes());
+            out[t + 8..t + 16].copy_from_slice(&(lens[i] as u64).to_le_bytes());
+        }
+
+        {
+            let dst = &mut out[offsets[SEC_KINDS]..offsets[SEC_KINDS] + lens[SEC_KINDS]];
+            for (d, &k) in dst.iter_mut().zip(&self.kinds) {
+                *d = crate::snapshot::kind_to_u8(k);
+            }
+        }
+        write_u32s(&mut out, offsets[SEC_TEXT_OFFSETS], &self.text_offsets);
+        out[offsets[SEC_ARENA]..offsets[SEC_ARENA] + lens[SEC_ARENA]]
+            .copy_from_slice(self.arena.as_bytes());
+        {
+            let mut at = offsets[SEC_EDGES];
+            for e in &self.edges {
+                // Field-by-field at the repr(C) offsets, padding left as
+                // the zeroes the buffer was initialised with — this is
+                // what makes the encoding byte-stable.
+                out[at..at + 4].copy_from_slice(&e.head.0.to_le_bytes());
+                out[at + 4] = e.relation.index() as u8;
+                out[at + 8..at + 12].copy_from_slice(&e.tail.0.to_le_bytes());
+                out[at + 12] = crate::snapshot::behavior_to_u8(e.behavior);
+                out[at + 13] = e.category;
+                out[at + 16..at + 20].copy_from_slice(&e.plausibility.to_bits().to_le_bytes());
+                out[at + 20..at + 24].copy_from_slice(&e.typicality.to_bits().to_le_bytes());
+                out[at + 24..at + 28].copy_from_slice(&e.support.to_le_bytes());
+                at += EDGE_SIZE;
+            }
+        }
+        write_u32s(&mut out, offsets[SEC_OUT_OFFSETS], &self.out_offsets);
+        write_u32s(&mut out, offsets[SEC_IN_OFFSETS], &self.in_offsets);
+        write_u32s(&mut out, offsets[SEC_IN_EDGES], &self.in_edges);
+        {
+            let mut at = offsets[SEC_LOOKUP];
+            for &(k, h, id) in &self.lookup {
+                out[at..at + 8].copy_from_slice(&h.to_le_bytes());
+                out[at + 8..at + 12].copy_from_slice(&id.to_le_bytes());
+                out[at + 12] = k;
+                at += LOOKUP_SIZE;
+            }
+        }
+
+        let checksum = hash_bytes(&out[HEADER_LEN_V2..]);
+        out[40..48].copy_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Write the snapshot to a file in the v2 format.
+    pub fn save_v2(&self, path: &Path) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_bytes_v2())?;
+        Ok(())
+    }
+}
+
+fn write_u32s(out: &mut [u8], at: usize, values: &[u32]) {
+    for (i, v) in values.iter().enumerate() {
+        out[at + i * 4..at + i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// A v2 snapshot served directly from borrowed (typically memory-mapped)
+/// bytes. Every accessor returns slices into the file region; nothing is
+/// materialised at load beyond the 8-entry section table.
+#[derive(Debug)]
+pub struct MappedSnapshot {
+    bytes: MappedBytes,
+    n: usize,
+    m: usize,
+    arena_len: usize,
+    /// Bitmask of relation discriminants present, gathered during the
+    /// load-time edge tag scan (so `num_relations` stays O(1)).
+    relations_mask: u16,
+    /// `(offset, len)` per section, validated against the header counts.
+    sec: [(usize, usize); SECTION_COUNT],
+}
+
+impl MappedSnapshot {
+    /// Open a v2 snapshot file with [`Verify::Structural`] — the
+    /// O(pages touched) production path.
+    pub fn open(path: &Path) -> Result<MappedSnapshot, SnapshotError> {
+        Self::from_mapped(MappedBytes::open(path)?, Verify::Structural)
+    }
+
+    /// Open a v2 snapshot file with [`Verify::Full`] — the publish path.
+    pub fn open_verified(path: &Path) -> Result<MappedSnapshot, SnapshotError> {
+        Self::from_mapped(MappedBytes::open(path)?, Verify::Full)
+    }
+
+    /// Validate an in-memory buffer (copied into an aligned owned
+    /// backing) — the test and migration path.
+    pub fn from_bytes(buf: Vec<u8>, verify: Verify) -> Result<MappedSnapshot, SnapshotError> {
+        Self::from_mapped(MappedBytes::from_vec(buf), verify)
+    }
+
+    /// Validate already-opened bytes. See the module docs for what each
+    /// [`Verify`] level checks.
+    pub fn from_mapped(
+        bytes: MappedBytes,
+        verify: Verify,
+    ) -> Result<MappedSnapshot, SnapshotError> {
+        if cfg!(target_endian = "big") {
+            return Err(SnapshotError::Corrupt(
+                "v2 mapped snapshots require a little-endian host",
+            ));
+        }
+        let buf: &[u8] = &bytes;
+        if buf.len() < FIRST_SECTION_OFF {
+            return Err(SnapshotError::Corrupt("buffer shorter than v2 header"));
+        }
+        if buf[..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION_V2 {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        if buf[12..16] != [0; 4] || buf[56..64] != [0; 8] {
+            return Err(SnapshotError::Corrupt("reserved header bytes not zero"));
+        }
+        let read_u64 = |at: usize| u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+        let to_usize = |v: u64, what: &'static str| {
+            usize::try_from(v).map_err(|_| SnapshotError::Corrupt(what))
+        };
+        let n = to_usize(read_u64(16), "node count overflows usize")?;
+        let m = to_usize(read_u64(24), "edge count overflows usize")?;
+        let arena_len = to_usize(read_u64(32), "arena length overflows usize")?;
+        let checksum = read_u64(40);
+        if read_u64(48) != buf.len() as u64 {
+            return Err(SnapshotError::Corrupt("total length mismatch"));
+        }
+        // Ids on disk are u32 (NodeId / edge indices), so the counts must
+        // fit; this also bounds every later index computation.
+        if n > u32::MAX as usize || m > u32::MAX as usize || arena_len > u32::MAX as usize {
+            return Err(SnapshotError::Corrupt("counts exceed u32 id space"));
+        }
+
+        // Section table: offsets are fully determined by the counts —
+        // each section must start exactly where the previous one ends,
+        // rounded up to the alignment boundary. Any drift is corruption.
+        let lens = section_lens(n, m, arena_len)?;
+        let mut sec = [(0usize, 0usize); SECTION_COUNT];
+        let mut expect_off = FIRST_SECTION_OFF;
+        let mut end = FIRST_SECTION_OFF;
+        for (i, slot) in sec.iter_mut().enumerate() {
+            let t = TABLE_OFF + i * 16;
+            let off = to_usize(read_u64(t), "section offset overflows usize")?;
+            let len = to_usize(read_u64(t + 8), "section length overflows usize")?;
+            if off != expect_off {
+                return Err(SnapshotError::Corrupt("section offset out of place"));
+            }
+            if len != lens[i] {
+                return Err(SnapshotError::Corrupt("section length mismatch"));
+            }
+            end = off
+                .checked_add(len)
+                .ok_or(SnapshotError::Corrupt("section extends past address space"))?;
+            if end > buf.len() {
+                return Err(SnapshotError::Corrupt("section extends past buffer"));
+            }
+            expect_off =
+                align_up(end).ok_or(SnapshotError::Corrupt("section padding overflows"))?;
+            *slot = (off, len);
+        }
+        if end != buf.len() {
+            return Err(SnapshotError::Corrupt("trailing bytes after last section"));
+        }
+
+        if verify == Verify::Full && hash_bytes(&buf[HEADER_LEN_V2..]) != checksum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+
+        let section = |i: usize| &buf[sec[i].0..sec[i].0 + sec[i].1];
+
+        // kinds: every byte must be a valid NodeKind discriminant before
+        // the &[NodeKind] cast is ever reachable.
+        if section(SEC_KINDS)
+            .iter()
+            .any(|&b| kind_from_u8(b).is_none())
+        {
+            return Err(SnapshotError::Corrupt("bad node kind"));
+        }
+
+        let text_offsets: &[u32] = cast_slice(section(SEC_TEXT_OFFSETS))
+            .ok_or(SnapshotError::Corrupt("text offsets misaligned"))?;
+        if text_offsets[0] != 0 || text_offsets[n] as usize != arena_len {
+            return Err(SnapshotError::Corrupt("text offsets do not span arena"));
+        }
+        if text_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SnapshotError::Corrupt("text offsets not monotone"));
+        }
+        let arena = std::str::from_utf8(section(SEC_ARENA))
+            .map_err(|_| SnapshotError::Corrupt("arena is not UTF-8"))?;
+        if !text_offsets
+            .iter()
+            .all(|&o| arena.is_char_boundary(o as usize))
+        {
+            return Err(SnapshotError::Corrupt("text offset splits a UTF-8 char"));
+        }
+
+        // Edges: one raw pass checks both enum tags (cast safety), both
+        // endpoints (bounds safety) and the strict sort order (lookup
+        // determinism) before the &[Edge] cast.
+        let mut relations_mask = 0u16;
+        let mut prev_key: Option<(u32, u8, u32)> = None;
+        for rec in section(SEC_EDGES).chunks_exact(EDGE_SIZE) {
+            let rel = rec[4];
+            if rel as usize >= Relation::ALL.len() {
+                return Err(SnapshotError::Corrupt("bad relation tag"));
+            }
+            if rec[12] >= 2 {
+                return Err(SnapshotError::Corrupt("bad behavior tag"));
+            }
+            let head = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+            let tail = u32::from_le_bytes(rec[8..12].try_into().unwrap());
+            if head as usize >= n || tail as usize >= n {
+                return Err(SnapshotError::Corrupt("edge endpoint out of range"));
+            }
+            let key = (head, rel, tail);
+            if prev_key.is_some_and(|p| p >= key) {
+                return Err(SnapshotError::Corrupt("edges not strictly sorted"));
+            }
+            prev_key = Some(key);
+            relations_mask |= 1 << rel;
+        }
+
+        let out_offsets: &[u32] = cast_slice(section(SEC_OUT_OFFSETS))
+            .ok_or(SnapshotError::Corrupt("out offsets misaligned"))?;
+        let in_offsets: &[u32] = cast_slice(section(SEC_IN_OFFSETS))
+            .ok_or(SnapshotError::Corrupt("in offsets misaligned"))?;
+        for (offsets, what) in [
+            (out_offsets, "out offsets inconsistent"),
+            (in_offsets, "in offsets inconsistent"),
+        ] {
+            if offsets[0] != 0
+                || offsets[n] as usize != m
+                || offsets.windows(2).any(|w| w[0] > w[1])
+            {
+                return Err(SnapshotError::Corrupt(what));
+            }
+        }
+        let in_edges: &[u32] = cast_slice(section(SEC_IN_EDGES))
+            .ok_or(SnapshotError::Corrupt("in edges misaligned"))?;
+        if in_edges.iter().any(|&i| i as usize >= m) {
+            return Err(SnapshotError::Corrupt("in-edge index out of range"));
+        }
+
+        let lookup: &[LookupRec] =
+            cast_slice(section(SEC_LOOKUP)).ok_or(SnapshotError::Corrupt("lookup misaligned"))?;
+        let mut prev: Option<(u8, u64, u32)> = None;
+        for r in lookup {
+            if r.id as usize >= n {
+                return Err(SnapshotError::Corrupt("lookup id out of range"));
+            }
+            let key = (r.kind, r.hash, r.id);
+            if prev.is_some_and(|p| p >= key) {
+                return Err(SnapshotError::Corrupt("lookup not sorted"));
+            }
+            prev = Some(key);
+        }
+
+        if verify == Verify::Full {
+            // Cross-array consistency at v1 rigor: recompute both prefix
+            // arrays, re-derive the in-edge grouping, and re-hash every
+            // node text against its lookup record.
+            let edges: &[Edge] =
+                cast_slice(section(SEC_EDGES)).ok_or(SnapshotError::Corrupt("edges misaligned"))?;
+            let recompute = |key: fn(&Edge) -> u32| {
+                let mut offsets = vec![0u32; n + 1];
+                for e in edges {
+                    offsets[key(e) as usize + 1] += 1;
+                }
+                for i in 0..n {
+                    offsets[i + 1] += offsets[i];
+                }
+                offsets
+            };
+            if out_offsets != recompute(|e| e.head.0) {
+                return Err(SnapshotError::Corrupt(
+                    "out offsets inconsistent with edges",
+                ));
+            }
+            if in_offsets != recompute(|e| e.tail.0) {
+                return Err(SnapshotError::Corrupt("in offsets inconsistent with edges"));
+            }
+            let mut prev: Option<(u32, u32)> = None;
+            for (j, &idx) in in_edges.iter().enumerate() {
+                let tail = edges[idx as usize].tail.0;
+                let s = in_offsets[tail as usize] as usize;
+                let e = in_offsets[tail as usize + 1] as usize;
+                if j < s || j >= e {
+                    return Err(SnapshotError::Corrupt("in-edge in wrong tail group"));
+                }
+                if prev.is_some_and(|p| p >= (tail, idx)) {
+                    return Err(SnapshotError::Corrupt("in-edges not sorted"));
+                }
+                prev = Some((tail, idx));
+            }
+            let mut seen = vec![false; n];
+            for r in lookup {
+                let i = r.id as usize;
+                if seen[i] {
+                    return Err(SnapshotError::Corrupt("lookup id duplicated"));
+                }
+                seen[i] = true;
+                let s = text_offsets[i] as usize;
+                let e = text_offsets[i + 1] as usize;
+                if r.kind != section(SEC_KINDS)[i] || r.hash != hash_bytes(&arena.as_bytes()[s..e])
+                {
+                    return Err(SnapshotError::Corrupt("lookup record does not match node"));
+                }
+            }
+        }
+
+        Ok(MappedSnapshot {
+            bytes,
+            n,
+            m,
+            arena_len,
+            relations_mask,
+            sec,
+        })
+    }
+
+    fn section(&self, i: usize) -> &[u8] {
+        &self.bytes[self.sec[i].0..self.sec[i].0 + self.sec[i].1]
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Number of distinct relation types present (O(1): gathered during
+    /// the load-time tag scan).
+    pub fn num_relations(&self) -> usize {
+        self.relations_mask.count_ones() as usize
+    }
+
+    /// Total bytes of node text in the arena.
+    pub fn arena_len(&self) -> usize {
+        self.arena_len
+    }
+
+    /// True when the backing bytes are an OS memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.bytes.is_mapped()
+    }
+
+    /// The full serialised file, byte-identical to
+    /// [`KgSnapshot::to_bytes_v2`] output.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    fn kinds(&self) -> &[NodeKind] {
+        cast_slice(self.section(SEC_KINDS)).expect("validated at load")
+    }
+
+    fn text_offsets(&self) -> &[u32] {
+        cast_slice(self.section(SEC_TEXT_OFFSETS)).expect("validated at load")
+    }
+
+    fn arena_str(&self) -> &str {
+        str_from_validated(self.section(SEC_ARENA))
+    }
+
+    /// All edges, sorted by `(head, relation, tail)` — borrowed straight
+    /// from the file bytes.
+    pub fn edges(&self) -> &[Edge] {
+        cast_slice(self.section(SEC_EDGES)).expect("validated at load")
+    }
+
+    fn out_offsets(&self) -> &[u32] {
+        cast_slice(self.section(SEC_OUT_OFFSETS)).expect("validated at load")
+    }
+
+    fn in_offsets(&self) -> &[u32] {
+        cast_slice(self.section(SEC_IN_OFFSETS)).expect("validated at load")
+    }
+
+    fn in_edges(&self) -> &[u32] {
+        cast_slice(self.section(SEC_IN_EDGES)).expect("validated at load")
+    }
+
+    fn lookup(&self) -> &[LookupRec] {
+        cast_slice(self.section(SEC_LOOKUP)).expect("validated at load")
+    }
+
+    /// Kind of a node.
+    pub fn node_kind(&self, id: NodeId) -> NodeKind {
+        self.kinds()[id.0 as usize]
+    }
+
+    /// Text of a node (borrowed from the mapped arena).
+    pub fn node_text(&self, id: NodeId) -> &str {
+        let offsets = self.text_offsets();
+        let s = offsets[id.0 as usize] as usize;
+        let e = offsets[id.0 as usize + 1] as usize;
+        &self.arena_str()[s..e]
+    }
+
+    /// Binary-searched node lookup, identical to the v1 algorithm.
+    pub fn find_node(&self, kind: NodeKind, text: &str) -> Option<NodeId> {
+        let key = (
+            crate::snapshot::kind_to_u8(kind),
+            hash_bytes(text.as_bytes()),
+        );
+        let lookup = self.lookup();
+        let start = lookup.partition_point(|r| (r.kind, r.hash) < key);
+        lookup[start..]
+            .iter()
+            .take_while(|r| (r.kind, r.hash) == key)
+            .map(|r| NodeId(r.id))
+            .find(|&id| self.node_text(id) == text)
+    }
+
+    /// Out-edges of `head` as one contiguous borrowed slice.
+    pub fn out_slice(&self, head: NodeId) -> &[Edge] {
+        let offsets = self.out_offsets();
+        let s = offsets[head.0 as usize] as usize;
+        let e = offsets[head.0 as usize + 1] as usize;
+        &self.edges()[s..e]
+    }
+
+    /// Out-edges of `head` restricted to `relation`.
+    pub fn tails_of_rel_slice(&self, head: NodeId, relation: Relation) -> &[Edge] {
+        let out = self.out_slice(head);
+        let r = relation.index();
+        let lo = out.partition_point(|e| e.relation.index() < r);
+        let hi = lo + out[lo..].partition_point(|e| e.relation.index() == r);
+        &out[lo..hi]
+    }
+
+    /// Indices (into [`Self::edges`]) of the in-edges of `tail`.
+    pub fn in_slice(&self, tail: NodeId) -> &[u32] {
+        let offsets = self.in_offsets();
+        let s = offsets[tail.0 as usize] as usize;
+        let e = offsets[tail.0 as usize + 1] as usize;
+        &self.in_edges()[s..e]
+    }
+
+    /// Materialise an owned [`KgSnapshot`] with identical contents — the
+    /// v2→v1 direction of the migration path.
+    pub fn to_owned_snapshot(&self) -> KgSnapshot {
+        KgSnapshot {
+            kinds: self.kinds().to_vec(),
+            text_offsets: self.text_offsets().to_vec(),
+            arena: self.arena_str().to_string(),
+            edges: self.edges().to_vec(),
+            out_offsets: self.out_offsets().to_vec(),
+            in_offsets: self.in_offsets().to_vec(),
+            in_edges: self.in_edges().to_vec(),
+            lookup: self
+                .lookup()
+                .iter()
+                .map(|r| (r.kind, r.hash, r.id))
+                .collect(),
+        }
+    }
+}
+
+impl GraphView for MappedSnapshot {
+    fn num_nodes(&self) -> usize {
+        MappedSnapshot::num_nodes(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        MappedSnapshot::num_edges(self)
+    }
+
+    fn find_node(&self, kind: NodeKind, text: &str) -> Option<NodeId> {
+        MappedSnapshot::find_node(self, kind, text)
+    }
+
+    fn node_kind(&self, id: NodeId) -> NodeKind {
+        MappedSnapshot::node_kind(self, id)
+    }
+
+    fn node_text(&self, id: NodeId) -> &str {
+        MappedSnapshot::node_text(self, id)
+    }
+
+    fn out_degree(&self, id: NodeId) -> usize {
+        self.out_slice(id).len()
+    }
+
+    fn in_degree(&self, id: NodeId) -> usize {
+        self.in_slice(id).len()
+    }
+
+    fn tails_of(&self, head: NodeId) -> impl Iterator<Item = &Edge> {
+        self.out_slice(head).iter()
+    }
+
+    fn tails_of_rel(&self, head: NodeId, relation: Relation) -> impl Iterator<Item = &Edge> {
+        self.tails_of_rel_slice(head, relation).iter()
+    }
+
+    fn heads_of(&self, tail: NodeId) -> impl Iterator<Item = &Edge> {
+        self.in_slice(tail)
+            .iter()
+            .map(|&i| &self.edges()[i as usize])
+    }
+}
+
+/// A serving-ready snapshot behind either backend: an owned v1-style
+/// [`KgSnapshot`] or a borrowed [`MappedSnapshot`]. The serving tier
+/// holds `Arc<KgSnapshotView>` so a hot-swap can atomically re-point
+/// readers at a new file without caring which backend it came from.
+#[derive(Debug)]
+pub enum KgSnapshotView {
+    /// Fully materialised snapshot (freeze output, or a migrated v1 file).
+    Owned(KgSnapshot),
+    /// Borrowed view over mapped v2 bytes.
+    Mapped(MappedSnapshot),
+}
+
+impl KgSnapshotView {
+    /// Open a snapshot file of either format version.
+    ///
+    /// v2 files get the borrowed mapped view ([`Verify::Structural`]);
+    /// v1 files are migrated on load — parsed once into an owned
+    /// snapshot that serves through the same interface.
+    pub fn open(path: &Path) -> Result<KgSnapshotView, SnapshotError> {
+        Self::open_with(path, Verify::Structural)
+    }
+
+    /// [`KgSnapshotView::open`] at [`Verify::Full`] rigor — what a live
+    /// server uses before publishing a new generation.
+    pub fn open_verified(path: &Path) -> Result<KgSnapshotView, SnapshotError> {
+        Self::open_with(path, Verify::Full)
+    }
+
+    fn open_with(path: &Path, verify: Verify) -> Result<KgSnapshotView, SnapshotError> {
+        let bytes = MappedBytes::open(path)?;
+        if bytes.len() >= 12
+            && bytes[..8] == MAGIC
+            && u32::from_le_bytes(bytes[8..12].try_into().unwrap()) == FORMAT_VERSION_V2
+        {
+            return Ok(KgSnapshotView::Mapped(MappedSnapshot::from_mapped(
+                bytes, verify,
+            )?));
+        }
+        // v1 (or garbage — from_bytes decides): full parse, owned view.
+        Ok(KgSnapshotView::Owned(KgSnapshot::from_bytes(&bytes)?))
+    }
+
+    /// The on-disk format version this view was built from (2 for the
+    /// mapped backend, 1 for owned/migrated snapshots).
+    pub fn format_version(&self) -> u32 {
+        match self {
+            KgSnapshotView::Owned(_) => crate::snapshot::FORMAT_VERSION,
+            KgSnapshotView::Mapped(_) => FORMAT_VERSION_V2,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            KgSnapshotView::Owned(s) => s.num_nodes(),
+            KgSnapshotView::Mapped(s) => s.num_nodes(),
+        }
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        match self {
+            KgSnapshotView::Owned(s) => s.num_edges(),
+            KgSnapshotView::Mapped(s) => s.num_edges(),
+        }
+    }
+
+    /// Number of distinct relation types present.
+    pub fn num_relations(&self) -> usize {
+        match self {
+            KgSnapshotView::Owned(s) => s.num_relations(),
+            KgSnapshotView::Mapped(s) => s.num_relations(),
+        }
+    }
+
+    /// Total bytes of node text.
+    pub fn arena_len(&self) -> usize {
+        match self {
+            KgSnapshotView::Owned(s) => s.arena_len(),
+            KgSnapshotView::Mapped(s) => s.arena_len(),
+        }
+    }
+
+    /// All edges, sorted by `(head, relation, tail)`.
+    pub fn edges(&self) -> &[Edge] {
+        match self {
+            KgSnapshotView::Owned(s) => s.edges(),
+            KgSnapshotView::Mapped(s) => s.edges(),
+        }
+    }
+
+    /// Out-edges of `head` as one contiguous slice.
+    pub fn out_slice(&self, head: NodeId) -> &[Edge] {
+        match self {
+            KgSnapshotView::Owned(s) => s.out_slice(head),
+            KgSnapshotView::Mapped(s) => s.out_slice(head),
+        }
+    }
+
+    /// Out-edges of `head` restricted to `relation`.
+    pub fn tails_of_rel_slice(&self, head: NodeId, relation: Relation) -> &[Edge] {
+        match self {
+            KgSnapshotView::Owned(s) => s.tails_of_rel_slice(head, relation),
+            KgSnapshotView::Mapped(s) => s.tails_of_rel_slice(head, relation),
+        }
+    }
+
+    /// Indices (into [`Self::edges`]) of the in-edges of `tail`.
+    pub fn in_slice(&self, tail: NodeId) -> &[u32] {
+        match self {
+            KgSnapshotView::Owned(s) => s.in_slice(tail),
+            KgSnapshotView::Mapped(s) => s.in_slice(tail),
+        }
+    }
+
+    /// Serialise to the v2 format (borrowed views return their backing
+    /// bytes verbatim).
+    pub fn to_bytes_v2(&self) -> Vec<u8> {
+        match self {
+            KgSnapshotView::Owned(s) => s.to_bytes_v2(),
+            KgSnapshotView::Mapped(s) => s.as_bytes().to_vec(),
+        }
+    }
+}
+
+impl From<KgSnapshot> for KgSnapshotView {
+    fn from(s: KgSnapshot) -> Self {
+        KgSnapshotView::Owned(s)
+    }
+}
+
+impl From<MappedSnapshot> for KgSnapshotView {
+    fn from(s: MappedSnapshot) -> Self {
+        KgSnapshotView::Mapped(s)
+    }
+}
+
+impl GraphView for KgSnapshotView {
+    fn num_nodes(&self) -> usize {
+        KgSnapshotView::num_nodes(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        KgSnapshotView::num_edges(self)
+    }
+
+    fn find_node(&self, kind: NodeKind, text: &str) -> Option<NodeId> {
+        match self {
+            KgSnapshotView::Owned(s) => s.find_node(kind, text),
+            KgSnapshotView::Mapped(s) => s.find_node(kind, text),
+        }
+    }
+
+    fn node_kind(&self, id: NodeId) -> NodeKind {
+        match self {
+            KgSnapshotView::Owned(s) => s.node_kind(id),
+            KgSnapshotView::Mapped(s) => s.node_kind(id),
+        }
+    }
+
+    fn node_text(&self, id: NodeId) -> &str {
+        match self {
+            KgSnapshotView::Owned(s) => s.node_text(id),
+            KgSnapshotView::Mapped(s) => s.node_text(id),
+        }
+    }
+
+    fn out_degree(&self, id: NodeId) -> usize {
+        self.out_slice(id).len()
+    }
+
+    fn in_degree(&self, id: NodeId) -> usize {
+        self.in_slice(id).len()
+    }
+
+    fn tails_of(&self, head: NodeId) -> impl Iterator<Item = &Edge> {
+        self.out_slice(head).iter()
+    }
+
+    fn tails_of_rel(&self, head: NodeId, relation: Relation) -> impl Iterator<Item = &Edge> {
+        self.tails_of_rel_slice(head, relation).iter()
+    }
+
+    fn heads_of(&self, tail: NodeId) -> impl Iterator<Item = &Edge> {
+        self.in_slice(tail)
+            .iter()
+            .map(|&i| &self.edges()[i as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::BehaviorKind;
+    use crate::store::KnowledgeGraph;
+
+    fn build_graph(heads: usize, tails_per_head: usize) -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        for h in 0..heads {
+            let kind = if h % 2 == 0 {
+                NodeKind::Query
+            } else {
+                NodeKind::Product
+            };
+            let head = kg.intern_node(kind, &format!("head {h}"));
+            for t in 0..tails_per_head {
+                let tail = kg.intern_node(
+                    NodeKind::Intention,
+                    &format!("intent {}", (h + t) % (heads / 2 + 1)),
+                );
+                let relation = Relation::ALL[(h * 7 + t * 3) % Relation::ALL.len()];
+                kg.add_edge(Edge {
+                    head,
+                    relation,
+                    tail,
+                    behavior: if t % 2 == 0 {
+                        BehaviorKind::SearchBuy
+                    } else {
+                        BehaviorKind::CoBuy
+                    },
+                    category: (t % 18) as u8,
+                    plausibility: 0.5 + 0.4 * (h as f32 / heads.max(1) as f32),
+                    typicality: 0.1 + 0.05 * (t as f32),
+                    support: 1 + (h % 3) as u32,
+                });
+            }
+        }
+        kg
+    }
+
+    #[test]
+    fn enum_discriminants_match_v1_codes() {
+        // repr(u8) pins these; the v1 helpers and the raw tag scans rely
+        // on the discriminants being the v1 wire codes.
+        assert_eq!(NodeKind::Product as u8, 0);
+        assert_eq!(NodeKind::Query as u8, 1);
+        assert_eq!(NodeKind::Intention as u8, 2);
+        assert_eq!(BehaviorKind::SearchBuy as u8, 0);
+        assert_eq!(BehaviorKind::CoBuy as u8, 1);
+        for (i, r) in Relation::ALL.iter().enumerate() {
+            assert_eq!(*r as u8 as usize, i);
+        }
+    }
+
+    #[test]
+    fn v2_roundtrip_full_verify() {
+        let snap = build_graph(20, 6).freeze();
+        let bytes = snap.to_bytes_v2();
+        let mapped = MappedSnapshot::from_bytes(bytes.clone(), Verify::Full).unwrap();
+        assert_eq!(mapped.to_owned_snapshot(), snap);
+        assert_eq!(mapped.as_bytes(), &bytes[..]);
+        assert_eq!(
+            mapped.to_owned_snapshot().to_bytes_v2(),
+            bytes,
+            "encode → decode → encode must be byte-stable"
+        );
+        assert_eq!(mapped.num_relations(), snap.num_relations());
+    }
+
+    #[test]
+    fn mapped_answers_match_owned_bitwise() {
+        let kg = build_graph(30, 8);
+        let snap = kg.freeze();
+        let mapped = MappedSnapshot::from_bytes(snap.to_bytes_v2(), Verify::Structural).unwrap();
+        assert_eq!(mapped.num_nodes(), snap.num_nodes());
+        assert_eq!(mapped.num_edges(), snap.num_edges());
+        assert_eq!(mapped.arena_len(), snap.arena_len());
+        for i in 0..snap.num_nodes() {
+            let id = NodeId(i as u32);
+            assert_eq!(mapped.node_kind(id), snap.node_kind(id));
+            assert_eq!(mapped.node_text(id), snap.node_text(id));
+            assert_eq!(
+                mapped.find_node(snap.node_kind(id), snap.node_text(id)),
+                snap.find_node(snap.node_kind(id), snap.node_text(id))
+            );
+            assert_eq!(mapped.out_slice(id), snap.out_slice(id));
+            assert_eq!(mapped.in_slice(id), snap.in_slice(id));
+            for rel in Relation::ALL {
+                assert_eq!(
+                    mapped.tails_of_rel_slice(id, rel),
+                    snap.tails_of_rel_slice(id, rel)
+                );
+            }
+            let a: Vec<&Edge> = GraphView::top_intents(&mapped, id, 5);
+            let b: Vec<&Edge> = GraphView::top_intents(&snap, id, 5);
+            assert_eq!(a, b);
+        }
+        assert_eq!(mapped.find_node(NodeKind::Query, "no such node"), None);
+    }
+
+    #[test]
+    fn empty_graph_roundtrips_v2() {
+        let snap = KnowledgeGraph::new().freeze();
+        let mapped = MappedSnapshot::from_bytes(snap.to_bytes_v2(), Verify::Full).unwrap();
+        assert_eq!(mapped.num_nodes(), 0);
+        assert_eq!(mapped.num_edges(), 0);
+        assert_eq!(mapped.to_owned_snapshot(), snap);
+    }
+
+    #[test]
+    fn view_opens_both_formats_and_migrates_v1() {
+        let snap = build_graph(10, 4).freeze();
+        let dir = std::env::temp_dir();
+        let v1_path = dir.join(format!("cosmo_v2_test_v1_{}.snap", std::process::id()));
+        let v2_path = dir.join(format!("cosmo_v2_test_v2_{}.snap", std::process::id()));
+        snap.save(&v1_path).unwrap();
+        snap.save_v2(&v2_path).unwrap();
+
+        let v1_view = KgSnapshotView::open(&v1_path).unwrap();
+        let v2_view = KgSnapshotView::open_verified(&v2_path).unwrap();
+        assert_eq!(v1_view.format_version(), 1);
+        assert_eq!(v2_view.format_version(), 2);
+        assert_eq!(v1_view.num_nodes(), v2_view.num_nodes());
+        assert_eq!(v1_view.num_edges(), v2_view.num_edges());
+        for i in 0..snap.num_nodes() {
+            let id = NodeId(i as u32);
+            assert_eq!(v1_view.node_text(id), v2_view.node_text(id));
+            assert_eq!(v1_view.out_slice(id), v2_view.out_slice(id));
+        }
+        // migrating the v1 view re-encodes to the exact v2 bytes
+        assert_eq!(v1_view.to_bytes_v2(), v2_view.to_bytes_v2());
+
+        // and KgSnapshot::load reads the v2 file transparently
+        let reloaded = KgSnapshot::load(&v2_path).unwrap();
+        assert_eq!(reloaded, snap);
+
+        std::fs::remove_file(&v1_path).ok();
+        std::fs::remove_file(&v2_path).ok();
+    }
+
+    #[test]
+    fn crafted_header_overflows_are_clean_errors() {
+        // v2: section lengths computed from near-u64::MAX counts must not
+        // panic or wrap.
+        let snap = KnowledgeGraph::new().freeze();
+        let mut bytes = snap.to_bytes_v2();
+        bytes[32..40].copy_from_slice(&u64::MAX.to_le_bytes()); // arena_len
+        assert!(matches!(
+            MappedSnapshot::from_bytes(bytes, Verify::Full),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        let mut bytes = snap.to_bytes_v2();
+        bytes[16..24].copy_from_slice(&(u64::MAX / 2).to_le_bytes()); // n
+        assert!(matches!(
+            MappedSnapshot::from_bytes(bytes, Verify::Full),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn structural_verify_rejects_bad_tags_and_bounds() {
+        let snap = build_graph(6, 3).freeze();
+        let good = snap.to_bytes_v2();
+        let edges_off = {
+            let t = TABLE_OFF + SEC_EDGES * 16;
+            u64::from_le_bytes(good[t..t + 8].try_into().unwrap()) as usize
+        };
+
+        let mut bad = good.clone();
+        bad[edges_off + 4] = 200; // relation tag
+        assert!(matches!(
+            MappedSnapshot::from_bytes(bad, Verify::Structural),
+            Err(SnapshotError::Corrupt("bad relation tag"))
+        ));
+
+        let mut bad = good.clone();
+        bad[edges_off + 12] = 9; // behavior tag
+        assert!(matches!(
+            MappedSnapshot::from_bytes(bad, Verify::Structural),
+            Err(SnapshotError::Corrupt("bad behavior tag"))
+        ));
+
+        let mut bad = good.clone();
+        bad[edges_off..edges_off + 4].copy_from_slice(&u32::MAX.to_le_bytes()); // head
+        assert!(matches!(
+            MappedSnapshot::from_bytes(bad, Verify::Structural),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        let kinds_off = {
+            let t = TABLE_OFF + SEC_KINDS * 16;
+            u64::from_le_bytes(good[t..t + 8].try_into().unwrap()) as usize
+        };
+        let mut bad = good.clone();
+        bad[kinds_off] = 7;
+        assert!(matches!(
+            MappedSnapshot::from_bytes(bad, Verify::Structural),
+            Err(SnapshotError::Corrupt("bad node kind"))
+        ));
+    }
+}

@@ -14,8 +14,10 @@ use crate::schema::{BehaviorKind, NodeKind, Relation};
 use cosmo_text::FxHashMap;
 use serde::{Deserialize, Serialize};
 
-/// Dense node handle.
+/// Dense node handle. `repr(transparent)` over `u32` so edge records in
+/// the v2 snapshot can be cast directly from validated file bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 /// Dense edge handle.
@@ -32,7 +34,14 @@ pub struct Node {
 }
 
 /// A knowledge edge `(head, relation, tail)` with provenance and scores.
+///
+/// `repr(C)` pins the field layout (28 bytes, align 4, with padding at
+/// offsets 5..8 and 14..16): the v2 snapshot writes this exact layout to
+/// disk and reads edges back as a borrowed `&[Edge]` over the mapped
+/// file, with no per-edge decode. The layout is locked by compile-time
+/// offset assertions in `cosmo_kg::snapshot_v2`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Edge {
     /// Head node (product or query).
     pub head: NodeId,

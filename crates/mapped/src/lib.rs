@@ -1,0 +1,361 @@
+//! # cosmo-mapped
+//!
+//! Read-only file bytes behind one abstraction, [`MappedBytes`]:
+//!
+//! * **Mapped** — on Linux (x86_64 / aarch64) the file is `mmap`'d
+//!   `PROT_READ`/`MAP_PRIVATE` via a raw syscall, so opening a
+//!   multi-gigabyte snapshot costs O(pages touched) and every server
+//!   process sharing the file shares one physical copy of its pages.
+//!   No `libc` crate: the two syscalls the wrapper needs are issued
+//!   with `core::arch::asm!` directly.
+//! * **Owned** — everywhere else (other platforms, empty files, or when
+//!   the syscall fails) the file is read into an 8-byte-aligned owned
+//!   buffer. Same `Deref<Target = [u8]>` surface, so callers never
+//!   branch on the backing.
+//!
+//! This crate is deliberately *outside* the deterministic-crate set the
+//! workspace audit enforces (see `cosmo-audit`): it is the one place the
+//! serving stack talks to the OS about memory, so the deterministic
+//! crates (`cosmo-kg` included) can stay free of raw OS calls and take
+//! bytes through this seam instead.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+use std::path::Path;
+
+/// True when this build can attempt the raw `mmap` syscall.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+const CAN_MMAP: bool = true;
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+const CAN_MMAP: bool = false;
+
+/// `PROT_READ`.
+#[allow(dead_code)] // unused on non-mmap targets
+const PROT_READ: usize = 1;
+/// `MAP_PRIVATE`.
+#[allow(dead_code)] // unused on non-mmap targets
+const MAP_PRIVATE: usize = 2;
+
+/// Raw `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)`. Returns the
+/// kernel's raw return value: a page-aligned address on success, a
+/// negative errno in `[-4095, -1]` on failure.
+///
+/// # Safety
+/// `fd` must be an open file descriptor and `len` nonzero; the caller
+/// must treat the returned region as unmapped once `sys_munmap` runs.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+// SAFETY: caller upholds the contract in the doc comment above.
+unsafe fn sys_mmap(len: usize, fd: i32) -> isize {
+    let ret: isize;
+    // SAFETY: x86_64 Linux syscall ABI — nr in rax (mmap = 9), args in
+    // rdi/rsi/rdx/r10/r8/r9, rcx/r11 clobbered by `syscall`.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 9isize => ret,
+            in("rdi") 0usize,
+            in("rsi") len,
+            in("rdx") PROT_READ,
+            in("r10") MAP_PRIVATE,
+            in("r8") fd as isize,
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Raw `munmap(ptr, len)`; returns 0 on success.
+///
+/// # Safety
+/// `ptr`/`len` must denote exactly one live mapping produced by
+/// `sys_mmap`, with no outstanding references into it.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+// SAFETY: caller upholds the contract in the doc comment above.
+unsafe fn sys_munmap(ptr: *mut u8, len: usize) -> isize {
+    let ret: isize;
+    // SAFETY: x86_64 Linux syscall ABI — munmap = 11.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 11isize => ret,
+            in("rdi") ptr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Raw `mmap` for aarch64 Linux (syscall 222).
+///
+/// # Safety
+/// Same contract as the x86_64 variant.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+// SAFETY: caller upholds the contract in the doc comment above.
+unsafe fn sys_mmap(len: usize, fd: i32) -> isize {
+    let ret: isize;
+    // SAFETY: aarch64 Linux syscall ABI — nr in x8, args in x0..x5.
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") 222usize,
+            inlateout("x0") 0usize => ret,
+            in("x1") len,
+            in("x2") PROT_READ,
+            in("x3") MAP_PRIVATE,
+            in("x4") fd as isize,
+            in("x5") 0usize,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Raw `munmap` for aarch64 Linux (syscall 215).
+///
+/// # Safety
+/// Same contract as the x86_64 variant.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+// SAFETY: caller upholds the contract in the doc comment above.
+unsafe fn sys_munmap(ptr: *mut u8, len: usize) -> isize {
+    let ret: isize;
+    // SAFETY: aarch64 Linux syscall ABI — munmap = 215.
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") 215usize,
+            inlateout("x0") ptr => ret,
+            in("x1") len,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Owned fallback storage. Backing the bytes with a `Vec<u64>` guarantees
+/// the base address is 8-byte aligned — the strictest alignment the
+/// snapshot casts (`u64` fields) require — which a plain `Vec<u8>` does
+/// not promise.
+#[derive(Debug)]
+struct AlignedBuf {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    fn from_bytes(bytes: &[u8]) -> AlignedBuf {
+        let words = vec![0u64; bytes.len().div_ceil(8)];
+        let mut buf = AlignedBuf {
+            words,
+            len: bytes.len(),
+        };
+        buf.as_mut()[..bytes.len()].copy_from_slice(bytes);
+        buf
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        // SAFETY: `words` owns `words.len() * 8 >= len` initialised bytes;
+        // reinterpreting u64 storage as bytes is always valid.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+
+    fn as_mut(&mut self) -> &mut [u8] {
+        let total = self.words.len() * 8;
+        // SAFETY: same provenance as `as_slice`, over the full backing
+        // allocation, with exclusive access through `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<u8>(), total) }
+    }
+}
+
+#[derive(Debug)]
+enum Inner {
+    /// A live `mmap` region; unmapped on drop.
+    Mapped { ptr: *mut u8, len: usize },
+    /// Owned aligned buffer (fallback path and `from_vec`).
+    Owned(AlignedBuf),
+}
+
+/// Read-only bytes from a file: memory-mapped when possible, owned
+/// otherwise. Dereferences to `&[u8]`; the base address is always at
+/// least 8-byte aligned (page-aligned when mapped).
+#[derive(Debug)]
+pub struct MappedBytes {
+    inner: Inner,
+}
+
+// SAFETY: the mapped region is PROT_READ and never mutated or remapped
+// after construction, so shared references from any thread are fine; the
+// owned variant is a plain buffer.
+unsafe impl Send for MappedBytes {}
+// SAFETY: see Send — all access is read-only.
+unsafe impl Sync for MappedBytes {}
+
+impl MappedBytes {
+    /// Open `path`, preferring an `mmap` mapping and falling back to
+    /// reading the whole file into an aligned owned buffer.
+    pub fn open(path: &Path) -> io::Result<MappedBytes> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if CAN_MMAP && len > 0 {
+            if let Some(mapped) = Self::try_map(&file, len) {
+                return Ok(mapped);
+            }
+        }
+        let mut bytes = Vec::with_capacity(len);
+        file.read_to_end(&mut bytes)?;
+        Ok(MappedBytes {
+            inner: Inner::Owned(AlignedBuf::from_bytes(&bytes)),
+        })
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    fn try_map(file: &File, len: usize) -> Option<MappedBytes> {
+        use std::os::fd::AsRawFd;
+        // SAFETY: `file` is open for the duration of the call and len > 0
+        // (checked by the caller); the resulting region is owned by the
+        // returned MappedBytes, which unmaps it exactly once on drop.
+        let ret = unsafe { sys_mmap(len, file.as_raw_fd()) };
+        if (-4095..0).contains(&ret) {
+            return None;
+        }
+        Some(MappedBytes {
+            inner: Inner::Mapped {
+                ptr: ret as *mut u8,
+                len,
+            },
+        })
+    }
+
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    fn try_map(_file: &File, _len: usize) -> Option<MappedBytes> {
+        None
+    }
+
+    /// Wrap in-memory bytes (copied into an aligned owned buffer) — the
+    /// test / non-file construction path.
+    pub fn from_vec(bytes: Vec<u8>) -> MappedBytes {
+        MappedBytes {
+            inner: Inner::Owned(AlignedBuf::from_bytes(&bytes)),
+        }
+    }
+
+    /// True when the bytes are backed by a live memory mapping rather
+    /// than an owned buffer.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.inner, Inner::Mapped { .. })
+    }
+}
+
+impl Deref for MappedBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+            // self; it stays valid until drop and is never written.
+            Inner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Inner::Owned(buf) => buf.as_slice(),
+        }
+    }
+}
+
+impl Drop for MappedBytes {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // SAFETY: exactly one munmap per successful sys_mmap, in the
+            // drop of the sole owner — no references can outlive self.
+            let _ = unsafe { sys_munmap(ptr, len) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cosmo_mapped_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn open_reads_file_bytes() {
+        let path = temp_path("roundtrip.bin");
+        let payload: Vec<u8> = (0..u8::MAX).cycle().take(10_000).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let mapped = MappedBytes::open(&path).unwrap();
+        assert_eq!(&*mapped, &payload[..]);
+        assert_eq!(mapped.as_ptr() as usize % 8, 0, "base must be 8-aligned");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn linux_open_uses_mmap() {
+        let path = temp_path("mapped.bin");
+        std::fs::write(&path, vec![7u8; 4096]).unwrap();
+        let mapped = MappedBytes::open(&path).unwrap();
+        if CAN_MMAP {
+            assert!(mapped.is_mapped(), "expected the mmap fast path");
+        }
+        assert!(mapped.iter().all(|&b| b == 7));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_owned() {
+        let path = temp_path("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let mapped = MappedBytes::open(&path).unwrap();
+        assert!(!mapped.is_mapped());
+        assert!(mapped.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_vec_is_aligned_and_equal() {
+        let bytes: Vec<u8> = (0..33).collect();
+        let mapped = MappedBytes::from_vec(bytes.clone());
+        assert_eq!(&*mapped, &bytes[..]);
+        assert_eq!(mapped.as_ptr() as usize % 8, 0);
+        assert!(!mapped.is_mapped());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(MappedBytes::open(Path::new("/nonexistent/cosmo.mapped")).is_err());
+    }
+
+    #[test]
+    fn drop_unmaps_without_crashing() {
+        let path = temp_path("drop.bin");
+        std::fs::write(&path, vec![1u8; 1 << 16]).unwrap();
+        for _ in 0..64 {
+            let mapped = MappedBytes::open(&path).unwrap();
+            assert_eq!(mapped.len(), 1 << 16);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -54,6 +54,15 @@
 //! cache-only and never blocks on model inference — a miss enqueues the
 //! query for the next batch cycle, which is what lets the deployment meet
 //! "Amazon's restricted search latency requirements" (§3.5.3).
+//!
+//! ## Hot snapshot swap
+//!
+//! Graph-derived state (the [`cosmo_kg::KgSnapshotView`], cache, and
+//! feature store) is bundled into an immutable [`SnapshotGeneration`]
+//! behind an RCU-style [`SnapshotHandle`]. `ServingSystem::swap_snapshot`
+//! builds the whole next generation off to the side and publishes it with
+//! one pointer store, so the daily refresh can replace the graph under
+//! live traffic with zero dropped requests — see the [`swap`] module.
 
 #![forbid(unsafe_code)]
 
@@ -63,6 +72,7 @@ pub mod features;
 pub mod histogram;
 pub mod protocol;
 pub mod sim;
+pub mod swap;
 pub mod system;
 pub mod views;
 
@@ -72,12 +82,13 @@ pub use features::{compute_features, FeatureStore, StructuredFeatures};
 pub use histogram::{bucket_index, LatencyRecorder};
 pub use protocol::{
     ErrorBody, IntentItem, NavigateItem, NavigateRequest, NavigateResponse, OpsStats,
-    ProtocolError, ServeRequest, ServeResponse, ServeStatus, SnapshotVersion, OPS_VERSION,
-    PROTOCOL_VERSION,
+    ProtocolError, ReloadRequest, ReloadResponse, ServeRequest, ServeResponse, ServeStatus,
+    SnapshotVersion, OPS_VERSION, PROTOCOL_VERSION,
 };
 pub use sim::{
     query_universe, simulate, simulate_concurrent, DayReport, ThroughputReport, TrafficConfig,
 };
+pub use swap::{SnapshotGeneration, SnapshotHandle};
 #[allow(deprecated)] // deprecated shim stays importable until call sites finish migrating
 pub use system::SystemSnapshot;
 pub use system::{ServeResult, Served, ServingConfig, ServingSystem, ServingSystemBuilder};

@@ -564,6 +564,9 @@ pub struct ServeResponse {
     pub intents: Vec<IntentItem>,
     /// Detected strong intent (hits only).
     pub strong_intent: Option<String>,
+    /// Snapshot generation that answered (increments per hot swap;
+    /// appended field — decoders default it to 0).
+    pub snapshot_generation: u64,
 }
 
 fn layer_str(layer: CacheLayer) -> &'static str {
@@ -580,6 +583,7 @@ impl ServeResponse {
         features: &StructuredFeatures,
         layer: CacheLayer,
         model_version: u64,
+        snapshot_generation: u64,
     ) -> Self {
         ServeResponse {
             protocol_version: PROTOCOL_VERSION,
@@ -598,11 +602,17 @@ impl ServeResponse {
                 })
                 .collect(),
             strong_intent: features.strong_intent.clone(),
+            snapshot_generation,
         }
     }
 
     /// Response for a miss (enqueued or rejected).
-    pub fn for_miss(req: &ServeRequest, status: ServeStatus, model_version: u64) -> Self {
+    pub fn for_miss(
+        req: &ServeRequest,
+        status: ServeStatus,
+        model_version: u64,
+        snapshot_generation: u64,
+    ) -> Self {
         ServeResponse {
             protocol_version: PROTOCOL_VERSION,
             query: req.query.clone(),
@@ -611,6 +621,7 @@ impl ServeResponse {
             model_version,
             intents: Vec::new(),
             strong_intent: None,
+            snapshot_generation,
         }
     }
 
@@ -651,6 +662,8 @@ impl ServeResponse {
             Some(s) => push_json_str(&mut out, s),
             None => out.push_str("null"),
         }
+        out.push_str(",\"snapshot_generation\":");
+        out.push_str(&self.snapshot_generation.to_string());
         out.push('}');
         out
     }
@@ -699,6 +712,7 @@ impl ServeResponse {
             model_version: req_u64(&v, "model_version")?,
             intents,
             strong_intent,
+            snapshot_generation: opt_u64(&v, "snapshot_generation", 0)?,
         })
     }
 }
@@ -832,6 +846,9 @@ pub struct SnapshotVersion {
     pub arena_bytes: u64,
     /// Serving model version (increments per daily refresh).
     pub model_version: u64,
+    /// Snapshot generation (increments per hot swap; appended field —
+    /// decoders default it to 0).
+    pub generation: u64,
 }
 
 impl SnapshotVersion {
@@ -839,14 +856,15 @@ impl SnapshotVersion {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"protocol_version\":{},\"format_version\":{},\"nodes\":{},\"edges\":{},\
-             \"relations\":{},\"arena_bytes\":{},\"model_version\":{}}}",
+             \"relations\":{},\"arena_bytes\":{},\"model_version\":{},\"generation\":{}}}",
             self.protocol_version,
             self.format_version,
             self.nodes,
             self.edges,
             self.relations,
             self.arena_bytes,
-            self.model_version
+            self.model_version,
+            self.generation
         )
     }
 
@@ -861,6 +879,81 @@ impl SnapshotVersion {
             relations: req_u64(&v, "relations")?,
             arena_bytes: req_u64(&v, "arena_bytes")?,
             model_version: req_u64(&v, "model_version")?,
+            generation: opt_u64(&v, "generation", 0)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReloadRequest / ReloadResponse.
+// ---------------------------------------------------------------------------
+
+/// `POST /ops/reload`: ask a live server to load a snapshot file and
+/// atomically publish it as the next generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReloadRequest {
+    /// Path (on the server's filesystem) of the snapshot file to load.
+    pub path: String,
+}
+
+impl ReloadRequest {
+    /// Build a reload request.
+    pub fn new(path: impl Into<String>) -> Self {
+        ReloadRequest { path: path.into() }
+    }
+
+    /// Canonical JSON encoding.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"path\":");
+        push_json_str(&mut out, &self.path);
+        out.push('}');
+        out
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(src: &str) -> Result<Self, ProtocolError> {
+        let v = Json::parse(src)?;
+        Ok(ReloadRequest {
+            path: req_str(&v, "path")?,
+        })
+    }
+}
+
+/// Response to a successful `POST /ops/reload`: the identity of the
+/// generation that is now live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReloadResponse {
+    /// Wire schema version ([`PROTOCOL_VERSION`]).
+    pub protocol_version: u32,
+    /// The generation number just published.
+    pub generation: u64,
+    /// Binary format version of the loaded file (1 or 2).
+    pub format_version: u32,
+    /// Node count of the new snapshot.
+    pub nodes: u64,
+    /// Edge count of the new snapshot.
+    pub edges: u64,
+}
+
+impl ReloadResponse {
+    /// Canonical JSON encoding.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"protocol_version\":{},\"generation\":{},\"format_version\":{},\
+             \"nodes\":{},\"edges\":{}}}",
+            self.protocol_version, self.generation, self.format_version, self.nodes, self.edges
+        )
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(src: &str) -> Result<Self, ProtocolError> {
+        let v = Json::parse(src)?;
+        Ok(ReloadResponse {
+            protocol_version: req_u64(&v, "protocol_version")? as u32,
+            generation: req_u64(&v, "generation")?,
+            format_version: req_u64(&v, "format_version")? as u32,
+            nodes: req_u64(&v, "nodes")?,
+            edges: req_u64(&v, "edges")?,
         })
     }
 }
@@ -915,6 +1008,9 @@ pub struct OpsStats {
     pub latency_buckets: Vec<(u64, u64)>,
     /// Feature-store size.
     pub features: usize,
+    /// Snapshot generation currently serving (appended field — decoders
+    /// default it to 0).
+    pub snapshot_generation: u64,
 }
 
 impl OpsStats {
@@ -962,7 +1058,11 @@ impl OpsStats {
             }
             out.push_str(&format!("[{lo},{n}]"));
         }
-        out.push_str(&format!("],\"features\":{}}}", self.features));
+        out.push_str(&format!("],\"features\":{}", self.features));
+        out.push_str(&format!(
+            ",\"snapshot_generation\":{}}}",
+            self.snapshot_generation
+        ));
         out
     }
 
@@ -1027,6 +1127,7 @@ impl OpsStats {
             latency_count: req_u64(&v, "latency_count")?,
             latency_buckets,
             features: req_u64(&v, "features")? as usize,
+            snapshot_generation: opt_u64(&v, "snapshot_generation", 0)?,
         })
     }
 
@@ -1140,6 +1241,7 @@ mod tests {
                 },
             ],
             strong_intent: Some("sleeping outdoors".into()),
+            snapshot_generation: 4,
         };
         let s = resp.to_json();
         assert_eq!(
@@ -1148,15 +1250,19 @@ mod tests {
              \"layer\":\"l1\",\"model_version\":2,\"intents\":[\
              {\"relation\":\"USED_FOR_EVE\",\"tail\":\"sleeping outdoors\",\"score\":0.9},\
              {\"relation\":\"CAPABLE_OF\",\"tail\":\"keeping warm\",\"score\":0.625}],\
-             \"strong_intent\":\"sleeping outdoors\"}"
+             \"strong_intent\":\"sleeping outdoors\",\"snapshot_generation\":4}"
         );
         assert_eq!(ServeResponse::from_json(&s).unwrap(), resp);
+        // a pre-swap encoder omits the appended field; decoders default it
+        let legacy = s.replace(",\"snapshot_generation\":4", "");
+        let decoded = ServeResponse::from_json(&legacy).unwrap();
+        assert_eq!(decoded.snapshot_generation, 0);
     }
 
     #[test]
     fn serve_response_miss_and_rejected_round_trip() {
         for status in [ServeStatus::Enqueued, ServeStatus::Rejected] {
-            let resp = ServeResponse::for_miss(&ServeRequest::new("q"), status, 1);
+            let resp = ServeResponse::for_miss(&ServeRequest::new("q"), status, 1, 1);
             let s = resp.to_json();
             assert!(s.contains(&format!("\"status\":\"{}\"", status.as_str())));
             assert!(s.contains("\"layer\":null"));
@@ -1181,6 +1287,7 @@ mod tests {
                     score,
                 }],
                 strong_intent: None,
+                snapshot_generation: 0,
             };
             let back = ServeResponse::from_json(&resp.to_json()).unwrap();
             assert_eq!(back.intents[0].score.to_bits(), score.to_bits());
@@ -1230,15 +1337,40 @@ mod tests {
             relations: 15,
             arena_bytes: 123_456_789,
             model_version: 3,
+            generation: 2,
         };
         let s = sv.to_json();
         assert_eq!(
             s,
             "{\"protocol_version\":1,\"format_version\":1,\"nodes\":6300000,\
              \"edges\":29000000,\"relations\":15,\"arena_bytes\":123456789,\
-             \"model_version\":3}"
+             \"model_version\":3,\"generation\":2}"
         );
         assert_eq!(SnapshotVersion::from_json(&s).unwrap(), sv);
+        let legacy = s.replace(",\"generation\":2", "");
+        assert_eq!(SnapshotVersion::from_json(&legacy).unwrap().generation, 0);
+    }
+
+    #[test]
+    fn reload_round_trip() {
+        let req = ReloadRequest::new("/tmp/next.snap");
+        assert_eq!(req.to_json(), r#"{"path":"/tmp/next.snap"}"#);
+        assert_eq!(ReloadRequest::from_json(&req.to_json()).unwrap(), req);
+
+        let resp = ReloadResponse {
+            protocol_version: PROTOCOL_VERSION,
+            generation: 7,
+            format_version: 2,
+            nodes: 100,
+            edges: 400,
+        };
+        let s = resp.to_json();
+        assert_eq!(
+            s,
+            "{\"protocol_version\":1,\"generation\":7,\"format_version\":2,\
+             \"nodes\":100,\"edges\":400}"
+        );
+        assert_eq!(ReloadResponse::from_json(&s).unwrap(), resp);
     }
 
     #[test]
@@ -1264,6 +1396,7 @@ mod tests {
             latency_count: 16,
             latency_buckets: vec![(12, 14), (336, 2)],
             features: 17,
+            snapshot_generation: 1,
         };
         let s = ops.to_json();
         assert_eq!(OpsStats::from_json(&s).unwrap(), ops);

@@ -138,7 +138,8 @@ impl ZipfSampler {
 /// Close a simulated day: summarise counters and run the daily refresh.
 fn close_day(system: &ServingSystem, day: usize) -> DayReport {
     use std::sync::atomic::Ordering::Relaxed;
-    let m = &system.cache.metrics;
+    let generation = system.current();
+    let m = &generation.cache.metrics;
     DayReport {
         day,
         hit_rate: m.hit_rate(),
@@ -163,7 +164,7 @@ pub fn simulate(system: &ServingSystem, cfg: &TrafficConfig) -> Vec<DayReport> {
     let mut reports = Vec::with_capacity(cfg.days);
     let mut drift_counter = 0usize;
     for day in 0..cfg.days {
-        system.cache.metrics.reset();
+        system.current().cache.metrics.reset();
         system.latency.reset();
         let batch_every = (cfg.requests_per_day / cfg.batch_cycles_per_day.max(1)).max(1);
         for r in 0..cfg.requests_per_day {
@@ -203,7 +204,7 @@ pub fn simulate_concurrent(
     let start = Instant::now();
     let mut days = Vec::with_capacity(cfg.days);
     for day in 0..cfg.days {
-        system.cache.metrics.reset();
+        system.current().cache.metrics.reset();
         system.latency.reset();
         let stop = AtomicBool::new(false);
         std::thread::scope(|s| {
@@ -377,6 +378,6 @@ mod tests {
             );
         }
         // everything pending was flushed before each day closed
-        assert_eq!(sys.cache.pending_len(), 0);
+        assert_eq!(sys.current().cache.pending_len(), 0);
     }
 }

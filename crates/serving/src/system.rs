@@ -36,8 +36,9 @@ use crate::error::ServingError;
 use crate::features::{compute_features, FeatureStore, StructuredFeatures};
 pub use crate::histogram::LatencyRecorder;
 use crate::protocol::{OpsStats, ServeRequest, ServeResponse, ServeStatus, OPS_VERSION};
+use crate::swap::{SnapshotGeneration, SnapshotHandle};
 use cosmo_exec::{ChunkResult, WorkerPool};
-use cosmo_kg::{KgSnapshot, KnowledgeGraph};
+use cosmo_kg::{KgSnapshot, KgSnapshotView, KnowledgeGraph};
 use cosmo_lm::CosmoLm;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -181,6 +182,7 @@ pub(crate) const PANIC_QUERY: &str = "__cosmo_injected_worker_panic__";
 pub struct ServingSystemBuilder {
     kg: Option<Arc<KnowledgeGraph>>,
     snapshot: Option<Arc<KgSnapshot>>,
+    view: Option<KgSnapshotView>,
     lm: Option<Arc<CosmoLm>>,
     preload: Vec<String>,
     cfg: ServingConfig,
@@ -204,6 +206,15 @@ impl ServingSystemBuilder {
     /// Takes precedence over [`ServingSystemBuilder::kg`].
     pub fn snapshot(mut self, snapshot: Arc<KgSnapshot>) -> Self {
         self.snapshot = Some(snapshot);
+        self
+    }
+
+    /// Snapshot view of either format version — the way to serve a
+    /// zero-copy mapped v2 file ([`KgSnapshotView::open`]). Takes
+    /// precedence over [`ServingSystemBuilder::snapshot`] and
+    /// [`ServingSystemBuilder::kg`].
+    pub fn view(mut self, view: KgSnapshotView) -> Self {
+        self.view = Some(view);
         self
     }
 
@@ -275,31 +286,26 @@ impl ServingSystemBuilder {
     /// spawn the worker pool, and assemble the system.
     pub fn build(self) -> Result<ServingSystem, ServingError> {
         self.cfg.validate()?;
-        let kg = match (self.snapshot, self.kg) {
-            (Some(snapshot), _) => snapshot,
-            (None, Some(kg)) => Arc::new(kg.freeze()),
-            (None, None) => return Err(ServingError::MissingKnowledgeGraph),
+        let view = match (self.view, self.snapshot, self.kg) {
+            (Some(view), _, _) => view,
+            (None, Some(snapshot), _) => {
+                KgSnapshotView::Owned(Arc::try_unwrap(snapshot).unwrap_or_else(|a| (*a).clone()))
+            }
+            (None, None, Some(kg)) => KgSnapshotView::Owned(kg.freeze()),
+            (None, None, None) => return Err(ServingError::MissingKnowledgeGraph),
         };
         let lm = self.lm.ok_or(ServingError::MissingModel)?;
-        let preloaded: Vec<StructuredFeatures> = self
-            .preload
-            .iter()
-            .map(|q| compute_features(q, &*kg, &lm))
-            .collect();
-        let features = FeatureStore::with_shards(self.cfg.shards);
-        for f in &preloaded {
-            features.put(f.clone());
-        }
-        let cache = CacheStore::new(preloaded, self.cfg.cache_config());
+        let generation =
+            ServingSystem::build_generation(1, Arc::new(view), &self.preload, &self.cfg, &lm);
         let pool = WorkerPool::new(self.cfg.workers);
         Ok(ServingSystem {
-            cache,
-            features,
+            handle: SnapshotHandle::new(generation),
             latency: LatencyRecorder::default(),
+            preload: self.preload,
             cfg: self.cfg,
-            kg,
             lm,
             pool,
+            swap_lock: Mutex::new(()),
             batch_failed_chunks: AtomicU64::new(0),
             model_version: AtomicU64::new(1),
             feedback: Mutex::new(Vec::new()),
@@ -308,17 +314,21 @@ impl ServingSystemBuilder {
 }
 
 /// The full serving system.
+///
+/// All graph-derived state (view + cache + feature store) lives in the
+/// current [`SnapshotGeneration`] behind the RCU [`SnapshotHandle`];
+/// access it through [`ServingSystem::current`]. Latency, model version
+/// and the worker pool are generation-independent and stay here.
 pub struct ServingSystem {
-    /// The sharded two-layer cache.
-    pub cache: CacheStore,
-    /// The sharded feature store.
-    pub features: FeatureStore,
-    /// Request-path latency histogram.
+    /// Request-path latency histogram (survives snapshot swaps).
     pub latency: LatencyRecorder,
+    handle: SnapshotHandle,
+    preload: Vec<String>,
     cfg: ServingConfig,
-    kg: Arc<KgSnapshot>,
     lm: Arc<CosmoLm>,
     pool: WorkerPool,
+    /// Serialises swaps so generation numbers are strictly increasing.
+    swap_lock: Mutex<()>,
     batch_failed_chunks: AtomicU64,
     model_version: AtomicU64,
     feedback: Mutex<Vec<(String, String)>>,
@@ -335,6 +345,64 @@ impl ServingSystem {
         &self.cfg
     }
 
+    /// The currently published snapshot generation (view + cache +
+    /// feature store). Take it once per logical operation so a
+    /// concurrent swap cannot tear your reads across generations.
+    pub fn current(&self) -> Arc<SnapshotGeneration> {
+        self.handle.load()
+    }
+
+    /// The current generation number (1 at build, +1 per swap).
+    pub fn generation(&self) -> u64 {
+        self.current().generation
+    }
+
+    /// The graph view the current generation answers from.
+    pub fn kg_view(&self) -> Arc<KgSnapshotView> {
+        Arc::clone(&self.current().view)
+    }
+
+    /// Atomically replace the serving snapshot under live traffic.
+    ///
+    /// The entire next generation — view, preload-warmed cache, feature
+    /// store — is built off to the side and then published with one
+    /// pointer store; requests in flight finish on the generation they
+    /// started on. Returns the new generation number.
+    pub fn swap_snapshot(&self, view: KgSnapshotView) -> u64 {
+        let _serialised = self.swap_lock.lock();
+        let next = self.handle.load().generation + 1;
+        let generation =
+            Self::build_generation(next, Arc::new(view), &self.preload, &self.cfg, &self.lm);
+        self.handle.publish(generation);
+        next
+    }
+
+    /// Assemble one generation: preload features computed against *its*
+    /// view, a fresh cache warmed with them, a fresh feature store.
+    fn build_generation(
+        generation: u64,
+        view: Arc<KgSnapshotView>,
+        preload: &[String],
+        cfg: &ServingConfig,
+        lm: &Arc<CosmoLm>,
+    ) -> SnapshotGeneration {
+        let preloaded: Vec<StructuredFeatures> = preload
+            .iter()
+            .map(|q| compute_features(q, &*view, lm))
+            .collect();
+        let features = FeatureStore::with_shards(cfg.shards);
+        for f in &preloaded {
+            features.put(f.clone());
+        }
+        let cache = CacheStore::new(preloaded, cfg.cache_config());
+        SnapshotGeneration {
+            generation,
+            view,
+            cache,
+            features,
+        }
+    }
+
     /// Typed request path: cache-only, never blocks on model inference.
     ///
     /// This is the single entry point both surfaces share — the HTTP
@@ -343,23 +411,41 @@ impl ServingSystem {
     /// cache state.
     pub fn serve(&self, req: &ServeRequest) -> Served {
         let start = Instant::now();
-        let lookup = self.cache.lookup(&req.query);
+        let generation = self.current();
+        let lookup = generation.cache.lookup(&req.query);
         let latency_us = start.elapsed().as_micros() as u64;
         self.latency.record(latency_us);
         let model_version = self.model_version();
+        let snapshot_generation = generation.generation;
         match lookup {
             CacheLookup::Hit(f, layer) => Served {
-                response: ServeResponse::for_hit(req, &f, layer, model_version),
+                response: ServeResponse::for_hit(
+                    req,
+                    &f,
+                    layer,
+                    model_version,
+                    snapshot_generation,
+                ),
                 features: Some(f),
                 latency_us,
             },
             CacheLookup::MissEnqueued => Served {
-                response: ServeResponse::for_miss(req, ServeStatus::Enqueued, model_version),
+                response: ServeResponse::for_miss(
+                    req,
+                    ServeStatus::Enqueued,
+                    model_version,
+                    snapshot_generation,
+                ),
                 features: None,
                 latency_us,
             },
             CacheLookup::MissRejected => Served {
-                response: ServeResponse::for_miss(req, ServeStatus::Rejected, model_version),
+                response: ServeResponse::for_miss(
+                    req,
+                    ServeStatus::Rejected,
+                    model_version,
+                    snapshot_generation,
+                ),
                 features: None,
                 latency_us,
             },
@@ -391,7 +477,12 @@ impl ServingSystem {
     /// chunks are still installed, and `Err(ServingError::BatchWorker)`
     /// reports the degradation.
     pub fn run_batch_cycle(&self) -> Result<usize, ServingError> {
-        let queries = self.cache.drain_pending(self.cfg.batch_size);
+        // The whole cycle runs against one generation: drained queries are
+        // installed into the same cache they were drained from. If a swap
+        // lands mid-cycle the installs go to the retiring generation and
+        // die with it — the new generation starts from its own preload.
+        let generation = self.current();
+        let queries = generation.cache.drain_pending(self.cfg.batch_size);
         if queries.is_empty() {
             return Ok(0);
         }
@@ -399,7 +490,7 @@ impl ServingSystem {
         let outcomes = self.pool.try_map_chunks(&queries, chunk, |_, q| {
             #[cfg(test)]
             assert!(q != PANIC_QUERY, "injected worker panic");
-            compute_features(q, &*self.kg, &self.lm)
+            compute_features(q, &*generation.view, &self.lm)
         });
         let mut installed = 0usize;
         let mut failed_chunks = 0usize;
@@ -409,14 +500,14 @@ impl ServingSystem {
                 ChunkResult::Computed { results, .. } => {
                     let mut arcs = Vec::with_capacity(results.len());
                     for f in results {
-                        arcs.push(self.features.put(f));
+                        arcs.push(generation.features.put(f));
                     }
                     installed += arcs.len();
-                    self.cache.install(arcs);
+                    generation.cache.install(arcs);
                 }
                 ChunkResult::Panicked { start, len } => {
                     failed_chunks += 1;
-                    requeued += self.cache.requeue(&queries[start..start + len]);
+                    requeued += generation.cache.requeue(&queries[start..start + len]);
                     self.batch_failed_chunks.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -436,7 +527,7 @@ impl ServingSystem {
     /// Returns the number of promoted L1 entries.
     pub fn daily_refresh(&self) -> usize {
         self.model_version.fetch_add(1, Ordering::Relaxed);
-        self.cache.daily_refresh()
+        self.current().cache.daily_refresh()
     }
 
     /// Current model version (increments per daily refresh).
@@ -448,36 +539,31 @@ impl ServingSystem {
     /// dashboard charts, identical between in-process callers and
     /// `GET /ops/stats` on the HTTP front end.
     pub fn ops(&self) -> OpsStats {
-        let (l1_size, l2_size) = self.cache.sizes();
+        let generation = self.current();
+        let (l1_size, l2_size) = generation.cache.sizes();
         OpsStats {
             ops_version: OPS_VERSION,
             model_version: self.model_version(),
             l1_size,
             l2_size,
-            l2_shard_sizes: self.cache.l2_shard_sizes(),
-            pending: self.cache.pending_len(),
-            pending_shard_depths: self.cache.pending_shard_sizes(),
-            queue_high_water: self.cache.metrics.pending_high_water(),
-            dropped: self.cache.metrics.dropped.load(Ordering::Relaxed),
-            rejected: self.cache.metrics.rejected.load(Ordering::Relaxed),
+            l2_shard_sizes: generation.cache.l2_shard_sizes(),
+            pending: generation.cache.pending_len(),
+            pending_shard_depths: generation.cache.pending_shard_sizes(),
+            queue_high_water: generation.cache.metrics.pending_high_water(),
+            dropped: generation.cache.metrics.dropped.load(Ordering::Relaxed),
+            rejected: generation.cache.metrics.rejected.load(Ordering::Relaxed),
             batch_failed_chunks: self.batch_failed_chunks.load(Ordering::Relaxed),
-            l1_hits: self.cache.metrics.l1_hits.load(Ordering::Relaxed),
-            l2_hits: self.cache.metrics.l2_hits.load(Ordering::Relaxed),
-            misses: self.cache.metrics.misses.load(Ordering::Relaxed),
-            hit_rate: self.cache.metrics.hit_rate(),
+            l1_hits: generation.cache.metrics.l1_hits.load(Ordering::Relaxed),
+            l2_hits: generation.cache.metrics.l2_hits.load(Ordering::Relaxed),
+            misses: generation.cache.metrics.misses.load(Ordering::Relaxed),
+            hit_rate: generation.cache.metrics.hit_rate(),
             p50_us: self.latency.percentile(0.5),
             p99_us: self.latency.percentile(0.99),
             latency_count: self.latency.len() as u64,
             latency_buckets: self.latency.nonzero_buckets(),
-            features: self.features.len(),
+            features: generation.features.len(),
+            snapshot_generation: generation.generation,
         }
-    }
-
-    /// The frozen knowledge-graph snapshot this system answers from
-    /// (used by the HTTP front end for `GET /v1/snapshot-version` and to
-    /// build its navigation engine over the same graph).
-    pub fn kg_snapshot(&self) -> &Arc<KgSnapshot> {
-        &self.kg
     }
 
     /// Operational snapshot for dashboards/alerts.
@@ -561,7 +647,7 @@ mod tests {
         assert_eq!(processed, 1);
         let r2 = sys.handle_request("hiking gear");
         assert_eq!(r2.layer, Some(CacheLayer::L2));
-        assert!(sys.features.get("hiking gear").is_some());
+        assert!(sys.current().features.get("hiking gear").is_some());
     }
 
     #[test]
@@ -711,7 +797,7 @@ mod tests {
         };
         assert_eq!(failed_chunks, 1, "only the poisoned chunk fails");
         assert!(requeued >= 1, "poisoned chunk re-queued");
-        assert_eq!(sys.cache.pending_len(), requeued);
+        assert_eq!(sys.current().cache.pending_len(), requeued);
         let ops = sys.ops();
         assert_eq!(ops.batch_failed_chunks, 1);
         assert_eq!(

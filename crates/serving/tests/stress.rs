@@ -84,7 +84,9 @@ fn stress_counters_reconcile_under_races() {
         done.store(true, Ordering::Release);
         batcher.join().expect("batch thread panicked");
     });
-    let m = &sys.cache.metrics;
+    let generation = sys.current();
+    let m = &generation.cache.metrics;
+    let m = &m;
     let total = m.l1_hits.load(Ordering::Relaxed)
         + m.l2_hits.load(Ordering::Relaxed)
         + m.misses.load(Ordering::Relaxed);
@@ -95,7 +97,7 @@ fn stress_counters_reconcile_under_races() {
     );
     assert_eq!(sys.latency.len(), THREADS * PER_THREAD);
     // pending gauge equals the true number of distinct queued queries
-    let drained = sys.cache.drain_pending(usize::MAX);
+    let drained = sys.current().cache.drain_pending(usize::MAX);
     assert_eq!(
         {
             let mut d = drained.clone();
@@ -127,7 +129,7 @@ fn miss_flood_respects_bound_with_drops_visible() {
         let r = sys.handle_request(&format!("flood {i}"));
         assert!(r.features.is_none());
         assert!(
-            sys.cache.pending_len() <= bound,
+            sys.current().cache.pending_len() <= bound,
             "queue exceeded bound at request {i}"
         );
     }
@@ -188,7 +190,7 @@ fn single_shard_flood_rejects_new_when_full() {
     assert_eq!(snap.dropped, 0);
     assert_eq!(snap.rejected, (bound * 3) as u64);
     // the survivors are the first `bound` queries, in order
-    let drained = sys.cache.drain_pending(usize::MAX);
+    let drained = sys.current().cache.drain_pending(usize::MAX);
     assert_eq!(drained[0], "flood 0");
     assert_eq!(drained.len(), bound);
 }

@@ -11,7 +11,10 @@
 //! cargo run --release --example snapshot_check
 //! ```
 
-use cosmo::kg::{BehaviorKind, Edge, GraphView, KgSnapshot, KnowledgeGraph, NodeKind, Relation};
+use cosmo::kg::{
+    BehaviorKind, Edge, GraphView, KgSnapshot, KgSnapshotView, KnowledgeGraph, MappedSnapshot,
+    NodeKind, Relation, Verify,
+};
 
 fn main() {
     // 1. A deterministic synthetic graph: 2000 query heads, 12 intent
@@ -101,5 +104,43 @@ fn main() {
     println!(
         "snapshot check ok: {} bytes on disk, header v1, reload identical",
         on_disk
+    );
+
+    // 6. The v2 zero-copy format: header pinned the same way, then a
+    //    save → mmap-open round trip at full verification rigor, and the
+    //    version-sniffing view must pick the right decoder for each file.
+    let bytes_v2 = snap.to_bytes_v2();
+    assert_eq!(&bytes_v2[0..8], b"COSMOKG\0", "v2 header magic changed");
+    assert_eq!(
+        u32::from_le_bytes(bytes_v2[8..12].try_into().unwrap()),
+        2,
+        "v2 format version changed — bump deliberately and keep a loader for v2"
+    );
+    let path_v2 =
+        std::env::temp_dir().join(format!("cosmo_snapshot_check_{}.kg2", std::process::id()));
+    snap.save_v2(&path_v2).expect("save v2 snapshot");
+    let mapped = MappedSnapshot::open_verified(&path_v2).expect("open v2 snapshot");
+    let on_disk_v2 = std::fs::metadata(&path_v2).unwrap().len();
+    assert_eq!(mapped.num_nodes(), kg.num_nodes());
+    assert_eq!(mapped.num_edges(), kg.num_edges());
+    assert_eq!(
+        mapped.to_owned_snapshot(),
+        snap,
+        "v2 mapped answers diverge from the v1 snapshot"
+    );
+    let view = KgSnapshotView::open(&path_v2).expect("view opens v2");
+    assert_eq!(view.format_version(), 2, "view missed the v2 header");
+    let _ = std::fs::remove_file(&path_v2);
+    // a corrupted v2 file must be refused, not mis-served
+    let mut corrupt = bytes_v2.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xFF;
+    assert!(
+        MappedSnapshot::from_bytes(corrupt, Verify::Full).is_err(),
+        "corrupt v2 snapshot was accepted"
+    );
+    println!(
+        "snapshot check ok: {} bytes on disk, header v2, mmap reload identical, corruption refused",
+        on_disk_v2
     );
 }

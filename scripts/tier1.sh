@@ -30,4 +30,8 @@ cargo run --release --example snapshot_check
 # a second; asserts nonzero throughput and zero 5xx (full saturation
 # sweep is opt-in: `repro -- serve` without --smoke)
 cargo run --release -p cosmo-bench --bin repro -- serve --smoke --scale tiny
+# hot-swap smoke: three snapshot reloads under live traffic; asserts
+# zero 5xx and byte-identical bodies within each snapshot generation
+# (full mode is `repro -- serve --swap` without --smoke)
+cargo run --release -p cosmo-bench --bin repro -- serve --swap --smoke --scale tiny
 echo "tier1: all checks passed"
