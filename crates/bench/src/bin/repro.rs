@@ -12,6 +12,7 @@ fn main() {
     let mut seed = 0x000C_0530_u64;
     let mut smoke = false;
     let mut swap = false;
+    let mut paper = false;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -27,13 +28,14 @@ fn main() {
             }
             "--smoke" => smoke = true,
             "--swap" => swap = true,
+            "--paper" => paper = true,
             other => targets.push(other.to_string()),
         }
         i += 1;
     }
     if targets.is_empty() {
         eprintln!(
-            "usage: repro <experiment|all|ablations> [--scale tiny|small|full] [--smoke] [--swap]"
+            "usage: repro <experiment|all|ablations> [--scale tiny|small|full] [--smoke] [--swap] [--paper]"
         );
         eprintln!("experiments: {}", EXPERIMENTS.join(", "));
         std::process::exit(2);
@@ -58,13 +60,24 @@ fn main() {
 
     for t in &targets {
         let t1 = Instant::now();
-        // `serve` is the one experiment with mode switches: --smoke is the
+        // two experiments have mode switches. `serve`: --smoke is the
         // seconds-long CI gate, --swap exercises hot snapshot reloads
-        // under live traffic, the default is the full saturation sweep
+        // under live traffic, the default is the full saturation sweep.
+        // `kg-scaling`: --smoke is the CI gate, --paper streams the full
+        // 6.3M-node / 29M-edge world (minutes; ~3 GB of scratch disk).
         let result = if t == "serve" && swap {
             Some(cosmo_bench::serve::serve_swap(&ctx, smoke))
         } else if t == "serve" {
             Some(cosmo_bench::serve::serve(&ctx, smoke))
+        } else if t == "kg-scaling" {
+            let tier = if paper {
+                cosmo_bench::extensions::KgTier::Paper
+            } else if smoke {
+                cosmo_bench::extensions::KgTier::Smoke
+            } else {
+                cosmo_bench::extensions::KgTier::Default
+            };
+            Some(cosmo_bench::extensions::kg_scaling(&ctx, tier))
         } else {
             run_experiment(&ctx, t)
         };

@@ -18,6 +18,8 @@ pub mod context;
 pub mod extensions;
 pub mod figures;
 pub mod kgstats;
+pub mod output;
+pub mod rss;
 pub mod serve;
 pub mod tables;
 
@@ -81,7 +83,8 @@ pub fn run_experiment(ctx: &Ctx, name: &str) -> Option<String> {
         "feedback" => extensions::feedback_loop(ctx),
         "pipeline-scaling" => extensions::pipeline_scaling(ctx),
         "nn-scaling" => extensions::nn_scaling(ctx),
-        "kg-scaling" => extensions::kg_scaling(ctx),
+        // default tier here; `repro -- kg-scaling` adds --smoke/--paper
+        "kg-scaling" => extensions::kg_scaling(ctx, extensions::KgTier::Default),
         "ablations" => ablations::ablations(ctx, 0xAB),
         _ => return None,
     };
@@ -121,6 +124,24 @@ mod tests {
         assert!(
             out.contains("bitwise-identical"),
             "missing identity check:\n{out}"
+        );
+    }
+
+    /// The full 6.3M-node / 29M-edge world of the paper: sharded parallel
+    /// generation, streaming freeze with the 2x peak-RSS budget asserted,
+    /// v2 open >= 10x the v1-equivalent parse, and serving/nav/HTTP
+    /// identity against the replayed store. Minutes of wall clock and
+    /// ~3 GB of scratch disk, so opt-in — same coverage as
+    /// `cargo run --release -p cosmo-bench --bin repro -- kg-scaling --paper`.
+    #[test]
+    #[ignore = "paper-scale streamed freeze: minutes of wall clock, ~2 GB peak RSS"]
+    fn kg_scaling_paper_tier_runs() {
+        let ctx = build_context(Scale::Tiny, 0xC05);
+        let out = extensions::kg_scaling(&ctx, extensions::KgTier::Paper);
+        assert!(out.contains("paper"), "missing paper row:\n{out}");
+        assert!(
+            out.contains("bitwise-identical to the store"),
+            "missing scale identity check:\n{out}"
         );
     }
 

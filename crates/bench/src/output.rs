@@ -1,0 +1,55 @@
+//! Benchmark artifact paths: every `BENCH_*.json` lands at the repo root
+//! no matter what directory the harness was launched from.
+//!
+//! `cargo run -p cosmo-bench` from a crate subdirectory used to scatter
+//! artifacts wherever the cwd happened to be (PR 7 accidentally committed
+//! `crates/bench/BENCH_serve.json` that way). The repo root is known at
+//! compile time — this crate's manifest dir is `crates/bench` — so resolve
+//! against that instead of the cwd.
+
+use std::path::{Path, PathBuf};
+
+/// Absolute path for a benchmark artifact named `name` (e.g.
+/// `BENCH_kg.json`), anchored at the repository root.
+///
+/// `COSMO_BENCH_DIR` overrides the destination directory (useful for CI
+/// runs that collect artifacts elsewhere). If the compile-time repo root
+/// no longer exists (the binary moved to another machine), falls back to
+/// the cwd rather than failing.
+pub fn bench_output_path(name: &str) -> PathBuf {
+    if let Some(dir) = std::env::var_os("COSMO_BENCH_DIR") {
+        return PathBuf::from(dir).join(name);
+    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    match root.canonicalize() {
+        Ok(root) => root.join(name),
+        Err(_) => PathBuf::from(name),
+    }
+}
+
+/// Write a benchmark artifact via [`bench_output_path`]; returns the
+/// one-line status message the experiment appends to its summary.
+pub fn write_bench_json(name: &str, contents: &str) -> String {
+    let path = bench_output_path(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => format!("wrote {}", path.display()),
+        Err(e) => format!("could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_to_repo_root_not_cwd() {
+        let p = bench_output_path("BENCH_test.json");
+        // the repo root is the directory holding the workspace manifest
+        assert!(
+            p.parent().unwrap().join("Cargo.toml").is_file(),
+            "expected a workspace root, got {}",
+            p.display()
+        );
+        assert!(p.ends_with("BENCH_test.json"));
+    }
+}

@@ -162,14 +162,11 @@ pub fn serve(ctx: &Ctx, smoke: bool) -> String {
         http_stats.shed_conns,
         http_stats.rejected_conns
     );
-    match std::fs::write("BENCH_serve.json", &json) {
-        Ok(()) => {
-            let _ = writeln!(out, "\nwrote BENCH_serve.json");
-        }
-        Err(e) => {
-            let _ = writeln!(out, "\ncould not write BENCH_serve.json: {e}");
-        }
-    }
+    let _ = writeln!(
+        out,
+        "\n{}",
+        crate::output::write_bench_json("BENCH_serve.json", &json)
+    );
 
     if smoke {
         let total_5xx: u64 = reports.iter().map(|r| r.rejected + r.other_errors).sum();
@@ -361,13 +358,10 @@ pub fn serve_swap(ctx: &Ctx, smoke: bool) -> String {
          \"worst_reload_secs\":{worst_reload:.6}}}",
         generations.len()
     );
-    match std::fs::write("BENCH_serve_swap.json", &json) {
-        Ok(()) => {
-            let _ = writeln!(out, "\nwrote BENCH_serve_swap.json");
-        }
-        Err(e) => {
-            let _ = writeln!(out, "\ncould not write BENCH_serve_swap.json: {e}");
-        }
-    }
+    let _ = writeln!(
+        out,
+        "\n{}",
+        crate::output::write_bench_json("BENCH_serve_swap.json", &json)
+    );
     out
 }

@@ -17,6 +17,7 @@ pub mod feedback;
 pub mod filter;
 pub mod pipeline;
 pub mod sampling;
+pub mod scale;
 
 pub use annotation::{
     annotate, render_annotation_task, Annotation, AnnotationConfig, AnnotationOutput, Ans, Answers,
@@ -27,3 +28,4 @@ pub use feedback::{apply_feedback, IncrementalUpdate};
 pub use filter::{CoarseFilter, FilterConfig, FilterDecision, FilterReport, FilteredCandidate};
 pub use pipeline::{run, run_over, PipelineConfig, PipelineOutput, PipelineReport};
 pub use sampling::{sample_behaviors, SampledBehaviors, SamplingConfig, SamplingReport};
+pub use scale::{generate_and_freeze, ScaleFreezeReport};

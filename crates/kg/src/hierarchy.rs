@@ -99,27 +99,25 @@ impl IntentHierarchy {
         // A is parent of B iff tokens(A) ⊊ tokens(B). We only link
         // *immediate* parents (no grandparent shortcuts) to keep the DAG
         // navigable one refinement at a time.
+        //
+        // Enumerate candidates from the *parent* side: every child of A
+        // contains ALL of A's tokens, in particular A's rarest one — so
+        // scanning the rarest token's posting list finds every child, and
+        // its length bounds the work. (The child-side union of items
+        // sharing *any* token blows up quadratically once common tokens
+        // dominate: at the paper-scale world's 2.5M intentions it made
+        // the build effectively unbounded.)
         let mut parent_sets: Vec<Vec<usize>> = vec![Vec::new(); items.len()];
-        for (b, (_, _, btoks)) in items.iter().enumerate() {
-            // candidate parents must share the rarest token of b
-            let rare = btoks
+        for (a, (_, _, atoks)) in items.iter().enumerate() {
+            let rare = atoks
                 .iter()
                 .min_by_key(|t| token_index.get(t.as_str()).map_or(0, |v| v.len()))
                 .unwrap();
-            let mut cands: FxHashSet<usize> = FxHashSet::default();
-            for t in btoks {
-                if let Some(list) = token_index.get(t.as_str()) {
-                    for &a in list {
-                        cands.insert(a);
-                    }
-                }
-            }
-            let _ = rare;
-            for a in cands {
+            for &b in token_index.get(rare.as_str()).into_iter().flatten() {
                 if a == b {
                     continue;
                 }
-                let atoks = &items[a].2;
+                let btoks = &items[b].2;
                 if atoks.len() < btoks.len() && atoks.is_subset(btoks) {
                     parent_sets[b].push(a);
                 }

@@ -30,6 +30,7 @@ pub mod snapshot;
 pub mod snapshot_v2;
 pub mod stats;
 pub mod store;
+pub mod stream_writer;
 pub mod view;
 pub(crate) mod zerocopy;
 
@@ -42,4 +43,5 @@ pub use snapshot::{KgSnapshot, SnapshotError};
 pub use snapshot_v2::{KgSnapshotView, MappedSnapshot, Verify};
 pub use stats::{summarize, CategoryRow, KgStats, KgSummary, CATEGORIES};
 pub use store::{Edge, EdgeId, KnowledgeGraph, Node, NodeId};
+pub use stream_writer::{SnapshotStreamWriter, StreamInterner, StreamOptions, StreamStats};
 pub use view::GraphView;

@@ -105,7 +105,7 @@ pub(crate) fn behavior_to_u8(b: BehaviorKind) -> u8 {
     }
 }
 
-fn behavior_from_u8(b: u8) -> Option<BehaviorKind> {
+pub(crate) fn behavior_from_u8(b: u8) -> Option<BehaviorKind> {
     match b {
         0 => Some(BehaviorKind::SearchBuy),
         1 => Some(BehaviorKind::CoBuy),

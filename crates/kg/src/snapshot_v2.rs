@@ -66,13 +66,13 @@ pub const FORMAT_VERSION_V2: u32 = 2;
 /// checksum(8) total_len(8) reserved(8).
 pub const HEADER_LEN_V2: usize = 64;
 /// Sections in the table, in file order.
-const SECTION_COUNT: usize = 8;
+pub(crate) const SECTION_COUNT: usize = 8;
 /// Every section begins on a 64-byte boundary.
 const SECTION_ALIGN: usize = 64;
 /// Byte offset of the section table (right after the header).
-const TABLE_OFF: usize = HEADER_LEN_V2;
+pub(crate) const TABLE_OFF: usize = HEADER_LEN_V2;
 /// Byte offset of the first section: header + table, already 64-aligned.
-const FIRST_SECTION_OFF: usize = TABLE_OFF + SECTION_COUNT * 16;
+pub(crate) const FIRST_SECTION_OFF: usize = TABLE_OFF + SECTION_COUNT * 16;
 
 const SEC_KINDS: usize = 0;
 const SEC_TEXT_OFFSETS: usize = 1;
@@ -84,9 +84,9 @@ const SEC_IN_EDGES: usize = 6;
 const SEC_LOOKUP: usize = 7;
 
 /// On-disk edge record size — the in-memory `repr(C)` layout of [`Edge`].
-const EDGE_SIZE: usize = std::mem::size_of::<Edge>();
+pub(crate) const EDGE_SIZE: usize = std::mem::size_of::<Edge>();
 /// On-disk lookup record size.
-const LOOKUP_SIZE: usize = std::mem::size_of::<LookupRec>();
+pub(crate) const LOOKUP_SIZE: usize = std::mem::size_of::<LookupRec>();
 
 // The file format *is* the in-memory layout: pin it at compile time so an
 // innocent field reorder cannot silently change the format.
@@ -121,13 +121,17 @@ pub enum Verify {
 }
 
 /// Round up to the next section boundary; `None` on overflow.
-fn align_up(x: usize) -> Option<usize> {
+pub(crate) fn align_up(x: usize) -> Option<usize> {
     x.checked_add(SECTION_ALIGN - 1)
         .map(|v| v & !(SECTION_ALIGN - 1))
 }
 
 /// The eight expected section lengths for the given counts, checked.
-fn section_lens(n: usize, m: usize, arena_len: usize) -> Result<[usize; 8], SnapshotError> {
+pub(crate) fn section_lens(
+    n: usize,
+    m: usize,
+    arena_len: usize,
+) -> Result<[usize; 8], SnapshotError> {
     let overflow = || SnapshotError::Corrupt("section sizes overflow layout");
     let n1 = n.checked_add(1).ok_or_else(overflow)?;
     let off_bytes = n1.checked_mul(4).ok_or_else(overflow)?;

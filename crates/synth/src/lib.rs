@@ -29,6 +29,7 @@ pub mod behavior;
 pub mod corpus;
 pub mod domain;
 pub mod oracle;
+pub mod scale;
 pub mod util;
 pub mod world;
 
@@ -36,6 +37,7 @@ pub use behavior::{BehaviorConfig, BehaviorLog, CoBuy, SearchBuy, SpecificitySer
 pub use corpus::corpus;
 pub use domain::{DomainId, DomainSpec, SPECS};
 pub use oracle::{Judgment, Oracle, TYPICAL_WEIGHT};
+pub use scale::{generate_shard, ScaleConfig, ShardEdge, ShardOutput};
 pub use world::{
     Intent, IntentId, Product, ProductId, ProductType, ProductTypeId, Query, QueryId, QueryKind,
     World, WorldConfig,

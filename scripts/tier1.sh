@@ -34,4 +34,8 @@ cargo run --release -p cosmo-bench --bin repro -- serve --smoke --scale tiny
 # zero 5xx and byte-identical bodies within each snapshot generation
 # (full mode is `repro -- serve --swap` without --smoke)
 cargo run --release -p cosmo-bench --bin repro -- serve --swap --smoke --scale tiny
+# streaming-writer smoke: sharded generation stream-frozen with forced
+# spills, asserted byte-identical to the in-memory store freeze (the
+# 6.3M-node/29M-edge world is opt-in: `repro -- kg-scaling --paper`)
+cargo run --release -p cosmo-bench --bin repro -- kg-scaling --smoke --scale tiny
 echo "tier1: all checks passed"
