@@ -1,0 +1,15 @@
+// audit-as: crates/lm/src/student.rs
+//! A06 fixture: branching on the `fast-math` feature above the kernel
+//! dispatch surface. The feature may only change matmul kernel bytes;
+//! a student-model code path that exists in one configuration but not
+//! the other breaks the "higher layers are config-independent" contract.
+
+#[cfg(feature = "fast-math")]
+pub fn relevance_threshold() -> f32 {
+    0.45
+}
+
+#[cfg(not(feature = "fast-math"))]
+pub fn relevance_threshold() -> f32 {
+    0.5
+}

@@ -13,6 +13,7 @@
 //! | A03 | no `partial_cmp` (float sorts must use `total_cmp`) |
 //! | A04 | no `SystemTime`/`Instant`/thread-identity in deterministic crates |
 //! | A05 | every `#[allow(…)]` carries a justification comment |
+//! | A06 | the `fast-math` feature cfg stays inside the kernel dispatch surface |
 //!
 //! Lints run over a masked view of the source (see [`lexer`]) so they
 //! never fire inside strings or comments. `cargo run -p cosmo-audit`

@@ -21,6 +21,8 @@ pub enum Lint {
     A04,
     /// `#[allow(…)]` without a justification comment.
     A05,
+    /// `fast-math` feature cfg outside the kernel dispatch surface.
+    A06,
 }
 
 impl Lint {
@@ -32,6 +34,7 @@ impl Lint {
             Lint::A03 => "A03",
             Lint::A04 => "A04",
             Lint::A05 => "A05",
+            Lint::A06 => "A06",
         }
     }
 }
@@ -75,6 +78,12 @@ pub struct Policy {
     /// reads. Bench and the serving metrics modules are intentionally
     /// absent — measuring wall clock is their job.
     pub deterministic_crates: &'static [&'static str],
+    /// Library files allowed to branch on the `fast-math` feature: the
+    /// kernel dispatch surface and the benchmark that measures both
+    /// tiers. Everything above the kernels must be config-independent so
+    /// the feature can only ever change matmul bytes, never shapes,
+    /// orderings, or control flow.
+    pub fast_math_allowlist: &'static [&'static str],
 }
 
 impl Policy {
@@ -99,6 +108,7 @@ impl Policy {
                 "sessrec",
                 "nav",
             ],
+            fast_math_allowlist: &["crates/nn/src/tensor.rs", "crates/bench/src/extensions.rs"],
         }
     }
 
@@ -122,6 +132,16 @@ impl Policy {
         self.unsafe_allowlist
             .iter()
             .any(|allowed| crate_dir(allowed) == crate_dir(rel))
+    }
+
+    /// True when `rel` may branch on the `fast-math` feature: the
+    /// allowlisted kernel/bench files, plus test and bench sources
+    /// (which pin per-configuration goldens and oracles).
+    fn allows_fast_math_cfg(&self, rel: &str) -> bool {
+        self.fast_math_allowlist.contains(&rel)
+            || rel
+                .split('/')
+                .any(|part| part == "tests" || part == "benches")
     }
 
     /// True when `rel` is a library source of a deterministic crate
@@ -262,6 +282,28 @@ pub fn audit_source(policy: &Policy, rel: &str, src: &str) -> Vec<Violation> {
                     ),
                 );
             }
+        }
+
+        // A06 — the fast-math feature stays a kernel-dispatch concern.
+        // The cfg marker is read from the masked code (so strings and
+        // comments never trip it) while the feature name is read from the
+        // raw line, because masking blanks string contents.
+        if (code.contains("cfg(") || code.contains("cfg!"))
+            && raw_lines
+                .get(i)
+                .is_some_and(|raw| raw.contains("\"fast-math\""))
+            && !policy.allows_fast_math_cfg(rel)
+        {
+            push(
+                lineno,
+                Lint::A06,
+                format!(
+                    "`fast-math` cfg outside the kernel dispatch surface ({}); \
+                     the feature may only change matmul kernel bytes — higher \
+                     layers must behave identically in both configurations",
+                    policy.fast_math_allowlist.join(", ")
+                ),
+            );
         }
 
         // A05 — allow attributes need a reason.
@@ -414,6 +456,34 @@ mod tests {
 
         let preceding = "// kept for the serde schema\n#[allow(dead_code)]\nfn f() {}\n";
         assert!(audit_source(&p(), "crates/kg/src/store.rs", preceding).is_empty());
+    }
+
+    #[test]
+    fn a06_fires_on_fast_math_cfg_outside_kernels() {
+        let src = "#[cfg(feature = \"fast-math\")]\nfn f() {}\n";
+        let vs = audit_source(&p(), "crates/lm/src/student.rs", src);
+        assert_eq!(ids(&vs), vec!["A06"]);
+        let bang = "let fused = cfg!(feature = \"fast-math\");\n";
+        let vs = audit_source(&p(), "crates/core/src/critic.rs", bang);
+        assert_eq!(ids(&vs), vec!["A06"]);
+    }
+
+    #[test]
+    fn a06_allows_kernel_bench_test_and_bench_sources() {
+        let src = "#[cfg(not(feature = \"fast-math\"))]\nfn f() {}\n";
+        assert!(audit_source(&p(), KERNEL, src).is_empty());
+        assert!(audit_source(&p(), "crates/bench/src/extensions.rs", src).is_empty());
+        assert!(audit_source(&p(), "crates/nn/tests/goldens.rs", src).is_empty());
+        assert!(audit_source(&p(), "crates/bench/benches/nn_kernels.rs", src).is_empty());
+    }
+
+    #[test]
+    fn a06_ignores_comments_and_cfg_free_mentions() {
+        let doc = "/// upstream gates this behind cfg(feature = \"fast-math\")\nfn f() {}\n";
+        assert!(audit_source(&p(), "crates/lm/src/student.rs", doc).is_empty());
+        // the quoted name without a cfg marker on the line is not a gate
+        let plain = "let name = \"fast-math\";\n";
+        assert!(audit_source(&p(), "crates/lm/src/student.rs", plain).is_empty());
     }
 
     #[test]

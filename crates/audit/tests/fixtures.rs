@@ -65,6 +65,13 @@ fn a05_fixture_is_caught() {
     assert_eq!(lints, vec![Lint::A05]);
 }
 
+#[test]
+fn a06_fixture_is_caught() {
+    let lints = fixture_lints("a06_fast_math_cfg_outside_kernel.rs");
+    assert!(!lints.is_empty());
+    assert!(lints.iter().all(|&l| l == Lint::A06), "{lints:?}");
+}
+
 /// Every committed fixture must be rejected when audited at the path
 /// class its `audit-as` header targets — the in-process equivalent of
 /// `cargo run -p cosmo-audit -- crates/audit/fixtures/<f>` exiting
@@ -85,7 +92,7 @@ fn every_fixture_produces_at_least_one_violation() {
         );
         seen += 1;
     }
-    assert!(seen >= 6, "expected one fixture per lint, found {seen}");
+    assert!(seen >= 7, "expected one fixture per lint, found {seen}");
 }
 
 /// The real workspace must be clean — this is the tier-1 invariant the

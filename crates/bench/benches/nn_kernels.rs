@@ -23,20 +23,22 @@ fn bench_matmul(c: &mut Criterion) {
     g.finish();
 }
 
-/// The blocked kernel against the seed-era scalar loop (`matmul_reference`)
-/// and the 4-thread row-partitioned variant, at the shape the `nn-scaling`
-/// experiment's speedup figure quotes. All three produce identical bytes;
-/// only the wall clock differs.
+/// The production kernel against the seed-era scalar loop and the 4-thread
+/// row-partitioned variant, at the shape the `nn-scaling` experiment's
+/// speedup figure quotes. Within one configuration all dispatch paths and
+/// thread counts produce identical bytes; only the wall clock differs.
+/// The scalar oracle is configuration-dependent: the naive chain at
+/// default features, the fused reduction tree under `fast-math`.
 fn bench_matmul_kernels(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let a = cosmo_nn::init::uniform(256, 256, -1.0, 1.0, &mut rng);
     let b = cosmo_nn::init::uniform(256, 256, -1.0, 1.0, &mut rng);
     let pool = cosmo_exec::WorkerPool::new(4);
+    #[cfg(not(feature = "fast-math"))]
     assert_eq!(a.matmul(&b).data(), a.matmul_reference(&b).data());
-    assert_eq!(
-        a.matmul_par(&b, &pool).data(),
-        a.matmul_reference(&b).data()
-    );
+    #[cfg(feature = "fast-math")]
+    assert_eq!(a.matmul(&b).data(), a.matmul_fma_reference(&b).data());
+    assert_eq!(a.matmul_par(&b, &pool).data(), a.matmul(&b).data());
     let mut g = c.benchmark_group("nn/matmul_256");
     g.throughput(Throughput::Elements((256u64).pow(3)));
     g.bench_function("reference_scalar", |bch| {
@@ -48,6 +50,26 @@ fn bench_matmul_kernels(c: &mut Criterion) {
     });
     g.finish();
 }
+
+/// FMA reduction-tree kernel vs the no-FMA blocked tier, both compiled in
+/// the same `fast-math` binary (`matmul_unfused` ignores the feature by
+/// design so the two tiers can be compared in one run).
+#[cfg(feature = "fast-math")]
+fn bench_fma_vs_blocked(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = cosmo_nn::init::uniform(256, 256, -1.0, 1.0, &mut rng);
+    let b = cosmo_nn::init::uniform(256, 256, -1.0, 1.0, &mut rng);
+    let mut g = c.benchmark_group("nn/matmul_256_fast_math");
+    g.throughput(Throughput::Elements((256u64).pow(3)));
+    g.bench_function("fma_tree", |bch| bch.iter(|| a.matmul(&b).sum()));
+    g.bench_function("blocked_unfused", |bch| {
+        bch.iter(|| a.matmul_unfused(&b).sum())
+    });
+    g.finish();
+}
+
+#[cfg(not(feature = "fast-math"))]
+fn bench_fma_vs_blocked(_c: &mut Criterion) {}
 
 fn bench_gru_training_step(c: &mut Criterion) {
     let mut store = ParamStore::new();
@@ -100,6 +122,7 @@ criterion_group!(
     benches,
     bench_matmul,
     bench_matmul_kernels,
+    bench_fma_vs_blocked,
     bench_gru_training_step,
     bench_embedding_bag
 );

@@ -45,6 +45,40 @@ fn bench_predict(c: &mut Criterion) {
     });
 }
 
+/// Batched `predict_batch` against an equivalent per-item `predict` loop.
+/// The two are bitwise identical (locked by tests in cosmo-lm); this group
+/// measures the throughput gap the tape-free batched path buys.
+fn bench_predict_batch(c: &mut Criterion) {
+    let lm = student(1_000);
+    let inputs: Vec<String> = (0..256)
+        .map(|i| {
+            format!("is the product relevant to the query: camping trip {i} | acme tent model {i}")
+        })
+        .collect();
+    let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+    let mut g = c.benchmark_group("student/predict");
+    for &batch in &[1usize, 32, 256] {
+        let slice = &refs[..batch];
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_function(format!("per_item_{batch}"), |b| {
+            b.iter(|| {
+                slice
+                    .iter()
+                    .map(|q| lm.predict(TaskType::RelevancePrediction, black_box(q)))
+                    .sum::<f32>()
+            })
+        });
+        g.bench_function(format!("batched_{batch}"), |b| {
+            b.iter(|| {
+                lm.predict_batch(TaskType::RelevancePrediction, black_box(slice))
+                    .iter()
+                    .sum::<f32>()
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_embed(c: &mut Criterion) {
     let lm = student(1_000);
     c.bench_function("student/embed_text", |b| {
@@ -55,5 +89,11 @@ fn bench_embed(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_generate, bench_predict, bench_embed);
+criterion_group!(
+    benches,
+    bench_generate,
+    bench_predict,
+    bench_predict_batch,
+    bench_embed
+);
 criterion_main!(benches);

@@ -11,6 +11,7 @@ use cosmo_kg::{
     BehaviorKind, Edge, KgSnapshot, KgSnapshotView, KnowledgeGraph, MappedSnapshot, NodeId,
     NodeKind, Relation, StreamOptions,
 };
+use cosmo_lm::TaskType;
 use cosmo_sessrec::{
     attach_knowledge, drift_analysis, generate_sessions, CosmoGnn, GceGnn, Gru4Rec, SessionConfig,
     SessionModel, TrainConfig,
@@ -216,10 +217,29 @@ fn matmul_seed_scalar(a: &cosmo_nn::Tensor, b: &cosmo_nn::Tensor) -> cosmo_nn::T
     cosmo_nn::Tensor::from_vec(n, m, out)
 }
 
-/// Measured matmul GFLOP/s for one `[m×k]·[k×n]` shape: `(seed scalar,
-/// blocked, threaded-4)`. Panics if the blocked or threaded kernel is not
-/// bitwise identical to the seed loop and the IEEE-exact reference loop.
-pub fn matmul_gflops(m: usize, k: usize, n: usize) -> (f64, f64, f64) {
+/// Measured matmul GFLOP/s for one `[m×k]·[k×n]` shape.
+#[derive(Debug, Clone, Copy)]
+pub struct MatmulGflops {
+    /// Seed-era scalar triple loop.
+    pub reference: f64,
+    /// Blocked no-FMA tier. Always the same kernel bytes-wise in every
+    /// build: `matmul` at default features, `matmul_unfused` under
+    /// `fast-math` (the feature leaves the unfused tier untouched
+    /// precisely so one binary can measure both).
+    pub blocked: f64,
+    /// 4-thread row-partitioned production kernel.
+    pub threaded4: f64,
+    /// FMA reduction-tree production kernel — `Some` only when the
+    /// `fast-math` feature is compiled in.
+    pub fma: Option<f64>,
+}
+
+/// Measures every matmul tier at one shape. Panics unless each kernel is
+/// bitwise identical to its configuration's scalar oracle: the seed loop
+/// and blocked tier against the IEEE-exact reference loop in every build,
+/// and (under `fast-math`) the fused production kernel against the
+/// fixed-shape FMA reduction-tree reference.
+pub fn matmul_gflops(m: usize, k: usize, n: usize) -> MatmulGflops {
     let a = bench_matrix(m, k, 1);
     let b = bench_matrix(k, n, 2);
     let flops = 2.0 * m as f64 * k as f64 * n as f64;
@@ -232,15 +252,27 @@ pub fn matmul_gflops(m: usize, k: usize, n: usize) -> (f64, f64, f64) {
         "seed loop diverged from the reference at {m}x{k}x{n}"
     );
     assert_eq!(
-        a.matmul(&b).data(),
+        a.matmul_unfused(&b).data(),
         expect.data(),
-        "blocked kernel diverged from the reference at {m}x{k}x{n}"
+        "blocked no-FMA kernel diverged from the reference at {m}x{k}x{n}"
     );
     let pool = cosmo_exec::WorkerPool::new(4);
     assert_eq!(
         a.matmul_par(&b, &pool).data(),
+        a.matmul(&b).data(),
+        "threaded kernel diverged from the single-thread kernel at {m}x{k}x{n}"
+    );
+    #[cfg(not(feature = "fast-math"))]
+    assert_eq!(
+        a.matmul(&b).data(),
         expect.data(),
-        "threaded kernel diverged from the reference at {m}x{k}x{n}"
+        "production kernel diverged from the reference at {m}x{k}x{n}"
+    );
+    #[cfg(feature = "fast-math")]
+    assert_eq!(
+        a.matmul(&b).data(),
+        a.matmul_fma_reference(&b).data(),
+        "fused kernel diverged from the FMA reduction-tree reference at {m}x{k}x{n}"
     );
     let t_ref = best_secs(reps, || {
         std::hint::black_box(matmul_seed_scalar(
@@ -249,16 +281,27 @@ pub fn matmul_gflops(m: usize, k: usize, n: usize) -> (f64, f64, f64) {
         ));
     });
     let t_blk = best_secs(reps, || {
-        std::hint::black_box(a.matmul(std::hint::black_box(&b)));
+        std::hint::black_box(a.matmul_unfused(std::hint::black_box(&b)));
     });
     let t_par = best_secs(reps, || {
         std::hint::black_box(a.matmul_par(std::hint::black_box(&b), &pool));
     });
-    (
-        flops / t_ref / 1e9,
-        flops / t_blk / 1e9,
-        flops / t_par / 1e9,
-    )
+    #[cfg(feature = "fast-math")]
+    let fma = Some(
+        flops
+            / best_secs(reps, || {
+                std::hint::black_box(a.matmul(std::hint::black_box(&b)));
+            })
+            / 1e9,
+    );
+    #[cfg(not(feature = "fast-math"))]
+    let fma = None;
+    MatmulGflops {
+        reference: flops / t_ref / 1e9,
+        blocked: flops / t_blk / 1e9,
+        threaded4: flops / t_par / 1e9,
+        fma,
+    }
 }
 
 /// Deterministic synthetic KG: `n_heads` query nodes, each with `deg`
@@ -973,18 +1016,21 @@ fn synthetic_critic_examples(n: usize, buckets: usize) -> Vec<cosmo_core::Critic
 }
 
 /// cosmo-nn compute-engine scaling: matmul GFLOP/s (seed reference loop vs
-/// blocked kernel vs 4-thread row-partitioned kernel) across shapes, and
+/// blocked kernel vs 4-thread row-partitioned kernel, plus the FMA
+/// reduction-tree tier when the `fast-math` feature is compiled in) across
+/// shapes, batched student inference against the per-item path, and
 /// per-epoch critic-training wall clock at 1/2/4 worker threads with a
 /// byte-identity assertion across thread counts. Writes `BENCH_nn.json`
 /// at the repo root and returns the human-readable summary.
-pub fn nn_scaling(_ctx: &Ctx) -> String {
+pub fn nn_scaling(ctx: &Ctx) -> String {
+    let fast_math = cfg!(feature = "fast-math");
     let mut out = String::new();
     let mut json = String::from("{\n  \"matmul\": [\n");
 
     let _ = writeln!(
         out,
-        "{:<14} {:>10} {:>10} {:>12} {:>9}",
-        "shape", "ref GF/s", "blocked", "threaded(4)", "speedup"
+        "{:<14} {:>10} {:>10} {:>12} {:>9} {:>9}",
+        "shape", "ref GF/s", "blocked", "threaded(4)", "speedup", "fma"
     );
     let shapes = [
         (64, 64, 64),
@@ -993,27 +1039,108 @@ pub fn nn_scaling(_ctx: &Ctx) -> String {
         (96, 512, 160),
     ];
     let mut blocked_speedup_256 = 0.0f64;
+    let mut fma_speedup_256 = 0.0f64;
     for (i, &(m, k, n)) in shapes.iter().enumerate() {
-        let (g_ref, g_blk, g_par) = matmul_gflops(m, k, n);
-        let speedup = g_blk / g_ref;
+        let g = matmul_gflops(m, k, n);
+        let speedup = g.blocked / g.reference;
         if (m, k, n) == (256, 256, 256) {
             blocked_speedup_256 = speedup;
+            if let Some(f) = g.fma {
+                fma_speedup_256 = f / g.blocked;
+            }
         }
         let _ = writeln!(
             out,
-            "{:<14} {:>10.2} {:>10.2} {:>12.2} {:>8.2}x",
+            "{:<14} {:>10.2} {:>10.2} {:>12.2} {:>8.2}x {:>9}",
             format!("{m}x{k}x{n}"),
-            g_ref,
-            g_blk,
-            g_par,
-            speedup
+            g.reference,
+            g.blocked,
+            g.threaded4,
+            speedup,
+            match g.fma {
+                Some(f) => format!("{f:.2}"),
+                None => "-".to_string(),
+            }
+        );
+        let fma_fields = match g.fma {
+            Some(f) => format!(
+                ", \"fma_gflops\": {f:.3}, \"fma_speedup_vs_blocked\": {:.3}",
+                f / g.blocked
+            ),
+            None => String::new(),
+        };
+        let _ = write!(
+            json,
+            "    {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"reference_gflops\": {:.3}, \
+             \"blocked_gflops\": {:.3}, \"threaded4_gflops\": {:.3}, \
+             \"blocked_speedup\": {speedup:.3}{fma_fields}}}{}",
+            g.reference,
+            g.blocked,
+            g.threaded4,
+            if i + 1 < shapes.len() { ",\n" } else { "\n" }
+        );
+    }
+    json.push_str("  ],\n  \"student_predict\": [\n");
+
+    // Batched student inference vs the per-item pooled-tape path — the same
+    // trained student every other experiment serves, probed with synthetic
+    // relevance prompts. The two paths are bitwise identical (locked by
+    // tests in cosmo-lm); only throughput differs.
+    let lm = &*ctx.student;
+    let prompts: Vec<String> = (0..256)
+        .map(|i| {
+            format!("is the product relevant to the query: camping trip {i} | acme tent model {i}")
+        })
+        .collect();
+    let prompt_refs: Vec<&str> = prompts.iter().map(String::as_str).collect();
+    let _ = writeln!(
+        out,
+        "\n{:<8} {:>16} {:>16} {:>9}  (student relevance head, items/s)",
+        "batch", "per-item", "batched", "speedup"
+    );
+    let mut predict_batch_speedup_256 = 0.0f64;
+    let batches = [1usize, 32, 256];
+    for (i, &batch) in batches.iter().enumerate() {
+        let slice = &prompt_refs[..batch];
+        let per_item: Vec<f32> = slice
+            .iter()
+            .map(|q| lm.predict(TaskType::RelevancePrediction, q))
+            .collect();
+        let batched = lm.predict_batch(TaskType::RelevancePrediction, slice);
+        assert_eq!(
+            per_item.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            batched.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "predict_batch diverged from per-item predict at batch {batch}"
+        );
+        let reps = (2048 / batch).clamp(8, 512);
+        let t_item = best_secs(reps, || {
+            for q in slice {
+                std::hint::black_box(
+                    lm.predict(TaskType::RelevancePrediction, std::hint::black_box(q)),
+                );
+            }
+        });
+        let t_batch = best_secs(reps, || {
+            std::hint::black_box(
+                lm.predict_batch(TaskType::RelevancePrediction, std::hint::black_box(slice)),
+            );
+        });
+        let items_per_s = batch as f64 / t_item;
+        let batched_per_s = batch as f64 / t_batch;
+        let speedup = t_item / t_batch;
+        if batch == 256 {
+            predict_batch_speedup_256 = speedup;
+        }
+        let _ = writeln!(
+            out,
+            "{:<8} {:>16.0} {:>16.0} {:>8.2}x",
+            batch, items_per_s, batched_per_s, speedup
         );
         let _ = write!(
             json,
-            "    {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"reference_gflops\": {g_ref:.3}, \
-             \"blocked_gflops\": {g_blk:.3}, \"threaded4_gflops\": {g_par:.3}, \
-             \"blocked_speedup\": {speedup:.3}}}{}",
-            if i + 1 < shapes.len() { ",\n" } else { "\n" }
+            "    {{\"batch\": {batch}, \"per_item_per_s\": {items_per_s:.1}, \
+             \"batched_per_s\": {batched_per_s:.1}, \"speedup\": {speedup:.3}}}{}",
+            if i + 1 < batches.len() { ",\n" } else { "\n" }
         );
     }
     json.push_str("  ],\n  \"training\": [\n");
@@ -1081,11 +1208,19 @@ pub fn nn_scaling(_ctx: &Ctx) -> String {
             }
         );
     }
+    let fma_field = if fast_math {
+        format!("  \"fma_speedup_256\": {fma_speedup_256:.3},\n")
+    } else {
+        String::new()
+    };
     let _ = write!(
         json,
         "  ],\n  \"training_examples\": {},\n  \"training_dim\": 64,\n  \
          \"available_cores\": {cores},\n  \
+         \"fast_math\": {fast_math},\n\
+         {fma_field}  \
          \"blocked_speedup_256\": {blocked_speedup_256:.3},\n  \
+         \"predict_batch_speedup_256\": {predict_batch_speedup_256:.3},\n  \
          \"identical_across_threads\": true\n}}\n",
         examples.len()
     );

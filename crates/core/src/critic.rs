@@ -13,10 +13,11 @@
 //! tail-token cross features (the signal that lets plausibility generalise
 //! across products of the same type), relation and domain ids.
 
+use cosmo_nn::infer::{self, ScratchPool};
 use cosmo_nn::layers::{Embedding, Linear};
 use cosmo_nn::opt::Adam;
 use cosmo_nn::train::{shard_ranges, ShardRunner};
-use cosmo_nn::{ParamStore, Tape};
+use cosmo_nn::ParamStore;
 use cosmo_synth::World;
 use cosmo_teacher::{BehaviorRef, Candidate};
 use cosmo_text::hash::hash_str_ns;
@@ -151,6 +152,8 @@ pub struct Critic {
     head_plausible: Linear,
     head_typical: Linear,
     cfg: CriticConfig,
+    /// Recycled tape-free scratch buffers for the scoring entry points.
+    scratch_pool: ScratchPool,
 }
 
 /// Training metrics.
@@ -184,6 +187,7 @@ impl Critic {
             head_plausible,
             head_typical,
             cfg,
+            scratch_pool: ScratchPool::new(),
         }
     }
 
@@ -310,51 +314,65 @@ impl Critic {
     }
 
     /// Score features → `(plausibility, typicality)` probabilities.
+    ///
+    /// Runs tape-free through pooled scratch buffers (no parameter copies,
+    /// no autodiff bookkeeping, no steady-state allocation); outputs are
+    /// bitwise identical to the historical fresh-tape formulation, locked
+    /// by a test below. Empty feature lists mean-pool to a zero row, which
+    /// matches the old explicit zeros input exactly.
     pub fn score(&self, feats: &[usize]) -> (f32, f32) {
-        let mut tape = Tape::new();
-        let table = self.emb.table(&mut tape, &self.store);
-        let segments = vec![0usize; feats.len()];
-        let pooled = if feats.is_empty() {
-            tape.input(cosmo_nn::Tensor::zeros(1, self.emb.dim()))
-        } else {
-            let rows = tape.gather(table, feats);
-            tape.segment_mean(rows, &segments, 1)
+        let mut s = self.scratch_pool.take();
+        s.clear_ids();
+        s.ids.extend_from_slice(feats);
+        s.segments.resize(feats.len(), 0);
+        let out = {
+            self.forward_scratch(&mut s, 1);
+            (sigmoid(s.hidden.get(0, 0)), sigmoid(s.out.get(0, 0)))
         };
-        let lp = self.head_plausible.forward(&mut tape, &self.store, pooled);
-        let lt = self.head_typical.forward(&mut tape, &self.store, pooled);
-        (
-            sigmoid(tape.value(lp).item()),
-            sigmoid(tape.value(lt).item()),
-        )
+        self.scratch_pool.put(s);
+        out
     }
 
-    /// Score a whole batch at once.
+    /// Score a whole batch at once: one flat embedding-bag encode and one
+    /// matmul per head over the `[batch×dim]` pooled block. Bitwise
+    /// identical to scoring each row alone (the per-element reduction
+    /// chains depend only on the inner dimension, never the batch size).
     pub fn score_batch(&self, batch: &[Vec<usize>]) -> Vec<(f32, f32)> {
         if batch.is_empty() {
             return Vec::new();
         }
-        let mut ids = Vec::new();
-        let mut segments = Vec::new();
-        for (s, feats) in batch.iter().enumerate() {
+        let mut s = self.scratch_pool.take();
+        s.clear_ids();
+        for (seg, feats) in batch.iter().enumerate() {
             for &f in feats {
-                ids.push(f);
-                segments.push(s);
+                s.ids.push(f);
+                s.segments.push(seg);
             }
         }
-        let mut tape = Tape::new();
-        let table = self.emb.table(&mut tape, &self.store);
-        let rows = tape.gather(table, &ids);
-        let pooled = tape.segment_mean(rows, &segments, batch.len());
-        let lp = self.head_plausible.forward(&mut tape, &self.store, pooled);
-        let lt = self.head_typical.forward(&mut tape, &self.store, pooled);
-        (0..batch.len())
-            .map(|i| {
-                (
-                    sigmoid(tape.value(lp).get(i, 0)),
-                    sigmoid(tape.value(lt).get(i, 0)),
-                )
-            })
-            .collect()
+        self.forward_scratch(&mut s, batch.len());
+        let out = (0..batch.len())
+            .map(|i| (sigmoid(s.hidden.get(i, 0)), sigmoid(s.out.get(i, 0))))
+            .collect();
+        self.scratch_pool.put(s);
+        out
+    }
+
+    /// Shared scoring forward: mean-pool the staged ids/segments into
+    /// `[batch×dim]`, then run both heads (plausibility logits land in
+    /// `scratch.hidden`, typicality in `scratch.out`).
+    fn forward_scratch(&self, s: &mut infer::InferScratch, batch: usize) {
+        infer::embed_bag_into(
+            self.emb.table_value(&self.store),
+            &s.ids,
+            &s.segments,
+            batch,
+            &mut s.counts,
+            &mut s.pooled,
+        );
+        let (wp, bp) = self.head_plausible.params(&self.store);
+        infer::linear_into(&s.pooled, wp, bp, &mut s.hidden);
+        let (wt, bt) = self.head_typical.params(&self.store);
+        infer::linear_into(&s.pooled, wt, bt, &mut s.out);
     }
 
     /// Hash-bucket count this critic was built with.
@@ -484,6 +502,72 @@ mod tests {
         let critic = Critic::new(CriticConfig::default());
         let (p, t) = critic.score(&[]);
         assert!((0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&t));
+    }
+
+    /// The tape-free scoring path must reproduce the historical tape
+    /// formulation (param copy → gather → segment_mean → head forwards)
+    /// bit for bit, including the empty-features zeros-input special case
+    /// and repeated calls on recycled scratch buffers.
+    #[test]
+    fn direct_scoring_is_bitwise_identical_to_tape_formulation() {
+        use cosmo_nn::Tape;
+        let mut critic = Critic::new(CriticConfig {
+            epochs: 2,
+            ..Default::default()
+        });
+        let examples: Vec<CriticExample> = (0..60)
+            .map(|i| CriticExample {
+                features: vec![i % 37, (i * 13) % 200],
+                plausible: Some(i % 2 == 0),
+                typical: Some(i % 3 == 0),
+            })
+            .collect();
+        critic.train(&examples);
+
+        let tape_score = |feats: &[usize]| -> (f32, f32) {
+            let mut tape = Tape::new();
+            let table = critic.emb.table(&mut tape, &critic.store);
+            let segments = vec![0usize; feats.len()];
+            let pooled = if feats.is_empty() {
+                tape.input(cosmo_nn::Tensor::zeros(1, critic.emb.dim()))
+            } else {
+                let rows = tape.gather(table, feats);
+                tape.segment_mean(rows, &segments, 1)
+            };
+            let lp = critic
+                .head_plausible
+                .forward(&mut tape, &critic.store, pooled);
+            let lt = critic
+                .head_typical
+                .forward(&mut tape, &critic.store, pooled);
+            (
+                sigmoid(tape.value(lp).item()),
+                sigmoid(tape.value(lt).item()),
+            )
+        };
+
+        let probes: &[&[usize]] = &[&[], &[7], &[1, 2, 3], &[5, 5, 5, 40], &[199, 0, 36]];
+        for &feats in probes {
+            let want = tape_score(feats);
+            // twice: the second call runs on the recycled scratch
+            for round in 0..2 {
+                let got = critic.score(feats);
+                assert_eq!(
+                    (got.0.to_bits(), got.1.to_bits()),
+                    (want.0.to_bits(), want.1.to_bits()),
+                    "feats {feats:?} round {round}"
+                );
+            }
+        }
+        let batch: Vec<Vec<usize>> = probes.iter().map(|f| f.to_vec()).collect();
+        for (feats, got) in probes.iter().zip(critic.score_batch(&batch)) {
+            let want = tape_score(feats);
+            assert_eq!(
+                (got.0.to_bits(), got.1.to_bits()),
+                (want.0.to_bits(), want.1.to_bits()),
+                "batched feats {feats:?}"
+            );
+        }
     }
 
     /// Data-parallel training must be a pure function of the data and the

@@ -286,8 +286,10 @@ pub fn run_over(world: World, log: BehaviorLog, cfg: &PipelineConfig) -> Pipelin
         let tail = f.parsed.as_ref().map(|p| p.tail.as_str()).unwrap_or("");
         features(&world, &f.candidate, tail, cfg.critic.buckets)
     });
-    // score in fixed chunks to bound tape size; chunks are independent
-    // forward passes, so they fan out too, and the merge is index-ordered
+    // score in fixed chunks to bound scratch size; each chunk is one
+    // batched tape-free forward (`Critic::score_batch` packs the whole
+    // chunk into a single matmul per head), chunks fan out across the
+    // pool, and the merge is index-ordered
     const SCORE_CHUNK: usize = 512;
     let starts: Vec<usize> = (0..feats.len()).step_by(SCORE_CHUNK).collect();
     let chunk_scores: Vec<Vec<(f32, f32)>> = pool.map(&starts, 1, |_, &start| {

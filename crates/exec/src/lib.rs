@@ -188,6 +188,32 @@ impl WorkerPool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.try_map_slices(items, chunk_size, |start, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(j, t)| f(start + j, t))
+                .collect()
+        })
+    }
+
+    /// Like [`WorkerPool::try_map_chunks`] but the closure receives each
+    /// whole chunk (`(start, &items[start..])`) and returns its per-item
+    /// results, letting callers run one *batched* computation per chunk
+    /// instead of an independent call per item. The returned `Vec` must
+    /// have one entry per chunk item (checked). Panic isolation and
+    /// index-ordered returns are identical to `try_map_chunks`.
+    pub fn try_map_slices<T, R, F>(
+        &self,
+        items: &[T],
+        chunk_size: usize,
+        f: F,
+    ) -> Vec<ChunkResult<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> Vec<R> + Sync,
+    {
         let chunk_size = chunk_size.max(1);
         let n_chunks = items.len().div_ceil(chunk_size);
         let mut slots: Vec<Option<ChunkResult<R>>> = Vec::new();
@@ -195,11 +221,13 @@ impl WorkerPool {
         let run_chunk = |ci: usize, chunk: &[T]| -> ChunkResult<R> {
             let start = ci * chunk_size;
             match catch_unwind(AssertUnwindSafe(|| {
-                chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(j, t)| f(start + j, t))
-                    .collect::<Vec<R>>()
+                let results = f(start, chunk);
+                assert_eq!(
+                    results.len(),
+                    chunk.len(),
+                    "slice closure must return one result per item"
+                );
+                results
             })) {
                 Ok(results) => ChunkResult::Computed { start, results },
                 Err(_) => ChunkResult::Panicked {
@@ -456,6 +484,60 @@ mod tests {
             assert_eq!(panicked, vec![(5, 5)], "threads={threads}");
             assert_eq!(recovered.len(), 15);
         }
+    }
+
+    /// `try_map_slices` must deliver whole chunks with correct starts,
+    /// isolate panicking chunks, and agree with the per-item formulation.
+    #[test]
+    fn try_map_slices_delivers_chunks_and_isolates_panics() {
+        let items: Vec<usize> = (0..23).collect();
+        for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
+            let out = pool.try_map_slices(&items, 5, |start, chunk| {
+                assert_eq!(chunk[0], start, "chunk must begin at start");
+                if start == 10 {
+                    panic!("boom");
+                }
+                chunk.iter().map(|&x| x * 2).collect()
+            });
+            let mut recovered = Vec::new();
+            let mut panicked = Vec::new();
+            for r in &out {
+                match r {
+                    ChunkResult::Computed { start, results } => {
+                        for (j, &v) in results.iter().enumerate() {
+                            assert_eq!(v, (start + j) * 2);
+                            recovered.push(start + j);
+                        }
+                    }
+                    ChunkResult::Panicked { start, len } => panicked.push((*start, *len)),
+                }
+            }
+            assert_eq!(panicked, vec![(10, 5)], "threads={threads}");
+            assert_eq!(recovered.len(), 18, "threads={threads}");
+        }
+    }
+
+    /// A slice closure returning the wrong number of results is a bug in
+    /// the caller; the length check converts it into a Panicked chunk
+    /// rather than silently misaligning item indices.
+    #[test]
+    fn try_map_slices_flags_length_mismatch_as_panicked() {
+        let pool = WorkerPool::new(1);
+        let items = [1, 2, 3, 4];
+        let out = pool.try_map_slices(
+            &items,
+            2,
+            |start, chunk| {
+                if start == 0 {
+                    vec![0]
+                } else {
+                    chunk.to_vec()
+                }
+            },
+        );
+        assert!(matches!(out[0], ChunkResult::Panicked { start: 0, len: 2 }));
+        assert!(matches!(out[1], ChunkResult::Computed { .. }));
     }
 
     #[test]

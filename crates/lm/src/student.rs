@@ -21,6 +21,7 @@
 
 use crate::instruction::{Instruction, TaskType};
 use cosmo_kg::Relation;
+use cosmo_nn::infer::{self, InferScratch, ScratchPool, TapePool};
 use cosmo_nn::layers::{Embedding, Linear};
 use cosmo_nn::opt::Adam;
 use cosmo_nn::train::{shard_ranges, ShardRunner};
@@ -104,6 +105,12 @@ pub struct CosmoLm {
     tail_rel: Vec<Option<Relation>>,
     tail_index: FxHashMap<String, usize>,
     cfg: StudentConfig,
+    /// Recycled tapes for the per-item inference entry points — kills the
+    /// `Tape::new` allocation per call while keeping the exact tape
+    /// formulation (pooled-tape results are bitwise identical to fresh).
+    tape_pool: TapePool,
+    /// Recycled scratches for the tape-free batched entry points.
+    scratch_pool: ScratchPool,
 }
 
 fn head_slot(task: TaskType) -> Option<usize> {
@@ -151,6 +158,8 @@ impl CosmoLm {
             tail_rel,
             tail_index,
             cfg,
+            tape_pool: TapePool::new(),
+            scratch_pool: ScratchPool::new(),
         }
     }
 
@@ -343,11 +352,25 @@ impl CosmoLm {
         relation: Option<Relation>,
         k: usize,
     ) -> Vec<(String, f32)> {
-        let mut tape = Tape::new();
+        let mut tape = self.tape_pool.take();
         let enc = self.encode_batch(&mut tape, &[input]);
         let tails = self.tail_emb.table(&mut tape, &self.store);
         let logits = tape.matmul_nt(enc, tails);
         let row = tape.value(logits).row_slice(0);
+        let out = self.rank_tail_row(row, relation, k);
+        self.tape_pool.put(tape);
+        out
+    }
+
+    /// Rank one `[1×tails]` logit row against the (optional) relation
+    /// constraint: shared by [`CosmoLm::generate`] and
+    /// [`CosmoLm::generate_batch`] so the two paths cannot drift.
+    fn rank_tail_row(
+        &self,
+        row: &[f32],
+        relation: Option<Relation>,
+        k: usize,
+    ) -> Vec<(String, f32)> {
         let mut scored: Vec<(usize, f32)> = row
             .iter()
             .enumerate()
@@ -365,6 +388,36 @@ impl CosmoLm {
             .collect()
     }
 
+    /// Batched [`CosmoLm::generate`]: one embedding-bag encode and one
+    /// `[batch×dim]·[tails×dim]ᵀ` matmul over the whole batch, through
+    /// reused tape-free scratch buffers. Per-element reduction chains are
+    /// a pure function of the inner dimension, so every output row — and
+    /// therefore every ranking — is bitwise identical to the per-item
+    /// `generate` loop, in both feature configurations.
+    pub fn generate_batch(
+        &self,
+        inputs: &[&str],
+        relation: Option<Relation>,
+        k: usize,
+    ) -> Vec<Vec<(String, f32)>> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let mut s = self.scratch_pool.take();
+        self.encode_into(&mut s, inputs);
+        infer::matmul_nt_into(
+            &s.pooled,
+            self.tail_emb.table_value(&self.store),
+            &mut s.nt_scratch,
+            &mut s.out,
+        );
+        let out = (0..inputs.len())
+            .map(|r| self.rank_tail_row(s.out.row_slice(r), relation, k))
+            .collect();
+        self.scratch_pool.put(s);
+        out
+    }
+
     /// Sample a *list* of `n` distinct tails (the paper's "1. 2. 3." list
     /// generation, Figure 3's prompt trick) with temperature-controlled
     /// softmax sampling over the constrained tail vocabulary. Lower
@@ -379,7 +432,7 @@ impl CosmoLm {
         rng: &mut impl rand::Rng,
     ) -> Vec<String> {
         assert!(temperature > 0.0, "temperature must be positive");
-        let mut tape = Tape::new();
+        let mut tape = self.tape_pool.take();
         let enc = self.encode_batch(&mut tape, &[input]);
         let tails = self.tail_emb.table(&mut tape, &self.store);
         let logits = tape.matmul_nt(enc, tails);
@@ -420,25 +473,91 @@ impl CosmoLm {
             let (idx, _) = eligible.swap_remove(pick);
             out.push(self.tail_vocab[idx].clone());
         }
+        self.tape_pool.put(tape);
         out
     }
 
-    /// Probability output of a prediction head.
+    /// Probability output of a prediction head. Runs on a pooled tape, so
+    /// steady-state calls allocate nothing; outputs are bitwise identical
+    /// to the historical fresh-tape-per-call formulation.
     pub fn predict(&self, task: TaskType, input: &str) -> f32 {
         let slot = head_slot(task).expect("predict() needs a prediction task");
-        let mut tape = Tape::new();
+        let mut tape = self.tape_pool.take();
         let enc = self.encode_batch(&mut tape, &[input]);
         let logit = self.heads[slot].forward(&mut tape, &self.store, enc);
-        1.0 / (1.0 + (-tape.value(logit).item()).exp())
+        let p = 1.0 / (1.0 + (-tape.value(logit).item()).exp());
+        self.tape_pool.put(tape);
+        p
+    }
+
+    /// Batched [`CosmoLm::predict`]: encodes the whole batch into one
+    /// `[batch×dim]` tensor and runs one head matmul, tape-free, through
+    /// reused scratch buffers. Bitwise identical to calling `predict` per
+    /// item, in both feature configurations — locked by a proptest.
+    pub fn predict_batch(&self, task: TaskType, inputs: &[&str]) -> Vec<f32> {
+        let slot = head_slot(task).expect("predict_batch() needs a prediction task");
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let mut s = self.scratch_pool.take();
+        self.encode_into(&mut s, inputs);
+        let (w, b) = self.heads[slot].params(&self.store);
+        infer::linear_into(&s.pooled, w, b, &mut s.out);
+        let out = s
+            .out
+            .data()
+            .iter()
+            .map(|&x| 1.0 / (1.0 + (-x).exp()))
+            .collect();
+        self.scratch_pool.put(s);
+        out
     }
 
     /// Dense embedding of arbitrary text under the student's encoder —
     /// "we leverage the same LM to vectorize generated knowledge" (§4.2.3,
     /// COSMO-GNN's knowledge embeddings).
     pub fn embed_text(&self, text: &str) -> Vec<f32> {
-        let mut tape = Tape::new();
+        let mut tape = self.tape_pool.take();
         let enc = self.encode_batch(&mut tape, &[text]);
-        tape.value(enc).row_slice(0).to_vec()
+        let out = tape.value(enc).row_slice(0).to_vec();
+        self.tape_pool.put(tape);
+        out
+    }
+
+    /// Batched [`CosmoLm::embed_text`]: one embedding-bag encode for the
+    /// whole batch; each row carries the exact bits of the per-item call.
+    pub fn embed_batch(&self, texts: &[&str]) -> Vec<Vec<f32>> {
+        if texts.is_empty() {
+            return Vec::new();
+        }
+        let mut s = self.scratch_pool.take();
+        self.encode_into(&mut s, texts);
+        let out = (0..texts.len())
+            .map(|r| s.pooled.row_slice(r).to_vec())
+            .collect();
+        self.scratch_pool.put(s);
+        out
+    }
+
+    /// Stage hashed features for `inputs` in `scratch` and mean-pool them
+    /// into `scratch.pooled` (`[batch×dim]`), reading the encoder table in
+    /// place. Mirrors [`encode_inputs`] bit-for-bit without the tape.
+    fn encode_into(&self, scratch: &mut InferScratch, inputs: &[&str]) {
+        scratch.clear_ids();
+        for (seg, input) in inputs.iter().enumerate() {
+            for f in hash_features(self.cfg.buckets, input) {
+                scratch.ids.push(f);
+                scratch.segments.push(seg);
+            }
+        }
+        infer::embed_bag_into(
+            self.enc.table_value(&self.store),
+            &scratch.ids,
+            &scratch.segments,
+            inputs.len(),
+            &mut scratch.counts,
+            &mut scratch.pooled,
+        );
     }
 
     /// Embedding width.
@@ -653,6 +772,95 @@ mod tests {
     #[should_panic(expected = "tail vocabulary")]
     fn empty_vocab_rejected() {
         let _ = CosmoLm::new(StudentConfig::default(), vec![]);
+    }
+
+    fn trained_student() -> CosmoLm {
+        let mut lm = CosmoLm::new(
+            StudentConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+            tails(),
+        );
+        lm.train(&toy_instructions());
+        lm
+    }
+
+    /// Repeated per-item calls must be bitwise stable: the second call runs
+    /// on the pooled (reset) tape rather than a fresh one, and any drift
+    /// would mean tape reuse leaks state into results.
+    #[test]
+    fn pooled_tape_inference_is_bitwise_stable_across_calls() {
+        let lm = trained_student();
+        let input = "user searched camping item fresh";
+        let first = (
+            lm.predict(TaskType::Plausibility, input),
+            lm.generate(input, None, 3),
+            lm.embed_text(input),
+        );
+        for _ in 0..3 {
+            assert_eq!(lm.predict(TaskType::Plausibility, input), first.0);
+            assert_eq!(lm.generate(input, None, 3), first.1);
+            assert_eq!(lm.embed_text(input), first.2);
+        }
+    }
+
+    #[test]
+    fn generate_batch_matches_per_item_generate_bitwise() {
+        let lm = trained_student();
+        let inputs = [
+            "user searched camping item fresh",
+            "kitchen gadget for peeling",
+            "",
+            "walking the dog at dawn with a camping lantern",
+        ];
+        for relation in [None, Some(Relation::UsedForFunc)] {
+            let batched = lm.generate_batch(&inputs, relation, 3);
+            for (input, rows) in inputs.iter().zip(batched.iter()) {
+                assert_eq!(rows, &lm.generate(input, relation, 3), "input {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn embed_batch_matches_per_item_embed_bitwise() {
+        let lm = trained_student();
+        let texts = ["winter camping gear", "", "potato peeler", "dog leash"];
+        let batched = lm.embed_batch(&texts);
+        for (text, row) in texts.iter().zip(batched.iter()) {
+            assert_eq!(row, &lm.embed_text(text), "text {text:?}");
+        }
+        assert!(lm.predict_batch(TaskType::Typicality, &[]).is_empty());
+        assert!(lm.embed_batch(&[]).is_empty());
+    }
+
+    proptest::proptest! {
+        /// The batched fast path must be *bitwise* equal to the per-item
+        /// predict loop for arbitrary input text, at any batch size — this
+        /// is the contract that lets serving swap one for the other freely.
+        #[test]
+        fn predict_batch_matches_per_item_predict_bitwise(
+            inputs in proptest::collection::vec("[ a-z0-9]{0,40}", 1..12),
+            slot in 0usize..4,
+        ) {
+            let lm = CosmoLm::new(StudentConfig::default(), tails());
+            let task = [
+                TaskType::Plausibility,
+                TaskType::Typicality,
+                TaskType::CopurchasePrediction,
+                TaskType::RelevancePrediction,
+            ][slot];
+            let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+            let batched = lm.predict_batch(task, &refs);
+            proptest::prop_assert_eq!(batched.len(), refs.len());
+            for (input, &p) in refs.iter().zip(batched.iter()) {
+                let single = lm.predict(task, input);
+                proptest::prop_assert_eq!(
+                    p.to_bits(), single.to_bits(),
+                    "input {:?}: batched {} vs single {}", input, p, single
+                );
+            }
+        }
     }
 
     /// With sharding engaged, thread count must not change anything: the

@@ -3,6 +3,7 @@
 use crate::init;
 use crate::params::{ParamId, ParamStore};
 use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +48,12 @@ impl Linear {
         let b = tape.param(store, self.b);
         let h = tape.matmul(x, w);
         tape.add_row(h, b)
+    }
+
+    /// The raw `(W, b)` tensors, for tape-free inference forwards
+    /// ([`crate::infer::linear_into`]).
+    pub fn params<'a>(&self, store: &'a ParamStore) -> (&'a Tensor, &'a Tensor) {
+        (store.value(self.w), store.value(self.b))
     }
 
     /// Output width.
@@ -100,6 +107,12 @@ impl Embedding {
         }
         let g = self.forward(tape, store, ids);
         tape.mean_rows(g)
+    }
+
+    /// The raw table tensor, for tape-free inference forwards
+    /// ([`crate::infer::embed_bag_into`]).
+    pub fn table_value<'a>(&self, store: &'a ParamStore) -> &'a Tensor {
+        store.value(self.table)
     }
 
     /// Vocabulary size.

@@ -35,6 +35,7 @@
 //! }
 //! ```
 
+pub mod infer;
 pub mod init;
 pub mod layers;
 pub mod opt;

@@ -149,6 +149,12 @@ impl Tensor {
     /// to [`Tensor::matmul_reference`] for finite inputs, and `0 × NaN`/
     /// `0 × ∞` propagate per IEEE 754 (the old kernel's `a == 0` skip
     /// silently flushed them to `0`).
+    ///
+    /// Under the opt-in `fast-math` cargo feature this same entry point
+    /// routes to the FMA reduction-tree kernel instead: different bytes
+    /// than the default build, but bitwise identical to
+    /// [`Tensor::matmul_fma_reference`] across every ISA dispatch path and
+    /// thread count (see the module docs of [`kernels`]).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols,
@@ -160,6 +166,61 @@ impl Tensor {
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(n, m);
         kernels::mm_band(&self.data, &other.data, &mut out.data, k, m);
+        out
+    }
+
+    /// The no-FMA blocked kernel, unconditionally — the exact computation
+    /// [`Tensor::matmul`] performs at default features. Exists so a
+    /// `fast-math` build can still measure (`repro -- nn-scaling`) and
+    /// test the unfused tier it replaced; with the feature off this *is*
+    /// `matmul`.
+    pub fn matmul_unfused(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(n, m);
+        kernels::mm_band_unfused(&self.data, &other.data, &mut out.data, k, m);
+        out
+    }
+
+    /// Scalar oracle of the `fast-math` reduction tree: for each output
+    /// element, fold `FM_KBLOCK`-sized fused-multiply-add chains in
+    /// strictly increasing block order. [`Tensor::matmul`] — and every
+    /// ISA/band variant behind it — must match this bitwise when the
+    /// feature is on; it is the fast-math analogue of
+    /// [`Tensor::matmul_reference`].
+    #[cfg(feature = "fast-math")]
+    pub fn matmul_fma_reference(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(n, m);
+        for i in 0..n {
+            for j in 0..m {
+                let mut acc = 0.0f32;
+                let mut k0 = 0;
+                while k0 < k {
+                    let ke = (k0 + kernels::FM_KBLOCK).min(k);
+                    let mut part = 0.0f32;
+                    for kk in k0..ke {
+                        part = self.data[i * k + kk].mul_add(other.data[kk * m + j], part);
+                    }
+                    acc += part;
+                    k0 = ke;
+                }
+                out.data[i * m + j] = acc;
+            }
+        }
         out
     }
 
@@ -247,11 +308,7 @@ impl Tensor {
             let a_row = &self.data[i * k..(i + 1) * k];
             for j in 0..m {
                 let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in a_row.iter().zip(b_row.iter()) {
-                    acc += x * y;
-                }
-                out.data[i * m + j] = acc;
+                out.data[i * m + j] = kernels::nt_dot(a_row, b_row);
             }
         }
         out
@@ -290,6 +347,22 @@ impl Tensor {
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(n, m);
         kernels::mm_tn_band(&self.data, &other.data, &mut out.data, k, n, m, 0);
+        out
+    }
+
+    /// The no-FMA blocked tier of [`Tensor::matmul_tn`], unconditionally —
+    /// the companion of [`Tensor::matmul_unfused`].
+    pub fn matmul_tn_unfused(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows,
+            other.rows,
+            "matmul_tn shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (k, n, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(n, m);
+        kernels::mm_tn_band_unfused(&self.data, &other.data, &mut out.data, k, n, m, 0);
         out
     }
 
@@ -372,11 +445,7 @@ impl Tensor {
             let a_row = &self.data[i * k..(i + 1) * k];
             for j in 0..m {
                 let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in a_row.iter().zip(b_row.iter()) {
-                    acc += x * y;
-                }
-                out.data[i * m + j] = acc;
+                out.data[i * m + j] = kernels::nt_dot(a_row, b_row);
             }
         }
     }
@@ -473,6 +542,15 @@ impl Tensor {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
 
+    /// Reshape in place to `[rows×cols]`, zero-filled, reusing the backing
+    /// buffer's capacity (for reusable inference scratch tensors).
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
         self.data.iter().sum()
@@ -513,6 +591,22 @@ impl Tensor {
 /// reassociating the float sum. That is the determinism contract: blocked,
 /// banded, and multi-threaded variants are all bitwise identical to the
 /// naive scalar loop.
+///
+/// # The `fast-math` tier
+///
+/// Keeping mul and add as separate instructions (so the wide paths match
+/// the seed scalar loop bitwise) leaves the FMA ports half idle. The
+/// opt-in `fast-math` feature trades *cross-config* stability for that
+/// throughput while keeping *within-config* determinism: each output
+/// element is accumulated through a **fixed-shape reduction tree** whose
+/// split points are a pure function of `k` alone — `k` is cut at multiples
+/// of [`FM_KBLOCK`], each block partial is one fused-multiply-add chain in
+/// strictly increasing-`k` order, and the partials fold in strictly
+/// increasing block order. Lane width and tile shape still only choose how
+/// many *column* chains progress concurrently, and bands still split rows,
+/// so every ISA dispatch path and every thread count produces identical
+/// bytes under the feature (asserted against
+/// [`Tensor::matmul_fma_reference`], the scalar oracle of the tree).
 mod kernels {
     /// Output columns per register strip (f32 lanes the compiler can pack)
     /// on the baseline (no runtime-detected ISA) path.
@@ -523,6 +617,11 @@ mod kernels {
     /// it saves; shapes (not thread count) decide, keeping results
     /// identical at every thread count.
     pub(super) const MIN_PAR_WORK: usize = 1 << 16;
+    /// `k`-block width of the `fast-math` reduction tree. The tree's split
+    /// points are the multiples of this constant — a pure function of `k`,
+    /// never of ISA lane width, tile shape, or thread count.
+    #[cfg(feature = "fast-math")]
+    pub(super) const FM_KBLOCK: usize = 64;
 
     /// Tiled micro-kernel body, generic over the `TM × TN` register tile.
     ///
@@ -752,7 +851,23 @@ mod kernels {
 
     /// `out = a · b` where `a` is the band's rows (`out.len() / m` of
     /// them, `k` wide) and `b` is the full `[k×m]` right-hand side.
+    /// Routes to the tier the build selected: the unfused blocked kernel
+    /// at default features, the FMA reduction tree under `fast-math`.
     pub(super) fn mm_band(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize) {
+        #[cfg(feature = "fast-math")]
+        {
+            fm_mm_band(a, b, out, k, m)
+        }
+        #[cfg(not(feature = "fast-math"))]
+        {
+            mm_band_unfused(a, b, out, k, m)
+        }
+    }
+
+    /// The no-FMA tier of [`mm_band`]: mul and add stay separate
+    /// instructions, so every path is bitwise identical to the seed scalar
+    /// loop. Always compiled — the `fast-math` build benchmarks against it.
+    pub(super) fn mm_band_unfused(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize) {
         debug_assert_eq!(b.len(), k * m, "mm_band rhs shape");
         debug_assert_eq!(a.len() * m, out.len() * k, "mm_band band shape");
         // Under Miri the runtime ISA dispatch is skipped: feature
@@ -776,9 +891,31 @@ mod kernels {
 
     /// `out[i − i0][j] = Σₖ a[k][i] · b[k][j]` for the band of output rows
     /// `i0 .. i0 + out.len() / m`, with `a` the full `[k×n]` matrix read
-    /// column-wise (strided) and `b` the full `[k×m]` matrix.
+    /// column-wise (strided) and `b` the full `[k×m]` matrix. Routes to
+    /// the build-selected tier like [`mm_band`].
     #[allow(clippy::too_many_arguments)] // kernel ABI mirrors mm_tn_band_impl
     pub(super) fn mm_tn_band(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        k: usize,
+        n: usize,
+        m: usize,
+        i0: usize,
+    ) {
+        #[cfg(feature = "fast-math")]
+        {
+            fm_mm_tn_band(a, b, out, k, n, m, i0)
+        }
+        #[cfg(not(feature = "fast-math"))]
+        {
+            mm_tn_band_unfused(a, b, out, k, n, m, i0)
+        }
+    }
+
+    /// The no-FMA tier of [`mm_tn_band`]; see [`mm_band_unfused`].
+    #[allow(clippy::too_many_arguments)] // kernel ABI mirrors mm_tn_band_impl
+    pub(super) fn mm_tn_band_unfused(
         a: &[f32],
         b: &[f32],
         out: &mut [f32],
@@ -804,6 +941,387 @@ mod kernels {
             }
         }
         mm_tn_band_impl::<MR, NR, false>(a, b, out, k, n, m, i0)
+    }
+
+    /// Dot product with the build-selected per-element chain: plain
+    /// `acc += x·y` in increasing order at default features, the
+    /// [`FM_KBLOCK`] fused reduction tree under `fast-math` — so the
+    /// single-row `matmul_nt` fallback stays bitwise identical to the
+    /// blocked transposed path in both configurations.
+    pub(super) fn nt_dot(x: &[f32], y: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), y.len(), "nt_dot length mismatch");
+        #[cfg(feature = "fast-math")]
+        {
+            fm_dot(x, y)
+        }
+        #[cfg(not(feature = "fast-math"))]
+        {
+            let mut acc = 0.0f32;
+            for (a, b) in x.iter().zip(y.iter()) {
+                acc += a * b;
+            }
+            acc
+        }
+    }
+
+    /// The `fast-math` per-element chain on contiguous slices: one fused
+    /// chain per `FM_KBLOCK` block, partials folded in increasing block
+    /// order. This *defines* the tree every fast-math kernel must match.
+    #[cfg(feature = "fast-math")]
+    fn fm_dot(x: &[f32], y: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for (xb, yb) in x.chunks(FM_KBLOCK).zip(y.chunks(FM_KBLOCK)) {
+            let mut part = 0.0f32;
+            for (a, b) in xb.iter().zip(yb.iter()) {
+                part = a.mul_add(*b, part);
+            }
+            acc += part;
+        }
+        acc
+    }
+
+    /// `fast-math` micro-kernel body, generic over the `TM × TN` register
+    /// tile. Holds one accumulator tile and one block-partial tile; within
+    /// a `k`-block every element advances its fused chain in strictly
+    /// increasing `kk`, and at each [`FM_KBLOCK`] boundary the partial is
+    /// folded into the accumulator with a plain add. The tile shape only
+    /// decides how many column chains progress concurrently — the
+    /// per-element chain is exactly [`fm_dot`]'s, for every instantiation
+    /// and every ISA it is compiled for.
+    #[cfg(feature = "fast-math")]
+    #[inline(always)]
+    // `r` indexes both `part` and the strided `a` loads; the iterator form
+    // perturbs the tuned full-tile codegen.
+    #[allow(clippy::needless_range_loop)]
+    fn fm_band_impl<const TM: usize, const TN: usize>(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        k: usize,
+        m: usize,
+    ) {
+        let n = out.len().checked_div(m).unwrap_or(0);
+        // Real asserts (not debug): they establish the bounds the unchecked
+        // full-tile loads below rely on, at a cost of two compares per call.
+        assert_eq!(a.len(), n * k, "fm band lhs shape");
+        assert_eq!(b.len(), k * m, "fm band rhs shape");
+        let mut i0 = 0;
+        while i0 < n {
+            let ib = TM.min(n - i0);
+            let mut j0 = 0;
+            while j0 < m {
+                let jb = TN.min(m - j0);
+                // The out tile is the cross-block accumulator: zeroed, then
+                // each block's register partial folds in with a plain add in
+                // increasing block order — `(0 + p₀) + p₁ + …`, exactly
+                // [`fm_dot`]'s tree. Keeping the accumulator in memory makes
+                // the block partial the *only* tile live in the hot loop
+                // (one fold per `FM_KBLOCK` `k` steps is cold); a second
+                // register tile forces the allocator to spill the partial
+                // every iteration, which costs ~3× on AVX-512.
+                for r in 0..ib {
+                    let base = (i0 + r) * m + j0;
+                    out[base..base + jb].fill(0.0);
+                }
+                let mut k0 = 0;
+                while k0 < k {
+                    let ke = (k0 + FM_KBLOCK).min(k);
+                    let mut part = [[0.0f32; TN]; TM];
+                    if ib == TM && jb == TN {
+                        // Unrolled by two like the unfused kernel: the two
+                        // updates stay sequential per element, so the chain
+                        // (and the bits) are unchanged — the scheduler just
+                        // gets two independent `B`-row loads per iteration.
+                        // Loads are unchecked: a checked `a[(i0+r)*k + kk]`
+                        // carries a multiply the range analysis cannot see
+                        // through, and the resulting per-iteration side
+                        // exits make the allocator spill the partial tile —
+                        // measured ~2.5× slower than this loop.
+                        //
+                        // SAFETY: `a.len() = n·k` and `b.len() = k·m` are
+                        // asserted on entry; in this branch `i0 + TM ≤ n`,
+                        // `j0 + TN ≤ m`, and `kk + 1 < ke ≤ k`, so every
+                        // `(i0+r)·k + kk (+1)` is `< n·k` and every B-row
+                        // window `kk·m + j0 .. + TN` ends `≤ k·m`.
+                        unsafe {
+                            let mut kk = k0;
+                            while kk + 2 <= ke {
+                                let b0 = &*(b.as_ptr().add(kk * m + j0) as *const [f32; TN]);
+                                let b1 = &*(b.as_ptr().add((kk + 1) * m + j0) as *const [f32; TN]);
+                                for r in 0..TM {
+                                    let av0 = *a.get_unchecked((i0 + r) * k + kk);
+                                    let av1 = *a.get_unchecked((i0 + r) * k + kk + 1);
+                                    for c in 0..TN {
+                                        part[r][c] = av0.mul_add(b0[c], part[r][c]);
+                                    }
+                                    for c in 0..TN {
+                                        part[r][c] = av1.mul_add(b1[c], part[r][c]);
+                                    }
+                                }
+                                kk += 2;
+                            }
+                            while kk < ke {
+                                let brow = &*(b.as_ptr().add(kk * m + j0) as *const [f32; TN]);
+                                for r in 0..TM {
+                                    let av = *a.get_unchecked((i0 + r) * k + kk);
+                                    for c in 0..TN {
+                                        part[r][c] = av.mul_add(brow[c], part[r][c]);
+                                    }
+                                }
+                                kk += 1;
+                            }
+                        }
+                    } else {
+                        for kk in k0..ke {
+                            let brow = &b[kk * m + j0..kk * m + j0 + jb];
+                            for (r, partr) in part.iter_mut().enumerate().take(ib) {
+                                let av = a[(i0 + r) * k + kk];
+                                for (c, &bv) in brow.iter().enumerate() {
+                                    partr[c] = av.mul_add(bv, partr[c]);
+                                }
+                            }
+                        }
+                    }
+                    for (r, partr) in part.iter().enumerate().take(ib) {
+                        let base = (i0 + r) * m + j0;
+                        for (x, &p) in out[base..base + jb].iter_mut().zip(partr.iter()) {
+                            *x += p;
+                        }
+                    }
+                    k0 = ke;
+                }
+                j0 += TN;
+            }
+            i0 += TM;
+        }
+    }
+
+    /// Transposed-A `fast-math` micro-kernel body; strided `A` reads,
+    /// same reduction tree as [`fm_band_impl`].
+    #[cfg(feature = "fast-math")]
+    #[inline(always)]
+    // kernel ABI: three slices + four dims beats a struct in the hot loop
+    #[allow(clippy::too_many_arguments)]
+    // `r` indexes both `part` and the strided `a` loads; the iterator form
+    // perturbs the tuned full-tile codegen.
+    #[allow(clippy::needless_range_loop)]
+    fn fm_tn_band_impl<const TM: usize, const TN: usize>(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        k: usize,
+        n: usize,
+        m: usize,
+        i0: usize,
+    ) {
+        let nb = out.len().checked_div(m).unwrap_or(0);
+        // Real asserts: they establish the bounds the unchecked full-tile
+        // loads below rely on.
+        assert_eq!(a.len(), k * n, "fm tn band lhs shape");
+        assert_eq!(b.len(), k * m, "fm tn band rhs shape");
+        assert!(i0 + nb <= n, "fm tn band range");
+        let mut r0 = 0;
+        while r0 < nb {
+            let ib = TM.min(nb - r0);
+            let mut j0 = 0;
+            while j0 < m {
+                let jb = TN.min(m - j0);
+                // Same memory-accumulator structure as [`fm_band_impl`]:
+                // the out tile folds the register block partials in
+                // increasing block order, keeping one tile live.
+                for r in 0..ib {
+                    let base = (r0 + r) * m + j0;
+                    out[base..base + jb].fill(0.0);
+                }
+                let mut k0 = 0;
+                while k0 < k {
+                    let ke = (k0 + FM_KBLOCK).min(k);
+                    let mut part = [[0.0f32; TN]; TM];
+                    if ib == TM && jb == TN {
+                        // Unrolled by two; the per-element chain order is
+                        // untouched (av0's update precedes av1's). Unchecked
+                        // loads for the same reason as [`fm_band_impl`].
+                        //
+                        // SAFETY: `a.len() = k·n` and `b.len() = k·m` are
+                        // asserted on entry; in this branch
+                        // `i0 + r0 + TM ≤ i0 + nb ≤ n`, `j0 + TN ≤ m`, and
+                        // `kk + 1 < ke ≤ k`, so every `kk·n + i0 + r0 + r`
+                        // is `< k·n` and every B-row window ends `≤ k·m`.
+                        unsafe {
+                            let mut kk = k0;
+                            while kk + 2 <= ke {
+                                let b0 = &*(b.as_ptr().add(kk * m + j0) as *const [f32; TN]);
+                                let b1 = &*(b.as_ptr().add((kk + 1) * m + j0) as *const [f32; TN]);
+                                for r in 0..TM {
+                                    let av0 = *a.get_unchecked(kk * n + i0 + r0 + r);
+                                    let av1 = *a.get_unchecked((kk + 1) * n + i0 + r0 + r);
+                                    for c in 0..TN {
+                                        part[r][c] = av0.mul_add(b0[c], part[r][c]);
+                                    }
+                                    for c in 0..TN {
+                                        part[r][c] = av1.mul_add(b1[c], part[r][c]);
+                                    }
+                                }
+                                kk += 2;
+                            }
+                            while kk < ke {
+                                let brow = &*(b.as_ptr().add(kk * m + j0) as *const [f32; TN]);
+                                for r in 0..TM {
+                                    let av = *a.get_unchecked(kk * n + i0 + r0 + r);
+                                    for c in 0..TN {
+                                        part[r][c] = av.mul_add(brow[c], part[r][c]);
+                                    }
+                                }
+                                kk += 1;
+                            }
+                        }
+                    } else {
+                        for kk in k0..ke {
+                            let brow = &b[kk * m + j0..kk * m + j0 + jb];
+                            for (r, partr) in part.iter_mut().enumerate().take(ib) {
+                                let av = a[kk * n + i0 + r0 + r];
+                                for (c, &bv) in brow.iter().enumerate() {
+                                    partr[c] = av.mul_add(bv, partr[c]);
+                                }
+                            }
+                        }
+                    }
+                    for (r, partr) in part.iter().enumerate().take(ib) {
+                        let base = (r0 + r) * m + j0;
+                        for (x, &p) in out[base..base + jb].iter_mut().zip(partr.iter()) {
+                            *x += p;
+                        }
+                    }
+                    k0 = ke;
+                }
+                j0 += TN;
+            }
+            r0 += TM;
+        }
+    }
+
+    // `fast-math` ISA variants. `mul_add` lowers to a hardware vfmadd
+    // wherever the enabled target features include FMA; on the portable
+    // fallback it is a (slow, but bit-exact) libm fma call — the chain is
+    // an IEEE operation either way, which is why every path agrees.
+
+    #[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx512f,fma")]
+    // SAFETY: callers must verify `avx512f` and `fma` via
+    // `is_x86_feature_detected!` before calling — that is the *only*
+    // obligation `unsafe` marks here. The body is the bounds-checked
+    // generic tile over plain slices.
+    unsafe fn fm_band_avx512(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize) {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx512f"));
+        // 8×32 tile: 16 zmm block partials — b-row loads amortise over 8
+        // output rows and the chains cover the FMA latency, no spills.
+        fm_band_impl::<8, 32>(a, b, out, k, m)
+    }
+
+    #[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2,fma")]
+    // SAFETY: callers must verify `avx2` and `fma` at runtime; body is the
+    // same bounds-checked generic tile, packed 8 lanes wide.
+    unsafe fn fm_band_avx2(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize) {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+        fm_band_impl::<4, 16>(a, b, out, k, m)
+    }
+
+    #[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx512f,fma")]
+    #[allow(clippy::too_many_arguments)] // kernel ABI mirrors fm_tn_band_impl
+                                         // SAFETY: callers must verify `avx512f` and `fma` at runtime;
+                                         // body is the bounds-checked transposed-A generic tile.
+    unsafe fn fm_tn_band_avx512(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        k: usize,
+        n: usize,
+        m: usize,
+        i0: usize,
+    ) {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx512f"));
+        fm_tn_band_impl::<8, 32>(a, b, out, k, n, m, i0)
+    }
+
+    #[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)] // kernel ABI mirrors fm_tn_band_impl
+                                         // SAFETY: callers must verify `avx2` and `fma` at runtime;
+                                         // body is the bounds-checked transposed-A generic tile.
+    unsafe fn fm_tn_band_avx2(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        k: usize,
+        n: usize,
+        m: usize,
+        i0: usize,
+    ) {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+        fm_tn_band_impl::<4, 16>(a, b, out, k, n, m, i0)
+    }
+
+    /// The `fast-math` tier of [`mm_band`]: FMA reduction-tree kernel with
+    /// runtime ISA dispatch. All paths re-instantiate the same generic
+    /// body, so they agree bitwise; Miri takes the portable path for the
+    /// same reason the unfused dispatch does.
+    #[cfg(feature = "fast-math")]
+    pub(super) fn fm_mm_band(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize) {
+        debug_assert_eq!(b.len(), k * m, "mm_band rhs shape");
+        debug_assert_eq!(a.len() * m, out.len() * k, "mm_band band shape");
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                // SAFETY: avx512f and fma were verified on this CPU on the
+                // line above, which is the wrapper's only precondition.
+                return unsafe { fm_band_avx512(a, b, out, k, m) };
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                // SAFETY: avx2 and fma were verified on this CPU above.
+                return unsafe { fm_band_avx2(a, b, out, k, m) };
+            }
+        }
+        fm_band_impl::<MR, NR>(a, b, out, k, m)
+    }
+
+    /// The `fast-math` tier of [`mm_tn_band`]; see [`fm_mm_band`].
+    #[cfg(feature = "fast-math")]
+    #[allow(clippy::too_many_arguments)] // kernel ABI mirrors fm_tn_band_impl
+    pub(super) fn fm_mm_tn_band(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        k: usize,
+        n: usize,
+        m: usize,
+        i0: usize,
+    ) {
+        debug_assert_eq!(a.len(), k * n, "mm_tn_band lhs shape");
+        debug_assert_eq!(b.len(), k * m, "mm_tn_band rhs shape");
+        debug_assert!(i0 + out.len() / m <= n, "mm_tn_band band range");
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                // SAFETY: avx512f and fma were verified on this CPU on the
+                // line above, which is the wrapper's only precondition.
+                return unsafe { fm_tn_band_avx512(a, b, out, k, n, m, i0) };
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                // SAFETY: avx2 and fma were verified on this CPU above.
+                return unsafe { fm_tn_band_avx2(a, b, out, k, n, m, i0) };
+            }
+        }
+        fm_tn_band_impl::<MR, NR>(a, b, out, k, n, m, i0)
     }
 }
 
@@ -894,9 +1412,23 @@ mod tests {
         Tensor::from_vec(rows, cols, data)
     }
 
-    /// The blocked kernel keeps the naive loop's per-element accumulation
-    /// order, so it must match the scalar reference *bitwise* — including
-    /// ragged edges that don't fill a full register tile.
+    /// The scalar oracle the production kernel must match bitwise in the
+    /// active build: the naive increasing-`k` chain at default features,
+    /// the `FM_KBLOCK` fused reduction tree under `fast-math`.
+    fn oracle(a: &Tensor, b: &Tensor) -> Tensor {
+        #[cfg(feature = "fast-math")]
+        {
+            a.matmul_fma_reference(b)
+        }
+        #[cfg(not(feature = "fast-math"))]
+        {
+            a.matmul_reference(b)
+        }
+    }
+
+    /// The production kernel keeps a fixed per-element accumulation chain,
+    /// so it must match the scalar oracle *bitwise* — including ragged
+    /// edges that don't fill a full register tile.
     #[test]
     fn blocked_matmul_is_bitwise_equal_to_reference() {
         let shapes: &[(usize, usize, usize)] = if cfg!(miri) {
@@ -916,10 +1448,56 @@ mod tests {
             let b = pseudo(k, m, 0xB0 + m as u64);
             assert_eq!(
                 a.matmul(&b).data(),
-                a.matmul_reference(&b).data(),
+                oracle(&a, &b).data(),
                 "shape ({n},{k},{m})"
             );
         }
+    }
+
+    /// `matmul_unfused` is the always-available no-FMA tier: it must match
+    /// the naive scalar reference bitwise in *both* feature configurations
+    /// (it ignores `fast-math` by design, so benches can compare tiers
+    /// inside one binary).
+    #[test]
+    fn unfused_matmul_is_bitwise_equal_to_reference_in_every_config() {
+        let shapes: &[(usize, usize, usize)] = if cfg!(miri) {
+            &[(3, 5, 7)]
+        } else {
+            &[(1, 1, 1), (3, 5, 7), (4, 16, 16), (13, 9, 21), (32, 24, 48)]
+        };
+        for &(n, k, m) in shapes {
+            let a = pseudo(n, k, 0x1A0 + n as u64);
+            let b = pseudo(k, m, 0x1B0 + m as u64);
+            assert_eq!(
+                a.matmul_unfused(&b).data(),
+                a.matmul_reference(&b).data(),
+                "shape ({n},{k},{m})"
+            );
+            let ta = pseudo(k, n, 0x1C0 + n as u64);
+            assert_eq!(
+                ta.matmul_tn_unfused(&b).data(),
+                ta.transpose().matmul_reference(&b).data(),
+                "tn shape ({n},{k},{m})"
+            );
+        }
+    }
+
+    /// Under `fast-math` the fused kernel must differ from the unfused tier
+    /// somewhere on real data (otherwise the feature is wired to nothing),
+    /// while agreeing with its own reduction-tree oracle bitwise.
+    #[cfg(feature = "fast-math")]
+    #[test]
+    fn fast_math_kernel_actually_contracts() {
+        let (n, k, m) = (16, 130, 24);
+        let a = pseudo(n, k, 0x2A);
+        let b = pseudo(k, m, 0x2B);
+        let fused = a.matmul(&b);
+        assert_eq!(fused.data(), a.matmul_fma_reference(&b).data());
+        assert_ne!(
+            fused.data(),
+            a.matmul_unfused(&b).data(),
+            "fused and unfused tiers should disagree in low bits on random data"
+        );
     }
 
     #[test]
@@ -934,7 +1512,7 @@ mod tests {
             let b = pseudo(k, m, 0xD0 + m as u64);
             assert_eq!(
                 a.matmul_tn(&b).data(),
-                a.transpose().matmul_reference(&b).data(),
+                oracle(&a.transpose(), &b).data(),
                 "shape ({k},{n},{m})"
             );
         }
@@ -952,7 +1530,7 @@ mod tests {
             let b = pseudo(m, k, 0xF0 + m as u64);
             assert_eq!(
                 a.matmul_nt(&b).data(),
-                a.matmul_reference(&b.transpose()).data(),
+                oracle(&a, &b.transpose()).data(),
                 "shape ({n},{k},{m})"
             );
         }

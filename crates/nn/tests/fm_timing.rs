@@ -1,0 +1,48 @@
+//! Quick wall-clock probe for the fast-math kernel tier — ignored by
+//! default; run with `cargo test -p cosmo-nn --release --features
+//! fast-math -- --ignored fm_timing --nocapture` while tuning tiles.
+
+#![cfg(feature = "fast-math")]
+
+use cosmo_nn::Tensor;
+
+fn pseudo(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut state = seed;
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+fn best_gflops(reps: usize, flops: f64, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    flops / best / 1e9
+}
+
+#[test]
+#[ignore = "wall-clock tuning probe, not a correctness test"]
+fn fm_timing_256() {
+    let a = pseudo(256, 256, 0x1234);
+    let b = pseudo(256, 256, 0x5678);
+    let flops = 2.0 * 256f64 * 256.0 * 256.0;
+    let fused = best_gflops(60, flops, || {
+        std::hint::black_box(a.matmul(std::hint::black_box(&b)));
+    });
+    let unfused = best_gflops(60, flops, || {
+        std::hint::black_box(a.matmul_unfused(std::hint::black_box(&b)));
+    });
+    println!(
+        "256^3: fused {fused:.2} GF/s, unfused {unfused:.2} GF/s, ratio {:.2}x",
+        fused / unfused
+    );
+}

@@ -1,0 +1,106 @@
+//! Pinned kernel-output goldens.
+//!
+//! Each golden is a 64-bit FNV-1a digest over the exact output bits of a
+//! matmul on fixed pseudo-random inputs. The constants are pinned **per
+//! feature configuration**: the default build must reproduce the no-FMA
+//! chain bit-for-bit forever (byte-compatibility with every artifact
+//! trained before the `fast-math` tier existed), and the `fast-math` build
+//! must reproduce its fixed-shape reduction tree bit-for-bit on every ISA
+//! dispatch path and thread count. A changed digest means the numeric
+//! contract broke — not a tolerance issue, a wrong-bits issue.
+//!
+//! If a golden legitimately needs re-pinning (it shouldn't, short of a
+//! deliberate contract revision documented in DESIGN.md), run with
+//! `--nocapture`: each assert prints the observed digest.
+
+use cosmo_nn::Tensor;
+
+/// Deterministic pseudo-random tensor (splitmix64-ish), same construction
+/// as the in-crate kernel tests.
+fn pseudo(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut s = seed;
+    let data = (0..rows * cols)
+        .map(|_| {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((z >> 40) as f32 / (1 << 24) as f32) * 4.0 - 2.0
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// FNV-1a over the little-endian output bits.
+fn digest(t: &Tensor) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &x in t.data() {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Expected digests for (matmul 48·96·64, matmul_tn 96·48·64,
+/// matmul_nt 48·96·64, matmul 130·130·130) in the active configuration.
+/// The k = 96 and k = 130 cases straddle the fast-math `FM_KBLOCK = 64`
+/// boundary, so the reduction-tree fold itself is pinned, not just the
+/// within-block chain.
+#[cfg(not(feature = "fast-math"))]
+const GOLDENS: [u64; 4] = [
+    0xdb2717bd44b8960b,
+    0x09d0c11cdc815e22,
+    0x731a300c6454ee94,
+    0x179f887422634fc8,
+];
+#[cfg(feature = "fast-math")]
+const GOLDENS: [u64; 4] = [
+    0x3c565028a1471a96,
+    0x835d2c5491d54947,
+    0x2357924b174d1984,
+    0x3916624c255f4945,
+];
+
+#[test]
+fn matmul_kernel_bits_match_pinned_goldens() {
+    let a = pseudo(48, 96, 0x517E);
+    let b = pseudo(96, 64, 0x9A11);
+    let ta = pseudo(96, 48, 0x7E57);
+    let nb = pseudo(64, 96, 0xD1CE);
+    let big_a = pseudo(130, 130, 0xF00D);
+    let big_b = pseudo(130, 130, 0xBEEF);
+
+    let got = [
+        digest(&a.matmul(&b)),
+        digest(&ta.matmul_tn(&b)),
+        digest(&a.matmul_nt(&nb)),
+        digest(&big_a.matmul(&big_b)),
+    ];
+    let names = ["matmul", "matmul_tn", "matmul_nt", "matmul_130"];
+    for (&have, name) in got.iter().zip(names) {
+        eprintln!("golden {name}: observed {have:#018x}");
+    }
+    for ((&want, &have), name) in GOLDENS.iter().zip(got.iter()).zip(names) {
+        assert_eq!(want, have, "{name} kernel bits drifted from pinned golden");
+    }
+}
+
+/// The unfused tier is configuration-independent by design: its digests
+/// must equal the default build's goldens even when `fast-math` is on.
+#[test]
+fn unfused_tier_matches_default_goldens_in_every_config() {
+    const UNFUSED: [u64; 2] = [0xdb2717bd44b8960b, 0x09d0c11cdc815e22];
+    let a = pseudo(48, 96, 0x517E);
+    let b = pseudo(96, 64, 0x9A11);
+    let ta = pseudo(96, 48, 0x7E57);
+    let got = [
+        digest(&a.matmul_unfused(&b)),
+        digest(&ta.matmul_tn_unfused(&b)),
+    ];
+    for (&want, &have) in UNFUSED.iter().zip(got.iter()) {
+        eprintln!("unfused golden: observed {have:#018x}");
+        assert_eq!(want, have, "unfused tier bits drifted");
+    }
+}

@@ -54,27 +54,87 @@ const STRONG_INTENT_MARGIN: f32 = 0.3;
 /// features (both enumerate adjacency in the same content-determined
 /// order); production serving uses the snapshot.
 pub fn compute_features<G: GraphView>(query: &str, kg: &G, lm: &CosmoLm) -> StructuredFeatures {
-    let mut intents: Vec<(Relation, String, f32)> = Vec::new();
+    let mut intents = kg_intents(query, kg);
+    if intents.is_empty() {
+        // cold query: ask the student model directly
+        for (tail, score) in lm.generate(&cold_prompt(query), None, 5) {
+            intents.push((Relation::UsedForFunc, tail, score));
+        }
+        squash_cold_scores(&mut intents);
+    }
+    assemble_features(query, intents, lm.embed_text(query))
+}
+
+/// Batched [`compute_features`]: KG lookups stay per query (cheap snapshot
+/// reads), but every cold query's generation goes through one
+/// [`CosmoLm::generate_batch`] call and every subcategory embedding
+/// through one [`CosmoLm::embed_batch`] call — one matmul per stage for
+/// the whole slice instead of two per query. Output is bitwise identical
+/// to calling `compute_features` per query (the student's batched paths
+/// are bitwise equal to its per-item paths), locked by a test.
+pub fn compute_features_batch<G: GraphView>(
+    queries: &[&str],
+    kg: &G,
+    lm: &CosmoLm,
+) -> Vec<StructuredFeatures> {
+    let mut intents: Vec<Vec<(Relation, String, f32)>> =
+        queries.iter().map(|q| kg_intents(q, kg)).collect();
+    let cold: Vec<usize> = intents
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    if !cold.is_empty() {
+        let prompts: Vec<String> = cold.iter().map(|&i| cold_prompt(queries[i])).collect();
+        let prompt_refs: Vec<&str> = prompts.iter().map(String::as_str).collect();
+        for (&i, generated) in cold.iter().zip(lm.generate_batch(&prompt_refs, None, 5)) {
+            for (tail, score) in generated {
+                intents[i].push((Relation::UsedForFunc, tail, score));
+            }
+            squash_cold_scores(&mut intents[i]);
+        }
+    }
+    let embeds = lm.embed_batch(queries);
+    queries
+        .iter()
+        .zip(intents)
+        .zip(embeds)
+        .map(|((q, ints), emb)| assemble_features(q, ints, emb))
+        .collect()
+}
+
+/// KG intent lookup shared by the per-query and batched paths.
+fn kg_intents<G: GraphView>(query: &str, kg: &G) -> Vec<(Relation, String, f32)> {
+    let mut intents = Vec::new();
     if let Some(node) = kg.find_node(NodeKind::Query, query) {
         for e in kg.top_intents(node, 5) {
             intents.push((e.relation, kg.node_text(e.tail).to_string(), e.typicality));
         }
     }
-    if intents.is_empty() {
-        // cold query: ask the student model directly
-        let input = format!(
-            "generate a USED_FOR_FUNC explanation in domain unknown for: search query: {query}"
-        );
-        for (tail, score) in lm.generate(&input, None, 5) {
-            intents.push((Relation::UsedForFunc, tail, score));
-        }
-        // normalise scores into (0,1) via softmax-ish squashing
-        if let Some(max) = intents.iter().map(|(_, _, s)| *s).reduce(f32::max) {
-            for (_, _, s) in intents.iter_mut() {
-                *s = 1.0 / (1.0 + (max - *s).exp());
-            }
+    intents
+}
+
+/// The cold-query generation prompt.
+fn cold_prompt(query: &str) -> String {
+    format!("generate a USED_FOR_FUNC explanation in domain unknown for: search query: {query}")
+}
+
+/// Normalise cold-generation scores into (0,1) via softmax-ish squashing.
+fn squash_cold_scores(intents: &mut [(Relation, String, f32)]) {
+    if let Some(max) = intents.iter().map(|(_, _, s)| *s).reduce(f32::max) {
+        for (_, _, s) in intents.iter_mut() {
+            *s = 1.0 / (1.0 + (max - *s).exp());
         }
     }
+}
+
+/// Strong-intent detection + struct assembly shared by both paths.
+fn assemble_features(
+    query: &str,
+    intents: Vec<(Relation, String, f32)>,
+    subcategory: Vec<f32>,
+) -> StructuredFeatures {
     let strong_intent = match intents.as_slice() {
         [] => None,
         [only] => Some(only.1.clone()),
@@ -84,7 +144,7 @@ pub fn compute_features<G: GraphView>(query: &str, kg: &G, lm: &CosmoLm) -> Stru
     };
     StructuredFeatures {
         query: query.to_string(),
-        subcategory: lm.embed_text(query),
+        subcategory,
         intents,
         strong_intent,
     }
@@ -248,6 +308,36 @@ mod tests {
             let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(&a.subcategory), bits(&b.subcategory));
         }
+    }
+
+    /// The batched path must be bitwise identical to per-query
+    /// `compute_features` across a mix of KG-hit, cold, and empty queries,
+    /// on both graph backends.
+    #[test]
+    fn batched_features_bitwise_identical_to_per_query() {
+        let kg = kg_with_query("camping");
+        let snap = kg.freeze();
+        let model = lm();
+        let queries = ["camping", "brand new query", "", "another cold one"];
+        let assert_same = |a: &StructuredFeatures, b: &StructuredFeatures| {
+            assert_eq!(a.query, b.query);
+            assert_eq!(a.strong_intent, b.strong_intent);
+            assert_eq!(a.intents.len(), b.intents.len());
+            for ((ra, ta, sa), (rb, tb, sb)) in a.intents.iter().zip(&b.intents) {
+                assert_eq!((ra, ta), (rb, tb));
+                assert_eq!(sa.to_bits(), sb.to_bits(), "{ta} score bits");
+            }
+            let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.subcategory), bits(&b.subcategory));
+        };
+        let batched = compute_features_batch(&queries, &kg, &model);
+        let snap_batched = compute_features_batch(&queries, &snap, &model);
+        assert_eq!(batched.len(), queries.len());
+        for ((q, b), sb) in queries.iter().zip(&batched).zip(&snap_batched) {
+            assert_same(b, &compute_features(q, &kg, &model));
+            assert_same(sb, b);
+        }
+        assert!(compute_features_batch::<KnowledgeGraph>(&[], &kg, &model).is_empty());
     }
 
     #[test]

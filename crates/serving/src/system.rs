@@ -33,7 +33,7 @@
 
 use crate::cache::{AdmissionPolicy, CacheConfig, CacheLayer, CacheLookup, CacheStore};
 use crate::error::ServingError;
-use crate::features::{compute_features, FeatureStore, StructuredFeatures};
+use crate::features::{compute_features_batch, FeatureStore, StructuredFeatures};
 pub use crate::histogram::LatencyRecorder;
 use crate::protocol::{OpsStats, ServeRequest, ServeResponse, ServeStatus, OPS_VERSION};
 use crate::swap::{SnapshotGeneration, SnapshotHandle};
@@ -386,10 +386,8 @@ impl ServingSystem {
         cfg: &ServingConfig,
         lm: &Arc<CosmoLm>,
     ) -> SnapshotGeneration {
-        let preloaded: Vec<StructuredFeatures> = preload
-            .iter()
-            .map(|q| compute_features(q, &*view, lm))
-            .collect();
+        let preload_refs: Vec<&str> = preload.iter().map(String::as_str).collect();
+        let preloaded: Vec<StructuredFeatures> = compute_features_batch(&preload_refs, &*view, lm);
         let features = FeatureStore::with_shards(cfg.shards);
         for f in &preloaded {
             features.put(f.clone());
@@ -487,10 +485,18 @@ impl ServingSystem {
             return Ok(0);
         }
         let chunk = queries.len().div_ceil(self.cfg.workers.max(1)).max(1);
-        let outcomes = self.pool.try_map_chunks(&queries, chunk, |_, q| {
+        // Each worker scores its whole chunk through the student's batched
+        // candidate path: one generation matmul for the chunk's cold
+        // queries and one embedding matmul for the chunk, bitwise
+        // identical to the per-query formulation.
+        let outcomes = self.pool.try_map_slices(&queries, chunk, |_, qs| {
             #[cfg(test)]
-            assert!(q != PANIC_QUERY, "injected worker panic");
-            compute_features(q, &*generation.view, &self.lm)
+            assert!(
+                !qs.iter().any(|q| q == PANIC_QUERY),
+                "injected worker panic"
+            );
+            let refs: Vec<&str> = qs.iter().map(String::as_str).collect();
+            compute_features_batch(&refs, &*generation.view, &self.lm)
         });
         let mut installed = 0usize;
         let mut failed_chunks = 0usize;
