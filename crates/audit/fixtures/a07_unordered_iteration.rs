@@ -1,0 +1,10 @@
+// audit-as: crates/kg/src/fixture.rs
+//! A07 fixture: hash-table iteration order escaping into a return value
+//! inside a deterministic crate, with no sort, safe sink, or
+//! `// DETERMINISM:` justification.
+
+use std::collections::HashMap;
+
+pub fn tails(m: &HashMap<String, u32>) -> Vec<String> {
+    m.keys().cloned().collect()
+}

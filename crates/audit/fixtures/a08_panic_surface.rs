@@ -1,0 +1,11 @@
+// audit-as: crates/serving/src/fixture.rs
+//! A08 fixture: panic-prone constructs on the request path — an unwrap
+//! and a direct index, both without a `// PANIC:` contract.
+
+pub fn must(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn first(v: &[u32]) -> u32 {
+    v[0]
+}

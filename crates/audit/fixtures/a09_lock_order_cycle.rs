@@ -1,0 +1,20 @@
+// audit-as: crates/serving/src/fixture.rs
+//! A09 fixture: two locks acquired in opposite orders by two functions —
+//! the classic AB/BA deadlock pair the lock-order lint must catch.
+
+pub struct State {
+    pub queue: ShardMutex<Vec<u32>>,
+    pub stats: ShardMutex<u64>,
+}
+
+pub fn producer_path(s: &State) {
+    let q = s.queue.lock();
+    let st = s.stats.lock();
+    consume(q, st);
+}
+
+pub fn consumer_path(s: &State) {
+    let st = s.stats.lock();
+    let q = s.queue.lock();
+    consume(q, st);
+}

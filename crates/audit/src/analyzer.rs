@@ -1,0 +1,750 @@
+//! A07/A08 — the token-tree analyzer lints.
+//!
+//! **A07 unordered-iteration.** Std's `HashMap`/`HashSet` (and the
+//! workspace `FxHashMap`/`FxHashSet` aliases, which are std tables under
+//! a fixed-seed hasher) iterate in an order that depends on capacity
+//! history and SwissTable internals — stable within a run, but one
+//! `reserve` away from silently reordering output. In the deterministic
+//! crates any order-observable iteration must therefore end in an
+//! order-insensitive sink (`count`, `len`, `min`, …), be rebuilt into an
+//! ordered or hash container, be sorted before it escapes, or carry a
+//! `// DETERMINISM:` justification.
+//!
+//! **A08 panic-surface.** In the request-path crates a panic tears down
+//! the connection worker that hit it. `unwrap`/`expect`/`panic!`/
+//! `unreachable!`/`todo!`/`unimplemented!` in non-test `src/` need a
+//! `// PANIC:` contract or a typed-error conversion; in the
+//! serving/http/mapped subset, direct slice indexing counts too
+//! (`kg`'s CSR kernels index by construction-checked offsets — bounds
+//! discipline there is owned by the snapshot validator, see DESIGN.md).
+//!
+//! Both lints work on the [`crate::tree`] token tree, so `#[cfg(test)]`
+//! modules and `#[test]` fns are exempt and strings/comments are already
+//! masked away.
+
+use crate::lexer::MaskedLine;
+use crate::lints::{comment_justifies, crate_dir, Lint, Policy, Violation};
+use crate::tree::FileTree;
+use std::collections::BTreeSet;
+
+/// Hash container type names (after `use`-alias resolution).
+const HASH_BASES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Iteration methods whose result order follows table order.
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Chain terminals whose result is independent of iteration order.
+/// Deliberately absent: `sum`/`product` (float addition is not
+/// associative, so hash order changes the bits), `min_by_key`/
+/// `max_by_key` (ties break by iteration order), `fold`/`for_each`
+/// (arbitrary effects), `find`/`position` (first match wins).
+const SAFE_TERMINALS: [&str; 8] = [
+    "count", "len", "min", "max", "all", "any", "contains", "is_empty",
+];
+
+/// Collect targets that erase iteration order: sorted containers and
+/// hash containers (rebuilding a table is order-insensitive because keys
+/// are unique).
+const SAFE_COLLECTS: [&str; 7] = [
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "HashMap",
+    "HashSet",
+    "FxHashMap",
+    "FxHashSet",
+];
+
+/// Sort methods that launder an ordered collect back to determinism.
+const SORT_METHODS: [&str; 6] = [
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+];
+
+/// Results of the tree-lint pass over one file.
+#[derive(Debug, Default)]
+pub struct TreeAudit {
+    /// A07/A08 violations, in source order.
+    pub violations: Vec<Violation>,
+    /// `// DETERMINISM:` suppressions consumed (ratchet category).
+    pub justified_determinism: usize,
+    /// `// PANIC:` suppressions consumed (ratchet category).
+    pub justified_panic: usize,
+}
+
+/// Run the A07/A08 analyzer over one parsed file.
+pub fn audit_tree(
+    policy: &Policy,
+    rel: &str,
+    src: &str,
+    lines: &[MaskedLine],
+    tree: &FileTree,
+) -> TreeAudit {
+    let raw: Vec<&str> = src.lines().collect();
+    let mut out = TreeAudit::default();
+    if policy.in_deterministic_src(rel) {
+        audit_a07(rel, &raw, lines, tree, &mut out);
+    }
+    if policy.in_panic_src(rel) {
+        audit_a08(policy, rel, &raw, lines, tree, &mut out);
+    }
+    out.violations
+        .sort_by(|a, b| (a.line, a.lint.id()).cmp(&(b.line, b.lint.id())));
+    out
+}
+
+fn push(out: &mut TreeAudit, rel: &str, raw: &[&str], line: usize, lint: Lint, message: String) {
+    out.violations.push(Violation {
+        file: rel.to_string(),
+        line,
+        lint,
+        message,
+        source: raw.get(line - 1).unwrap_or(&"").to_string(),
+    });
+}
+
+/// True when `name` denotes a hash container type in this file.
+fn is_hash_type(tree: &FileTree, aliases: &BTreeSet<String>, name: &str) -> bool {
+    HASH_BASES.contains(&tree.resolve_use(name)) || aliases.contains(name)
+}
+
+/// File-local `type X = …Hash…;` aliases.
+fn local_hash_type_aliases(tree: &FileTree) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let toks = &tree.toks;
+    for i in 0..toks.len() {
+        if toks[i].text != "type" {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.is_word()) else {
+            continue;
+        };
+        let mut j = i + 2;
+        while j < toks.len() && toks[j].text != "=" && toks[j].text != ";" {
+            j += 1;
+        }
+        if toks.get(j).map(|t| t.text.as_str()) != Some("=") {
+            continue;
+        }
+        // The aliased type is the last path segment before `<` or `;`.
+        let mut last: Option<&str> = None;
+        let mut k = j + 1;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                ";" | "<" => break,
+                w if toks[k].is_word() => last = Some(w),
+                _ => {}
+            }
+            k += 1;
+        }
+        if last.is_some_and(|t| HASH_BASES.contains(&tree.resolve_use(t))) {
+            out.insert(name.text.clone());
+        }
+    }
+    out
+}
+
+/// Names bound to hash containers anywhere in the file: typed bindings,
+/// fields, and params (`w: FxHashMap<…>`) plus constructed bindings
+/// (`let w = HashMap::new()`, `let w = iter.collect::<FxHashSet<_>>()`).
+/// File-global and flow-insensitive by design — an over-approximation a
+/// `// DETERMINISM:` comment can always answer.
+fn hash_vars(tree: &FileTree, aliases: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut vars = BTreeSet::new();
+    let toks = &tree.toks;
+    for i in 0..toks.len() {
+        // `w : [& mut 'a]* T` — let annotations, struct fields, fn params,
+        // and struct-literal fields initialized from a hash constructor.
+        if toks[i].text == ":"
+            && toks.get(i + 1).map(|t| t.text.as_str()) != Some(":")
+            && (i == 0 || toks[i - 1].text != ":")
+        {
+            let Some(w) = i.checked_sub(1).map(|p| &toks[p]).filter(|t| t.is_word()) else {
+                continue;
+            };
+            let mut j = i + 1;
+            loop {
+                match toks.get(j).map(|t| t.text.as_str()) {
+                    Some("&") | Some("mut") => j += 1,
+                    Some("'") => j += 2,
+                    _ => break,
+                }
+            }
+            if let Some(t) = toks.get(j).filter(|t| t.is_word()) {
+                if is_hash_type(tree, aliases, &t.text) && w.text != "_" {
+                    vars.insert(w.text.clone());
+                }
+            }
+        }
+        // `let [mut] w = … Hash…::/… Hash…< …` within the initializer.
+        if toks[i].text == "let" {
+            let mut j = i + 1;
+            if toks.get(j).map(|t| t.text.as_str()) == Some("mut") {
+                j += 1;
+            }
+            let Some(w) = toks.get(j).filter(|t| t.is_word() && t.text != "_") else {
+                continue;
+            };
+            if toks.get(j + 1).map(|t| t.text.as_str()) != Some("=") {
+                continue;
+            }
+            let w = w.text.clone();
+            let end = tree.stmt_end(i);
+            for k in j + 2..end.min(toks.len()) {
+                if toks[k].is_word()
+                    && is_hash_type(tree, aliases, &toks[k].text)
+                    && matches!(
+                        toks.get(k + 1).map(|t| t.text.as_str()),
+                        Some(":") | Some("<")
+                    )
+                {
+                    vars.insert(w);
+                    break;
+                }
+            }
+        }
+    }
+    vars
+}
+
+fn audit_a07(rel: &str, raw: &[&str], lines: &[MaskedLine], tree: &FileTree, out: &mut TreeAudit) {
+    let aliases = local_hash_type_aliases(tree);
+    let vars = hash_vars(tree, &aliases);
+    if vars.is_empty() {
+        return;
+    }
+    let toks = &tree.toks;
+    let fire = |out: &mut TreeAudit, line: usize, what: String| {
+        if comment_justifies(lines, line, "DETERMINISM:") {
+            out.justified_determinism += 1;
+            return;
+        }
+        push(
+            out,
+            rel,
+            raw,
+            line,
+            Lint::A07,
+            format!(
+                "{what} in deterministic crate `{}`; sort before the order \
+                 escapes, collect into a BTree/sorted structure, or justify \
+                 with `// DETERMINISM:`",
+                crate_dir(rel)
+            ),
+        );
+    };
+    for i in 0..toks.len() {
+        if tree.tok_exempt(i) {
+            continue;
+        }
+        let text = toks[i].text.as_str();
+        // `v.iter()` family on a hash-typed receiver.
+        if text == "." {
+            let Some(m) = toks.get(i + 1).filter(|t| t.is_word()) else {
+                continue;
+            };
+            if toks.get(i + 2).map(|t| t.text.as_str()) != Some("(") {
+                continue;
+            }
+            let recv_is_hash = i > 0 && toks[i - 1].is_word() && vars.contains(&toks[i - 1].text);
+            if ITER_METHODS.contains(&m.text.as_str()) {
+                if !recv_is_hash || chain_is_safe(tree, i) {
+                    continue;
+                }
+                let what = format!(
+                    "order-observable `.{}()` on hash container `{}`",
+                    m.text,
+                    toks[i - 1].text
+                );
+                fire(out, m.line, what);
+            } else if m.text == "extend" && !recv_is_hash {
+                // `ordered.extend(&map)` — implicit hash iteration into an
+                // order-sensitive receiver. A hash receiver rebuilds a
+                // table (keys unique), which is order-insensitive.
+                if let Some(v) = bare_hash_arg(tree, i + 2, &vars) {
+                    let what = format!("`.extend(…)` drains hash container `{v}` in table order");
+                    fire(out, m.line, what);
+                }
+            }
+        }
+        // `for pat in [&][mut] v {` over a hash-typed collection. Chained
+        // forms (`for k in map.keys()`) are caught by the method case.
+        if text == "for" {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut in_at = None;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "{" => break,
+                    "in" if depth == 0 => {
+                        in_at = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(mut k) = in_at.map(|j| j + 1) else {
+                continue;
+            };
+            while matches!(
+                toks.get(k).map(|t| t.text.as_str()),
+                Some("&") | Some("mut")
+            ) {
+                k += 1;
+            }
+            let Some(v) = toks
+                .get(k)
+                .filter(|t| t.is_word() && vars.contains(&t.text))
+            else {
+                continue;
+            };
+            if toks.get(k + 1).map(|t| t.text.as_str()) == Some("{") {
+                let what = format!("`for` loop over hash container `{}`", v.text);
+                fire(out, toks[i].line, what);
+            }
+        }
+    }
+}
+
+/// A bare hash-typed argument inside the paren group opening at `open`:
+/// a hash var not immediately chained on (chains are the method case).
+fn bare_hash_arg(tree: &FileTree, open: usize, vars: &BTreeSet<String>) -> Option<String> {
+    let toks = &tree.toks;
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return None;
+                }
+            }
+            _ => {
+                if toks[j].is_word()
+                    && vars.contains(&toks[j].text)
+                    && toks.get(j + 1).map(|t| t.text.as_str()) != Some(".")
+                {
+                    return Some(toks[j].text.clone());
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Whether the method chain starting at the `.` token `i` ends in an
+/// order-insensitive sink within its statement: a safe terminal, a
+/// collect into a safe container, or an ordered collect whose binding is
+/// sorted later in the same block. Only chain-level tokens count —
+/// closure bodies (braced or not) sit at paren depth ≥ 1 and are
+/// skipped; a `;`, `{`, or `}` at depth 0 ends the chain, and so does
+/// the `)` of an enclosing call the trigger sits inside.
+fn chain_is_safe(tree: &FileTree, i: usize) -> bool {
+    let toks = &tree.toks;
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            ";" | "{" | "}" if depth == 0 => return false,
+            t => {
+                if depth == 0 && toks[j].is_word() && j > i && toks[j - 1].text == "." {
+                    let is_call = toks.get(j + 1).map(|t| t.text.as_str()) == Some("(");
+                    if is_call && SAFE_TERMINALS.contains(&t) {
+                        return true;
+                    }
+                    if t == "collect" {
+                        return collect_is_safe(tree, i, j);
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Whether the `collect` at token `j` (chain trigger at `i`) lands in an
+/// order-insensitive container, or in an ordered one that is sorted
+/// before the enclosing block ends.
+fn collect_is_safe(tree: &FileTree, i: usize, j: usize) -> bool {
+    let toks = &tree.toks;
+    // Turbofish: `collect::<T<…>>()`, with `T` possibly `::`-qualified.
+    if toks.get(j + 1).map(|t| t.text.as_str()) == Some(":")
+        && toks.get(j + 2).map(|t| t.text.as_str()) == Some(":")
+        && toks.get(j + 3).map(|t| t.text.as_str()) == Some("<")
+    {
+        if let Some(t) = path_last_segment(tree, j + 4).filter(|t| t != "_") {
+            if SAFE_COLLECTS.contains(&tree.resolve_use(&t)) {
+                return true;
+            }
+            return sorted_later(tree, i);
+        }
+    }
+    // No (or wildcard) turbofish: consult the `let` annotation.
+    let start = tree.stmt_start(i);
+    if toks.get(start).map(|t| t.text.as_str()) != Some("let") {
+        return false;
+    }
+    let mut k = start + 1;
+    if toks.get(k).map(|t| t.text.as_str()) == Some("mut") {
+        k += 1;
+    }
+    if toks.get(k + 1).map(|t| t.text.as_str()) == Some(":") {
+        if let Some(t) = path_last_segment(tree, k + 2) {
+            if SAFE_COLLECTS.contains(&tree.resolve_use(&t)) {
+                return true;
+            }
+        }
+    }
+    sorted_later(tree, i)
+}
+
+/// Last segment of a (possibly `::`-qualified) type path starting at
+/// token `k`: `std::collections::HashSet<…>` resolves to `HashSet`.
+fn path_last_segment(tree: &FileTree, mut k: usize) -> Option<String> {
+    let toks = &tree.toks;
+    let mut last = None;
+    while let Some(t) = toks.get(k) {
+        match t.text.as_str() {
+            ":" => {}
+            w if t.is_word() => last = Some(w.to_string()),
+            _ => break,
+        }
+        k += 1;
+    }
+    last
+}
+
+/// Whether the binding produced by the statement containing token `i` is
+/// sorted later in the same block (`let mut v = …collect(); …; v.sort…`).
+fn sorted_later(tree: &FileTree, i: usize) -> bool {
+    let toks = &tree.toks;
+    let start = tree.stmt_start(i);
+    if toks.get(start).map(|t| t.text.as_str()) != Some("let") {
+        return false;
+    }
+    let mut k = start + 1;
+    if toks.get(k).map(|t| t.text.as_str()) == Some("mut") {
+        k += 1;
+    }
+    let Some(name) = toks.get(k).filter(|t| t.is_word() && t.text != "_") else {
+        return false;
+    };
+    let name = name.text.clone();
+    let from = tree.stmt_end(i);
+    let to = tree.block_end(toks[i].block);
+    for m in from..to.min(toks.len()) {
+        if toks[m].text == name
+            && toks.get(m + 1).map(|t| t.text.as_str()) == Some(".")
+            && toks
+                .get(m + 2)
+                .is_some_and(|t| SORT_METHODS.contains(&t.text.as_str()))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn audit_a08(
+    policy: &Policy,
+    rel: &str,
+    raw: &[&str],
+    lines: &[MaskedLine],
+    tree: &FileTree,
+    out: &mut TreeAudit,
+) {
+    let index_scope = policy.in_index_src(rel);
+    let toks = &tree.toks;
+    let fire = |out: &mut TreeAudit, line: usize, what: String, fix: &str| {
+        if comment_justifies(lines, line, "PANIC:") {
+            out.justified_panic += 1;
+            return;
+        }
+        push(
+            out,
+            rel,
+            raw,
+            line,
+            Lint::A08,
+            format!(
+                "{what} on the request path (crate `{}`); {fix}, or state the \
+                 can't-happen contract with `// PANIC:`",
+                crate_dir(rel)
+            ),
+        );
+    };
+    for i in 0..toks.len() {
+        if tree.tok_exempt(i) {
+            continue;
+        }
+        let text = toks[i].text.as_str();
+        if text == "." {
+            if let Some(m) = toks.get(i + 1) {
+                if matches!(m.text.as_str(), "unwrap" | "expect")
+                    && toks.get(i + 2).map(|t| t.text.as_str()) == Some("(")
+                {
+                    fire(
+                        out,
+                        m.line,
+                        format!("`.{}(…)`", m.text),
+                        "convert to a typed error that degrades to a 4xx/5xx response",
+                    );
+                }
+            }
+        }
+        if matches!(text, "panic" | "unreachable" | "todo" | "unimplemented")
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("!")
+        {
+            fire(
+                out,
+                toks[i].line,
+                format!("`{text}!`"),
+                "return a typed error instead of aborting the worker",
+            );
+        }
+        if index_scope && text == "[" && i > 0 {
+            let p = &toks[i - 1];
+            // `&'a [u8]` is a slice type, not an indexing expression.
+            let lifetime = p.is_word() && i > 1 && toks[i - 2].text == "'";
+            let indexable = (p.is_word()
+                && !lifetime
+                && !matches!(p.text.as_str(), "let" | "in" | "return" | "mut" | "ref"))
+                || p.text == ")"
+                || p.text == "]";
+            if indexable {
+                fire(
+                    out,
+                    toks[i].line,
+                    "direct indexing".to_string(),
+                    "use `.get(…)` with typed-error handling",
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask_source;
+    use crate::tree::parse;
+
+    fn run(rel: &str, src: &str) -> TreeAudit {
+        let lines = mask_source(src);
+        let tree = parse(&lines);
+        audit_tree(&Policy::cosmo(), rel, src, &lines, &tree)
+    }
+
+    fn ids(t: &TreeAudit) -> Vec<&'static str> {
+        t.violations.iter().map(|v| v.lint.id()).collect()
+    }
+
+    const DET: &str = "crates/kg/src/store.rs"; // deterministic AND panic crate
+
+    #[test]
+    fn a07_fires_on_unsorted_hash_iteration() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<String, u32>) -> Vec<String> {\n\
+                       m.keys().cloned().collect()\n\
+                   }\n";
+        let t = run(DET, src);
+        assert_eq!(ids(&t), vec!["A07"], "{:?}", t.violations);
+        assert_eq!(t.violations[0].line, 3);
+    }
+
+    #[test]
+    fn a07_accepts_sorted_collect_and_safe_sinks() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<String, u32>) -> Vec<String> {\n\
+                       let mut v: Vec<String> = m.keys().cloned().collect();\n\
+                       v.sort_unstable();\n\
+                       v\n\
+                   }\n\
+                   fn g(m: &HashMap<String, u32>) -> usize {\n\
+                       m.values().count()\n\
+                   }\n\
+                   fn h(m: &HashMap<String, u32>) -> bool {\n\
+                       m.keys().any(|k| k.is_empty())\n\
+                   }\n";
+        let t = run(DET, src);
+        assert!(t.violations.is_empty(), "{:?}", t.violations);
+    }
+
+    #[test]
+    fn a07_closure_terminals_do_not_count_as_chain_sinks() {
+        // the `len()` inside the closure must not satisfy the chain
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<String, u32>) -> Vec<usize> {\n\
+                       m.keys().map(|k| k.len()).collect()\n\
+                   }\n";
+        let t = run(DET, src);
+        assert_eq!(ids(&t), vec!["A07"]);
+    }
+
+    #[test]
+    fn a07_btree_collect_and_hash_rebuild_are_safe() {
+        let src = "use std::collections::{BTreeMap, HashMap};\n\
+                   fn f(m: &HashMap<String, u32>) -> BTreeMap<String, u32> {\n\
+                       m.iter().map(|(k, v)| (k.clone(), *v)).collect()\n\
+                   }\n";
+        // no let binding and no turbofish: conservatively unsafe
+        let t = run(DET, src);
+        assert_eq!(ids(&t), vec!["A07"], "bare collect() is opaque");
+        let src2 = "use std::collections::HashMap;\n\
+                    fn f(m: &HashMap<String, u32>) -> HashMap<String, u32> {\n\
+                        m.iter().map(|(k, v)| (k.clone(), *v)).collect::<HashMap<_, _>>()\n\
+                    }\n";
+        assert!(run(DET, src2).violations.is_empty());
+    }
+
+    #[test]
+    fn a07_for_loop_over_hash_fires() {
+        let src = "use std::collections::HashSet;\n\
+                   fn f(s: &HashSet<u32>, out: &mut Vec<u32>) {\n\
+                       for x in s {\n\
+                           out.push(*x);\n\
+                       }\n\
+                   }\n";
+        let t = run(DET, src);
+        assert_eq!(ids(&t), vec!["A07"]);
+        assert_eq!(t.violations[0].line, 3);
+    }
+
+    #[test]
+    fn a07_fx_alias_and_local_type_alias_resolve() {
+        let src = "use crate::hash::FxHashMap;\n\
+                   type Counts = FxHashMap<String, u32>;\n\
+                   fn f(c: &Counts) -> Vec<String> {\n\
+                       c.keys().cloned().collect()\n\
+                   }\n";
+        let t = run("crates/text/src/x.rs", src);
+        assert_eq!(ids(&t), vec!["A07"]);
+    }
+
+    #[test]
+    fn a07_determinism_comment_suppresses_and_counts() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<String, u32>) -> usize {\n\
+                       // DETERMINISM: order feeds a commutative integer sum\n\
+                       m.values().map(|v| *v as usize).sum()\n\
+                   }\n";
+        let t = run(DET, src);
+        assert!(t.violations.is_empty(), "{:?}", t.violations);
+        assert_eq!(t.justified_determinism, 1);
+    }
+
+    #[test]
+    fn a07_extend_from_hash_fires_but_hash_rebuild_does_not() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, u32>, out: &mut Vec<(u32, u32)>) {\n\
+                       out.extend(m);\n\
+                   }\n\
+                   fn g(m: HashMap<u32, u32>, acc: &mut HashMap<u32, u32>) {\n\
+                       acc.extend(m);\n\
+                   }\n";
+        let t = run(DET, src);
+        assert_eq!(ids(&t), vec!["A07"], "{:?}", t.violations);
+        assert_eq!(t.violations[0].line, 3);
+    }
+
+    #[test]
+    fn a07_silent_outside_deterministic_crates_and_tests() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<String, u32>) -> Vec<String> {\n\
+                       m.keys().cloned().collect()\n\
+                   }\n";
+        assert!(run("crates/bench/src/x.rs", src).violations.is_empty());
+        let test_src = "use std::collections::HashMap;\n\
+                        #[cfg(test)]\n\
+                        mod tests {\n\
+                            fn f(m: &HashMap<String, u32>) -> Vec<String> {\n\
+                                m.keys().cloned().collect()\n\
+                            }\n\
+                        }\n";
+        assert!(run(DET, test_src).violations.is_empty());
+    }
+
+    #[test]
+    fn a08_unwrap_expect_panics_fire() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                       let a = x.unwrap();\n\
+                       let b = x.expect(\"present\");\n\
+                       if a > b { panic!(\"boom\") }\n\
+                       unreachable!()\n\
+                   }\n";
+        let t = run("crates/serving/src/system.rs", src);
+        assert_eq!(ids(&t), vec!["A08", "A08", "A08", "A08"]);
+    }
+
+    #[test]
+    fn a08_indexing_fires_in_index_crates_only() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 {\n    v[i]\n}\n";
+        let t = run("crates/http/src/server.rs", src);
+        assert_eq!(ids(&t), vec!["A08"]);
+        // kg keeps unwrap checks but is exempt from the indexing sub-check
+        assert!(run(DET, src).violations.is_empty());
+    }
+
+    #[test]
+    fn a08_indexing_ignores_types_literals_and_patterns() {
+        let src = "fn f(x: [u8; 4], s: &[u8]) -> usize {\n\
+                       let arr = [0u8; 4];\n\
+                       if let [a, ..] = s {\n\
+                           return *a as usize;\n\
+                       }\n\
+                       arr.len() + x.len()\n\
+                   }\n";
+        let t = run("crates/http/src/server.rs", src);
+        assert!(t.violations.is_empty(), "{:?}", t.violations);
+    }
+
+    #[test]
+    fn a08_panic_comment_suppresses_and_counts() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                       // PANIC: x was validated non-empty by the caller\n\
+                       x.unwrap()\n\
+                   }\n";
+        let t = run("crates/serving/src/system.rs", src);
+        assert!(t.violations.is_empty(), "{:?}", t.violations);
+        assert_eq!(t.justified_panic, 1);
+    }
+
+    #[test]
+    fn a08_unwrap_or_variants_and_tests_are_exempt() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0)\n}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn g(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   }\n";
+        let t = run("crates/serving/src/system.rs", src);
+        assert!(t.violations.is_empty(), "{:?}", t.violations);
+    }
+}

@@ -1,0 +1,125 @@
+//! The debt ratchet — `audit-baseline.json`.
+//!
+//! Violations are always a hard failure; the baseline tracks the softer
+//! debt: how many `// SAFETY:` / `// DETERMINISM:` / `// PANIC:` /
+//! `// LOCK-ORDER:` justification comments the workspace leans on. Each
+//! marker is a reviewed suppression, not a fix, so the committed counts
+//! may only *decrease*:
+//!
+//! * count above baseline → CI fails (`--check-baseline`): someone added
+//!   a new suppression without paying debt elsewhere — either fix the
+//!   site or consciously re-baseline with `--write-baseline` in the same
+//!   PR, where the diff makes the decision reviewable;
+//! * count below baseline → `--check-baseline` reminds you to ratchet
+//!   the file down (also a committed, reviewable diff).
+//!
+//! The file format is the `justified` object from [`crate::json`],
+//! parsed with a purpose-built scanner (std-only crate; the four keys
+//! and integer values are the whole grammar).
+
+use crate::JustifiedCounts;
+
+/// The ratchet categories, in file order.
+pub const CATEGORIES: [&str; 4] = ["SAFETY", "DETERMINISM", "PANIC", "LOCK-ORDER"];
+
+/// Render the baseline file contents for `counts`.
+pub fn render(counts: &JustifiedCounts) -> String {
+    format!(
+        "{{\n  \"justified\": {}\n}}\n",
+        crate::json::justified_json(counts)
+    )
+}
+
+/// Parse a baseline file. Returns `None` when any category key is
+/// missing or malformed — a corrupt baseline must fail the check, not
+/// silently pass it.
+pub fn parse(text: &str) -> Option<JustifiedCounts> {
+    Some(JustifiedCounts {
+        safety: key_value(text, "SAFETY")?,
+        determinism: key_value(text, "DETERMINISM")?,
+        panic: key_value(text, "PANIC")?,
+        lock_order: key_value(text, "LOCK-ORDER")?,
+    })
+}
+
+/// Scan for `"key" : <digits>`.
+fn key_value(text: &str, key: &str) -> Option<usize> {
+    let quoted = format!("\"{key}\"");
+    let at = text.find(&quoted)? + quoted.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Compare current counts against the committed baseline. Returns
+/// human-readable failures (counts that went *up*) and reminders
+/// (counts that went *down* and should be ratcheted).
+pub fn check(current: &JustifiedCounts, committed: &JustifiedCounts) -> (Vec<String>, Vec<String>) {
+    let pairs = [
+        ("SAFETY", current.safety, committed.safety),
+        ("DETERMINISM", current.determinism, committed.determinism),
+        ("PANIC", current.panic, committed.panic),
+        ("LOCK-ORDER", current.lock_order, committed.lock_order),
+    ];
+    let mut failures = Vec::new();
+    let mut reminders = Vec::new();
+    for (name, cur, base) in pairs {
+        if cur > base {
+            failures.push(format!(
+                "justified `// {name}:` suppressions increased: {base} -> {cur}; \
+                 fix the new site or consciously re-baseline with --write-baseline"
+            ));
+        } else if cur < base {
+            reminders.push(format!(
+                "justified `// {name}:` suppressions decreased: {base} -> {cur}; \
+                 ratchet audit-baseline.json down with --write-baseline"
+            ));
+        }
+    }
+    (failures, reminders)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(s: usize, d: usize, p: usize, l: usize) -> JustifiedCounts {
+        JustifiedCounts {
+            safety: s,
+            determinism: d,
+            panic: p,
+            lock_order: l,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let c = counts(12, 3, 9, 2);
+        let text = render(&c);
+        assert_eq!(parse(&text), Some(c));
+    }
+
+    #[test]
+    fn corrupt_baseline_fails_closed() {
+        assert_eq!(parse("{}"), None);
+        assert_eq!(parse("{\"justified\": {\"SAFETY\": 1}}"), None);
+        assert_eq!(parse("{\"SAFETY\": \"many\"}"), None);
+    }
+
+    #[test]
+    fn increase_fails_decrease_reminds_equal_passes() {
+        let base = counts(10, 5, 5, 2);
+        let (f, r) = check(&counts(10, 5, 5, 2), &base);
+        assert!(f.is_empty() && r.is_empty());
+        let (f, r) = check(&counts(11, 5, 5, 2), &base);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("SAFETY"));
+        assert!(r.is_empty());
+        let (f, r) = check(&counts(10, 4, 5, 1), &base);
+        assert!(f.is_empty());
+        assert_eq!(r.len(), 2);
+    }
+}

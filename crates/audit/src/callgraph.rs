@@ -1,0 +1,264 @@
+//! Intra-workspace call-graph builder over parsed [`FileTree`]s.
+//!
+//! The lock-order lint (A09) needs to know which functions a function
+//! calls, so a lock held in `f` can be ordered against locks acquired
+//! three frames deeper. Resolution is deliberately *conservative*: a
+//! call site resolves to an analyzed function only when the target is
+//! unambiguous, because a wrong edge here manufactures a deadlock report
+//! out of thin air.
+//!
+//! Resolution rules:
+//!
+//! * free calls (`name(…)`, `Type::name(…)`) resolve to a same-file `fn`
+//!   of that name first, else to the unique workspace `fn` of that name;
+//! * method calls (`.name(…)`) additionally require the name to be
+//!   *distinctive* — common container/IO method names (`len`, `get`,
+//!   `insert`, `load`, …) never resolve, since they almost always hit
+//!   std types, not our code;
+//! * anything ambiguous stays unresolved — A09 under-approximates
+//!   through such calls rather than inventing edges.
+
+use crate::tree::FileTree;
+use std::collections::BTreeMap;
+
+/// Method names that never resolve as intra-workspace calls: they
+/// collide with std container/iterator/IO vocabulary far too often for
+/// name-based resolution to be trustworthy.
+const COMMON_METHODS: &[&str] = &[
+    "as_bytes",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "borrow",
+    "clear",
+    "clone",
+    "cmp",
+    "collect",
+    "contains",
+    "default",
+    "drain",
+    "drop",
+    "entry",
+    "eq",
+    "extend",
+    "finish",
+    "flush",
+    "fmt",
+    "from",
+    "get",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "join",
+    "len",
+    "load",
+    "lock",
+    "map",
+    "new",
+    "next",
+    "pop",
+    "push",
+    "read",
+    "remove",
+    "reset",
+    "send",
+    "store",
+    "take",
+    "to_string",
+    "to_vec",
+    "wait",
+    "write",
+];
+
+/// A function in the analyzed set: indices into the file list and that
+/// file's `fns` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnId {
+    /// Index into the analyzed-file list.
+    pub file: usize,
+    /// Index into that file's [`FileTree::fns`].
+    pub item: usize,
+}
+
+/// One resolved call site inside a function body.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    /// Token index of the callee name in the caller's file.
+    pub tok: usize,
+    /// The resolved callee.
+    pub callee: usize,
+}
+
+/// The workspace-level function index and call resolver.
+pub struct CallGraph {
+    /// Every analyzed function, in (file, item) order.
+    pub fns: Vec<FnId>,
+    /// `name -> indices into fns` (sorted map for deterministic output).
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Index every `fn` across `files` (path + parsed tree pairs).
+    pub fn build(files: &[(String, FileTree)]) -> CallGraph {
+        let mut fns = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (fi, (_, tree)) in files.iter().enumerate() {
+            for (ii, item) in tree.fns.iter().enumerate() {
+                let idx = fns.len();
+                fns.push(FnId { file: fi, item: ii });
+                by_name.entry(item.name.clone()).or_default().push(idx);
+            }
+        }
+        CallGraph { fns, by_name }
+    }
+
+    /// The global index of `fns[i]`'s name in its own file.
+    pub fn name<'a>(&self, files: &'a [(String, FileTree)], i: usize) -> &'a str {
+        let id = self.fns[i];
+        &files[id.file].1.fns[id.item].name
+    }
+
+    /// Resolve a call to `name` made from file `from_file`. `is_method`
+    /// marks `.name(…)` receiver calls, which face the extra
+    /// distinctiveness requirement.
+    pub fn resolve(&self, from_file: usize, name: &str, is_method: bool) -> Option<usize> {
+        if is_method && COMMON_METHODS.contains(&name) {
+            return None;
+        }
+        let candidates = self.by_name.get(name)?;
+        let same_file: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| self.fns[c].file == from_file)
+            .collect();
+        match same_file.as_slice() {
+            [one] => Some(*one),
+            [] if candidates.len() == 1 => Some(candidates[0]),
+            _ => None,
+        }
+    }
+
+    /// Extract every resolved call site in the body of function `f`.
+    /// A call is a word followed by `(` that is not a definition, macro
+    /// invocation, or excluded method name.
+    pub fn calls_of(&self, files: &[(String, FileTree)], f: usize) -> Vec<CallSite> {
+        let id = self.fns[f];
+        let tree = &files[id.file].1;
+        let Some(body) = tree.fns[id.item].body else {
+            return Vec::new();
+        };
+        let start = tree.blocks[body].open.map(|o| o + 1).unwrap_or(0);
+        let end = tree.block_end(body);
+        let mut out = Vec::new();
+        for i in start..end.min(tree.toks.len()) {
+            if !tree.toks[i].is_word() {
+                continue;
+            }
+            if tree.toks.get(i + 1).map(|t| t.text.as_str()) != Some("(") {
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|p| tree.toks[p].text.as_str());
+            // `fn name(` is a nested definition, `name!(` handled by the
+            // next-token check already (next is `!`), keywords are not
+            // calls.
+            if prev == Some("fn") {
+                continue;
+            }
+            let text = tree.toks[i].text.as_str();
+            if matches!(
+                text,
+                "if" | "while"
+                    | "for"
+                    | "match"
+                    | "return"
+                    | "fn"
+                    | "loop"
+                    | "Some"
+                    | "Ok"
+                    | "Err"
+                    | "None"
+                    | "Box"
+                    | "Vec"
+            ) {
+                continue;
+            }
+            let is_method = prev == Some(".");
+            if let Some(callee) = self.resolve(id.file, text, is_method) {
+                out.push(CallSite { tok: i, callee });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask_source;
+    use crate::tree::parse;
+
+    fn files(srcs: &[(&str, &str)]) -> Vec<(String, FileTree)> {
+        srcs.iter()
+            .map(|(p, s)| (p.to_string(), parse(&mask_source(s))))
+            .collect()
+    }
+
+    #[test]
+    fn same_file_free_call_resolves() {
+        let fs = files(&[("a.rs", "fn callee() {}\nfn caller() { callee(); }\n")]);
+        let cg = CallGraph::build(&fs);
+        let caller = (0..cg.fns.len())
+            .find(|&i| cg.name(&fs, i) == "caller")
+            .unwrap();
+        let calls = cg.calls_of(&fs, caller);
+        assert_eq!(calls.len(), 1);
+        assert_eq!(cg.name(&fs, calls[0].callee), "callee");
+    }
+
+    #[test]
+    fn cross_file_unique_name_resolves_common_method_does_not() {
+        let fs = files(&[
+            ("a.rs", "fn swap_snapshot() {}\nfn len() {}\n"),
+            ("b.rs", "fn go(x: T) { x.swap_snapshot(); x.len(); }\n"),
+        ]);
+        let cg = CallGraph::build(&fs);
+        let go = (0..cg.fns.len())
+            .find(|&i| cg.name(&fs, i) == "go")
+            .unwrap();
+        let calls = cg.calls_of(&fs, go);
+        assert_eq!(calls.len(), 1, "len is blocklisted, swap_snapshot unique");
+        assert_eq!(cg.name(&fs, calls[0].callee), "swap_snapshot");
+    }
+
+    #[test]
+    fn ambiguous_names_stay_unresolved() {
+        let fs = files(&[
+            ("a.rs", "fn helper() {}\n"),
+            ("b.rs", "fn helper() {}\n"),
+            ("c.rs", "fn go() { helper(); }\n"),
+        ]);
+        let cg = CallGraph::build(&fs);
+        let go = (0..cg.fns.len())
+            .find(|&i| cg.name(&fs, i) == "go")
+            .unwrap();
+        assert!(cg.calls_of(&fs, go).is_empty());
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let fs = files(&[(
+            "a.rs",
+            "fn go() { println!(\"x\"); if cond() { } }\nfn cond() -> bool { true }\n",
+        )]);
+        let cg = CallGraph::build(&fs);
+        let go = (0..cg.fns.len())
+            .find(|&i| cg.name(&fs, i) == "go")
+            .unwrap();
+        let calls = cg.calls_of(&fs, go);
+        assert_eq!(calls.len(), 1);
+        assert_eq!(cg.name(&fs, calls[0].callee), "cond");
+    }
+}

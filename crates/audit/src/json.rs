@@ -1,0 +1,132 @@
+//! `--format json` — machine-readable diagnostics.
+//!
+//! Hand-rolled like the rest of the workspace's wire surfaces (no serde
+//! by design: the audit crate is std-only so it can never drag a
+//! dependency into tier-1). The shape is consumed by CI's GitHub
+//! problem-matcher and by the baseline ratchet:
+//!
+//! ```json
+//! {
+//!   "files_audited": 123,
+//!   "violations": [
+//!     {"file": "crates/x/src/y.rs", "line": 7, "lint": "A07",
+//!      "message": "…", "source": "…"}
+//!   ],
+//!   "justified": {"SAFETY": 12, "DETERMINISM": 3, "PANIC": 9, "LOCK-ORDER": 2}
+//! }
+//! ```
+
+use crate::{AuditReport, JustifiedCounts};
+use std::fmt::Write;
+
+/// Escape a string for a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the justified-suppression counts object (shared with the
+/// baseline file format, so the two stay diffable).
+pub fn justified_json(j: &JustifiedCounts) -> String {
+    format!(
+        "{{\"SAFETY\": {}, \"DETERMINISM\": {}, \"PANIC\": {}, \"LOCK-ORDER\": {}}}",
+        j.safety, j.determinism, j.panic, j.lock_order
+    )
+}
+
+/// Render a full report as pretty-enough JSON (one violation per line —
+/// diff-friendly and regex-friendly for the problem matcher).
+pub fn report_json(r: &AuditReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_audited\": {},", r.files_audited);
+    out.push_str("  \"violations\": [\n");
+    for (i, v) in r.violations.iter().enumerate() {
+        let comma = if i + 1 == r.violations.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \
+             \"message\": \"{}\", \"source\": \"{}\"}}{comma}",
+            escape(&v.file),
+            v.line,
+            v.lint.id(),
+            escape(&v.message),
+            escape(&v.source)
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"justified\": {}", justified_json(&r.justified));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lint, Violation};
+
+    fn report() -> AuditReport {
+        AuditReport {
+            files_audited: 2,
+            violations: vec![Violation {
+                file: "crates/x/src/y.rs".to_string(),
+                line: 7,
+                lint: Lint::A07,
+                message: "iteration with \"quotes\"".to_string(),
+                source: "\tfor k in map {".to_string(),
+            }],
+            justified: JustifiedCounts {
+                safety: 1,
+                determinism: 2,
+                panic: 3,
+                lock_order: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn report_shape_is_stable() {
+        let j = report_json(&report());
+        assert!(j.contains("\"files_audited\": 2"));
+        assert!(j.contains("\"lint\": \"A07\""));
+        assert!(j.contains("\"line\": 7"));
+        assert!(j.contains("iteration with \\\"quotes\\\""));
+        assert!(j.contains(
+            "\"justified\": {\"SAFETY\": 1, \"DETERMINISM\": 2, \"PANIC\": 3, \"LOCK-ORDER\": 4}"
+        ));
+        // one violation per line, so the problem matcher can anchor
+        assert!(j
+            .lines()
+            .any(|l| l.contains("\"file\"") && l.contains("\"message\"")));
+    }
+
+    #[test]
+    fn empty_violations_render_valid_brackets() {
+        let r = AuditReport {
+            files_audited: 0,
+            violations: vec![],
+            justified: JustifiedCounts::default(),
+        };
+        let j = report_json(&r);
+        assert!(j.contains("\"violations\": [\n  ]"));
+    }
+}

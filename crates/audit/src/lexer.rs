@@ -104,6 +104,9 @@ pub fn mask_source(src: &str) -> Vec<MaskedLine> {
                 }
                 '/' if next == Some('*') => {
                     state = State::BlockComment(1);
+                    // Pad the masked view so code after a same-line
+                    // `/* … */` keeps its original columns.
+                    code.push_str("  ");
                     i += 2;
                 }
                 '"' => {
@@ -195,6 +198,7 @@ pub fn mask_source(src: &str) -> Vec<MaskedLine> {
                 if c == '/' && next == Some('*') {
                     state = State::BlockComment(depth + 1);
                     comment.push_str("/*");
+                    code.push_str("  ");
                     i += 2;
                 } else if c == '*' && next == Some('/') {
                     state = if depth == 1 {
@@ -203,9 +207,11 @@ pub fn mask_source(src: &str) -> Vec<MaskedLine> {
                         comment.push_str("*/");
                         State::BlockComment(depth - 1)
                     };
+                    code.push_str("  ");
                     i += 2;
                 } else {
                     comment.push(c);
+                    code.push(' ');
                     i += 1;
                 }
             }
@@ -246,8 +252,15 @@ pub fn mask_source(src: &str) -> Vec<MaskedLine> {
             }
             State::CharLit => {
                 if c == '\\' {
-                    code.push_str("  ");
-                    i += 2;
+                    if next == Some('\n') {
+                        // Invalid Rust, but the newline must still flush
+                        // its line so positions stay aligned.
+                        code.push(' ');
+                        i += 1;
+                    } else {
+                        code.push_str("  ");
+                        i += 2;
+                    }
                 } else if c == '\'' {
                     code.push('\'');
                     state = State::Code;

@@ -1,10 +1,12 @@
 //! # cosmo-audit
 //!
 //! A workspace invariant linter for COSMO-rs. The system's core guarantee
-//! — bitwise-deterministic output at any thread count — is easy to break
-//! silently: one `partial_cmp().unwrap()` float sort, one wall-clock read
-//! in a pipeline stage, one undocumented `unsafe` block. This crate turns
-//! those conventions into machine-checked lints that run in tier-1:
+//! — bitwise-deterministic output at any thread count, served without
+//! tearing down connection workers — is easy to break silently: one
+//! `partial_cmp().unwrap()` float sort, one wall-clock read in a pipeline
+//! stage, one `HashMap` iterated into output, one nested lock taken in
+//! the wrong order. This crate turns those conventions into
+//! machine-checked lints that run in tier-1:
 //!
 //! | id  | invariant |
 //! |-----|-----------|
@@ -14,22 +16,60 @@
 //! | A04 | no `SystemTime`/`Instant`/thread-identity in deterministic crates |
 //! | A05 | every `#[allow(…)]` carries a justification comment |
 //! | A06 | the `fast-math` feature cfg stays inside the kernel dispatch surface |
+//! | A07 | no order-observable hash iteration in deterministic crates (`// DETERMINISM:`) |
+//! | A08 | no panic surface in request-path crate sources (`// PANIC:`) |
+//! | A09 | no lock-order cycles across the serving/http lock surface (`// LOCK-ORDER:`) |
 //!
-//! Lints run over a masked view of the source (see [`lexer`]) so they
-//! never fire inside strings or comments. `cargo run -p cosmo-audit`
-//! audits the workspace and exits nonzero on any violation; the fixture
-//! snippets under `crates/audit/fixtures/` pin each lint against rot.
+//! A01–A06 are line lints over the masked view (see [`lexer`]); A07–A09
+//! run on the token tree ([`tree`]) and the intra-workspace call graph
+//! ([`callgraph`]). Each justification marker consumed is counted and
+//! ratcheted by the committed `audit-baseline.json` ([`baseline`]):
+//! violations must be zero, and the per-marker suppression counts may
+//! only decrease. `cargo run -p cosmo-audit` audits the workspace and
+//! exits nonzero on any violation; the fixture snippets under
+//! `crates/audit/fixtures/` pin each lint against rot.
 
 #![forbid(unsafe_code)]
 
+pub mod analyzer;
+pub mod baseline;
+pub mod callgraph;
+pub mod json;
 pub mod lexer;
 pub mod lints;
+pub mod locks;
+pub mod tree;
 pub mod walk;
 
 pub use lints::{audit_source, Lint, Policy, Violation};
 
 use std::io;
 use std::path::Path;
+
+/// Per-marker justification-comment totals — the debt the baseline
+/// ratchet tracks. A justified site is *suppressed, not solved*: the
+/// counts may only go down release over release.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct JustifiedCounts {
+    /// `// SAFETY:` contracts covering `unsafe` (A01).
+    pub safety: usize,
+    /// `// DETERMINISM:` suppressions (A07).
+    pub determinism: usize,
+    /// `// PANIC:` suppressions (A08).
+    pub panic: usize,
+    /// `// LOCK-ORDER:` suppressions (A09).
+    pub lock_order: usize,
+}
+
+impl JustifiedCounts {
+    /// Accumulate another file's counts.
+    pub fn add(&mut self, other: &JustifiedCounts) {
+        self.safety += other.safety;
+        self.determinism += other.determinism;
+        self.panic += other.panic;
+        self.lock_order += other.lock_order;
+    }
+}
 
 /// Outcome of a workspace audit.
 #[derive(Debug)]
@@ -38,12 +78,15 @@ pub struct AuditReport {
     pub files_audited: usize,
     /// Every violation, in deterministic (path, line) order.
     pub violations: Vec<Violation>,
+    /// Justification-comment totals consumed across the scan.
+    pub justified: JustifiedCounts,
 }
 
 /// Parse a fixture's `// audit-as: <path>` directive: the workspace path
 /// class the snippet pretends to live at, so path-conditional lints (A02's
-/// crate-root rule, A04's deterministic-crate scope) fire as intended.
-/// Only the first five lines are searched — the directive is a header.
+/// crate-root rule, A04/A07's deterministic-crate scope, A08/A09's
+/// request-path scope) fire as intended. Only the first five lines are
+/// searched — the directive is a header.
 pub fn audit_as_directive(src: &str) -> Option<String> {
     src.lines().take(5).find_map(|l| {
         l.trim()
@@ -52,17 +95,79 @@ pub fn audit_as_directive(src: &str) -> Option<String> {
     })
 }
 
+/// Run every single-file lint (A01–A08, plus A09 confined to this one
+/// file) over one source. The workspace audit uses the same passes but
+/// runs A09 across all lock-scope files together; single-file mode is
+/// what fixtures and `cosmo-audit <file.rs>` exercise.
+pub fn audit_snippet(policy: &Policy, rel: &str, src: &str) -> (Vec<Violation>, JustifiedCounts) {
+    let lines = lexer::mask_source(src);
+    let tree = tree::parse(&lines);
+    let mut violations = lints::audit_source(policy, rel, src);
+    let ta = analyzer::audit_tree(policy, rel, src, &lines, &tree);
+    let mut justified = JustifiedCounts {
+        safety: lints::count_safety_justified(&lines),
+        determinism: ta.justified_determinism,
+        panic: ta.justified_panic,
+        lock_order: 0,
+    };
+    violations.extend(ta.violations);
+    if policy.in_lock_scope(rel) {
+        let lf = locks::LockFile {
+            rel: rel.to_string(),
+            lines,
+            raw: src.lines().map(str::to_string).collect(),
+            tree,
+        };
+        let (lvs, lj) = locks::audit_lock_order(&[lf]);
+        violations.extend(lvs);
+        justified.lock_order = lj;
+    }
+    sort_violations(&mut violations);
+    (violations, justified)
+}
+
+fn sort_violations(vs: &mut [Violation]) {
+    vs.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.lint.id()).cmp(&(b.file.as_str(), b.line, b.lint.id()))
+    });
+}
+
 /// Audit the workspace rooted at `root` under the COSMO policy.
 pub fn run_audit(root: &Path) -> io::Result<AuditReport> {
     let policy = Policy::cosmo();
     let files = walk::collect_rs_files(root)?;
     let mut violations = Vec::new();
+    let mut justified = JustifiedCounts::default();
+    let mut lock_files: Vec<locks::LockFile> = Vec::new();
     for rel in &files {
         let src = std::fs::read_to_string(root.join(rel))?;
+        let lines = lexer::mask_source(&src);
+        let tree = tree::parse(&lines);
         violations.extend(audit_source(&policy, rel, &src));
+        let ta = analyzer::audit_tree(&policy, rel, &src, &lines, &tree);
+        justified.add(&JustifiedCounts {
+            safety: lints::count_safety_justified(&lines),
+            determinism: ta.justified_determinism,
+            panic: ta.justified_panic,
+            lock_order: 0,
+        });
+        violations.extend(ta.violations);
+        if policy.in_lock_scope(rel) {
+            lock_files.push(locks::LockFile {
+                rel: rel.clone(),
+                lines,
+                raw: src.lines().map(str::to_string).collect(),
+                tree,
+            });
+        }
     }
+    let (lvs, lj) = locks::audit_lock_order(&lock_files);
+    violations.extend(lvs);
+    justified.lock_order = lj;
+    sort_violations(&mut violations);
     Ok(AuditReport {
         files_audited: files.len(),
         violations,
+        justified,
     })
 }

@@ -23,6 +23,17 @@ pub enum Lint {
     A05,
     /// `fast-math` feature cfg outside the kernel dispatch surface.
     A06,
+    /// Order-observable iteration of a hash container in a deterministic
+    /// crate without a sort, an order-insensitive sink, or a
+    /// `// DETERMINISM:` justification.
+    A07,
+    /// Panic surface (`unwrap`/`expect`/`panic!`/`unreachable!`/direct
+    /// indexing) in request-path crate sources without a `// PANIC:`
+    /// justification.
+    A08,
+    /// Cross-function lock-acquisition ordering cycle (potential
+    /// deadlock) without a `// LOCK-ORDER:` justification.
+    A09,
 }
 
 impl Lint {
@@ -35,6 +46,9 @@ impl Lint {
             Lint::A04 => "A04",
             Lint::A05 => "A05",
             Lint::A06 => "A06",
+            Lint::A07 => "A07",
+            Lint::A08 => "A08",
+            Lint::A09 => "A09",
         }
     }
 }
@@ -84,6 +98,20 @@ pub struct Policy {
     /// the feature can only ever change matmul bytes, never shapes,
     /// orderings, or control flow.
     pub fast_math_allowlist: &'static [&'static str],
+    /// Request-path crates whose `src/` must be panic-free: an `unwrap`
+    /// tears down the connection worker that hit it, so every reachable
+    /// panic needs a `// PANIC:` contract or a typed-error conversion.
+    pub panic_crates: &'static [&'static str],
+    /// The subset of [`Self::panic_crates`] where *direct slice indexing*
+    /// is also part of the panic surface. `kg` is deliberately absent:
+    /// its CSR traversal kernels index by construction-checked offsets in
+    /// hot loops, and bounds discipline there is owned by the snapshot
+    /// validator, not per-site comments.
+    pub index_crates: &'static [&'static str],
+    /// Path prefixes whose lock acquisitions participate in the A09
+    /// cross-function lock-order analysis (the live serving surface,
+    /// where RwLock/Mutex nesting can deadlock under traffic).
+    pub lock_order_roots: &'static [&'static str],
 }
 
 impl Policy {
@@ -109,6 +137,9 @@ impl Policy {
                 "nav",
             ],
             fast_math_allowlist: &["crates/nn/src/tensor.rs", "crates/bench/src/extensions.rs"],
+            panic_crates: &["serving", "http", "mapped", "kg"],
+            index_crates: &["serving", "http", "mapped"],
+            lock_order_roots: &["crates/serving/src/", "crates/http/src/"],
         }
     }
 
@@ -147,16 +178,34 @@ impl Policy {
     /// True when `rel` is a library source of a deterministic crate
     /// (`crates/<det>/src/…`). Tests and benches may measure wall clock;
     /// the shipping library must not.
-    fn in_deterministic_src(&self, rel: &str) -> bool {
+    pub fn in_deterministic_src(&self, rel: &str) -> bool {
+        Self::in_crate_src(rel, self.deterministic_crates)
+    }
+
+    /// True when `rel` is a library source of a panic-free request-path
+    /// crate (A08 scope).
+    pub fn in_panic_src(&self, rel: &str) -> bool {
+        Self::in_crate_src(rel, self.panic_crates)
+    }
+
+    /// True when `rel` additionally treats direct indexing as panic
+    /// surface (A08 indexing sub-check scope).
+    pub fn in_index_src(&self, rel: &str) -> bool {
+        Self::in_crate_src(rel, self.index_crates)
+    }
+
+    /// True when `rel` participates in the A09 lock-order analysis.
+    pub fn in_lock_scope(&self, rel: &str) -> bool {
+        self.lock_order_roots.iter().any(|p| rel.starts_with(p))
+    }
+
+    fn in_crate_src(rel: &str, crates: &[&str]) -> bool {
         let parts: Vec<&str> = rel.split('/').collect();
-        parts.len() >= 4
-            && parts[0] == "crates"
-            && parts[2] == "src"
-            && self.deterministic_crates.contains(&parts[1])
+        parts.len() >= 4 && parts[0] == "crates" && parts[2] == "src" && crates.contains(&parts[1])
     }
 }
 
-fn crate_dir(rel: &str) -> &str {
+pub(crate) fn crate_dir(rel: &str) -> &str {
     let parts: Vec<&str> = rel.split('/').collect();
     if parts.len() >= 2 && parts[0] == "crates" {
         parts[1]
@@ -165,17 +214,25 @@ fn crate_dir(rel: &str) -> &str {
     }
 }
 
-/// Walk upward from `idx` and decide whether the `unsafe` on that line is
-/// covered by a `// SAFETY:` comment. The walk crosses comment-only lines
-/// (multi-line SAFETY prose) and attribute lines (`#[target_feature(…)]`
-/// sits between the contract and the `unsafe fn`), and stops at the first
-/// code line — whose trailing comment still counts.
-fn has_safety_comment(lines: &[MaskedLine], idx: usize) -> bool {
+/// The shared justification-comment grammar: a violation on 1-based
+/// `line` is justified by `marker` (e.g. `"DETERMINISM:"`) when the
+/// marker appears in that line's trailing comment, or above it — the
+/// upward walk crosses comment-only lines (multi-line prose) and
+/// attribute lines, and stops at the first code line, whose trailing
+/// comment still counts.
+pub fn comment_justifies(lines: &[MaskedLine], line: usize, marker: &str) -> bool {
+    if line == 0 || line > lines.len() {
+        return false;
+    }
+    let idx = line - 1;
+    if lines[idx].comment.contains(marker) {
+        return true;
+    }
     let mut j = idx;
     while j > 0 {
         j -= 1;
         let l = &lines[j];
-        if l.comment.contains("SAFETY:") {
+        if l.comment.contains(marker) {
             return true;
         }
         if l.is_comment_only() || l.is_attribute() {
@@ -184,6 +241,24 @@ fn has_safety_comment(lines: &[MaskedLine], idx: usize) -> bool {
         return false;
     }
     false
+}
+
+/// Whether the `unsafe` on 0-based line `idx` is covered by a
+/// `// SAFETY:` comment, under the shared [`comment_justifies`] grammar:
+/// same-line trailing comment, or prose above crossing comment-only and
+/// attribute lines.
+fn has_safety_comment(lines: &[MaskedLine], idx: usize) -> bool {
+    comment_justifies(lines, idx + 1, "SAFETY:")
+}
+
+/// Count `unsafe` sites whose `// SAFETY:` contract is present — the
+/// justified-suppression total the baseline ratchet tracks for A01.
+pub fn count_safety_justified(lines: &[MaskedLine]) -> usize {
+    lines
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| contains_word(&l.code, "unsafe") && has_safety_comment(lines, *i))
+        .count()
 }
 
 /// True when the `#[allow(…)]` on `idx` carries a justification: a

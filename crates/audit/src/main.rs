@@ -2,34 +2,85 @@
 //! violations, exit nonzero when any invariant is broken.
 //!
 //! Usage:
-//!   cargo run -p cosmo-audit               # audit the enclosing workspace
-//!   cargo run -p cosmo-audit -- <root>     # audit an explicit root
-//!   cargo run -p cosmo-audit -- <file.rs>  # audit one file (fixtures use this)
+//!   cargo run -p cosmo-audit                       # audit the enclosing workspace
+//!   cargo run -p cosmo-audit -- <root>             # audit an explicit root
+//!   cargo run -p cosmo-audit -- <file.rs>          # audit one file (fixtures use this)
+//!   cargo run -p cosmo-audit -- --format json      # machine-readable diagnostics
+//!   cargo run -p cosmo-audit -- --check-baseline   # enforce the debt ratchet
+//!   cargo run -p cosmo-audit -- --write-baseline   # re-baseline (reviewable diff)
 
 #![forbid(unsafe_code)]
 
-use cosmo_audit::{audit_source, AuditReport, Policy};
+use cosmo_audit::{audit_snippet, baseline, json, AuditReport, Policy};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// Name of the committed ratchet file at the workspace root.
+const BASELINE_FILE: &str = "audit-baseline.json";
+
+struct Cli {
+    root: Option<PathBuf>,
+    json: bool,
+    check_baseline: bool,
+    write_baseline: bool,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: None,
+        json: false,
+        check_baseline: false,
+        write_baseline: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("json") => cli.json = true,
+                    Some("text") => cli.json = false,
+                    other => return Err(format!("--format expects json|text, got {other:?}")),
+                }
+            }
+            "--check-baseline" => cli.check_baseline = true,
+            "--write-baseline" => cli.write_baseline = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path if cli.root.is_none() => cli.root = Some(PathBuf::from(path)),
+            extra => return Err(format!("unexpected argument {extra}")),
+        }
+        i += 1;
+    }
+    if cli.check_baseline && cli.write_baseline {
+        return Err("--check-baseline and --write-baseline are mutually exclusive".to_string());
+    }
+    Ok(cli)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let root = match args.as_slice() {
-        [] => match find_workspace_root() {
-            Some(r) => r,
-            None => {
-                eprintln!("cosmo-audit: no workspace Cargo.toml above the current directory");
-                return ExitCode::from(2);
-            }
-        },
-        [root] => PathBuf::from(root),
-        _ => {
-            eprintln!("usage: cosmo-audit [workspace-root | file.rs]");
+    let cli = match parse_cli(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cosmo-audit: {e}");
+            eprintln!(
+                "usage: cosmo-audit [workspace-root | file.rs] [--format json|text] \
+                 [--check-baseline | --write-baseline]"
+            );
             return ExitCode::from(2);
         }
     };
 
-    let report = if root.is_file() {
+    let root = match cli.root.clone().or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("cosmo-audit: no workspace Cargo.toml above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    let single_file = root.is_file();
+    let report = if single_file {
         match audit_file(&root) {
             Ok(r) => r,
             Err(e) => {
@@ -47,23 +98,69 @@ fn main() -> ExitCode {
         }
     };
 
-    for v in &report.violations {
-        println!("{v}");
-    }
-    if report.violations.is_empty() {
-        println!(
-            "cosmo-audit: {} files audited, 0 violations",
-            report.files_audited
-        );
-        ExitCode::SUCCESS
+    if cli.json {
+        print!("{}", json::report_json(&report));
     } else {
+        for v in &report.violations {
+            println!("{v}");
+        }
         println!(
-            "cosmo-audit: {} files audited, {} violation(s)",
+            "cosmo-audit: {} files audited, {} violation(s), justified suppressions: \
+             SAFETY {} / DETERMINISM {} / PANIC {} / LOCK-ORDER {}",
             report.files_audited,
-            report.violations.len()
+            report.violations.len(),
+            report.justified.safety,
+            report.justified.determinism,
+            report.justified.panic,
+            report.justified.lock_order,
         );
-        ExitCode::FAILURE
     }
+    if !report.violations.is_empty() {
+        return ExitCode::FAILURE;
+    }
+
+    // The ratchet only makes sense against the workspace scan.
+    if cli.write_baseline && !single_file {
+        let path = root.join(BASELINE_FILE);
+        if let Err(e) = std::fs::write(&path, baseline::render(&report.justified)) {
+            eprintln!("cosmo-audit: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("cosmo-audit: wrote {}", path.display());
+    }
+    if cli.check_baseline && !single_file {
+        let path = root.join(BASELINE_FILE);
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(text) => match baseline::parse(&text) {
+                Some(c) => c,
+                None => {
+                    eprintln!(
+                        "cosmo-audit: {} is malformed; regenerate with --write-baseline",
+                        path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!(
+                    "cosmo-audit: missing baseline {} ({e}); create it with --write-baseline",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let (failures, reminders) = baseline::check(&report.justified, &committed);
+        for r in &reminders {
+            eprintln!("cosmo-audit: note: {r}");
+        }
+        for f in &failures {
+            eprintln!("cosmo-audit: ratchet: {f}");
+        }
+        if !failures.is_empty() {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Audit a single `.rs` file under the workspace policy. The file's
@@ -74,9 +171,11 @@ fn audit_file(path: &Path) -> std::io::Result<AuditReport> {
     let src = std::fs::read_to_string(path)?;
     let rel = cosmo_audit::audit_as_directive(&src)
         .unwrap_or_else(|| path.to_string_lossy().replace('\\', "/"));
+    let (violations, justified) = audit_snippet(&Policy::cosmo(), &rel, &src);
     Ok(AuditReport {
         files_audited: 1,
-        violations: audit_source(&Policy::cosmo(), &rel, &src),
+        violations,
+        justified,
     })
 }
 

@@ -1,0 +1,559 @@
+//! Token-tree / brace-structure parser over the masked source.
+//!
+//! PR 5's lints were line-level token greps; the analyzer lints added in
+//! audit v2 (A07 unordered-iteration, A08 panic-surface, A09 lock-order)
+//! need *structure*: which tokens sit inside which block, where a
+//! function's body starts and ends, which `mod` blocks are
+//! `#[cfg(test)]`-gated, and where statements begin. This module builds
+//! exactly that — and nothing more. It is not a Rust parser: it tokenizes
+//! the masked view (so literals and comments are already gone), tracks
+//! brace nesting into a block tree, and recognizes the handful of item
+//! shapes the lints consume (`fn`, `use`, attribute-gated `mod`). Input
+//! that rustc would reject degrades to a best-effort tree; the parser
+//! never panics (locked by the byte-soup property tests).
+//!
+//! Every token carries its 1-based line and column in the *original*
+//! source, which the lexer's space-preserving mask guarantees line up.
+
+use crate::lexer::MaskedLine;
+
+/// One token of masked code: a word (identifier, keyword, or number run)
+/// or a single punctuation character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (chars, not bytes).
+    pub col: usize,
+    /// Token text: an ident/number run, or one punctuation char.
+    pub text: String,
+    /// Index into [`FileTree::blocks`] of the innermost enclosing block.
+    pub block: usize,
+}
+
+impl Tok {
+    /// True when the token is a word (identifier / keyword / number).
+    pub fn is_word(&self) -> bool {
+        self.text
+            .chars()
+            .next()
+            .map(|c| c.is_alphanumeric() || c == '_')
+            .unwrap_or(false)
+    }
+}
+
+/// One `{ … }` region. Block 0 is the virtual file-level block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Enclosing block, `None` for the root.
+    pub parent: Option<usize>,
+    /// Token index of the opening `{` (`None` for the root).
+    pub open: Option<usize>,
+    /// Token index of the closing `}` (`None` for the root or when the
+    /// file ends with the block still open).
+    pub close: Option<usize>,
+    /// True when this block (or an ancestor) is `#[cfg(test)]`-gated or
+    /// the body of a `#[test]` function — exempt from the shipping-code
+    /// lints.
+    pub test_exempt: bool,
+}
+
+/// A recognized `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Block index of the body (`None` for bodyless trait declarations).
+    pub body: Option<usize>,
+    /// True when the fn is `#[test]`-attributed or inside a
+    /// `#[cfg(test)]` block.
+    pub test_exempt: bool,
+}
+
+/// A local name introduced by a `use` declaration, mapped to the last
+/// path segment chain it resolves to (enough for the lints' type-name
+/// resolution — full paths are never needed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseAlias {
+    /// The name visible in this file (`Map` in `use x::HashMap as Map`).
+    pub local: String,
+    /// The final imported segment (`HashMap` in the example above).
+    pub target: String,
+}
+
+/// The parsed file: flat token stream + block tree + recognized items.
+#[derive(Debug, Default, Clone)]
+pub struct FileTree {
+    /// Every code token, in source order.
+    pub toks: Vec<Tok>,
+    /// Brace-tree nodes; `blocks[0]` is the file-level root.
+    pub blocks: Vec<Block>,
+    /// Every recognized `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Local names introduced by `use` declarations.
+    pub uses: Vec<UseAlias>,
+}
+
+impl FileTree {
+    /// True when token `i` sits in test-exempt code.
+    pub fn tok_exempt(&self, i: usize) -> bool {
+        self.blocks[self.toks[i].block].test_exempt
+    }
+
+    /// The innermost function whose body block contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<usize> {
+        let mut b = Some(self.toks[i].block);
+        while let Some(bi) = b {
+            if let Some(f) = self.fns.iter().position(|f| f.body == Some(bi)) {
+                return Some(f);
+            }
+            b = self.blocks[bi].parent;
+        }
+        None
+    }
+
+    /// Resolve a name through the file's `use` aliases: the imported
+    /// segment it stands for, or the name itself.
+    pub fn resolve_use<'a>(&'a self, name: &'a str) -> &'a str {
+        self.uses
+            .iter()
+            .find(|u| u.local == name)
+            .map(|u| u.target.as_str())
+            .unwrap_or(name)
+    }
+
+    /// Walk back from token `i` (exclusive) to the start of its
+    /// statement: just after the previous `;`, `{`, or `}` in the same
+    /// block — or the closing `}` of a direct child block (a `for`/`if`
+    /// statement without a trailing `;` also ends there) — skipping over
+    /// the child blocks' interiors.
+    pub fn stmt_start(&self, i: usize) -> usize {
+        let block = self.toks[i].block;
+        let mut j = i;
+        while j > 0 {
+            let t = &self.toks[j - 1];
+            if t.block == block && (t.text == ";" || t.text == "{" || t.text == "}") {
+                return j;
+            }
+            if t.text == "}" && self.blocks.get(t.block).and_then(|b| b.parent) == Some(block) {
+                return j;
+            }
+            j -= 1;
+        }
+        0
+    }
+
+    /// Walk forward from token `i` (inclusive) to the end of its
+    /// statement: the next `;` in the same block, or the opening `{` of a
+    /// child block hanging off this statement (`for … in x {`), or the
+    /// block's end. Returns the exclusive end index.
+    pub fn stmt_end(&self, i: usize) -> usize {
+        let block = self.toks[i].block;
+        let mut j = i;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if t.block == block && t.text == ";" {
+                return j + 1;
+            }
+            if t.text == "{" && self.blocks.get(t.block).and_then(|b| b.parent) == Some(block) {
+                return j;
+            }
+            if t.block != block && !self.block_is_descendant(t.block, block) {
+                return j;
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Exclusive token index just past block `b` (its `}` token, or EOF).
+    pub fn block_end(&self, b: usize) -> usize {
+        self.blocks[b]
+            .close
+            .map(|c| c + 1)
+            .unwrap_or(self.toks.len())
+    }
+
+    fn block_is_descendant(&self, mut b: usize, ancestor: usize) -> bool {
+        loop {
+            if b == ancestor {
+                return true;
+            }
+            match self.blocks[b].parent {
+                Some(p) => b = p,
+                None => return false,
+            }
+        }
+    }
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize masked lines into words and single-char puncts with source
+/// positions. Whitespace separates; everything else is one token.
+fn tokenize(lines: &[MaskedLine]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (li, l) in lines.iter().enumerate() {
+        let mut word = String::new();
+        let mut word_col = 0usize;
+        for (ci, c) in l.code.chars().enumerate() {
+            if is_word_char(c) {
+                if word.is_empty() {
+                    word_col = ci + 1;
+                }
+                word.push(c);
+            } else {
+                if !word.is_empty() {
+                    toks.push(Tok {
+                        line: li + 1,
+                        col: word_col,
+                        text: std::mem::take(&mut word),
+                        block: 0,
+                    });
+                }
+                if !c.is_whitespace() {
+                    toks.push(Tok {
+                        line: li + 1,
+                        col: ci + 1,
+                        text: c.to_string(),
+                        block: 0,
+                    });
+                }
+            }
+        }
+        if !word.is_empty() {
+            toks.push(Tok {
+                line: li + 1,
+                col: word_col,
+                text: word,
+                block: 0,
+            });
+        }
+    }
+    toks
+}
+
+/// Parse masked lines into a [`FileTree`]. Never panics; unbalanced
+/// braces degrade to a flat tree.
+pub fn parse(lines: &[MaskedLine]) -> FileTree {
+    let mut toks = tokenize(lines);
+    let mut blocks = vec![Block {
+        parent: None,
+        open: None,
+        close: None,
+        test_exempt: false,
+    }];
+    let mut stack: Vec<usize> = vec![0];
+
+    // Attribute state feeding block/fn classification. `pending_cfg_test`
+    // arms the *next* opened block (the `mod tests {` body);
+    // `pending_test_attr` arms the next `fn`.
+    let mut pending_cfg_test = false;
+    let mut pending_test_attr = false;
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut uses: Vec<UseAlias> = Vec::new();
+    // A `fn` whose body `{` has not been seen yet: (fns index, paren depth
+    // at the `fn` keyword).
+    let mut open_fn: Option<usize> = None;
+    let mut paren_depth = 0usize;
+    let mut bracket_depth = 0usize;
+
+    let mut i = 0;
+    while i < toks.len() {
+        let text = toks[i].text.clone();
+        let top = *stack.last().unwrap_or(&0);
+        toks[i].block = top;
+
+        match text.as_str() {
+            "{" => {
+                let exempt = blocks[top].test_exempt
+                    || pending_cfg_test
+                    || open_fn
+                        .and_then(|f| fns.get(f))
+                        .map(|f: &FnItem| f.test_exempt)
+                        .unwrap_or(false);
+                let id = blocks.len();
+                blocks.push(Block {
+                    parent: Some(top),
+                    open: Some(i),
+                    close: None,
+                    test_exempt: exempt,
+                });
+                toks[i].block = id;
+                stack.push(id);
+                pending_cfg_test = false;
+                if let Some(f) = open_fn.take() {
+                    fns[f].body = Some(id);
+                }
+            }
+            "}" => {
+                if stack.len() > 1 {
+                    let id = stack.pop().unwrap_or(0);
+                    toks[i].block = id;
+                    blocks[id].close = Some(i);
+                }
+            }
+            "(" => paren_depth += 1,
+            ")" => paren_depth = paren_depth.saturating_sub(1),
+            "[" => bracket_depth += 1,
+            "]" => bracket_depth = bracket_depth.saturating_sub(1),
+            ";" => {
+                // A bodyless `fn` declaration (trait method) ends here,
+                // and any armed test markers were consumed by whatever
+                // item just ended (`#[cfg(test)] use …;`).
+                if paren_depth == 0 && bracket_depth == 0 {
+                    open_fn = None;
+                    pending_cfg_test = false;
+                    pending_test_attr = false;
+                }
+            }
+            "#" => {
+                // Attribute: `#[…]` or `#![…]`. Scan the bracket group for
+                // the markers the lints care about, then skip past it so
+                // attribute contents never look like code tokens below.
+                let mut j = i + 1;
+                if toks.get(j).map(|t| t.text.as_str()) == Some("!") {
+                    j += 1;
+                }
+                if toks.get(j).map(|t| t.text.as_str()) == Some("[") {
+                    let mut depth = 0usize;
+                    let mut attr_words: Vec<&str> = Vec::new();
+                    let mut k = j;
+                    while k < toks.len() {
+                        match toks[k].text.as_str() {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            w => attr_words.push(w),
+                        }
+                        k += 1;
+                    }
+                    let is_cfg_test = attr_words.windows(2).any(|w| w == ["cfg", "("])
+                        && attr_words.contains(&"test")
+                        && !attr_words.contains(&"not");
+                    if is_cfg_test {
+                        pending_cfg_test = true;
+                        pending_test_attr = true;
+                    }
+                    if attr_words.first() == Some(&"test") {
+                        pending_test_attr = true;
+                    }
+                    // Leave the block assignment of the skipped tokens as
+                    // the current block; they are never matched as code.
+                    let upto = k.min(toks.len());
+                    for t in toks.iter_mut().take(upto).skip(i) {
+                        t.block = top;
+                    }
+                    i = k + 1;
+                    continue;
+                }
+            }
+            "fn" => {
+                if let Some(name) = toks.get(i + 1).filter(|t| t.is_word()) {
+                    fns.push(FnItem {
+                        name: name.text.clone(),
+                        fn_tok: i,
+                        body: None,
+                        test_exempt: pending_test_attr || blocks[top].test_exempt,
+                    });
+                    open_fn = Some(fns.len() - 1);
+                }
+                pending_test_attr = false;
+            }
+            "use" => {
+                let end = scan_use(&toks, i + 1, &mut uses);
+                let upto = end.min(toks.len());
+                for t in toks.iter_mut().take(upto).skip(i) {
+                    t.block = top;
+                }
+                i = end;
+                continue;
+            }
+            _ => {
+                // Any other item keyword clears a stale `#[test]` marker
+                // so it cannot leak onto a later fn.
+                if matches!(text.as_str(), "struct" | "enum" | "impl" | "trait" | "mod") {
+                    pending_test_attr = false;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    FileTree {
+        toks,
+        blocks,
+        fns,
+        uses,
+    }
+}
+
+/// Parse one `use` declaration starting at `i` (just past the `use`
+/// keyword), pushing every introduced local name. Handles `a::b::C`,
+/// `a::{B, C as D}`, and trailing `*` (ignored). Returns the index just
+/// past the terminating `;`.
+fn scan_use(toks: &[Tok], mut i: usize, uses: &mut Vec<UseAlias>) -> usize {
+    let mut last_word: Option<String> = None;
+    let mut alias_pending = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            ";" => {
+                flush_use(&mut last_word, uses);
+                return i + 1;
+            }
+            "," | "}" => flush_use(&mut last_word, uses),
+            "as" => alias_pending = true,
+            ":" | ":::" | "{" | "*" | "#" | "[" | "]" => {}
+            w if t.is_word() => {
+                if alias_pending {
+                    // `Orig as Alias` — alias maps to the original name.
+                    if let Some(orig) = last_word.take() {
+                        uses.push(UseAlias {
+                            local: w.to_string(),
+                            target: orig,
+                        });
+                    }
+                    alias_pending = false;
+                } else {
+                    last_word = Some(w.to_string());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    flush_use(&mut last_word, uses);
+    i
+}
+
+fn flush_use(last_word: &mut Option<String>, uses: &mut Vec<UseAlias>) {
+    if let Some(w) = last_word.take() {
+        // Plain import: the local name is the segment itself. Recording
+        // identity aliases keeps resolve_use total.
+        uses.push(UseAlias {
+            local: w.clone(),
+            target: w,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask_source;
+
+    fn tree(src: &str) -> FileTree {
+        parse(&mask_source(src))
+    }
+
+    #[test]
+    fn tokens_carry_line_and_col() {
+        let t = tree("fn main() {\n    let x = 1;\n}\n");
+        let x = t.toks.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!((x.line, x.col), (2, 9));
+        let one = t.toks.iter().find(|t| t.text == "1").unwrap();
+        assert_eq!((one.line, one.col), (2, 13));
+    }
+
+    #[test]
+    fn block_tree_nests() {
+        let t = tree("fn a() { if x { y(); } }\nfn b() {}\n");
+        // root + a's body + if body + b's body
+        assert_eq!(t.blocks.len(), 4);
+        assert_eq!(t.blocks[2].parent, Some(1));
+        assert_eq!(t.blocks[3].parent, Some(0));
+        let y = t.toks.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!(y.block, 2);
+    }
+
+    #[test]
+    fn fns_are_recognized_with_bodies() {
+        let t = tree("fn alpha(x: u8) -> u8 { x }\ntrait T { fn beta(&self); }\n");
+        assert_eq!(t.fns.len(), 2);
+        assert_eq!(t.fns[0].name, "alpha");
+        assert!(t.fns[0].body.is_some());
+        assert_eq!(t.fns[1].name, "beta");
+        assert!(t.fns[1].body.is_none(), "trait decl has no body");
+    }
+
+    #[test]
+    fn fn_with_array_type_in_params() {
+        // the `;` inside `[u8; 4]` must not end the fn declaration
+        let t = tree("fn f(x: [u8; 4]) -> u8 { x[0] }\n");
+        assert_eq!(t.fns.len(), 1);
+        assert!(t.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let src = "fn ship() { q(); }\n#[cfg(test)]\nmod tests {\n    fn helper() { w(); }\n}\n";
+        let t = tree(src);
+        let q = t.toks.iter().position(|t| t.text == "q").unwrap();
+        let w = t.toks.iter().position(|t| t.text == "w").unwrap();
+        assert!(!t.tok_exempt(q));
+        assert!(t.tok_exempt(w), "cfg(test) mod body is exempt");
+        let helper = t.fns.iter().find(|f| f.name == "helper").unwrap();
+        assert!(helper.test_exempt);
+    }
+
+    #[test]
+    fn test_attr_fn_is_exempt() {
+        let t = tree("#[test]\nfn probe() { x(); }\nfn ship() { y(); }\n");
+        assert!(t.fns[0].test_exempt);
+        assert!(!t.fns[1].test_exempt);
+        let x = t.toks.iter().position(|t| t.text == "x").unwrap();
+        assert!(t.tok_exempt(x));
+    }
+
+    #[test]
+    fn use_aliases_resolve() {
+        let src = "use std::collections::HashMap as Map;\nuse x::{HashSet, BTreeMap};\n";
+        let t = tree(src);
+        assert_eq!(t.resolve_use("Map"), "HashMap");
+        assert_eq!(t.resolve_use("HashSet"), "HashSet");
+        assert_eq!(t.resolve_use("Unknown"), "Unknown");
+    }
+
+    #[test]
+    fn stmt_bounds() {
+        let t = tree("fn f() {\n    let a = g();\n    let b = h();\n}\n");
+        let h = t.toks.iter().position(|t| t.text == "h").unwrap();
+        let start = t.stmt_start(h);
+        assert_eq!(t.toks[start].text, "let");
+        assert_eq!(t.toks[start].line, 3);
+        let end = t.stmt_end(h);
+        assert_eq!(t.toks[end - 1].text, ";");
+    }
+
+    #[test]
+    fn stmt_end_stops_at_child_block() {
+        let t = tree("fn f() {\n    for x in items { body(); }\n    after();\n}\n");
+        let for_tok = t.toks.iter().position(|t| t.text == "for").unwrap();
+        let end = t.stmt_end(for_tok);
+        assert_eq!(t.toks[end].text, "{", "statement ends at the loop body");
+    }
+
+    #[test]
+    fn enclosing_fn_resolves_through_nested_blocks() {
+        let t = tree("fn outer() { if c { deep(); } }\n");
+        let deep = t.toks.iter().position(|t| t.text == "deep").unwrap();
+        let f = t.enclosing_fn(deep).unwrap();
+        assert_eq!(t.fns[f].name, "outer");
+    }
+
+    #[test]
+    fn unbalanced_braces_do_not_panic() {
+        for src in ["}}}}", "{{{{", "fn f() { { }", "} fn g() {}", ""] {
+            let _ = tree(src);
+        }
+    }
+}

@@ -5,12 +5,14 @@
 //! The final test audits the real workspace and requires zero violations —
 //! the same gate `cargo run -p cosmo-audit` enforces in tier-1.
 
-use cosmo_audit::{audit_as_directive, audit_source, Lint, Policy};
+use cosmo_audit::{audit_as_directive, audit_snippet, Lint, Policy};
 use std::path::Path;
 
 /// Audit fixture `name` at the path class its own `// audit-as:` header
 /// declares (the same directive `cargo run -p cosmo-audit -- <fixture>`
-/// honors), returning the lint ids that fired.
+/// honors), returning the lint ids that fired. Runs the full single-file
+/// pipeline — line lints, tree analyzer, and the file-local lock pass —
+/// exactly as the CLI's single-file mode does.
 fn fixture_lints(name: &str) -> Vec<Lint> {
     let src = std::fs::read_to_string(
         Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -20,7 +22,8 @@ fn fixture_lints(name: &str) -> Vec<Lint> {
     .expect("fixture exists");
     let pretend_path = audit_as_directive(&src)
         .unwrap_or_else(|| panic!("fixture {name} is missing its audit-as directive"));
-    audit_source(&Policy::cosmo(), &pretend_path, &src)
+    audit_snippet(&Policy::cosmo(), &pretend_path, &src)
+        .0
         .into_iter()
         .map(|v| v.lint)
         .collect()
@@ -48,8 +51,10 @@ fn a02_crate_root_fixture_is_caught() {
 
 #[test]
 fn a03_fixture_is_caught() {
+    // Audited as a serving source, the NaN sort trips A03 and its
+    // `.unwrap()` additionally trips the A08 panic-surface lint.
     let lints = fixture_lints("a03_partial_cmp_sort.rs");
-    assert_eq!(lints, vec![Lint::A03]);
+    assert_eq!(lints, vec![Lint::A03, Lint::A08]);
 }
 
 #[test]
@@ -72,6 +77,25 @@ fn a06_fixture_is_caught() {
     assert!(lints.iter().all(|&l| l == Lint::A06), "{lints:?}");
 }
 
+#[test]
+fn a07_fixture_is_caught() {
+    let lints = fixture_lints("a07_unordered_iteration.rs");
+    assert_eq!(lints, vec![Lint::A07]);
+}
+
+#[test]
+fn a08_fixture_is_caught() {
+    // One unwrap plus one direct index, both unjustified.
+    let lints = fixture_lints("a08_panic_surface.rs");
+    assert_eq!(lints, vec![Lint::A08, Lint::A08]);
+}
+
+#[test]
+fn a09_fixture_is_caught() {
+    let lints = fixture_lints("a09_lock_order_cycle.rs");
+    assert_eq!(lints, vec![Lint::A09]);
+}
+
 /// Every committed fixture must be rejected when audited at the path
 /// class its `audit-as` header targets — the in-process equivalent of
 /// `cargo run -p cosmo-audit -- crates/audit/fixtures/<f>` exiting
@@ -92,7 +116,7 @@ fn every_fixture_produces_at_least_one_violation() {
         );
         seen += 1;
     }
-    assert!(seen >= 7, "expected one fixture per lint, found {seen}");
+    assert!(seen >= 10, "expected one fixture per lint, found {seen}");
 }
 
 /// The real workspace must be clean — this is the tier-1 invariant the

@@ -1,0 +1,180 @@
+//! Property tests for the audit lexer and token-tree parser.
+//!
+//! Three families, matching the analyzer's load-bearing claims:
+//!
+//! 1. **Masking preserves positions.** Every non-whitespace character
+//!    that survives [`mask_source`] sits at exactly the same (line,
+//!    column) as in the original source — the invariant that lets the
+//!    token tree report 1-based source coordinates without a side table.
+//! 2. **Byte-soup totality.** [`tree::parse`] (and the full
+//!    [`audit_snippet`] pipeline behind it) never panics on arbitrary
+//!    input, and the tree it degrades to stays internally consistent:
+//!    token block ids in range, parent links acyclic, fn bodies real
+//!    blocks, statement bounds ordered.
+//! 3. **Line-ending insensitivity.** Lint results — violation (line,
+//!    lint) pairs and justified-suppression counts — are identical for
+//!    `src`, `src` + trailing newline, and the CRLF re-encoding of
+//!    `src`. Only bytes the analysis must ignore change between the
+//!    three.
+//!
+//! Skipped under Miri: case generation is too slow in the interpreter,
+//! and the crate has no unsafe for Miri to check anyway.
+#![cfg(not(miri))]
+
+use cosmo_audit::lexer::mask_source;
+use cosmo_audit::{audit_snippet, tree, JustifiedCounts, Lint, Policy};
+use proptest::prelude::*;
+
+/// A character alphabet deliberately dense in lexer state transitions:
+/// braces, quotes, comment markers, escapes, raw-string prefixes and
+/// hashes, plus multi-byte unicode so char/byte confusion would surface.
+fn soup_alphabet() -> Vec<char> {
+    vec![
+        '{', '}', '(', ')', '[', ']', '"', '\'', '/', '*', '#', '\\', 'r', 'b', 'a', 'x', '_', '0',
+        '9', ' ', '\t', '\n', ';', '.', ':', ',', '<', '>', '&', '|', '!', '=', 'é', '∀', '中',
+    ]
+}
+
+/// Realistic single-line fragments: lint triggers, justifications, item
+/// scaffolding. Random sequences of these form plausible-but-arbitrary
+/// files whose lint results must not depend on the EOL encoding.
+fn line_pool() -> Vec<&'static str> {
+    vec![
+        "use std::collections::HashMap;",
+        "fn f(m: &HashMap<String, u32>) -> Vec<String> {",
+        "fn g(&self) {",
+        "    m.keys().cloned().collect()",
+        "    let mut v: Vec<String> = m.keys().cloned().collect();",
+        "    v.sort_unstable();",
+        "    for x in m {",
+        "    }",
+        "}",
+        "    let a = self.alpha.lock();",
+        "    let b = self.beta.lock();",
+        "    drop(a);",
+        "    x.unwrap();",
+        "    v[0];",
+        "    panic!(\"boom\");",
+        "    // PANIC: guarded by the length check above",
+        "    // DETERMINISM: feeds a commutative integer sum",
+        "    // LOCK-ORDER: ascending shard index discipline",
+        "    // SAFETY: pointer is derived from a live slice",
+        "    unsafe { *p }",
+        "#[allow(dead_code)] // kept for the serde schema",
+        "#[allow(dead_code)]",
+        "#[cfg(test)]",
+        "mod tests {",
+        "    let s = \"unsafe partial_cmp in a string // not a comment\";",
+        "    /* block comment with unsafe",
+        "       spanning lines */",
+        "",
+        "    scores.sort_by(|q, w| q.partial_cmp(w).unwrap());",
+        "    let t0 = Instant::now();",
+    ]
+}
+
+/// Violation fingerprints that must survive an EOL re-encoding: the
+/// source excerpt is allowed to differ (it keeps the raw `\r`), the
+/// analysis is not.
+fn fingerprint(policy: &Policy, rel: &str, src: &str) -> (Vec<(usize, Lint)>, JustifiedCounts) {
+    let (violations, justified) = audit_snippet(policy, rel, src);
+    (
+        violations.into_iter().map(|v| (v.line, v.lint)).collect(),
+        justified,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn masking_preserves_line_and_column(
+        chars in prop::collection::vec(prop::sample::select(soup_alphabet()), 0..400),
+    ) {
+        let src: String = chars.into_iter().collect();
+        let masked = mask_source(&src);
+        let original: Vec<Vec<char>> = src.split('\n').map(|l| l.chars().collect()).collect();
+        // One masked line per source line. The only allowed omission is a
+        // final line that masks to nothing at all — after a trailing
+        // newline, or when EOF lands inside a construct whose remainder
+        // is entirely comment/empty (`//`, an unclosed `/*`, …).
+        prop_assert!(
+            masked.len() == original.len() || masked.len() + 1 == original.len(),
+            "line count drifted: {} masked vs {} original",
+            masked.len(),
+            original.len()
+        );
+        for (li, line) in masked.iter().enumerate() {
+            for (ci, mc) in line.code.chars().enumerate() {
+                if mc.is_whitespace() {
+                    continue; // masked-out content
+                }
+                let oc = original[li].get(ci).copied();
+                prop_assert_eq!(
+                    oc,
+                    Some(mc),
+                    "line {} col {}: masked {:?} vs original {:?}",
+                    li + 1,
+                    ci + 1,
+                    mc,
+                    oc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn byte_soup_never_panics_and_tree_stays_consistent(
+        chars in prop::collection::vec(prop::sample::select(soup_alphabet()), 0..400),
+    ) {
+        let src: String = chars.into_iter().collect();
+        // The full single-file pipeline must be total: line lints, the
+        // A07/A08 tree analyzer, and the file-local A09 lock pass all run
+        // for a serving-path file; a kg path adds the deterministic-crate
+        // scope. No output assertion — not panicking IS the property.
+        let policy = Policy::cosmo();
+        let _ = audit_snippet(&policy, "crates/serving/src/soup.rs", &src);
+        let _ = audit_snippet(&policy, "crates/kg/src/soup.rs", &src);
+
+        let lines = mask_source(&src);
+        let t = tree::parse(&lines);
+        for (i, tok) in t.toks.iter().enumerate() {
+            prop_assert!(tok.block < t.blocks.len(), "token {} block out of range", i);
+            prop_assert!(tok.line >= 1 && tok.col >= 1);
+            // Statement bounds bracket the token and stay in range.
+            let start = t.stmt_start(i);
+            let end = t.stmt_end(i);
+            prop_assert!(start <= i && i <= end && end <= t.toks.len());
+            let _ = t.enclosing_fn(i);
+        }
+        for (b, blk) in t.blocks.iter().enumerate() {
+            if let Some(p) = blk.parent {
+                prop_assert!(p < b, "parent links must point backward (acyclic)");
+            }
+            if let (Some(o), Some(c)) = (blk.open, blk.close) {
+                prop_assert!(o < c, "block opens before it closes");
+            }
+        }
+        for f in &t.fns {
+            if let Some(body) = f.body {
+                prop_assert!(body < t.blocks.len());
+            }
+        }
+    }
+
+    #[test]
+    fn lints_are_identical_across_eol_encodings(
+        picks in prop::collection::vec(prop::sample::select(line_pool()), 1..40),
+    ) {
+        let src = picks.join("\n");
+        let policy = Policy::cosmo();
+        // serving exercises A03/A08/A09, kg adds A07/A04 scope.
+        for rel in ["crates/serving/src/cache.rs", "crates/kg/src/store.rs"] {
+            let base = fingerprint(&policy, rel, &src);
+            let trailing = fingerprint(&policy, rel, &format!("{src}\n"));
+            prop_assert_eq!(&base, &trailing, "trailing newline changed lints for {}", rel);
+            let crlf = fingerprint(&policy, rel, &src.replace('\n', "\r\n"));
+            prop_assert_eq!(&base, &crlf, "CRLF re-encoding changed lints for {}", rel);
+        }
+    }
+}

@@ -109,6 +109,8 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
             // don't all hammer the same query at the same instant
             let mut next = client_idx;
             while !stop.load(Ordering::Relaxed) {
+                // PANIC: next % len is in range; bodies is asserted
+                // non-empty before the clients spawn
                 let body = &bodies[next % bodies.len()];
                 next += 1;
                 let sent = Instant::now();

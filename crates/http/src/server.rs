@@ -229,7 +229,19 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 /// Enqueue an accepted connection, applying [`AdmissionPolicy`] when the
 /// queue is at capacity.
 fn admit(stream: TcpStream, shared: &Shared) {
-    let mut queue = shared.queue.lock().expect("http queue poisoned");
+    let mut queue = match shared.queue.lock() {
+        Ok(q) => q,
+        Err(_) => {
+            // A worker panicked while holding the queue lock. Shed this
+            // connection with a 503 instead of tearing down the acceptor.
+            shared
+                .counters
+                .rejected_conns
+                .fetch_add(1, Ordering::Relaxed);
+            reject_connection(stream, shared);
+            return;
+        }
+    };
     if queue.len() >= shared.config.conn_backlog.max(1) {
         match shared.config.admission {
             AdmissionPolicy::RejectNew => {
@@ -279,7 +291,13 @@ fn reject_connection(stream: TcpStream, shared: &Shared) {
 fn worker_loop(shared: &Shared) {
     loop {
         let stream = {
-            let mut queue = shared.queue.lock().expect("http queue poisoned");
+            // Recover the guard on poison: a sibling worker panicked, but
+            // the queue itself (a VecDeque of sockets) stays structurally
+            // sound, and exiting here would strand queued connections.
+            let mut queue = shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             loop {
                 if let Some(s) = queue.pop_front() {
                     break Some(s);
@@ -287,11 +305,13 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                let (guard, _) = shared
+                queue = match shared
                     .queue_signal
                     .wait_timeout(queue, Duration::from_millis(50))
-                    .expect("http queue poisoned");
-                queue = guard;
+                {
+                    Ok((guard, _)) => guard,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
             }
         };
         match stream {
@@ -427,18 +447,25 @@ impl Router {
 
     /// The navigation engine for `generation`, rebuilding it if the
     /// snapshot was swapped since the last navigate request.
+    /// Returns a ready `500` response when the cache mutex is poisoned —
+    /// the request degrades instead of panicking the worker.
     fn nav_for(
         &self,
         generation: &SnapshotGeneration,
-    ) -> Arc<NavigationEngine<Arc<KgSnapshotView>>> {
-        let mut cached = self.nav.lock().expect("nav cache poisoned");
+    ) -> Result<Arc<NavigationEngine<Arc<KgSnapshotView>>>, Response> {
+        let mut cached = self.nav.lock().map_err(|_| {
+            Response::json(
+                500,
+                ErrorBody::new("internal", "navigation cache unavailable").to_json(),
+            )
+        })?;
         if cached.0 != generation.generation {
             *cached = (
                 generation.generation,
                 Arc::new(NavigationEngine::new(Arc::clone(&generation.view))),
             );
         }
-        Arc::clone(&cached.1)
+        Ok(Arc::clone(&cached.1))
     }
 
     /// `POST /v1/serve-intents`: decode, delegate to the serving read
@@ -465,7 +492,10 @@ impl Router {
             Err(resp) => return resp,
         };
         let generation = self.system.current();
-        let nav = self.nav_for(&generation);
+        let nav = match self.nav_for(&generation) {
+            Ok(nav) => nav,
+            Err(resp) => return resp,
+        };
         let suggestions = nav
             .interpret(&req.query, req.k)
             .into_iter()

@@ -68,6 +68,9 @@ impl IntentHierarchy {
         // Index tokens -> items containing them, to avoid O(n²) subset checks.
         let mut token_index: FxHashMap<&str, Vec<usize>> = FxHashMap::default();
         for (i, (_, _, toks)) in items.iter().enumerate() {
+            // DETERMINISM: each distinct token is pushed once per item, and
+            // the outer loop visits items in ascending order, so every
+            // posting list ends sorted ascending whatever the set order.
             for t in toks {
                 token_index.entry(t.as_str()).or_default().push(i);
             }
@@ -112,7 +115,7 @@ impl IntentHierarchy {
             let rare = atoks
                 .iter()
                 .min_by_key(|t| token_index.get(t.as_str()).map_or(0, |v| v.len()))
-                .unwrap();
+                .unwrap(); // PANIC: atoks is non-empty (filtered at insertion)
             for &b in token_index.get(rare.as_str()).into_iter().flatten() {
                 if a == b {
                     continue;

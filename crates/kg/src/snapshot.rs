@@ -348,6 +348,7 @@ impl KgSnapshot {
         if buf[..8] != MAGIC {
             return Err(SnapshotError::BadMagic);
         }
+        // PANIC: 4-byte slice after the HEADER_LEN guard
         let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
         if version == crate::snapshot_v2::FORMAT_VERSION_V2 {
             let mapped = crate::snapshot_v2::MappedSnapshot::from_bytes(
@@ -359,11 +360,12 @@ impl KgSnapshot {
         if version != FORMAT_VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
-        let n = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
-        let m = u32::from_le_bytes(buf[16..20].try_into().unwrap()) as usize;
-        let arena_len = usize::try_from(u64::from_le_bytes(buf[20..28].try_into().unwrap()))
+        let n = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize; // PANIC: 4 bytes
+        let m = u32::from_le_bytes(buf[16..20].try_into().unwrap()) as usize; // PANIC: 4 bytes
+        let arena_words = u64::from_le_bytes(buf[20..28].try_into().unwrap()); // PANIC: 8 bytes
+        let arena_len = usize::try_from(arena_words)
             .map_err(|_| SnapshotError::Corrupt("arena length overflows usize"))?;
-        let checksum = u64::from_le_bytes(buf[28..36].try_into().unwrap());
+        let checksum = u64::from_le_bytes(buf[28..36].try_into().unwrap()); // PANIC: 8 bytes
 
         // The header fields are untrusted: the expected payload length is
         // computed with checked arithmetic so a crafted header (e.g.
@@ -616,10 +618,12 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> u32 {
+        // PANIC: take returns exactly the requested length
         u32::from_le_bytes(self.take(4).try_into().unwrap())
     }
 
     fn u64(&mut self) -> u64 {
+        // PANIC: take returns exactly the requested length
         u64::from_le_bytes(self.take(8).try_into().unwrap())
     }
 }

@@ -152,12 +152,15 @@ impl KgSnapshot {
     pub fn to_bytes_v2(&self) -> Vec<u8> {
         let n = self.num_nodes();
         let m = self.num_edges();
+        // PANIC: section sizes of an in-memory graph cannot overflow the
+        // layout arithmetic (they are bounded by the live allocation)
         let lens = section_lens(n, m, self.arena.len()).expect("in-memory snapshot fits layout");
 
         let mut offsets = [0usize; SECTION_COUNT];
         let mut cursor = FIRST_SECTION_OFF;
         for (off, len) in offsets.iter_mut().zip(lens) {
             *off = cursor;
+            // PANIC: bounded by the live allocation, as above
             cursor = align_up(cursor + len).expect("in-memory snapshot fits layout");
         }
         let total_len = offsets[SECTION_COUNT - 1] + lens[SECTION_COUNT - 1];
@@ -287,13 +290,14 @@ impl MappedSnapshot {
         if buf[..8] != MAGIC {
             return Err(SnapshotError::BadMagic);
         }
-        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap()); // PANIC: 4 bytes
         if version != FORMAT_VERSION_V2 {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         if buf[12..16] != [0; 4] || buf[56..64] != [0; 8] {
             return Err(SnapshotError::Corrupt("reserved header bytes not zero"));
         }
+        // PANIC: callers pass offsets inside the length-checked header
         let read_u64 = |at: usize| u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
         let to_usize = |v: u64, what: &'static str| {
             usize::try_from(v).map_err(|_| SnapshotError::Corrupt(what))
@@ -387,8 +391,8 @@ impl MappedSnapshot {
             if rec[12] >= 2 {
                 return Err(SnapshotError::Corrupt("bad behavior tag"));
             }
-            let head = u32::from_le_bytes(rec[0..4].try_into().unwrap());
-            let tail = u32::from_le_bytes(rec[8..12].try_into().unwrap());
+            let head = u32::from_le_bytes(rec[0..4].try_into().unwrap()); // PANIC: 4 bytes
+            let tail = u32::from_le_bytes(rec[8..12].try_into().unwrap()); // PANIC: 4 bytes
             if head as usize >= n || tail as usize >= n {
                 return Err(SnapshotError::Corrupt("edge endpoint out of range"));
             }
@@ -535,10 +539,12 @@ impl MappedSnapshot {
     }
 
     fn kinds(&self) -> &[NodeKind] {
+        // PANIC: section alignment and size were validated at load
         cast_slice(self.section(SEC_KINDS)).expect("validated at load")
     }
 
     fn text_offsets(&self) -> &[u32] {
+        // PANIC: validated at load, as above
         cast_slice(self.section(SEC_TEXT_OFFSETS)).expect("validated at load")
     }
 
@@ -549,22 +555,27 @@ impl MappedSnapshot {
     /// All edges, sorted by `(head, relation, tail)` — borrowed straight
     /// from the file bytes.
     pub fn edges(&self) -> &[Edge] {
+        // PANIC: validated at load, as above
         cast_slice(self.section(SEC_EDGES)).expect("validated at load")
     }
 
     fn out_offsets(&self) -> &[u32] {
+        // PANIC: validated at load, as above
         cast_slice(self.section(SEC_OUT_OFFSETS)).expect("validated at load")
     }
 
     fn in_offsets(&self) -> &[u32] {
+        // PANIC: validated at load, as above
         cast_slice(self.section(SEC_IN_OFFSETS)).expect("validated at load")
     }
 
     fn in_edges(&self) -> &[u32] {
+        // PANIC: validated at load, as above
         cast_slice(self.section(SEC_IN_EDGES)).expect("validated at load")
     }
 
     fn lookup(&self) -> &[LookupRec] {
+        // PANIC: validated at load, as above
         cast_slice(self.section(SEC_LOOKUP)).expect("validated at load")
     }
 
@@ -717,6 +728,7 @@ impl KgSnapshotView {
         let bytes = MappedBytes::open(path)?;
         if bytes.len() >= 12
             && bytes[..8] == MAGIC
+            // PANIC: guarded by the `len() >= 12` arm above
             && u32::from_le_bytes(bytes[8..12].try_into().unwrap()) == FORMAT_VERSION_V2
         {
             return Ok(KgSnapshotView::Mapped(MappedSnapshot::from_mapped(

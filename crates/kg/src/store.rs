@@ -247,12 +247,15 @@ impl KnowledgeGraph {
             self.in_adj.entry(e.tail).or_default().push(eid);
         }
         // Restore the sorted-adjacency invariant maintained by `add_edge`.
+        // DETERMINISM: each list is sorted in place independently; the
+        // visit order across map entries is not observable.
         for list in self.out_adj.values_mut() {
             list.sort_unstable_by_key(|&e| {
                 let o = &self.edges[e.0 as usize];
                 (o.relation.index(), o.tail)
             });
         }
+        // DETERMINISM: per-entry in-place sort, as above.
         for list in self.in_adj.values_mut() {
             list.sort_unstable_by_key(|&e| {
                 let i = &self.edges[e.0 as usize];
@@ -263,6 +266,7 @@ impl KnowledgeGraph {
 
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
+        // PANIC: serialising plain in-memory data never errors
         serde_json::to_string(self).expect("KG serialisation cannot fail")
     }
 

@@ -129,9 +129,13 @@ impl StreamInterner {
     }
 
     fn push_node(&mut self, kind: NodeKind, text: &str) -> u32 {
+        // PANIC: u32 ids/offsets are the snapshot format's hard capacity;
+        // overflowing them is unrepresentable on disk, so the writer stops
+        // here rather than emitting a snapshot that cannot round-trip.
         let id = u32::try_from(self.kinds.len()).expect("node count exceeds u32 id space");
         self.kinds.push(kind);
         self.arena.push_str(text);
+        // PANIC: same u32 format capacity as the id space above
         let end = u32::try_from(self.arena.len()).expect("arena exceeds u32 offset space");
         self.text_offsets.push(end);
         id
@@ -230,20 +234,26 @@ fn encode_edge(e: &Edge) -> [u8; EDGE_SIZE] {
 /// Decode a spill record this process wrote; tags are still validated so a
 /// torn or foreign file surfaces as `Corrupt`, not as a bad enum cast.
 fn decode_edge(rec: &[u8; EDGE_SIZE]) -> Result<Edge, SnapshotError> {
+    // Little-endian u32 at `at`; the record is a fixed-size array, so the
+    // 4-byte slices below are statically in bounds.
+    fn le32(rec: &[u8; EDGE_SIZE], at: usize) -> u32 {
+        // PANIC: 4-byte slice of the fixed 28-byte spill record
+        u32::from_le_bytes(rec[at..at + 4].try_into().unwrap())
+    }
     let rel = *Relation::ALL
         .get(rec[4] as usize)
         .ok_or(SnapshotError::Corrupt("spill run: bad relation tag"))?;
     let behavior =
         behavior_from_u8(rec[12]).ok_or(SnapshotError::Corrupt("spill run: bad behavior tag"))?;
     Ok(Edge {
-        head: NodeId(u32::from_le_bytes(rec[0..4].try_into().unwrap())),
+        head: NodeId(le32(rec, 0)),
         relation: rel,
-        tail: NodeId(u32::from_le_bytes(rec[8..12].try_into().unwrap())),
+        tail: NodeId(le32(rec, 8)),
         behavior,
         category: rec[13],
-        plausibility: f32::from_bits(u32::from_le_bytes(rec[16..20].try_into().unwrap())),
-        typicality: f32::from_bits(u32::from_le_bytes(rec[20..24].try_into().unwrap())),
-        support: u32::from_le_bytes(rec[24..28].try_into().unwrap()),
+        plausibility: f32::from_bits(le32(rec, 16)),
+        typicality: f32::from_bits(le32(rec, 20)),
+        support: le32(rec, 24),
     })
 }
 
@@ -298,6 +308,7 @@ fn merge_runs(
     }
     let mut pending: Option<Edge> = None;
     while let Some(Reverse((key, idx))) = heap.pop() {
+        // PANIC: heads[idx] is refilled whenever its key is re-pushed
         let e = heads[idx].take().expect("heap entry has a buffered edge");
         if let Some(next) = cursors[idx].next_edge()? {
             heap.push(Reverse((edge_key(&next), idx)));

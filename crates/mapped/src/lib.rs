@@ -161,6 +161,7 @@ impl AlignedBuf {
             words,
             len: bytes.len(),
         };
+        // PANIC: words holds div_ceil(len, 8) * 8 >= len bytes
         buf.as_mut()[..bytes.len()].copy_from_slice(bytes);
         buf
     }

@@ -231,6 +231,8 @@ impl CacheStore {
 
     fn shard_of(&self, query: &str) -> &Shard {
         let idx = (hash_str_ns(query, SHARD_NS) % self.shards.len() as u64) as usize;
+        // PANIC: idx is hash mod shards.len(), always in range; shards is
+        // non-empty by construction (capacity is clamped to >= 1 shard).
         &self.shards[idx]
     }
 
@@ -341,12 +343,13 @@ impl CacheStore {
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         for f in features {
             let idx = (hash_str_ns(&f.query, SHARD_NS) % self.shards.len() as u64) as usize;
-            by_shard[idx].push(f);
+            by_shard[idx].push(f); // PANIC: idx is hash mod len of this very vec
         }
         for (idx, batch) in by_shard.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
+            // PANIC: by_shard was built with exactly shards.len() buckets
             let mut l2 = self.shards[idx].l2.write();
             for f in batch {
                 if l2.map.insert(f.query.clone(), f.clone()).is_none() {
@@ -369,12 +372,18 @@ impl CacheStore {
         // Lock order: every L2 shard (ascending), then every hits map —
         // the read path takes l2-then-hits within one shard, so this
         // global ordering cannot deadlock against it.
+        // LOCK-ORDER: every shard's l2 lock, in ascending shard index.
         let mut l2_guards: Vec<_> = self.shards.iter().map(|s| s.l2.write()).collect();
+        // LOCK-ORDER: hits after all l2, same ascending index discipline.
         let mut hits_guards: Vec<_> = self.shards.iter().map(|s| s.hits.lock()).collect();
         let mut scored: Vec<(u64, String, usize)> = Vec::new();
         for (idx, l2) in l2_guards.iter().enumerate() {
             for k in l2.map.keys() {
-                let h = hits_guards[idx].get(k).copied().unwrap_or(0);
+                let h = hits_guards
+                    .get(idx)
+                    .and_then(|g| g.get(k))
+                    .copied()
+                    .unwrap_or(0);
                 scored.push((h, k.clone(), idx));
             }
         }
@@ -387,7 +396,7 @@ impl CacheStore {
             if new_l1.len() >= self.l1_capacity {
                 break;
             }
-            if let Some(f) = l2_guards[idx].map.get(&key) {
+            if let Some(f) = l2_guards.get(idx).and_then(|g| g.map.get(&key)) {
                 if new_l1.insert(key.clone(), f.clone()).is_none() {
                     promoted += 1;
                 }

@@ -86,13 +86,14 @@ pub fn compute_features_batch<G: GraphView>(
         .map(|(i, _)| i)
         .collect();
     if !cold.is_empty() {
+        // PANIC: cold holds enumerate() indices over these same slices
         let prompts: Vec<String> = cold.iter().map(|&i| cold_prompt(queries[i])).collect();
         let prompt_refs: Vec<&str> = prompts.iter().map(String::as_str).collect();
         for (&i, generated) in cold.iter().zip(lm.generate_batch(&prompt_refs, None, 5)) {
             for (tail, score) in generated {
-                intents[i].push((Relation::UsedForFunc, tail, score));
+                intents[i].push((Relation::UsedForFunc, tail, score)); // PANIC: i < len
             }
-            squash_cold_scores(&mut intents[i]);
+            squash_cold_scores(&mut intents[i]); // PANIC: i < len, as above
         }
     }
     let embeds = lm.embed_batch(queries);
@@ -177,6 +178,7 @@ impl FeatureStore {
 
     fn shard_of(&self, query: &str) -> &RwLock<FxHashMap<String, Arc<StructuredFeatures>>> {
         let idx = (hash_str_ns(query, FEATURE_SHARD_NS) % self.shards.len() as u64) as usize;
+        // PANIC: idx is hash mod len; shards is clamped to >= 1 entry
         &self.shards[idx]
     }
 

@@ -77,6 +77,7 @@ impl Default for LatencyRecorder {
 impl LatencyRecorder {
     /// Record one sample (microseconds). Lock-free, O(1).
     pub fn record(&self, us: u64) {
+        // PANIC: bucket_index is < NUM_BUCKETS for all u64 inputs
         self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.max.fetch_max(us, Ordering::Relaxed);

@@ -219,7 +219,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ProtocolError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), ProtocolError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -246,7 +246,8 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &'static str, v: Json) -> Result<Json, ProtocolError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
         } else {
@@ -255,7 +256,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, ProtocolError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -266,7 +267,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let v = self.value(depth + 1)?;
             fields.push((key, v));
@@ -283,7 +284,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, ProtocolError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -306,18 +307,18 @@ impl<'a> Parser<'a> {
     }
 
     fn hex4(&mut self) -> Result<u32, ProtocolError> {
-        if self.pos + 4 > self.bytes.len() {
-            return Err(self.err("truncated \\u escape"));
-        }
-        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|_| self.err("invalid \\u escape"))?;
+        let quad = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(quad).map_err(|_| self.err("invalid \\u escape"))?;
         let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
         self.pos += 4;
         Ok(v)
     }
 
     fn string(&mut self) -> Result<String, ProtocolError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -344,7 +345,7 @@ impl<'a> Parser<'a> {
                                 // surrogate pair: require \uXXXX low half
                                 if self.peek() == Some(b'\\') {
                                     self.pos += 1;
-                                    self.expect(b'u')?;
+                                    self.expect_byte(b'u')?;
                                     let lo = self.hex4()?;
                                     if !(0xDC00..0xE000).contains(&lo) {
                                         return Err(self.err("invalid low surrogate"));
@@ -379,10 +380,8 @@ impl<'a> Parser<'a> {
                     {
                         self.pos += 1;
                     }
-                    out.push_str(
-                        std::str::from_utf8(&self.bytes[start..self.pos])
-                            .map_err(|_| self.err("invalid utf-8"))?,
-                    );
+                    let span = self.bytes.get(start..self.pos).unwrap_or(&[]);
+                    out.push_str(std::str::from_utf8(span).map_err(|_| self.err("invalid utf-8"))?);
                 }
             }
         }
@@ -423,8 +422,9 @@ impl<'a> Parser<'a> {
                 return Err(self.err("invalid number exponent"));
             }
         }
-        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ascii")
+        let span = self.bytes.get(start..self.pos).unwrap_or(&[]);
+        let raw = std::str::from_utf8(span)
+            .map_err(|_| self.err("invalid number"))?
             .to_string();
         Ok(Json::Num(raw))
     }

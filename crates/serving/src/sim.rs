@@ -172,6 +172,7 @@ pub fn simulate(system: &ServingSystem, cfg: &TrafficConfig) -> Vec<DayReport> {
                 drift_counter += 1;
                 format!("drift query {day}-{drift_counter}")
             } else {
+                // PANIC: the sampler draws indices below universe.len()
                 universe[sampler.index(&mut rng)].clone()
             };
             let _ = system.handle_request(&query);
@@ -221,6 +222,7 @@ pub fn simulate_concurrent(
                             let query = if rng.gen_bool(cfg.drift) {
                                 format!("drift query {day}-{t}-{i}")
                             } else {
+                                // PANIC: sampler indices are in range
                                 universe[sampler.index(&mut rng)].clone()
                             };
                             let _ = system.handle_request(&query);
@@ -236,9 +238,11 @@ pub fn simulate_concurrent(
                 }
             });
             for h in handles {
+                // PANIC: propagating a worker panic is the sim's failure mode
                 h.join().expect("request thread panicked");
             }
             stop.store(true, Ordering::Release);
+            // PANIC: propagated deliberately, as above
             batcher.join().expect("batch thread panicked");
         });
         // flush remaining pending work before the day closes

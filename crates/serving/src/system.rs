@@ -513,7 +513,9 @@ impl ServingSystem {
                 }
                 ChunkResult::Panicked { start, len } => {
                     failed_chunks += 1;
-                    requeued += generation.cache.requeue(&queries[start..start + len]);
+                    if let Some(chunk) = queries.get(start..start + len) {
+                        requeued += generation.cache.requeue(chunk);
+                    }
                     self.batch_failed_chunks.fetch_add(1, Ordering::Relaxed);
                 }
             }

@@ -49,6 +49,7 @@ pub fn recommendation_view(f: &StructuredFeatures, dim: usize) -> Vec<f32> {
     let total: f32 = f.intents.iter().map(|(_, _, s)| s.max(0.0)).sum();
     for (_, tail, score) in &f.intents {
         let h = (hash_str_ns(tail, 77) % half as u64) as usize;
+        // PANIC: h < half <= dim, enforced by the assert above
         v[h] += if total > 0.0 {
             score.max(0.0) / total
         } else {
@@ -56,7 +57,7 @@ pub fn recommendation_view(f: &StructuredFeatures, dim: usize) -> Vec<f32> {
         };
     }
     let qh = half + (hash_str_ns(&f.query, 78) % half as u64) as usize;
-    v[qh] = 1.0;
+    v[qh] = 1.0; // PANIC: qh < 2 * half = dim
     v
 }
 

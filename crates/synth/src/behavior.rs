@@ -188,10 +188,13 @@ impl BehaviorLog {
         for cb in &self.cobuys {
             *self.cobuy_counts.entry((cb.p1, cb.p2)).or_insert(0) += 1;
         }
+        // DETERMINISM: integer `+=` into per-key counters is commutative;
+        // the final degree maps do not depend on key visit order.
         for &(q, p) in self.searchbuy_counts.keys() {
             *self.query_degree.entry(q).or_insert(0) += 1;
             *self.product_degree.entry(p).or_insert(0) += 1;
         }
+        // DETERMINISM: commutative integer accumulation, as above.
         for &(a, b) in self.cobuy_counts.keys() {
             *self.product_degree.entry(a).or_insert(0) += 1;
             *self.product_degree.entry(b).or_insert(0) += 1;
@@ -319,6 +322,38 @@ mod tests {
             assert!(log.pop_query(sb.query) >= 1);
             assert!(log.pop_product(sb.product) >= 1);
         }
+    }
+
+    /// Byte-identity lock for the `// DETERMINISM:` contracts in
+    /// [`BehaviorLog::aggregate`]: the degree maps are built by iterating
+    /// `searchbuy_counts` / `cobuy_counts` in hash-table order, and the
+    /// justification claims the result cannot depend on that order. Rerun
+    /// aggregation with reversed event order AND a different table
+    /// capacity history (both change FxHashMap iteration order) and
+    /// require identical degree maps.
+    #[test]
+    fn aggregate_is_iteration_order_insensitive() {
+        let (_, log) = setup();
+
+        let mut reordered = BehaviorLog {
+            search_buys: log.search_buys.iter().rev().cloned().collect(),
+            cobuys: log.cobuys.iter().rev().cloned().collect(),
+            searchbuy_counts: FxHashMap::default(),
+            cobuy_counts: FxHashMap::default(),
+            query_degree: FxHashMap::default(),
+            product_degree: FxHashMap::default(),
+        };
+        // A large pre-reserve gives the tables a different capacity
+        // history than the incrementally-grown originals, reshuffling
+        // SwissTable slot order even for identical key sets.
+        reordered.searchbuy_counts.reserve(1 << 14);
+        reordered.cobuy_counts.reserve(1 << 14);
+        reordered.aggregate();
+
+        assert_eq!(log.searchbuy_counts, reordered.searchbuy_counts);
+        assert_eq!(log.cobuy_counts, reordered.cobuy_counts);
+        assert_eq!(log.query_degree, reordered.query_degree);
+        assert_eq!(log.product_degree, reordered.product_degree);
     }
 
     #[test]

@@ -20,8 +20,11 @@ cargo build --release
 cargo test -q
 # workspace invariant linter: SAFETY contracts, unsafe allowlist,
 # total_cmp-only float sorts, no wall clock in deterministic crates,
-# justified #[allow]s (see crates/audit and DESIGN.md)
-cargo run --release -p cosmo-audit
+# justified #[allow]s, unordered hash iteration, panic surface,
+# lock-order cycles (see crates/audit and DESIGN.md §7). The ratchet
+# also fails if justification-comment counts rise above the committed
+# audit-baseline.json.
+cargo run --release -p cosmo-audit -- --check-baseline
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 # snapshot-format compatibility: freeze, save, reload, compare answers
